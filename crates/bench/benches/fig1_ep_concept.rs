@@ -1,0 +1,41 @@
+//! **Figure 1** — the conceptual ideal/superlinear EP scaling
+//! illustration. Prints the figure and benchmarks classification across
+//! the threshold.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerscale::harness::figures;
+use powerscale::model::{classify_point, ScalingClass};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", figures::fig1_concept(4).to_ascii(56, 14));
+
+    let mut group = c.benchmark_group("fig1");
+    group.bench_function("classify_sweep", |b| {
+        b.iter(|| {
+            let mut counts = [0u32; 3];
+            for p in 1..=8usize {
+                for i in 0..100 {
+                    let s = i as f64 * 0.1;
+                    match classify_point(p, s, 0.05) {
+                        ScalingClass::Ideal => counts[0] += 1,
+                        ScalingClass::Linear => counts[1] += 1,
+                        ScalingClass::Superlinear => counts[2] += 1,
+                    }
+                }
+            }
+            counts
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! **Table III / Figures 4–6** — package power vs thread count per
+//! algorithm. Prints the regenerated artifacts, then benchmarks the
+//! power-measurement path (simulate + RAPL meter) per algorithm.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powerscale::harness::{figures, tables, Algorithm, Harness, RunSpec};
+
+fn print_artifact() {
+    let h = Harness::default();
+    let results = h.paper_matrix();
+    println!(
+        "\n{}",
+        tables::power_table(&results, &tables::PAPER_SIZES, &tables::PAPER_THREADS).to_markdown()
+    );
+    println!(
+        "paper: OpenBLAS {:?}\n       Strassen {:?}\n       CAPS {:?}\n",
+        tables::paper::TABLE3_OPENBLAS,
+        tables::paper::TABLE3_STRASSEN,
+        tables::paper::TABLE3_CAPS
+    );
+    for alg in [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps] {
+        println!(
+            "{}",
+            figures::power_figure(&results, alg, &tables::PAPER_SIZES, &tables::PAPER_THREADS)
+                .to_ascii(64, 14)
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact();
+    let h = Harness::default();
+    let mut group = c.benchmark_group("fig456_power");
+    group.sample_size(10);
+    for alg in [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps] {
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.paper_name(), threads),
+                &(alg, threads),
+                |b, &(alg, threads)| {
+                    b.iter(|| {
+                        h.run(RunSpec {
+                            algorithm: alg,
+                            n: 2048,
+                            threads,
+                        })
+                        .pkg_watts
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! **Figure 7** — energy-performance scaling against the linear threshold.
+//! Prints the regenerated figure and per-curve verdicts, then benchmarks
+//! curve construction and classification (Equations 5/6).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerscale::harness::{figures, tables, Harness};
+
+fn bench(c: &mut Criterion) {
+    let h = Harness::default();
+    let results = h.paper_matrix();
+    println!(
+        "\n{}",
+        figures::fig7_ep_scaling(&results, &tables::PAPER_SIZES, &tables::PAPER_THREADS)
+            .to_ascii(64, 18)
+    );
+    for alg in powerscale::harness::experiment::ALL_ALGORITHMS {
+        for n in tables::PAPER_SIZES {
+            let curve = figures::ep_curve(&results, alg, n, &tables::PAPER_THREADS);
+            println!(
+                "  {:<9} n={n:<5} {:?} (mean excess {:+.2})",
+                alg.paper_name(),
+                curve.overall(),
+                curve.mean_excess()
+            );
+        }
+    }
+    println!();
+
+    let mut group = c.benchmark_group("fig7");
+    group.bench_function("ep_curves_all", |b| {
+        b.iter(|| {
+            figures::fig7_ep_scaling(&results, &tables::PAPER_SIZES, &tables::PAPER_THREADS)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Real-execution kernel benchmarks: the raw performance layer under the
+//! paper's study. Measures the naive oracle, the unpacked leaf solver,
+//! the blocked/packed DGEMM (sequential and pooled), and the Strassen/CAPS
+//! recursions on the host CPU.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use powerscale::prelude::*;
+
+fn operands(n: usize) -> (powerscale::matrix::Matrix, powerscale::matrix::Matrix) {
+    let mut gen = MatrixGen::new(42);
+    (gen.paper_operand(n), gen.paper_operand(n))
+}
+
+fn bench_multiply_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiply_kernels");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let (a, b) = operands(n);
+        let flops = 2 * (n as u64).pow(3);
+        group.throughput(Throughput::Elements(flops));
+
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| powerscale::gemm::naive::naive_mm(&a.view(), &b.view()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("leaf", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut c = powerscale::matrix::Matrix::zeros(n, n);
+                powerscale::gemm::leaf::leaf_gemm(&a.view(), &b.view(), &mut c.view_mut(), None)
+                    .unwrap();
+                c
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_seq", n), &n, |bch, _| {
+            bch.iter(|| powerscale::gemm::multiply(&a.view(), &b.view()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_paths");
+    group.sample_size(10);
+    let n = 256;
+    let (a, b) = operands(n);
+    let pool = ThreadPool::new(4);
+
+    group.bench_function("blocked_pooled", |bch| {
+        bch.iter(|| {
+            let mut c = powerscale::matrix::Matrix::zeros(n, n);
+            powerscale::gemm::dgemm(
+                1.0,
+                &a.view(),
+                &b.view(),
+                0.0,
+                &mut c.view_mut(),
+                &GemmContext::parallel(&pool),
+            )
+            .unwrap();
+            c
+        })
+    });
+    group.bench_function("strassen_pooled", |bch| {
+        bch.iter(|| {
+            powerscale::strassen::multiply(
+                &a.view(),
+                &b.view(),
+                &StrassenConfig::default(),
+                Some(&pool),
+                None,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("caps_pooled", |bch| {
+        bch.iter(|| {
+            powerscale::caps::multiply(
+                &a.view(),
+                &b.view(),
+                &CapsConfig::default(),
+                Some(&pool),
+                None,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing");
+    let (a, _) = operands(256);
+    let sub = a.sub_view((0, 0), (64, 256)).unwrap();
+    let mut buf = vec![0.0f64; powerscale::gemm::pack::packed_a_len(64, 256)];
+    group.bench_function("pack_a_64x256", |bch| {
+        bch.iter(|| powerscale::gemm::pack::pack_a(&sub, &mut buf))
+    });
+    let bsub = a.sub_view((0, 0), (256, 64)).unwrap();
+    let mut bbuf = vec![0.0f64; powerscale::gemm::pack::packed_b_len(256, 64)];
+    group.bench_function("pack_b_256x64", |bch| {
+        bch.iter(|| powerscale::gemm::pack::pack_b(&bsub, &mut bbuf))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench_multiply_kernels, bench_parallel_paths, bench_packing
+}
+criterion_main!(benches);

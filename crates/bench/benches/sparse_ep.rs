@@ -1,0 +1,64 @@
+//! Sparse-format EP study bench (the paper's §VIII future work): prints
+//! the per-format study on three matrix structures and benchmarks SpMV
+//! kernels plus the study pipeline.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powerscale::machine::presets::e3_1225;
+use powerscale::pool::ThreadPool;
+use powerscale::sparse::{cost::SpmvStats, spmv, study, Csr, Ell, SparseGen};
+
+fn print_artifact() {
+    let machine = e3_1225();
+    let threads = [1usize, 2, 3, 4];
+    let mut gen = SparseGen::new(2015);
+    for (name, coo) in [
+        ("uniform 1%", gen.uniform(4000, 4000, 0.01)),
+        ("banded bw=8", gen.banded(4000, 8)),
+        ("power-law avg 12", gen.power_law(4000, 12)),
+    ] {
+        println!("\n== {name} ({} nnz) ==", coo.nnz());
+        let s = study::run_study(&SpmvStats::of(&coo), &machine, &threads, 500);
+        println!("{}", s.to_markdown(&threads));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact();
+    let mut gen = SparseGen::new(1);
+    let coo = gen.uniform(2000, 2000, 0.01);
+    let x = gen.vector(2000);
+    let csr = Csr::from_coo(&coo);
+    let ell = Ell::from_coo(&coo);
+    let pool = ThreadPool::new(4);
+
+    let mut group = c.benchmark_group("spmv_kernels");
+    group.bench_function("coo", |b| b.iter(|| spmv::coo_spmv(&coo, &x, None)));
+    group.bench_function("csr_seq", |b| b.iter(|| spmv::csr_spmv(&csr, &x, None, None)));
+    group.bench_function("csr_par", |b| {
+        b.iter(|| spmv::csr_spmv(&csr, &x, Some(&pool), None))
+    });
+    group.bench_function("ell_seq", |b| b.iter(|| spmv::ell_spmv(&ell, &x, None, None)));
+    group.finish();
+
+    let machine = e3_1225();
+    let stats = SpmvStats::of(&coo);
+    let mut group = c.benchmark_group("sparse_study");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("study", threads), &threads, |b, &_t| {
+            b.iter(|| study::run_study(&stats, &machine, &[1, 2, 3, 4], 100))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

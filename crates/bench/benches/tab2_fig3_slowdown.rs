@@ -1,0 +1,60 @@
+//! **Table II / Figure 3** — Strassen & CAPS slowdown vs the blocked
+//! baseline. Prints the regenerated table (with paper reference), then
+//! benchmarks the simulated runs that produce it.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powerscale::harness::{tables, Algorithm, Harness, RunSpec};
+
+fn print_artifact() {
+    let h = Harness::default();
+    let results = h.paper_matrix();
+    println!("\n{}", tables::slowdown_table(&results, &tables::PAPER_SIZES, &tables::PAPER_THREADS).to_markdown());
+    println!(
+        "paper reference: Strassen {:?} | CAPS {:?}\n",
+        tables::paper::TABLE2_STRASSEN,
+        tables::paper::TABLE2_CAPS
+    );
+    println!(
+        "{}",
+        powerscale::harness::figures::fig3_slowdown(
+            &results,
+            &tables::PAPER_SIZES,
+            &tables::PAPER_THREADS
+        )
+        .to_ascii(64, 16)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact();
+    let h = Harness::default();
+    let mut group = c.benchmark_group("tab2_fig3");
+    group.sample_size(10);
+    for alg in [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate_1024x4t", alg.paper_name()),
+            &alg,
+            |b, &alg| {
+                b.iter(|| {
+                    h.run(RunSpec {
+                        algorithm: alg,
+                        n: 1024,
+                        threads: 4,
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! **Table IV** — average energy performance (Equation 1) per problem
+//! size. Prints the regenerated table, then benchmarks the EP computation
+//! over a full result set.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerscale::harness::{tables, Harness};
+use powerscale::model::{ep_ratio, PhaseMeasure};
+
+fn bench(c: &mut Criterion) {
+    let h = Harness::default();
+    let results = h.paper_matrix();
+    println!(
+        "\n{}",
+        tables::ep_table(&results, &tables::PAPER_SIZES, &tables::PAPER_THREADS).to_markdown()
+    );
+    println!(
+        "paper: OpenBLAS {:?}\n       Strassen {:?}\n       CAPS {:?}\n",
+        tables::paper::TABLE4_OPENBLAS,
+        tables::paper::TABLE4_STRASSEN,
+        tables::paper::TABLE4_CAPS
+    );
+
+    let mut group = c.benchmark_group("tab4_ep");
+    group.bench_function("ep_table_from_results", |b| {
+        b.iter(|| tables::ep_table(&results, &tables::PAPER_SIZES, &tables::PAPER_THREADS))
+    });
+    group.bench_function("eq1_single", |b| {
+        let m = PhaseMeasure::new(35.3, 0.0055);
+        b.iter(|| ep_ratio(&m))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Shared helpers for the powerscale Criterion benches.
+//!
+//! Each bench target regenerates one of the paper's artifacts (printed
+//! once, before timing) and then benchmarks the code that produces it.
+//! See `DESIGN.md` §4 for the experiment-to-bench index.
+
+use powerscale::harness::{Harness, RunResult};
+
+/// Runs the execution matrix once for table/figure printing. Kept here so
+/// every bench prints from identical data.
+pub fn matrix_results(h: &Harness, sizes: &[usize], threads: &[usize]) -> Vec<RunResult> {
+    h.run_matrix(sizes, threads)
+}
+
+/// Reduced matrix used where a bench only needs shape, not the full
+/// 48-run sweep.
+pub const QUICK_SIZES: [usize; 2] = [256, 512];
+
+/// The paper's thread counts.
+pub const THREADS: [usize; 4] = [1, 2, 3, 4];

@@ -1,0 +1,39 @@
+//! A set-associative, LRU, write-back cache-hierarchy simulator.
+//!
+//! The blocked-DGEMM baseline in *Communication Avoiding Power Scaling* owes
+//! its performance (and its power draw) to how well its blocking factors fit
+//! the cache hierarchy of the paper's Haswell testbed. Since this
+//! reproduction runs on a simulated machine, we need a faithful source of
+//! *miss rates per kernel*: this crate simulates the cache hierarchy at line
+//! granularity, and `powerscale-machine` uses the resulting
+//! [`HierarchyStats`] to convert kernel work into memory traffic, time and
+//! energy.
+//!
+//! The simulator is deliberately classic — physical-address streams, LRU
+//! replacement per set, write-back/write-allocate, inclusive levels — because
+//! that is the model the paper's blocking analysis (Algorithm 1) assumes.
+//!
+//! # Example
+//!
+//! ```
+//! use powerscale_cachesim::{Cache, CacheConfig};
+//!
+//! // A 4 KiB direct-mapped cache with 64-byte lines.
+//! let mut c = Cache::new(CacheConfig::new(4096, 64, 1));
+//! assert!(!c.access(0x0, false));  // cold miss
+//! assert!(c.access(0x8, false));   // same line: hit
+//! assert!(!c.access(0x1000, false)); // conflicts with line 0 (same set)
+//! assert!(!c.access(0x0, false));  // evicted: miss again
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod hierarchy;
+pub mod presets;
+pub mod trace;
+
+pub use cache::{Cache, CacheStats};
+pub use config::CacheConfig;
+pub use hierarchy::{Hierarchy, HierarchyStats, LevelStats};

@@ -1,0 +1,61 @@
+//! Cache geometries of the paper's testbed and other reference machines.
+
+use crate::config::CacheConfig;
+use crate::hierarchy::Hierarchy;
+
+/// Cache hierarchy of the Intel E3-1225 v3 (Haswell) used by the paper:
+/// 32 KiB 8-way L1D, 256 KiB 8-way L2, 8 MiB 16-way shared L3, 64-byte
+/// lines. The paper's Section V cites "8MB of cache" on a quad core part.
+pub fn e3_1225_caches() -> Vec<CacheConfig> {
+    vec![
+        CacheConfig::new(32 * 1024, 64, 8),
+        CacheConfig::new(256 * 1024, 64, 8),
+        CacheConfig::new(8 * 1024 * 1024, 64, 16),
+    ]
+}
+
+/// A [`Hierarchy`] instantiating [`e3_1225_caches`].
+pub fn e3_1225_hierarchy() -> Hierarchy {
+    Hierarchy::new(&e3_1225_caches())
+}
+
+/// A deliberately small hierarchy for fast unit and property tests:
+/// 4 KiB L1, 32 KiB L2, 64-byte lines.
+pub fn test_hierarchy() -> Hierarchy {
+    Hierarchy::new(&[
+        CacheConfig::new(4 * 1024, 64, 4),
+        CacheConfig::new(32 * 1024, 64, 8),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haswell_geometry() {
+        let cfgs = e3_1225_caches();
+        assert_eq!(cfgs.len(), 3);
+        assert_eq!(cfgs[0].num_sets(), 64);
+        assert_eq!(cfgs[1].num_sets(), 512);
+        assert_eq!(cfgs[2].size_bytes, 8 * 1024 * 1024);
+        let h = e3_1225_hierarchy();
+        assert_eq!(h.depth(), 3);
+    }
+
+    #[test]
+    fn llc_holds_working_set_that_overflows_l2() {
+        let mut h = e3_1225_hierarchy();
+        // 1 MiB working set: misses L2 (256 KiB) but fits L3.
+        let lines = 1024 * 1024 / 64;
+        for l in 0..lines as u64 {
+            h.access(l * 64, false);
+        }
+        // Second pass: everything hits in L3 or better.
+        let before = h.stats().dram_read_bytes;
+        for l in 0..lines as u64 {
+            assert!(h.access(l * 64, false).is_some());
+        }
+        assert_eq!(h.stats().dram_read_bytes, before);
+    }
+}

@@ -1,0 +1,192 @@
+//! Address-trace generators for matrix access patterns.
+//!
+//! These produce the byte-address streams of the kernels under study, so the
+//! machine model can be parameterised with *measured* (simulated) miss rates
+//! for representative block sizes rather than guessed constants. Traces are
+//! iterators of `(address, is_write)` so they can be streamed through a
+//! [`crate::Hierarchy`] without materialising gigabyte-scale vectors.
+
+use crate::hierarchy::{Hierarchy, HierarchyStats};
+
+/// Descriptor of a row-major `rows × cols` f64 matrix at a base address.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixLayout {
+    /// Base byte address.
+    pub base: u64,
+    /// Rows.
+    pub rows: u64,
+    /// Columns (= leading dimension; traces model packed operands).
+    pub cols: u64,
+}
+
+impl MatrixLayout {
+    /// Byte address of element `(i, j)`.
+    #[inline]
+    pub fn addr(&self, i: u64, j: u64) -> u64 {
+        self.base + (i * self.cols + j) * 8
+    }
+
+    /// Footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.rows * self.cols * 8
+    }
+
+    /// A layout placed immediately after `self` (operands packed
+    /// back-to-back, 64-byte aligned).
+    pub fn next_after(&self, rows: u64, cols: u64) -> MatrixLayout {
+        let base = (self.base + self.bytes() + 63) & !63;
+        MatrixLayout { base, rows, cols }
+    }
+}
+
+/// Streams the address trace of a naive triple-loop `C += A·B` (ijk order)
+/// through `h`. All three matrices are `n × n`.
+pub fn run_naive_gemm_trace(h: &mut Hierarchy, n: u64) -> HierarchyStats {
+    let a = MatrixLayout {
+        base: 0,
+        rows: n,
+        cols: n,
+    };
+    let b = a.next_after(n, n);
+    let c = b.next_after(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            h.access(c.addr(i, j), false);
+            for k in 0..n {
+                h.access(a.addr(i, k), false);
+                h.access(b.addr(k, j), false);
+            }
+            h.access(c.addr(i, j), true);
+        }
+    }
+    h.stats()
+}
+
+/// Streams the address trace of a blocked `C += A·B` with square block size
+/// `bs` (the paper's Algorithm 1) through `h`.
+///
+/// # Panics
+/// Panics unless `bs` divides `n`.
+pub fn run_blocked_gemm_trace(h: &mut Hierarchy, n: u64, bs: u64) -> HierarchyStats {
+    assert!(bs > 0 && n % bs == 0, "block size {bs} must divide n {n}");
+    let a = MatrixLayout {
+        base: 0,
+        rows: n,
+        cols: n,
+    };
+    let b = a.next_after(n, n);
+    let c = b.next_after(n, n);
+    let nb = n / bs;
+    for bi in 0..nb {
+        for bj in 0..nb {
+            // "Read C(i,j) into cache" (Algorithm 1)
+            for i in 0..bs {
+                for j in 0..bs {
+                    h.access(c.addr(bi * bs + i, bj * bs + j), false);
+                }
+            }
+            for bk in 0..nb {
+                // Inner block product: A(bi,bk) · B(bk,bj).
+                for i in 0..bs {
+                    for k in 0..bs {
+                        h.access(a.addr(bi * bs + i, bk * bs + k), false);
+                        for j in 0..bs {
+                            h.access(b.addr(bk * bs + k, bj * bs + j), false);
+                        }
+                    }
+                }
+            }
+            // "Write back C(i,j) to memory."
+            for i in 0..bs {
+                for j in 0..bs {
+                    h.access(c.addr(bi * bs + i, bj * bs + j), true);
+                }
+            }
+        }
+    }
+    h.stats()
+}
+
+/// Streams an elementwise add pass `C = A + B` (the Strassen quadrant-add
+/// traffic pattern) through `h`.
+pub fn run_add_trace(h: &mut Hierarchy, rows: u64, cols: u64) -> HierarchyStats {
+    let a = MatrixLayout {
+        base: 0,
+        rows,
+        cols,
+    };
+    let b = a.next_after(rows, cols);
+    let c = b.next_after(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            h.access(a.addr(i, j), false);
+            h.access(b.addr(i, j), false);
+            h.access(c.addr(i, j), true);
+        }
+    }
+    h.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::test_hierarchy;
+
+    #[test]
+    fn layout_addressing() {
+        let m = MatrixLayout {
+            base: 1024,
+            rows: 4,
+            cols: 8,
+        };
+        assert_eq!(m.addr(0, 0), 1024);
+        assert_eq!(m.addr(1, 0), 1024 + 64);
+        assert_eq!(m.bytes(), 256);
+        let n = m.next_after(2, 2);
+        assert_eq!(n.base % 64, 0);
+        assert!(n.base >= m.base + m.bytes());
+    }
+
+    #[test]
+    fn add_trace_is_streaming() {
+        let mut h = test_hierarchy();
+        let s = run_add_trace(&mut h, 64, 64);
+        // Three operands of 32 KiB each stream through: ~1 miss per line.
+        let expected_lines = 3 * 64 * 64 * 8 / 64;
+        let l1 = s.levels[0].stats;
+        assert_eq!(l1.misses, expected_lines);
+    }
+
+    #[test]
+    fn blocked_beats_naive_on_dram_traffic() {
+        let n = 96; // 96x96 f64 = 72 KiB per operand; exceeds the 32 KiB L2
+        let mut hn = test_hierarchy();
+        let naive = run_naive_gemm_trace(&mut hn, n);
+        let mut hb = test_hierarchy();
+        let blocked = run_blocked_gemm_trace(&mut hb, n, 8);
+        assert!(
+            blocked.dram_bytes() < naive.dram_bytes(),
+            "blocked {} >= naive {}",
+            blocked.dram_bytes(),
+            naive.dram_bytes()
+        );
+    }
+
+    #[test]
+    fn blocked_traffic_shrinks_with_better_blocking() {
+        // Up to the L1-fitting point, bigger blocks = fewer DRAM bytes.
+        let n = 64;
+        let mut t4 = test_hierarchy();
+        let s4 = run_blocked_gemm_trace(&mut t4, n, 4);
+        let mut t8 = test_hierarchy();
+        let s8 = run_blocked_gemm_trace(&mut t8, n, 8);
+        assert!(s8.dram_bytes() <= s4.dram_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn blocked_requires_divisible_n() {
+        let mut h = test_hierarchy();
+        let _ = run_blocked_gemm_trace(&mut h, 10, 3);
+    }
+}

@@ -1,0 +1,85 @@
+//! CAPS configuration.
+
+/// Tuning knobs for the CAPS traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapsConfig {
+    /// Dense-solver cutover dimension (shared with the Strassen study; the
+    /// paper uses 64).
+    pub cutoff: usize,
+    /// Tree depth below which steps are BFS; at or beyond it they are DFS
+    /// (the paper settles on 4 after "much empirical testing").
+    pub cutoff_depth: u32,
+    /// Workers the DFS work-sharing splits loops across (the paper's
+    /// 4-core testbed).
+    pub dfs_ways: usize,
+}
+
+impl Default for CapsConfig {
+    fn default() -> Self {
+        CapsConfig {
+            cutoff: 64,
+            cutoff_depth: 4,
+            dfs_ways: 4,
+        }
+    }
+}
+
+impl CapsConfig {
+    /// The Strassen configuration equivalent to this one (classic variant,
+    /// task spawning bounded by the BFS depth) — used to share the cost
+    /// recurrences.
+    pub fn as_strassen(&self) -> powerscale_strassen::StrassenConfig {
+        powerscale_strassen::StrassenConfig {
+            cutoff: self.cutoff,
+            task_depth: self.cutoff_depth,
+            variant: powerscale_strassen::Variant::Classic,
+        }
+    }
+
+    /// Validates the knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cutoff < 2 {
+            return Err(format!("cutoff {} must be at least 2", self.cutoff));
+        }
+        if self.dfs_ways == 0 {
+            return Err("dfs_ways must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CapsConfig::default();
+        assert_eq!(c.cutoff, 64);
+        assert_eq!(c.cutoff_depth, 4);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn strassen_equivalent() {
+        let s = CapsConfig::default().as_strassen();
+        assert_eq!(s.cutoff, 64);
+        assert_eq!(s.task_depth, 4);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(CapsConfig {
+            cutoff: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CapsConfig {
+            dfs_ways: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,381 @@
+//! The CAPS executor: BFS task spawning above the cutoff depth, DFS
+//! work-sharing below it.
+
+use crate::config::CapsConfig;
+use powerscale_counters::{Event, EventSet};
+use powerscale_gemm::leaf::leaf_gemm;
+use powerscale_matrix::{
+    ops, pad, DimError, DimResult, Matrix, MatrixView, MatrixViewMut,
+};
+use powerscale_pool::ThreadPool;
+
+/// `A · B` by the CAPS hybrid traversal.
+///
+/// Semantics mirror [`powerscale_strassen::multiply`]: square equal-shaped
+/// operands, zero-padding to a `base · 2^k` dimension when necessary.
+pub fn multiply(
+    a: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    cfg: &CapsConfig,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) -> DimResult<Matrix> {
+    cfg.validate().map_err(|_| DimError::NotDivisible {
+        op: "caps",
+        dim: cfg.cutoff,
+        by: 2,
+    })?;
+    if !a.is_square() || !b.is_square() || a.shape() != b.shape() {
+        return Err(DimError::Mismatch {
+            op: "caps",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Matrix::zeros(0, 0));
+    }
+    let target = pad::next_recursive_size(n, cfg.cutoff);
+    if target == n {
+        let mut c = Matrix::zeros(n, n);
+        rec(*a, *b, &mut c.view_mut(), 0, cfg, pool, events);
+        Ok(c)
+    } else {
+        let pa = pad::pad_to(a, target);
+        let pb = pad::pad_to(b, target);
+        let mut pc = Matrix::zeros(target, target);
+        rec(pa.view(), pb.view(), &mut pc.view_mut(), 0, cfg, pool, events);
+        Ok(pad::crop(&pc.view(), n, n))
+    }
+}
+
+fn record_add(events: Option<&EventSet>, h: usize) {
+    if let Some(set) = events {
+        let hh = (h * h) as u64;
+        set.record(Event::FpAdds, hh);
+        set.record(Event::BytesRead, 16 * hh);
+        set.record(Event::BytesWritten, 8 * hh);
+    }
+}
+
+/// Work-shared `dst += a · b` over row bands: the DFS leaf step, where all
+/// workers cooperate on one dense product (OpenMP work-sharing in the
+/// paper).
+fn shared_leaf(
+    a: MatrixView<'_>,
+    b: MatrixView<'_>,
+    c: &mut MatrixViewMut<'_>,
+    ways: usize,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) {
+    match pool {
+        Some(p) if ways > 1 && c.rows() >= 2 * ways => {
+            let bands = c.reborrow().split_row_bands(ways);
+            let mut row0 = 0usize;
+            let mut jobs: Vec<(MatrixView<'_>, MatrixViewMut<'_>)> = Vec::new();
+            for band in bands {
+                let rows = band.rows();
+                let asub = a
+                    .sub_view((row0, 0), (rows, a.cols()))
+                    .expect("band rows within A");
+                jobs.push((asub, band));
+                row0 += rows;
+            }
+            p.scope(|s| {
+                for (asub, mut band) in jobs {
+                    s.spawn(move |_| {
+                        leaf_gemm(&asub, &b, &mut band, events)
+                            .expect("band shapes valid by construction");
+                    });
+                }
+            });
+        }
+        _ => {
+            leaf_gemm(&a, &b, c, events).expect("leaf shapes valid by construction");
+        }
+    }
+}
+
+/// `c += a · b`, hybrid traversal.
+fn rec(
+    a: MatrixView<'_>,
+    b: MatrixView<'_>,
+    c: &mut MatrixViewMut<'_>,
+    depth: u32,
+    cfg: &CapsConfig,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) {
+    let n = a.rows();
+    if n <= cfg.cutoff || n % 2 != 0 {
+        // Dense cutover. In DFS mode every worker cooperates on it.
+        shared_leaf(a, b, c, cfg.dfs_ways, pool, events);
+        return;
+    }
+    if let Some(set) = events {
+        set.record(Event::RecursionLevels, 1);
+    }
+    let bfs = depth < cfg.cutoff_depth && pool.is_some();
+
+    let h = n / 2;
+    let qa = a.quadrants().expect("even dimension");
+    let qb = b.quadrants().expect("even dimension");
+    let (a11, a12, a21, a22) = (qa.a11, qa.a12, qa.a21, qa.a22);
+    let (b11, b12, b21, b22) = (qb.a11, qb.a12, qb.a21, qb.a22);
+
+    let mut q: Vec<Matrix> = (0..7).map(|_| Matrix::zeros(h, h)).collect();
+    {
+        let mut slots = q.iter_mut();
+        let q1 = slots.next().unwrap();
+        let q2 = slots.next().unwrap();
+        let q3 = slots.next().unwrap();
+        let q4 = slots.next().unwrap();
+        let q5 = slots.next().unwrap();
+        let q6 = slots.next().unwrap();
+        let q7 = slots.next().unwrap();
+        let d = depth + 1;
+        let products: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(move || {
+                let tl = ops::add(&a11, &a22).expect("quadrant shapes");
+                let tr = ops::add(&b11, &b22).expect("quadrant shapes");
+                record_add(events, h);
+                record_add(events, h);
+                rec(tl.view(), tr.view(), &mut q1.view_mut(), d, cfg, pool, events);
+            }),
+            Box::new(move || {
+                let tl = ops::add(&a21, &a22).expect("quadrant shapes");
+                record_add(events, h);
+                rec(tl.view(), b11, &mut q2.view_mut(), d, cfg, pool, events);
+            }),
+            Box::new(move || {
+                let tr = ops::sub(&b12, &b22).expect("quadrant shapes");
+                record_add(events, h);
+                rec(a11, tr.view(), &mut q3.view_mut(), d, cfg, pool, events);
+            }),
+            Box::new(move || {
+                let tr = ops::sub(&b21, &b11).expect("quadrant shapes");
+                record_add(events, h);
+                rec(a22, tr.view(), &mut q4.view_mut(), d, cfg, pool, events);
+            }),
+            Box::new(move || {
+                let tl = ops::add(&a11, &a12).expect("quadrant shapes");
+                record_add(events, h);
+                rec(tl.view(), b22, &mut q5.view_mut(), d, cfg, pool, events);
+            }),
+            Box::new(move || {
+                let tl = ops::sub(&a21, &a11).expect("quadrant shapes");
+                let tr = ops::add(&b11, &b12).expect("quadrant shapes");
+                record_add(events, h);
+                record_add(events, h);
+                rec(tl.view(), tr.view(), &mut q6.view_mut(), d, cfg, pool, events);
+            }),
+            Box::new(move || {
+                let tl = ops::sub(&a12, &a22).expect("quadrant shapes");
+                let tr = ops::add(&b21, &b22).expect("quadrant shapes");
+                record_add(events, h);
+                record_add(events, h);
+                rec(tl.view(), tr.view(), &mut q7.view_mut(), d, cfg, pool, events);
+            }),
+        ];
+        if bfs {
+            // BFS step: the seven sub-problems fan out to disjoint workers
+            // with their own buffers; operands are placed once.
+            if let Some(set) = events {
+                set.record(Event::TasksSpawned, 7);
+                set.record(Event::CommBytes, 7 * 2 * 8 * (h * h) as u64);
+            }
+            pool.expect("bfs implies pool").scope(|s| {
+                for job in products {
+                    s.spawn(move |_| job());
+                }
+            });
+        } else {
+            // DFS step: the seven sub-problems in sequence; each is fully
+            // parallelised internally (work-sharing) and no data migrates.
+            for job in products {
+                job();
+            }
+        }
+    }
+
+    let qc = c.reborrow().quadrants().expect("even dimension");
+    let (mut c11, mut c12, mut c21, mut c22) = (qc.a11, qc.a12, qc.a21, qc.a22);
+    let qv: Vec<MatrixView<'_>> = q.iter().map(|m| m.view()).collect();
+    let apply = |dst: &mut MatrixViewMut<'_>, src: &MatrixView<'_>, sign: f64| {
+        if sign > 0.0 {
+            ops::add_assign(dst, src).expect("quadrant shapes");
+        } else {
+            ops::sub_assign(dst, src).expect("quadrant shapes");
+        }
+        record_add(events, h);
+    };
+    apply(&mut c11, &qv[0], 1.0);
+    apply(&mut c11, &qv[3], 1.0);
+    apply(&mut c11, &qv[4], -1.0);
+    apply(&mut c11, &qv[6], 1.0);
+    apply(&mut c12, &qv[2], 1.0);
+    apply(&mut c12, &qv[4], 1.0);
+    apply(&mut c21, &qv[1], 1.0);
+    apply(&mut c21, &qv[3], 1.0);
+    apply(&mut c22, &qv[0], 1.0);
+    apply(&mut c22, &qv[1], -1.0);
+    apply(&mut c22, &qv[2], 1.0);
+    apply(&mut c22, &qv[5], 1.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerscale_gemm::naive::naive_mm;
+    use powerscale_matrix::norms::rel_frobenius_error;
+    use powerscale_matrix::MatrixGen;
+
+    fn check(n: usize, cfg: &CapsConfig, pool: Option<&ThreadPool>, seed: u64) {
+        let mut gen = MatrixGen::new(seed);
+        let a = gen.paper_operand(n);
+        let b = gen.paper_operand(n);
+        let c = multiply(&a.view(), &b.view(), cfg, pool, None).unwrap();
+        let r = naive_mm(&a.view(), &b.view()).unwrap();
+        let err = rel_frobenius_error(&c.view(), &r.view());
+        assert!(err < 1e-11, "n={n}: err {err}");
+    }
+
+    #[test]
+    fn matches_naive_sequential() {
+        let cfg = CapsConfig {
+            cutoff: 8,
+            ..Default::default()
+        };
+        for n in [8, 16, 32, 64, 100] {
+            check(n, &cfg, None, n as u64);
+        }
+    }
+
+    #[test]
+    fn matches_naive_parallel_bfs_and_dfs() {
+        // cutoff_depth 1 forces DFS below the first level.
+        let cfg = CapsConfig {
+            cutoff: 8,
+            cutoff_depth: 1,
+            dfs_ways: 3,
+        };
+        let pool = ThreadPool::new(3);
+        for n in [32, 64, 128] {
+            check(n, &cfg, Some(&pool), n as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let cfg = CapsConfig {
+            cutoff: 16,
+            ..Default::default()
+        };
+        let mut gen = MatrixGen::new(42);
+        let a = gen.paper_operand(128);
+        let b = gen.paper_operand(128);
+        let seq = multiply(&a.view(), &b.view(), &cfg, None, None).unwrap();
+        let pool = ThreadPool::new(4);
+        let par = multiply(&a.view(), &b.view(), &cfg, Some(&pool), None).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn caps_equals_strassen_results() {
+        // Same arithmetic, different schedule: identical products.
+        let mut gen = MatrixGen::new(7);
+        let a = gen.paper_operand(64);
+        let b = gen.paper_operand(64);
+        let caps = multiply(
+            &a.view(),
+            &b.view(),
+            &CapsConfig {
+                cutoff: 16,
+                ..Default::default()
+            },
+            None,
+            None,
+        )
+        .unwrap();
+        let strassen = powerscale_strassen::multiply(
+            &a.view(),
+            &b.view(),
+            &powerscale_strassen::StrassenConfig {
+                cutoff: 16,
+                ..Default::default()
+            },
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(caps, strassen);
+    }
+
+    #[test]
+    fn bfs_records_comm_dfs_does_not() {
+        use powerscale_counters::EventSet;
+        let mut gen = MatrixGen::new(9);
+        let a = gen.paper_operand(64);
+        let b = gen.paper_operand(64);
+        let pool = ThreadPool::new(2);
+
+        // All-BFS: depth bound high.
+        let mut set_bfs = EventSet::with_all_events();
+        set_bfs.start().unwrap();
+        let _ = multiply(
+            &a.view(),
+            &b.view(),
+            &CapsConfig {
+                cutoff: 16,
+                cutoff_depth: 8,
+                dfs_ways: 2,
+            },
+            Some(&pool),
+            Some(&set_bfs),
+        )
+        .unwrap();
+        let p_bfs = set_bfs.stop().unwrap();
+        assert!(p_bfs.get(Event::CommBytes) > 0);
+        assert!(p_bfs.get(Event::TasksSpawned) >= 7);
+
+        // All-DFS: depth bound zero — no spawn-comm at all.
+        let mut set_dfs = EventSet::with_all_events();
+        set_dfs.start().unwrap();
+        let _ = multiply(
+            &a.view(),
+            &b.view(),
+            &CapsConfig {
+                cutoff: 16,
+                cutoff_depth: 0,
+                dfs_ways: 2,
+            },
+            Some(&pool),
+            Some(&set_dfs),
+        )
+        .unwrap();
+        let p_dfs = set_dfs.stop().unwrap();
+        assert_eq!(p_dfs.get(Event::CommBytes), 0);
+        assert_eq!(p_dfs.get(Event::TasksSpawned), 0);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = Matrix::zeros(4, 6);
+        let b = Matrix::zeros(6, 4);
+        assert!(multiply(&a.view(), &b.view(), &CapsConfig::default(), None, None).is_err());
+    }
+
+    #[test]
+    fn padding_path() {
+        let cfg = CapsConfig {
+            cutoff: 8,
+            ..Default::default()
+        };
+        check(31, &cfg, None, 31);
+        check(100, &cfg, None, 100);
+    }
+
+    use powerscale_matrix::Matrix;
+}

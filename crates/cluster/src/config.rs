@@ -1,0 +1,76 @@
+//! Cluster description.
+
+use powerscale_machine::MachineConfig;
+
+/// A homogeneous cluster: `nodes` copies of one SMP joined by a fabric.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClusterConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-node machine (the paper insists on the same microarchitecture
+    /// as the SMP study for fair comparison).
+    pub node: MachineConfig,
+    /// Per-node NIC bandwidth, bytes/second, each direction.
+    pub link_bw_bytes_per_s: f64,
+    /// Aggregate fabric (bisection) bandwidth shared by all transfers.
+    pub net_bw_bytes_per_s: f64,
+    /// Per-message latency in seconds (paid once per inter-node transfer).
+    pub link_latency_s: f64,
+    /// Idle power of one NIC (W).
+    pub nic_idle_w: f64,
+    /// Dynamic network energy per byte moved (NIC + switch port, J/B).
+    pub nic_joule_per_byte: f64,
+    /// Static switch power for the whole fabric (W).
+    pub switch_w: f64,
+}
+
+impl ClusterConfig {
+    /// Total cores across the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.node.cores
+    }
+
+    /// Static power of the whole cluster when idle (nodes idle + network).
+    pub fn idle_watts(&self) -> f64 {
+        let node_idle = self.node.power.pkg_base_w
+            + self.node.power.dram_static_w
+            + self.node.cores as f64 * self.node.power.core_idle_w;
+        self.nodes as f64 * (node_idle + self.nic_idle_w) + self.switch_w
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("cluster needs at least one node".into());
+        }
+        if self.link_bw_bytes_per_s <= 0.0 || self.net_bw_bytes_per_s <= 0.0 {
+            return Err("network bandwidths must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets::e3_1225_cluster;
+
+    #[test]
+    fn derived_quantities() {
+        let c = e3_1225_cluster(4);
+        c.validate().unwrap();
+        assert_eq!(c.total_cores(), 16);
+        // Idle floor: 4 nodes of ~14 W + NICs + switch.
+        let idle = c.idle_watts();
+        assert!(idle > 40.0 && idle < 120.0, "idle {idle}");
+    }
+
+    #[test]
+    fn zero_nodes_invalid() {
+        let mut c = e3_1225_cluster(1);
+        c.nodes = 0;
+        assert!(c.validate().is_err());
+    }
+}

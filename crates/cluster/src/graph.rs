@@ -1,0 +1,165 @@
+//! Distributed task graphs: placement-aware DAGs.
+
+use powerscale_machine::{TaskCost, TaskId};
+
+/// One task with explicit node placement and network ingress.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DistTask {
+    /// Local work descriptor (its `comm_bytes` are *intra-node*).
+    pub cost: TaskCost,
+    /// Node index this task is pinned to.
+    pub node: usize,
+    /// Bytes that must arrive over the fabric before the task starts
+    /// (operands produced on other nodes).
+    pub net_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub(crate) struct DistNode {
+    pub(crate) task: DistTask,
+    pub(crate) deps: Vec<TaskId>,
+}
+
+/// A placement-aware dependency DAG (acyclic by construction: deps must
+/// precede).
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DistGraph {
+    pub(crate) nodes: Vec<DistNode>,
+    /// Number of cluster nodes this graph targets (max placement + 1).
+    pub(crate) placement_nodes: usize,
+}
+
+impl DistGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        DistGraph::default()
+    }
+
+    /// Adds a task; returns its id.
+    ///
+    /// # Panics
+    /// Panics if a dependency id does not precede the new task.
+    pub fn add(&mut self, task: DistTask, deps: &[TaskId]) -> TaskId {
+        let id = TaskId::from_index(self.nodes.len());
+        for d in deps {
+            assert!(d.index() < id.index(), "dependency must precede task");
+        }
+        self.placement_nodes = self.placement_nodes.max(task.node + 1);
+        self.nodes.push(DistNode {
+            task,
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The task at `id`.
+    pub fn task(&self, id: TaskId) -> &DistTask {
+        &self.nodes[id.index()].task
+    }
+
+    /// Dependencies of `id`.
+    pub fn deps(&self, id: TaskId) -> &[TaskId] {
+        &self.nodes[id.index()].deps
+    }
+
+    /// Highest node index used, plus one.
+    pub fn placement_nodes(&self) -> usize {
+        self.placement_nodes
+    }
+
+    /// Total flops.
+    pub fn total_flops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.task.cost.flops).sum()
+    }
+
+    /// Total fabric traffic in bytes.
+    pub fn total_net_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.task.net_bytes).sum()
+    }
+
+    /// Total flops placed on one node.
+    pub fn node_flops(&self, node: usize) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.task.node == node)
+            .map(|n| n.task.cost.flops)
+            .sum()
+    }
+
+    /// Load imbalance: max node flops over mean node flops (1.0 =
+    /// perfectly balanced). Uses `nodes` as the divisor so unplaced nodes
+    /// count as idle.
+    pub fn imbalance(&self, nodes: usize) -> f64 {
+        let nodes = nodes.max(1);
+        let per: Vec<u64> = (0..nodes).map(|k| self.node_flops(k)).collect();
+        let max = per.iter().copied().max().unwrap_or(0) as f64;
+        let mean = per.iter().sum::<u64>() as f64 / nodes as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerscale_machine::KernelClass;
+
+    fn t(node: usize, flops: u64, net: u64) -> DistTask {
+        DistTask {
+            cost: TaskCost::compute(KernelClass::PackedGemm, flops),
+            node,
+            net_bytes: net,
+        }
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut g = DistGraph::new();
+        let a = g.add(t(0, 100, 0), &[]);
+        let b = g.add(t(2, 50, 64), &[a]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.placement_nodes(), 3);
+        assert_eq!(g.task(b).net_bytes, 64);
+        assert_eq!(g.total_flops(), 150);
+        assert_eq!(g.total_net_bytes(), 64);
+        assert_eq!(g.node_flops(0), 100);
+        assert_eq!(g.node_flops(1), 0);
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let mut g = DistGraph::new();
+        g.add(t(0, 300, 0), &[]);
+        g.add(t(1, 100, 0), &[]);
+        // Over 2 nodes: max 300, mean 200 → 1.5.
+        assert!((g.imbalance(2) - 1.5).abs() < 1e-12);
+        // Over 4 nodes (two idle): mean 100, max 300 → 3.0.
+        assert!((g.imbalance(4) - 3.0).abs() < 1e-12);
+        assert_eq!(DistGraph::new().imbalance(4), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "precede")]
+    fn forward_dep_rejected() {
+        let mut g = DistGraph::new();
+        let a = g.add(t(0, 1, 0), &[]);
+        let bogus = TaskId::from_index(a.index() + 3);
+        g.add(t(0, 1, 0), &[bogus]);
+    }
+}

@@ -1,0 +1,314 @@
+//! Distributed algorithm plans: CAPS across nodes vs a 2D SUMMA baseline.
+
+use crate::config::ClusterConfig;
+use crate::graph::{DistGraph, DistTask};
+use powerscale_caps::CapsConfig;
+use powerscale_machine::{KernelClass, TaskCost, TaskId, TrafficModel};
+use powerscale_strassen::cost as scost;
+
+/// Pre-addition counts per Strassen product (classic formulas).
+const PRE: [u64; 7] = [2, 1, 1, 1, 1, 2, 2];
+/// Combine passes per C quadrant.
+const COMBINE: [u64; 4] = [4, 2, 2, 4];
+/// Products feeding each C quadrant.
+const QUADRANT_INPUTS: [&[usize]; 4] = [&[0, 3, 4, 6], &[2, 4], &[1, 3], &[0, 1, 2, 5]];
+
+/// Distributed CAPS: BFS steps split the seven sub-problems across
+/// disjoint *node groups* (the CAPS papers' scheme — operands move once,
+/// then each group works locally); once a subtree owns a single node, it
+/// runs the whole node-local CAPS there, work-shared across the node's
+/// cores, with zero fabric traffic.
+pub fn dist_caps_graph(n: usize, cluster: &ClusterConfig) -> DistGraph {
+    let mut g = DistGraph::new();
+    if n == 0 {
+        return g;
+    }
+    let cfg = CapsConfig {
+        dfs_ways: cluster.node.cores,
+        ..CapsConfig::default()
+    };
+    let tm = cluster.node.traffic_model();
+    emit_caps(&mut g, n, 0, cluster.nodes, &cfg, &tm, &[]);
+    g
+}
+
+/// Emits one product's subtree on nodes `[base, base + count)`; returns
+/// its sink tasks.
+#[allow(clippy::too_many_arguments)]
+fn emit_caps(
+    g: &mut DistGraph,
+    n: usize,
+    base: usize,
+    count: usize,
+    cfg: &CapsConfig,
+    tm: &TrafficModel,
+    deps: &[TaskId],
+) -> Vec<TaskId> {
+    let scfg = cfg.as_strassen();
+    if count <= 1 || scost::is_leaf(n, cfg.cutoff) {
+        // Node-local execution: the whole subtree as fluid bands across
+        // the node's cores (the SMP study's DFS image).
+        let flops = scost::total_flops(n, &scfg);
+        let dram = scost::dram_bytes_effective(n, &scfg, tm);
+        let ways = cfg.dfs_ways.max(1) as u64;
+        let mut ids = Vec::with_capacity(ways as usize);
+        for w in 0..ways {
+            let f = flops / ways + u64::from(w < flops % ways);
+            let b = dram / ways + u64::from(w < dram % ways);
+            ids.push(g.add(
+                DistTask {
+                    cost: TaskCost::new(KernelClass::LeafGemm, f, b, 0),
+                    node: base,
+                    net_bytes: 0,
+                },
+                deps,
+            ));
+        }
+        return ids;
+    }
+
+    // BFS step across the node group.
+    let h = (n / 2) as u64;
+    let hh = h * h;
+    let per_pass = tm.effective_bytes(3 * 8 * hh, 24 * hh);
+    let mut product_sinks: Vec<Vec<TaskId>> = Vec::with_capacity(7);
+    for (i, &pre) in PRE.iter().enumerate() {
+        // Block-partition the group over the seven children.
+        let child_base = base + (i * count) / 7;
+        let child_count = ((i + 1) * count / 7).max((i * count) / 7 + 1) - (i * count) / 7;
+        // Operands are block-cyclically distributed over the whole group,
+        // so a child group already owns `child_count / count` of each
+        // quadrant; the BFS split ships only the complement, with the
+        // seven linear combinations formed in place by the owners (the
+        // CAPS SC'12 implementation trick). Two operands per product.
+        let missing = 1.0 - child_count as f64 / count as f64;
+        let net = (2.0 * 8.0 * hh as f64 * missing) as u64;
+        let prepare = g.add(
+            DistTask {
+                cost: TaskCost::new(KernelClass::Elementwise, pre * hh, pre * per_pass, 0),
+                node: child_base,
+                net_bytes: net,
+            },
+            deps,
+        );
+        product_sinks.push(emit_caps(
+            g,
+            n / 2,
+            child_base,
+            child_count,
+            cfg,
+            tm,
+            &[prepare],
+        ));
+    }
+    // Combines gather the products back to the group lead.
+    let mut combines = Vec::with_capacity(4);
+    for (q, &passes) in COMBINE.iter().enumerate() {
+        let mut cdeps: Vec<TaskId> = Vec::new();
+        let mut net = 0.0f64;
+        for &pi in QUADRANT_INPUTS[q] {
+            cdeps.extend_from_slice(&product_sinks[pi]);
+            let child_count =
+                ((pi + 1) * count / 7).max((pi * count) / 7 + 1) - (pi * count) / 7;
+            // Results scatter back into the block-cyclic layout: each
+            // producing group keeps its owned share.
+            net += 8.0 * hh as f64 * (1.0 - child_count as f64 / count as f64);
+        }
+        let net = net as u64;
+        cdeps.sort_unstable();
+        cdeps.dedup();
+        combines.push(g.add(
+            DistTask {
+                cost: TaskCost::new(KernelClass::Elementwise, passes * hh, passes * per_pass, 0),
+                node: base,
+                net_bytes: net,
+            },
+            &cdeps,
+        ));
+    }
+    combines
+}
+
+/// 2D SUMMA on a `q × q` node grid (`nodes` must be a perfect square and
+/// `q` must divide `n`): at step `k`, every node receives the `A(i,k)`
+/// and `B(k,j)` blocks it does not own and accumulates a local block
+/// product. This is the classic O(n²/√p)-communication baseline that
+/// the CAPS line of work improves on.
+///
+/// Returns `None` when `nodes` is not a perfect square or `q ∤ n`.
+pub fn summa_graph(n: usize, cluster: &ClusterConfig) -> Option<DistGraph> {
+    let q = (cluster.nodes as f64).sqrt().round() as usize;
+    if q * q != cluster.nodes || q == 0 || n % q != 0 {
+        return None;
+    }
+    let nb = n / q;
+    let tm = cluster.node.traffic_model();
+    let cores = cluster.node.cores.max(1) as u64;
+    let mut g = DistGraph::new();
+    // Per node: chain of q step-task groups (C accumulates).
+    let mut prev_step: Vec<Vec<TaskId>> = vec![Vec::new(); cluster.nodes];
+    for k in 0..q {
+        let mut this_step: Vec<Vec<TaskId>> = vec![Vec::new(); cluster.nodes];
+        for i in 0..q {
+            for j in 0..q {
+                let node = i * q + j;
+                // A(i,k) owned by column k of row i; B(k,j) by row k of
+                // column j. Non-owners receive the block over the fabric.
+                let mut net = 0u64;
+                if j != k {
+                    net += 8 * (nb * nb) as u64;
+                }
+                if i != k {
+                    net += 8 * (nb * nb) as u64;
+                }
+                let flops = 2 * (nb as u64).pow(3);
+                let raw = 32 * (nb * nb) as u64;
+                let dram = tm.effective_bytes(3 * 8 * (nb * nb) as u64, raw);
+                // Work-share the local block product across node cores;
+                // the network ingress is charged to the first band.
+                for w in 0..cores {
+                    let f = flops / cores + u64::from(w < flops % cores);
+                    let b = dram / cores + u64::from(w < dram % cores);
+                    let id = g.add(
+                        DistTask {
+                            cost: TaskCost::new(KernelClass::PackedGemm, f, b, 0),
+                            node,
+                            net_bytes: if w == 0 { net } else { 0 },
+                        },
+                        &prev_step[node],
+                    );
+                    this_step[node].push(id);
+                }
+            }
+        }
+        prev_step = this_step;
+    }
+    Some(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::e3_1225_cluster;
+    use crate::simulate_cluster;
+
+    #[test]
+    fn caps_flops_conserved() {
+        let cluster = e3_1225_cluster(4);
+        let cfg = CapsConfig {
+            dfs_ways: 4,
+            ..CapsConfig::default()
+        };
+        for n in [512usize, 2048] {
+            let g = dist_caps_graph(n, &cluster);
+            assert_eq!(
+                g.total_flops(),
+                scost::total_flops(n, &cfg.as_strassen()),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn caps_single_node_has_no_net_traffic() {
+        let cluster = e3_1225_cluster(1);
+        let g = dist_caps_graph(2048, &cluster);
+        assert_eq!(g.total_net_bytes(), 0);
+        assert_eq!(g.placement_nodes(), 1);
+    }
+
+    #[test]
+    fn caps_multi_node_ships_operands() {
+        let cluster = e3_1225_cluster(7);
+        let g = dist_caps_graph(2048, &cluster);
+        assert!(g.total_net_bytes() > 0);
+        assert_eq!(g.placement_nodes(), 7);
+        // Load lands on every node.
+        for node in 0..7 {
+            assert!(g.node_flops(node) > 0, "node {node} idle");
+        }
+    }
+
+    #[test]
+    fn summa_shapes() {
+        let cluster = e3_1225_cluster(4);
+        let g = summa_graph(1024, &cluster).expect("4 = 2x2 grid");
+        // Total flops = 2n³ exactly.
+        assert_eq!(g.total_flops(), 2 * 1024u64.pow(3));
+        // q=2 steps: each node receives at most one A and one B block per
+        // step, skipping owned blocks.
+        assert!(g.total_net_bytes() > 0);
+        // Non-square node count rejected.
+        assert!(summa_graph(1024, &e3_1225_cluster(3)).is_none());
+        // Indivisible n rejected.
+        assert!(summa_graph(1023, &cluster).is_none());
+    }
+
+    #[test]
+    fn summa_single_node_no_network() {
+        let cluster = e3_1225_cluster(1);
+        let g = summa_graph(512, &cluster).unwrap();
+        assert_eq!(g.total_net_bytes(), 0);
+    }
+
+    #[test]
+    fn caps_comm_grows_slower_with_node_count() {
+        // The asymptotic claim of the CAPS line of work: total fabric
+        // traffic grows as n²·p^0.29 for CAPS vs n²·√p-ish for SUMMA, so
+        // CAPS's traffic growth from 4 to 16 nodes must be smaller.
+        let n = 4096;
+        let net = |nodes: usize, caps: bool| {
+            let c = e3_1225_cluster(nodes);
+            if caps {
+                dist_caps_graph(n, &c).total_net_bytes() as f64
+            } else {
+                summa_graph(n, &c).unwrap().total_net_bytes() as f64
+            }
+        };
+        let caps_growth = net(16, true) / net(4, true);
+        let summa_growth = net(16, false) / net(4, false);
+        assert!(
+            caps_growth < summa_growth,
+            "caps growth {caps_growth} vs summa growth {summa_growth}"
+        );
+    }
+
+    #[test]
+    fn cluster_scaling_speeds_up_caps() {
+        let n = 4096;
+        let t1 = {
+            let c = e3_1225_cluster(1);
+            simulate_cluster(&dist_caps_graph(n, &c), &c).makespan
+        };
+        let t7 = {
+            let c = e3_1225_cluster(7);
+            simulate_cluster(&dist_caps_graph(n, &c), &c).makespan
+        };
+        assert!(
+            t1 / t7 > 2.0,
+            "7-node speedup only {} (t1={t1}, t7={t7})",
+            t1 / t7
+        );
+    }
+
+    #[test]
+    fn fabric_quality_shifts_the_comparison_by_regime() {
+        // Two regimes, both real: at latency-dominated sizes (n = 2048 on
+        // GbE) SUMMA's per-step barriers make it degrade *relatively* more
+        // than CAPS; at bandwidth-dominated sizes (n = 8192) CAPS's larger
+        // absolute volume at p = 4 costs it more. The asymptotic CAPS win
+        // is in p (see `caps_comm_grows_slower_with_node_count`), not in
+        // small-p absolute volume.
+        let ratio = |n: usize, cluster: &ClusterConfig| {
+            let caps = simulate_cluster(&dist_caps_graph(n, cluster), cluster).makespan;
+            let summa = simulate_cluster(&summa_graph(n, cluster).unwrap(), cluster).makespan;
+            summa / caps
+        };
+        let fast = e3_1225_cluster(4);
+        let slow = crate::presets::e3_1225_cluster_slow_fabric(4);
+        // Latency regime: SUMMA relatively worse on the slow fabric.
+        assert!(ratio(2048, &slow) > ratio(2048, &fast));
+        // Bandwidth regime: CAPS relatively worse on the slow fabric.
+        assert!(ratio(8192, &slow) < ratio(8192, &fast));
+    }
+}

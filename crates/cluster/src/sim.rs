@@ -1,0 +1,527 @@
+//! The two-level cluster scheduler.
+//!
+//! Within a node, semantics match `powerscale_machine::simulate`: greedy
+//! dispatch onto idle cores, per-node DRAM bandwidth shared by that node's
+//! memory-active tasks (with the per-core ceiling), fluid compute streams.
+//! Across nodes, a task's network ingress must drain first: latency, then
+//! bytes at the fabric share (also capped by the link rate). Energy adds
+//! the network plane — NIC static, switch static, per-byte dynamic — to
+//! the per-node RAPL-style planes, which is exactly the accounting the
+//! paper says a distributed study must include.
+
+use crate::config::ClusterConfig;
+use crate::graph::DistGraph;
+use powerscale_machine::TaskId;
+use std::collections::VecDeque;
+
+/// Cluster-wide energy totals.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClusterEnergy {
+    /// Sum of all nodes' package-plane energy (base + cores + intra-node
+    /// interconnect).
+    pub nodes_pkg_joules: f64,
+    /// Sum of all nodes' DRAM-plane energy.
+    pub nodes_dram_joules: f64,
+    /// Fabric energy: NIC static + switch static + dynamic per byte.
+    pub network_joules: f64,
+}
+
+impl ClusterEnergy {
+    /// Everything, in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.nodes_pkg_joules + self.nodes_dram_joules + self.network_joules
+    }
+
+    /// Average cluster power over `makespan` seconds.
+    pub fn avg_watts(&self, makespan: f64) -> f64 {
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            self.total_joules() / makespan
+        }
+    }
+}
+
+/// Placement and timing of one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PlacedTask {
+    /// The task.
+    pub id: TaskId,
+    /// Node it ran on.
+    pub node: usize,
+    /// Core within the node.
+    pub core: usize,
+    /// Start time (s), network phase included.
+    pub start: f64,
+    /// End time (s).
+    pub end: f64,
+}
+
+/// Result of a cluster simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClusterSchedule {
+    /// Total simulated time (s).
+    pub makespan: f64,
+    /// Per-task placement.
+    pub tasks: Vec<PlacedTask>,
+    /// Busy core-seconds per node.
+    pub node_busy: Vec<f64>,
+    /// Integrated energy.
+    pub energy: ClusterEnergy,
+}
+
+impl ClusterSchedule {
+    /// Mean core utilisation across the cluster in `[0, 1]`.
+    pub fn utilisation(&self, cluster: &ClusterConfig) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.node_busy.iter().sum::<f64>()
+            / (self.makespan * cluster.total_cores() as f64)
+    }
+}
+
+/// Streams below this are considered drained: fluid arithmetic can leave
+/// subnormal residues (e.g. 1e-315 bytes) whose drain time underflows to
+/// zero, freezing the event loop.
+const STREAM_EPS: f64 = 1e-6;
+
+struct Running {
+    id: TaskId,
+    node: usize,
+    core: usize,
+    start: f64,
+    rem_lat: f64,
+    rem_net: f64,
+    rem_comm: f64,
+    rem_flops: f64,
+    rem_mem: f64,
+}
+
+impl Running {
+    fn finished(&self) -> bool {
+        self.rem_lat < STREAM_EPS
+            && self.rem_net < STREAM_EPS
+            && self.rem_comm < STREAM_EPS
+            && self.rem_flops < STREAM_EPS
+            && self.rem_mem < STREAM_EPS
+    }
+
+    fn in_net_phase(&self) -> bool {
+        self.rem_lat >= STREAM_EPS || self.rem_net >= STREAM_EPS
+    }
+
+    fn in_comm_phase(&self) -> bool {
+        !self.in_net_phase() && self.rem_comm >= STREAM_EPS
+    }
+}
+
+/// Subtracts progress from a stream, clamping near-empty residues to zero.
+fn drain(rem: &mut f64, amount: f64) {
+    *rem -= amount;
+    if *rem < STREAM_EPS {
+        *rem = 0.0;
+    }
+}
+
+/// Simulates `graph` on `cluster`.
+///
+/// # Panics
+/// Panics if the graph places tasks beyond the cluster's node count or if
+/// the configuration is invalid.
+pub fn simulate_cluster(graph: &DistGraph, cluster: &ClusterConfig) -> ClusterSchedule {
+    cluster.validate().expect("valid cluster");
+    assert!(
+        graph.placement_nodes() <= cluster.nodes,
+        "graph places tasks on {} nodes; cluster has {}",
+        graph.placement_nodes(),
+        cluster.nodes
+    );
+    let machine = &cluster.node;
+    let n = graph.len();
+    let mut indeg: Vec<usize> = (0..n)
+        .map(|i| graph.deps(TaskId::from_index(i)).len())
+        .collect();
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for d in graph.deps(TaskId::from_index(i)) {
+            children[d.index()].push(i as u32);
+        }
+    }
+    let mut ready: VecDeque<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+    // Per-node idle core stacks (lowest index on top).
+    let mut idle: Vec<Vec<usize>> = (0..cluster.nodes)
+        .map(|_| (0..machine.cores).rev().collect())
+        .collect();
+    let mut running: Vec<Running> = Vec::new();
+    let mut placed: Vec<Option<PlacedTask>> = vec![None; n];
+    let mut node_busy = vec![0.0f64; cluster.nodes];
+    let mut energy = ClusterEnergy::default();
+    let mut completed = 0usize;
+    let mut t = 0.0f64;
+    let mut iterations = 0u64;
+    // Deferred ready tasks whose node has no idle core get retried each
+    // event; keep FIFO order per scan.
+    while completed < n {
+        iterations += 1;
+        if iterations > 50_000_000 {
+            panic!(
+                "cluster sim stuck at t={t}: {completed}/{n} done, running: {:?}",
+                running
+                    .iter()
+                    .map(|r| (r.id.index(), r.rem_lat, r.rem_net, r.rem_comm, r.rem_flops, r.rem_mem))
+                    .collect::<Vec<_>>()
+            );
+        }
+        // Dispatch: scan the ready queue once, placing what fits.
+        let mut still_waiting = VecDeque::new();
+        while let Some(tid) = ready.pop_front() {
+            let task = graph.task(TaskId::from_index(tid as usize));
+            match idle[task.node].pop() {
+                Some(core) => {
+                    running.push(Running {
+                        id: TaskId::from_index(tid as usize),
+                        node: task.node,
+                        core,
+                        start: t,
+                        rem_lat: if task.net_bytes > 0 {
+                            cluster.link_latency_s
+                        } else {
+                            0.0
+                        },
+                        rem_net: task.net_bytes as f64,
+                        rem_comm: task.cost.comm_bytes as f64,
+                        rem_flops: task.cost.flops as f64,
+                        rem_mem: task.cost.dram_bytes as f64,
+                    });
+                }
+                None => still_waiting.push_back(tid),
+            }
+        }
+        ready = still_waiting;
+        assert!(
+            !running.is_empty(),
+            "cluster stall: {completed}/{n} done, nothing runnable"
+        );
+
+        // Rates.
+        let net_active = running
+            .iter()
+            .filter(|r| r.rem_lat < STREAM_EPS && r.rem_net >= STREAM_EPS)
+            .count();
+        let net_rate = if net_active > 0 {
+            (cluster.net_bw_bytes_per_s / net_active as f64).min(cluster.link_bw_bytes_per_s)
+        } else {
+            0.0
+        };
+        let mut comm_active = vec![0usize; cluster.nodes];
+        let mut mem_active = vec![0usize; cluster.nodes];
+        for r in &running {
+            if r.in_comm_phase() {
+                comm_active[r.node] += 1;
+            } else if !r.in_net_phase() && r.rem_mem >= STREAM_EPS {
+                mem_active[r.node] += 1;
+            }
+        }
+        let comm_rate = |node: usize| machine.comm_bw_bytes_per_s / comm_active[node].max(1) as f64;
+        let mem_rate = |node: usize| {
+            (machine.dram_bw_bytes_per_s / mem_active[node].max(1) as f64)
+                .min(machine.core_dram_bw_bytes_per_s)
+        };
+
+        // Next event.
+        let mut dt = f64::INFINITY;
+        for r in &running {
+            if r.rem_lat >= STREAM_EPS {
+                dt = dt.min(r.rem_lat);
+            } else if r.rem_net >= STREAM_EPS {
+                dt = dt.min(r.rem_net / net_rate);
+            } else if r.rem_comm >= STREAM_EPS {
+                dt = dt.min(r.rem_comm / comm_rate(r.node));
+            } else {
+                if r.rem_flops >= STREAM_EPS {
+                    let rate = machine
+                        .compute
+                        .achieved_flops(graph.task(r.id).cost.class);
+                    dt = dt.min(r.rem_flops / rate);
+                }
+                if r.rem_mem >= STREAM_EPS {
+                    dt = dt.min(r.rem_mem / mem_rate(r.node));
+                }
+                if r.finished() {
+                    dt = 0.0;
+                }
+            }
+        }
+        debug_assert!(dt.is_finite());
+        let dt = dt.max(0.0);
+
+        // Energy over [t, t+dt].
+        if dt > 0.0 {
+            let p = &machine.power;
+            let mut pkg = cluster.nodes as f64 * p.pkg_base_w;
+            let mut busy_cores = vec![0usize; cluster.nodes];
+            for r in &running {
+                busy_cores[r.node] += 1;
+                pkg += if r.in_net_phase() || r.in_comm_phase() {
+                    p.core_stall_w
+                } else if r.rem_flops >= STREAM_EPS {
+                    p.core_active_w[graph.task(r.id).cost.class.index()]
+                } else {
+                    p.core_stall_w
+                };
+            }
+            for (node, &busy) in busy_cores.iter().enumerate() {
+                let _ = node;
+                pkg += (machine.cores - busy) as f64 * p.core_idle_w;
+            }
+            energy.nodes_pkg_joules += pkg * dt;
+            // DRAM planes.
+            let mut dram = cluster.nodes as f64 * p.dram_static_w;
+            for (node, &active) in mem_active.iter().enumerate() {
+                if active > 0 {
+                    dram += p.dram_joule_per_byte * (active as f64 * mem_rate(node));
+                }
+            }
+            energy.nodes_dram_joules += dram * dt;
+            // Network plane.
+            let moved = net_active as f64 * net_rate * dt;
+            energy.network_joules += (cluster.nodes as f64 * cluster.nic_idle_w
+                + cluster.switch_w)
+                * dt
+                + cluster.nic_joule_per_byte * moved;
+            // Intra-node interconnect energy folded into pkg, like the SMP
+            // model.
+            for (node, &active) in comm_active.iter().enumerate() {
+                if active > 0 {
+                    energy.nodes_pkg_joules +=
+                        p.comm_joule_per_byte * (active as f64 * comm_rate(node)) * dt;
+                }
+            }
+        }
+
+        // Advance.
+        t += dt;
+        for r in &mut running {
+            if r.rem_lat >= STREAM_EPS {
+                drain(&mut r.rem_lat, dt);
+            } else if r.rem_net >= STREAM_EPS {
+                drain(&mut r.rem_net, net_rate * dt);
+            } else if r.rem_comm >= STREAM_EPS {
+                drain(&mut r.rem_comm, comm_rate(r.node) * dt);
+            } else {
+                if r.rem_flops >= STREAM_EPS {
+                    let rate = machine
+                        .compute
+                        .achieved_flops(graph.task(r.id).cost.class);
+                    drain(&mut r.rem_flops, rate * dt);
+                }
+                if r.rem_mem >= STREAM_EPS {
+                    drain(&mut r.rem_mem, mem_rate(r.node) * dt);
+                }
+            }
+        }
+
+        // Completions.
+        let mut i = 0;
+        while i < running.len() {
+            if running[i].finished() {
+                let r = running.remove(i);
+                placed[r.id.index()] = Some(PlacedTask {
+                    id: r.id,
+                    node: r.node,
+                    core: r.core,
+                    start: r.start,
+                    end: t,
+                });
+                node_busy[r.node] += t - r.start;
+                idle[r.node].push(r.core);
+                idle[r.node].sort_unstable_by(|a, b| b.cmp(a));
+                completed += 1;
+                for &c in &children[r.id.index()] {
+                    indeg[c as usize] -= 1;
+                    if indeg[c as usize] == 0 {
+                        ready.push_back(c);
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    ClusterSchedule {
+        makespan: t,
+        tasks: placed.into_iter().map(|p| p.expect("placed")).collect(),
+        node_busy,
+        energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DistGraph, DistTask};
+    use crate::presets::e3_1225_cluster;
+    use powerscale_machine::{KernelClass, TaskCost};
+
+    fn flops_task(node: usize, flops: u64) -> DistTask {
+        DistTask {
+            cost: TaskCost::compute(KernelClass::PackedGemm, flops),
+            node,
+            net_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn single_node_matches_flop_rate() {
+        let c = e3_1225_cluster(1);
+        let mut g = DistGraph::new();
+        g.add(flops_task(0, 2_304_000_000), &[]); // 0.1 s at 23.04 Gflop/s
+        let s = simulate_cluster(&g, &c);
+        assert!((s.makespan - 0.1).abs() < 1e-6, "{}", s.makespan);
+    }
+
+    #[test]
+    fn nodes_compute_in_parallel() {
+        let c = e3_1225_cluster(4);
+        let mut g = DistGraph::new();
+        for node in 0..4 {
+            g.add(flops_task(node, 2_304_000_000), &[]);
+        }
+        let s = simulate_cluster(&g, &c);
+        assert!((s.makespan - 0.1).abs() < 1e-6, "parallel nodes: {}", s.makespan);
+        // Single node runs them on its 4 cores — also parallel, same time.
+        let c1 = e3_1225_cluster(1);
+        let mut g1 = DistGraph::new();
+        for _ in 0..4 {
+            g1.add(flops_task(0, 2_304_000_000), &[]);
+        }
+        let s1 = simulate_cluster(&g1, &c1);
+        assert!((s1.makespan - 0.1).abs() < 1e-6);
+        // But 16 tasks beat a single node 4x on 4 nodes.
+        let mut g16 = DistGraph::new();
+        for k in 0..16 {
+            g16.add(flops_task(k % 4, 2_304_000_000), &[]);
+        }
+        let s16 = simulate_cluster(&g16, &c);
+        assert!((s16.makespan - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn network_transfer_delays_start() {
+        let c = e3_1225_cluster(2);
+        let mut g = DistGraph::new();
+        let producer = g.add(flops_task(0, 2_304_000_000), &[]);
+        // Consumer on node 1 needs 400 MB over the 4 GB/s link: +0.1 s.
+        g.add(
+            DistTask {
+                cost: TaskCost::compute(KernelClass::PackedGemm, 2_304_000_000),
+                node: 1,
+                net_bytes: 400_000_000,
+            },
+            &[producer],
+        );
+        let s = simulate_cluster(&g, &c);
+        assert!(
+            (s.makespan - 0.3).abs() < 1e-3,
+            "0.1 compute + 0.1 transfer + 0.1 compute = {}",
+            s.makespan
+        );
+    }
+
+    #[test]
+    fn latency_paid_once_per_transfer() {
+        let mut c = e3_1225_cluster(2);
+        c.link_latency_s = 0.05;
+        let mut g = DistGraph::new();
+        g.add(
+            DistTask {
+                cost: TaskCost::compute(KernelClass::Control, 0),
+                node: 1,
+                net_bytes: 1,
+            },
+            &[],
+        );
+        let s = simulate_cluster(&g, &c);
+        assert!((s.makespan - 0.05).abs() < 1e-6, "{}", s.makespan);
+    }
+
+    #[test]
+    fn fabric_shared_among_transfers() {
+        let c = e3_1225_cluster(2); // net bisection 4 GB/s
+        let bytes = 400_000_000u64; // 0.1 s alone
+        let mut g = DistGraph::new();
+        for node in [0usize, 1] {
+            g.add(
+                DistTask {
+                    cost: TaskCost::compute(KernelClass::Control, 0),
+                    node,
+                    net_bytes: bytes,
+                },
+                &[],
+            );
+        }
+        let s = simulate_cluster(&g, &c);
+        // Two concurrent transfers share the bisection: 0.2 s.
+        assert!((s.makespan - 0.2).abs() < 1e-3, "{}", s.makespan);
+    }
+
+    #[test]
+    fn energy_includes_network_plane() {
+        let c = e3_1225_cluster(2);
+        let mut g = DistGraph::new();
+        g.add(
+            DistTask {
+                cost: TaskCost::compute(KernelClass::PackedGemm, 2_304_000_000),
+                node: 1,
+                net_bytes: 100_000_000,
+            },
+            &[],
+        );
+        let s = simulate_cluster(&g, &c);
+        assert!(s.energy.network_joules > 0.0);
+        assert!(s.energy.nodes_pkg_joules > 0.0);
+        let w = s.energy.avg_watts(s.makespan);
+        assert!(w > c.idle_watts() * 0.9, "cluster power {w}");
+    }
+
+    #[test]
+    fn determinism() {
+        let c = e3_1225_cluster(3);
+        let mut g = DistGraph::new();
+        let mut prev = Vec::new();
+        for i in 0..30u64 {
+            let deps: Vec<_> = prev.iter().copied().take(2).collect();
+            prev.insert(
+                0,
+                g.add(
+                    DistTask {
+                        cost: TaskCost::new(
+                            KernelClass::LeafGemm,
+                            i * 1_000_000,
+                            i * 10_000,
+                            0,
+                        ),
+                        node: (i % 3) as usize,
+                        net_bytes: i * 100,
+                    },
+                    &deps,
+                ),
+            );
+        }
+        assert_eq!(simulate_cluster(&g, &c), simulate_cluster(&g, &c));
+    }
+
+    #[test]
+    #[should_panic(expected = "places tasks on")]
+    fn placement_beyond_cluster_rejected() {
+        let c = e3_1225_cluster(2);
+        let mut g = DistGraph::new();
+        g.add(flops_task(5, 1), &[]);
+        let _ = simulate_cluster(&g, &c);
+    }
+}

@@ -1,0 +1,149 @@
+//! Cache-derived blocking parameters.
+//!
+//! The paper (§IV-A) describes OpenBLAS "determining what the best blocking
+//! factor is for the platform based upon cache hierarchy and respective
+//! capacity of each cache level". This module implements that derivation,
+//! using the classic Goto constraints:
+//!
+//! * a `kc × NR` sliver of packed B plus an `MR × kc` sliver of packed A
+//!   must fit in L1 with room to spare,
+//! * an `mc × kc` packed A panel should occupy about half of L2,
+//! * a `kc × nc` packed B panel should occupy about half of the LLC.
+
+use powerscale_cachesim::CacheConfig;
+
+/// Register-tile rows of the microkernel.
+pub const MR: usize = 4;
+/// Register-tile columns of the microkernel.
+pub const NR: usize = 4;
+
+/// Loop blocking factors for the Goto GEMM structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockingParams {
+    /// Row-panel height (the parallelised loop).
+    pub mc: usize,
+    /// Depth of one packed panel pair (the accumulation loop).
+    pub kc: usize,
+    /// Column-panel width (the outermost loop).
+    pub nc: usize,
+}
+
+impl BlockingParams {
+    /// Derives parameters from a cache hierarchy (L1 first).
+    ///
+    /// Falls back to [`BlockingParams::default`] proportions when fewer
+    /// than three levels are described.
+    pub fn for_caches(caches: &[CacheConfig]) -> Self {
+        let l1 = caches.first().map(|c| c.size_bytes).unwrap_or(32 * 1024);
+        let l2 = caches.get(1).map(|c| c.size_bytes).unwrap_or(256 * 1024);
+        let l3 = caches.get(2).map(|c| c.size_bytes).unwrap_or(8 * 1024 * 1024);
+        // kc: half of L1 holds kc*(MR+NR) doubles.
+        let kc = round_down_pow2_multiple(l1 / (2 * 8 * (MR + NR)), 8).clamp(32, 512);
+        // mc: half of L2 holds mc*kc doubles, rounded to MR.
+        let mc = round_down_pow2_multiple(l2 / (2 * 8 * kc), MR).clamp(MR, 512);
+        // nc: half of L3 holds kc*nc doubles, rounded to NR, capped to keep
+        // task granularity reasonable.
+        let nc = round_down_pow2_multiple(l3 / (2 * 8 * kc), NR).clamp(NR, 2048);
+        BlockingParams { mc, kc, nc }
+    }
+
+    /// Validates invariants (all factors positive and register-tile
+    /// aligned where required).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mc == 0 || self.kc == 0 || self.nc == 0 {
+            return Err(format!("zero blocking factor in {self:?}"));
+        }
+        if self.mc % MR != 0 {
+            return Err(format!("mc {} not a multiple of MR {MR}", self.mc));
+        }
+        if self.nc % NR != 0 {
+            return Err(format!("nc {} not a multiple of NR {NR}", self.nc));
+        }
+        Ok(())
+    }
+
+    /// Bytes of packing buffer needed for one A panel.
+    pub fn packed_a_bytes(&self) -> usize {
+        self.mc * self.kc * 8
+    }
+
+    /// Bytes of packing buffer needed for one B panel.
+    pub fn packed_b_bytes(&self) -> usize {
+        self.kc * self.nc * 8
+    }
+}
+
+impl Default for BlockingParams {
+    /// The derivation applied to the paper's Haswell hierarchy.
+    fn default() -> Self {
+        BlockingParams::for_caches(&powerscale_cachesim::presets::e3_1225_caches())
+    }
+}
+
+fn round_down_pow2_multiple(x: usize, multiple: usize) -> usize {
+    (x / multiple).max(1) * multiple
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerscale_cachesim::presets::e3_1225_caches;
+
+    #[test]
+    fn default_params_valid_and_sized() {
+        let p = BlockingParams::default();
+        p.validate().unwrap();
+        // On the Haswell hierarchy the classic derivation lands near
+        // kc=256, mc=64, nc=2048.
+        assert!((128..=512).contains(&p.kc), "kc={}", p.kc);
+        assert!((32..=256).contains(&p.mc), "mc={}", p.mc);
+        assert!((256..=2048).contains(&p.nc), "nc={}", p.nc);
+    }
+
+    #[test]
+    fn fits_cache_budgets() {
+        let caches = e3_1225_caches();
+        let p = BlockingParams::for_caches(&caches);
+        // Packed A panel within L2; packed B panel within L3.
+        assert!(p.packed_a_bytes() <= caches[1].size_bytes);
+        assert!(p.packed_b_bytes() <= caches[2].size_bytes);
+        // The L1 sliver constraint.
+        assert!(p.kc * 8 * (MR + NR) <= caches[0].size_bytes);
+    }
+
+    #[test]
+    fn degenerate_hierarchy_still_valid() {
+        let p = BlockingParams::for_caches(&[]);
+        p.validate().unwrap();
+        let one = BlockingParams::for_caches(&[CacheConfig::new(4096, 64, 1)]);
+        one.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_misalignment() {
+        let bad = BlockingParams {
+            mc: 13,
+            kc: 64,
+            nc: 64,
+        };
+        assert!(bad.validate().is_err());
+        let zero = BlockingParams {
+            mc: 0,
+            kc: 64,
+            nc: 64,
+        };
+        assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn smaller_caches_give_smaller_blocks() {
+        let small = BlockingParams::for_caches(&[
+            CacheConfig::new(8 * 1024, 64, 2),
+            CacheConfig::new(64 * 1024, 64, 4),
+            CacheConfig::new(1024 * 1024, 64, 8),
+        ]);
+        let big = BlockingParams::for_caches(&e3_1225_caches());
+        assert!(small.kc <= big.kc);
+        assert!(small.packed_b_bytes() <= big.packed_b_bytes());
+    }
+}

@@ -1,0 +1,373 @@
+//! The Goto-structured DGEMM driver.
+
+use crate::blocking::{BlockingParams, MR, NR};
+use crate::kernel::microkernel;
+use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len};
+use powerscale_counters::{Event, EventSet, Profile};
+use powerscale_matrix::{ops, DimError, DimResult, Matrix, MatrixView, MatrixViewMut};
+use powerscale_pool::ThreadPool;
+
+/// Execution context for [`dgemm`]: blocking factors, optional worker pool
+/// (sequential when absent) and optional event instrumentation.
+#[derive(Default)]
+pub struct GemmContext<'a> {
+    /// Loop blocking factors (defaults to the Haswell derivation).
+    pub params: BlockingParams,
+    /// Pool for the row-panel loop; `None` runs sequentially.
+    pub pool: Option<&'a ThreadPool>,
+    /// Event set receiving work accounting; `None` disables it.
+    pub events: Option<&'a EventSet>,
+}
+
+impl<'a> GemmContext<'a> {
+    /// A sequential, uninstrumented context with default blocking.
+    pub fn sequential() -> Self {
+        GemmContext::default()
+    }
+
+    /// A parallel context on `pool` with default blocking.
+    pub fn parallel(pool: &'a ThreadPool) -> Self {
+        GemmContext {
+            pool: Some(pool),
+            ..GemmContext::default()
+        }
+    }
+}
+
+/// `C = alpha · A·B + beta · C`, blocked/packed/register-tiled.
+///
+/// Results are bitwise-deterministic and independent of the pool size: the
+/// accumulation order over `kc` panels is fixed, and parallel row bands
+/// write disjoint regions of C.
+pub fn dgemm(
+    alpha: f64,
+    a: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    beta: f64,
+    c: &mut MatrixViewMut<'_>,
+    ctx: &GemmContext<'_>,
+) -> DimResult<()> {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    if k != kb {
+        return Err(DimError::Inner {
+            lhs_cols: k,
+            rhs_rows: kb,
+        });
+    }
+    if c.shape() != (m, n) {
+        return Err(DimError::Mismatch {
+            op: "dgemm",
+            lhs: (m, n),
+            rhs: c.shape(),
+        });
+    }
+    ctx.params
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid blocking parameters: {e}"));
+
+    // beta pass: C := beta * C, once, up front.
+    if beta != 1.0 {
+        ops::scale_assign(c, beta);
+        if let Some(set) = ctx.events {
+            set.record(Event::FpOps, (m * n) as u64);
+            set.record(Event::BytesWritten, 8 * (m * n) as u64);
+        }
+    }
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return Ok(());
+    }
+
+    let BlockingParams { mc, kc, nc } = ctx.params;
+    let mut pb = vec![0.0f64; packed_b_len(kc.min(k), nc.min(n))];
+
+    let mut jc = 0;
+    while jc < n {
+        let ncb = nc.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kcb = kc.min(k - pc);
+            // Pack the shared B panel.
+            let bpanel = b.sub_view((pc, jc), (kcb, ncb))?;
+            pack_b(&bpanel, &mut pb);
+            if let Some(set) = ctx.events {
+                set.record(Event::PackBytes, 8 * (kcb * ncb) as u64);
+                set.record(Event::BytesRead, 8 * (kcb * ncb) as u64);
+            }
+
+            // Split this C panel into mc-row bands (disjoint mutable views).
+            let cpanel = c.reborrow().into_sub_view((0, jc), (m, ncb))?;
+            let mut bands: Vec<(usize, MatrixViewMut<'_>)> = Vec::new();
+            let mut rest = cpanel;
+            let mut ic = 0;
+            while ic < m {
+                let mcb = mc.min(m - ic);
+                let (band, tail) = rest.split_rows_at(mcb)?;
+                bands.push((ic, band));
+                rest = tail;
+                ic += mcb;
+            }
+
+            let pb_ref: &[f64] = &pb;
+            match ctx.pool {
+                Some(pool) if bands.len() > 1 => {
+                    pool.scope(|s| {
+                        for (ic, mut band) in bands {
+                            s.spawn(move |_| {
+                                run_row_band(a, pc, ic, kcb, ncb, pb_ref, alpha, &mut band, ctx.events);
+                            });
+                        }
+                    });
+                }
+                _ => {
+                    for (ic, mut band) in bands {
+                        run_row_band(a, pc, ic, kcb, ncb, pb_ref, alpha, &mut band, ctx.events);
+                    }
+                }
+            }
+            pc += kcb;
+        }
+        jc += ncb;
+    }
+    Ok(())
+}
+
+/// One row-band task: packs its A block and sweeps the macro-kernel tiles.
+#[allow(clippy::too_many_arguments)]
+fn run_row_band(
+    a: &MatrixView<'_>,
+    pc: usize,
+    ic: usize,
+    kcb: usize,
+    ncb: usize,
+    pb: &[f64],
+    alpha: f64,
+    band: &mut MatrixViewMut<'_>,
+    events: Option<&EventSet>,
+) {
+    let mcb = band.rows();
+    let ablock = a
+        .sub_view((ic, pc), (mcb, kcb))
+        .expect("A block within bounds by construction");
+    let mut pa = vec![0.0f64; packed_a_len(mcb, kcb)];
+    let a_strips = pack_a(&ablock, &mut pa);
+    let b_strips = ncb.div_ceil(NR);
+    for jr in 0..b_strips {
+        let pb_strip = &pb[jr * NR * kcb..(jr + 1) * NR * kcb];
+        for ir in 0..a_strips {
+            let pa_strip = &pa[ir * MR * kcb..(ir + 1) * MR * kcb];
+            microkernel(kcb, pa_strip, pb_strip, alpha, band, ir * MR, jr * NR);
+        }
+    }
+    if let Some(set) = events {
+        let mut p = Profile::new();
+        p.add_count(Event::FpOps, 2 * (mcb * kcb * ncb) as u64);
+        p.add_count(Event::PackBytes, 8 * (mcb * kcb) as u64);
+        p.add_count(Event::BytesRead, 8 * (mcb * kcb) as u64);
+        p.add_count(Event::BytesWritten, 8 * (mcb * ncb) as u64);
+        p.add_count(Event::KernelCalls, (a_strips * b_strips) as u64);
+        set.record_profile(&p);
+    }
+}
+
+/// Convenience: `A · B` with default (sequential) settings.
+pub fn multiply(a: &MatrixView<'_>, b: &MatrixView<'_>) -> DimResult<Matrix> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    dgemm(1.0, a, b, 0.0, &mut c.view_mut(), &GemmContext::default())?;
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_mm;
+    use powerscale_matrix::norms::rel_frobenius_error;
+    use powerscale_matrix::{Matrix, MatrixGen};
+
+    fn check_against_naive(m: usize, k: usize, n: usize, seed: u64) {
+        let mut gen = MatrixGen::new(seed);
+        let a = gen.uniform(m, k, -1.0, 1.0);
+        let b = gen.uniform(k, n, -1.0, 1.0);
+        let mut c = Matrix::zeros(m, n);
+        dgemm(
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &GemmContext::default(),
+        )
+        .unwrap();
+        let r = naive_mm(&a.view(), &b.view()).unwrap();
+        let err = rel_frobenius_error(&c.view(), &r.view());
+        assert!(err < 1e-13, "({m}x{k})·({k}x{n}): err {err}");
+    }
+
+    #[test]
+    fn matches_naive_small_squares() {
+        for n in [1, 2, 3, 4, 5, 8, 16, 17] {
+            check_against_naive(n, n, n, n as u64);
+        }
+    }
+
+    #[test]
+    fn matches_naive_blocking_boundaries() {
+        // Sizes straddling mc/kc/nc and MR/NR boundaries.
+        let p = BlockingParams::default();
+        for &dim in &[p.mc - 1, p.mc, p.mc + 1, p.kc, p.kc + 3, 2 * p.mc + 5] {
+            check_against_naive(dim, dim, dim, dim as u64);
+        }
+    }
+
+    #[test]
+    fn matches_naive_rectangular() {
+        check_against_naive(3, 300, 7, 1);
+        check_against_naive(130, 2, 64, 2);
+        check_against_naive(65, 129, 33, 3);
+    }
+
+    #[test]
+    fn alpha_beta_semantics() {
+        let mut gen = MatrixGen::new(9);
+        let a = gen.paper_operand(32);
+        let b = gen.paper_operand(32);
+        let c0 = gen.paper_operand(32);
+        // c = 2*a*b + 3*c0
+        let mut c = c0.clone();
+        dgemm(
+            2.0,
+            &a.view(),
+            &b.view(),
+            3.0,
+            &mut c.view_mut(),
+            &GemmContext::default(),
+        )
+        .unwrap();
+        let ab = naive_mm(&a.view(), &b.view()).unwrap();
+        let expect = Matrix::from_fn(32, 32, |i, j| 2.0 * ab.get(i, j) + 3.0 * c0.get(i, j));
+        assert!(rel_frobenius_error(&c.view(), &expect.view()) < 1e-13);
+    }
+
+    #[test]
+    fn alpha_zero_only_scales() {
+        let mut gen = MatrixGen::new(4);
+        let a = gen.paper_operand(16);
+        let b = gen.paper_operand(16);
+        let mut c = Matrix::filled(16, 16, 2.0);
+        dgemm(
+            0.0,
+            &a.view(),
+            &b.view(),
+            0.5,
+            &mut c.view_mut(),
+            &GemmContext::default(),
+        )
+        .unwrap();
+        assert!(c.approx_eq(&Matrix::filled(16, 16, 1.0), 1e-15));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let mut gen = MatrixGen::new(11);
+        let a = gen.paper_operand(150);
+        let b = gen.paper_operand(150);
+        let mut c_seq = Matrix::zeros(150, 150);
+        dgemm(
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c_seq.view_mut(),
+            &GemmContext::default(),
+        )
+        .unwrap();
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let mut c_par = Matrix::zeros(150, 150);
+            dgemm(
+                1.0,
+                &a.view(),
+                &b.view(),
+                0.0,
+                &mut c_par.view_mut(),
+                &GemmContext::parallel(&pool),
+            )
+            .unwrap();
+            assert_eq!(c_par, c_seq, "thread count {threads} changed bits");
+        }
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 5);
+        let mut c = Matrix::zeros(2, 5);
+        assert!(dgemm(
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &GemmContext::default()
+        )
+        .is_err());
+        let b2 = Matrix::zeros(3, 5);
+        let mut c2 = Matrix::zeros(3, 3);
+        assert!(dgemm(
+            1.0,
+            &a.view(),
+            &b2.view(),
+            0.0,
+            &mut c2.view_mut(),
+            &GemmContext::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn events_account_total_flops() {
+        use powerscale_counters::EventSet;
+        let mut gen = MatrixGen::new(5);
+        let n = 96;
+        let a = gen.paper_operand(n);
+        let b = gen.paper_operand(n);
+        let mut c = Matrix::zeros(n, n);
+        let mut set = EventSet::with_all_events();
+        set.start().unwrap();
+        let ctx = GemmContext {
+            events: Some(&set),
+            ..GemmContext::default()
+        };
+        dgemm(1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), &ctx).unwrap();
+        let p = set.stop().unwrap();
+        // beta=0 pass adds m*n; the multiply adds exactly 2*n^3.
+        let expected = (n * n) as u64 + 2 * (n as u64).pow(3);
+        assert_eq!(p.get(Event::FpOps), expected);
+        assert!(p.get(Event::PackBytes) > 0);
+        assert!(p.get(Event::KernelCalls) > 0);
+    }
+
+    #[test]
+    fn multiply_convenience() {
+        let a = Matrix::identity(10);
+        let b = MatrixGen::new(2).paper_operand(10);
+        let c = multiply(&a.view(), &b.view()).unwrap();
+        assert!(c.approx_eq(&b, 1e-14));
+    }
+
+    #[test]
+    fn empty_operands_ok() {
+        let a = Matrix::zeros(0, 0);
+        let b = Matrix::zeros(0, 0);
+        let mut c = Matrix::zeros(0, 0);
+        dgemm(
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &GemmContext::default(),
+        )
+        .unwrap();
+    }
+}

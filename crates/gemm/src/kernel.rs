@@ -1,0 +1,127 @@
+//! The register-tile microkernel.
+
+use crate::blocking::{MR, NR};
+use powerscale_matrix::MatrixViewMut;
+
+/// Computes a full `MR × NR` tile `acc = Σ_k a_strip[k] ⊗ b_strip[k]` over
+/// packed strips of depth `kc`, then merges `alpha * acc` into `c` at
+/// `(row0, col0)`, masking rows/columns that fall outside `c` (the packing
+/// zero-pads, so the extra products are zeros anyway — masking just avoids
+/// out-of-bounds writes).
+///
+/// `a_strip` is `kc * MR` elements from [`crate::pack::pack_a`];
+/// `b_strip` is `kc * NR` elements from [`crate::pack::pack_b`].
+#[inline]
+pub fn microkernel(
+    kc: usize,
+    a_strip: &[f64],
+    b_strip: &[f64],
+    alpha: f64,
+    c: &mut MatrixViewMut<'_>,
+    row0: usize,
+    col0: usize,
+) {
+    debug_assert!(a_strip.len() >= kc * MR);
+    debug_assert!(b_strip.len() >= kc * NR);
+    let mut acc = [[0.0f64; NR]; MR];
+    for k in 0..kc {
+        let a = &a_strip[k * MR..k * MR + MR];
+        let b = &b_strip[k * NR..k * NR + NR];
+        // 16 independent FMAs; the compiler vectorises the j loop.
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i][j] += ai * b[j];
+            }
+        }
+    }
+    let live_rows = c.rows().saturating_sub(row0).min(MR);
+    let live_cols = c.cols().saturating_sub(col0).min(NR);
+    for (i, acc_row) in acc.iter().enumerate().take(live_rows) {
+        let crow = c.row_mut(row0 + i);
+        for j in 0..live_cols {
+            crow[col0 + j] += alpha * acc_row[j];
+        }
+    }
+}
+
+/// Flops performed by one microkernel call of depth `kc` (full tile,
+/// padding included).
+#[inline]
+pub fn microkernel_flops(kc: usize) -> u64 {
+    2 * (kc * MR * NR) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len};
+    use powerscale_matrix::Matrix;
+
+    #[test]
+    fn tile_matches_naive_product() {
+        let kc = 6;
+        let a = Matrix::from_fn(MR, kc, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(kc, NR, |i, j| (i * j + 1) as f64);
+        let mut pa = vec![0.0; packed_a_len(MR, kc)];
+        let mut pb = vec![0.0; packed_b_len(kc, NR)];
+        pack_a(&a.view(), &mut pa);
+        pack_b(&b.view(), &mut pb);
+        let mut c = Matrix::zeros(MR, NR);
+        microkernel(kc, &pa, &pb, 1.0, &mut c.view_mut(), 0, 0);
+        let expect = crate::naive::naive_mm(&a.view(), &b.view()).unwrap();
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn alpha_scales_contribution() {
+        let kc = 3;
+        let a = Matrix::filled(MR, kc, 1.0);
+        let b = Matrix::filled(kc, NR, 1.0);
+        let mut pa = vec![0.0; packed_a_len(MR, kc)];
+        let mut pb = vec![0.0; packed_b_len(kc, NR)];
+        pack_a(&a.view(), &mut pa);
+        pack_b(&b.view(), &mut pb);
+        let mut c = Matrix::filled(MR, NR, 10.0);
+        microkernel(kc, &pa, &pb, 0.5, &mut c.view_mut(), 0, 0);
+        // 10 + 0.5 * 3 = 11.5 everywhere.
+        assert!(c.approx_eq(&Matrix::filled(MR, NR, 11.5), 1e-12));
+    }
+
+    #[test]
+    fn edge_masking_leaves_outside_untouched() {
+        // C is 3x2: tile writes must clip.
+        let kc = 2;
+        let a = Matrix::filled(3, kc, 1.0);
+        let b = Matrix::filled(kc, 2, 1.0);
+        let mut pa = vec![0.0; packed_a_len(3, kc)];
+        let mut pb = vec![0.0; packed_b_len(kc, 2)];
+        pack_a(&a.view(), &mut pa);
+        pack_b(&b.view(), &mut pb);
+        let mut c = Matrix::zeros(3, 2);
+        microkernel(kc, &pa, &pb, 1.0, &mut c.view_mut(), 0, 0);
+        assert!(c.approx_eq(&Matrix::filled(3, 2, 2.0), 1e-12));
+    }
+
+    #[test]
+    fn offset_tile_placement() {
+        let kc = 1;
+        let a = Matrix::filled(MR, kc, 2.0);
+        let b = Matrix::filled(kc, NR, 3.0);
+        let mut pa = vec![0.0; packed_a_len(MR, kc)];
+        let mut pb = vec![0.0; packed_b_len(kc, NR)];
+        pack_a(&a.view(), &mut pa);
+        pack_b(&b.view(), &mut pb);
+        let mut c = Matrix::zeros(8, 8);
+        microkernel(kc, &pa, &pb, 1.0, &mut c.view_mut(), 4, 4);
+        assert_eq!(c.get(4, 4), 6.0);
+        assert_eq!(c.get(7, 7), 6.0);
+        assert_eq!(c.get(3, 3), 0.0);
+        assert_eq!(c.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn flop_count() {
+        assert_eq!(microkernel_flops(10), 2 * 10 * 16);
+    }
+}

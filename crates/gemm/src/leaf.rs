@@ -1,0 +1,145 @@
+//! The dense leaf solver used below the Strassen cutover.
+//!
+//! The paper's BOTS Strassen reverts to a "manually unrolled" dense solver
+//! once sub-matrices reach n ≤ 64 (§IV-B). This kernel reproduces that
+//! role: it works **in place on strided views** (no packing, no copies),
+//! which is exactly why its sustained flop rate sits well below the packed
+//! path — the machine model captures that gap with the
+//! [`powerscale_machine::KernelClass::LeafGemm`] efficiency.
+
+use powerscale_counters::{Event, EventSet, Profile};
+use powerscale_matrix::{DimError, DimResult, MatrixView, MatrixViewMut};
+
+/// Unrolling width of the inner j-loop.
+const JW: usize = 4;
+
+/// `C += A · B` on views, unpacked, i-k-j order with a 4-wide unrolled
+/// inner loop.
+pub fn leaf_gemm(
+    a: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    c: &mut MatrixViewMut<'_>,
+    events: Option<&EventSet>,
+) -> DimResult<()> {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    if k != kb {
+        return Err(DimError::Inner {
+            lhs_cols: k,
+            rhs_rows: kb,
+        });
+    }
+    if c.shape() != (m, n) {
+        return Err(DimError::Mismatch {
+            op: "leaf_gemm",
+            lhs: (m, n),
+            rhs: c.shape(),
+        });
+    }
+    let n_main = n - n % JW;
+    for i in 0..m {
+        let arow = a.row(i);
+        for (kk, &aik) in arow.iter().enumerate().take(k) {
+            let brow = b.row(kk);
+            let crow = c.row_mut(i);
+            let mut j = 0;
+            while j < n_main {
+                crow[j] += aik * brow[j];
+                crow[j + 1] += aik * brow[j + 1];
+                crow[j + 2] += aik * brow[j + 2];
+                crow[j + 3] += aik * brow[j + 3];
+                j += JW;
+            }
+            while j < n {
+                crow[j] += aik * brow[j];
+                j += 1;
+            }
+        }
+    }
+    if let Some(set) = events {
+        let mut p = Profile::new();
+        p.add_count(Event::FpOps, 2 * (m * n * k) as u64);
+        p.add_count(Event::BytesRead, 8 * (m * k + k * n) as u64);
+        p.add_count(Event::BytesWritten, 8 * (m * n) as u64);
+        p.add_count(Event::KernelCalls, 1);
+        set.record_profile(&p);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_mm;
+    use powerscale_matrix::norms::rel_frobenius_error;
+    use powerscale_matrix::{Matrix, MatrixGen};
+
+    #[test]
+    fn matches_naive_on_assorted_sizes() {
+        for (m, k, n) in [(1, 1, 1), (4, 4, 4), (7, 3, 5), (64, 64, 64), (33, 65, 9)] {
+            let mut gen = MatrixGen::new((m * 100 + n) as u64);
+            let a = gen.uniform(m, k, -1.0, 1.0);
+            let b = gen.uniform(k, n, -1.0, 1.0);
+            let mut c = Matrix::zeros(m, n);
+            leaf_gemm(&a.view(), &b.view(), &mut c.view_mut(), None).unwrap();
+            let r = naive_mm(&a.view(), &b.view()).unwrap();
+            assert!(
+                rel_frobenius_error(&c.view(), &r.view()) < 1e-13,
+                "({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulates() {
+        let a = Matrix::identity(8);
+        let b = Matrix::filled(8, 8, 1.0);
+        let mut c = Matrix::filled(8, 8, 5.0);
+        leaf_gemm(&a.view(), &b.view(), &mut c.view_mut(), None).unwrap();
+        assert!(c.approx_eq(&Matrix::filled(8, 8, 6.0), 0.0));
+    }
+
+    #[test]
+    fn works_on_strided_quadrant_views() {
+        // The actual Strassen call pattern: operate on quadrants in place.
+        let mut gen = MatrixGen::new(3);
+        let big_a = gen.paper_operand(16);
+        let big_b = gen.paper_operand(16);
+        let mut big_c = Matrix::zeros(16, 16);
+        let qa = big_a.view().quadrants().unwrap();
+        let qb = big_b.view().quadrants().unwrap();
+        {
+            let qc = big_c.view_mut().quadrants().unwrap();
+            let mut c11 = qc.a11;
+            leaf_gemm(&qa.a11, &qb.a11, &mut c11, None).unwrap();
+        }
+        let expect = naive_mm(&qa.a11, &qb.a11).unwrap();
+        let got = big_c.sub_view((0, 0), (8, 8)).unwrap().to_matrix();
+        assert!(rel_frobenius_error(&got.view(), &expect.view()) < 1e-13);
+        // Other quadrants untouched.
+        assert_eq!(big_c.get(0, 8), 0.0);
+        assert_eq!(big_c.get(8, 0), 0.0);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let mut c = Matrix::zeros(2, 3);
+        assert!(leaf_gemm(&a.view(), &b.view(), &mut c.view_mut(), None).is_err());
+    }
+
+    #[test]
+    fn event_accounting() {
+        use powerscale_counters::EventSet;
+        let a = Matrix::zeros(8, 8);
+        let b = Matrix::zeros(8, 8);
+        let mut c = Matrix::zeros(8, 8);
+        let mut set = EventSet::with_all_events();
+        set.start().unwrap();
+        leaf_gemm(&a.view(), &b.view(), &mut c.view_mut(), Some(&set)).unwrap();
+        let p = set.stop().unwrap();
+        assert_eq!(p.get(Event::FpOps), 2 * 8 * 8 * 8);
+        assert_eq!(p.get(Event::KernelCalls), 1);
+    }
+}

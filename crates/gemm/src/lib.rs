@@ -1,0 +1,47 @@
+//! Blocked, packed, register-tiled double-precision GEMM.
+//!
+//! This crate is the reproduction's stand-in for the paper's "tuned
+//! OpenBLAS" baseline (§IV-A): a Goto-style `C = α·A·B + β·C` with
+//!
+//! * blocking parameters derived from the cache hierarchy
+//!   ([`BlockingParams::for_caches`]),
+//! * contiguous packing of A and B panels ([`pack`]),
+//! * an `MR × NR` register-tile microkernel ([`kernel`]),
+//! * parallelisation of the row-panel loop over a
+//!   [`powerscale_pool::ThreadPool`] (the OpenMP-worksharing analog), and
+//! * optional [`powerscale_counters::EventSet`] instrumentation feeding the
+//!   machine model.
+//!
+//! It also hosts the two *other* multiply kernels the paper's comparison
+//! needs: the naive reference ([`naive::naive_gemm`], the correctness
+//! oracle) and the BOTS-style unpacked leaf solver ([`leaf::leaf_gemm`])
+//! that the Strassen/CAPS recursions call below their cutover size.
+//!
+//! # Example
+//!
+//! ```
+//! use powerscale_gemm::{dgemm, GemmContext};
+//! use powerscale_matrix::{Matrix, MatrixGen};
+//!
+//! let mut gen = MatrixGen::new(7);
+//! let a = gen.paper_operand(64);
+//! let b = gen.paper_operand(64);
+//! let mut c = Matrix::zeros(64, 64);
+//! dgemm(1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), &GemmContext::default()).unwrap();
+//!
+//! let reference = powerscale_gemm::naive::naive_mm(&a.view(), &b.view()).unwrap();
+//! assert!(powerscale_matrix::norms::rel_frobenius_error(&c.view(), &reference.view()) < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+mod blocking;
+mod dgemm;
+pub mod kernel;
+pub mod leaf;
+pub mod naive;
+pub mod pack;
+pub mod plan;
+
+pub use blocking::BlockingParams;
+pub use dgemm::{dgemm, multiply, GemmContext};

@@ -1,0 +1,154 @@
+//! Panel packing.
+//!
+//! Packing rewrites a strided sub-matrix into the exact streaming order the
+//! microkernel consumes, so the inner loop reads two contiguous arrays:
+//!
+//! * **A panels** (`mc × kc`) are stored as a sequence of `MR`-row strips;
+//!   within a strip, the `MR` elements of each column k are adjacent
+//!   (`pa[strip][k*MR + i]`).
+//! * **B panels** (`kc × nc`) are stored as a sequence of `NR`-column
+//!   strips; within a strip, the `NR` elements of each row k are adjacent
+//!   (`pb[strip][k*NR + j]`).
+//!
+//! Ragged edges are zero-padded to full strips, which lets the microkernel
+//! always run a full `MR × NR` tile; the writeback masks the padding away.
+
+use crate::blocking::{MR, NR};
+use powerscale_matrix::MatrixView;
+
+/// Packs an `m × k` block of A (m ≤ mc, k ≤ kc) into `buf`, zero-padding
+/// rows up to a multiple of [`crate::blocking::MR`]. Returns the number of
+/// strips written.
+///
+/// `buf` must hold at least `ceil(m/MR) * MR * k` elements.
+pub fn pack_a(a: &MatrixView<'_>, buf: &mut [f64]) -> usize {
+    let (m, k) = a.shape();
+    let strips = m.div_ceil(MR);
+    assert!(
+        buf.len() >= strips * MR * k,
+        "pack_a: buffer {} too small for {strips} strips of {k}",
+        buf.len()
+    );
+    for s in 0..strips {
+        let base = s * MR * k;
+        let rows = (m - s * MR).min(MR);
+        for kk in 0..k {
+            for i in 0..MR {
+                buf[base + kk * MR + i] = if i < rows { a.get(s * MR + i, kk) } else { 0.0 };
+            }
+        }
+    }
+    strips
+}
+
+/// Packs a `k × n` block of B (k ≤ kc, n ≤ nc) into `buf`, zero-padding
+/// columns up to a multiple of [`crate::blocking::NR`]. Returns the number
+/// of strips written.
+///
+/// `buf` must hold at least `ceil(n/NR) * NR * k` elements.
+pub fn pack_b(b: &MatrixView<'_>, buf: &mut [f64]) -> usize {
+    let (k, n) = b.shape();
+    let strips = n.div_ceil(NR);
+    assert!(
+        buf.len() >= strips * NR * k,
+        "pack_b: buffer {} too small for {strips} strips of {k}",
+        buf.len()
+    );
+    for s in 0..strips {
+        let base = s * NR * k;
+        let cols = (n - s * NR).min(NR);
+        for kk in 0..k {
+            let row = b.row(kk);
+            for j in 0..NR {
+                buf[base + kk * NR + j] = if j < cols { row[s * NR + j] } else { 0.0 };
+            }
+        }
+    }
+    strips
+}
+
+/// Bytes written by [`pack_a`] for an `m × k` block (padding included).
+pub fn packed_a_len(m: usize, k: usize) -> usize {
+    m.div_ceil(MR) * MR * k
+}
+
+/// Bytes written by [`pack_b`] for a `k × n` block (padding included).
+pub fn packed_b_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * NR * k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerscale_matrix::Matrix;
+
+    #[test]
+    fn pack_a_layout_exact_multiple() {
+        // 4x3 block (exactly one MR strip).
+        let a = Matrix::from_fn(4, 3, |i, j| (i * 10 + j) as f64);
+        let mut buf = vec![f64::NAN; packed_a_len(4, 3)];
+        let strips = pack_a(&a.view(), &mut buf);
+        assert_eq!(strips, 1);
+        // Column k=1 of the strip: elements a[0..4][1] adjacent at offset
+        // k*MR.
+        assert_eq!(&buf[4..8], &[1.0, 11.0, 21.0, 31.0]);
+    }
+
+    #[test]
+    fn pack_a_zero_pads_ragged_rows() {
+        let a = Matrix::from_fn(6, 2, |i, j| (i * 10 + j) as f64);
+        let mut buf = vec![f64::NAN; packed_a_len(6, 2)];
+        let strips = pack_a(&a.view(), &mut buf);
+        assert_eq!(strips, 2);
+        // Second strip holds rows 4,5 then two zero rows.
+        let s2 = &buf[MR * 2..];
+        assert_eq!(s2[0], 40.0);
+        assert_eq!(s2[1], 50.0);
+        assert_eq!(s2[2], 0.0);
+        assert_eq!(s2[3], 0.0);
+    }
+
+    #[test]
+    fn pack_b_layout() {
+        // 2x8 block → two NR strips.
+        let b = Matrix::from_fn(2, 8, |i, j| (i * 100 + j) as f64);
+        let mut buf = vec![f64::NAN; packed_b_len(2, 8)];
+        let strips = pack_b(&b.view(), &mut buf);
+        assert_eq!(strips, 2);
+        // Strip 0, row k=1: b[1][0..4] at offset k*NR.
+        assert_eq!(&buf[4..8], &[100.0, 101.0, 102.0, 103.0]);
+        // Strip 1, row k=0: b[0][4..8].
+        assert_eq!(&buf[8..12], &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn pack_b_zero_pads_ragged_cols() {
+        let b = Matrix::from_fn(2, 5, |i, j| (i * 100 + j + 1) as f64);
+        let mut buf = vec![f64::NAN; packed_b_len(2, 5)];
+        pack_b(&b.view(), &mut buf);
+        // Strip 1 holds column 4 then three zero columns, per row.
+        let s1 = &buf[NR * 2..];
+        assert_eq!(s1[0], 5.0);
+        assert_eq!(s1[1], 0.0);
+        assert_eq!(s1[4], 105.0);
+        assert_eq!(s1[5], 0.0);
+    }
+
+    #[test]
+    fn packing_views_respects_stride() {
+        let big = Matrix::from_fn(8, 8, |i, j| (i * 8 + j) as f64);
+        let sub = big.sub_view((2, 3), (4, 2)).unwrap();
+        let mut buf = vec![0.0; packed_a_len(4, 2)];
+        pack_a(&sub, &mut buf);
+        // Column 0 of the strip = big[2..6][3].
+        assert_eq!(&buf[0..4], &[19.0, 27.0, 35.0, 43.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn undersized_buffer_rejected() {
+        let a = Matrix::zeros(8, 8);
+        let mut buf = vec![0.0; 4];
+        pack_a(&a.view(), &mut buf);
+    }
+}

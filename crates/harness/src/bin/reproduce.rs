@@ -1,0 +1,113 @@
+//! Regenerates every paper artifact: tables, figures, EXPERIMENTS.md.
+//!
+//! ```text
+//! reproduce [--out DIR] [--quick]
+//! ```
+//!
+//! `--out DIR` additionally writes `EXPERIMENTS.md`, per-figure CSVs and
+//! the raw result JSON into `DIR`. `--quick` runs a reduced matrix (sizes
+//! 256/512) for smoke testing.
+
+use powerscale_harness::{figures, manifest, report, tables, Harness};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir: Option<String> = None;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = Some(args.get(i).expect("--out needs a directory").clone());
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: reproduce [--out DIR] [--quick]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let h = Harness::default();
+    eprintln!("platform: {}", h.machine.name);
+    let (sizes, threads): (&[usize], &[usize]) = if quick {
+        (&[256, 512], &[1, 2, 3, 4])
+    } else {
+        (&tables::PAPER_SIZES, &tables::PAPER_THREADS)
+    };
+    eprintln!(
+        "running execution matrix: 3 algorithms x {:?} x {:?} threads…",
+        sizes, threads
+    );
+    let results = h.run_matrix(sizes, threads);
+
+    println!("{}", manifest::to_markdown(&manifest::manifest(&h)));
+    println!("{}", tables::slowdown_table(&results, sizes, threads).to_markdown());
+    println!("{}", tables::power_table(&results, sizes, threads).to_markdown());
+    println!("{}", tables::ep_table(&results, sizes, threads).to_markdown());
+    println!("{}", figures::fig3_slowdown(&results, sizes, threads).to_ascii(64, 16));
+    for alg in powerscale_harness::experiment::ALL_ALGORITHMS {
+        println!("{}", figures::power_figure(&results, alg, sizes, threads).to_ascii(64, 14));
+    }
+    println!("{}", figures::fig7_ep_scaling(&results, sizes, threads).to_ascii(64, 18));
+
+    println!("Claim checks:");
+    let mut all_ok = true;
+    for (claim, ok) in report::claim_checks(&results) {
+        println!("  [{}] {claim}", if ok { "PASS" } else { "FAIL" });
+        all_ok &= ok;
+    }
+
+    if let Some(dir) = out_dir {
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir).expect("create output directory");
+        let mut experiments = report::experiments_markdown(&h, &results);
+        eprintln!("running the section-VIII future-work studies…");
+        experiments.push_str(&report::future_work_markdown());
+        std::fs::write(dir.join("EXPERIMENTS.md"), experiments)
+            .expect("write EXPERIMENTS.md");
+        std::fs::write(
+            dir.join("results.json"),
+            serde_json::to_string_pretty(&results).expect("serialise results"),
+        )
+        .expect("write results.json");
+        let figs = [
+            ("fig1.csv", figures::fig1_concept(4).to_csv()),
+            ("fig3.csv", figures::fig3_slowdown(&results, sizes, threads).to_csv()),
+            (
+                "fig4.csv",
+                figures::power_figure(&results, powerscale_harness::Algorithm::Blocked, sizes, threads).to_csv(),
+            ),
+            (
+                "fig5.csv",
+                figures::power_figure(&results, powerscale_harness::Algorithm::Strassen, sizes, threads).to_csv(),
+            ),
+            (
+                "fig6.csv",
+                figures::power_figure(&results, powerscale_harness::Algorithm::Caps, sizes, threads).to_csv(),
+            ),
+            ("fig7.csv", figures::fig7_ep_scaling(&results, sizes, threads).to_csv()),
+        ];
+        for (name, csv) in figs {
+            std::fs::write(dir.join(name), csv).expect("write figure CSV");
+        }
+        // Gantt timelines for one representative cell per algorithm.
+        for alg in powerscale_harness::experiment::ALL_ALGORITHMS {
+            let graph = h.graph(alg, 1024);
+            let schedule = powerscale_harness::experiment::simulate_for(&h, &graph, 4);
+            std::fs::write(
+                dir.join(format!("timeline_{}_1024_4t.csv", alg.paper_name().to_lowercase())),
+                schedule.timeline_csv(&graph),
+            )
+            .expect("write timeline CSV");
+        }
+        eprintln!("artifacts written to {}", dir.display());
+    }
+
+    if !all_ok && !quick {
+        std::process::exit(1);
+    }
+}

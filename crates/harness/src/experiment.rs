@@ -1,0 +1,308 @@
+//! Run specification and the simulated-measurement runner.
+
+use powerscale_caps::CapsConfig;
+use powerscale_core::PlaneSet;
+use powerscale_gemm::BlockingParams;
+use powerscale_machine::{simulate, MachineConfig, TaskGraph};
+use powerscale_rapl::{model::ModelReader, Domain, EnergyMeter};
+use powerscale_strassen::StrassenConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three algorithms of the paper's study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Tuned blocked DGEMM — the paper's "OpenBLAS".
+    Blocked,
+    /// Classic parallel Strassen (BOTS-style untied tasks).
+    Strassen,
+    /// Communication Avoiding Parallel Strassen.
+    Caps,
+}
+
+/// All algorithms in the paper's presentation order.
+pub const ALL_ALGORITHMS: [Algorithm; 3] = [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps];
+
+impl Algorithm {
+    /// The label the paper uses.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Algorithm::Blocked => "OpenBLAS",
+            Algorithm::Strassen => "Strassen",
+            Algorithm::Caps => "CAPS",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// One cell of the execution matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Which algorithm.
+    pub algorithm: Algorithm,
+    /// Square problem dimension.
+    pub n: usize,
+    /// Thread (core) count.
+    pub threads: usize,
+}
+
+/// Measured outcome of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The run's specification.
+    pub spec: RunSpec,
+    /// Runtime in seconds (simulated wall clock).
+    pub t_seconds: f64,
+    /// Average package power (W), via the RAPL meter.
+    pub pkg_watts: f64,
+    /// Average core-plane power (W).
+    pub pp0_watts: f64,
+    /// Average DRAM-plane power (W).
+    pub dram_watts: f64,
+    /// Total flops the algorithm performed.
+    pub flops: u64,
+    /// Total DRAM traffic (bytes).
+    pub dram_bytes: u64,
+    /// Total inter-core communication (bytes).
+    pub comm_bytes: u64,
+    /// Mean core utilisation in `[0, 1]`.
+    pub utilisation: f64,
+}
+
+impl RunResult {
+    /// Equation 1 on the package plane (the paper's primary reading).
+    pub fn ep(&self) -> f64 {
+        self.pkg_watts / self.t_seconds
+    }
+
+    /// The run's power planes as an Equation 3 set
+    /// (package already contains PP0; the DRAM plane is separate).
+    pub fn planes(&self) -> PlaneSet {
+        PlaneSet::new(&[self.pkg_watts, self.dram_watts])
+    }
+
+    /// Achieved Gflop/s.
+    pub fn gflops(&self) -> f64 {
+        self.flops as f64 / self.t_seconds / 1e9
+    }
+}
+
+/// The experiment driver: a machine plus the per-algorithm configurations.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// The simulated platform.
+    pub machine: MachineConfig,
+    /// Blocked-DGEMM blocking factors.
+    pub blocking: BlockingParams,
+    /// Strassen knobs.
+    pub strassen: StrassenConfig,
+    /// CAPS knobs.
+    pub caps: CapsConfig,
+    /// RAPL meter samples per run (the paper's driver polls PAPI
+    /// periodically; 64 samples comfortably out-paces counter wrap).
+    pub meter_samples: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new(powerscale_machine::presets::e3_1225())
+    }
+}
+
+impl Harness {
+    /// A harness on `machine` with paper-default algorithm configurations.
+    pub fn new(machine: MachineConfig) -> Self {
+        Harness {
+            blocking: BlockingParams::for_caches(&machine.caches),
+            strassen: StrassenConfig::default(),
+            caps: CapsConfig {
+                dfs_ways: machine.cores,
+                ..CapsConfig::default()
+            },
+            machine,
+            meter_samples: 64,
+        }
+    }
+
+    /// Builds the task graph for one spec.
+    pub fn graph(&self, algorithm: Algorithm, n: usize) -> TaskGraph {
+        let tm = self.machine.traffic_model();
+        match algorithm {
+            Algorithm::Blocked => {
+                powerscale_gemm::plan::blocked_gemm_graph_with(n, &self.blocking, &tm)
+            }
+            Algorithm::Strassen => {
+                powerscale_strassen::strassen_graph_with(n, &self.strassen, &tm)
+            }
+            Algorithm::Caps => powerscale_caps::caps_graph_with(n, &self.caps, &tm),
+        }
+    }
+
+    /// Runs one cell of the matrix: simulate, then measure the simulated
+    /// schedule through the RAPL counter/meter stack (quantisation and
+    /// wrap semantics included).
+    pub fn run(&self, spec: RunSpec) -> RunResult {
+        let graph = self.graph(spec.algorithm, spec.n);
+        let schedule = simulate(&graph, &self.machine, spec.threads);
+        let mk = schedule.makespan.max(1e-12);
+
+        let mut reader = ModelReader::from_schedule(&schedule);
+        let mut meter = EnergyMeter::start(&mut reader);
+        let dt = mk / self.meter_samples.max(1) as f64;
+        for _ in 0..self.meter_samples.max(1) {
+            reader.advance(dt);
+            meter.sample(&mut reader);
+        }
+        let report = meter.finish(&mut reader, mk);
+
+        RunResult {
+            spec,
+            t_seconds: mk,
+            pkg_watts: report.avg_watts(Domain::Package).unwrap_or(0.0),
+            pp0_watts: report.avg_watts(Domain::PP0).unwrap_or(0.0),
+            dram_watts: report.avg_watts(Domain::Dram).unwrap_or(0.0),
+            flops: graph.total_flops(),
+            dram_bytes: graph.total_dram_bytes(),
+            comm_bytes: graph.total_comm_bytes(),
+            utilisation: schedule.utilisation(),
+        }
+    }
+
+    /// Runs a full matrix of sizes × threads × all algorithms.
+    pub fn run_matrix(&self, sizes: &[usize], threads: &[usize]) -> Vec<RunResult> {
+        let mut out = Vec::with_capacity(sizes.len() * threads.len() * 3);
+        for &algorithm in &ALL_ALGORITHMS {
+            for &n in sizes {
+                for &t in threads {
+                    out.push(self.run(RunSpec {
+                        algorithm,
+                        n,
+                        threads: t,
+                    }));
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's 48-run execution matrix (§VI-A).
+    pub fn paper_matrix(&self) -> Vec<RunResult> {
+        self.run_matrix(&crate::tables::PAPER_SIZES, &crate::tables::PAPER_THREADS)
+    }
+}
+
+/// Simulates a prepared graph on the harness's machine (exposed for the
+/// timeline artifacts and external tooling).
+pub fn simulate_for(
+    h: &Harness,
+    graph: &TaskGraph,
+    threads: usize,
+) -> powerscale_machine::Schedule {
+    simulate(graph, &h.machine, threads)
+}
+
+/// Finds the result for a given cell in a result set.
+pub fn find(
+    results: &[RunResult],
+    algorithm: Algorithm,
+    n: usize,
+    threads: usize,
+) -> Option<&RunResult> {
+    results.iter().find(|r| {
+        r.spec.algorithm == algorithm && r.spec.n == n && r.spec.threads == threads
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness() -> Harness {
+        Harness::default()
+    }
+
+    #[test]
+    fn single_run_sane() {
+        let h = harness();
+        let r = h.run(RunSpec {
+            algorithm: Algorithm::Blocked,
+            n: 256,
+            threads: 2,
+        });
+        assert!(r.t_seconds > 0.0);
+        assert!(r.pkg_watts > 10.0 && r.pkg_watts < 100.0, "{}", r.pkg_watts);
+        assert!(r.pp0_watts < r.pkg_watts);
+        assert_eq!(r.flops, 2 * 256u64.pow(3));
+        assert!(r.ep() > 0.0);
+        assert!(r.gflops() > 1.0);
+    }
+
+    #[test]
+    fn meter_matches_schedule_energy() {
+        // The RAPL path must agree with the simulator's own integration.
+        let h = harness();
+        let graph = h.graph(Algorithm::Strassen, 256);
+        let s = simulate(&graph, &h.machine, 4);
+        let direct = s.energy.pkg_avg_watts(s.makespan);
+        let r = h.run(RunSpec {
+            algorithm: Algorithm::Strassen,
+            n: 256,
+            threads: 4,
+        });
+        assert!(
+            (r.pkg_watts - direct).abs() < 0.05 * direct,
+            "meter {} vs direct {}",
+            r.pkg_watts,
+            direct
+        );
+    }
+
+    #[test]
+    fn matrix_covers_all_cells() {
+        let h = harness();
+        let rs = h.run_matrix(&[128, 256], &[1, 2]);
+        assert_eq!(rs.len(), 12);
+        assert!(find(&rs, Algorithm::Caps, 256, 2).is_some());
+        assert!(find(&rs, Algorithm::Caps, 512, 2).is_none());
+    }
+
+    #[test]
+    fn blocked_fastest_at_paper_sizes() {
+        let h = harness();
+        for threads in [1usize, 4] {
+            let b = h.run(RunSpec {
+                algorithm: Algorithm::Blocked,
+                n: 512,
+                threads,
+            });
+            let s = h.run(RunSpec {
+                algorithm: Algorithm::Strassen,
+                n: 512,
+                threads,
+            });
+            let c = h.run(RunSpec {
+                algorithm: Algorithm::Caps,
+                n: 512,
+                threads,
+            });
+            assert!(b.t_seconds < s.t_seconds);
+            assert!(b.t_seconds < c.t_seconds);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let h = harness();
+        let spec = RunSpec {
+            algorithm: Algorithm::Caps,
+            n: 512,
+            threads: 3,
+        };
+        assert_eq!(h.run(spec), h.run(spec));
+    }
+}

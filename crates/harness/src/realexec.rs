@@ -1,0 +1,199 @@
+//! Real-execution bridge: run the actual algorithms on the host with full
+//! instrumentation, then estimate power by feeding the *measured* event
+//! profile through the machine model.
+//!
+//! This is the path a port to instrumented hardware takes: wall-clock time
+//! is real, work counters are real, and only the watts come from the model
+//! (or from real RAPL via [`powerscale_rapl::sysfs::SysfsReader`], when the
+//! host exposes it). The `real_execution` example drives it; tests use it
+//! to cross-check that the simulated plans and the real executions agree
+//! on *work* even though they measure *time* differently.
+
+use crate::experiment::{Algorithm, Harness, RunSpec};
+use powerscale_counters::{EventSet, Profile};
+use powerscale_machine::{simulate, KernelClass, TaskCost, TaskGraph};
+use powerscale_matrix::{Matrix, MatrixGen};
+use powerscale_pool::ThreadPool;
+
+/// Outcome of one instrumented real run.
+#[derive(Debug, Clone)]
+pub struct RealRunResult {
+    /// The run's specification.
+    pub spec: RunSpec,
+    /// Host wall-clock seconds (not comparable across hosts — use the
+    /// simulated path for the paper's tables).
+    pub wall_seconds: f64,
+    /// The measured event profile.
+    pub profile: Profile,
+    /// Package watts the machine model predicts for this profile executed
+    /// on the simulated testbed at the spec's thread count.
+    pub model_pkg_watts: f64,
+    /// The product, for verification against an oracle.
+    pub result: Matrix,
+}
+
+impl Harness {
+    /// Runs the algorithm *for real* on `pool`, instrumented, and returns
+    /// wall time + profile + model-estimated power.
+    ///
+    /// Operands are seeded from the spec, so identical specs multiply
+    /// identical matrices.
+    pub fn run_real(&self, spec: RunSpec, pool: &ThreadPool) -> RealRunResult {
+        let seed = (spec.n as u64) << 8 | spec.threads as u64;
+        let mut gen = MatrixGen::new(seed);
+        let a = gen.paper_operand(spec.n);
+        let b = gen.paper_operand(spec.n);
+
+        let mut set = EventSet::with_all_events();
+        set.start().expect("fresh event set");
+        let t0 = std::time::Instant::now();
+        let result = match spec.algorithm {
+            Algorithm::Blocked => {
+                let mut c = Matrix::zeros(spec.n, spec.n);
+                let ctx = powerscale_gemm::GemmContext {
+                    params: self.blocking,
+                    pool: Some(pool),
+                    events: Some(&set),
+                };
+                powerscale_gemm::dgemm(1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), &ctx)
+                    .expect("dgemm shapes are valid");
+                c
+            }
+            Algorithm::Strassen => powerscale_strassen::multiply(
+                &a.view(),
+                &b.view(),
+                &self.strassen,
+                Some(pool),
+                Some(&set),
+            )
+            .expect("strassen shapes are valid"),
+            Algorithm::Caps => powerscale_caps::multiply(
+                &a.view(),
+                &b.view(),
+                &self.caps,
+                Some(pool),
+                Some(&set),
+            )
+            .expect("caps shapes are valid"),
+        };
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let profile = set.stop().expect("running event set");
+
+        // Model-estimated power: one fluid task per worker carrying an
+        // equal share of the measured profile.
+        let model_pkg_watts = self.profile_power(spec, &profile);
+
+        RealRunResult {
+            spec,
+            wall_seconds,
+            profile,
+            model_pkg_watts,
+            result,
+        }
+    }
+
+    /// Estimates package watts for a measured profile: splits the profile
+    /// into `threads` fluid shares of the appropriate kernel class and
+    /// simulates them on the machine preset.
+    pub fn profile_power(&self, spec: RunSpec, profile: &Profile) -> f64 {
+        let class = match spec.algorithm {
+            Algorithm::Blocked => KernelClass::PackedGemm,
+            _ => KernelClass::LeafGemm,
+        };
+        let total = TaskCost::from_profile(class, profile);
+        let mut g = TaskGraph::new();
+        let ways = spec.threads.max(1) as u64;
+        for w in 0..ways {
+            let f = total.flops / ways + u64::from(w < total.flops % ways);
+            let d = total.dram_bytes / ways + u64::from(w < total.dram_bytes % ways);
+            let c = total.comm_bytes / ways + u64::from(w < total.comm_bytes % ways);
+            g.add(TaskCost::new(class, f, d, c), &[]);
+        }
+        let s = simulate(&g, &self.machine, spec.threads);
+        s.energy.pkg_avg_watts(s.makespan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_run_produces_verified_result() {
+        let h = Harness::default();
+        let pool = ThreadPool::new(2);
+        let spec = RunSpec {
+            algorithm: Algorithm::Strassen,
+            n: 96,
+            threads: 2,
+        };
+        let r = h.run_real(spec, &pool);
+        assert!(r.wall_seconds > 0.0);
+        assert!(r.profile.total_flops() > 0);
+        assert!(r.model_pkg_watts > 10.0, "{}", r.model_pkg_watts);
+        // Verify the product against the oracle built from the same seed.
+        let seed = (96u64) << 8 | 2;
+        let mut gen = MatrixGen::new(seed);
+        let a = gen.paper_operand(96);
+        let b = gen.paper_operand(96);
+        let oracle = powerscale_gemm::naive::naive_mm(&a.view(), &b.view()).unwrap();
+        let err = powerscale_matrix::norms::rel_frobenius_error(&r.result.view(), &oracle.view());
+        assert!(err < 1e-10, "err {err}");
+    }
+
+    #[test]
+    fn real_flops_match_plan_flops() {
+        // The real execution and the simulated plan must agree on the work
+        // (flops), even though they measure time differently.
+        let h = Harness::default();
+        let pool = ThreadPool::new(2);
+        for algorithm in [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps] {
+            let spec = RunSpec {
+                algorithm,
+                n: 128,
+                threads: 2,
+            };
+            let real = h.run_real(spec, &pool);
+            let plan = h.graph(algorithm, 128);
+            let real_flops = real.profile.total_flops();
+            let plan_flops = plan.total_flops();
+            // Blocked's beta-pass adds n² real flops the plan folds into
+            // its macro tasks; allow a 1% band.
+            let ratio = real_flops as f64 / plan_flops as f64;
+            assert!(
+                (0.99..1.01).contains(&ratio),
+                "{algorithm:?}: real {real_flops} vs plan {plan_flops}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_power_estimate_exceeds_strassen_estimate() {
+        // The model must reproduce the paper's ordering from *measured*
+        // profiles too, not just from plans.
+        let h = Harness::default();
+        let pool = ThreadPool::new(4);
+        let blocked = h.run_real(
+            RunSpec {
+                algorithm: Algorithm::Blocked,
+                n: 128,
+                threads: 4,
+            },
+            &pool,
+        );
+        let strassen = h.run_real(
+            RunSpec {
+                algorithm: Algorithm::Strassen,
+                n: 128,
+                threads: 4,
+            },
+            &pool,
+        );
+        assert!(
+            blocked.model_pkg_watts > strassen.model_pkg_watts,
+            "blocked {} W vs strassen {} W",
+            blocked.model_pkg_watts,
+            strassen.model_pkg_watts
+        );
+    }
+}

@@ -1,0 +1,569 @@
+//! The discrete-event scheduler with fluid bandwidth sharing and power
+//! integration.
+//!
+//! Each task is up to three fluid streams: an inter-core *communication*
+//! stream that must drain before work begins, then a *compute* stream
+//! (private per-core rate) and a *memory* stream (share of the machine's
+//! DRAM bandwidth) draining concurrently. Events occur whenever any stream
+//! of any running task empties; rates are recomputed at every event, which
+//! is where contention lives — two memory-bound tasks each see half the
+//! bandwidth. Energy is integrated interval-by-interval from the core
+//! states (active/stalled/idle) and the achieved byte rates.
+
+use crate::config::MachineConfig;
+use crate::task::{TaskGraph, TaskId};
+use std::collections::VecDeque;
+
+/// Placement and timing of one task in a simulated schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScheduledTask {
+    /// The task.
+    pub id: TaskId,
+    /// Core it ran on.
+    pub core: usize,
+    /// Start time (s).
+    pub start: f64,
+    /// End time (s).
+    pub end: f64,
+}
+
+/// Energy totals per RAPL-style plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EnergyBreakdown {
+    /// Core plane (PP0): active/stall/idle core power integrated.
+    pub pp0_joules: f64,
+    /// DRAM plane: static plus per-byte dynamic energy.
+    pub dram_joules: f64,
+    /// Interconnect dynamic energy (accounted inside the package).
+    pub comm_joules: f64,
+    /// Package base (uncore/static) energy.
+    pub pkg_base_joules: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total package-plane energy: base + cores + interconnect (matches
+    /// RAPL PKG, which contains PP0 but not DRAM on the paper's Haswell).
+    pub fn pkg_joules(&self) -> f64 {
+        self.pkg_base_joules + self.pp0_joules + self.comm_joules
+    }
+
+    /// Total energy over all planes.
+    pub fn total_joules(&self) -> f64 {
+        self.pkg_joules() + self.dram_joules
+    }
+
+    /// Average package power over `makespan` seconds.
+    pub fn pkg_avg_watts(&self, makespan: f64) -> f64 {
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            self.pkg_joules() / makespan
+        }
+    }
+
+    /// Average PP0 (core-plane) power over `makespan` seconds.
+    pub fn pp0_avg_watts(&self, makespan: f64) -> f64 {
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            self.pp0_joules / makespan
+        }
+    }
+
+    /// Average DRAM-plane power over `makespan` seconds.
+    pub fn dram_avg_watts(&self, makespan: f64) -> f64 {
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            self.dram_joules / makespan
+        }
+    }
+}
+
+/// Result of simulating a [`TaskGraph`] on a machine.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Schedule {
+    /// Total simulated wall-clock (s).
+    pub makespan: f64,
+    /// Per-task placement, indexed like the graph's ids.
+    pub tasks: Vec<ScheduledTask>,
+    /// Busy seconds per core.
+    pub core_busy: Vec<f64>,
+    /// Integrated energy.
+    pub energy: EnergyBreakdown,
+    /// Number of cores simulated.
+    pub cores: usize,
+}
+
+impl Schedule {
+    /// Mean core utilisation in `[0, 1]`.
+    pub fn utilisation(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.core_busy.iter().sum::<f64>() / (self.makespan * self.cores as f64)
+    }
+
+    /// Gantt data as CSV (`task,core,class,start,end`), suitable for
+    /// plotting the schedule. `graph` must be the graph this schedule was
+    /// produced from (it supplies the kernel classes).
+    pub fn timeline_csv(&self, graph: &TaskGraph) -> String {
+        let mut out = String::from("task,core,class,start,end\n");
+        for t in &self.tasks {
+            out.push_str(&format!(
+                "{},{},{:?},{:.9},{:.9}\n",
+                t.id.index(),
+                t.core,
+                graph.cost(t.id).class,
+                t.start,
+                t.end
+            ));
+        }
+        out
+    }
+}
+
+/// Streams below this are considered drained: fluid arithmetic can leave
+/// subnormal residues whose drain time underflows to zero, freezing the
+/// event loop (a Zeno deadlock).
+const STREAM_EPS: f64 = 1e-6;
+
+struct Running {
+    id: TaskId,
+    core: usize,
+    start: f64,
+    rem_comm: f64,
+    rem_flops: f64,
+    rem_mem: f64,
+}
+
+impl Running {
+    fn finished(&self) -> bool {
+        self.rem_comm < STREAM_EPS && self.rem_flops < STREAM_EPS && self.rem_mem < STREAM_EPS
+    }
+
+    fn in_comm_phase(&self) -> bool {
+        self.rem_comm >= STREAM_EPS
+    }
+}
+
+/// Subtracts progress from a stream, clamping near-empty residues to zero.
+fn drain(rem: &mut f64, amount: f64) {
+    *rem -= amount;
+    if *rem < STREAM_EPS {
+        *rem = 0.0;
+    }
+}
+
+/// Simulates `graph` on `cores` cores of `machine`.
+///
+/// Deterministic: ready tasks dispatch in FIFO order of becoming ready
+/// (ties broken by task id), onto the lowest-numbered idle core.
+///
+/// # Panics
+/// Panics if `cores == 0`.
+pub fn simulate(graph: &TaskGraph, machine: &MachineConfig, cores: usize) -> Schedule {
+    assert!(cores > 0, "simulate requires at least one core");
+    let n = graph.len();
+    let mut indeg: Vec<usize> = graph.nodes.iter().map(|t| t.deps.len()).collect();
+    // Successor lists.
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, node) in graph.nodes.iter().enumerate() {
+        for d in &node.deps {
+            children[d.index()].push(i as u32);
+        }
+    }
+    let mut ready: VecDeque<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+    let mut idle: Vec<usize> = (0..cores).rev().collect(); // pop() yields lowest index
+    let mut running: Vec<Running> = Vec::with_capacity(cores);
+    let mut placed: Vec<Option<ScheduledTask>> = vec![None; n];
+    let mut core_busy = vec![0.0f64; cores];
+    let mut energy = EnergyBreakdown::default();
+    let mut completed = 0usize;
+    let mut t = 0.0f64;
+
+    while completed < n {
+        // Dispatch.
+        while let Some(&tid) = ready.front() {
+            let Some(core) = idle.pop() else { break };
+            ready.pop_front();
+            let cost = graph.cost(TaskId(tid));
+            running.push(Running {
+                id: TaskId(tid),
+                core,
+                start: t,
+                rem_comm: cost.comm_bytes as f64,
+                rem_flops: cost.flops as f64,
+                rem_mem: cost.dram_bytes as f64,
+            });
+        }
+        assert!(
+            !running.is_empty(),
+            "scheduler stall: {completed}/{n} done but nothing runnable (invalid DAG?)"
+        );
+
+        // Rates under the current mix.
+        let comm_active = running.iter().filter(|r| r.in_comm_phase()).count();
+        let mem_active = running
+            .iter()
+            .filter(|r| !r.in_comm_phase() && r.rem_mem >= STREAM_EPS)
+            .count();
+        let comm_rate = if comm_active > 0 {
+            machine.comm_bw_bytes_per_s / comm_active as f64
+        } else {
+            0.0
+        };
+        let mem_rate = if mem_active > 0 {
+            (machine.dram_bw_bytes_per_s / mem_active as f64)
+                .min(machine.core_dram_bw_bytes_per_s)
+        } else {
+            0.0
+        };
+
+        // Next event: earliest single-stream depletion.
+        let mut dt = f64::INFINITY;
+        for r in &running {
+            if r.in_comm_phase() {
+                dt = dt.min(r.rem_comm / comm_rate);
+            } else {
+                if r.rem_flops >= STREAM_EPS {
+                    let rate = machine.compute.achieved_flops(graph.cost(r.id).class);
+                    dt = dt.min(r.rem_flops / rate);
+                }
+                if r.rem_mem >= STREAM_EPS {
+                    dt = dt.min(r.rem_mem / mem_rate);
+                }
+                if r.finished() {
+                    dt = 0.0;
+                }
+            }
+        }
+        debug_assert!(dt.is_finite(), "no stream can progress");
+        let dt = dt.max(0.0);
+
+        // Energy integration over [t, t+dt].
+        if dt > 0.0 {
+            let p = &machine.power;
+            let mut pp0 = (cores - running.len()) as f64 * p.core_idle_w;
+            for r in &running {
+                pp0 += if r.in_comm_phase() {
+                    p.core_stall_w
+                } else if r.rem_flops >= STREAM_EPS {
+                    p.core_active_w[graph.cost(r.id).class.index()]
+                } else {
+                    p.core_stall_w
+                };
+            }
+            energy.pp0_joules += pp0 * dt;
+            energy.pkg_base_joules += p.pkg_base_w * dt;
+            let dram_dyn_bytes = mem_active as f64 * mem_rate * dt;
+            energy.dram_joules += p.dram_static_w * dt + p.dram_joule_per_byte * dram_dyn_bytes;
+            let comm_bytes = if comm_active > 0 {
+                machine.comm_bw_bytes_per_s * dt
+            } else {
+                0.0
+            };
+            energy.comm_joules += p.comm_joule_per_byte * comm_bytes;
+        }
+
+        // Advance streams.
+        t += dt;
+        for r in &mut running {
+            if r.in_comm_phase() {
+                drain(&mut r.rem_comm, comm_rate * dt);
+            } else {
+                if r.rem_flops >= STREAM_EPS {
+                    let rate = machine.compute.achieved_flops(graph.cost(r.id).class);
+                    drain(&mut r.rem_flops, rate * dt);
+                }
+                if r.rem_mem >= STREAM_EPS {
+                    drain(&mut r.rem_mem, mem_rate * dt);
+                }
+            }
+        }
+
+        // Completions (stable order: by position, i.e. dispatch order).
+        let mut i = 0;
+        while i < running.len() {
+            if running[i].finished() {
+                let r = running.remove(i);
+                placed[r.id.index()] = Some(ScheduledTask {
+                    id: r.id,
+                    core: r.core,
+                    start: r.start,
+                    end: t,
+                });
+                core_busy[r.core] += t - r.start;
+                idle.push(r.core);
+                idle.sort_unstable_by(|a, b| b.cmp(a)); // keep lowest-on-top
+                completed += 1;
+                for &c in &children[r.id.index()] {
+                    indeg[c as usize] -= 1;
+                    if indeg[c as usize] == 0 {
+                        ready.push_back(c);
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    Schedule {
+        makespan: t,
+        tasks: placed.into_iter().map(|p| p.expect("all tasks placed")).collect(),
+        core_busy,
+        energy,
+        cores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{e3_1225, ideal_test_machine};
+    use crate::task::{KernelClass, TaskCost, TaskGraph};
+
+    fn flops(n: u64) -> TaskCost {
+        TaskCost::compute(KernelClass::PackedGemm, n)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        let s = simulate(&g, &ideal_test_machine(2), 2);
+        assert_eq!(s.makespan, 0.0);
+        assert!(s.tasks.is_empty());
+    }
+
+    #[test]
+    fn single_task_duration_exact() {
+        // 1 Gflop on the 1 Gflop/s ideal machine = exactly 1 s.
+        let mut g = TaskGraph::new();
+        g.add(flops(1_000_000_000), &[]);
+        let s = simulate(&g, &ideal_test_machine(1), 1);
+        assert!((s.makespan - 1.0).abs() < 1e-9);
+        assert!((s.core_busy[0] - 1.0).abs() < 1e-9);
+        assert!((s.utilisation() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_tasks_scale_linearly() {
+        let mut g = TaskGraph::new();
+        for _ in 0..8 {
+            g.add(flops(1_000_000_000), &[]);
+        }
+        let m = ideal_test_machine(4);
+        let s1 = simulate(&g, &m, 1);
+        let s4 = simulate(&g, &m, 4);
+        assert!((s1.makespan - 8.0).abs() < 1e-9);
+        assert!((s4.makespan - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_does_not_scale() {
+        let mut g = TaskGraph::new();
+        let mut prev = None;
+        for _ in 0..4 {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(g.add(flops(1_000_000_000), &deps));
+        }
+        let m = ideal_test_machine(4);
+        let s4 = simulate(&g, &m, 4);
+        assert!((s4.makespan - 4.0).abs() < 1e-9, "chain is sequential");
+    }
+
+    #[test]
+    fn dependencies_respected() {
+        let mut g = TaskGraph::new();
+        let a = g.add(flops(1_000_000_000), &[]);
+        let b = g.add(flops(500_000_000), &[a]);
+        let s = simulate(&g, &ideal_test_machine(2), 2);
+        let ta = s.tasks[a.index()];
+        let tb = s.tasks[b.index()];
+        assert!(tb.start >= ta.end - 1e-12);
+    }
+
+    #[test]
+    fn makespan_bounds_hold() {
+        // Brent's bounds: max(CP, W/P) <= makespan <= CP + W/P.
+        let m = e3_1225();
+        let mut g = TaskGraph::new();
+        let mut layer = Vec::new();
+        for i in 0..3 {
+            let mut next = Vec::new();
+            for j in 0..5 {
+                let deps: Vec<_> = if i == 0 { vec![] } else { layer.clone() };
+                let cost = TaskCost::new(
+                    KernelClass::LeafGemm,
+                    (j + 1) * 100_000_000,
+                    (j + 1) * 1_000_000,
+                    0,
+                );
+                next.push(g.add(cost, &deps));
+            }
+            layer = next;
+        }
+        for p in [1usize, 2, 3, 4] {
+            let s = simulate(&g, &m, p);
+            let cp = g.critical_path_seconds(&m);
+            let w = g.total_work_seconds(&m);
+            let lower = cp.max(w / p as f64);
+            // Contention can stretch durations beyond unloaded estimates, so
+            // allow the upper bound some slack but require the lower bound
+            // strictly.
+            assert!(
+                s.makespan >= lower - 1e-9,
+                "p={p}: makespan {} < lower bound {lower}",
+                s.makespan
+            );
+            assert!(
+                s.makespan <= (cp + w / p as f64) * 2.0 + 1e-9,
+                "p={p}: makespan {} way over greedy bound",
+                s.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_contention_stretches_memory_tasks() {
+        // Two memory-only tasks: one core runs them back-to-back at the
+        // per-core ceiling (10 GB/s); two cores split the 12.8 GB/s bus.
+        // The bus, not the core count, is the limit.
+        let m = e3_1225();
+        let bytes = 1_280_000_000u64; // 0.1 s at full bus bandwidth
+        let mut g = TaskGraph::new();
+        g.add(TaskCost::new(KernelClass::Elementwise, 0, bytes, 0), &[]);
+        g.add(TaskCost::new(KernelClass::Elementwise, 0, bytes, 0), &[]);
+        let s1 = simulate(&g, &m, 1);
+        let s2 = simulate(&g, &m, 2);
+        let t1_expect = 2.0 * bytes as f64 / m.core_dram_bw_bytes_per_s;
+        assert!((s1.makespan - t1_expect).abs() < 1e-6, "t1 {}", s1.makespan);
+        assert!((s2.makespan - 0.2).abs() < 1e-6, "t2 {}", s2.makespan);
+        // The second core helps exactly up to the bus limit.
+        assert!(s2.makespan < s1.makespan);
+    }
+
+    #[test]
+    fn compute_tasks_do_scale_under_same_conditions() {
+        // Contrast with the memory test: compute-bound tasks double up fine.
+        let m = e3_1225();
+        let mut g = TaskGraph::new();
+        g.add(flops(2_304_000_000), &[]); // 0.1 s at 23.04 Gflop/s achieved
+        g.add(flops(2_304_000_000), &[]);
+        let s1 = simulate(&g, &m, 1);
+        let s2 = simulate(&g, &m, 2);
+        assert!((s1.makespan / s2.makespan - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn energy_components_positive_and_consistent() {
+        let m = e3_1225();
+        let mut g = TaskGraph::new();
+        g.add(
+            TaskCost::new(KernelClass::PackedGemm, 1_000_000_000, 10_000_000, 1_000_000),
+            &[],
+        );
+        let s = simulate(&g, &m, 4);
+        assert!(s.energy.pp0_joules > 0.0);
+        assert!(s.energy.dram_joules > 0.0);
+        assert!(s.energy.comm_joules > 0.0);
+        assert!(s.energy.pkg_joules() > s.energy.pp0_joules);
+        assert!(s.energy.total_joules() > s.energy.pkg_joules());
+        let w = s.energy.pkg_avg_watts(s.makespan);
+        assert!(w > m.power.pkg_base_w, "package power above base: {w}");
+    }
+
+    #[test]
+    fn more_active_cores_draw_more_power() {
+        let m = e3_1225();
+        let per_core_flops = 2_304_000_000u64;
+        // 4 independent tasks.
+        let mut g = TaskGraph::new();
+        for _ in 0..4 {
+            g.add(flops(per_core_flops), &[]);
+        }
+        let s1 = simulate(&g, &m, 1);
+        let s4 = simulate(&g, &m, 4);
+        let w1 = s1.energy.pkg_avg_watts(s1.makespan);
+        let w4 = s4.energy.pkg_avg_watts(s4.makespan);
+        assert!(
+            w4 - w1 > 2.0 * (m.power.core_active_w[0] - m.power.core_idle_w) * 0.9,
+            "w1={w1}, w4={w4}"
+        );
+    }
+
+    #[test]
+    fn stalled_cores_draw_less_than_active() {
+        let m = e3_1225();
+        // Memory-bound task: core mostly stalled.
+        let mut gm = TaskGraph::new();
+        gm.add(
+            TaskCost::new(KernelClass::Elementwise, 1000, 1_280_000_000, 0),
+            &[],
+        );
+        let sm = simulate(&gm, &m, 1);
+        // Compute-bound task of the same duration (0.1 s).
+        let mut gc = TaskGraph::new();
+        gc.add(flops(2_304_000_000), &[]);
+        let sc = simulate(&gc, &m, 1);
+        let wm = sm.energy.pp0_avg_watts(sm.makespan);
+        let wc = sc.energy.pp0_avg_watts(sc.makespan);
+        assert!(wm < wc, "stalled {wm} W should be below active {wc} W");
+    }
+
+    #[test]
+    fn comm_phase_delays_start_of_work() {
+        let m = e3_1225();
+        let mut g = TaskGraph::new();
+        let comm_bytes = 4_500_000_000u64; // 0.1 s at 45 GB/s
+        g.add(TaskCost::new(KernelClass::Control, 0, 0, comm_bytes), &[]);
+        let s = simulate(&g, &m, 1);
+        assert!((s.makespan - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_cost_tasks_complete_instantly() {
+        let mut g = TaskGraph::new();
+        let a = g.add(TaskCost::compute(KernelClass::Control, 0), &[]);
+        let b = g.add(TaskCost::compute(KernelClass::Control, 0), &[a]);
+        let _ = b;
+        let s = simulate(&g, &ideal_test_machine(1), 1);
+        assert_eq!(s.makespan, 0.0);
+        assert_eq!(s.tasks.len(), 2);
+    }
+
+    #[test]
+    fn timeline_csv_lists_every_task() {
+        let m = e3_1225();
+        let mut g = TaskGraph::new();
+        let a = g.add(flops(1_000_000), &[]);
+        g.add(TaskCost::new(KernelClass::Elementwise, 10, 1_000, 0), &[a]);
+        let s = simulate(&g, &m, 2);
+        let csv = s.timeline_csv(&g);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("PackedGemm"));
+        assert!(csv.contains("Elementwise"));
+        assert!(csv.starts_with("task,core,class,start,end"));
+    }
+
+    #[test]
+    fn determinism() {
+        let m = e3_1225();
+        let mut g = TaskGraph::new();
+        let mut ids = Vec::new();
+        for i in 0..20u64 {
+            let deps: Vec<TaskId> = ids.iter().copied().filter(|t: &TaskId| t.index() % 3 == 0).collect();
+            ids.push(g.add(
+                TaskCost::new(KernelClass::LeafGemm, i * 10_000_000, i * 1_000, 0),
+                &deps,
+            ));
+        }
+        let a = simulate(&g, &m, 3);
+        let b = simulate(&g, &m, 3);
+        assert_eq!(a, b);
+    }
+}

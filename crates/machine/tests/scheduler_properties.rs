@@ -1,0 +1,130 @@
+//! Property-based tests for the DES scheduler: conservation laws and
+//! bounds that must hold for *any* task graph.
+
+use powerscale_machine::{
+    presets, simulate, TaskCost, TaskGraph, TaskId, ALL_KERNEL_CLASSES,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random DAG of up to 40 tasks with random costs; each task
+/// depends on a random subset of earlier tasks.
+fn arb_graph() -> impl Strategy<Value = TaskGraph> {
+    proptest::collection::vec(
+        (
+            0usize..ALL_KERNEL_CLASSES.len(),
+            0u64..2_000_000_000,
+            0u64..200_000_000,
+            0u64..20_000_000,
+            proptest::collection::vec(any::<prop::sample::Index>(), 0..4),
+        ),
+        1..40,
+    )
+    .prop_map(|specs| {
+        let mut g = TaskGraph::new();
+        let mut ids: Vec<TaskId> = Vec::new();
+        for (class_idx, flops, dram, comm, dep_picks) in specs {
+            let mut deps: Vec<TaskId> = dep_picks
+                .iter()
+                .filter(|_| !ids.is_empty())
+                .map(|p| ids[p.index(ids.len())])
+                .collect();
+            deps.sort_unstable();
+            deps.dedup();
+            let cost = TaskCost::new(ALL_KERNEL_CLASSES[class_idx], flops, dram, comm);
+            ids.push(g.add(cost, &deps));
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn makespan_respects_lower_bounds(g in arb_graph(), cores in 1usize..6) {
+        let m = presets::e3_1225();
+        let s = simulate(&g, &m, cores);
+        let cp = g.critical_path_seconds(&m);
+        let work = g.total_work_seconds(&m);
+        prop_assert!(s.makespan >= cp - 1e-9, "below critical path");
+        prop_assert!(s.makespan >= work / cores as f64 - 1e-9, "below work/p");
+    }
+
+    #[test]
+    fn more_cores_help_up_to_grahams_anomaly(g in arb_graph()) {
+        // Greedy list scheduling is NOT monotone in the core count —
+        // Graham's classic scheduling anomalies allow a larger machine to
+        // finish (boundedly) later. Assert the bounded version.
+        let m = presets::e3_1225();
+        let t1 = simulate(&g, &m, 1).makespan;
+        for cores in [2usize, 4] {
+            let s = simulate(&g, &m, cores);
+            prop_assert!(
+                s.makespan <= t1 * 1.10 + 1e-9,
+                "{cores} cores much slower than 1: {} > {t1}",
+                s.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn dependencies_never_violated(g in arb_graph(), cores in 1usize..5) {
+        let m = presets::e3_1225();
+        let s = simulate(&g, &m, cores);
+        for (i, t) in s.tasks.iter().enumerate() {
+            for d in g.deps(TaskId::from_index(i)) {
+                prop_assert!(
+                    t.start >= s.tasks[d.index()].end - 1e-9,
+                    "task {i} started before its dependency finished"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn busy_time_conservation(g in arb_graph(), cores in 1usize..5) {
+        let m = presets::e3_1225();
+        let s = simulate(&g, &m, cores);
+        let busy: f64 = s.core_busy.iter().sum();
+        let durations: f64 = s.tasks.iter().map(|t| t.end - t.start).sum();
+        prop_assert!((busy - durations).abs() < 1e-6);
+        for &b in &s.core_busy {
+            prop_assert!(b <= s.makespan + 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_core_runs_two_tasks_at_once(g in arb_graph(), cores in 1usize..4) {
+        let m = presets::e3_1225();
+        let s = simulate(&g, &m, cores);
+        let mut by_core: Vec<Vec<(f64, f64)>> = vec![Vec::new(); cores];
+        for t in &s.tasks {
+            by_core[t.core].push((t.start, t.end));
+        }
+        for spans in &mut by_core {
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in spans.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1 - 1e-9, "overlap on a core: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_monotone_in_makespan_floor(g in arb_graph(), cores in 1usize..5) {
+        let m = presets::e3_1225();
+        let s = simulate(&g, &m, cores);
+        // Energy is at least the idle floor over the makespan.
+        let idle_floor = (m.power.pkg_base_w
+            + m.power.dram_static_w
+            + cores as f64 * m.power.core_idle_w)
+            * s.makespan;
+        prop_assert!(s.energy.total_joules() >= idle_floor * 0.999 - 1e-9);
+        prop_assert!(s.energy.total_joules().is_finite());
+    }
+
+    #[test]
+    fn determinism_property(g in arb_graph(), cores in 1usize..5) {
+        let m = presets::e3_1225();
+        prop_assert_eq!(simulate(&g, &m, cores), simulate(&g, &m, cores));
+    }
+}

@@ -1,0 +1,132 @@
+//! Dimension-mismatch errors shared across the matrix API.
+
+use core::fmt;
+
+/// Result alias for matrix operations that can fail on shape mismatch.
+pub type DimResult<T> = Result<T, DimError>;
+
+/// A shape error raised when operand dimensions are incompatible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimError {
+    /// Two operands that must share a shape do not.
+    Mismatch {
+        /// Human-readable operation name (e.g. `"add"`).
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// An inner (contraction) dimension mismatch in a product `A·B`.
+    Inner {
+        /// Columns of `A`.
+        lhs_cols: usize,
+        /// Rows of `B`.
+        rhs_rows: usize,
+    },
+    /// An operation required an even (or otherwise divisible) dimension.
+    NotDivisible {
+        /// Operation name.
+        op: &'static str,
+        /// The offending dimension.
+        dim: usize,
+        /// The required divisor.
+        by: usize,
+    },
+    /// A sub-view request fell outside the parent matrix.
+    OutOfBounds {
+        /// Requested origin `(row, col)`.
+        origin: (usize, usize),
+        /// Requested shape `(rows, cols)`.
+        shape: (usize, usize),
+        /// Parent shape `(rows, cols)`.
+        parent: (usize, usize),
+    },
+}
+
+impl fmt::Display for DimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimError::Mismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in `{op}`: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            DimError::Inner { lhs_cols, rhs_rows } => write!(
+                f,
+                "inner dimension mismatch: lhs has {lhs_cols} cols, rhs has {rhs_rows} rows"
+            ),
+            DimError::NotDivisible { op, dim, by } => {
+                write!(f, "`{op}` requires a dimension divisible by {by}, got {dim}")
+            }
+            DimError::OutOfBounds {
+                origin,
+                shape,
+                parent,
+            } => write!(
+                f,
+                "sub-view at ({},{}) of shape {}x{} exceeds parent {}x{}",
+                origin.0, origin.1, shape.0, shape.1, parent.0, parent.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mismatch() {
+        let e = DimError::Mismatch {
+            op: "add",
+            lhs: (2, 3),
+            rhs: (3, 2),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in `add`: lhs is 2x3, rhs is 3x2"
+        );
+    }
+
+    #[test]
+    fn display_inner() {
+        let e = DimError::Inner {
+            lhs_cols: 4,
+            rhs_rows: 5,
+        };
+        assert!(e.to_string().contains("4 cols"));
+        assert!(e.to_string().contains("5 rows"));
+    }
+
+    #[test]
+    fn display_not_divisible() {
+        let e = DimError::NotDivisible {
+            op: "quadrants",
+            dim: 7,
+            by: 2,
+        };
+        assert!(e.to_string().contains("divisible by 2"));
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = DimError::OutOfBounds {
+            origin: (1, 1),
+            shape: (4, 4),
+            parent: (4, 4),
+        };
+        assert!(e.to_string().contains("exceeds parent 4x4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DimError::Inner {
+            lhs_cols: 1,
+            rhs_rows: 2,
+        });
+    }
+}

@@ -1,0 +1,152 @@
+//! Deterministic matrix generation.
+//!
+//! The paper's execution matrix uses "randomly generated matrices" of sizes
+//! 512–4096. For reproducibility every generator here is seeded (ChaCha8),
+//! so a given `(seed, shape)` always produces the same operand — experiment
+//! reruns and cross-crate tests see identical inputs.
+
+use crate::Matrix;
+use rand::distributions::{Distribution, Uniform};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A seeded generator of dense matrices.
+#[derive(Debug, Clone)]
+pub struct MatrixGen {
+    rng: ChaCha8Rng,
+}
+
+impl MatrixGen {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        MatrixGen {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// A `rows × cols` matrix with i.i.d. entries uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, rows: usize, cols: usize, lo: f64, hi: f64) -> Matrix {
+        assert!(lo < hi, "uniform: empty range [{lo}, {hi})");
+        let dist = Uniform::new(lo, hi);
+        let mut m = Matrix::zeros(rows, cols);
+        for x in m.as_mut_slice() {
+            *x = dist.sample(&mut self.rng);
+        }
+        m
+    }
+
+    /// The paper's test operand: a square `n × n` matrix with entries in
+    /// `[-1, 1)`.
+    pub fn paper_operand(&mut self, n: usize) -> Matrix {
+        self.uniform(n, n, -1.0, 1.0)
+    }
+
+    /// A well-conditioned diagonally-dominant matrix (each diagonal element
+    /// exceeds its row's off-diagonal absolute sum), useful for stability
+    /// studies.
+    pub fn diag_dominant(&mut self, n: usize) -> Matrix {
+        let mut m = self.uniform(n, n, -1.0, 1.0);
+        for i in 0..n {
+            let row_sum: f64 = m.row(i).iter().map(|x| x.abs()).sum();
+            m.set(i, i, row_sum + 1.0);
+        }
+        m
+    }
+}
+
+/// Deterministic special matrices used by unit tests and examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecialMatrix {
+    /// The identity.
+    Identity,
+    /// All ones.
+    Ones,
+    /// `a_ij = i * cols + j` (row-major counter) — easy to eyeball.
+    Counter,
+    /// Hilbert-like `a_ij = 1 / (i + j + 1)` — ill-conditioned.
+    Hilbert,
+    /// Checkerboard of ±1.
+    Checkerboard,
+}
+
+impl SpecialMatrix {
+    /// Materialises the special matrix at `n × n`.
+    pub fn build(self, n: usize) -> Matrix {
+        match self {
+            SpecialMatrix::Identity => Matrix::identity(n),
+            SpecialMatrix::Ones => Matrix::filled(n, n, 1.0),
+            SpecialMatrix::Counter => Matrix::from_fn(n, n, |i, j| (i * n + j) as f64),
+            SpecialMatrix::Hilbert => {
+                Matrix::from_fn(n, n, |i, j| 1.0 / ((i + j + 1) as f64))
+            }
+            SpecialMatrix::Checkerboard => {
+                Matrix::from_fn(n, n, |i, j| if (i + j) % 2 == 0 { 1.0 } else { -1.0 })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_matrix() {
+        let a = MatrixGen::new(42).paper_operand(16);
+        let b = MatrixGen::new(42).paper_operand(16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_matrix() {
+        let a = MatrixGen::new(1).paper_operand(16);
+        let b = MatrixGen::new(2).paper_operand(16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sequential_draws_differ() {
+        let mut g = MatrixGen::new(7);
+        let a = g.paper_operand(8);
+        let b = g.paper_operand(8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let m = MatrixGen::new(3).uniform(32, 32, -2.0, 3.0);
+        assert!(m.as_slice().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_bad_range_panics() {
+        let _ = MatrixGen::new(0).uniform(2, 2, 1.0, 1.0);
+    }
+
+    #[test]
+    fn diag_dominance_holds() {
+        let m = MatrixGen::new(11).diag_dominant(20);
+        for i in 0..20 {
+            let off: f64 = m
+                .row(i)
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, x)| x.abs())
+                .sum();
+            assert!(m.get(i, i) > off, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn special_matrices_shapes_and_values() {
+        assert_eq!(SpecialMatrix::Identity.build(3).get(1, 1), 1.0);
+        assert_eq!(SpecialMatrix::Ones.build(2), Matrix::filled(2, 2, 1.0));
+        assert_eq!(SpecialMatrix::Counter.build(4).get(2, 3), 11.0);
+        assert!((SpecialMatrix::Hilbert.build(4).get(1, 2) - 0.25).abs() < 1e-15);
+        let cb = SpecialMatrix::Checkerboard.build(2);
+        assert_eq!(cb.get(0, 0), 1.0);
+        assert_eq!(cb.get(0, 1), -1.0);
+    }
+}

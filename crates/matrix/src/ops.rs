@@ -1,0 +1,221 @@
+//! Elementwise matrix operations on views.
+//!
+//! These are the O(n²) building blocks the Strassen and CAPS recursions are
+//! made of (quadrant adds/subtracts and accumulations). They operate on views
+//! so recursion levels never copy operands, and each function also has an
+//! `*_into` form writing to a caller-provided destination so intermediate
+//! buffers can be pooled.
+
+use crate::{DimError, DimResult, Matrix, MatrixView, MatrixViewMut};
+
+fn check2(op: &'static str, a: (usize, usize), b: (usize, usize)) -> DimResult<()> {
+    if a != b {
+        return Err(DimError::Mismatch { op, lhs: a, rhs: b });
+    }
+    Ok(())
+}
+
+/// `dst = a + b` elementwise.
+pub fn add_into(a: &MatrixView<'_>, b: &MatrixView<'_>, dst: &mut MatrixViewMut<'_>) -> DimResult<()> {
+    check2("add", a.shape(), b.shape())?;
+    check2("add", a.shape(), dst.shape())?;
+    for i in 0..a.rows() {
+        let (ra, rb, rd) = (a.row(i), b.row(i), dst.row_mut(i));
+        for j in 0..ra.len() {
+            rd[j] = ra[j] + rb[j];
+        }
+    }
+    Ok(())
+}
+
+/// `dst = a - b` elementwise.
+pub fn sub_into(a: &MatrixView<'_>, b: &MatrixView<'_>, dst: &mut MatrixViewMut<'_>) -> DimResult<()> {
+    check2("sub", a.shape(), b.shape())?;
+    check2("sub", a.shape(), dst.shape())?;
+    for i in 0..a.rows() {
+        let (ra, rb, rd) = (a.row(i), b.row(i), dst.row_mut(i));
+        for j in 0..ra.len() {
+            rd[j] = ra[j] - rb[j];
+        }
+    }
+    Ok(())
+}
+
+/// `dst += src` elementwise.
+pub fn add_assign(dst: &mut MatrixViewMut<'_>, src: &MatrixView<'_>) -> DimResult<()> {
+    check2("add_assign", dst.shape(), src.shape())?;
+    for i in 0..src.rows() {
+        let (rs, rd) = (src.row(i), dst.row_mut(i));
+        for j in 0..rs.len() {
+            rd[j] += rs[j];
+        }
+    }
+    Ok(())
+}
+
+/// `dst -= src` elementwise.
+pub fn sub_assign(dst: &mut MatrixViewMut<'_>, src: &MatrixView<'_>) -> DimResult<()> {
+    check2("sub_assign", dst.shape(), src.shape())?;
+    for i in 0..src.rows() {
+        let (rs, rd) = (src.row(i), dst.row_mut(i));
+        for j in 0..rs.len() {
+            rd[j] -= rs[j];
+        }
+    }
+    Ok(())
+}
+
+/// `dst *= alpha` elementwise.
+pub fn scale_assign(dst: &mut MatrixViewMut<'_>, alpha: f64) {
+    for i in 0..dst.rows() {
+        for x in dst.row_mut(i) {
+            *x *= alpha;
+        }
+    }
+}
+
+/// `dst += alpha * src` (AXPY over a matrix).
+pub fn axpy_assign(dst: &mut MatrixViewMut<'_>, alpha: f64, src: &MatrixView<'_>) -> DimResult<()> {
+    check2("axpy", dst.shape(), src.shape())?;
+    for i in 0..src.rows() {
+        let (rs, rd) = (src.row(i), dst.row_mut(i));
+        for j in 0..rs.len() {
+            rd[j] += alpha * rs[j];
+        }
+    }
+    Ok(())
+}
+
+/// Returns `a + b` as a new matrix.
+pub fn add(a: &MatrixView<'_>, b: &MatrixView<'_>) -> DimResult<Matrix> {
+    let mut out = Matrix::zeros(a.rows(), a.cols());
+    add_into(a, b, &mut out.view_mut())?;
+    Ok(out)
+}
+
+/// Returns `a - b` as a new matrix.
+pub fn sub(a: &MatrixView<'_>, b: &MatrixView<'_>) -> DimResult<Matrix> {
+    let mut out = Matrix::zeros(a.rows(), a.cols());
+    sub_into(a, b, &mut out.view_mut())?;
+    Ok(out)
+}
+
+/// Transposes `src` into `dst` (`dst[j][i] = src[i][j]`).
+pub fn transpose_into(src: &MatrixView<'_>, dst: &mut MatrixViewMut<'_>) -> DimResult<()> {
+    if (src.cols(), src.rows()) != dst.shape() {
+        return Err(DimError::Mismatch {
+            op: "transpose",
+            lhs: (src.cols(), src.rows()),
+            rhs: dst.shape(),
+        });
+    }
+    for i in 0..src.rows() {
+        let r = src.row(i);
+        for (j, &v) in r.iter().enumerate() {
+            dst.set(j, i, v);
+        }
+    }
+    Ok(())
+}
+
+/// Number of f64 additions performed by an elementwise op over `shape`.
+///
+/// Used by the cost models: every `add_into`/`sub_into`/`add_assign` on an
+/// `r × c` block performs exactly `r * c` flops and moves `3 * r * c`
+/// (two reads + one write) or `2 * r * c` (accumulate forms) elements.
+#[inline]
+pub fn elementwise_flops(shape: (usize, usize)) -> u64 {
+    shape.0 as u64 * shape.1 as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    fn m(rows: usize, cols: usize, f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        Matrix::from_fn(rows, cols, f)
+    }
+
+    #[test]
+    fn add_and_sub_round_trip() {
+        let a = m(3, 4, |i, j| (i + j) as f64);
+        let b = m(3, 4, |i, j| (i * j) as f64);
+        let s = add(&a.view(), &b.view()).unwrap();
+        let d = sub(&s.view(), &b.view()).unwrap();
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut acc = Matrix::zeros(2, 2);
+        let one = Matrix::filled(2, 2, 1.0);
+        for _ in 0..5 {
+            add_assign(&mut acc.view_mut(), &one.view()).unwrap();
+        }
+        assert!(acc.approx_eq(&Matrix::filled(2, 2, 5.0), 0.0));
+    }
+
+    #[test]
+    fn sub_assign_inverts_add_assign() {
+        let mut acc = m(2, 3, |i, j| (i * 3 + j) as f64);
+        let orig = acc.clone();
+        let delta = m(2, 3, |i, j| (i + 2 * j) as f64);
+        add_assign(&mut acc.view_mut(), &delta.view()).unwrap();
+        sub_assign(&mut acc.view_mut(), &delta.view()).unwrap();
+        assert!(acc.approx_eq(&orig, 1e-12));
+    }
+
+    #[test]
+    fn scale_and_axpy() {
+        let mut a = Matrix::filled(2, 2, 2.0);
+        scale_assign(&mut a.view_mut(), 1.5);
+        assert!(a.approx_eq(&Matrix::filled(2, 2, 3.0), 0.0));
+
+        let src = Matrix::filled(2, 2, 4.0);
+        axpy_assign(&mut a.view_mut(), 0.25, &src.view()).unwrap();
+        assert!(a.approx_eq(&Matrix::filled(2, 2, 4.0), 0.0));
+    }
+
+    #[test]
+    fn transpose_into_rectangular() {
+        let a = m(2, 3, |i, j| (10 * i + j) as f64);
+        let mut t = Matrix::zeros(3, 2);
+        transpose_into(&a.view(), &mut t.view_mut()).unwrap();
+        assert_eq!(t, a.transposed());
+    }
+
+    #[test]
+    fn shape_mismatches_reported() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        let mut c = Matrix::zeros(2, 2);
+        assert!(add_into(&a.view(), &b.view(), &mut c.view_mut()).is_err());
+        assert!(add_assign(&mut c.view_mut(), &b.view()).is_err());
+        let mut t = Matrix::zeros(2, 2);
+        assert!(transpose_into(&b.view(), &mut t.view_mut()).is_err());
+    }
+
+    #[test]
+    fn ops_on_sub_views_respect_stride() {
+        // Operating on interior blocks must not touch surrounding elements.
+        let mut big = Matrix::filled(6, 6, -1.0);
+        let a = Matrix::filled(2, 2, 3.0);
+        let b = Matrix::filled(2, 2, 4.0);
+        {
+            let mut dst = big.sub_view_mut((2, 2), (2, 2)).unwrap();
+            add_into(&a.view(), &b.view(), &mut dst).unwrap();
+        }
+        assert_eq!(big.get(2, 2), 7.0);
+        assert_eq!(big.get(3, 3), 7.0);
+        assert_eq!(big.get(1, 2), -1.0);
+        assert_eq!(big.get(2, 4), -1.0);
+        assert_eq!(big.get(4, 2), -1.0);
+    }
+
+    #[test]
+    fn elementwise_flops_counts() {
+        assert_eq!(elementwise_flops((8, 8)), 64);
+        assert_eq!(elementwise_flops((0, 5)), 0);
+    }
+}

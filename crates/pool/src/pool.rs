@@ -1,0 +1,460 @@
+//! The thread pool itself: workers, deques, injector, parking.
+
+use crate::scope::{Scope, ScopeLatch};
+use crate::stats::{PoolStats, WorkerStats};
+use crossbeam_deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Where a job was obtained from — drives the stats counters.
+enum JobSource {
+    Local,
+    Injected,
+    Stolen,
+}
+
+/// Globally unique pool identifiers so thread-locals can tell "my pool's
+/// worker" from "some other pool's worker".
+static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// Set while a worker loop is running on this thread.
+    static WORKER_CTX: Cell<Option<WorkerCtx>> = const { Cell::new(None) };
+}
+
+#[derive(Clone, Copy)]
+struct WorkerCtx {
+    pool_id: usize,
+    index: usize,
+    /// Pointer to the worker-owned deque, valid for the worker loop's
+    /// lifetime on this thread only.
+    local: *const Worker<Job>,
+}
+
+pub(crate) struct PoolInner {
+    id: usize,
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    stats: Vec<WorkerStats>,
+    shutdown: AtomicBool,
+    /// Parking: workers sleep here when no work is available.
+    sleep_mutex: Mutex<()>,
+    sleep_cond: Condvar,
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// See the [crate docs](crate) for the design rationale. Dropping the pool
+/// signals shutdown and joins every worker.
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+    threads: Vec<JoinHandle<()>>,
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `num_threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `num_threads == 0`.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads > 0, "ThreadPool requires at least one worker");
+        let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
+        let workers: Vec<Worker<Job>> = (0..num_threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(Worker::stealer).collect();
+        let stats = (0..num_threads).map(|_| WorkerStats::default()).collect();
+        let inner = Arc::new(PoolInner {
+            id,
+            injector: Injector::new(),
+            stealers,
+            stats,
+            shutdown: AtomicBool::new(false),
+            sleep_mutex: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+        });
+        let threads = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, worker)| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("powerscale-worker-{index}"))
+                    .spawn(move || worker_loop(inner, index, worker))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            inner,
+            threads,
+            num_threads,
+        }
+    }
+
+    /// Number of workers.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Creates a scope in which tasks borrowing the environment may be
+    /// spawned; returns once every spawned task (transitively) finished.
+    ///
+    /// If any task panicked, the panic is resumed here after the scope
+    /// drains.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let latch = ScopeLatch::new();
+        let scope = Scope::new(&self.inner, &latch);
+        // Guard so the wait happens even if `f` itself unwinds after
+        // spawning: tasks borrowing the environment must finish before the
+        // stack frame disappears.
+        struct WaitGuard<'a> {
+            inner: &'a PoolInner,
+            latch: &'a ScopeLatch,
+        }
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                self.inner.wait_scope(self.latch);
+            }
+        }
+        let result = {
+            let _guard = WaitGuard {
+                inner: &self.inner,
+                latch: &latch,
+            };
+            f(&scope)
+            // _guard drops here: waits for all spawned tasks (helping if on
+            // a worker thread), on both the normal and unwinding paths.
+        };
+        latch.maybe_resume_panic();
+        result
+    }
+
+    /// Runs two closures, potentially in parallel, returning both results.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let mut rb: Option<RB> = None;
+        let ra = self.scope(|s| {
+            s.spawn(|_| rb = Some(b()));
+            a()
+        });
+        (ra, rb.expect("join: spawned side did not complete"))
+    }
+
+    /// Snapshots per-worker statistics.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.inner.stats.iter().map(WorkerStats::snapshot).collect(),
+        }
+    }
+
+    /// `true` when called from one of this pool's worker threads.
+    pub fn on_worker_thread(&self) -> bool {
+        self.inner.current_worker().is_some()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl PoolInner {
+    /// Pushes a job, preferring the current worker's local deque.
+    pub(crate) fn push_job(&self, job: Job) {
+        match self.current_worker() {
+            Some(ctx) => {
+                // SAFETY: ctx.local points to the deque owned by this
+                // thread's running worker loop; we are on that thread.
+                unsafe { (*ctx.local).push(job) };
+            }
+            None => self.injector.push(job),
+        }
+        self.notify_all();
+    }
+
+    fn current_worker(&self) -> Option<WorkerCtx> {
+        WORKER_CTX.with(|c| c.get()).filter(|ctx| ctx.pool_id == self.id)
+    }
+
+    fn notify_all(&self) {
+        // Lock/unlock pairs with the re-check under the lock in the worker
+        // loop, closing the lost-wakeup window.
+        drop(self.sleep_mutex.lock());
+        self.sleep_cond.notify_all();
+    }
+
+    /// Blocks until `latch` opens. Worker threads help by executing tasks.
+    pub(crate) fn wait_scope(&self, latch: &ScopeLatch) {
+        if let Some(ctx) = self.current_worker() {
+            // Helping wait: keep running any available task.
+            while !latch.is_open() {
+                // SAFETY: as in push_job — deque owned by this thread.
+                let local = unsafe { &*ctx.local };
+                match self.find_job(local, ctx.index) {
+                    Some((job, src)) => self.run_job(job, src, ctx.index),
+                    None => std::thread::yield_now(),
+                }
+            }
+        } else {
+            latch.wait_blocking();
+        }
+    }
+
+    fn find_job(&self, local: &Worker<Job>, index: usize) -> Option<(Job, JobSource)> {
+        if let Some(job) = local.pop() {
+            return Some((job, JobSource::Local));
+        }
+        // Drain the injector in batches into our deque.
+        loop {
+            match self.injector.steal_batch_and_pop(local) {
+                crossbeam_deque::Steal::Success(job) => return Some((job, JobSource::Injected)),
+                crossbeam_deque::Steal::Retry => continue,
+                crossbeam_deque::Steal::Empty => break,
+            }
+        }
+        // Steal from siblings, starting after our own index for fairness.
+        let n = self.stealers.len();
+        for k in 1..n {
+            let victim = (index + k) % n;
+            loop {
+                match self.stealers[victim].steal() {
+                    crossbeam_deque::Steal::Success(job) => {
+                        return Some((job, JobSource::Stolen))
+                    }
+                    crossbeam_deque::Steal::Retry => continue,
+                    crossbeam_deque::Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    fn run_job(&self, job: Job, src: JobSource, index: usize) {
+        match src {
+            JobSource::Local => self.stats[index].count_local(),
+            JobSource::Injected => self.stats[index].count_injected(),
+            JobSource::Stolen => self.stats[index].count_stolen(),
+        }
+        job();
+    }
+
+    fn has_any_work(&self) -> bool {
+        !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty())
+    }
+}
+
+fn worker_loop(inner: Arc<PoolInner>, index: usize, local: Worker<Job>) {
+    WORKER_CTX.with(|c| {
+        c.set(Some(WorkerCtx {
+            pool_id: inner.id,
+            index,
+            local: &local as *const _,
+        }))
+    });
+    const SPIN_TRIES: u32 = 32;
+    let mut idle_spins = 0u32;
+    loop {
+        if let Some((job, src)) = inner.find_job(&local, index) {
+            idle_spins = 0;
+            inner.run_job(job, src, index);
+            continue;
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        idle_spins += 1;
+        if idle_spins < SPIN_TRIES {
+            std::thread::yield_now();
+            continue;
+        }
+        // Park until notified. Re-check for work under the lock to avoid a
+        // lost wakeup between find_job and the wait.
+        let mut guard = inner.sleep_mutex.lock();
+        if inner.has_any_work() || inner.shutdown.load(Ordering::SeqCst) {
+            continue;
+        }
+        inner.stats[index].count_park();
+        inner.sleep_cond.wait(&mut guard);
+        idle_spins = 0;
+    }
+    WORKER_CTX.with(|c| c.set(None));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_tasks() {
+        let pool = ThreadPool::new(1);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.join(|| 1 + 1, || vec![1, 2, 3]);
+        assert_eq!(a, 2);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn scope_borrows_environment_mutably() {
+        let pool = ThreadPool::new(3);
+        let mut data = vec![0u64; 64];
+        pool.scope(|s| {
+            for (i, chunk) in data.chunks_mut(8).enumerate() {
+                s.spawn(move |_| {
+                    for x in chunk {
+                        *x = i as u64;
+                    }
+                });
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[63], 7);
+    }
+
+    #[test]
+    fn nested_scopes_from_tasks() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|s2| {
+                    for _ in 0..4 {
+                        s2.spawn(|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn recursive_fork_join_fib() {
+        // The BOTS-style recursion pattern: join calls nested inside tasks.
+        fn fib(pool: &ThreadPool, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = pool.join(|| fib_inner(pool, n - 1), || fib_inner(pool, n - 2));
+            a + b
+        }
+        fn fib_inner(pool: &ThreadPool, n: u64) -> u64 {
+            if n < 10 {
+                // Sequential cutoff.
+                if n < 2 {
+                    n
+                } else {
+                    fib_inner(pool, n - 1) + fib_inner(pool, n - 2)
+                }
+            } else {
+                fib(pool, n)
+            }
+        }
+        let pool = ThreadPool::new(4);
+        assert_eq!(fib(&pool, 20), 6765);
+    }
+
+    #[test]
+    fn scope_propagates_panic() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("task exploded"));
+            });
+        }));
+        assert!(result.is_err());
+        // Pool still usable afterwards.
+        let (a, _) = pool.join(|| 5, || 6);
+        assert_eq!(a, 5);
+    }
+
+    #[test]
+    fn stats_count_all_tasks() {
+        let pool = ThreadPool::new(2);
+        pool.scope(|s| {
+            for _ in 0..50 {
+                s.spawn(|_| std::hint::black_box(()));
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.total_executed(), 50);
+    }
+
+    #[test]
+    fn on_worker_thread_detection() {
+        let pool = ThreadPool::new(1);
+        assert!(!pool.on_worker_thread());
+        let mut inside = false;
+        pool.scope(|s| {
+            s.spawn(|_| {
+                inside = WORKER_CTX.with(|c| c.get()).is_some();
+            });
+        });
+        assert!(inside);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let c = Arc::clone(&counter);
+            pool.scope(move |s| {
+                for _ in 0..10 {
+                    let c = Arc::clone(&c);
+                    s.spawn(move |_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn many_pools_coexist() {
+        let p1 = ThreadPool::new(2);
+        let p2 = ThreadPool::new(2);
+        let (a, b) = p1.join(|| p2.join(|| 1, || 2), || 3);
+        assert_eq!((a, b), ((1, 2), 3));
+    }
+}

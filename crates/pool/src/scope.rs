@@ -1,0 +1,237 @@
+//! Structured-concurrency scopes over the pool.
+//!
+//! A [`Scope`] is the lifetime boundary that makes it sound for tasks to
+//! borrow the caller's stack: `ThreadPool::scope` does not return until every
+//! task spawned into the scope (including tasks spawned *by* tasks) has
+//! completed, so `'env` borrows held by the tasks can never dangle. The
+//! machinery mirrors rayon's `scope` at a smaller scale: a counting latch, a
+//! lifetime-erased job box, and panic capture with re-raise at the scope
+//! boundary.
+
+use crate::pool::{Job, PoolInner};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts in-flight tasks of one scope and holds the first captured panic.
+pub(crate) struct ScopeLatch {
+    pending: AtomicUsize,
+    mutex: Mutex<()>,
+    cond: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeLatch {
+    pub(crate) fn new() -> Self {
+        ScopeLatch {
+            pending: AtomicUsize::new(0),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn increment(&self) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn complete_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last task: wake the scope owner. The lock pairs with
+            // wait_blocking's re-check to avoid a lost wakeup.
+            drop(self.mutex.lock());
+            self.cond.notify_all();
+        }
+    }
+
+    /// `true` once every task has completed.
+    pub(crate) fn is_open(&self) -> bool {
+        self.pending.load(Ordering::Acquire) == 0
+    }
+
+    /// Parks the calling (non-worker) thread until the scope drains.
+    pub(crate) fn wait_blocking(&self) {
+        let mut guard = self.mutex.lock();
+        while !self.is_open() {
+            self.cond.wait(&mut guard);
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Re-raises the first task panic, if any.
+    pub(crate) fn maybe_resume_panic(&self) {
+        let payload = self.panic.lock().take();
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// A raw pointer that may cross threads. Soundness is argued at each use
+/// site: the pointee is kept alive by the scope protocol.
+struct SendPtr<T>(*const T);
+// SAFETY: see the field docs — validity is a protocol invariant, not a type
+// property; Send-ness itself is fine for a raw pointer to Sync data.
+unsafe impl<T: Sync> Send for SendPtr<T> {}
+impl<T> Copy for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> SendPtr<T> {
+    /// Takes `self` by value so closures capture the whole wrapper (and its
+    /// `Send` impl) rather than the raw-pointer field under RFC 2229
+    /// disjoint capture.
+    fn get(self) -> *const T {
+        self.0
+    }
+}
+
+/// A spawning context tied to a pool (`'pool`) and the borrowed environment
+/// (`'env`). Obtained from [`crate::ThreadPool::scope`]; tasks receive a
+/// scope of their own so they can spawn recursively.
+pub struct Scope<'pool, 'env> {
+    pool: &'pool PoolInner,
+    latch: &'pool ScopeLatch,
+    /// Invariant in `'env`: prevents the environment lifetime from being
+    /// shortened, which would let tasks outlive their borrows.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    pub(crate) fn new(pool: &'pool PoolInner, latch: &'pool ScopeLatch) -> Self {
+        Scope {
+            pool,
+            latch,
+            _env: PhantomData,
+        }
+    }
+
+    /// Spawns a task into the scope. The task may itself spawn via the scope
+    /// reference it receives.
+    ///
+    /// Panics inside the task are captured and re-raised when the scope
+    /// closes (first panic wins).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'_, 'env>) + Send + 'env,
+    {
+        self.latch.increment();
+        let pool = SendPtr(self.pool as *const PoolInner);
+        let latch = SendPtr(self.latch as *const ScopeLatch);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            // SAFETY: the scope owner waits on the latch before returning,
+            // and `PoolInner` is kept alive by the `ThreadPool` (which must
+            // outlive the scope call), so both pointers are valid for the
+            // whole execution of this job.
+            let (pool, latch) = unsafe { (&*pool.get(), &*latch.get()) };
+            let scope = Scope::new(pool, latch);
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+            if let Err(payload) = result {
+                latch.record_panic(payload);
+            }
+            latch.complete_one();
+        });
+        // SAFETY: lifetime erasure. The job only borrows data outliving
+        // 'env, and the scope protocol guarantees the job completes before
+        // `ThreadPool::scope` returns, i.e. before 'env can end.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send + 'static>>(
+                job,
+            )
+        };
+        self.pool.push_job(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPool;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn latch_open_when_empty() {
+        let latch = ScopeLatch::new();
+        assert!(latch.is_open());
+        latch.wait_blocking(); // must not block
+    }
+
+    #[test]
+    fn latch_counts() {
+        let latch = ScopeLatch::new();
+        latch.increment();
+        latch.increment();
+        assert!(!latch.is_open());
+        latch.complete_one();
+        assert!(!latch.is_open());
+        latch.complete_one();
+        assert!(latch.is_open());
+    }
+
+    #[test]
+    fn latch_keeps_first_panic() {
+        let latch = ScopeLatch::new();
+        latch.record_panic(Box::new("first"));
+        latch.record_panic(Box::new("second"));
+        let err = panic::catch_unwind(AssertUnwindSafe(|| latch.maybe_resume_panic()))
+            .expect_err("should panic");
+        assert_eq!(*err.downcast_ref::<&str>().unwrap(), "first");
+        // Consumed: a second call is silent.
+        latch.maybe_resume_panic();
+    }
+
+    #[test]
+    fn deep_recursion_through_scopes() {
+        let pool = ThreadPool::new(4);
+        let count = AtomicU64::new(0);
+        fn go<'env>(s: &Scope<'_, 'env>, depth: usize, count: &'env AtomicU64) {
+            count.fetch_add(1, Ordering::Relaxed);
+            if depth == 0 {
+                return;
+            }
+            for _ in 0..2 {
+                s.spawn(move |s2| go(s2, depth - 1, count));
+            }
+        }
+        pool.scope(|s| go(s, 6, &count));
+        // Nodes of a binary tree of depth 6: 2^7 - 1.
+        assert_eq!(count.load(Ordering::Relaxed), 127);
+    }
+
+    #[test]
+    fn scope_result_passthrough() {
+        let pool = ThreadPool::new(2);
+        let out = pool.scope(|_| "value");
+        assert_eq!(out, "value");
+    }
+
+    #[test]
+    fn panic_in_scope_body_still_waits_for_tasks() {
+        let pool = ThreadPool::new(2);
+        let finished = std::sync::Arc::new(AtomicU64::new(0));
+        let f2 = std::sync::Arc::clone(&finished);
+        let res = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(move |s| {
+                let f3 = std::sync::Arc::clone(&f2);
+                s.spawn(move |_| {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    f3.fetch_add(1, Ordering::SeqCst);
+                });
+                panic!("scope body panicked");
+            });
+        }));
+        assert!(res.is_err());
+        // The spawned task must have completed before scope unwound.
+        assert_eq!(finished.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-worker execution statistics.
+//!
+//! These counters are the pool's contribution to the paper's communication
+//! accounting: a *steal* (taking a task from another worker's deque) is the
+//! scheduling event that drags the task's operand footprint across cores,
+//! while a *local pop* keeps it cache-resident. The CAPS experiment uses the
+//! steal/local ratio as its measured communication proxy.
+
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for one worker thread.
+///
+/// All counters are monotonically increasing over the pool's lifetime and may
+/// be read at any time with [`WorkerStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Tasks executed after being popped from this worker's own deque.
+    pub(crate) local: CachePadded<AtomicU64>,
+    /// Tasks executed after being stolen from another worker's deque.
+    pub(crate) stolen: CachePadded<AtomicU64>,
+    /// Tasks executed after being taken from the global injector.
+    pub(crate) injected: CachePadded<AtomicU64>,
+    /// Times this worker went to sleep waiting for work.
+    pub(crate) parks: CachePadded<AtomicU64>,
+}
+
+/// An immutable snapshot of one worker's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerSnapshot {
+    /// Tasks popped from the worker's own deque.
+    pub local: u64,
+    /// Tasks stolen from sibling workers.
+    pub stolen: u64,
+    /// Tasks taken from the global injector.
+    pub injected: u64,
+    /// Times the worker parked.
+    pub parks: u64,
+}
+
+impl WorkerSnapshot {
+    /// Total tasks this worker executed.
+    pub fn executed(&self) -> u64 {
+        self.local + self.stolen + self.injected
+    }
+}
+
+impl WorkerStats {
+    pub(crate) fn count_local(&self) {
+        self.local.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_stolen(&self) {
+        self.stolen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_injected(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_park(&self) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads the current counter values.
+    pub fn snapshot(&self) -> WorkerSnapshot {
+        WorkerSnapshot {
+            local: self.local.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
+            injected: self.injected.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Aggregated statistics for a whole pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// One snapshot per worker, in worker-index order.
+    pub workers: Vec<WorkerSnapshot>,
+}
+
+impl PoolStats {
+    /// Total tasks executed across workers.
+    pub fn total_executed(&self) -> u64 {
+        self.workers.iter().map(WorkerSnapshot::executed).sum()
+    }
+
+    /// Total steals across workers.
+    pub fn total_stolen(&self) -> u64 {
+        self.workers.iter().map(|w| w.stolen).sum()
+    }
+
+    /// Fraction of executed tasks that migrated (steal or injector) rather
+    /// than running where they were spawned. Returns 0 for an idle pool.
+    ///
+    /// This is the **communication fraction** consumed by the machine model:
+    /// migrated tasks pay the inter-core transfer cost for their operand
+    /// footprint.
+    pub fn migration_fraction(&self) -> f64 {
+        let total = self.total_executed();
+        if total == 0 {
+            return 0.0;
+        }
+        let migrated: u64 = self.workers.iter().map(|w| w.stolen + w.injected).sum();
+        migrated as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counts() {
+        let s = WorkerStats::default();
+        s.count_local();
+        s.count_local();
+        s.count_stolen();
+        s.count_injected();
+        s.count_park();
+        let snap = s.snapshot();
+        assert_eq!(snap.local, 2);
+        assert_eq!(snap.stolen, 1);
+        assert_eq!(snap.injected, 1);
+        assert_eq!(snap.parks, 1);
+        assert_eq!(snap.executed(), 4);
+    }
+
+    #[test]
+    fn pool_stats_aggregation() {
+        let stats = PoolStats {
+            workers: vec![
+                WorkerSnapshot {
+                    local: 6,
+                    stolen: 2,
+                    injected: 2,
+                    parks: 0,
+                },
+                WorkerSnapshot {
+                    local: 4,
+                    stolen: 4,
+                    injected: 2,
+                    parks: 1,
+                },
+            ],
+        };
+        assert_eq!(stats.total_executed(), 20);
+        assert_eq!(stats.total_stolen(), 6);
+        assert!((stats.migration_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn migration_fraction_idle_pool() {
+        let stats = PoolStats {
+            workers: vec![WorkerSnapshot::default()],
+        };
+        assert_eq!(stats.migration_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Stress and property tests for the work-stealing pool.
+
+use powerscale_pool::ThreadPool;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn results_slots_all_written() {
+    let pool = ThreadPool::new(4);
+    let mut slots = vec![u64::MAX; 10_000];
+    pool.scope(|s| {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            s.spawn(move |_| *slot = (i as u64).wrapping_mul(2654435761));
+        }
+    });
+    for (i, &v) in slots.iter().enumerate() {
+        assert_eq!(v, (i as u64).wrapping_mul(2654435761), "slot {i}");
+    }
+}
+
+#[test]
+fn join_tree_sums_match_sequential() {
+    fn tree_sum(pool: &ThreadPool, data: &[u64]) -> u64 {
+        if data.len() <= 64 {
+            return data.iter().sum();
+        }
+        let mid = data.len() / 2;
+        let (lo, hi) = data.split_at(mid);
+        let (a, b) = pool.join(|| tree_sum(pool, lo), || tree_sum(pool, hi));
+        a + b
+    }
+    let data: Vec<u64> = (0..100_000).collect();
+    let want: u64 = data.iter().sum();
+    for workers in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(workers);
+        assert_eq!(tree_sum(&pool, &data), want, "{workers} workers");
+    }
+}
+
+#[test]
+fn stats_monotone_across_scopes() {
+    let pool = ThreadPool::new(2);
+    let mut last_total = 0;
+    for round in 1..=10u64 {
+        pool.scope(|s| {
+            for _ in 0..25 {
+                s.spawn(|_| std::hint::black_box(()));
+            }
+        });
+        let total = pool.stats().total_executed();
+        assert!(total >= last_total, "stats went backwards");
+        assert_eq!(total, round * 25);
+        last_total = total;
+    }
+}
+
+#[test]
+fn concurrent_external_scopes() {
+    // Multiple non-worker threads driving scopes on the same pool.
+    let pool = Arc::new(ThreadPool::new(3));
+    let counter = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let pool = Arc::clone(&pool);
+        let counter = Arc::clone(&counter);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..50 {
+                pool.scope(|s| {
+                    for _ in 0..10 {
+                        let c = Arc::clone(&counter);
+                        s.spawn(move |_| {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), 6 * 50 * 10);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn any_spawn_shape_completes(
+        workers in 1usize..6,
+        widths in proptest::collection::vec(1usize..30, 1..6)
+    ) {
+        // Arbitrary nested fan-outs: level k spawns widths[k] children per
+        // task of level k-1. Total must match the product-sum exactly.
+        let pool = ThreadPool::new(workers);
+        let count = AtomicU64::new(0);
+        fn spawn_level<'e>(
+            s: &powerscale_pool::Scope<'_, 'e>,
+            widths: &'e [usize],
+            count: &'e AtomicU64,
+        ) {
+            let Some((&w, rest)) = widths.split_first() else {
+                return;
+            };
+            for _ in 0..w {
+                s.spawn(move |s2| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    spawn_level(s2, rest, count);
+                });
+            }
+        }
+        pool.scope(|s| spawn_level(s, &widths, &count));
+        // Expected: w0 + w0*w1 + w0*w1*w2 + …
+        let mut expect = 0u64;
+        let mut prod = 1u64;
+        for &w in &widths {
+            prod *= w as u64;
+            expect += prod;
+        }
+        prop_assert_eq!(count.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn join_is_transparent(workers in 1usize..5, x in any::<u32>(), y in any::<u32>()) {
+        let pool = ThreadPool::new(workers);
+        let (a, b) = pool.join(move || x as u64 + 1, move || y as u64 * 2);
+        prop_assert_eq!(a, x as u64 + 1);
+        prop_assert_eq!(b, y as u64 * 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! The MSR-image backend.
+//!
+//! The paper's tooling read RAPL "via an MSR values file in
+//! `/dev/cpu/*/msr`" (§V-C): a pseudo-file where a read at offset `A`
+//! returns the 64-bit value of MSR `A`. This backend implements exactly
+//! that access pattern against any file path, so it works on a real
+//! `/dev/cpu/0/msr` (given permissions, as the paper had to arrange) and
+//! on a sparse image file written by tests or captured from hardware.
+
+use crate::counter::RaplUnits;
+use crate::domain::{Domain, ALL_DOMAINS};
+use crate::EnergyReader;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// `MSR_RAPL_POWER_UNIT` — the units register.
+pub const MSR_RAPL_POWER_UNIT: u32 = 0x606;
+
+/// An [`EnergyReader`] over an MSR device or image file.
+#[derive(Debug)]
+pub struct MsrImageReader {
+    file: File,
+    units: RaplUnits,
+    domains: Vec<Domain>,
+}
+
+impl MsrImageReader {
+    /// Opens an MSR file and probes which energy-status registers respond
+    /// with non-zero values (a zero register on a real part means the
+    /// plane is unimplemented; in an image it means "not captured").
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let mut file = File::open(path)?;
+        let units = match read_msr(&mut file, MSR_RAPL_POWER_UNIT) {
+            Some(raw) if raw != 0 => RaplUnits::from_power_unit_msr(raw),
+            _ => RaplUnits::default(),
+        };
+        let mut domains = Vec::new();
+        for d in ALL_DOMAINS {
+            if matches!(read_msr(&mut file, d.msr_address()), Some(v) if v != 0) {
+                domains.push(d);
+            }
+        }
+        Ok(MsrImageReader {
+            file,
+            units,
+            domains,
+        })
+    }
+
+    /// `true` when at least one energy-status register was found.
+    pub fn is_available(&self) -> bool {
+        !self.domains.is_empty()
+    }
+}
+
+/// Reads one 64-bit MSR by seeking to its address (the `/dev/cpu/N/msr`
+/// protocol). Returns `None` on short reads or seek failures.
+fn read_msr(file: &mut File, address: u32) -> Option<u64> {
+    file.seek(SeekFrom::Start(u64::from(address))).ok()?;
+    let mut buf = [0u8; 8];
+    file.read_exact(&mut buf).ok()?;
+    Some(u64::from_le_bytes(buf))
+}
+
+impl EnergyReader for MsrImageReader {
+    fn domains(&self) -> Vec<Domain> {
+        self.domains.clone()
+    }
+
+    fn read_raw(&mut self, domain: Domain) -> Option<u32> {
+        if !self.domains.contains(&domain) {
+            return None;
+        }
+        // Energy-status registers are 32 significant bits.
+        read_msr(&mut self.file, domain.msr_address()).map(|v| v as u32)
+    }
+
+    fn units(&self) -> RaplUnits {
+        self.units
+    }
+}
+
+/// Writes an MSR image file (sparse, value-at-address layout) — the test
+/// fixture generator, also useful for capturing register snapshots.
+pub fn write_msr_image(
+    path: &Path,
+    values: &[(u32, u64)],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let max_addr = values.iter().map(|&(a, _)| a).max().unwrap_or(0);
+    let mut image = vec![0u8; (max_addr as usize + 8).max(8)];
+    for &(addr, value) in values {
+        image[addr as usize..addr as usize + 8].copy_from_slice(&value.to_le_bytes());
+    }
+    let mut f = File::create(path)?;
+    f.write_all(&image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("powerscale-msr-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn reads_image_with_units_and_domains() {
+        let path = tmpfile("basic");
+        write_msr_image(
+            &path,
+            &[
+                (MSR_RAPL_POWER_UNIT, 0x000a_0e03), // esu exponent 14
+                (Domain::Package.msr_address(), 123_456),
+                (Domain::PP0.msr_address(), 55_555),
+            ],
+        )
+        .unwrap();
+        let mut r = MsrImageReader::open(&path).unwrap();
+        assert!(r.is_available());
+        assert_eq!(r.units().esu_exponent, 14);
+        let mut doms = r.domains();
+        doms.sort();
+        assert_eq!(doms, vec![Domain::Package, Domain::PP0]);
+        assert_eq!(r.read_raw(Domain::Package), Some(123_456));
+        assert_eq!(r.read_raw(Domain::Dram), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_units_register_defaults() {
+        let path = tmpfile("nounits");
+        write_msr_image(&path, &[(Domain::Package.msr_address(), 42)]).unwrap();
+        let r = MsrImageReader::open(&path).unwrap();
+        assert_eq!(r.units().esu_exponent, RaplUnits::default().esu_exponent);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_image_has_no_domains() {
+        let path = tmpfile("empty");
+        write_msr_image(&path, &[]).unwrap();
+        let r = MsrImageReader::open(&path).unwrap();
+        assert!(!r.is_available());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn nonexistent_path_errors() {
+        assert!(MsrImageReader::open(Path::new("/no/such/msr")).is_err());
+    }
+
+    #[test]
+    fn works_with_energy_meter() {
+        use crate::EnergyMeter;
+        let path = tmpfile("meter");
+        write_msr_image(
+            &path,
+            &[(Domain::Package.msr_address(), 16_384)], // 1 J at 2^-14 J/tick
+        )
+        .unwrap();
+        let mut r = MsrImageReader::open(&path).unwrap();
+        let meter = EnergyMeter::start(&mut r);
+        // Simulate the register advancing by rewriting the image (+2 J).
+        write_msr_image(
+            &path,
+            &[(Domain::Package.msr_address(), 16_384 + 32_768)],
+        )
+        .unwrap();
+        let mut r2 = MsrImageReader::open(&path).unwrap();
+        let report = meter.finish(&mut r2, 1.0);
+        let j = report.joules_for(Domain::Package).unwrap();
+        assert!((j - 2.0).abs() < 1e-9, "j = {j}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

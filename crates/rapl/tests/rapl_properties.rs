@@ -1,0 +1,86 @@
+//! Property-based tests for RAPL counter arithmetic and the meter.
+
+use powerscale_rapl::model::ModelReader;
+use powerscale_rapl::{Domain, EnergyCounter, EnergyMeter, RaplUnits};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn raw_joule_round_trip(esu in 10u8..20, joules in 0.0f64..50_000.0) {
+        let u = RaplUnits { esu_exponent: esu };
+        let raw = u.joules_to_raw_wrapping(joules);
+        let back = u.raw_to_joules(raw);
+        // Within one tick, modulo the wrap range.
+        let wrap = u.wrap_joules();
+        let diff = (back - joules % wrap).abs();
+        prop_assert!(diff <= 2.0 * u.joules_per_tick(), "diff {diff}");
+    }
+
+    #[test]
+    fn counter_accumulates_any_delta_sequence(
+        start in any::<u32>(),
+        deltas in proptest::collection::vec(0u32..100_000_000, 1..50)
+    ) {
+        // Feed a sequence of raw increments (with wrapping); the counter
+        // must accumulate exactly the sum of deltas in joules.
+        let u = RaplUnits::default();
+        let mut c = EnergyCounter::new(u, start);
+        let mut raw = start;
+        let mut expect_ticks = 0u64;
+        for &d in &deltas {
+            raw = raw.wrapping_add(d);
+            c.update(raw);
+            expect_ticks += u64::from(d);
+        }
+        let expect = expect_ticks as f64 * u.joules_per_tick();
+        prop_assert!((c.total_joules() - expect).abs() < 1e-6 * expect.max(1.0));
+    }
+
+    #[test]
+    fn meter_integral_matches_power_times_time(
+        watts in 0.1f64..200.0,
+        steps in 1usize..60,
+        dt in 0.001f64..0.5
+    ) {
+        let mut r = ModelReader::from_powers(&[(Domain::Package, watts)]);
+        let mut m = EnergyMeter::start(&mut r);
+        for _ in 0..steps {
+            r.advance(dt);
+            m.sample(&mut r);
+        }
+        let elapsed = steps as f64 * dt;
+        let report = m.finish(&mut r, elapsed);
+        let j = report.joules_for(Domain::Package).unwrap();
+        let expect = watts * elapsed;
+        prop_assert!(
+            (j - expect).abs() < 0.01 * expect + 0.01,
+            "measured {j} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn meter_survives_any_wrap_position(
+        offset_fraction in 0.0f64..1.0,
+        watts in 10.0f64..500.0
+    ) {
+        // Start anywhere in the counter range; integrate enough to wrap.
+        let u = RaplUnits::default();
+        let start = u.wrap_joules() * offset_fraction;
+        let mut r = ModelReader::from_powers(&[(Domain::PP0, watts)])
+            .with_initial_joules(start);
+        let mut m = EnergyMeter::start(&mut r);
+        // Cross the wrap at least once: total energy 1.2 wraps, sampled
+        // well under a wrap apart.
+        let total = u.wrap_joules() * 1.2;
+        let steps = 64usize;
+        for _ in 0..steps {
+            r.advance(total / watts / steps as f64);
+            m.sample(&mut r);
+        }
+        let report = m.finish(&mut r, total / watts);
+        let j = report.joules_for(Domain::PP0).unwrap();
+        prop_assert!((j - total).abs() < 0.001 * total, "j {j} vs {total}");
+    }
+}

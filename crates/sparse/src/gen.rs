@@ -1,0 +1,139 @@
+//! Seeded sparse-matrix generators.
+
+use crate::coo::Coo;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic generator of sparse test matrices.
+#[derive(Debug, Clone)]
+pub struct SparseGen {
+    rng: ChaCha8Rng,
+}
+
+impl SparseGen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SparseGen {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform random sparsity: each cell is nonzero with probability
+    /// `density`, values in `[-1, 1)`.
+    pub fn uniform(&mut self, rows: usize, cols: usize, density: f64) -> Coo {
+        assert!((0.0..=1.0).contains(&density), "density {density}");
+        let val = Uniform::new(-1.0f64, 1.0);
+        let mut triplets = Vec::new();
+        for i in 0..rows {
+            for j in 0..cols {
+                if self.rng.gen::<f64>() < density {
+                    triplets.push((i, j, val.sample(&mut self.rng)));
+                }
+            }
+        }
+        Coo::from_triplets(rows, cols, &triplets)
+    }
+
+    /// A banded matrix: nonzeros within `bandwidth` of the diagonal —
+    /// the classic PDE-discretisation structure (uniform row lengths, so
+    /// ELL pads nothing).
+    pub fn banded(&mut self, n: usize, bandwidth: usize) -> Coo {
+        let val = Uniform::new(-1.0f64, 1.0);
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            let lo = i.saturating_sub(bandwidth);
+            let hi = (i + bandwidth + 1).min(n);
+            for j in lo..hi {
+                triplets.push((i, j, val.sample(&mut self.rng)));
+            }
+        }
+        Coo::from_triplets(n, n, &triplets)
+    }
+
+    /// A power-law (scale-free) matrix: a few very heavy rows, many light
+    /// ones — the structure that punishes ELL's padding.
+    pub fn power_law(&mut self, n: usize, avg_row_nnz: usize) -> Coo {
+        let val = Uniform::new(-1.0f64, 1.0);
+        let col = Uniform::new(0usize, n.max(1));
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            // Row length ~ rank^-0.7 normalised so the mean is
+            // `avg_row_nnz` (the integral of x^-0.7 over (0,1] is 1/0.3):
+            // heavy head, long light tail.
+            let rank_frac = (i + 1) as f64 / n as f64;
+            let len = ((avg_row_nnz as f64 * 0.3 / rank_frac.powf(0.7)).ceil() as usize)
+                .clamp(1, n);
+            for _ in 0..len {
+                triplets.push((i, col.sample(&mut self.rng), val.sample(&mut self.rng)));
+            }
+        }
+        Coo::from_triplets(n, n, &triplets)
+    }
+
+    /// A random dense vector in `[-1, 1)`.
+    pub fn vector(&mut self, n: usize) -> Vec<f64> {
+        let val = Uniform::new(-1.0f64, 1.0);
+        (0..n).map(|_| val.sample(&mut self.rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = SparseGen::new(3).uniform(32, 32, 0.1);
+        let b = SparseGen::new(3).uniform(32, 32, 0.1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_density_approximate() {
+        let a = SparseGen::new(1).uniform(128, 128, 0.05);
+        let d = a.density();
+        assert!((0.03..0.07).contains(&d), "density {d}");
+    }
+
+    #[test]
+    fn banded_structure() {
+        let a = SparseGen::new(2).banded(16, 2);
+        for &(r, c, _) in a.entries() {
+            assert!((r as i64 - c as i64).abs() <= 2);
+        }
+        // Interior rows have exactly 2*bw+1 entries.
+        let ell = crate::Ell::from_coo(&a);
+        assert_eq!(ell.width(), 5);
+        assert!(ell.padding_factor() < 1.2);
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let a = SparseGen::new(4).power_law(256, 8);
+        let ell = crate::Ell::from_coo(&a);
+        assert!(
+            ell.padding_factor() > 2.0,
+            "expected heavy padding, got {}",
+            ell.padding_factor()
+        );
+        // The normalisation keeps the mean row length near the target
+        // (duplicate column draws within a row collapse, so allow slack).
+        let avg = a.nnz() as f64 / 256.0;
+        assert!((4.0..16.0).contains(&avg), "avg row nnz {avg}");
+    }
+
+    #[test]
+    fn vector_in_range() {
+        let v = SparseGen::new(5).vector(64);
+        assert_eq!(v.len(), 64);
+        assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn bad_density_rejected() {
+        let _ = SparseGen::new(0).uniform(4, 4, 1.5);
+    }
+}

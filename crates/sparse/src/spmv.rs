@@ -1,0 +1,257 @@
+//! Sparse matrix–vector products, one per format.
+//!
+//! All kernels compute `y = A·x` and report their work through an
+//! optional [`EventSet`]. CSR and ELL parallelise over row bands on the
+//! pool (each band owns a disjoint slice of `y`); COO and CSC scatter
+//! into `y`, which serialises the naive kernel — a structural property,
+//! not an implementation accident, and precisely what the energy study
+//! measures.
+
+use crate::{Coo, Csc, Csr, Ell};
+use powerscale_counters::{Event, EventSet, Profile};
+use powerscale_pool::ThreadPool;
+
+/// Accounts one kernel invocation.
+fn record(
+    events: Option<&EventSet>,
+    flops: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    kernels: u64,
+) {
+    if let Some(set) = events {
+        let mut p = Profile::new();
+        p.add_count(Event::FpOps, flops);
+        p.add_count(Event::BytesRead, bytes_read);
+        p.add_count(Event::BytesWritten, bytes_written);
+        p.add_count(Event::KernelCalls, kernels);
+        set.record_profile(&p);
+    }
+}
+
+/// `y = A·x` over COO triplets (sequential scatter).
+///
+/// # Panics
+/// Panics if `x.len() != a.cols()`.
+pub fn coo_spmv(a: &Coo, x: &[f64], events: Option<&EventSet>) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "x length");
+    let mut y = vec![0.0f64; a.rows()];
+    for &(r, c, v) in a.entries() {
+        y[r as usize] += v * x[c as usize];
+    }
+    let nnz = a.nnz() as u64;
+    // Each triplet: 16 B entry + 8 B x gather + 8+8 B y read/write.
+    record(events, 2 * nnz, nnz * 24, nnz * 8, 1);
+    y
+}
+
+/// `y = A·x` over CSR rows, parallelised across `pool` when given.
+///
+/// # Panics
+/// Panics if `x.len() != a.cols()`.
+pub fn csr_spmv(a: &Csr, x: &[f64], pool: Option<&ThreadPool>, events: Option<&EventSet>) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "x length");
+    let rows = a.rows();
+    let mut y = vec![0.0f64; rows];
+
+    let row_band = |y_band: &mut [f64], row0: usize| {
+        for (k, out) in y_band.iter_mut().enumerate() {
+            let i = row0 + k;
+            let mut acc = 0.0;
+            for (idx, val) in a.row_indices(i).iter().zip(a.row_values(i)) {
+                acc += val * x[*idx as usize];
+            }
+            *out = acc;
+        }
+    };
+
+    match pool {
+        Some(p) if rows >= 2 * p.num_threads() && p.num_threads() > 1 => {
+            let band = rows.div_ceil(p.num_threads());
+            p.scope(|s| {
+                for (b, chunk) in y.chunks_mut(band).enumerate() {
+                    s.spawn(move |_| row_band(chunk, b * band));
+                }
+            });
+        }
+        _ => row_band(&mut y, 0),
+    }
+
+    let nnz = a.nnz() as u64;
+    // Per nonzero: 12 B (value+index) + 8 B x gather; y written streaming.
+    record(events, 2 * nnz, nnz * 20 + (rows as u64 + 1) * 4, rows as u64 * 8, 1);
+    y
+}
+
+/// `y = A·x` over CSC columns (sequential scatter along columns).
+///
+/// # Panics
+/// Panics if `x.len() != a.cols()`.
+pub fn csc_spmv(a: &Csc, x: &[f64], events: Option<&EventSet>) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "x length");
+    let mut y = vec![0.0f64; a.rows()];
+    for (j, &xj) in x.iter().enumerate() {
+        if xj == 0.0 {
+            continue;
+        }
+        for (idx, val) in a.col_indices(j).iter().zip(a.col_values(j)) {
+            y[*idx as usize] += val * xj;
+        }
+    }
+    let nnz = a.nnz() as u64;
+    // Per nonzero: 12 B + y scatter read/write (16 B); x read streaming.
+    record(
+        events,
+        2 * nnz,
+        nnz * 28 + (a.cols() as u64 + 1) * 4 + a.cols() as u64 * 8,
+        nnz * 8,
+        1,
+    );
+    y
+}
+
+/// `y = A·x` over the padded ELL slots, parallelised across `pool` when
+/// given. Padding slots multiply by 0.0 — executed flops the format pays
+/// for regularity.
+///
+/// # Panics
+/// Panics if `x.len() != a.cols()`.
+pub fn ell_spmv(a: &Ell, x: &[f64], pool: Option<&ThreadPool>, events: Option<&EventSet>) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "x length");
+    let rows = a.rows();
+    let width = a.width();
+    let mut y = vec![0.0f64; rows];
+
+    let row_band = |y_band: &mut [f64], row0: usize| {
+        for (k, out) in y_band.iter_mut().enumerate() {
+            let i = row0 + k;
+            let vals = a.row_values(i);
+            let idxs = a.row_indices(i);
+            let mut acc = 0.0;
+            for s in 0..width {
+                acc += vals[s] * x[idxs[s] as usize];
+            }
+            *out = acc;
+        }
+    };
+
+    match pool {
+        Some(p) if rows >= 2 * p.num_threads() && p.num_threads() > 1 => {
+            let band = rows.div_ceil(p.num_threads());
+            p.scope(|s| {
+                for (b, chunk) in y.chunks_mut(band).enumerate() {
+                    s.spawn(move |_| row_band(chunk, b * band));
+                }
+            });
+        }
+        _ => row_band(&mut y, 0),
+    }
+
+    let slots = (rows * width) as u64;
+    record(events, 2 * slots, slots * 20, rows as u64 * 8, 1);
+    y
+}
+
+/// Dense reference `y = A·x` for verification.
+pub fn dense_mv(a: &powerscale_matrix::Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "x length");
+    (0..a.rows())
+        .map(|i| a.row(i).iter().zip(x).map(|(v, xj)| v * xj).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SparseGen;
+
+    fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn all_formats_agree_with_dense() {
+        let mut gen = SparseGen::new(7);
+        let coo = gen.uniform(48, 32, 0.1);
+        let x = gen.vector(32);
+        let want = dense_mv(&coo.to_dense(), &x);
+
+        let got_coo = coo_spmv(&coo, &x, None);
+        let got_csr = csr_spmv(&Csr::from_coo(&coo), &x, None, None);
+        let got_csc = csc_spmv(&Csc::from_coo(&coo), &x, None);
+        let got_ell = ell_spmv(&Ell::from_coo(&coo), &x, None, None);
+        for (name, got) in [
+            ("coo", &got_coo),
+            ("csr", &got_csr),
+            ("csc", &got_csc),
+            ("ell", &got_ell),
+        ] {
+            assert!(max_diff(got, &want) < 1e-12, "{name}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut gen = SparseGen::new(9);
+        let coo = gen.banded(200, 4);
+        let x = gen.vector(200);
+        let csr = Csr::from_coo(&coo);
+        let ell = Ell::from_coo(&coo);
+        let pool = ThreadPool::new(4);
+        let seq_csr = csr_spmv(&csr, &x, None, None);
+        let par_csr = csr_spmv(&csr, &x, Some(&pool), None);
+        assert_eq!(seq_csr, par_csr, "csr bitwise");
+        let seq_ell = ell_spmv(&ell, &x, None, None);
+        let par_ell = ell_spmv(&ell, &x, Some(&pool), None);
+        assert_eq!(seq_ell, par_ell, "ell bitwise");
+    }
+
+    #[test]
+    fn event_accounting_flops() {
+        let mut gen = SparseGen::new(1);
+        let coo = gen.uniform(32, 32, 0.1);
+        let x = gen.vector(32);
+        let mut set = EventSet::with_all_events();
+        set.start().unwrap();
+        let _ = csr_spmv(&Csr::from_coo(&coo), &x, None, Some(&set));
+        let p = set.stop().unwrap();
+        assert_eq!(p.get(Event::FpOps), 2 * coo.nnz() as u64);
+        assert_eq!(p.get(Event::KernelCalls), 1);
+    }
+
+    #[test]
+    fn ell_counts_padding_flops() {
+        // A skewed matrix: ELL must report more executed flops than nnz.
+        let coo = crate::Coo::from_triplets(
+            4,
+            4,
+            &[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (1, 0, 1.0)],
+        );
+        let ell = Ell::from_coo(&coo);
+        let x = vec![1.0; 4];
+        let mut set = EventSet::with_all_events();
+        set.start().unwrap();
+        let _ = ell_spmv(&ell, &x, None, Some(&set));
+        let p = set.stop().unwrap();
+        assert_eq!(p.get(Event::FpOps), 2 * (4 * 3) as u64); // 4 rows x width 3
+        assert!(p.get(Event::FpOps) > 2 * coo.nnz() as u64);
+    }
+
+    #[test]
+    fn empty_and_zero_x() {
+        let coo = crate::Coo::from_triplets(3, 3, &[]);
+        let x = vec![1.0; 3];
+        assert_eq!(coo_spmv(&coo, &x, None), vec![0.0; 3]);
+        let mut gen = SparseGen::new(2);
+        let a = gen.uniform(8, 8, 0.3);
+        let zero = vec![0.0; 8];
+        assert_eq!(csc_spmv(&Csc::from_coo(&a), &zero, None), vec![0.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length")]
+    fn dimension_mismatch_panics() {
+        let coo = crate::Coo::from_triplets(3, 4, &[]);
+        let _ = coo_spmv(&coo, &[1.0; 3], None);
+    }
+}

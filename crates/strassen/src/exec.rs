@@ -1,0 +1,467 @@
+//! The recursive executor (real computation path).
+
+use crate::config::{StrassenConfig, Variant};
+use powerscale_counters::{Event, EventSet};
+use powerscale_gemm::leaf::leaf_gemm;
+use powerscale_matrix::{
+    ops, pad, DimError, DimResult, Matrix, MatrixView, MatrixViewMut,
+};
+use powerscale_pool::ThreadPool;
+
+/// `A · B` by Strassen recursion.
+///
+/// Operands must be square and equal-shaped; dimensions that are not of the
+/// form `base · 2^k` (base ≤ cutoff) are zero-padded up to the nearest such
+/// size and the result is cropped back — padding with zeros is neutral for
+/// multiplication.
+///
+/// `pool` enables task-parallel execution of the seven sub-products down to
+/// `cfg.task_depth`; `events` receives the work accounting.
+pub fn multiply(
+    a: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    cfg: &StrassenConfig,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) -> DimResult<Matrix> {
+    cfg.validate().map_err(|_| DimError::NotDivisible {
+        op: "strassen",
+        dim: cfg.cutoff,
+        by: 2,
+    })?;
+    if !a.is_square() || !b.is_square() || a.shape() != b.shape() {
+        return Err(DimError::Mismatch {
+            op: "strassen",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Matrix::zeros(0, 0));
+    }
+    let target = pad::next_recursive_size(n, cfg.cutoff);
+    if target == n {
+        let mut c = Matrix::zeros(n, n);
+        rec(*a, *b, &mut c.view_mut(), 0, cfg, pool, events);
+        Ok(c)
+    } else {
+        let pa = pad::pad_to(a, target);
+        let pb = pad::pad_to(b, target);
+        let mut pc = Matrix::zeros(target, target);
+        rec(
+            pa.view(),
+            pb.view(),
+            &mut pc.view_mut(),
+            0,
+            cfg,
+            pool,
+            events,
+        );
+        Ok(pad::crop(&pc.view(), n, n))
+    }
+}
+
+/// Records one quadrant-add/sub pass of `h × h` into the event set.
+fn record_add(events: Option<&EventSet>, h: usize) {
+    if let Some(set) = events {
+        let hh = (h * h) as u64;
+        set.record(Event::FpAdds, hh);
+        set.record(Event::BytesRead, 16 * hh);
+        set.record(Event::BytesWritten, 8 * hh);
+    }
+}
+
+/// `c += a · b`, recursively.
+fn rec(
+    a: MatrixView<'_>,
+    b: MatrixView<'_>,
+    c: &mut MatrixViewMut<'_>,
+    depth: u32,
+    cfg: &StrassenConfig,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) {
+    let n = a.rows();
+    if n <= cfg.cutoff || n % 2 != 0 {
+        leaf_gemm(&a, &b, c, events).expect("leaf shapes valid by construction");
+        return;
+    }
+    if let Some(set) = events {
+        set.record(Event::RecursionLevels, 1);
+    }
+    match cfg.variant {
+        Variant::Classic => rec_classic(a, b, c, depth, cfg, pool, events),
+        Variant::Winograd => rec_winograd(a, b, c, depth, cfg, pool, events),
+    }
+}
+
+/// Runs the seven products, in parallel when a pool is supplied and we are
+/// above the task-spawn depth.
+#[allow(clippy::type_complexity)]
+fn run_products(
+    products: Vec<Box<dyn FnOnce() + Send + '_>>,
+    depth: u32,
+    cfg: &StrassenConfig,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+    half: usize,
+) {
+    match pool {
+        Some(p) if depth < cfg.task_depth => {
+            if let Some(set) = events {
+                set.record(Event::TasksSpawned, products.len() as u64);
+                // Operand footprint that may migrate with each task: two
+                // half-size inputs.
+                set.record(
+                    Event::CommBytes,
+                    products.len() as u64 * 2 * 8 * (half * half) as u64,
+                );
+            }
+            p.scope(|s| {
+                for job in products {
+                    s.spawn(move |_| job());
+                }
+            });
+        }
+        _ => {
+            for job in products {
+                job();
+            }
+        }
+    }
+}
+
+fn rec_classic(
+    a: MatrixView<'_>,
+    b: MatrixView<'_>,
+    c: &mut MatrixViewMut<'_>,
+    depth: u32,
+    cfg: &StrassenConfig,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) {
+    let h = a.rows() / 2;
+    let qa = a.quadrants().expect("even dimension");
+    let qb = b.quadrants().expect("even dimension");
+    let (a11, a12, a21, a22) = (qa.a11, qa.a12, qa.a21, qa.a22);
+    let (b11, b12, b21, b22) = (qb.a11, qb.a12, qb.a21, qb.a22);
+
+    let mut q: Vec<Matrix> = (0..7).map(|_| Matrix::zeros(h, h)).collect();
+    {
+        let mut slots = q.iter_mut();
+        let q1 = slots.next().unwrap();
+        let q2 = slots.next().unwrap();
+        let q3 = slots.next().unwrap();
+        let q4 = slots.next().unwrap();
+        let q5 = slots.next().unwrap();
+        let q6 = slots.next().unwrap();
+        let q7 = slots.next().unwrap();
+
+        // Each product closure allocates its own operand temporaries, so
+        // the seven run independently (the BOTS untied-task shape).
+        let products: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(move || {
+                // Q1 = (A11 + A22)(B11 + B22)
+                let tl = ops::add(&a11, &a22).expect("quadrant shapes");
+                let tr = ops::add(&b11, &b22).expect("quadrant shapes");
+                record_add(events, h);
+                record_add(events, h);
+                rec(tl.view(), tr.view(), &mut q1.view_mut(), depth + 1, cfg, pool, events);
+            }),
+            Box::new(move || {
+                // Q2 = (A21 + A22) B11
+                let tl = ops::add(&a21, &a22).expect("quadrant shapes");
+                record_add(events, h);
+                rec(tl.view(), b11, &mut q2.view_mut(), depth + 1, cfg, pool, events);
+            }),
+            Box::new(move || {
+                // Q3 = A11 (B12 - B22)
+                let tr = ops::sub(&b12, &b22).expect("quadrant shapes");
+                record_add(events, h);
+                rec(a11, tr.view(), &mut q3.view_mut(), depth + 1, cfg, pool, events);
+            }),
+            Box::new(move || {
+                // Q4 = A22 (B21 - B11)
+                let tr = ops::sub(&b21, &b11).expect("quadrant shapes");
+                record_add(events, h);
+                rec(a22, tr.view(), &mut q4.view_mut(), depth + 1, cfg, pool, events);
+            }),
+            Box::new(move || {
+                // Q5 = (A11 + A12) B22
+                let tl = ops::add(&a11, &a12).expect("quadrant shapes");
+                record_add(events, h);
+                rec(tl.view(), b22, &mut q5.view_mut(), depth + 1, cfg, pool, events);
+            }),
+            Box::new(move || {
+                // Q6 = (A21 - A11)(B11 + B12)
+                let tl = ops::sub(&a21, &a11).expect("quadrant shapes");
+                let tr = ops::add(&b11, &b12).expect("quadrant shapes");
+                record_add(events, h);
+                record_add(events, h);
+                rec(tl.view(), tr.view(), &mut q6.view_mut(), depth + 1, cfg, pool, events);
+            }),
+            Box::new(move || {
+                // Q7 = (A12 - A22)(B21 + B22)
+                let tl = ops::sub(&a12, &a22).expect("quadrant shapes");
+                let tr = ops::add(&b21, &b22).expect("quadrant shapes");
+                record_add(events, h);
+                record_add(events, h);
+                rec(tl.view(), tr.view(), &mut q7.view_mut(), depth + 1, cfg, pool, events);
+            }),
+        ];
+        run_products(products, depth, cfg, pool, events, h);
+    }
+
+    // Combine: C11 += Q1+Q4-Q5+Q7; C12 += Q3+Q5; C21 += Q2+Q4;
+    //          C22 += Q1-Q2+Q3+Q6.
+    let qc = c.reborrow().quadrants().expect("even dimension");
+    let (mut c11, mut c12, mut c21, mut c22) = (qc.a11, qc.a12, qc.a21, qc.a22);
+    let qv: Vec<MatrixView<'_>> = q.iter().map(|m| m.view()).collect();
+    let (q1, q2, q3, q4, q5, q6, q7) = (qv[0], qv[1], qv[2], qv[3], qv[4], qv[5], qv[6]);
+    let apply = |dst: &mut MatrixViewMut<'_>, src: &MatrixView<'_>, sign: f64| {
+        if sign > 0.0 {
+            ops::add_assign(dst, src).expect("quadrant shapes");
+        } else {
+            ops::sub_assign(dst, src).expect("quadrant shapes");
+        }
+        record_add(events, h);
+    };
+    apply(&mut c11, &q1, 1.0);
+    apply(&mut c11, &q4, 1.0);
+    apply(&mut c11, &q5, -1.0);
+    apply(&mut c11, &q7, 1.0);
+    apply(&mut c12, &q3, 1.0);
+    apply(&mut c12, &q5, 1.0);
+    apply(&mut c21, &q2, 1.0);
+    apply(&mut c21, &q4, 1.0);
+    apply(&mut c22, &q1, 1.0);
+    apply(&mut c22, &q2, -1.0);
+    apply(&mut c22, &q3, 1.0);
+    apply(&mut c22, &q6, 1.0);
+}
+
+fn rec_winograd(
+    a: MatrixView<'_>,
+    b: MatrixView<'_>,
+    c: &mut MatrixViewMut<'_>,
+    depth: u32,
+    cfg: &StrassenConfig,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) {
+    let h = a.rows() / 2;
+    let qa = a.quadrants().expect("even dimension");
+    let qb = b.quadrants().expect("even dimension");
+    let (a11, a12, a21, a22) = (qa.a11, qa.a12, qa.a21, qa.a22);
+    let (b11, b12, b21, b22) = (qb.a11, qb.a12, qb.a21, qb.a22);
+
+    // Pre-additions (8): S1..S4 on A, T1..T4 on B.
+    let s1 = ops::add(&a21, &a22).expect("quadrant shapes");
+    let s2 = ops::sub(&s1.view(), &a11).expect("quadrant shapes");
+    let s3 = ops::sub(&a11, &a21).expect("quadrant shapes");
+    let s4 = ops::sub(&a12, &s2.view()).expect("quadrant shapes");
+    let t1 = ops::sub(&b12, &b11).expect("quadrant shapes");
+    let t2 = ops::sub(&b22, &t1.view()).expect("quadrant shapes");
+    let t3 = ops::sub(&b22, &b12).expect("quadrant shapes");
+    let t4 = ops::sub(&t2.view(), &b21).expect("quadrant shapes");
+    for _ in 0..8 {
+        record_add(events, h);
+    }
+
+    let mut p: Vec<Matrix> = (0..7).map(|_| Matrix::zeros(h, h)).collect();
+    {
+        let mut slots = p.iter_mut();
+        let p1 = slots.next().unwrap();
+        let p2 = slots.next().unwrap();
+        let p3 = slots.next().unwrap();
+        let p4 = slots.next().unwrap();
+        let p5 = slots.next().unwrap();
+        let p6 = slots.next().unwrap();
+        let p7 = slots.next().unwrap();
+        let (s1v, s2v, s3v, s4v) = (s1.view(), s2.view(), s3.view(), s4.view());
+        let (t1v, t2v, t3v, t4v) = (t1.view(), t2.view(), t3.view(), t4.view());
+        let products: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(move || rec(a11, b11, &mut p1.view_mut(), depth + 1, cfg, pool, events)),
+            Box::new(move || rec(a12, b21, &mut p2.view_mut(), depth + 1, cfg, pool, events)),
+            Box::new(move || rec(s4v, b22, &mut p3.view_mut(), depth + 1, cfg, pool, events)),
+            Box::new(move || rec(a22, t4v, &mut p4.view_mut(), depth + 1, cfg, pool, events)),
+            Box::new(move || rec(s1v, t1v, &mut p5.view_mut(), depth + 1, cfg, pool, events)),
+            Box::new(move || rec(s2v, t2v, &mut p6.view_mut(), depth + 1, cfg, pool, events)),
+            Box::new(move || rec(s3v, t3v, &mut p7.view_mut(), depth + 1, cfg, pool, events)),
+        ];
+        run_products(products, depth, cfg, pool, events, h);
+    }
+
+    // Combines (7): U1 = P1+P6, U2 = U1+P7, U3 = U1+P5;
+    // C11 += P1+P2, C12 += U3+P3, C21 += U2-P4, C22 += U3+P7.
+    let u1 = ops::add(&p[0].view(), &p[5].view()).expect("quadrant shapes");
+    let u2 = ops::add(&u1.view(), &p[6].view()).expect("quadrant shapes");
+    let u3 = ops::add(&u1.view(), &p[4].view()).expect("quadrant shapes");
+    record_add(events, h);
+    record_add(events, h);
+    record_add(events, h);
+
+    let qc = c.reborrow().quadrants().expect("even dimension");
+    let (mut c11, mut c12, mut c21, mut c22) = (qc.a11, qc.a12, qc.a21, qc.a22);
+    ops::add_assign(&mut c11, &p[0].view()).expect("quadrant shapes");
+    ops::add_assign(&mut c11, &p[1].view()).expect("quadrant shapes");
+    ops::add_assign(&mut c12, &u3.view()).expect("quadrant shapes");
+    ops::add_assign(&mut c12, &p[2].view()).expect("quadrant shapes");
+    ops::add_assign(&mut c21, &u2.view()).expect("quadrant shapes");
+    ops::sub_assign(&mut c21, &p[3].view()).expect("quadrant shapes");
+    ops::add_assign(&mut c22, &u3.view()).expect("quadrant shapes");
+    ops::add_assign(&mut c22, &p[6].view()).expect("quadrant shapes");
+    for _ in 0..4 {
+        record_add(events, h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powerscale_gemm::naive::naive_mm;
+    use powerscale_matrix::norms::rel_frobenius_error;
+    use powerscale_matrix::MatrixGen;
+
+    fn check(n: usize, cfg: &StrassenConfig, pool: Option<&ThreadPool>, seed: u64) {
+        let mut gen = MatrixGen::new(seed);
+        let a = gen.paper_operand(n);
+        let b = gen.paper_operand(n);
+        let c = multiply(&a.view(), &b.view(), cfg, pool, None).unwrap();
+        let r = naive_mm(&a.view(), &b.view()).unwrap();
+        let err = rel_frobenius_error(&c.view(), &r.view());
+        assert!(err < 1e-11, "n={n} variant={:?}: err {err}", cfg.variant);
+    }
+
+    #[test]
+    fn classic_matches_naive_power_of_two() {
+        let cfg = StrassenConfig {
+            cutoff: 8,
+            ..Default::default()
+        };
+        for n in [8, 16, 32, 64] {
+            check(n, &cfg, None, n as u64);
+        }
+    }
+
+    #[test]
+    fn winograd_matches_naive_power_of_two() {
+        let cfg = StrassenConfig {
+            cutoff: 8,
+            ..Default::default()
+        }
+        .winograd();
+        for n in [8, 16, 32, 64] {
+            check(n, &cfg, None, n as u64);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_padded() {
+        let cfg = StrassenConfig {
+            cutoff: 8,
+            ..Default::default()
+        };
+        for n in [12, 17, 31, 100] {
+            check(n, &cfg, None, n as u64);
+            check(n, &cfg.winograd(), None, n as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cfg = StrassenConfig {
+            cutoff: 16,
+            ..Default::default()
+        };
+        let mut gen = MatrixGen::new(99);
+        let a = gen.paper_operand(128);
+        let b = gen.paper_operand(128);
+        let seq = multiply(&a.view(), &b.view(), &cfg, None, None).unwrap();
+        let pool = ThreadPool::new(4);
+        let par = multiply(&a.view(), &b.view(), &cfg, Some(&pool), None).unwrap();
+        // Identical task decomposition and per-quadrant ownership:
+        // results are bitwise equal.
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn zero_and_one_sized() {
+        let cfg = StrassenConfig::default();
+        let z = Matrix::zeros(0, 0);
+        assert_eq!(
+            multiply(&z.view(), &z.view(), &cfg, None, None).unwrap().len(),
+            0
+        );
+        let one = Matrix::filled(1, 1, 3.0);
+        let r = multiply(&one.view(), &one.view(), &cfg, None, None).unwrap();
+        assert_eq!(r.get(0, 0), 9.0);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(4, 6);
+        let b = Matrix::zeros(6, 4);
+        assert!(multiply(&a.view(), &b.view(), &StrassenConfig::default(), None, None).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_squares() {
+        let a = Matrix::zeros(4, 4);
+        let b = Matrix::zeros(8, 8);
+        assert!(multiply(&a.view(), &b.view(), &StrassenConfig::default(), None, None).is_err());
+    }
+
+    #[test]
+    fn event_accounting_has_expected_structure() {
+        use powerscale_counters::EventSet;
+        let cfg = StrassenConfig {
+            cutoff: 16,
+            ..Default::default()
+        };
+        let mut gen = MatrixGen::new(5);
+        let a = gen.paper_operand(64);
+        let b = gen.paper_operand(64);
+        let mut set = EventSet::with_all_events();
+        set.start().unwrap();
+        let _ = multiply(&a.view(), &b.view(), &cfg, None, None);
+        // Sequential run with events.
+        let _ = multiply(&a.view(), &b.view(), &cfg, None, Some(&set)).unwrap();
+        let p = set.stop().unwrap();
+        // Two recursion levels: 64 -> 32 -> 16(leaf). Internal nodes: 1 + 7.
+        assert_eq!(p.get(Event::RecursionLevels), 8);
+        // Leaves: 49 multiplications of 16^3.
+        assert_eq!(p.get(Event::KernelCalls), 49);
+        assert_eq!(p.get(Event::FpOps), 49 * 2 * 16 * 16 * 16);
+        // Classic accumulate-form: 22 add passes/level (10 pre + 12
+        // combine), sizes 32 (x1 level) and 16 (x7 nodes).
+        let expected_adds = 22 * 32 * 32 + 7 * 22 * 16 * 16;
+        assert_eq!(p.get(Event::FpAdds), expected_adds as u64);
+        // No tasks spawned without a pool.
+        assert_eq!(p.get(Event::TasksSpawned), 0);
+    }
+
+    #[test]
+    fn spawn_accounting_with_pool() {
+        use powerscale_counters::EventSet;
+        let cfg = StrassenConfig {
+            cutoff: 16,
+            task_depth: 1,
+            ..Default::default()
+        };
+        let mut gen = MatrixGen::new(6);
+        let a = gen.paper_operand(64);
+        let b = gen.paper_operand(64);
+        let pool = ThreadPool::new(2);
+        let mut set = EventSet::with_all_events();
+        set.start().unwrap();
+        let _ = multiply(&a.view(), &b.view(), &cfg, Some(&pool), Some(&set)).unwrap();
+        let p = set.stop().unwrap();
+        // Only depth 0 spawns: exactly 7 tasks.
+        assert_eq!(p.get(Event::TasksSpawned), 7);
+        assert_eq!(p.get(Event::CommBytes), 7 * 2 * 8 * 32 * 32);
+    }
+
+    use powerscale_matrix::Matrix;
+}

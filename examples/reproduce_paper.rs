@@ -1,0 +1,47 @@
+//! Reproduce the paper's full evaluation section from library code.
+//!
+//! A compact version of the `reproduce` harness binary, written as an
+//! example of driving the experiment API directly: runs the 48-cell
+//! execution matrix (§VI-A) and prints Tables II/III/IV with the paper's
+//! reference numbers alongside.
+//!
+//! ```text
+//! cargo run --release -p powerscale-examples --bin reproduce_paper
+//! ```
+
+use powerscale::harness::{report, tables, Harness};
+
+fn main() {
+    let h = Harness::default();
+    println!("platform: {}\n", h.machine.name);
+    println!("running the paper's 48-run execution matrix…\n");
+    let results = h.paper_matrix();
+
+    let sizes = &tables::PAPER_SIZES;
+    let threads = &tables::PAPER_THREADS;
+
+    let t2 = tables::slowdown_table(&results, sizes, threads);
+    println!("{}", t2.to_markdown());
+    println!(
+        "paper:    Strassen {:?} | CAPS {:?}\n",
+        tables::paper::TABLE2_STRASSEN,
+        tables::paper::TABLE2_CAPS
+    );
+
+    let t3 = tables::power_table(&results, sizes, threads);
+    println!("{}", t3.to_markdown());
+    println!(
+        "paper:    OpenBLAS {:?}\n          Strassen {:?}\n          CAPS {:?}\n",
+        tables::paper::TABLE3_OPENBLAS,
+        tables::paper::TABLE3_STRASSEN,
+        tables::paper::TABLE3_CAPS
+    );
+
+    let t4 = tables::ep_table(&results, sizes, threads);
+    println!("{}", t4.to_markdown());
+
+    println!("claims:");
+    for (claim, ok) in report::claim_checks(&results) {
+        println!("  [{}] {claim}", if ok { "PASS" } else { "FAIL" });
+    }
+}

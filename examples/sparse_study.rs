@@ -1,0 +1,74 @@
+//! The paper's future-work study (§VIII): energy-performance scaling of
+//! sparse matrix-vector storage formats.
+//!
+//! Generates three structurally different sparse matrices (uniform,
+//! banded, power-law), runs SpMV in all four formats — verifying them
+//! against the dense oracle — and produces the per-format EP scaling
+//! study on the simulated E3-1225.
+//!
+//! ```text
+//! cargo run --release -p powerscale-examples --bin sparse_study
+//! ```
+
+use powerscale::prelude::*;
+use powerscale::sparse::{cost::SpmvStats, spmv, study, Csc, Csr, Ell, Format, SparseGen};
+
+fn main() {
+    let machine = e3_1225();
+    let threads = [1usize, 2, 3, 4];
+    let pool = ThreadPool::new(4);
+
+    let mut gen = SparseGen::new(2015);
+    let cases = [
+        ("uniform 1% (4000x4000)", gen.uniform(4000, 4000, 0.01)),
+        ("banded bw=8 (4000x4000)", gen.banded(4000, 8)),
+        ("power-law avg 12 (4000x4000)", gen.power_law(4000, 12)),
+    ];
+
+    for (name, coo) in &cases {
+        println!("== {name}: {} nnz, density {:.3}% ==\n", coo.nnz(), coo.density() * 100.0);
+
+        // Real verification pass with all formats.
+        let x = SparseGen::new(7).vector(coo.cols());
+        let want = spmv::dense_mv(&coo.to_dense(), &x);
+        let csr = Csr::from_coo(coo);
+        let csc = Csc::from_coo(coo);
+        let ell = Ell::from_coo(coo);
+        let diff = |y: &[f64]| -> f64 {
+            y.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+        };
+        println!("real-execution verification (max abs diff vs dense):");
+        println!("  COO {:.1e}", diff(&spmv::coo_spmv(coo, &x, None)));
+        println!("  CSR {:.1e}", diff(&spmv::csr_spmv(&csr, &x, Some(&pool), None)));
+        println!("  CSC {:.1e}", diff(&spmv::csc_spmv(&csc, &x, None)));
+        println!("  ELL {:.1e}", diff(&spmv::ell_spmv(&ell, &x, Some(&pool), None)));
+        println!(
+            "storage: COO {} B | CSR {} B | CSC {} B | ELL {} B (pad factor {:.2})\n",
+            coo.storage_bytes(),
+            csr.storage_bytes(),
+            csc.storage_bytes(),
+            ell.storage_bytes(),
+            ell.padding_factor()
+        );
+
+        // The EP study on the simulated machine (500 chained SpMVs — an
+        // iterative solver's inner loop).
+        let s = study::run_study(&SpmvStats::of(coo), &machine, &threads, 500);
+        println!("{}", s.to_markdown(&threads));
+        for f in [Format::Coo, Format::Csr, Format::Csc, Format::Ell] {
+            let curve = s.ep_curve(f, &threads);
+            println!(
+                "  {:<4} EP scaling: {:?} (mean excess {:+.2})",
+                f.name(),
+                curve.overall(),
+                curve.mean_excess()
+            );
+        }
+        println!();
+    }
+
+    println!("Reading: CSR wins on bytes-per-flop and parallelises; ELL matches it on");
+    println!("regular (banded) structure but pays padding on skewed matrices; COO/CSC");
+    println!("cannot row-partition, so extra threads only burn idle power — the");
+    println!("storage-format analog of the paper's dense-algorithm EP argument.");
+}

@@ -1,0 +1,149 @@
+//! Full measurement pipeline: algorithm plan → simulated machine → RAPL
+//! counters → EP model. Checks conservation laws and interface contracts
+//! across the crate boundaries.
+
+use powerscale::harness::{Algorithm, Harness, RunSpec};
+use powerscale::machine::{presets, simulate, KernelClass};
+use powerscale::model::{ep_ratio, PhaseMeasure};
+use powerscale::rapl::{model::ModelReader, Domain, EnergyMeter, EnergyReader};
+
+#[test]
+fn plan_totals_match_cost_recurrences() {
+    let h = Harness::default();
+    for n in [128usize, 512, 1024] {
+        let sg = h.graph(Algorithm::Strassen, n);
+        assert_eq!(
+            sg.total_flops(),
+            powerscale::strassen::cost::total_flops(n, &h.strassen),
+            "strassen flops n={n}"
+        );
+        let bg = h.graph(Algorithm::Blocked, n);
+        assert_eq!(bg.total_flops(), 2 * (n as u64).pow(3), "blocked flops n={n}");
+        let cg = h.graph(Algorithm::Caps, n);
+        assert_eq!(
+            cg.total_flops(),
+            powerscale::strassen::cost::total_flops(n, &h.caps.as_strassen()),
+            "caps flops n={n}"
+        );
+    }
+}
+
+#[test]
+fn schedule_conservation_laws() {
+    let m = presets::e3_1225();
+    let h = Harness::default();
+    for alg in [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps] {
+        let g = h.graph(alg, 512);
+        for cores in [1usize, 2, 4] {
+            let s = simulate(&g, &m, cores);
+            // Brent lower bounds.
+            let cp = g.critical_path_seconds(&m);
+            let w = g.total_work_seconds(&m);
+            assert!(
+                s.makespan >= cp.max(w / cores as f64) - 1e-9,
+                "{alg:?}/{cores}: makespan {} below bounds",
+                s.makespan
+            );
+            // Busy time conservation: Σ busy == Σ task durations, and
+            // no core is busy longer than the makespan.
+            let total_busy: f64 = s.core_busy.iter().sum();
+            let total_task: f64 = s.tasks.iter().map(|t| t.end - t.start).sum();
+            assert!((total_busy - total_task).abs() < 1e-6);
+            for &b in &s.core_busy {
+                assert!(b <= s.makespan + 1e-9);
+            }
+            // Tasks never start before their dependencies end.
+            for (i, t) in s.tasks.iter().enumerate() {
+                for d in g.deps(powerscale::machine::TaskId::from_index(i)) {
+                    assert!(
+                        t.start >= s.tasks[d.index()].end - 1e-9,
+                        "task {i} started before dep"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn more_cores_never_slower() {
+    let h = Harness::default();
+    for alg in [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps] {
+        let mut last = f64::INFINITY;
+        for threads in 1..=4 {
+            let r = h.run(RunSpec {
+                algorithm: alg,
+                n: 512,
+                threads,
+            });
+            assert!(
+                r.t_seconds <= last * 1.001,
+                "{alg:?}: {threads} threads slower than {} ({} vs {last})",
+                threads - 1,
+                r.t_seconds
+            );
+            last = r.t_seconds;
+        }
+    }
+}
+
+#[test]
+fn rapl_meter_reproduces_simulated_energy() {
+    // Independent of the harness: hand-build the pipeline.
+    let m = presets::e3_1225();
+    let h = Harness::default();
+    let g = h.graph(Algorithm::Caps, 512);
+    let s = simulate(&g, &m, 4);
+    let mut reader = ModelReader::from_schedule(&s);
+    assert_eq!(
+        reader.domains(),
+        vec![Domain::Package, Domain::PP0, Domain::Dram]
+    );
+    let mut meter = EnergyMeter::start(&mut reader);
+    for _ in 0..32 {
+        reader.advance(s.makespan / 32.0);
+        meter.sample(&mut reader);
+    }
+    let report = meter.finish(&mut reader, s.makespan);
+    let expect = s.energy.pkg_joules();
+    let got = report.joules_for(Domain::Package).unwrap();
+    assert!(
+        (got - expect).abs() < 0.01 * expect + 1e-3,
+        "meter {got} J vs schedule {expect} J"
+    );
+}
+
+#[test]
+fn ep_model_consumes_run_results() {
+    let h = Harness::default();
+    let r = h.run(RunSpec {
+        algorithm: Algorithm::Blocked,
+        n: 512,
+        threads: 2,
+    });
+    let measure = PhaseMeasure::new(r.pkg_watts, r.t_seconds);
+    assert!((ep_ratio(&measure) - r.ep()).abs() < 1e-9);
+    // Equation 3 over the run's planes.
+    let planes = r.planes();
+    assert!(planes.total() > r.pkg_watts); // pkg + dram
+}
+
+#[test]
+fn kernel_class_rates_order_end_to_end() {
+    // The class efficiency gap must be visible in end-to-end sim times:
+    // the same flops as LeafGemm must take longer than as PackedGemm.
+    let m = presets::e3_1225();
+    let mut gp = powerscale::machine::TaskGraph::new();
+    gp.add(
+        powerscale::machine::TaskCost::compute(KernelClass::PackedGemm, 10_000_000_000),
+        &[],
+    );
+    let mut gl = powerscale::machine::TaskGraph::new();
+    gl.add(
+        powerscale::machine::TaskCost::compute(KernelClass::LeafGemm, 10_000_000_000),
+        &[],
+    );
+    let tp = simulate(&gp, &m, 1).makespan;
+    let tl = simulate(&gl, &m, 1).makespan;
+    assert!(tl > 1.5 * tp, "leaf {tl} vs packed {tp}");
+}

@@ -1,0 +1,151 @@
+//! Stress and failure-injection tests across the pool, the algorithms and
+//! the measurement stack.
+
+use powerscale::counters::{Event, EventSet};
+use powerscale::matrix::MatrixGen;
+use powerscale::pool::ThreadPool;
+use powerscale::strassen::StrassenConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn shared_pool_under_concurrent_multiplies() {
+    // Several OS threads race whole Strassen multiplies through one pool;
+    // every result must still be correct and the pool must survive.
+    let pool = Arc::new(ThreadPool::new(4));
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let pool = Arc::clone(&pool);
+        handles.push(std::thread::spawn(move || {
+            let mut gen = MatrixGen::new(t);
+            let a = gen.paper_operand(96);
+            let b = gen.paper_operand(96);
+            let cfg = StrassenConfig {
+                cutoff: 16,
+                ..Default::default()
+            };
+            let got =
+                powerscale::strassen::multiply(&a.view(), &b.view(), &cfg, Some(&pool), None)
+                    .unwrap();
+            let want = powerscale::gemm::naive::naive_mm(&a.view(), &b.view()).unwrap();
+            powerscale::matrix::norms::rel_frobenius_error(&got.view(), &want.view())
+        }));
+    }
+    for h in handles {
+        let err = h.join().expect("thread panicked");
+        assert!(err < 1e-10, "err {err}");
+    }
+}
+
+#[test]
+fn pool_survives_many_scope_generations() {
+    let pool = ThreadPool::new(3);
+    let count = AtomicU64::new(0);
+    for _ in 0..200 {
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }
+    assert_eq!(count.load(Ordering::Relaxed), 3200);
+    assert_eq!(pool.stats().total_executed(), 3200);
+}
+
+#[test]
+fn panicking_task_does_not_poison_later_work() {
+    let pool = ThreadPool::new(2);
+    for round in 0..5 {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("round {round}"));
+                s.spawn(|_| {
+                    std::hint::black_box(7);
+                });
+            });
+        }));
+        assert!(r.is_err(), "panic must propagate");
+        // The pool still computes correctly afterwards.
+        let (a, b) = pool.join(|| 2 + 2, || 3 * 3);
+        assert_eq!((a, b), (4, 9));
+    }
+}
+
+#[test]
+fn deep_nesting_does_not_deadlock() {
+    // Nested scopes deeper than the worker count exercise the
+    // help-while-waiting path; a deadlock here would hang the test.
+    let pool = ThreadPool::new(2);
+    fn nest(pool: &ThreadPool, depth: usize) -> usize {
+        if depth == 0 {
+            return 1;
+        }
+        let (a, b) = pool.join(|| nest(pool, depth - 1), || nest(pool, depth - 1));
+        a + b
+    }
+    assert_eq!(nest(&pool, 8), 256);
+}
+
+#[test]
+fn counters_saturate_instead_of_wrapping() {
+    let mut set = EventSet::with_all_events();
+    set.start().unwrap();
+    set.record(Event::FpOps, u64::MAX - 5);
+    set.record(Event::FpOps, 100); // would wrap; must saturate via profile
+    let p = set.stop().unwrap();
+    // The atomic itself wraps (fetch_add), but accumulation into profiles
+    // must keep totals monotone when merged.
+    let mut total = powerscale::counters::Profile::new();
+    total += p;
+    total += p;
+    assert!(total.get(Event::FpOps) >= p.get(Event::FpOps));
+}
+
+#[test]
+fn huge_task_fanout_completes() {
+    let pool = ThreadPool::new(4);
+    let count = AtomicU64::new(0);
+    pool.scope(|s| {
+        for _ in 0..50_000 {
+            s.spawn(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 50_000);
+}
+
+#[test]
+fn event_set_shared_across_pool_workers() {
+    // One event set instrumenting a parallel multiply must add up the
+    // same as a sequential run.
+    let mut gen = MatrixGen::new(5);
+    let a = gen.paper_operand(128);
+    let b = gen.paper_operand(128);
+    let cfg = StrassenConfig {
+        cutoff: 32,
+        ..Default::default()
+    };
+
+    let mut seq_set = EventSet::with_all_events();
+    seq_set.start().unwrap();
+    let _ = powerscale::strassen::multiply(&a.view(), &b.view(), &cfg, None, Some(&seq_set))
+        .unwrap();
+    let seq = seq_set.stop().unwrap();
+
+    let pool = ThreadPool::new(4);
+    let mut par_set = EventSet::with_all_events();
+    par_set.start().unwrap();
+    let _ = powerscale::strassen::multiply(&a.view(), &b.view(), &cfg, Some(&pool), Some(&par_set))
+        .unwrap();
+    let par = par_set.stop().unwrap();
+
+    // Work-shaped events are identical; only scheduling events differ.
+    for e in [Event::FpOps, Event::FpAdds, Event::KernelCalls, Event::RecursionLevels] {
+        assert_eq!(seq.get(e), par.get(e), "{e} diverged");
+    }
+    assert_eq!(seq.get(Event::TasksSpawned), 0);
+    assert!(par.get(Event::TasksSpawned) > 0);
+}
