@@ -2,12 +2,12 @@
 //! Strassen cutoff, CAPS cutoff depth, Strassen variant, and platform
 //! memory bandwidth (the Eq. 9 lever).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use powerscale::caps::CapsConfig;
 use powerscale::machine::{presets, simulate};
 use powerscale::prelude::*;
 use powerscale::strassen::StrassenConfig;
+use std::time::Duration;
 
 fn print_ablations() {
     let m = presets::e3_1225();
@@ -15,7 +15,10 @@ fn print_ablations() {
 
     println!("\n[ablation] Strassen leaf cutoff (n=1024, 4 cores, simulated):");
     for cutoff in [16usize, 32, 64, 128] {
-        let cfg = StrassenConfig { cutoff, ..Default::default() };
+        let cfg = StrassenConfig {
+            cutoff,
+            ..Default::default()
+        };
         let g = powerscale::strassen::strassen_graph_with(1024, &cfg, &tm);
         let s = simulate(&g, &m, 4);
         println!(
@@ -27,7 +30,10 @@ fn print_ablations() {
 
     println!("\n[ablation] CAPS BFS/DFS cutoff depth (n=2048, 4 cores):");
     for depth in 0..=5u32 {
-        let cfg = CapsConfig { cutoff_depth: depth, ..Default::default() };
+        let cfg = CapsConfig {
+            cutoff_depth: depth,
+            ..Default::default()
+        };
         let g = powerscale::caps::caps_graph_with(2048, &cfg, &tm);
         let s = simulate(&g, &m, 4);
         println!(
@@ -62,7 +68,12 @@ fn print_ablations() {
         );
         let tb = simulate(&bg, machine, 4).makespan;
         let ts = simulate(&sg, machine, 4).makespan;
-        println!("  {name}: blocked {:.2} ms, strassen {:.2} ms, ratio {:.2}", tb * 1e3, ts * 1e3, ts / tb);
+        println!(
+            "  {name}: blocked {:.2} ms, strassen {:.2} ms, ratio {:.2}",
+            tb * 1e3,
+            ts * 1e3,
+            ts / tb
+        );
     }
     println!();
 }
@@ -78,7 +89,10 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("caps_cutoff_depth", depth),
             &depth,
             |b, &depth| {
-                let cfg = CapsConfig { cutoff_depth: depth, ..Default::default() };
+                let cfg = CapsConfig {
+                    cutoff_depth: depth,
+                    ..Default::default()
+                };
                 b.iter(|| {
                     let g = powerscale::caps::caps_graph_with(1024, &cfg, &tm);
                     simulate(&g, &m, 4).makespan

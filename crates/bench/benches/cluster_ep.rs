@@ -1,10 +1,10 @@
 //! Distributed-memory EP study bench (§VIII future work): prints the
 //! CAPS-vs-SUMMA node-scaling study and benchmarks the cluster simulator.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use powerscale::cluster::study::{run_study, DistAlgorithm};
 use powerscale::cluster::{plans, presets, simulate_cluster};
+use std::time::Duration;
 
 fn print_artifact() {
     let study = run_study(8192, &[1, 4, 16]);

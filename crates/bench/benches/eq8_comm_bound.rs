@@ -2,10 +2,10 @@
 //! sweep plus the measured (task-graph) communication of our CAPS vs
 //! Strassen plans, then benchmarks both computations.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use powerscale::caps::{comm, CapsConfig};
 use powerscale::strassen::StrassenConfig;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     println!("\nEq. 8 sweep (n=8192):");
@@ -24,8 +24,8 @@ fn bench(c: &mut Criterion) {
     for n in [512usize, 1024, 2048, 4096] {
         let s = powerscale::strassen::strassen_graph_with(n, &StrassenConfig::default(), &tm)
             .total_comm_bytes();
-        let cp = powerscale::caps::caps_graph_with(n, &CapsConfig::default(), &tm)
-            .total_comm_bytes();
+        let cp =
+            powerscale::caps::caps_graph_with(n, &CapsConfig::default(), &tm).total_comm_bytes();
         println!(
             "  n={n:<5} strassen {s:>12}  caps {cp:>12}  (caps/strassen {:.2})",
             cp as f64 / s as f64

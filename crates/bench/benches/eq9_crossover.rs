@@ -2,15 +2,22 @@
 //! platform compute/bandwidth ratios, plus a measured crossover scan on
 //! the simulated machine.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use powerscale::harness::{Algorithm, Harness, RunSpec};
 use powerscale::model::crossover_dimension;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     println!("\nEq. 9: n = 480·y/z");
-    for (y, z) in [(23_040.0, 12_800.0), (23_040.0, 25_600.0), (5_000.0, 12_800.0)] {
-        println!("  y={y:>8.0} Mflop/s, z={z:>8.0} MB/s -> n = {:.0}", crossover_dimension(y, z));
+    for (y, z) in [
+        (23_040.0, 12_800.0),
+        (23_040.0, 25_600.0),
+        (5_000.0, 12_800.0),
+    ] {
+        println!(
+            "  y={y:>8.0} Mflop/s, z={z:>8.0} MB/s -> n = {:.0}",
+            crossover_dimension(y, z)
+        );
     }
 
     // Measured slowdown trend on the simulated machine: does the gap close
@@ -18,8 +25,16 @@ fn bench(c: &mut Criterion) {
     let h = Harness::default();
     println!("\nmeasured Strassen/blocked ratio at 4 threads:");
     for n in [512usize, 1024, 2048, 4096] {
-        let b = h.run(RunSpec { algorithm: Algorithm::Blocked, n, threads: 4 });
-        let s = h.run(RunSpec { algorithm: Algorithm::Strassen, n, threads: 4 });
+        let b = h.run(RunSpec {
+            algorithm: Algorithm::Blocked,
+            n,
+            threads: 4,
+        });
+        let s = h.run(RunSpec {
+            algorithm: Algorithm::Strassen,
+            n,
+            threads: 4,
+        });
         println!("  n={n:<5} slowdown {:.3}", s.t_seconds / b.t_seconds);
     }
     println!();

@@ -2,10 +2,10 @@
 //! illustration. Prints the figure and benchmarks classification across
 //! the threshold.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use powerscale::harness::figures;
 use powerscale::model::{classify_point, ScalingClass};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", figures::fig1_concept(4).to_ascii(56, 14));

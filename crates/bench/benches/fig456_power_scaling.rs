@@ -2,9 +2,9 @@
 //! algorithm. Prints the regenerated artifacts, then benchmarks the
 //! power-measurement path (simulate + RAPL meter) per algorithm.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use powerscale::harness::{figures, tables, Algorithm, Harness, RunSpec};
+use std::time::Duration;
 
 fn print_artifact() {
     let h = Harness::default();

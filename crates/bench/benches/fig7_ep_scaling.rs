@@ -2,9 +2,9 @@
 //! Prints the regenerated figure and per-curve verdicts, then benchmarks
 //! curve construction and classification (Equations 5/6).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use powerscale::harness::{figures, tables, Harness};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let h = Harness::default();
@@ -29,9 +29,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig7");
     group.bench_function("ep_curves_all", |b| {
-        b.iter(|| {
-            figures::fig7_ep_scaling(&results, &tables::PAPER_SIZES, &tables::PAPER_THREADS)
-        })
+        b.iter(|| figures::fig7_ep_scaling(&results, &tables::PAPER_SIZES, &tables::PAPER_THREADS))
     });
     group.finish();
 }

@@ -3,9 +3,9 @@
 //! the blocked/packed DGEMM (sequential and pooled), and the Strassen/CAPS
 //! recursions on the host CPU.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use powerscale::prelude::*;
+use std::time::Duration;
 
 fn operands(n: usize) -> (powerscale::matrix::Matrix, powerscale::matrix::Matrix) {
     let mut gen = MatrixGen::new(42);
@@ -89,18 +89,130 @@ fn bench_parallel_paths(c: &mut Criterion) {
 
 fn bench_packing(c: &mut Criterion) {
     let mut group = c.benchmark_group("packing");
+    let kernel = powerscale::gemm::select_kernel();
     let (a, _) = operands(256);
     let sub = a.sub_view((0, 0), (64, 256)).unwrap();
-    let mut buf = vec![0.0f64; powerscale::gemm::pack::packed_a_len(64, 256)];
+    let mut buf = vec![0.0f64; powerscale::gemm::pack::packed_a_len(64, 256, kernel.mr)];
     group.bench_function("pack_a_64x256", |bch| {
-        bch.iter(|| powerscale::gemm::pack::pack_a(&sub, &mut buf))
+        bch.iter(|| powerscale::gemm::pack::pack_a(&sub, &mut buf, kernel.mr))
     });
     let bsub = a.sub_view((0, 0), (256, 64)).unwrap();
-    let mut bbuf = vec![0.0f64; powerscale::gemm::pack::packed_b_len(256, 64)];
+    let mut bbuf = vec![0.0f64; powerscale::gemm::pack::packed_b_len(256, 64, kernel.nr)];
     group.bench_function("pack_b_256x64", |bch| {
-        bch.iter(|| powerscale::gemm::pack::pack_b(&bsub, &mut bbuf))
+        bch.iter(|| powerscale::gemm::pack::pack_b(&bsub, &mut bbuf, kernel.nr))
     });
     group.finish();
+}
+
+/// One full register-tile sweep of a `96 × 96` C with `kc = 256`: the
+/// packed-panel inner loop of the Goto driver, isolated from packing.
+fn tile_sweep(
+    kernel: &powerscale::gemm::KernelInfo,
+    kc: usize,
+    pa: &[f64],
+    pb: &[f64],
+    c: &mut powerscale::matrix::Matrix,
+) {
+    let (m, n) = (c.rows(), c.cols());
+    let (mr, nr) = (kernel.mr, kernel.nr);
+    let mut view = c.view_mut();
+    for ir in 0..m.div_ceil(mr) {
+        let pa_strip = &pa[ir * mr * kc..(ir + 1) * mr * kc];
+        for jr in 0..n.div_ceil(nr) {
+            let pb_strip = &pb[jr * nr * kc..(jr + 1) * nr * kc];
+            (kernel.func)(kc, pa_strip, pb_strip, 1.0, &mut view, ir * mr, jr * nr);
+        }
+    }
+}
+
+/// Packs the benchmark operands for `kernel`'s tile shape.
+fn packed_operands(kernel: &powerscale::gemm::KernelInfo, kc: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut gen = MatrixGen::new(7);
+    let a = gen.uniform(96, kc, -1.0, 1.0);
+    let b = gen.uniform(kc, 96, -1.0, 1.0);
+    let mut pa = vec![0.0f64; powerscale::gemm::pack::packed_a_len(96, kc, kernel.mr)];
+    let mut pb = vec![0.0f64; powerscale::gemm::pack::packed_b_len(kc, 96, kernel.nr)];
+    powerscale::gemm::pack::pack_a(&a.view(), &mut pa, kernel.mr);
+    powerscale::gemm::pack::pack_b(&b.view(), &mut pb, kernel.nr);
+    (pa, pb)
+}
+
+/// Best-of-N sustained GFLOP/s of `kernel` on the tile sweep.
+fn measure_gflops(kernel: &powerscale::gemm::KernelInfo, kc: usize) -> f64 {
+    let (pa, pb) = packed_operands(kernel, kc);
+    let mut c = powerscale::matrix::Matrix::zeros(96, 96);
+    let flops = 2.0 * 96.0 * 96.0 * kc as f64;
+    // Warm-up.
+    for _ in 0..3 {
+        tile_sweep(kernel, kc, &pa, &pb, &mut c);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..30 {
+        let t0 = std::time::Instant::now();
+        tile_sweep(kernel, kc, &pa, &pb, &mut c);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    flops / best / 1e9
+}
+
+/// The tentpole comparison: portable scalar vs explicit SIMD vs the
+/// runtime dispatcher, on identical packed panels. Also snapshots the
+/// GFLOP/s figures to `artifacts/BENCH_kernels.json`.
+fn bench_microkernel_tiers(c: &mut Criterion) {
+    const KC: usize = 256;
+    let scalar = powerscale::gemm::scalar_kernel();
+    let simd = powerscale::gemm::simd_kernel();
+    let dispatch = powerscale::gemm::select_kernel();
+
+    let mut group = c.benchmark_group("microkernel_tiers");
+    let mut tiers: Vec<(String, &powerscale::gemm::KernelInfo)> = vec![("scalar".into(), scalar)];
+    if let Some(k) = simd {
+        tiers.push((format!("simd_{}", k.name), k));
+    }
+    tiers.push((format!("dispatch_{}", dispatch.name), dispatch));
+    for (label, kernel) in &tiers {
+        let (pa, pb) = packed_operands(kernel, KC);
+        let mut acc = powerscale::matrix::Matrix::zeros(96, 96);
+        group.bench_function(label.as_str(), |bch| {
+            bch.iter(|| tile_sweep(kernel, KC, &pa, &pb, &mut acc))
+        });
+    }
+    group.finish();
+
+    // JSON snapshot (hand-formatted: the bench crate carries no JSON dep).
+    let scalar_gf = measure_gflops(scalar, KC);
+    let simd_gf = simd.map(|k| measure_gflops(k, KC));
+    let dispatch_gf = measure_gflops(dispatch, KC);
+    let mut entries = vec![format!(
+        "    {{\"name\": \"scalar\", \"mr\": {}, \"nr\": {}, \"gflops\": {:.3}}}",
+        scalar.mr, scalar.nr, scalar_gf
+    )];
+    if let (Some(k), Some(gf)) = (simd, simd_gf) {
+        entries.push(format!(
+            "    {{\"name\": \"{}\", \"mr\": {}, \"nr\": {}, \"gflops\": {:.3}}}",
+            k.name, k.mr, k.nr, gf
+        ));
+    }
+    entries.push(format!(
+        "    {{\"name\": \"dispatch\", \"selected\": \"{}\", \"mr\": {}, \"nr\": {}, \"gflops\": {:.3}}}",
+        dispatch.name, dispatch.mr, dispatch.nr, dispatch_gf
+    ));
+    let json = format!(
+        "{{\n  \"bench\": \"microkernel_tiers\",\n  \"m\": 96,\n  \"n\": 96,\n  \"kc\": {KC},\n  \
+         \"tiers\": [\n{}\n  ],\n  \"dispatch_over_scalar\": {:.3}\n}}\n",
+        entries.join(",\n"),
+        dispatch_gf / scalar_gf
+    );
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../artifacts");
+    std::fs::create_dir_all(dir).expect("artifacts dir");
+    let path = format!("{dir}/BENCH_kernels.json");
+    std::fs::write(&path, json).expect("write BENCH_kernels.json");
+    println!(
+        "microkernel tiers: scalar {scalar_gf:.2} GFLOP/s, dispatch({}) {dispatch_gf:.2} GFLOP/s \
+         ({:.2}x) -> {path}",
+        dispatch.name,
+        dispatch_gf / scalar_gf
+    );
 }
 
 criterion_group! {
@@ -109,6 +221,6 @@ criterion_group! {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(900))
         .sample_size(10);
-    targets = bench_multiply_kernels, bench_parallel_paths, bench_packing
+    targets = bench_microkernel_tiers, bench_multiply_kernels, bench_parallel_paths, bench_packing
 }
 criterion_main!(benches);

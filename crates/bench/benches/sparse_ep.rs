@@ -2,11 +2,11 @@
 //! the per-format study on three matrix structures and benchmarks SpMV
 //! kernels plus the study pipeline.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use powerscale::machine::presets::e3_1225;
 use powerscale::pool::ThreadPool;
 use powerscale::sparse::{cost::SpmvStats, spmv, study, Csr, Ell, SparseGen};
+use std::time::Duration;
 
 fn print_artifact() {
     let machine = e3_1225();
@@ -34,11 +34,15 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("spmv_kernels");
     group.bench_function("coo", |b| b.iter(|| spmv::coo_spmv(&coo, &x, None)));
-    group.bench_function("csr_seq", |b| b.iter(|| spmv::csr_spmv(&csr, &x, None, None)));
+    group.bench_function("csr_seq", |b| {
+        b.iter(|| spmv::csr_spmv(&csr, &x, None, None))
+    });
     group.bench_function("csr_par", |b| {
         b.iter(|| spmv::csr_spmv(&csr, &x, Some(&pool), None))
     });
-    group.bench_function("ell_seq", |b| b.iter(|| spmv::ell_spmv(&ell, &x, None, None)));
+    group.bench_function("ell_seq", |b| {
+        b.iter(|| spmv::ell_spmv(&ell, &x, None, None))
+    });
     group.finish();
 
     let machine = e3_1225();

@@ -2,14 +2,18 @@
 //! baseline. Prints the regenerated table (with paper reference), then
 //! benchmarks the simulated runs that produce it.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use powerscale::harness::{tables, Algorithm, Harness, RunSpec};
+use std::time::Duration;
 
 fn print_artifact() {
     let h = Harness::default();
     let results = h.paper_matrix();
-    println!("\n{}", tables::slowdown_table(&results, &tables::PAPER_SIZES, &tables::PAPER_THREADS).to_markdown());
+    println!(
+        "\n{}",
+        tables::slowdown_table(&results, &tables::PAPER_SIZES, &tables::PAPER_THREADS)
+            .to_markdown()
+    );
     println!(
         "paper reference: Strassen {:?} | CAPS {:?}\n",
         tables::paper::TABLE2_STRASSEN,

@@ -2,10 +2,10 @@
 //! size. Prints the regenerated table, then benchmarks the EP computation
 //! over a full result set.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use powerscale::harness::{tables, Harness};
 use powerscale::model::{ep_ratio, PhaseMeasure};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let h = Harness::default();

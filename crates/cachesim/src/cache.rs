@@ -265,7 +265,7 @@ mod tests {
         let mut c = tiny();
         c.access(0, true); // dirty A in set 0
         c.access(256, false); // clean B
-        // Evict A (LRU) with C.
+                              // Evict A (LRU) with C.
         let (hit, wb) = c.access_detail(512, false);
         assert!(!hit);
         assert_eq!(wb, Some(0));

@@ -20,7 +20,10 @@ impl CacheConfig {
     /// Panics when the geometry is inconsistent (non-power-of-two line size
     /// or set count, capacity not divisible by `line * associativity`).
     pub fn new(size_bytes: usize, line_bytes: usize, associativity: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(associativity >= 1, "associativity must be >= 1");
         assert!(
             size_bytes % (line_bytes * associativity) == 0,
@@ -28,7 +31,10 @@ impl CacheConfig {
             line_bytes * associativity
         );
         let sets = size_bytes / (line_bytes * associativity);
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         CacheConfig {
             size_bytes,
             line_bytes,

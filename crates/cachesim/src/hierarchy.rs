@@ -91,7 +91,12 @@ impl Hierarchy {
             // write, or counted as DRAM write traffic from the last level.
             if let Some(victim_addr) = dirty_victim {
                 let (_, lower) = self.levels.split_at_mut(k + 1);
-                victims_push(&mut self.dram_write_bytes, lower, victim_addr, self.line_bytes);
+                victims_push(
+                    &mut self.dram_write_bytes,
+                    lower,
+                    victim_addr,
+                    self.line_bytes,
+                );
             }
             if hit {
                 hit_level = Some(k);
@@ -143,7 +148,12 @@ impl Hierarchy {
 
 /// Pushes a dirty victim line into `lower` levels (as a write access to the
 /// first of them) or accounts a DRAM write when no lower level exists.
-fn victims_push(dram_write_bytes: &mut u64, lower: &mut [Cache], victim_addr: u64, line_bytes: u64) {
+fn victims_push(
+    dram_write_bytes: &mut u64,
+    lower: &mut [Cache],
+    victim_addr: u64,
+    line_bytes: u64,
+) {
     match lower.split_first_mut() {
         Some((next, rest)) => {
             // Write-back lands in the next level; if that displaces another
@@ -242,10 +252,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "share a line size")]
     fn mixed_line_sizes_rejected() {
-        let _ = Hierarchy::new(&[
-            CacheConfig::new(512, 64, 2),
-            CacheConfig::new(4096, 128, 4),
-        ]);
+        let _ = Hierarchy::new(&[CacheConfig::new(512, 64, 2), CacheConfig::new(4096, 128, 4)]);
     }
 
     #[test]

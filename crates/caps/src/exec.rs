@@ -3,10 +3,9 @@
 
 use crate::config::CapsConfig;
 use powerscale_counters::{Event, EventSet};
+use powerscale_gemm::arena;
 use powerscale_gemm::leaf::leaf_gemm;
-use powerscale_matrix::{
-    ops, pad, DimError, DimResult, Matrix, MatrixView, MatrixViewMut,
-};
+use powerscale_matrix::{ops, pad, DimError, DimResult, Matrix, MatrixView, MatrixViewMut};
 use powerscale_pool::ThreadPool;
 
 /// `A · B` by the CAPS hybrid traversal.
@@ -45,7 +44,15 @@ pub fn multiply(
         let pa = pad::pad_to(a, target);
         let pb = pad::pad_to(b, target);
         let mut pc = Matrix::zeros(target, target);
-        rec(pa.view(), pb.view(), &mut pc.view_mut(), 0, cfg, pool, events);
+        rec(
+            pa.view(),
+            pb.view(),
+            &mut pc.view_mut(),
+            0,
+            cfg,
+            pool,
+            events,
+        );
         Ok(pad::crop(&pc.view(), n, n))
     }
 }
@@ -125,60 +132,98 @@ fn rec(
     let (a11, a12, a21, a22) = (qa.a11, qa.a12, qa.a21, qa.a22);
     let (b11, b12, b21, b22) = (qb.a11, qb.a12, qb.a21, qb.a22);
 
-    let mut q: Vec<Matrix> = (0..7).map(|_| Matrix::zeros(h, h)).collect();
+    // Product accumulators: zero-filled arena leases. In steady state
+    // (warm per-thread free lists) a DFS node allocates nothing.
+    let mut q1 = arena::matrix(h, h);
+    let mut q2 = arena::matrix(h, h);
+    let mut q3 = arena::matrix(h, h);
+    let mut q4 = arena::matrix(h, h);
+    let mut q5 = arena::matrix(h, h);
+    let mut q6 = arena::matrix(h, h);
+    let mut q7 = arena::matrix(h, h);
     {
-        let mut slots = q.iter_mut();
-        let q1 = slots.next().unwrap();
-        let q2 = slots.next().unwrap();
-        let q3 = slots.next().unwrap();
-        let q4 = slots.next().unwrap();
-        let q5 = slots.next().unwrap();
-        let q6 = slots.next().unwrap();
-        let q7 = slots.next().unwrap();
+        let (r1, r2, r3, r4, r5, r6, r7) = (
+            &mut *q1, &mut *q2, &mut *q3, &mut *q4, &mut *q5, &mut *q6, &mut *q7,
+        );
         let d = depth + 1;
-        let products: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
-            Box::new(move || {
-                let tl = ops::add(&a11, &a22).expect("quadrant shapes");
-                let tr = ops::add(&b11, &b22).expect("quadrant shapes");
-                record_add(events, h);
-                record_add(events, h);
-                rec(tl.view(), tr.view(), &mut q1.view_mut(), d, cfg, pool, events);
-            }),
-            Box::new(move || {
-                let tl = ops::add(&a21, &a22).expect("quadrant shapes");
-                record_add(events, h);
-                rec(tl.view(), b11, &mut q2.view_mut(), d, cfg, pool, events);
-            }),
-            Box::new(move || {
-                let tr = ops::sub(&b12, &b22).expect("quadrant shapes");
-                record_add(events, h);
-                rec(a11, tr.view(), &mut q3.view_mut(), d, cfg, pool, events);
-            }),
-            Box::new(move || {
-                let tr = ops::sub(&b21, &b11).expect("quadrant shapes");
-                record_add(events, h);
-                rec(a22, tr.view(), &mut q4.view_mut(), d, cfg, pool, events);
-            }),
-            Box::new(move || {
-                let tl = ops::add(&a11, &a12).expect("quadrant shapes");
-                record_add(events, h);
-                rec(tl.view(), b22, &mut q5.view_mut(), d, cfg, pool, events);
-            }),
-            Box::new(move || {
-                let tl = ops::sub(&a21, &a11).expect("quadrant shapes");
-                let tr = ops::add(&b11, &b12).expect("quadrant shapes");
-                record_add(events, h);
-                record_add(events, h);
-                rec(tl.view(), tr.view(), &mut q6.view_mut(), d, cfg, pool, events);
-            }),
-            Box::new(move || {
-                let tl = ops::sub(&a12, &a22).expect("quadrant shapes");
-                let tr = ops::add(&b21, &b22).expect("quadrant shapes");
-                record_add(events, h);
-                record_add(events, h);
-                rec(tl.view(), tr.view(), &mut q7.view_mut(), d, cfg, pool, events);
-            }),
-        ];
+        // Operand scratch is leased uninit inside each closure —
+        // `add_into`/`sub_into` overwrite it in full — and returns to the
+        // arena of whichever worker executes the closure.
+        let mut job1 = move || {
+            let mut tl = arena::matrix_uninit(h, h);
+            let mut tr = arena::matrix_uninit(h, h);
+            ops::add_into(&a11, &a22, &mut tl.view_mut()).expect("quadrant shapes");
+            ops::add_into(&b11, &b22, &mut tr.view_mut()).expect("quadrant shapes");
+            record_add(events, h);
+            record_add(events, h);
+            rec(
+                tl.view(),
+                tr.view(),
+                &mut r1.view_mut(),
+                d,
+                cfg,
+                pool,
+                events,
+            );
+        };
+        let mut job2 = move || {
+            let mut tl = arena::matrix_uninit(h, h);
+            ops::add_into(&a21, &a22, &mut tl.view_mut()).expect("quadrant shapes");
+            record_add(events, h);
+            rec(tl.view(), b11, &mut r2.view_mut(), d, cfg, pool, events);
+        };
+        let mut job3 = move || {
+            let mut tr = arena::matrix_uninit(h, h);
+            ops::sub_into(&b12, &b22, &mut tr.view_mut()).expect("quadrant shapes");
+            record_add(events, h);
+            rec(a11, tr.view(), &mut r3.view_mut(), d, cfg, pool, events);
+        };
+        let mut job4 = move || {
+            let mut tr = arena::matrix_uninit(h, h);
+            ops::sub_into(&b21, &b11, &mut tr.view_mut()).expect("quadrant shapes");
+            record_add(events, h);
+            rec(a22, tr.view(), &mut r4.view_mut(), d, cfg, pool, events);
+        };
+        let mut job5 = move || {
+            let mut tl = arena::matrix_uninit(h, h);
+            ops::add_into(&a11, &a12, &mut tl.view_mut()).expect("quadrant shapes");
+            record_add(events, h);
+            rec(tl.view(), b22, &mut r5.view_mut(), d, cfg, pool, events);
+        };
+        let mut job6 = move || {
+            let mut tl = arena::matrix_uninit(h, h);
+            let mut tr = arena::matrix_uninit(h, h);
+            ops::sub_into(&a21, &a11, &mut tl.view_mut()).expect("quadrant shapes");
+            ops::add_into(&b11, &b12, &mut tr.view_mut()).expect("quadrant shapes");
+            record_add(events, h);
+            record_add(events, h);
+            rec(
+                tl.view(),
+                tr.view(),
+                &mut r6.view_mut(),
+                d,
+                cfg,
+                pool,
+                events,
+            );
+        };
+        let mut job7 = move || {
+            let mut tl = arena::matrix_uninit(h, h);
+            let mut tr = arena::matrix_uninit(h, h);
+            ops::sub_into(&a12, &a22, &mut tl.view_mut()).expect("quadrant shapes");
+            ops::add_into(&b21, &b22, &mut tr.view_mut()).expect("quadrant shapes");
+            record_add(events, h);
+            record_add(events, h);
+            rec(
+                tl.view(),
+                tr.view(),
+                &mut r7.view_mut(),
+                d,
+                cfg,
+                pool,
+                events,
+            );
+        };
         if bfs {
             // BFS step: the seven sub-problems fan out to disjoint workers
             // with their own buffers; operands are placed once.
@@ -187,22 +232,38 @@ fn rec(
                 set.record(Event::CommBytes, 7 * 2 * 8 * (h * h) as u64);
             }
             pool.expect("bfs implies pool").scope(|s| {
-                for job in products {
-                    s.spawn(move |_| job());
-                }
+                s.spawn(move |_| job1());
+                s.spawn(move |_| job2());
+                s.spawn(move |_| job3());
+                s.spawn(move |_| job4());
+                s.spawn(move |_| job5());
+                s.spawn(move |_| job6());
+                s.spawn(move |_| job7());
             });
         } else {
             // DFS step: the seven sub-problems in sequence; each is fully
             // parallelised internally (work-sharing) and no data migrates.
-            for job in products {
-                job();
-            }
+            job1();
+            job2();
+            job3();
+            job4();
+            job5();
+            job6();
+            job7();
         }
     }
 
     let qc = c.reborrow().quadrants().expect("even dimension");
     let (mut c11, mut c12, mut c21, mut c22) = (qc.a11, qc.a12, qc.a21, qc.a22);
-    let qv: Vec<MatrixView<'_>> = q.iter().map(|m| m.view()).collect();
+    let qv: [MatrixView<'_>; 7] = [
+        q1.view(),
+        q2.view(),
+        q3.view(),
+        q4.view(),
+        q5.view(),
+        q6.view(),
+        q7.view(),
+    ];
     let apply = |dst: &mut MatrixViewMut<'_>, src: &MatrixView<'_>, sign: f64| {
         if sign > 0.0 {
             ops::add_assign(dst, src).expect("quadrant shapes");

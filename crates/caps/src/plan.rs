@@ -69,13 +69,7 @@ fn emit(
             )];
         }
         // DFS leaf: work-shared across all workers, no migration.
-        return emit_bands(
-            g,
-            2 * d * d * d,
-            eff,
-            cfg.dfs_ways,
-            deps,
-        );
+        return emit_bands(g, 2 * d * d * d, eff, cfg.dfs_ways, deps);
     }
 
     if depth >= cfg.cutoff_depth {
@@ -117,10 +111,14 @@ fn emit(
         // Combines pull group-local results: scaled by the same placement
         // factor, halved again because the consuming quadrant lives in one
         // of the producing groups.
-        let comm =
-            (QUADRANT_INPUTS[q].len() as f64 * 8.0 * hh as f64 * placement / 2.0) as u64;
+        let comm = (QUADRANT_INPUTS[q].len() as f64 * 8.0 * hh as f64 * placement / 2.0) as u64;
         combines.push(g.add(
-            TaskCost::new(KernelClass::Elementwise, passes * hh, passes * per_pass, comm),
+            TaskCost::new(
+                KernelClass::Elementwise,
+                passes * hh,
+                passes * per_pass,
+                comm,
+            ),
             &cdeps,
         ));
     }

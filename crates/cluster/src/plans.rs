@@ -108,8 +108,7 @@ fn emit_caps(
         let mut net = 0.0f64;
         for &pi in QUADRANT_INPUTS[q] {
             cdeps.extend_from_slice(&product_sinks[pi]);
-            let child_count =
-                ((pi + 1) * count / 7).max((pi * count) / 7 + 1) - (pi * count) / 7;
+            let child_count = ((pi + 1) * count / 7).max((pi * count) / 7 + 1) - (pi * count) / 7;
             // Results scatter back into the block-cyclic layout: each
             // producing group keeps its owned share.
             net += 8.0 * hh as f64 * (1.0 - child_count as f64 / count as f64);

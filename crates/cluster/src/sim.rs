@@ -79,8 +79,7 @@ impl ClusterSchedule {
         if self.makespan <= 0.0 {
             return 0.0;
         }
-        self.node_busy.iter().sum::<f64>()
-            / (self.makespan * cluster.total_cores() as f64)
+        self.node_busy.iter().sum::<f64>() / (self.makespan * cluster.total_cores() as f64)
     }
 }
 
@@ -172,7 +171,14 @@ pub fn simulate_cluster(graph: &DistGraph, cluster: &ClusterConfig) -> ClusterSc
                 "cluster sim stuck at t={t}: {completed}/{n} done, running: {:?}",
                 running
                     .iter()
-                    .map(|r| (r.id.index(), r.rem_lat, r.rem_net, r.rem_comm, r.rem_flops, r.rem_mem))
+                    .map(|r| (
+                        r.id.index(),
+                        r.rem_lat,
+                        r.rem_net,
+                        r.rem_comm,
+                        r.rem_flops,
+                        r.rem_mem
+                    ))
                     .collect::<Vec<_>>()
             );
         }
@@ -243,9 +249,7 @@ pub fn simulate_cluster(graph: &DistGraph, cluster: &ClusterConfig) -> ClusterSc
                 dt = dt.min(r.rem_comm / comm_rate(r.node));
             } else {
                 if r.rem_flops >= STREAM_EPS {
-                    let rate = machine
-                        .compute
-                        .achieved_flops(graph.task(r.id).cost.class);
+                    let rate = machine.compute.achieved_flops(graph.task(r.id).cost.class);
                     dt = dt.min(r.rem_flops / rate);
                 }
                 if r.rem_mem >= STREAM_EPS {
@@ -289,8 +293,7 @@ pub fn simulate_cluster(graph: &DistGraph, cluster: &ClusterConfig) -> ClusterSc
             energy.nodes_dram_joules += dram * dt;
             // Network plane.
             let moved = net_active as f64 * net_rate * dt;
-            energy.network_joules += (cluster.nodes as f64 * cluster.nic_idle_w
-                + cluster.switch_w)
+            energy.network_joules += (cluster.nodes as f64 * cluster.nic_idle_w + cluster.switch_w)
                 * dt
                 + cluster.nic_joule_per_byte * moved;
             // Intra-node interconnect energy folded into pkg, like the SMP
@@ -314,9 +317,7 @@ pub fn simulate_cluster(graph: &DistGraph, cluster: &ClusterConfig) -> ClusterSc
                 drain(&mut r.rem_comm, comm_rate(r.node) * dt);
             } else {
                 if r.rem_flops >= STREAM_EPS {
-                    let rate = machine
-                        .compute
-                        .achieved_flops(graph.task(r.id).cost.class);
+                    let rate = machine.compute.achieved_flops(graph.task(r.id).cost.class);
                     drain(&mut r.rem_flops, rate * dt);
                 }
                 if r.rem_mem >= STREAM_EPS {
@@ -393,7 +394,11 @@ mod tests {
             g.add(flops_task(node, 2_304_000_000), &[]);
         }
         let s = simulate_cluster(&g, &c);
-        assert!((s.makespan - 0.1).abs() < 1e-6, "parallel nodes: {}", s.makespan);
+        assert!(
+            (s.makespan - 0.1).abs() < 1e-6,
+            "parallel nodes: {}",
+            s.makespan
+        );
         // Single node runs them on its 4 cores — also parallel, same time.
         let c1 = e3_1225_cluster(1);
         let mut g1 = DistGraph::new();
@@ -500,12 +505,7 @@ mod tests {
                 0,
                 g.add(
                     DistTask {
-                        cost: TaskCost::new(
-                            KernelClass::LeafGemm,
-                            i * 1_000_000,
-                            i * 10_000,
-                            0,
-                        ),
+                        cost: TaskCost::new(KernelClass::LeafGemm, i * 1_000_000, i * 10_000, 0),
                         node: (i % 3) as usize,
                         net_bytes: i * 100,
                     },

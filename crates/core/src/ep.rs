@@ -18,7 +18,10 @@ impl PhaseMeasure {
     /// Panics on non-positive `t` or negative `energy_avg`.
     pub fn new(energy_avg: f64, t: f64) -> Self {
         assert!(t > 0.0, "phase runtime must be positive, got {t}");
-        assert!(energy_avg >= 0.0, "energy cannot be negative, got {energy_avg}");
+        assert!(
+            energy_avg >= 0.0,
+            "energy cannot be negative, got {energy_avg}"
+        );
         PhaseMeasure { energy_avg, t }
     }
 }
@@ -107,10 +110,7 @@ impl PlaneSet {
 ///
 /// # Panics
 /// Panics if `parallel` is empty.
-pub fn ep_total_planes(
-    sequential: (&PlaneSet, f64),
-    parallel: &[(PlaneSet, f64)],
-) -> f64 {
+pub fn ep_total_planes(sequential: (&PlaneSet, f64), parallel: &[(PlaneSet, f64)]) -> f64 {
     assert!(
         !parallel.is_empty(),
         "Equation 4 requires at least one parallel unit"

@@ -154,9 +154,8 @@ mod tests {
     #[test]
     fn ideal_curve_constant_power_linear_speedup() {
         // Constant 20 W, perfect speedup: S = p exactly → Linear band.
-        let measures: Vec<(usize, PhaseMeasure)> = (1..=4)
-            .map(|p| (p, m(20.0, 8.0 / p as f64)))
-            .collect();
+        let measures: Vec<(usize, PhaseMeasure)> =
+            (1..=4).map(|p| (p, m(20.0, 8.0 / p as f64))).collect();
         let curve = EpCurve::from_measures(&measures, 0.05);
         assert_eq!(curve.overall(), ScalingClass::Linear);
         assert!((curve.points[3].s - 4.0).abs() < 1e-9);
@@ -180,11 +179,7 @@ mod tests {
     #[test]
     fn superlinear_power_growth_detected() {
         // Power more than doubles per doubling of speedup.
-        let measures = vec![
-            (1, m(20.0, 8.0)),
-            (2, m(45.0, 4.0)),
-            (4, m(110.0, 2.0)),
-        ];
+        let measures = vec![(1, m(20.0, 8.0)), (2, m(45.0, 4.0)), (4, m(110.0, 2.0))];
         let curve = EpCurve::from_measures(&measures, 0.05);
         assert_eq!(curve.overall(), ScalingClass::Superlinear);
         assert!(curve.mean_excess() > 0.0);

@@ -47,7 +47,8 @@ impl Profile {
 
     /// Total floating-point operations (multiply kernels + add passes).
     pub fn total_flops(&self) -> u64 {
-        self.get(Event::FpOps).saturating_add(self.get(Event::FpAdds))
+        self.get(Event::FpOps)
+            .saturating_add(self.get(Event::FpAdds))
     }
 
     /// Total useful memory traffic in bytes (reads + writes + packing).

@@ -5,59 +5,95 @@
 //! capacity of each cache level". This module implements that derivation,
 //! using the classic Goto constraints:
 //!
-//! * a `kc × NR` sliver of packed B plus an `MR × kc` sliver of packed A
+//! * a `kc × nr` sliver of packed B plus an `mr × kc` sliver of packed A
 //!   must fit in L1 with room to spare,
 //! * an `mc × kc` packed A panel should occupy about half of L2,
 //! * a `kc × nc` packed B panel should occupy about half of the LLC.
+//!
+//! The register-tile shape (`mr × nr`) is no longer a compile-time
+//! constant: it comes from the microkernel selected at runtime
+//! ([`crate::kernel::select_kernel`]), so `mc`/`nc` alignment follows the
+//! dispatched kernel (4×4 scalar, 8×6 AVX2/NEON).
 
+use crate::kernel::KernelInfo;
 use powerscale_cachesim::CacheConfig;
 
-/// Register-tile rows of the microkernel.
-pub const MR: usize = 4;
-/// Register-tile columns of the microkernel.
-pub const NR: usize = 4;
-
-/// Loop blocking factors for the Goto GEMM structure.
+/// Loop blocking factors for the Goto GEMM structure, plus the
+/// register-tile shape they are aligned to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockingParams {
-    /// Row-panel height (the parallelised loop).
+    /// Row-panel height (the parallelised loop); a multiple of `mr`.
     pub mc: usize,
     /// Depth of one packed panel pair (the accumulation loop).
     pub kc: usize,
-    /// Column-panel width (the outermost loop).
+    /// Column-panel width (the outermost loop); a multiple of `nr`.
     pub nc: usize,
+    /// Register-tile rows of the kernel these factors are derived for.
+    pub mr: usize,
+    /// Register-tile columns of the kernel these factors are derived for.
+    pub nr: usize,
 }
 
 impl BlockingParams {
-    /// Derives parameters from a cache hierarchy (L1 first).
+    /// Derives parameters from a cache hierarchy (L1 first) for the
+    /// runtime-selected kernel's tile shape.
     ///
     /// Falls back to [`BlockingParams::default`] proportions when fewer
     /// than three levels are described.
     pub fn for_caches(caches: &[CacheConfig]) -> Self {
+        let k = crate::kernel::select_kernel();
+        Self::for_caches_and_tile(caches, k.mr, k.nr)
+    }
+
+    /// Derives parameters from the default (paper Haswell) hierarchy for a
+    /// specific kernel — used when a context pins a non-default kernel.
+    pub fn for_kernel(kernel: &KernelInfo) -> Self {
+        Self::for_caches_and_tile(
+            &powerscale_cachesim::presets::e3_1225_caches(),
+            kernel.mr,
+            kernel.nr,
+        )
+    }
+
+    /// Derives parameters from a cache hierarchy for an explicit `mr × nr`
+    /// register tile.
+    ///
+    /// Every clamp bound is aligned to the rounding multiple before it is
+    /// applied, so the result always satisfies [`BlockingParams::validate`]
+    /// even for degenerate hierarchies or tiles (like 8×6) whose size does
+    /// not divide the nominal caps.
+    pub fn for_caches_and_tile(caches: &[CacheConfig], mr: usize, nr: usize) -> Self {
+        assert!(mr > 0 && nr > 0, "register tile must be non-empty");
         let l1 = caches.first().map(|c| c.size_bytes).unwrap_or(32 * 1024);
         let l2 = caches.get(1).map(|c| c.size_bytes).unwrap_or(256 * 1024);
-        let l3 = caches.get(2).map(|c| c.size_bytes).unwrap_or(8 * 1024 * 1024);
-        // kc: half of L1 holds kc*(MR+NR) doubles.
-        let kc = round_down_pow2_multiple(l1 / (2 * 8 * (MR + NR)), 8).clamp(32, 512);
-        // mc: half of L2 holds mc*kc doubles, rounded to MR.
-        let mc = round_down_pow2_multiple(l2 / (2 * 8 * kc), MR).clamp(MR, 512);
-        // nc: half of L3 holds kc*nc doubles, rounded to NR, capped to keep
+        let l3 = caches
+            .get(2)
+            .map(|c| c.size_bytes)
+            .unwrap_or(8 * 1024 * 1024);
+        // kc: half of L1 holds kc*(mr+nr) doubles.
+        let kc = aligned_clamp(l1 / (2 * 8 * (mr + nr)), 8, 32, 512);
+        // mc: half of L2 holds mc*kc doubles, rounded to mr.
+        let mc = aligned_clamp(l2 / (2 * 8 * kc), mr, mr, 512);
+        // nc: half of L3 holds kc*nc doubles, rounded to nr, capped to keep
         // task granularity reasonable.
-        let nc = round_down_pow2_multiple(l3 / (2 * 8 * kc), NR).clamp(NR, 2048);
-        BlockingParams { mc, kc, nc }
+        let nc = aligned_clamp(l3 / (2 * 8 * kc), nr, nr, 2048);
+        BlockingParams { mc, kc, nc, mr, nr }
     }
 
     /// Validates invariants (all factors positive and register-tile
     /// aligned where required).
     pub fn validate(&self) -> Result<(), String> {
+        if self.mr == 0 || self.nr == 0 {
+            return Err(format!("zero register tile in {self:?}"));
+        }
         if self.mc == 0 || self.kc == 0 || self.nc == 0 {
             return Err(format!("zero blocking factor in {self:?}"));
         }
-        if self.mc % MR != 0 {
-            return Err(format!("mc {} not a multiple of MR {MR}", self.mc));
+        if self.mc % self.mr != 0 {
+            return Err(format!("mc {} not a multiple of mr {}", self.mc, self.mr));
         }
-        if self.nc % NR != 0 {
-            return Err(format!("nc {} not a multiple of NR {NR}", self.nc));
+        if self.nc % self.nr != 0 {
+            return Err(format!("nc {} not a multiple of nr {}", self.nc, self.nr));
         }
         Ok(())
     }
@@ -74,30 +110,43 @@ impl BlockingParams {
 }
 
 impl Default for BlockingParams {
-    /// The derivation applied to the paper's Haswell hierarchy.
+    /// The derivation applied to the paper's Haswell hierarchy, for the
+    /// runtime-selected kernel.
     fn default() -> Self {
         BlockingParams::for_caches(&powerscale_cachesim::presets::e3_1225_caches())
     }
 }
 
-fn round_down_pow2_multiple(x: usize, multiple: usize) -> usize {
-    (x / multiple).max(1) * multiple
+/// Rounds `x` down to a positive multiple of `multiple`, then clamps it to
+/// `[lo, hi]` with both bounds themselves aligned to `multiple` first (lo
+/// rounds up, hi rounds down). Without the bound alignment, a clamp that
+/// fires can break the multiple invariant — e.g. a 2048 cap is not a
+/// multiple of nr = 6.
+fn aligned_clamp(x: usize, multiple: usize, lo: usize, hi: usize) -> usize {
+    let lo = lo.div_ceil(multiple).max(1) * multiple;
+    let hi = ((hi / multiple) * multiple).max(lo);
+    ((x / multiple).max(1) * multiple).clamp(lo, hi)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::{scalar_kernel, select_kernel};
     use powerscale_cachesim::presets::e3_1225_caches;
+    use proptest::prelude::*;
 
     #[test]
     fn default_params_valid_and_sized() {
         let p = BlockingParams::default();
         p.validate().unwrap();
         // On the Haswell hierarchy the classic derivation lands near
-        // kc=256, mc=64, nc=2048.
+        // kc=256, mc=64, nc=2048 (scalar tile) or kc=144, mc=112, nc=2046
+        // (8×6 SIMD tile).
         assert!((128..=512).contains(&p.kc), "kc={}", p.kc);
         assert!((32..=256).contains(&p.mc), "mc={}", p.mc);
         assert!((256..=2048).contains(&p.nc), "nc={}", p.nc);
+        let k = select_kernel();
+        assert_eq!((p.mr, p.nr), (k.mr, k.nr));
     }
 
     #[test]
@@ -108,7 +157,7 @@ mod tests {
         assert!(p.packed_a_bytes() <= caches[1].size_bytes);
         assert!(p.packed_b_bytes() <= caches[2].size_bytes);
         // The L1 sliver constraint.
-        assert!(p.kc * 8 * (MR + NR) <= caches[0].size_bytes);
+        assert!(p.kc * 8 * (p.mr + p.nr) <= caches[0].size_bytes);
     }
 
     #[test]
@@ -117,6 +166,18 @@ mod tests {
         p.validate().unwrap();
         let one = BlockingParams::for_caches(&[CacheConfig::new(4096, 64, 1)]);
         one.validate().unwrap();
+        // A tiny L1/L2 pair with a 6-column tile used to trip the
+        // unaligned 2048 cap path on large L3 values.
+        let tiny = BlockingParams::for_caches_and_tile(
+            &[
+                CacheConfig::new(1024, 64, 1),
+                CacheConfig::new(2048, 64, 2),
+                CacheConfig::new(512 * 1024 * 1024, 64, 16),
+            ],
+            8,
+            6,
+        );
+        tiny.validate().unwrap();
     }
 
     #[test]
@@ -125,14 +186,26 @@ mod tests {
             mc: 13,
             kc: 64,
             nc: 64,
+            mr: 4,
+            nr: 4,
         };
         assert!(bad.validate().is_err());
         let zero = BlockingParams {
             mc: 0,
             kc: 64,
             nc: 64,
+            mr: 4,
+            nr: 4,
         };
         assert!(zero.validate().is_err());
+        let bad_nc = BlockingParams {
+            mc: 48,
+            kc: 64,
+            nc: 2048,
+            mr: 8,
+            nr: 6,
+        };
+        assert!(bad_nc.validate().is_err());
     }
 
     #[test]
@@ -145,5 +218,50 @@ mod tests {
         let big = BlockingParams::for_caches(&e3_1225_caches());
         assert!(small.kc <= big.kc);
         assert!(small.packed_b_bytes() <= big.packed_b_bytes());
+    }
+
+    #[test]
+    fn for_kernel_matches_tile() {
+        let p = BlockingParams::for_kernel(scalar_kernel());
+        p.validate().unwrap();
+        assert_eq!((p.mr, p.nr), (4, 4));
+        if let Some(simd) = crate::kernel::simd_kernel() {
+            let q = BlockingParams::for_kernel(simd);
+            q.validate().unwrap();
+            assert_eq!((q.mr, q.nr), (simd.mr, simd.nr));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn random_hierarchies_always_validate(
+            l1_shift in 0usize..7,
+            l2_shift in 0usize..7,
+            l3_shift in 0usize..10,
+            tile_idx in 0usize..5,
+        ) {
+            // Random (possibly absurd) cache hierarchies crossed with every
+            // register-tile shape the dispatcher can pick: the derived
+            // parameters must always satisfy validate(), and the packed
+            // panel sizes must be positive. Sizes stay powers of two so the
+            // cachesim geometry (power-of-two set counts) accepts them.
+            let tiles = [(4usize, 4usize), (8, 6), (8, 4), (6, 8), (16, 6)];
+            let (mr, nr) = tiles[tile_idx];
+            let l1 = 1024usize << l1_shift;
+            let l2 = l1 << l2_shift;
+            let l3 = l2 << l3_shift;
+            let caches = [
+                CacheConfig::new(l1, 64, 2),
+                CacheConfig::new(l2, 64, 4),
+                CacheConfig::new(l3, 64, 8),
+            ];
+            let p = BlockingParams::for_caches_and_tile(&caches, mr, nr);
+            prop_assert!(p.validate().is_ok(), "invalid params {p:?} for l1={l1} l2={l2} l3={l3}");
+            prop_assert!(p.packed_a_bytes() > 0);
+            prop_assert!(p.packed_b_bytes() > 0);
+            prop_assert!(p.mc >= mr && p.nc >= nr && p.kc >= 8);
+        }
     }
 }

@@ -1,22 +1,37 @@
 //! The Goto-structured DGEMM driver.
 
-use crate::blocking::{BlockingParams, MR, NR};
-use crate::kernel::microkernel;
-use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len};
+use crate::arena;
+use crate::blocking::BlockingParams;
+use crate::kernel::{select_kernel, KernelInfo};
+use crate::pack::{pack_a, pack_b, pack_b_strips, packed_a_len, packed_b_len};
 use powerscale_counters::{Event, EventSet, Profile};
 use powerscale_matrix::{ops, DimError, DimResult, Matrix, MatrixView, MatrixViewMut};
 use powerscale_pool::ThreadPool;
 
-/// Execution context for [`dgemm`]: blocking factors, optional worker pool
-/// (sequential when absent) and optional event instrumentation.
-#[derive(Default)]
+/// Execution context for [`dgemm`]: the dispatched microkernel, blocking
+/// factors derived for its tile shape, optional worker pool (sequential
+/// when absent) and optional event instrumentation.
 pub struct GemmContext<'a> {
-    /// Loop blocking factors (defaults to the Haswell derivation).
+    /// Loop blocking factors (defaults to the Haswell derivation for the
+    /// selected kernel); must be aligned to `kernel`'s tile shape.
     pub params: BlockingParams,
+    /// The microkernel to run (defaults to the runtime-dispatched one).
+    pub kernel: &'static KernelInfo,
     /// Pool for the row-panel loop; `None` runs sequentially.
     pub pool: Option<&'a ThreadPool>,
     /// Event set receiving work accounting; `None` disables it.
     pub events: Option<&'a EventSet>,
+}
+
+impl Default for GemmContext<'_> {
+    fn default() -> Self {
+        GemmContext {
+            params: BlockingParams::default(),
+            kernel: select_kernel(),
+            pool: None,
+            events: None,
+        }
+    }
 }
 
 impl<'a> GemmContext<'a> {
@@ -32,13 +47,28 @@ impl<'a> GemmContext<'a> {
             ..GemmContext::default()
         }
     }
+
+    /// A sequential context pinned to a specific microkernel, with
+    /// blocking re-derived for that kernel's tile shape. Used to force a
+    /// dispatch tier (tests, benchmarks, CI's scalar job).
+    pub fn with_kernel(kernel: &'static KernelInfo) -> Self {
+        GemmContext {
+            params: BlockingParams::for_kernel(kernel),
+            kernel,
+            ..GemmContext::default()
+        }
+    }
 }
 
 /// `C = alpha · A·B + beta · C`, blocked/packed/register-tiled.
 ///
 /// Results are bitwise-deterministic and independent of the pool size: the
-/// accumulation order over `kc` panels is fixed, and parallel row bands
-/// write disjoint regions of C.
+/// accumulation order over `kc` panels is fixed, parallel row bands write
+/// disjoint regions of C, and parallel B packing writes disjoint strips
+/// whose contents do not depend on which worker packs them.
+///
+/// Steady-state invocations perform no per-panel heap allocation: packing
+/// buffers are leased from the thread-local [`crate::arena`].
 pub fn dgemm(
     alpha: f64,
     a: &MatrixView<'_>,
@@ -65,6 +95,16 @@ pub fn dgemm(
     ctx.params
         .validate()
         .unwrap_or_else(|e| panic!("invalid blocking parameters: {e}"));
+    let kernel = ctx.kernel;
+    assert!(
+        ctx.params.mr == kernel.mr && ctx.params.nr == kernel.nr,
+        "blocking tile {}x{} does not match kernel `{}` tile {}x{}",
+        ctx.params.mr,
+        ctx.params.nr,
+        kernel.name,
+        kernel.mr,
+        kernel.nr
+    );
 
     // beta pass: C := beta * C, once, up front.
     if beta != 1.0 {
@@ -78,8 +118,8 @@ pub fn dgemm(
         return Ok(());
     }
 
-    let BlockingParams { mc, kc, nc } = ctx.params;
-    let mut pb = vec![0.0f64; packed_b_len(kc.min(k), nc.min(n))];
+    let BlockingParams { mc, kc, nc, nr, .. } = ctx.params;
+    let mut pb = arena::pack_buf(packed_b_len(kc.min(k), nc.min(n), nr));
 
     let mut jc = 0;
     while jc < n {
@@ -87,41 +127,77 @@ pub fn dgemm(
         let mut pc = 0;
         while pc < k {
             let kcb = kc.min(k - pc);
-            // Pack the shared B panel.
+            // Pack the shared B panel — in parallel when a pool is
+            // available and there are enough strips to go around. Each
+            // worker writes a disjoint chunk of whole strips, so the bytes
+            // are identical to a sequential pack; the writes also
+            // first-touch the chunk on the packing worker's node.
             let bpanel = b.sub_view((pc, jc), (kcb, ncb))?;
-            pack_b(&bpanel, &mut pb);
-            if let Some(set) = ctx.events {
-                set.record(Event::PackBytes, 8 * (kcb * ncb) as u64);
-                set.record(Event::BytesRead, 8 * (kcb * ncb) as u64);
-            }
-
-            // Split this C panel into mc-row bands (disjoint mutable views).
-            let cpanel = c.reborrow().into_sub_view((0, jc), (m, ncb))?;
-            let mut bands: Vec<(usize, MatrixViewMut<'_>)> = Vec::new();
-            let mut rest = cpanel;
-            let mut ic = 0;
-            while ic < m {
-                let mcb = mc.min(m - ic);
-                let (band, tail) = rest.split_rows_at(mcb)?;
-                bands.push((ic, band));
-                rest = tail;
-                ic += mcb;
-            }
-
-            let pb_ref: &[f64] = &pb;
+            let b_strips = ncb.div_ceil(nr);
             match ctx.pool {
-                Some(pool) if bands.len() > 1 => {
+                Some(pool) if pool.num_threads() > 1 && b_strips >= 2 * pool.num_threads() => {
+                    let strip_len = nr * kcb;
+                    let chunk_strips = b_strips.div_ceil(pool.num_threads());
+                    let used = &mut pb[..b_strips * strip_len];
                     pool.scope(|s| {
-                        for (ic, mut band) in bands {
+                        for (ci, chunk) in used.chunks_mut(chunk_strips * strip_len).enumerate() {
                             s.spawn(move |_| {
-                                run_row_band(a, pc, ic, kcb, ncb, pb_ref, alpha, &mut band, ctx.events);
+                                pack_b_strips(
+                                    &bpanel,
+                                    chunk,
+                                    nr,
+                                    ci * chunk_strips,
+                                    chunk.len() / strip_len,
+                                );
                             });
                         }
                     });
                 }
                 _ => {
-                    for (ic, mut band) in bands {
-                        run_row_band(a, pc, ic, kcb, ncb, pb_ref, alpha, &mut band, ctx.events);
+                    pack_b(&bpanel, &mut pb, nr);
+                }
+            }
+            if let Some(set) = ctx.events {
+                set.record(Event::PackBytes, 8 * (kcb * ncb) as u64);
+                set.record(Event::BytesRead, 8 * (kcb * ncb) as u64);
+            }
+
+            // Sweep mc-row bands of this C panel (disjoint mutable views),
+            // splitting as we go — no per-panel band list is materialised.
+            let cpanel = c.reborrow().into_sub_view((0, jc), (m, ncb))?;
+            let pb_ref: &[f64] = &pb;
+            match ctx.pool {
+                Some(pool) if m > mc => {
+                    pool.scope(|s| {
+                        let mut rest = cpanel;
+                        let mut ic = 0;
+                        while ic < m {
+                            let mcb = mc.min(m - ic);
+                            let (mut band, tail) =
+                                rest.split_rows_at(mcb).expect("band split within panel");
+                            s.spawn(move |_| {
+                                run_row_band(
+                                    kernel, a, pc, ic, kcb, ncb, pb_ref, alpha, &mut band,
+                                    ctx.events,
+                                );
+                            });
+                            rest = tail;
+                            ic += mcb;
+                        }
+                    });
+                }
+                _ => {
+                    let mut rest = cpanel;
+                    let mut ic = 0;
+                    while ic < m {
+                        let mcb = mc.min(m - ic);
+                        let (mut band, tail) =
+                            rest.split_rows_at(mcb).expect("band split within panel");
+                        run_row_band(
+                            kernel, a, pc, ic, kcb, ncb, pb_ref, alpha, &mut band, ctx.events,
+                        );
+                        rest = tail;
+                        ic += mcb;
                     }
                 }
             }
@@ -132,9 +208,12 @@ pub fn dgemm(
     Ok(())
 }
 
-/// One row-band task: packs its A block and sweeps the macro-kernel tiles.
+/// One row-band task: packs its A block (into a lease from the executing
+/// thread's arena — a worker-local buffer under a pool) and sweeps the
+/// macro-kernel tiles.
 #[allow(clippy::too_many_arguments)]
 fn run_row_band(
+    kernel: &'static KernelInfo,
     a: &MatrixView<'_>,
     pc: usize,
     ic: usize,
@@ -145,18 +224,19 @@ fn run_row_band(
     band: &mut MatrixViewMut<'_>,
     events: Option<&EventSet>,
 ) {
+    let (mr, nr) = (kernel.mr, kernel.nr);
     let mcb = band.rows();
     let ablock = a
         .sub_view((ic, pc), (mcb, kcb))
         .expect("A block within bounds by construction");
-    let mut pa = vec![0.0f64; packed_a_len(mcb, kcb)];
-    let a_strips = pack_a(&ablock, &mut pa);
-    let b_strips = ncb.div_ceil(NR);
+    let mut pa = arena::pack_buf(packed_a_len(mcb, kcb, mr));
+    let a_strips = pack_a(&ablock, &mut pa, mr);
+    let b_strips = ncb.div_ceil(nr);
     for jr in 0..b_strips {
-        let pb_strip = &pb[jr * NR * kcb..(jr + 1) * NR * kcb];
+        let pb_strip = &pb[jr * nr * kcb..(jr + 1) * nr * kcb];
         for ir in 0..a_strips {
-            let pa_strip = &pa[ir * MR * kcb..(ir + 1) * MR * kcb];
-            microkernel(kcb, pa_strip, pb_strip, alpha, band, ir * MR, jr * NR);
+            let pa_strip = &pa[ir * mr * kcb..(ir + 1) * mr * kcb];
+            (kernel.func)(kcb, pa_strip, pb_strip, alpha, band, ir * mr, jr * nr);
         }
     }
     if let Some(set) = events {
@@ -180,6 +260,7 @@ pub fn multiply(a: &MatrixView<'_>, b: &MatrixView<'_>) -> DimResult<Matrix> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::{scalar_kernel, simd_kernel};
     use crate::naive::naive_mm;
     use powerscale_matrix::norms::rel_frobenius_error;
     use powerscale_matrix::{Matrix, MatrixGen};
@@ -212,7 +293,7 @@ mod tests {
 
     #[test]
     fn matches_naive_blocking_boundaries() {
-        // Sizes straddling mc/kc/nc and MR/NR boundaries.
+        // Sizes straddling mc/kc/nc and mr/nr boundaries.
         let p = BlockingParams::default();
         for &dim in &[p.mc - 1, p.mc, p.mc + 1, p.kc, p.kc + 3, 2 * p.mc + 5] {
             check_against_naive(dim, dim, dim, dim as u64);
@@ -224,6 +305,60 @@ mod tests {
         check_against_naive(3, 300, 7, 1);
         check_against_naive(130, 2, 64, 2);
         check_against_naive(65, 129, 33, 3);
+    }
+
+    #[test]
+    fn forced_kernels_agree() {
+        // The dispatch tiers must compute the same product (to rounding).
+        let mut gen = MatrixGen::new(21);
+        let a = gen.paper_operand(73);
+        let b = gen.paper_operand(73);
+        let mut c_scalar = Matrix::zeros(73, 73);
+        dgemm(
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c_scalar.view_mut(),
+            &GemmContext::with_kernel(scalar_kernel()),
+        )
+        .unwrap();
+        let want = naive_mm(&a.view(), &b.view()).unwrap();
+        assert!(rel_frobenius_error(&c_scalar.view(), &want.view()) < 1e-13);
+        if let Some(simd) = simd_kernel() {
+            let mut c_simd = Matrix::zeros(73, 73);
+            dgemm(
+                1.0,
+                &a.view(),
+                &b.view(),
+                0.0,
+                &mut c_simd.view_mut(),
+                &GemmContext::with_kernel(simd),
+            )
+            .unwrap();
+            assert!(rel_frobenius_error(&c_simd.view(), &want.view()) < 1e-13);
+            assert!(rel_frobenius_error(&c_simd.view(), &c_scalar.view()) < 1e-13);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match kernel")]
+    fn mismatched_tile_rejected() {
+        let params = BlockingParams::for_kernel(scalar_kernel());
+        let kernel = scalar_kernel();
+        let bad = GemmContext {
+            params: BlockingParams {
+                mr: kernel.mr * 2,
+                mc: params.mc * 2,
+                ..params
+            },
+            kernel,
+            ..GemmContext::default()
+        };
+        let a = Matrix::zeros(8, 8);
+        let b = Matrix::zeros(8, 8);
+        let mut c = Matrix::zeros(8, 8);
+        let _ = dgemm(1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), &bad);
     }
 
     #[test]
@@ -294,6 +429,42 @@ mod tests {
             )
             .unwrap();
             assert_eq!(c_par, c_seq, "thread count {threads} changed bits");
+        }
+    }
+
+    #[test]
+    fn parallel_packing_path_is_bitwise_stable() {
+        // Wide-and-shallow shape: many B strips per panel, so the parallel
+        // packing branch triggers even with small operands.
+        let mut gen = MatrixGen::new(13);
+        let a = gen.uniform(24, 40, -1.0, 1.0);
+        let b = gen.uniform(40, 900, -1.0, 1.0);
+        let mut c_seq = Matrix::zeros(24, 900);
+        dgemm(
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c_seq.view_mut(),
+            &GemmContext::default(),
+        )
+        .unwrap();
+        for threads in [2, 4] {
+            let pool = ThreadPool::new(threads);
+            let mut c_par = Matrix::zeros(24, 900);
+            dgemm(
+                1.0,
+                &a.view(),
+                &b.view(),
+                0.0,
+                &mut c_par.view_mut(),
+                &GemmContext::parallel(&pool),
+            )
+            .unwrap();
+            assert_eq!(
+                c_par, c_seq,
+                "parallel packing with {threads} threads changed bits"
+            );
         }
     }
 

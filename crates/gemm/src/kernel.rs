@@ -1,16 +1,95 @@
-//! The register-tile microkernel.
+//! Register-tile microkernels and runtime kernel dispatch.
+//!
+//! The crate ships several microkernel implementations and picks one at
+//! runtime:
+//!
+//! * **`avx2`** — an explicit 8×6 AVX2+FMA kernel (x86-64, [`crate::simd`]),
+//!   selected when `is_x86_feature_detected!` reports both features;
+//! * **`neon`** — a 8×6 NEON kernel stub (AArch64, [`crate::simd`]);
+//! * **`scalar`** — the portable 4×4 kernel in this module, always
+//!   available and the `force-scalar` feature's pin.
+//!
+//! A kernel is described by [`KernelInfo`]: its register-tile shape
+//! (`mr × nr`) and the function pointer implementing it. The tile shape is
+//! *not* a compile-time constant any more — blocking, packing and the
+//! driver all consume the selected kernel's `mr`/`nr` (see
+//! [`crate::BlockingParams`]).
 
-use crate::blocking::{MR, NR};
 use powerscale_matrix::MatrixViewMut;
 
-/// Computes a full `MR × NR` tile `acc = Σ_k a_strip[k] ⊗ b_strip[k]` over
-/// packed strips of depth `kc`, then merges `alpha * acc` into `c` at
-/// `(row0, col0)`, masking rows/columns that fall outside `c` (the packing
-/// zero-pads, so the extra products are zeros anyway — masking just avoids
-/// out-of-bounds writes).
+/// Register-tile rows of the portable scalar microkernel.
+pub const SCALAR_MR: usize = 4;
+/// Register-tile columns of the portable scalar microkernel.
+pub const SCALAR_NR: usize = 4;
+
+/// The microkernel calling convention shared by every implementation:
+/// merge `alpha * (a_strip · b_strip)` into `c` at `(row0, col0)` over
+/// packed strips of depth `kc`, masking rows/columns outside `c`.
+pub type MicrokernelFn = fn(
+    kc: usize,
+    a_strip: &[f64],
+    b_strip: &[f64],
+    alpha: f64,
+    c: &mut MatrixViewMut<'_>,
+    row0: usize,
+    col0: usize,
+);
+
+/// A microkernel implementation plus the register-tile shape it computes.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelInfo {
+    /// Human-readable dispatch-tier name (`"avx2"`, `"neon"`, `"scalar"`).
+    pub name: &'static str,
+    /// Register-tile rows: `a_strip` holds `kc * mr` elements.
+    pub mr: usize,
+    /// Register-tile columns: `b_strip` holds `kc * nr` elements.
+    pub nr: usize,
+    /// The kernel entry point.
+    pub func: MicrokernelFn,
+}
+
+static SCALAR_KERNEL: KernelInfo = KernelInfo {
+    name: "scalar",
+    mr: SCALAR_MR,
+    nr: SCALAR_NR,
+    func: microkernel,
+};
+
+/// The portable scalar kernel (always available).
+pub fn scalar_kernel() -> &'static KernelInfo {
+    &SCALAR_KERNEL
+}
+
+/// The best SIMD kernel the host supports, or `None` when only the scalar
+/// path is available. Forcing this kernel (via
+/// [`crate::GemmContext::with_kernel`]) pins the SIMD tier regardless of
+/// the `force-scalar` feature.
+pub fn simd_kernel() -> Option<&'static KernelInfo> {
+    crate::simd::detect()
+}
+
+/// Selects the microkernel for this host: the SIMD tier when the CPU
+/// supports it, the scalar fallback otherwise. The `force-scalar` cargo
+/// feature pins the scalar kernel (used by CI to exercise the portable
+/// path on SIMD-capable hosts).
 ///
-/// `a_strip` is `kc * MR` elements from [`crate::pack::pack_a`];
-/// `b_strip` is `kc * NR` elements from [`crate::pack::pack_b`].
+/// Feature detection is cached by the standard library, so this is cheap
+/// enough to call per GEMM invocation.
+pub fn select_kernel() -> &'static KernelInfo {
+    if cfg!(feature = "force-scalar") {
+        return &SCALAR_KERNEL;
+    }
+    simd_kernel().unwrap_or(&SCALAR_KERNEL)
+}
+
+/// Computes a full `SCALAR_MR × SCALAR_NR` tile
+/// `acc = Σ_k a_strip[k] ⊗ b_strip[k]` over packed strips of depth `kc`,
+/// then merges `alpha * acc` into `c` at `(row0, col0)`, masking
+/// rows/columns that fall outside `c` (the packing zero-pads, so the extra
+/// products are zeros anyway — masking just avoids out-of-bounds writes).
+///
+/// `a_strip` is `kc * SCALAR_MR` elements from [`crate::pack::pack_a`];
+/// `b_strip` is `kc * SCALAR_NR` elements from [`crate::pack::pack_b`].
 #[inline]
 pub fn microkernel(
     kc: usize,
@@ -21,6 +100,8 @@ pub fn microkernel(
     row0: usize,
     col0: usize,
 ) {
+    const MR: usize = SCALAR_MR;
+    const NR: usize = SCALAR_NR;
     debug_assert!(a_strip.len() >= kc * MR);
     debug_assert!(b_strip.len() >= kc * NR);
     let mut acc = [[0.0f64; NR]; MR];
@@ -45,11 +126,11 @@ pub fn microkernel(
     }
 }
 
-/// Flops performed by one microkernel call of depth `kc` (full tile,
-/// padding included).
+/// Flops performed by one microkernel call of depth `kc` for an `mr × nr`
+/// tile (full tile, padding included).
 #[inline]
-pub fn microkernel_flops(kc: usize) -> u64 {
-    2 * (kc * MR * NR) as u64
+pub fn microkernel_flops(kc: usize, mr: usize, nr: usize) -> u64 {
+    2 * (kc * mr * nr) as u64
 }
 
 #[cfg(test)]
@@ -58,15 +139,18 @@ mod tests {
     use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len};
     use powerscale_matrix::Matrix;
 
+    const MR: usize = SCALAR_MR;
+    const NR: usize = SCALAR_NR;
+
     #[test]
     fn tile_matches_naive_product() {
         let kc = 6;
         let a = Matrix::from_fn(MR, kc, |i, j| (i + j) as f64);
         let b = Matrix::from_fn(kc, NR, |i, j| (i * j + 1) as f64);
-        let mut pa = vec![0.0; packed_a_len(MR, kc)];
-        let mut pb = vec![0.0; packed_b_len(kc, NR)];
-        pack_a(&a.view(), &mut pa);
-        pack_b(&b.view(), &mut pb);
+        let mut pa = vec![0.0; packed_a_len(MR, kc, MR)];
+        let mut pb = vec![0.0; packed_b_len(kc, NR, NR)];
+        pack_a(&a.view(), &mut pa, MR);
+        pack_b(&b.view(), &mut pb, NR);
         let mut c = Matrix::zeros(MR, NR);
         microkernel(kc, &pa, &pb, 1.0, &mut c.view_mut(), 0, 0);
         let expect = crate::naive::naive_mm(&a.view(), &b.view()).unwrap();
@@ -78,10 +162,10 @@ mod tests {
         let kc = 3;
         let a = Matrix::filled(MR, kc, 1.0);
         let b = Matrix::filled(kc, NR, 1.0);
-        let mut pa = vec![0.0; packed_a_len(MR, kc)];
-        let mut pb = vec![0.0; packed_b_len(kc, NR)];
-        pack_a(&a.view(), &mut pa);
-        pack_b(&b.view(), &mut pb);
+        let mut pa = vec![0.0; packed_a_len(MR, kc, MR)];
+        let mut pb = vec![0.0; packed_b_len(kc, NR, NR)];
+        pack_a(&a.view(), &mut pa, MR);
+        pack_b(&b.view(), &mut pb, NR);
         let mut c = Matrix::filled(MR, NR, 10.0);
         microkernel(kc, &pa, &pb, 0.5, &mut c.view_mut(), 0, 0);
         // 10 + 0.5 * 3 = 11.5 everywhere.
@@ -94,10 +178,10 @@ mod tests {
         let kc = 2;
         let a = Matrix::filled(3, kc, 1.0);
         let b = Matrix::filled(kc, 2, 1.0);
-        let mut pa = vec![0.0; packed_a_len(3, kc)];
-        let mut pb = vec![0.0; packed_b_len(kc, 2)];
-        pack_a(&a.view(), &mut pa);
-        pack_b(&b.view(), &mut pb);
+        let mut pa = vec![0.0; packed_a_len(3, kc, MR)];
+        let mut pb = vec![0.0; packed_b_len(kc, 2, NR)];
+        pack_a(&a.view(), &mut pa, MR);
+        pack_b(&b.view(), &mut pb, NR);
         let mut c = Matrix::zeros(3, 2);
         microkernel(kc, &pa, &pb, 1.0, &mut c.view_mut(), 0, 0);
         assert!(c.approx_eq(&Matrix::filled(3, 2, 2.0), 1e-12));
@@ -108,10 +192,10 @@ mod tests {
         let kc = 1;
         let a = Matrix::filled(MR, kc, 2.0);
         let b = Matrix::filled(kc, NR, 3.0);
-        let mut pa = vec![0.0; packed_a_len(MR, kc)];
-        let mut pb = vec![0.0; packed_b_len(kc, NR)];
-        pack_a(&a.view(), &mut pa);
-        pack_b(&b.view(), &mut pb);
+        let mut pa = vec![0.0; packed_a_len(MR, kc, MR)];
+        let mut pb = vec![0.0; packed_b_len(kc, NR, NR)];
+        pack_a(&a.view(), &mut pa, MR);
+        pack_b(&b.view(), &mut pb, NR);
         let mut c = Matrix::zeros(8, 8);
         microkernel(kc, &pa, &pb, 1.0, &mut c.view_mut(), 4, 4);
         assert_eq!(c.get(4, 4), 6.0);
@@ -122,6 +206,39 @@ mod tests {
 
     #[test]
     fn flop_count() {
-        assert_eq!(microkernel_flops(10), 2 * 10 * 16);
+        assert_eq!(microkernel_flops(10, MR, NR), 2 * 10 * 16);
+        assert_eq!(microkernel_flops(10, 8, 6), 2 * 10 * 48);
+    }
+
+    #[test]
+    fn dispatch_is_consistent() {
+        let k = select_kernel();
+        assert!(k.mr > 0 && k.nr > 0);
+        if cfg!(feature = "force-scalar") {
+            assert_eq!(k.name, "scalar");
+        } else if let Some(simd) = simd_kernel() {
+            assert_eq!(k.name, simd.name);
+        } else {
+            assert_eq!(k.name, "scalar");
+        }
+        // The scalar tier is always reachable for forcing.
+        assert_eq!(scalar_kernel().name, "scalar");
+        assert_eq!(scalar_kernel().mr, SCALAR_MR);
+    }
+
+    #[test]
+    fn simd_tile_matches_scalar_on_one_tile() {
+        let Some(simd) = simd_kernel() else { return };
+        let kc = 9;
+        let a = Matrix::from_fn(simd.mr, kc, |i, j| (i * 3 + j) as f64 * 0.25);
+        let b = Matrix::from_fn(kc, simd.nr, |i, j| 1.0 - (i + 2 * j) as f64 * 0.5);
+        let mut pa = vec![0.0; packed_a_len(simd.mr, kc, simd.mr)];
+        let mut pb = vec![0.0; packed_b_len(kc, simd.nr, simd.nr)];
+        pack_a(&a.view(), &mut pa, simd.mr);
+        pack_b(&b.view(), &mut pb, simd.nr);
+        let mut c = Matrix::zeros(simd.mr, simd.nr);
+        (simd.func)(kc, &pa, &pb, 1.0, &mut c.view_mut(), 0, 0);
+        let expect = crate::naive::naive_mm(&a.view(), &b.view()).unwrap();
+        assert!(c.approx_eq(&expect, 1e-12));
     }
 }

@@ -10,11 +10,11 @@
 use powerscale_counters::{Event, EventSet, Profile};
 use powerscale_matrix::{DimError, DimResult, MatrixView, MatrixViewMut};
 
-/// Unrolling width of the inner j-loop.
-const JW: usize = 4;
-
-/// `C += A · B` on views, unpacked, i-k-j order with a 4-wide unrolled
-/// inner loop.
+/// `C += A · B` on views, unpacked, i-k-j order with the inner j-loop
+/// blocked to the dispatched microkernel's register-tile width
+/// ([`crate::kernel::select_kernel`]) — the updates are independent per
+/// column, so the grouping changes nothing numerically while letting the
+/// compiler vectorise the fixed-size chunks.
 pub fn leaf_gemm(
     a: &MatrixView<'_>,
     b: &MatrixView<'_>,
@@ -36,23 +36,24 @@ pub fn leaf_gemm(
             rhs: c.shape(),
         });
     }
-    let n_main = n - n % JW;
+    let jw = crate::kernel::select_kernel().nr;
+    let n_main = n - n % jw;
     for i in 0..m {
         let arow = a.row(i);
         for (kk, &aik) in arow.iter().enumerate().take(k) {
             let brow = b.row(kk);
             let crow = c.row_mut(i);
-            let mut j = 0;
-            while j < n_main {
-                crow[j] += aik * brow[j];
-                crow[j + 1] += aik * brow[j + 1];
-                crow[j + 2] += aik * brow[j + 2];
-                crow[j + 3] += aik * brow[j + 3];
-                j += JW;
+            let (c_main, c_tail) = crow[..n].split_at_mut(n_main);
+            for (cchunk, bchunk) in c_main
+                .chunks_exact_mut(jw)
+                .zip(brow[..n_main].chunks_exact(jw))
+            {
+                for (cj, &bj) in cchunk.iter_mut().zip(bchunk) {
+                    *cj += aik * bj;
+                }
             }
-            while j < n {
-                crow[j] += aik * brow[j];
-                j += 1;
+            for (cj, &bj) in c_tail.iter_mut().zip(&brow[n_main..n]) {
+                *cj += aik * bj;
             }
         }
     }

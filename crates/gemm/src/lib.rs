@@ -3,10 +3,15 @@
 //! This crate is the reproduction's stand-in for the paper's "tuned
 //! OpenBLAS" baseline (§IV-A): a Goto-style `C = α·A·B + β·C` with
 //!
-//! * blocking parameters derived from the cache hierarchy
-//!   ([`BlockingParams::for_caches`]),
-//! * contiguous packing of A and B panels ([`pack`]),
-//! * an `MR × NR` register-tile microkernel ([`kernel`]),
+//! * a runtime-dispatched register-tile microkernel ([`kernel`]): an
+//!   explicit AVX2+FMA 8×6 kernel (or NEON on AArch64, [`simd`]) when the
+//!   host supports it, a portable 4×4 scalar kernel otherwise (the
+//!   `force-scalar` cargo feature pins the scalar tier),
+//! * blocking parameters derived from the cache hierarchy *and* the
+//!   selected kernel's tile shape ([`BlockingParams::for_caches`]),
+//! * contiguous packing of A and B panels ([`pack`]), packed in parallel
+//!   across pool workers and drawn from thread-local recycling arenas
+//!   ([`arena`]) so steady-state invocations allocate nothing,
 //! * parallelisation of the row-panel loop over a
 //!   [`powerscale_pool::ThreadPool`] (the OpenMP-worksharing analog), and
 //! * optional [`powerscale_counters::EventSet`] instrumentation feeding the
@@ -35,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 mod blocking;
 mod dgemm;
 pub mod kernel;
@@ -42,6 +48,8 @@ pub mod leaf;
 pub mod naive;
 pub mod pack;
 pub mod plan;
+mod simd;
 
 pub use blocking::BlockingParams;
 pub use dgemm::{dgemm, multiply, GemmContext};
+pub use kernel::{scalar_kernel, select_kernel, simd_kernel, KernelInfo};

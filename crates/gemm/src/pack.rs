@@ -3,78 +3,113 @@
 //! Packing rewrites a strided sub-matrix into the exact streaming order the
 //! microkernel consumes, so the inner loop reads two contiguous arrays:
 //!
-//! * **A panels** (`mc × kc`) are stored as a sequence of `MR`-row strips;
-//!   within a strip, the `MR` elements of each column k are adjacent
-//!   (`pa[strip][k*MR + i]`).
-//! * **B panels** (`kc × nc`) are stored as a sequence of `NR`-column
-//!   strips; within a strip, the `NR` elements of each row k are adjacent
-//!   (`pb[strip][k*NR + j]`).
+//! * **A panels** (`mc × kc`) are stored as a sequence of `mr`-row strips;
+//!   within a strip, the `mr` elements of each column k are adjacent
+//!   (`pa[strip][k*mr + i]`).
+//! * **B panels** (`kc × nc`) are stored as a sequence of `nr`-column
+//!   strips; within a strip, the `nr` elements of each row k are adjacent
+//!   (`pb[strip][k*nr + j]`).
 //!
 //! Ragged edges are zero-padded to full strips, which lets the microkernel
-//! always run a full `MR × NR` tile; the writeback masks the padding away.
+//! always run a full `mr × nr` tile; the writeback masks the padding away.
+//!
+//! The strip widths are runtime parameters (the dispatched kernel's tile
+//! shape, see [`crate::kernel::select_kernel`]). Because each B strip is an
+//! independent contiguous slice of the buffer, a panel can be packed by
+//! several workers in parallel ([`pack_b_strips`]) with byte-identical
+//! output regardless of how the strips are divided.
 
-use crate::blocking::{MR, NR};
 use powerscale_matrix::MatrixView;
 
-/// Packs an `m × k` block of A (m ≤ mc, k ≤ kc) into `buf`, zero-padding
-/// rows up to a multiple of [`crate::blocking::MR`]. Returns the number of
-/// strips written.
+/// Packs an `m × k` block of A (m ≤ mc, k ≤ kc) into `buf` as `mr`-row
+/// strips, zero-padding rows up to a multiple of `mr`. Returns the number
+/// of strips written.
 ///
-/// `buf` must hold at least `ceil(m/MR) * MR * k` elements.
-pub fn pack_a(a: &MatrixView<'_>, buf: &mut [f64]) -> usize {
+/// `buf` must hold at least `ceil(m/mr) * mr * k` elements.
+pub fn pack_a(a: &MatrixView<'_>, buf: &mut [f64], mr: usize) -> usize {
     let (m, k) = a.shape();
-    let strips = m.div_ceil(MR);
+    let strips = m.div_ceil(mr);
     assert!(
-        buf.len() >= strips * MR * k,
+        buf.len() >= strips * mr * k,
         "pack_a: buffer {} too small for {strips} strips of {k}",
         buf.len()
     );
     for s in 0..strips {
-        let base = s * MR * k;
-        let rows = (m - s * MR).min(MR);
+        let base = s * mr * k;
+        let rows = (m - s * mr).min(mr);
         for kk in 0..k {
-            for i in 0..MR {
-                buf[base + kk * MR + i] = if i < rows { a.get(s * MR + i, kk) } else { 0.0 };
+            for i in 0..mr {
+                buf[base + kk * mr + i] = if i < rows { a.get(s * mr + i, kk) } else { 0.0 };
             }
         }
     }
     strips
 }
 
-/// Packs a `k × n` block of B (k ≤ kc, n ≤ nc) into `buf`, zero-padding
-/// columns up to a multiple of [`crate::blocking::NR`]. Returns the number
-/// of strips written.
+/// Packs a `k × n` block of B (k ≤ kc, n ≤ nc) into `buf` as `nr`-column
+/// strips, zero-padding columns up to a multiple of `nr`. Returns the
+/// number of strips written.
 ///
-/// `buf` must hold at least `ceil(n/NR) * NR * k` elements.
-pub fn pack_b(b: &MatrixView<'_>, buf: &mut [f64]) -> usize {
-    let (k, n) = b.shape();
-    let strips = n.div_ceil(NR);
+/// `buf` must hold at least `ceil(n/nr) * nr * k` elements.
+pub fn pack_b(b: &MatrixView<'_>, buf: &mut [f64], nr: usize) -> usize {
+    let strips = b.cols().div_ceil(nr);
     assert!(
-        buf.len() >= strips * NR * k,
-        "pack_b: buffer {} too small for {strips} strips of {k}",
+        buf.len() >= strips * nr * b.rows(),
+        "pack_b: buffer {} too small for {strips} strips of {}",
+        buf.len(),
+        b.rows()
+    );
+    pack_b_strips(b, &mut buf[..strips * nr * b.rows()], nr, 0, strips);
+    strips
+}
+
+/// Packs strips `[first_strip, first_strip + n_strips)` of a B panel into
+/// `buf`, which holds exactly those strips (`n_strips * nr * k` elements).
+///
+/// This is the unit of parallel packing: disjoint strip ranges map to
+/// disjoint buffer chunks, so workers can pack one panel cooperatively and
+/// the result is byte-identical to a single-threaded [`pack_b`]. Each
+/// worker also writes (first-touches) the chunk it packs, which places the
+/// backing pages on the packing worker's NUMA node under first-touch
+/// placement policies.
+pub fn pack_b_strips(
+    b: &MatrixView<'_>,
+    buf: &mut [f64],
+    nr: usize,
+    first_strip: usize,
+    n_strips: usize,
+) {
+    let (k, n) = b.shape();
+    assert!(
+        buf.len() == n_strips * nr * k,
+        "pack_b_strips: buffer {} != {n_strips} strips of {k}",
         buf.len()
     );
-    for s in 0..strips {
-        let base = s * NR * k;
-        let cols = (n - s * NR).min(NR);
+    assert!(
+        first_strip + n_strips <= n.div_ceil(nr),
+        "pack_b_strips: strip range beyond panel"
+    );
+    for s in 0..n_strips {
+        let col0 = (first_strip + s) * nr;
+        let base = s * nr * k;
+        let cols = n.saturating_sub(col0).min(nr);
         for kk in 0..k {
             let row = b.row(kk);
-            for j in 0..NR {
-                buf[base + kk * NR + j] = if j < cols { row[s * NR + j] } else { 0.0 };
+            for j in 0..nr {
+                buf[base + kk * nr + j] = if j < cols { row[col0 + j] } else { 0.0 };
             }
         }
     }
-    strips
 }
 
-/// Bytes written by [`pack_a`] for an `m × k` block (padding included).
-pub fn packed_a_len(m: usize, k: usize) -> usize {
-    m.div_ceil(MR) * MR * k
+/// Elements written by [`pack_a`] for an `m × k` block (padding included).
+pub fn packed_a_len(m: usize, k: usize, mr: usize) -> usize {
+    m.div_ceil(mr) * mr * k
 }
 
-/// Bytes written by [`pack_b`] for a `k × n` block (padding included).
-pub fn packed_b_len(k: usize, n: usize) -> usize {
-    n.div_ceil(NR) * NR * k
+/// Elements written by [`pack_b`] for a `k × n` block (padding included).
+pub fn packed_b_len(k: usize, n: usize, nr: usize) -> usize {
+    n.div_ceil(nr) * nr * k
 }
 
 #[cfg(test)]
@@ -82,12 +117,15 @@ mod tests {
     use super::*;
     use powerscale_matrix::Matrix;
 
+    const MR: usize = 4;
+    const NR: usize = 4;
+
     #[test]
     fn pack_a_layout_exact_multiple() {
         // 4x3 block (exactly one MR strip).
         let a = Matrix::from_fn(4, 3, |i, j| (i * 10 + j) as f64);
-        let mut buf = vec![f64::NAN; packed_a_len(4, 3)];
-        let strips = pack_a(&a.view(), &mut buf);
+        let mut buf = vec![f64::NAN; packed_a_len(4, 3, MR)];
+        let strips = pack_a(&a.view(), &mut buf, MR);
         assert_eq!(strips, 1);
         // Column k=1 of the strip: elements a[0..4][1] adjacent at offset
         // k*MR.
@@ -97,8 +135,8 @@ mod tests {
     #[test]
     fn pack_a_zero_pads_ragged_rows() {
         let a = Matrix::from_fn(6, 2, |i, j| (i * 10 + j) as f64);
-        let mut buf = vec![f64::NAN; packed_a_len(6, 2)];
-        let strips = pack_a(&a.view(), &mut buf);
+        let mut buf = vec![f64::NAN; packed_a_len(6, 2, MR)];
+        let strips = pack_a(&a.view(), &mut buf, MR);
         assert_eq!(strips, 2);
         // Second strip holds rows 4,5 then two zero rows.
         let s2 = &buf[MR * 2..];
@@ -112,8 +150,8 @@ mod tests {
     fn pack_b_layout() {
         // 2x8 block → two NR strips.
         let b = Matrix::from_fn(2, 8, |i, j| (i * 100 + j) as f64);
-        let mut buf = vec![f64::NAN; packed_b_len(2, 8)];
-        let strips = pack_b(&b.view(), &mut buf);
+        let mut buf = vec![f64::NAN; packed_b_len(2, 8, NR)];
+        let strips = pack_b(&b.view(), &mut buf, NR);
         assert_eq!(strips, 2);
         // Strip 0, row k=1: b[1][0..4] at offset k*NR.
         assert_eq!(&buf[4..8], &[100.0, 101.0, 102.0, 103.0]);
@@ -124,8 +162,8 @@ mod tests {
     #[test]
     fn pack_b_zero_pads_ragged_cols() {
         let b = Matrix::from_fn(2, 5, |i, j| (i * 100 + j + 1) as f64);
-        let mut buf = vec![f64::NAN; packed_b_len(2, 5)];
-        pack_b(&b.view(), &mut buf);
+        let mut buf = vec![f64::NAN; packed_b_len(2, 5, NR)];
+        pack_b(&b.view(), &mut buf, NR);
         // Strip 1 holds column 4 then three zero columns, per row.
         let s1 = &buf[NR * 2..];
         assert_eq!(s1[0], 5.0);
@@ -138,10 +176,49 @@ mod tests {
     fn packing_views_respects_stride() {
         let big = Matrix::from_fn(8, 8, |i, j| (i * 8 + j) as f64);
         let sub = big.sub_view((2, 3), (4, 2)).unwrap();
-        let mut buf = vec![0.0; packed_a_len(4, 2)];
-        pack_a(&sub, &mut buf);
+        let mut buf = vec![0.0; packed_a_len(4, 2, MR)];
+        pack_a(&sub, &mut buf, MR);
         // Column 0 of the strip = big[2..6][3].
         assert_eq!(&buf[0..4], &[19.0, 27.0, 35.0, 43.0]);
+    }
+
+    #[test]
+    fn wide_tile_layout() {
+        // 8×6 tile shapes (the SIMD kernels) pack just as well.
+        let a = Matrix::from_fn(10, 2, |i, j| (i * 10 + j) as f64);
+        let mut buf = vec![f64::NAN; packed_a_len(10, 2, 8)];
+        assert_eq!(pack_a(&a.view(), &mut buf, 8), 2);
+        // Second strip: rows 8,9 then six zero rows per column.
+        assert_eq!(buf[16], 80.0);
+        assert_eq!(buf[17], 90.0);
+        assert_eq!(buf[18], 0.0);
+        let b = Matrix::from_fn(2, 7, |i, j| (i * 100 + j) as f64);
+        let mut bbuf = vec![f64::NAN; packed_b_len(2, 7, 6)];
+        assert_eq!(pack_b(&b.view(), &mut bbuf, 6), 2);
+        // Strip 1, row 0: column 6 then five zeros.
+        assert_eq!(bbuf[12], 6.0);
+        assert_eq!(bbuf[13], 0.0);
+    }
+
+    #[test]
+    fn strip_ranges_compose_to_full_pack() {
+        // Packing strip ranges separately must reproduce pack_b exactly.
+        let b = Matrix::from_fn(5, 23, |i, j| (i * 31 + j) as f64 * 0.5);
+        let nr = 6;
+        let strips = 23usize.div_ceil(nr);
+        let mut whole = vec![f64::NAN; packed_b_len(5, 23, nr)];
+        pack_b(&b.view(), &mut whole, nr);
+        let mut parts = vec![f64::NAN; packed_b_len(5, 23, nr)];
+        let strip_len = nr * 5;
+        let mut done = 0;
+        for chunk_strips in [1usize, 2, 1] {
+            let take = chunk_strips.min(strips - done);
+            let chunk = &mut parts[done * strip_len..(done + take) * strip_len];
+            pack_b_strips(&b.view(), chunk, nr, done, take);
+            done += take;
+        }
+        assert_eq!(done, strips);
+        assert_eq!(whole, parts);
     }
 
     #[test]
@@ -149,6 +226,6 @@ mod tests {
     fn undersized_buffer_rejected() {
         let a = Matrix::zeros(8, 8);
         let mut buf = vec![0.0; 4];
-        pack_a(&a.view(), &mut buf);
+        pack_a(&a.view(), &mut buf, MR);
     }
 }

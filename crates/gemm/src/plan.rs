@@ -46,7 +46,7 @@ pub fn blocked_gemm_graph_rect(
     if m == 0 || k == 0 || n == 0 {
         return g;
     }
-    let BlockingParams { mc, kc, nc } = *params;
+    let BlockingParams { mc, kc, nc, .. } = *params;
     // Tasks of the previous phase: the next pack-B must wait for them (the
     // shared packed-B buffer is reused, and C accumulation is ordered).
     let mut prev_phase: Vec<TaskId> = Vec::new();
@@ -117,7 +117,8 @@ mod tests {
         let s1 = simulate(&g, &m, 1);
         // One-thread time should be within 25% of flops / achieved-rate.
         let ideal = gemm_flops(n, n, n) as f64
-            / m.compute.achieved_flops(powerscale_machine::KernelClass::PackedGemm);
+            / m.compute
+                .achieved_flops(powerscale_machine::KernelClass::PackedGemm);
         assert!(
             (s1.makespan / ideal) < 1.25 && (s1.makespan / ideal) > 1.0,
             "makespan {} vs ideal {ideal}",

@@ -1,0 +1,239 @@
+//! Architecture-specific SIMD microkernels.
+//!
+//! Each tier lives in its own `cfg`-gated module and exposes a
+//! [`KernelInfo`](crate::kernel::KernelInfo) through [`detect`]; the
+//! dispatcher ([`crate::kernel::select_kernel`]) falls back to the portable
+//! scalar kernel when no tier matches the host.
+//!
+//! # Numerics
+//!
+//! The SIMD kernels use fused multiply-add, so individual products are not
+//! rounded before accumulation: results can differ from the scalar kernel
+//! in the last few ulps (they are *bitwise* identical when every product
+//! and partial sum is exactly representable, e.g. small power-of-two
+//! operands — the dispatch property tests exploit this). Within one kernel
+//! the accumulation order is fixed, so each tier is individually
+//! deterministic and pool-size independent.
+
+use crate::kernel::KernelInfo;
+
+/// Returns the best SIMD kernel the host supports, or `None`.
+pub(crate) fn detect() -> Option<&'static KernelInfo> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return Some(&avx2::KERNEL);
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return Some(&neon::KERNEL);
+        }
+    }
+    None
+}
+
+/// The AVX2+FMA tier: an 8×6 tile held in twelve 256-bit accumulators.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2 {
+    use crate::kernel::KernelInfo;
+    use core::arch::x86_64::{
+        _mm256_broadcast_sd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_setzero_pd, _mm256_storeu_pd,
+    };
+    use powerscale_matrix::MatrixViewMut;
+
+    /// Register-tile rows (two 4-lane vectors of column fragments).
+    pub const MR: usize = 8;
+    /// Register-tile columns (one broadcast per column per k step).
+    pub const NR: usize = 6;
+
+    pub(crate) static KERNEL: KernelInfo = KernelInfo {
+        name: "avx2",
+        mr: MR,
+        nr: NR,
+        func: microkernel,
+    };
+
+    /// Safe entry point: re-verifies the (CPUID-cached) feature bits before
+    /// crossing into the `target_feature` function.
+    pub fn microkernel(
+        kc: usize,
+        a_strip: &[f64],
+        b_strip: &[f64],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        assert!(
+            is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+            "avx2 microkernel dispatched on a host without AVX2+FMA"
+        );
+        assert!(a_strip.len() >= kc * MR, "a_strip shorter than kc*MR");
+        assert!(b_strip.len() >= kc * NR, "b_strip shorter than kc*NR");
+        // SAFETY: feature presence asserted above; strip bounds asserted
+        // above cover every pointer offset the kernel forms.
+        unsafe { kernel_8x6(kc, a_strip, b_strip, alpha, c, row0, col0) }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn kernel_8x6(
+        kc: usize,
+        a_strip: &[f64],
+        b_strip: &[f64],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        let ap = a_strip.as_ptr();
+        let bp = b_strip.as_ptr();
+        // acc[j][h]: rows 4h..4h+4 of column j. 12 live accumulators plus
+        // two A vectors and one broadcast stay within the 16 ymm registers.
+        let mut acc = [[_mm256_setzero_pd(); 2]; NR];
+        for k in 0..kc {
+            // SAFETY: k < kc, so k*MR+7 and k*NR+5 are in bounds (checked
+            // by the caller's length asserts).
+            let (a0, a1) = unsafe {
+                (
+                    _mm256_loadu_pd(ap.add(k * MR)),
+                    _mm256_loadu_pd(ap.add(k * MR + 4)),
+                )
+            };
+            for (j, accj) in acc.iter_mut().enumerate() {
+                // SAFETY: as above.
+                let b = unsafe { _mm256_broadcast_sd(&*bp.add(k * NR + j)) };
+                accj[0] = _mm256_fmadd_pd(a0, b, accj[0]);
+                accj[1] = _mm256_fmadd_pd(a1, b, accj[1]);
+            }
+        }
+        // Spill to a row-major tile, then do the masked merge scalar-side:
+        // the spill is O(MR*NR) against the O(kc*MR*NR) accumulation.
+        let mut tile = [[0.0f64; NR]; MR];
+        let mut col = [0.0f64; MR];
+        for (j, accj) in acc.iter().enumerate() {
+            // SAFETY: `col` holds exactly MR = 8 doubles.
+            unsafe {
+                _mm256_storeu_pd(col.as_mut_ptr(), accj[0]);
+                _mm256_storeu_pd(col.as_mut_ptr().add(4), accj[1]);
+            }
+            for (i, &v) in col.iter().enumerate() {
+                tile[i][j] = v;
+            }
+        }
+        merge_tile(&tile, alpha, c, row0, col0);
+    }
+
+    fn merge_tile(
+        tile: &[[f64; NR]; MR],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        let live_rows = c.rows().saturating_sub(row0).min(MR);
+        let live_cols = c.cols().saturating_sub(col0).min(NR);
+        for (i, trow) in tile.iter().enumerate().take(live_rows) {
+            let crow = c.row_mut(row0 + i);
+            for j in 0..live_cols {
+                crow[col0 + j] += alpha * trow[j];
+            }
+        }
+    }
+}
+
+/// The NEON tier (stub): the same 8×6 tile over 2-lane `float64x2_t`
+/// vectors. Compiled only on AArch64; hosts without it fall back to the
+/// scalar kernel via [`detect`].
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon {
+    use crate::kernel::KernelInfo;
+    use core::arch::aarch64::{float64x2_t, vdupq_n_f64, vfmaq_n_f64, vld1q_f64, vst1q_f64};
+    use powerscale_matrix::MatrixViewMut;
+
+    /// Register-tile rows (four 2-lane vectors of column fragments).
+    pub const MR: usize = 8;
+    /// Register-tile columns.
+    pub const NR: usize = 6;
+
+    pub(crate) static KERNEL: KernelInfo = KernelInfo {
+        name: "neon",
+        mr: MR,
+        nr: NR,
+        func: microkernel,
+    };
+
+    /// Safe entry point mirroring the AVX2 tier.
+    pub fn microkernel(
+        kc: usize,
+        a_strip: &[f64],
+        b_strip: &[f64],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        assert!(
+            std::arch::is_aarch64_feature_detected!("neon"),
+            "neon microkernel dispatched on a host without NEON"
+        );
+        assert!(a_strip.len() >= kc * MR, "a_strip shorter than kc*MR");
+        assert!(b_strip.len() >= kc * NR, "b_strip shorter than kc*NR");
+        // SAFETY: feature presence and strip bounds asserted above.
+        unsafe { kernel_8x6(kc, a_strip, b_strip, alpha, c, row0, col0) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn kernel_8x6(
+        kc: usize,
+        a_strip: &[f64],
+        b_strip: &[f64],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        let ap = a_strip.as_ptr();
+        let bp = b_strip.as_ptr();
+        // acc[j][h]: rows 2h..2h+2 of column j.
+        let mut acc: [[float64x2_t; 4]; NR] = [[unsafe { vdupq_n_f64(0.0) }; 4]; NR];
+        for k in 0..kc {
+            // SAFETY: bounds covered by the caller's length asserts.
+            let a = unsafe {
+                [
+                    vld1q_f64(ap.add(k * MR)),
+                    vld1q_f64(ap.add(k * MR + 2)),
+                    vld1q_f64(ap.add(k * MR + 4)),
+                    vld1q_f64(ap.add(k * MR + 6)),
+                ]
+            };
+            for (j, accj) in acc.iter_mut().enumerate() {
+                // SAFETY: as above.
+                let b = unsafe { *bp.add(k * NR + j) };
+                for (h, slot) in accj.iter_mut().enumerate() {
+                    *slot = vfmaq_n_f64(*slot, a[h], b);
+                }
+            }
+        }
+        let mut tile = [[0.0f64; NR]; MR];
+        let mut col = [0.0f64; MR];
+        for (j, accj) in acc.iter().enumerate() {
+            for (h, slot) in accj.iter().enumerate() {
+                // SAFETY: `col` holds exactly MR = 8 doubles.
+                unsafe { vst1q_f64(col.as_mut_ptr().add(2 * h), *slot) };
+            }
+            for (i, &v) in col.iter().enumerate() {
+                tile[i][j] = v;
+            }
+        }
+        let live_rows = c.rows().saturating_sub(row0).min(MR);
+        let live_cols = c.cols().saturating_sub(col0).min(NR);
+        for (i, trow) in tile.iter().enumerate().take(live_rows) {
+            let crow = c.row_mut(row0 + i);
+            for jj in 0..live_cols {
+                crow[col0 + jj] += alpha * trow[jj];
+            }
+        }
+    }
+}

@@ -48,10 +48,13 @@ proptest! {
         nc_mult in 1usize..4,
         seed in any::<u64>()
     ) {
+        let kernel = powerscale_gemm::select_kernel();
         let params = BlockingParams {
-            mc: 4 * mc_mult * 4,  // multiple of MR
+            mc: kernel.mr * mc_mult * 4,  // multiple of the kernel's MR
             kc,
-            nc: 4 * nc_mult * 8,  // multiple of NR
+            nc: kernel.nr * nc_mult * 8,  // multiple of the kernel's NR
+            mr: kernel.mr,
+            nr: kernel.nr,
         };
         params.validate().unwrap();
         let mut gen = MatrixGen::new(seed);

@@ -1,0 +1,95 @@
+//! Property tests pinning every microkernel dispatch tier to the same
+//! arithmetic.
+//!
+//! Two layers of agreement:
+//!
+//! * on arbitrary real inputs the SIMD tiers may differ from the scalar
+//!   kernel only by FMA rounding — a relative Frobenius error below 1e-12
+//!   across ragged tile shapes;
+//! * on inputs whose entries are small powers of two, every product and
+//!   partial sum is exactly representable, so fused and unfused
+//!   multiply-add round identically and the results must be **bitwise**
+//!   equal.
+//!
+//! Each case forces a specific dispatch path via
+//! [`GemmContext::with_kernel`], so the scalar fallback and the SIMD tier
+//! are both exercised regardless of what the host would auto-select.
+
+use powerscale_gemm::{dgemm, naive::naive_mm, GemmContext};
+use powerscale_matrix::norms::rel_frobenius_error;
+use powerscale_matrix::{Matrix, MatrixGen};
+use proptest::prelude::*;
+
+/// `A · B` under an explicitly chosen kernel.
+fn multiply_with(ctx: &GemmContext, a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    dgemm(1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), ctx).unwrap();
+    c
+}
+
+/// A matrix whose entries are `±2^e` for small `e`: products and partial
+/// sums stay exactly representable, making FMA bitwise-transparent.
+fn pow2_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    Matrix::from_fn(rows, cols, |_, _| {
+        // xorshift64*: deterministic, dependency-free.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let e = (state % 5) as i32 - 2; // 2^-2 ..= 2^2
+        let sign = if (state >> 8) & 1 == 0 { 1.0 } else { -1.0 };
+        sign * 2f64.powi(e)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_tier_matches_naive_on_ragged_shapes(
+        m in 1usize..80, k in 1usize..80, n in 1usize..80, seed in any::<u64>()
+    ) {
+        let mut gen = MatrixGen::new(seed);
+        let a = gen.uniform(m, k, -2.0, 2.0);
+        let b = gen.uniform(k, n, -2.0, 2.0);
+        let want = naive_mm(&a.view(), &b.view()).unwrap();
+
+        let scalar = multiply_with(&GemmContext::with_kernel(powerscale_gemm::scalar_kernel()), &a, &b);
+        prop_assert!(rel_frobenius_error(&scalar.view(), &want.view()) < 1e-12);
+
+        if let Some(simd) = powerscale_gemm::simd_kernel() {
+            let vectored = multiply_with(&GemmContext::with_kernel(simd), &a, &b);
+            prop_assert!(
+                rel_frobenius_error(&vectored.view(), &want.view()) < 1e-12,
+                "kernel `{}` off naive at ({m},{k},{n})", simd.name
+            );
+            prop_assert!(
+                rel_frobenius_error(&vectored.view(), &scalar.view()) < 1e-12,
+                "kernel `{}` off scalar at ({m},{k},{n})", simd.name
+            );
+        }
+
+        // The default dispatch must be one of the tiers above, bitwise.
+        let auto = multiply_with(&GemmContext::default(), &a, &b);
+        let pinned = multiply_with(&GemmContext::with_kernel(powerscale_gemm::select_kernel()), &a, &b);
+        prop_assert_eq!(auto, pinned);
+    }
+
+    #[test]
+    fn tiers_agree_bitwise_on_power_of_two_inputs(
+        m in 1usize..64, k in 1usize..64, n in 1usize..64, seed in any::<u64>()
+    ) {
+        let a = pow2_matrix(m, k, seed);
+        let b = pow2_matrix(k, n, seed ^ 0xdead_beef);
+        let scalar = multiply_with(&GemmContext::with_kernel(powerscale_gemm::scalar_kernel()), &a, &b);
+        if let Some(simd) = powerscale_gemm::simd_kernel() {
+            let vectored = multiply_with(&GemmContext::with_kernel(simd), &a, &b);
+            // Exactly representable arithmetic: FMA == mul+add bit for bit.
+            prop_assert_eq!(&scalar, &vectored);
+        }
+        // And both match the naive oracle exactly, shapewise raggedness
+        // (masked edge tiles, padded strips) included.
+        let want = naive_mm(&a.view(), &b.view()).unwrap();
+        prop_assert_eq!(&scalar, &want);
+    }
+}

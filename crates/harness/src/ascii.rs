@@ -28,7 +28,10 @@ impl Series {
 pub fn render(title: &str, series: &[Series], width: usize, height: usize) -> String {
     let width = width.max(16);
     let height = height.max(6);
-    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if pts.is_empty() {
         return format!("{title}\n(no data)\n");
     }

@@ -45,14 +45,32 @@ fn main() {
     let results = h.run_matrix(sizes, threads);
 
     println!("{}", manifest::to_markdown(&manifest::manifest(&h)));
-    println!("{}", tables::slowdown_table(&results, sizes, threads).to_markdown());
-    println!("{}", tables::power_table(&results, sizes, threads).to_markdown());
-    println!("{}", tables::ep_table(&results, sizes, threads).to_markdown());
-    println!("{}", figures::fig3_slowdown(&results, sizes, threads).to_ascii(64, 16));
+    println!(
+        "{}",
+        tables::slowdown_table(&results, sizes, threads).to_markdown()
+    );
+    println!(
+        "{}",
+        tables::power_table(&results, sizes, threads).to_markdown()
+    );
+    println!(
+        "{}",
+        tables::ep_table(&results, sizes, threads).to_markdown()
+    );
+    println!(
+        "{}",
+        figures::fig3_slowdown(&results, sizes, threads).to_ascii(64, 16)
+    );
     for alg in powerscale_harness::experiment::ALL_ALGORITHMS {
-        println!("{}", figures::power_figure(&results, alg, sizes, threads).to_ascii(64, 14));
+        println!(
+            "{}",
+            figures::power_figure(&results, alg, sizes, threads).to_ascii(64, 14)
+        );
     }
-    println!("{}", figures::fig7_ep_scaling(&results, sizes, threads).to_ascii(64, 18));
+    println!(
+        "{}",
+        figures::fig7_ep_scaling(&results, sizes, threads).to_ascii(64, 18)
+    );
 
     println!("Claim checks:");
     let mut all_ok = true;
@@ -67,8 +85,7 @@ fn main() {
         let mut experiments = report::experiments_markdown(&h, &results);
         eprintln!("running the section-VIII future-work studies…");
         experiments.push_str(&report::future_work_markdown());
-        std::fs::write(dir.join("EXPERIMENTS.md"), experiments)
-            .expect("write EXPERIMENTS.md");
+        std::fs::write(dir.join("EXPERIMENTS.md"), experiments).expect("write EXPERIMENTS.md");
         std::fs::write(
             dir.join("results.json"),
             serde_json::to_string_pretty(&results).expect("serialise results"),
@@ -76,20 +93,44 @@ fn main() {
         .expect("write results.json");
         let figs = [
             ("fig1.csv", figures::fig1_concept(4).to_csv()),
-            ("fig3.csv", figures::fig3_slowdown(&results, sizes, threads).to_csv()),
+            (
+                "fig3.csv",
+                figures::fig3_slowdown(&results, sizes, threads).to_csv(),
+            ),
             (
                 "fig4.csv",
-                figures::power_figure(&results, powerscale_harness::Algorithm::Blocked, sizes, threads).to_csv(),
+                figures::power_figure(
+                    &results,
+                    powerscale_harness::Algorithm::Blocked,
+                    sizes,
+                    threads,
+                )
+                .to_csv(),
             ),
             (
                 "fig5.csv",
-                figures::power_figure(&results, powerscale_harness::Algorithm::Strassen, sizes, threads).to_csv(),
+                figures::power_figure(
+                    &results,
+                    powerscale_harness::Algorithm::Strassen,
+                    sizes,
+                    threads,
+                )
+                .to_csv(),
             ),
             (
                 "fig6.csv",
-                figures::power_figure(&results, powerscale_harness::Algorithm::Caps, sizes, threads).to_csv(),
+                figures::power_figure(
+                    &results,
+                    powerscale_harness::Algorithm::Caps,
+                    sizes,
+                    threads,
+                )
+                .to_csv(),
             ),
-            ("fig7.csv", figures::fig7_ep_scaling(&results, sizes, threads).to_csv()),
+            (
+                "fig7.csv",
+                figures::fig7_ep_scaling(&results, sizes, threads).to_csv(),
+            ),
         ];
         for (name, csv) in figs {
             std::fs::write(dir.join(name), csv).expect("write figure CSV");
@@ -99,7 +140,10 @@ fn main() {
             let graph = h.graph(alg, 1024);
             let schedule = powerscale_harness::experiment::simulate_for(&h, &graph, 4);
             std::fs::write(
-                dir.join(format!("timeline_{}_1024_4t.csv", alg.paper_name().to_lowercase())),
+                dir.join(format!(
+                    "timeline_{}_1024_4t.csv",
+                    alg.paper_name().to_lowercase()
+                )),
                 schedule.timeline_csv(&graph),
             )
             .expect("write timeline CSV");

@@ -21,7 +21,8 @@ pub enum Algorithm {
 }
 
 /// All algorithms in the paper's presentation order.
-pub const ALL_ALGORITHMS: [Algorithm; 3] = [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps];
+pub const ALL_ALGORITHMS: [Algorithm; 3] =
+    [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps];
 
 impl Algorithm {
     /// The label the paper uses.
@@ -136,9 +137,7 @@ impl Harness {
             Algorithm::Blocked => {
                 powerscale_gemm::plan::blocked_gemm_graph_with(n, &self.blocking, &tm)
             }
-            Algorithm::Strassen => {
-                powerscale_strassen::strassen_graph_with(n, &self.strassen, &tm)
-            }
+            Algorithm::Strassen => powerscale_strassen::strassen_graph_with(n, &self.strassen, &tm),
             Algorithm::Caps => powerscale_caps::caps_graph_with(n, &self.caps, &tm),
         }
     }
@@ -213,9 +212,9 @@ pub fn find(
     n: usize,
     threads: usize,
 ) -> Option<&RunResult> {
-    results.iter().find(|r| {
-        r.spec.algorithm == algorithm && r.spec.n == n && r.spec.threads == threads
-    })
+    results
+        .iter()
+        .find(|r| r.spec.algorithm == algorithm && r.spec.n == n && r.spec.threads == threads)
 }
 
 #[cfg(test)]

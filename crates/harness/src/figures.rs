@@ -61,7 +61,10 @@ pub fn fig1_concept(max_p: usize) -> Figure {
         x_label: "degree of parallelism".into(),
         y_label: "EP scaling S".into(),
         series: vec![
-            ("linear threshold".into(), ps.iter().map(|&p| (p, p)).collect()),
+            (
+                "linear threshold".into(),
+                ps.iter().map(|&p| (p, p)).collect(),
+            ),
             (
                 "ideal (sub-linear power)".into(),
                 ps.iter().map(|&p| (p, p.powf(0.75))).collect(),
@@ -123,10 +126,7 @@ pub fn power_figure(
         })
         .collect();
     Figure {
-        title: format!(
-            "Figure {fig_no} — {} power scaling",
-            algorithm.paper_name()
-        ),
+        title: format!("Figure {fig_no} — {} power scaling", algorithm.paper_name()),
         x_label: "threads".into(),
         y_label: "package power (W)".into(),
         series,
@@ -139,7 +139,10 @@ pub fn power_figure(
 pub fn fig7_ep_scaling(results: &[RunResult], sizes: &[usize], threads: &[usize]) -> Figure {
     let mut series = vec![(
         "linear threshold".to_string(),
-        threads.iter().map(|&t| (t as f64, t as f64)).collect::<Vec<_>>(),
+        threads
+            .iter()
+            .map(|&t| (t as f64, t as f64))
+            .collect::<Vec<_>>(),
     )];
     for &alg in &crate::experiment::ALL_ALGORITHMS {
         for &n in sizes {
@@ -170,8 +173,7 @@ pub fn ep_curve(
     let measures: Vec<(usize, PhaseMeasure)> = threads
         .iter()
         .filter_map(|&t| {
-            find(results, algorithm, n, t)
-                .map(|r| (t, PhaseMeasure::new(r.pkg_watts, r.t_seconds)))
+            find(results, algorithm, n, t).map(|r| (t, PhaseMeasure::new(r.pkg_watts, r.t_seconds)))
         })
         .collect();
     // ±10% band around the linear threshold: the paper reads curves as

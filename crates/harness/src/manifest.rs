@@ -62,7 +62,10 @@ pub fn to_markdown(entries: &[ManifestEntry]) -> String {
         "**Table I — Software infrastructure**\n\n| Component | Version | Configuration |\n|---|---|---|\n",
     );
     for e in entries {
-        s.push_str(&format!("| {} | {} | {} |\n", e.component, e.version, e.config));
+        s.push_str(&format!(
+            "| {} | {} | {} |\n",
+            e.component, e.version, e.config
+        ));
     }
     s
 }
@@ -85,7 +88,6 @@ mod tests {
         let h = Harness::default();
         let md = to_markdown(&manifest(&h));
         assert!(md.contains("Table I"));
-        assert!(md.contains("| powerscale-caps |")
-            || md.contains("powerscale-caps"));
+        assert!(md.contains("| powerscale-caps |") || md.contains("powerscale-caps"));
     }
 }

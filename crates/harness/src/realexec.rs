@@ -52,6 +52,7 @@ impl Harness {
                 let mut c = Matrix::zeros(spec.n, spec.n);
                 let ctx = powerscale_gemm::GemmContext {
                     params: self.blocking,
+                    kernel: powerscale_gemm::select_kernel(),
                     pool: Some(pool),
                     events: Some(&set),
                 };
@@ -67,14 +68,10 @@ impl Harness {
                 Some(&set),
             )
             .expect("strassen shapes are valid"),
-            Algorithm::Caps => powerscale_caps::multiply(
-                &a.view(),
-                &b.view(),
-                &self.caps,
-                Some(pool),
-                Some(&set),
-            )
-            .expect("caps shapes are valid"),
+            Algorithm::Caps => {
+                powerscale_caps::multiply(&a.view(), &b.view(), &self.caps, Some(pool), Some(&set))
+                    .expect("caps shapes are valid")
+            }
         };
         let wall_seconds = t0.elapsed().as_secs_f64();
         let profile = set.stop().expect("running event set");

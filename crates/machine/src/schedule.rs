@@ -217,8 +217,7 @@ pub fn simulate(graph: &TaskGraph, machine: &MachineConfig, cores: usize) -> Sch
             0.0
         };
         let mem_rate = if mem_active > 0 {
-            (machine.dram_bw_bytes_per_s / mem_active as f64)
-                .min(machine.core_dram_bw_bytes_per_s)
+            (machine.dram_bw_bytes_per_s / mem_active as f64).min(machine.core_dram_bw_bytes_per_s)
         } else {
             0.0
         };
@@ -314,7 +313,10 @@ pub fn simulate(graph: &TaskGraph, machine: &MachineConfig, cores: usize) -> Sch
 
     Schedule {
         makespan: t,
-        tasks: placed.into_iter().map(|p| p.expect("all tasks placed")).collect(),
+        tasks: placed
+            .into_iter()
+            .map(|p| p.expect("all tasks placed"))
+            .collect(),
         core_busy,
         energy,
         cores,
@@ -464,7 +466,12 @@ mod tests {
         let m = e3_1225();
         let mut g = TaskGraph::new();
         g.add(
-            TaskCost::new(KernelClass::PackedGemm, 1_000_000_000, 10_000_000, 1_000_000),
+            TaskCost::new(
+                KernelClass::PackedGemm,
+                1_000_000_000,
+                10_000_000,
+                1_000_000,
+            ),
             &[],
         );
         let s = simulate(&g, &m, 4);
@@ -556,7 +563,11 @@ mod tests {
         let mut g = TaskGraph::new();
         let mut ids = Vec::new();
         for i in 0..20u64 {
-            let deps: Vec<TaskId> = ids.iter().copied().filter(|t: &TaskId| t.index() % 3 == 0).collect();
+            let deps: Vec<TaskId> = ids
+                .iter()
+                .copied()
+                .filter(|t: &TaskId| t.index() % 3 == 0)
+                .collect();
             ids.push(g.add(
                 TaskCost::new(KernelClass::LeafGemm, i * 10_000_000, i * 1_000, 0),
                 &deps,

@@ -296,9 +296,7 @@ mod tests {
         let cp_fan = fan.critical_path_seconds(&m);
         assert!((cp_chain / cp_fan - 4.0).abs() < 1e-9);
         // Total work identical.
-        assert!(
-            (chain.total_work_seconds(&m) - fan.total_work_seconds(&m)).abs() < 1e-12
-        );
+        assert!((chain.total_work_seconds(&m) - fan.total_work_seconds(&m)).abs() < 1e-12);
     }
 
     #[test]

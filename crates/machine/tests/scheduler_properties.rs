@@ -1,9 +1,7 @@
 //! Property-based tests for the DES scheduler: conservation laws and
 //! bounds that must hold for *any* task graph.
 
-use powerscale_machine::{
-    presets, simulate, TaskCost, TaskGraph, TaskId, ALL_KERNEL_CLASSES,
-};
+use powerscale_machine::{presets, simulate, TaskCost, TaskGraph, TaskId, ALL_KERNEL_CLASSES};
 use proptest::prelude::*;
 
 /// Strategy: a random DAG of up to 40 tasks with random costs; each task

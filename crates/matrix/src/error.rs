@@ -57,7 +57,10 @@ impl fmt::Display for DimError {
                 "inner dimension mismatch: lhs has {lhs_cols} cols, rhs has {rhs_rows} rows"
             ),
             DimError::NotDivisible { op, dim, by } => {
-                write!(f, "`{op}` requires a dimension divisible by {by}, got {dim}")
+                write!(
+                    f,
+                    "`{op}` requires a dimension divisible by {by}, got {dim}"
+                )
             }
             DimError::OutOfBounds {
                 origin,

@@ -76,9 +76,7 @@ impl SpecialMatrix {
             SpecialMatrix::Identity => Matrix::identity(n),
             SpecialMatrix::Ones => Matrix::filled(n, n, 1.0),
             SpecialMatrix::Counter => Matrix::from_fn(n, n, |i, j| (i * n + j) as f64),
-            SpecialMatrix::Hilbert => {
-                Matrix::from_fn(n, n, |i, j| 1.0 / ((i + j + 1) as f64))
-            }
+            SpecialMatrix::Hilbert => Matrix::from_fn(n, n, |i, j| 1.0 / ((i + j + 1) as f64)),
             SpecialMatrix::Checkerboard => {
                 Matrix::from_fn(n, n, |i, j| if (i + j) % 2 == 0 { 1.0 } else { -1.0 })
             }

@@ -211,7 +211,11 @@ impl Matrix {
 
     /// An immutable view of the `shape.0 × shape.1` block whose top-left
     /// corner is at `origin`.
-    pub fn sub_view(&self, origin: (usize, usize), shape: (usize, usize)) -> DimResult<MatrixView<'_>> {
+    pub fn sub_view(
+        &self,
+        origin: (usize, usize),
+        shape: (usize, usize),
+    ) -> DimResult<MatrixView<'_>> {
         self.view().sub_view(origin, shape)
     }
 
@@ -305,8 +309,8 @@ impl fmt::Debug for Matrix {
 #[cfg(feature = "serde")]
 mod serde_impl {
     use super::Matrix;
-    use serde::de::Error as _;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::de::Error;
+    use serde::{Deserialize, Serialize, Value};
 
     #[derive(Serialize, Deserialize)]
     struct Repr {
@@ -316,21 +320,21 @@ mod serde_impl {
     }
 
     impl Serialize for Matrix {
-        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        fn to_value(&self) -> Value {
             Repr {
                 rows: self.rows(),
                 cols: self.cols(),
                 data: self.as_slice().to_vec(),
             }
-            .serialize(serializer)
+            .to_value()
         }
     }
 
-    impl<'de> Deserialize<'de> for Matrix {
-        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-            let repr = Repr::deserialize(deserializer)?;
+    impl Deserialize for Matrix {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            let repr = Repr::from_value(v)?;
             if repr.data.len() != repr.rows * repr.cols {
-                return Err(D::Error::custom(format!(
+                return Err(Error::custom(format!(
                     "matrix payload has {} elements, expected {}x{}",
                     repr.data.len(),
                     repr.rows,

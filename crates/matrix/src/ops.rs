@@ -16,7 +16,11 @@ fn check2(op: &'static str, a: (usize, usize), b: (usize, usize)) -> DimResult<(
 }
 
 /// `dst = a + b` elementwise.
-pub fn add_into(a: &MatrixView<'_>, b: &MatrixView<'_>, dst: &mut MatrixViewMut<'_>) -> DimResult<()> {
+pub fn add_into(
+    a: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    dst: &mut MatrixViewMut<'_>,
+) -> DimResult<()> {
     check2("add", a.shape(), b.shape())?;
     check2("add", a.shape(), dst.shape())?;
     for i in 0..a.rows() {
@@ -29,7 +33,11 @@ pub fn add_into(a: &MatrixView<'_>, b: &MatrixView<'_>, dst: &mut MatrixViewMut<
 }
 
 /// `dst = a - b` elementwise.
-pub fn sub_into(a: &MatrixView<'_>, b: &MatrixView<'_>, dst: &mut MatrixViewMut<'_>) -> DimResult<()> {
+pub fn sub_into(
+    a: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    dst: &mut MatrixViewMut<'_>,
+) -> DimResult<()> {
     check2("sub", a.shape(), b.shape())?;
     check2("sub", a.shape(), dst.shape())?;
     for i in 0..a.rows() {

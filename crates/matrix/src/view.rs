@@ -141,7 +141,11 @@ impl<'a> MatrixView<'a> {
     }
 
     /// A sub-view with top-left corner `origin` and shape `shape`.
-    pub fn sub_view(&self, origin: (usize, usize), shape: (usize, usize)) -> DimResult<MatrixView<'a>> {
+    pub fn sub_view(
+        &self,
+        origin: (usize, usize),
+        shape: (usize, usize),
+    ) -> DimResult<MatrixView<'a>> {
         let (r0, c0) = origin;
         let (nr, nc) = shape;
         if r0 + nr > self.rows || c0 + nc > self.cols {
@@ -473,7 +477,11 @@ impl fmt::Debug for MatrixView<'_> {
 
 impl fmt::Debug for MatrixViewMut<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MatrixViewMut {}x{} (ld {})", self.rows, self.cols, self.ld)
+        write!(
+            f,
+            "MatrixViewMut {}x{} (ld {})",
+            self.rows, self.cols, self.ld
+        )
     }
 }
 

@@ -5,9 +5,8 @@ use proptest::prelude::*;
 
 /// Strategy: a small random matrix together with its shape.
 fn small_matrix() -> impl Strategy<Value = Matrix> {
-    ((1usize..12, 1usize..12), any::<u64>()).prop_map(|((r, c), seed)| {
-        MatrixGen::new(seed).uniform(r, c, -10.0, 10.0)
-    })
+    ((1usize..12, 1usize..12), any::<u64>())
+        .prop_map(|((r, c), seed)| MatrixGen::new(seed).uniform(r, c, -10.0, 10.0))
 }
 
 fn matrix_pair_same_shape() -> impl Strategy<Value = (Matrix, Matrix)> {

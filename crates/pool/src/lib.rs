@@ -42,6 +42,6 @@ mod pool;
 mod scope;
 mod stats;
 
-pub use pool::ThreadPool;
+pub use pool::{current_worker_index, ThreadPool};
 pub use scope::Scope;
 pub use stats::{PoolStats, WorkerStats};

@@ -37,6 +37,16 @@ struct WorkerCtx {
     local: *const Worker<Job>,
 }
 
+/// Index of the pool worker running on the current thread, if any.
+///
+/// Worker threads are persistent for the lifetime of their pool, so
+/// thread-local caches built on a worker (e.g. packing arenas) are
+/// effectively worker-local: this hook lets such caches identify the worker
+/// context they belong to.
+pub fn current_worker_index() -> Option<usize> {
+    WORKER_CTX.with(|c| c.get()).map(|ctx| ctx.index)
+}
+
 pub(crate) struct PoolInner {
     id: usize,
     injector: Injector<Job>,
@@ -164,6 +174,12 @@ impl ThreadPool {
     pub fn on_worker_thread(&self) -> bool {
         self.inner.current_worker().is_some()
     }
+
+    /// Index of the calling worker thread within *this* pool, or `None`
+    /// when called from outside the pool (or from another pool's worker).
+    pub fn worker_index(&self) -> Option<usize> {
+        self.inner.current_worker().map(|ctx| ctx.index)
+    }
 }
 
 impl Drop for ThreadPool {
@@ -191,7 +207,9 @@ impl PoolInner {
     }
 
     fn current_worker(&self) -> Option<WorkerCtx> {
-        WORKER_CTX.with(|c| c.get()).filter(|ctx| ctx.pool_id == self.id)
+        WORKER_CTX
+            .with(|c| c.get())
+            .filter(|ctx| ctx.pool_id == self.id)
     }
 
     fn notify_all(&self) {
@@ -236,9 +254,7 @@ impl PoolInner {
             let victim = (index + k) % n;
             loop {
                 match self.stealers[victim].steal() {
-                    crossbeam_deque::Steal::Success(job) => {
-                        return Some((job, JobSource::Stolen))
-                    }
+                    crossbeam_deque::Steal::Success(job) => return Some((job, JobSource::Stolen)),
                     crossbeam_deque::Steal::Retry => continue,
                     crossbeam_deque::Steal::Empty => break,
                 }
@@ -429,6 +445,33 @@ mod tests {
             });
         });
         assert!(inside);
+    }
+
+    #[test]
+    fn worker_index_identifies_workers() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.worker_index(), None);
+        assert_eq!(current_worker_index(), None);
+        let mut seen = [false; 64];
+        pool.scope(|s| {
+            for slot in seen.iter_mut() {
+                s.spawn(|_| {
+                    let idx = current_worker_index().expect("task runs on a worker");
+                    assert!(idx < 2);
+                    *slot = true;
+                });
+            }
+        });
+        assert!(seen.iter().all(|&b| b));
+        // A different pool's worker is not "ours".
+        let other = ThreadPool::new(1);
+        let mut cross: Option<Option<usize>> = None;
+        other.scope(|s| {
+            s.spawn(|_| {
+                cross = Some(pool.worker_index());
+            });
+        });
+        assert_eq!(cross, Some(None));
     }
 
     #[test]

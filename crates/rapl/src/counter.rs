@@ -116,7 +116,10 @@ mod tests {
         for j in [0.0, 1.0, 523.77, 60_000.0] {
             let raw = u.joules_to_raw_wrapping(j);
             let back = u.raw_to_joules(raw);
-            assert!((back - j).abs() < 2.0 * u.joules_per_tick(), "{j} -> {back}");
+            assert!(
+                (back - j).abs() < 2.0 * u.joules_per_tick(),
+                "{j} -> {back}"
+            );
         }
     }
 

@@ -17,7 +17,10 @@ pub struct EnergyReport {
 impl EnergyReport {
     /// Joules for one domain.
     pub fn joules_for(&self, domain: Domain) -> Option<f64> {
-        self.joules.iter().find(|&&(d, _)| d == domain).map(|&(_, j)| j)
+        self.joules
+            .iter()
+            .find(|&&(d, _)| d == domain)
+            .map(|&(_, j)| j)
     }
 
     /// Average watts for one domain.
@@ -42,7 +45,11 @@ impl EnergyMeter {
         let counters = reader
             .domains()
             .into_iter()
-            .filter_map(|d| reader.read_raw(d).map(|raw| (d, EnergyCounter::new(units, raw))))
+            .filter_map(|d| {
+                reader
+                    .read_raw(d)
+                    .map(|raw| (d, EnergyCounter::new(units, raw)))
+            })
             .collect();
         EnergyMeter { counters }
     }
@@ -58,7 +65,11 @@ impl EnergyMeter {
     }
 
     /// Final sample + report over `elapsed` seconds.
-    pub fn finish<R: EnergyReader + ?Sized>(mut self, reader: &mut R, elapsed: f64) -> EnergyReport {
+    pub fn finish<R: EnergyReader + ?Sized>(
+        mut self,
+        reader: &mut R,
+        elapsed: f64,
+    ) -> EnergyReport {
         self.sample(reader);
         EnergyReport {
             joules: self

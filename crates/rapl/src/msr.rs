@@ -83,10 +83,7 @@ impl EnergyReader for MsrImageReader {
 
 /// Writes an MSR image file (sparse, value-at-address layout) — the test
 /// fixture generator, also useful for capturing register snapshots.
-pub fn write_msr_image(
-    path: &Path,
-    values: &[(u32, u64)],
-) -> std::io::Result<()> {
+pub fn write_msr_image(path: &Path, values: &[(u32, u64)]) -> std::io::Result<()> {
     use std::io::Write;
     let max_addr = values.iter().map(|&(a, _)| a).max().unwrap_or(0);
     let mut image = vec![0u8; (max_addr as usize + 8).max(8)];
@@ -163,11 +160,7 @@ mod tests {
         let mut r = MsrImageReader::open(&path).unwrap();
         let meter = EnergyMeter::start(&mut r);
         // Simulate the register advancing by rewriting the image (+2 J).
-        write_msr_image(
-            &path,
-            &[(Domain::Package.msr_address(), 16_384 + 32_768)],
-        )
-        .unwrap();
+        write_msr_image(&path, &[(Domain::Package.msr_address(), 16_384 + 32_768)]).unwrap();
         let mut r2 = MsrImageReader::open(&path).unwrap();
         let report = meter.finish(&mut r2, 1.0);
         let j = report.joules_for(Domain::Package).unwrap();

@@ -106,10 +106,7 @@ impl EnergyReader for SysfsReader {
         let uj: u64 = text.trim().parse().ok()?;
         // Convert microjoules to the raw tick domain so downstream code is
         // backend-agnostic.
-        Some(
-            self.units()
-                .joules_to_raw_wrapping(uj as f64 / 1e6),
-        )
+        Some(self.units().joules_to_raw_wrapping(uj as f64 / 1e6))
     }
 
     fn units(&self) -> RaplUnits {
@@ -133,7 +130,8 @@ mod tests {
     }
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!("powerscale-rapl-test-{tag}-{}", std::process::id()));
+        let d =
+            std::env::temp_dir().join(format!("powerscale-rapl-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         fs::create_dir_all(&d).unwrap();
         d

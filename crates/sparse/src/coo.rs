@@ -26,7 +26,10 @@ impl Coo {
         let mut entries: Vec<(u32, u32, f64)> = triplets
             .iter()
             .map(|&(r, c, v)| {
-                assert!(r < rows && c < cols, "triplet ({r},{c}) out of {rows}x{cols}");
+                assert!(
+                    r < rows && c < cols,
+                    "triplet ({r},{c}) out of {rows}x{cols}"
+                );
                 (r as u32, c as u32, v)
             })
             .collect();
@@ -127,7 +130,13 @@ mod tests {
 
     #[test]
     fn dense_round_trip() {
-        let m = Matrix::from_fn(4, 5, |i, j| if (i + j) % 3 == 0 { (i * 5 + j) as f64 + 1.0 } else { 0.0 });
+        let m = Matrix::from_fn(4, 5, |i, j| {
+            if (i + j) % 3 == 0 {
+                (i * 5 + j) as f64 + 1.0
+            } else {
+                0.0
+            }
+        });
         let coo = Coo::from_dense(&m);
         assert_eq!(coo.to_dense(), m);
     }

@@ -215,7 +215,9 @@ mod tests {
         // Repeats chain with dependencies.
         let chained = spmv_graph(Format::Csr, &s, 4, 3, &tm);
         assert_eq!(chained.len(), 12);
-        assert!(!chained.deps(powerscale_machine::TaskId::from_index(4)).is_empty());
+        assert!(!chained
+            .deps(powerscale_machine::TaskId::from_index(4))
+            .is_empty());
     }
 
     #[test]

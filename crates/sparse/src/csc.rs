@@ -105,7 +105,13 @@ mod tests {
         Coo::from_triplets(
             3,
             4,
-            &[(0, 1, 2.0), (0, 3, 3.0), (2, 0, 4.0), (2, 2, 5.0), (2, 3, 6.0)],
+            &[
+                (0, 1, 2.0),
+                (0, 3, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+                (2, 3, 6.0),
+            ],
         )
     }
 

@@ -63,8 +63,8 @@ impl SparseGen {
             // `avg_row_nnz` (the integral of x^-0.7 over (0,1] is 1/0.3):
             // heavy head, long light tail.
             let rank_frac = (i + 1) as f64 / n as f64;
-            let len = ((avg_row_nnz as f64 * 0.3 / rank_frac.powf(0.7)).ceil() as usize)
-                .clamp(1, n);
+            let len =
+                ((avg_row_nnz as f64 * 0.3 / rank_frac.powf(0.7)).ceil() as usize).clamp(1, n);
             for _ in 0..len {
                 triplets.push((i, col.sample(&mut self.rng), val.sample(&mut self.rng)));
             }

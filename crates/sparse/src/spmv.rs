@@ -49,7 +49,12 @@ pub fn coo_spmv(a: &Coo, x: &[f64], events: Option<&EventSet>) -> Vec<f64> {
 ///
 /// # Panics
 /// Panics if `x.len() != a.cols()`.
-pub fn csr_spmv(a: &Csr, x: &[f64], pool: Option<&ThreadPool>, events: Option<&EventSet>) -> Vec<f64> {
+pub fn csr_spmv(
+    a: &Csr,
+    x: &[f64],
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) -> Vec<f64> {
     assert_eq!(x.len(), a.cols(), "x length");
     let rows = a.rows();
     let mut y = vec![0.0f64; rows];
@@ -79,7 +84,13 @@ pub fn csr_spmv(a: &Csr, x: &[f64], pool: Option<&ThreadPool>, events: Option<&E
 
     let nnz = a.nnz() as u64;
     // Per nonzero: 12 B (value+index) + 8 B x gather; y written streaming.
-    record(events, 2 * nnz, nnz * 20 + (rows as u64 + 1) * 4, rows as u64 * 8, 1);
+    record(
+        events,
+        2 * nnz,
+        nnz * 20 + (rows as u64 + 1) * 4,
+        rows as u64 * 8,
+        1,
+    );
     y
 }
 
@@ -116,7 +127,12 @@ pub fn csc_spmv(a: &Csc, x: &[f64], events: Option<&EventSet>) -> Vec<f64> {
 ///
 /// # Panics
 /// Panics if `x.len() != a.cols()`.
-pub fn ell_spmv(a: &Ell, x: &[f64], pool: Option<&ThreadPool>, events: Option<&EventSet>) -> Vec<f64> {
+pub fn ell_spmv(
+    a: &Ell,
+    x: &[f64],
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) -> Vec<f64> {
     assert_eq!(x.len(), a.cols(), "x length");
     let rows = a.rows();
     let width = a.width();
@@ -166,7 +182,10 @@ mod tests {
     use crate::SparseGen;
 
     fn max_diff(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -222,11 +241,8 @@ mod tests {
     #[test]
     fn ell_counts_padding_flops() {
         // A skewed matrix: ELL must report more executed flops than nnz.
-        let coo = crate::Coo::from_triplets(
-            4,
-            4,
-            &[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (1, 0, 1.0)],
-        );
+        let coo =
+            crate::Coo::from_triplets(4, 4, &[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (1, 0, 1.0)]);
         let ell = Ell::from_coo(&coo);
         let x = vec![1.0; 4];
         let mut set = EventSet::with_all_events();

@@ -77,8 +77,12 @@ impl FormatStudy {
         let measures: Vec<(usize, powerscale_core::PhaseMeasure)> = threads
             .iter()
             .filter_map(|&t| {
-                self.get(format, t)
-                    .map(|r| (t, powerscale_core::PhaseMeasure::new(r.pkg_watts, r.t_seconds)))
+                self.get(format, t).map(|r| {
+                    (
+                        t,
+                        powerscale_core::PhaseMeasure::new(r.pkg_watts, r.t_seconds),
+                    )
+                })
             })
             .collect();
         powerscale_core::EpCurve::from_measures(&measures, 0.10)
@@ -102,11 +106,9 @@ impl FormatStudy {
             s.push_str(&format!("| {} |", f.name()));
             for &t in threads {
                 match self.get(f, t) {
-                    Some(r) => s.push_str(&format!(
-                        " {:.3} / {:.1} |",
-                        r.t_seconds * 1e3,
-                        r.pkg_watts
-                    )),
+                    Some(r) => {
+                        s.push_str(&format!(" {:.3} / {:.1} |", r.t_seconds * 1e3, r.pkg_watts))
+                    }
                     None => s.push_str(" - |"),
                 }
             }
@@ -142,9 +144,7 @@ mod tests {
     #[test]
     fn parallel_formats_scale_serial_ones_do_not() {
         let s = study();
-        let speedup = |f: Format| {
-            s.get(f, 1).unwrap().t_seconds / s.get(f, 4).unwrap().t_seconds
-        };
+        let speedup = |f: Format| s.get(f, 1).unwrap().t_seconds / s.get(f, 4).unwrap().t_seconds;
         // CSR/ELL are bandwidth-bound: modest but real scaling.
         assert!(speedup(Format::Csr) > 1.0);
         // COO/CSC emit a serial graph: no scaling at all.

@@ -2,10 +2,9 @@
 
 use crate::config::{StrassenConfig, Variant};
 use powerscale_counters::{Event, EventSet};
+use powerscale_gemm::arena;
 use powerscale_gemm::leaf::leaf_gemm;
-use powerscale_matrix::{
-    ops, pad, DimError, DimResult, Matrix, MatrixView, MatrixViewMut,
-};
+use powerscale_matrix::{ops, pad, DimError, DimResult, Matrix, MatrixView, MatrixViewMut};
 use powerscale_pool::ThreadPool;
 
 /// `A · B` by Strassen recursion.
@@ -96,40 +95,35 @@ fn rec(
     }
 }
 
-/// Runs the seven products, in parallel when a pool is supplied and we are
-/// above the task-spawn depth.
-#[allow(clippy::type_complexity)]
-fn run_products(
-    products: Vec<Box<dyn FnOnce() + Send + '_>>,
-    depth: u32,
-    cfg: &StrassenConfig,
-    pool: Option<&ThreadPool>,
-    events: Option<&EventSet>,
-    half: usize,
-) {
-    match pool {
-        Some(p) if depth < cfg.task_depth => {
-            if let Some(set) = events {
-                set.record(Event::TasksSpawned, products.len() as u64);
-                // Operand footprint that may migrate with each task: two
-                // half-size inputs.
-                set.record(
-                    Event::CommBytes,
-                    products.len() as u64 * 2 * 8 * (half * half) as u64,
-                );
-            }
-            p.scope(|s| {
-                for job in products {
-                    s.spawn(move |_| job());
+/// Dispatches the seven named product closures: spawned across the pool
+/// when one is supplied and we are above the task-spawn depth, called
+/// inline otherwise. Taking seven concrete closures (instead of a
+/// `Vec<Box<dyn FnOnce>>`) keeps the sequential path allocation-free;
+/// scratch each closure leases from the [`arena`] returns to whichever
+/// worker ran it.
+macro_rules! run_products {
+    ($depth:expr, $cfg:expr, $pool:expr, $events:expr, $half:expr;
+     $($job:ident),+ $(,)?) => {
+        match $pool {
+            Some(p) if $depth < $cfg.task_depth => {
+                if let Some(set) = $events {
+                    set.record(Event::TasksSpawned, 7);
+                    // Operand footprint that may migrate with each task:
+                    // two half-size inputs.
+                    set.record(
+                        Event::CommBytes,
+                        7 * 2 * 8 * ($half * $half) as u64,
+                    );
                 }
-            });
-        }
-        _ => {
-            for job in products {
-                job();
+                p.scope(|s| {
+                    $(s.spawn(move |_| $job());)+
+                });
+            }
+            _ => {
+                $($job();)+
             }
         }
-    }
+    };
 }
 
 fn rec_classic(
@@ -147,78 +141,152 @@ fn rec_classic(
     let (a11, a12, a21, a22) = (qa.a11, qa.a12, qa.a21, qa.a22);
     let (b11, b12, b21, b22) = (qb.a11, qb.a12, qb.a21, qb.a22);
 
-    let mut q: Vec<Matrix> = (0..7).map(|_| Matrix::zeros(h, h)).collect();
+    // Product accumulators: zero-filled arena leases (recycled across
+    // recursion nodes after the first pass warms the thread's free list).
+    let mut q1 = arena::matrix(h, h);
+    let mut q2 = arena::matrix(h, h);
+    let mut q3 = arena::matrix(h, h);
+    let mut q4 = arena::matrix(h, h);
+    let mut q5 = arena::matrix(h, h);
+    let mut q6 = arena::matrix(h, h);
+    let mut q7 = arena::matrix(h, h);
     {
-        let mut slots = q.iter_mut();
-        let q1 = slots.next().unwrap();
-        let q2 = slots.next().unwrap();
-        let q3 = slots.next().unwrap();
-        let q4 = slots.next().unwrap();
-        let q5 = slots.next().unwrap();
-        let q6 = slots.next().unwrap();
-        let q7 = slots.next().unwrap();
-
-        // Each product closure allocates its own operand temporaries, so
-        // the seven run independently (the BOTS untied-task shape).
-        let products: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
-            Box::new(move || {
-                // Q1 = (A11 + A22)(B11 + B22)
-                let tl = ops::add(&a11, &a22).expect("quadrant shapes");
-                let tr = ops::add(&b11, &b22).expect("quadrant shapes");
-                record_add(events, h);
-                record_add(events, h);
-                rec(tl.view(), tr.view(), &mut q1.view_mut(), depth + 1, cfg, pool, events);
-            }),
-            Box::new(move || {
-                // Q2 = (A21 + A22) B11
-                let tl = ops::add(&a21, &a22).expect("quadrant shapes");
-                record_add(events, h);
-                rec(tl.view(), b11, &mut q2.view_mut(), depth + 1, cfg, pool, events);
-            }),
-            Box::new(move || {
-                // Q3 = A11 (B12 - B22)
-                let tr = ops::sub(&b12, &b22).expect("quadrant shapes");
-                record_add(events, h);
-                rec(a11, tr.view(), &mut q3.view_mut(), depth + 1, cfg, pool, events);
-            }),
-            Box::new(move || {
-                // Q4 = A22 (B21 - B11)
-                let tr = ops::sub(&b21, &b11).expect("quadrant shapes");
-                record_add(events, h);
-                rec(a22, tr.view(), &mut q4.view_mut(), depth + 1, cfg, pool, events);
-            }),
-            Box::new(move || {
-                // Q5 = (A11 + A12) B22
-                let tl = ops::add(&a11, &a12).expect("quadrant shapes");
-                record_add(events, h);
-                rec(tl.view(), b22, &mut q5.view_mut(), depth + 1, cfg, pool, events);
-            }),
-            Box::new(move || {
-                // Q6 = (A21 - A11)(B11 + B12)
-                let tl = ops::sub(&a21, &a11).expect("quadrant shapes");
-                let tr = ops::add(&b11, &b12).expect("quadrant shapes");
-                record_add(events, h);
-                record_add(events, h);
-                rec(tl.view(), tr.view(), &mut q6.view_mut(), depth + 1, cfg, pool, events);
-            }),
-            Box::new(move || {
-                // Q7 = (A12 - A22)(B21 + B22)
-                let tl = ops::sub(&a12, &a22).expect("quadrant shapes");
-                let tr = ops::add(&b21, &b22).expect("quadrant shapes");
-                record_add(events, h);
-                record_add(events, h);
-                rec(tl.view(), tr.view(), &mut q7.view_mut(), depth + 1, cfg, pool, events);
-            }),
-        ];
-        run_products(products, depth, cfg, pool, events, h);
+        let (r1, r2, r3, r4, r5, r6, r7) = (
+            &mut *q1, &mut *q2, &mut *q3, &mut *q4, &mut *q5, &mut *q6, &mut *q7,
+        );
+        // Each product closure leases its own operand scratch (uninit:
+        // `add_into`/`sub_into` overwrite in full), so the seven run
+        // independently (the BOTS untied-task shape).
+        let mut job1 = move || {
+            // Q1 = (A11 + A22)(B11 + B22)
+            let mut tl = arena::matrix_uninit(h, h);
+            let mut tr = arena::matrix_uninit(h, h);
+            ops::add_into(&a11, &a22, &mut tl.view_mut()).expect("quadrant shapes");
+            ops::add_into(&b11, &b22, &mut tr.view_mut()).expect("quadrant shapes");
+            record_add(events, h);
+            record_add(events, h);
+            rec(
+                tl.view(),
+                tr.view(),
+                &mut r1.view_mut(),
+                depth + 1,
+                cfg,
+                pool,
+                events,
+            );
+        };
+        let mut job2 = move || {
+            // Q2 = (A21 + A22) B11
+            let mut tl = arena::matrix_uninit(h, h);
+            ops::add_into(&a21, &a22, &mut tl.view_mut()).expect("quadrant shapes");
+            record_add(events, h);
+            rec(
+                tl.view(),
+                b11,
+                &mut r2.view_mut(),
+                depth + 1,
+                cfg,
+                pool,
+                events,
+            );
+        };
+        let mut job3 = move || {
+            // Q3 = A11 (B12 - B22)
+            let mut tr = arena::matrix_uninit(h, h);
+            ops::sub_into(&b12, &b22, &mut tr.view_mut()).expect("quadrant shapes");
+            record_add(events, h);
+            rec(
+                a11,
+                tr.view(),
+                &mut r3.view_mut(),
+                depth + 1,
+                cfg,
+                pool,
+                events,
+            );
+        };
+        let mut job4 = move || {
+            // Q4 = A22 (B21 - B11)
+            let mut tr = arena::matrix_uninit(h, h);
+            ops::sub_into(&b21, &b11, &mut tr.view_mut()).expect("quadrant shapes");
+            record_add(events, h);
+            rec(
+                a22,
+                tr.view(),
+                &mut r4.view_mut(),
+                depth + 1,
+                cfg,
+                pool,
+                events,
+            );
+        };
+        let mut job5 = move || {
+            // Q5 = (A11 + A12) B22
+            let mut tl = arena::matrix_uninit(h, h);
+            ops::add_into(&a11, &a12, &mut tl.view_mut()).expect("quadrant shapes");
+            record_add(events, h);
+            rec(
+                tl.view(),
+                b22,
+                &mut r5.view_mut(),
+                depth + 1,
+                cfg,
+                pool,
+                events,
+            );
+        };
+        let mut job6 = move || {
+            // Q6 = (A21 - A11)(B11 + B12)
+            let mut tl = arena::matrix_uninit(h, h);
+            let mut tr = arena::matrix_uninit(h, h);
+            ops::sub_into(&a21, &a11, &mut tl.view_mut()).expect("quadrant shapes");
+            ops::add_into(&b11, &b12, &mut tr.view_mut()).expect("quadrant shapes");
+            record_add(events, h);
+            record_add(events, h);
+            rec(
+                tl.view(),
+                tr.view(),
+                &mut r6.view_mut(),
+                depth + 1,
+                cfg,
+                pool,
+                events,
+            );
+        };
+        let mut job7 = move || {
+            // Q7 = (A12 - A22)(B21 + B22)
+            let mut tl = arena::matrix_uninit(h, h);
+            let mut tr = arena::matrix_uninit(h, h);
+            ops::sub_into(&a12, &a22, &mut tl.view_mut()).expect("quadrant shapes");
+            ops::add_into(&b21, &b22, &mut tr.view_mut()).expect("quadrant shapes");
+            record_add(events, h);
+            record_add(events, h);
+            rec(
+                tl.view(),
+                tr.view(),
+                &mut r7.view_mut(),
+                depth + 1,
+                cfg,
+                pool,
+                events,
+            );
+        };
+        run_products!(depth, cfg, pool, events, h; job1, job2, job3, job4, job5, job6, job7);
     }
 
     // Combine: C11 += Q1+Q4-Q5+Q7; C12 += Q3+Q5; C21 += Q2+Q4;
     //          C22 += Q1-Q2+Q3+Q6.
     let qc = c.reborrow().quadrants().expect("even dimension");
     let (mut c11, mut c12, mut c21, mut c22) = (qc.a11, qc.a12, qc.a21, qc.a22);
-    let qv: Vec<MatrixView<'_>> = q.iter().map(|m| m.view()).collect();
-    let (q1, q2, q3, q4, q5, q6, q7) = (qv[0], qv[1], qv[2], qv[3], qv[4], qv[5], qv[6]);
+    let (q1, q2, q3, q4, q5, q6, q7) = (
+        q1.view(),
+        q2.view(),
+        q3.view(),
+        q4.view(),
+        q5.view(),
+        q6.view(),
+        q7.view(),
+    );
     let apply = |dst: &mut MatrixViewMut<'_>, src: &MatrixView<'_>, sign: f64| {
         if sign > 0.0 {
             ops::add_assign(dst, src).expect("quadrant shapes");
@@ -256,62 +324,73 @@ fn rec_winograd(
     let (a11, a12, a21, a22) = (qa.a11, qa.a12, qa.a21, qa.a22);
     let (b11, b12, b21, b22) = (qb.a11, qb.a12, qb.a21, qb.a22);
 
-    // Pre-additions (8): S1..S4 on A, T1..T4 on B.
-    let s1 = ops::add(&a21, &a22).expect("quadrant shapes");
-    let s2 = ops::sub(&s1.view(), &a11).expect("quadrant shapes");
-    let s3 = ops::sub(&a11, &a21).expect("quadrant shapes");
-    let s4 = ops::sub(&a12, &s2.view()).expect("quadrant shapes");
-    let t1 = ops::sub(&b12, &b11).expect("quadrant shapes");
-    let t2 = ops::sub(&b22, &t1.view()).expect("quadrant shapes");
-    let t3 = ops::sub(&b22, &b12).expect("quadrant shapes");
-    let t4 = ops::sub(&t2.view(), &b21).expect("quadrant shapes");
+    // Pre-additions (8): S1..S4 on A, T1..T4 on B. Arena scratch — every
+    // destination is overwritten in full, so uninit leases are safe.
+    let mut s1 = arena::matrix_uninit(h, h);
+    let mut s2 = arena::matrix_uninit(h, h);
+    let mut s3 = arena::matrix_uninit(h, h);
+    let mut s4 = arena::matrix_uninit(h, h);
+    let mut t1 = arena::matrix_uninit(h, h);
+    let mut t2 = arena::matrix_uninit(h, h);
+    let mut t3 = arena::matrix_uninit(h, h);
+    let mut t4 = arena::matrix_uninit(h, h);
+    ops::add_into(&a21, &a22, &mut s1.view_mut()).expect("quadrant shapes");
+    ops::sub_into(&s1.view(), &a11, &mut s2.view_mut()).expect("quadrant shapes");
+    ops::sub_into(&a11, &a21, &mut s3.view_mut()).expect("quadrant shapes");
+    ops::sub_into(&a12, &s2.view(), &mut s4.view_mut()).expect("quadrant shapes");
+    ops::sub_into(&b12, &b11, &mut t1.view_mut()).expect("quadrant shapes");
+    ops::sub_into(&b22, &t1.view(), &mut t2.view_mut()).expect("quadrant shapes");
+    ops::sub_into(&b22, &b12, &mut t3.view_mut()).expect("quadrant shapes");
+    ops::sub_into(&t2.view(), &b21, &mut t4.view_mut()).expect("quadrant shapes");
     for _ in 0..8 {
         record_add(events, h);
     }
 
-    let mut p: Vec<Matrix> = (0..7).map(|_| Matrix::zeros(h, h)).collect();
+    let mut p1 = arena::matrix(h, h);
+    let mut p2 = arena::matrix(h, h);
+    let mut p3 = arena::matrix(h, h);
+    let mut p4 = arena::matrix(h, h);
+    let mut p5 = arena::matrix(h, h);
+    let mut p6 = arena::matrix(h, h);
+    let mut p7 = arena::matrix(h, h);
     {
-        let mut slots = p.iter_mut();
-        let p1 = slots.next().unwrap();
-        let p2 = slots.next().unwrap();
-        let p3 = slots.next().unwrap();
-        let p4 = slots.next().unwrap();
-        let p5 = slots.next().unwrap();
-        let p6 = slots.next().unwrap();
-        let p7 = slots.next().unwrap();
+        let (r1, r2, r3, r4, r5, r6, r7) = (
+            &mut *p1, &mut *p2, &mut *p3, &mut *p4, &mut *p5, &mut *p6, &mut *p7,
+        );
         let (s1v, s2v, s3v, s4v) = (s1.view(), s2.view(), s3.view(), s4.view());
         let (t1v, t2v, t3v, t4v) = (t1.view(), t2.view(), t3.view(), t4.view());
-        let products: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
-            Box::new(move || rec(a11, b11, &mut p1.view_mut(), depth + 1, cfg, pool, events)),
-            Box::new(move || rec(a12, b21, &mut p2.view_mut(), depth + 1, cfg, pool, events)),
-            Box::new(move || rec(s4v, b22, &mut p3.view_mut(), depth + 1, cfg, pool, events)),
-            Box::new(move || rec(a22, t4v, &mut p4.view_mut(), depth + 1, cfg, pool, events)),
-            Box::new(move || rec(s1v, t1v, &mut p5.view_mut(), depth + 1, cfg, pool, events)),
-            Box::new(move || rec(s2v, t2v, &mut p6.view_mut(), depth + 1, cfg, pool, events)),
-            Box::new(move || rec(s3v, t3v, &mut p7.view_mut(), depth + 1, cfg, pool, events)),
-        ];
-        run_products(products, depth, cfg, pool, events, h);
+        let mut job1 = move || rec(a11, b11, &mut r1.view_mut(), depth + 1, cfg, pool, events);
+        let mut job2 = move || rec(a12, b21, &mut r2.view_mut(), depth + 1, cfg, pool, events);
+        let mut job3 = move || rec(s4v, b22, &mut r3.view_mut(), depth + 1, cfg, pool, events);
+        let mut job4 = move || rec(a22, t4v, &mut r4.view_mut(), depth + 1, cfg, pool, events);
+        let mut job5 = move || rec(s1v, t1v, &mut r5.view_mut(), depth + 1, cfg, pool, events);
+        let mut job6 = move || rec(s2v, t2v, &mut r6.view_mut(), depth + 1, cfg, pool, events);
+        let mut job7 = move || rec(s3v, t3v, &mut r7.view_mut(), depth + 1, cfg, pool, events);
+        run_products!(depth, cfg, pool, events, h; job1, job2, job3, job4, job5, job6, job7);
     }
 
     // Combines (7): U1 = P1+P6, U2 = U1+P7, U3 = U1+P5;
     // C11 += P1+P2, C12 += U3+P3, C21 += U2-P4, C22 += U3+P7.
-    let u1 = ops::add(&p[0].view(), &p[5].view()).expect("quadrant shapes");
-    let u2 = ops::add(&u1.view(), &p[6].view()).expect("quadrant shapes");
-    let u3 = ops::add(&u1.view(), &p[4].view()).expect("quadrant shapes");
+    let mut u1 = arena::matrix_uninit(h, h);
+    let mut u2 = arena::matrix_uninit(h, h);
+    let mut u3 = arena::matrix_uninit(h, h);
+    ops::add_into(&p1.view(), &p6.view(), &mut u1.view_mut()).expect("quadrant shapes");
+    ops::add_into(&u1.view(), &p7.view(), &mut u2.view_mut()).expect("quadrant shapes");
+    ops::add_into(&u1.view(), &p5.view(), &mut u3.view_mut()).expect("quadrant shapes");
     record_add(events, h);
     record_add(events, h);
     record_add(events, h);
 
     let qc = c.reborrow().quadrants().expect("even dimension");
     let (mut c11, mut c12, mut c21, mut c22) = (qc.a11, qc.a12, qc.a21, qc.a22);
-    ops::add_assign(&mut c11, &p[0].view()).expect("quadrant shapes");
-    ops::add_assign(&mut c11, &p[1].view()).expect("quadrant shapes");
+    ops::add_assign(&mut c11, &p1.view()).expect("quadrant shapes");
+    ops::add_assign(&mut c11, &p2.view()).expect("quadrant shapes");
     ops::add_assign(&mut c12, &u3.view()).expect("quadrant shapes");
-    ops::add_assign(&mut c12, &p[2].view()).expect("quadrant shapes");
+    ops::add_assign(&mut c12, &p3.view()).expect("quadrant shapes");
     ops::add_assign(&mut c21, &u2.view()).expect("quadrant shapes");
-    ops::sub_assign(&mut c21, &p[3].view()).expect("quadrant shapes");
+    ops::sub_assign(&mut c21, &p4.view()).expect("quadrant shapes");
     ops::add_assign(&mut c22, &u3.view()).expect("quadrant shapes");
-    ops::add_assign(&mut c22, &p[6].view()).expect("quadrant shapes");
+    ops::add_assign(&mut c22, &p7.view()).expect("quadrant shapes");
     for _ in 0..4 {
         record_add(events, h);
     }
@@ -391,7 +470,9 @@ mod tests {
         let cfg = StrassenConfig::default();
         let z = Matrix::zeros(0, 0);
         assert_eq!(
-            multiply(&z.view(), &z.view(), &cfg, None, None).unwrap().len(),
+            multiply(&z.view(), &z.view(), &cfg, None, None)
+                .unwrap()
+                .len(),
             0
         );
         let one = Matrix::filled(1, 1, 3.0);

@@ -17,6 +17,14 @@
 //! * buffers are allocated when a task *executes* (untied-task
 //!   semantics), so a parallel run keeps at most one root-to-leaf path of
 //!   buffers live per worker; a sequential run keeps exactly one.
+//!
+//! The executor now leases these buffers from per-thread recycling arenas
+//! ([`powerscale_gemm::arena`]) rather than calling the allocator at each
+//! node. That changes *allocator traffic* (steady state performs none),
+//! not the footprint model: a lease is live for exactly the interval the
+//! old allocation was, and each thread's free list is bounded by the same
+//! one-root-to-leaf-path working set, so the peak-bytes accounting below
+//! is unchanged.
 
 use crate::config::{StrassenConfig, Variant};
 use crate::cost::is_leaf;

@@ -88,7 +88,12 @@ fn emit(
         // spawned level — the communication CAPS avoids).
         let per_pass = tm.effective_bytes(3 * 8 * hh, 24 * hh);
         let prepare = g.add(
-            TaskCost::new(KernelClass::Elementwise, pre * hh, pre * per_pass, 2 * 8 * hh),
+            TaskCost::new(
+                KernelClass::Elementwise,
+                pre * hh,
+                pre * per_pass,
+                2 * 8 * hh,
+            ),
             deps,
         );
         let sinks = emit(g, n / 2, depth + 1, cfg, tm, &[prepare]);

@@ -21,7 +21,11 @@ fn main() {
     );
     // (name, achieved Mflop/s, MB/s)
     let platforms = [
-        ("paper's E3-1225 (23 Gflop/s, DDR3-1600)", 23_040.0, 12_800.0),
+        (
+            "paper's E3-1225 (23 Gflop/s, DDR3-1600)",
+            23_040.0,
+            12_800.0,
+        ),
         ("same CPU, dual-channel memory", 23_040.0, 25_600.0),
         ("same CPU, half-bandwidth DIMM", 23_040.0, 6_400.0),
         ("older core (5 Gflop/s), same memory", 5_000.0, 12_800.0),

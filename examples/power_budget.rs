@@ -47,7 +47,11 @@ fn main() {
                 println!(
                     "{:<6} | {:<28} | {:>10.2} | {:>8.2} | {:>9.2}",
                     n,
-                    format!("{} @ {} threads", r.spec.algorithm.paper_name(), r.spec.threads),
+                    format!(
+                        "{} @ {} threads",
+                        r.spec.algorithm.paper_name(),
+                        r.spec.threads
+                    ),
                     r.t_seconds * 1e3,
                     r.pkg_watts,
                     r.gflops()

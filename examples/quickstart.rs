@@ -57,7 +57,10 @@ fn main() {
     // 3. The paper's question: how do time and power trade off as threads
     //    scale? Ask the simulated Haswell.
     println!("\nsimulated E3-1225 (the paper's testbed), n = 512:");
-    println!("  {:<10} {:>4} {:>10} {:>9} {:>8}", "algorithm", "p", "time (ms)", "pkg (W)", "EP");
+    println!(
+        "  {:<10} {:>4} {:>10} {:>9} {:>8}",
+        "algorithm", "p", "time (ms)", "pkg (W)", "EP"
+    );
     let h = Harness::default();
     for algorithm in [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps] {
         for threads in [1usize, 4] {
@@ -81,8 +84,7 @@ fn main() {
     println!("\nEP scaling verdicts at n = 512 (Eq. 5/6 vs the linear threshold):");
     let results = h.run_matrix(&[512], &[1, 2, 3, 4]);
     for algorithm in [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps] {
-        let curve =
-            powerscale::harness::figures::ep_curve(&results, algorithm, 512, &[1, 2, 3, 4]);
+        let curve = powerscale::harness::figures::ep_curve(&results, algorithm, 512, &[1, 2, 3, 4]);
         println!(
             "  {:<10} {:?} (mean excess over linear {:+.2})",
             algorithm.paper_name(),

@@ -71,8 +71,7 @@ fn main() {
         };
         let wall = t0.elapsed();
         let profile = set.stop().expect("stop counters");
-        let err =
-            powerscale::matrix::norms::rel_frobenius_error(&result.view(), &reference.view());
+        let err = powerscale::matrix::norms::rel_frobenius_error(&result.view(), &reference.view());
 
         println!("--- {name} ---");
         println!("  wall time        {wall:?}   (rel err {err:.2e})");

@@ -26,7 +26,11 @@ fn main() {
     ];
 
     for (name, coo) in &cases {
-        println!("== {name}: {} nnz, density {:.3}% ==\n", coo.nnz(), coo.density() * 100.0);
+        println!(
+            "== {name}: {} nnz, density {:.3}% ==\n",
+            coo.nnz(),
+            coo.density() * 100.0
+        );
 
         // Real verification pass with all formats.
         let x = SparseGen::new(7).vector(coo.cols());
@@ -35,13 +39,22 @@ fn main() {
         let csc = Csc::from_coo(coo);
         let ell = Ell::from_coo(coo);
         let diff = |y: &[f64]| -> f64 {
-            y.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+            y.iter()
+                .zip(&want)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max)
         };
         println!("real-execution verification (max abs diff vs dense):");
         println!("  COO {:.1e}", diff(&spmv::coo_spmv(coo, &x, None)));
-        println!("  CSR {:.1e}", diff(&spmv::csr_spmv(&csr, &x, Some(&pool), None)));
+        println!(
+            "  CSR {:.1e}",
+            diff(&spmv::csr_spmv(&csr, &x, Some(&pool), None))
+        );
         println!("  CSC {:.1e}", diff(&spmv::csc_spmv(&csc, &x, None)));
-        println!("  ELL {:.1e}", diff(&spmv::ell_spmv(&ell, &x, Some(&pool), None)));
+        println!(
+            "  ELL {:.1e}",
+            diff(&spmv::ell_spmv(&ell, &x, Some(&pool), None))
+        );
         println!(
             "storage: COO {} B | CSR {} B | CSC {} B | ELL {} B (pad factor {:.2})\n",
             coo.storage_bytes(),

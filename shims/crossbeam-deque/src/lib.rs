@@ -1,0 +1,202 @@
+//! Offline shim for the subset of `crossbeam-deque` this workspace uses.
+//!
+//! Provides the `Worker` / `Stealer` / `Injector` / `Steal` API of the real
+//! crate with identical ownership semantics (owner pops LIFO from one end,
+//! thieves steal FIFO from the other), implemented over `Mutex<VecDeque>`
+//! rather than the lock-free Chase–Lev algorithm. Correctness and the
+//! work-stealing *scheduling shape* are preserved; raw queue throughput is
+//! not, which is acceptable because the pool amortises one task over an
+//! entire GEMM row band.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    q.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The owner's end of a work-stealing deque.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a LIFO worker queue (owner pushes and pops the same end).
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Creates a FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Self::new_lifo()
+    }
+
+    /// Creates a stealer handle for this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Pops a task from the owner's end (most recently pushed first).
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue).pop_back()
+    }
+
+    /// `true` when the queue holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+/// A thief's handle onto another worker's deque.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest task from the owner's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// `true` when the queue holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+/// A shared FIFO injection queue for tasks submitted from outside the pool.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task onto the injector.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// `true` when the injector holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+
+    /// Steals a batch of tasks into `dest`'s queue and pops one of them.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = locked(&self.queue);
+        let Some(first) = q.pop_front() else {
+            return Steal::Empty;
+        };
+        // Move up to half of the remaining tasks over, like the real crate.
+        let batch = q.len() / 2;
+        if batch > 0 {
+            let mut dq = locked(&dest.queue);
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(t) => dq.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batch_moves_work() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        // Half of the remaining nine moved over.
+        assert_eq!(w.len(), 4);
+        assert_eq!(inj.len(), 5);
+    }
+
+    #[test]
+    fn empty_everywhere() {
+        let inj: Injector<u8> = Injector::new();
+        let w: Worker<u8> = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Empty);
+        assert!(inj.is_empty());
+        assert!(w.is_empty());
+        assert!(w.stealer().is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline shim for the subset of `crossbeam-utils` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! replaces its external dependencies with source-compatible shims (see
+//! `shims/README.md`). Only [`CachePadded`] is needed here.
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so that adjacent values never share
+/// a cache line (avoids false sharing between per-worker counters).
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_to_128() {
+        let arr = [CachePadded::new(0u64), CachePadded::new(1u64)];
+        let a = &arr[0] as *const _ as usize;
+        let b = &arr[1] as *const _ as usize;
+        assert_eq!(a % 128, 0);
+        assert!(b - a >= 128);
+    }
+
+    #[test]
+    fn deref_works() {
+        let mut c = CachePadded::new(41u32);
+        *c += 1;
+        assert_eq!(*c, 42);
+        assert_eq!(c.into_inner(), 42);
+    }
+}

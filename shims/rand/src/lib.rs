@@ -1,0 +1,120 @@
+//! Offline shim for the subset of `rand` 0.8 this workspace uses.
+//!
+//! Provides the trait layer (`RngCore`, `Rng`, `SeedableRng`) and the
+//! `Uniform` / `Standard` distributions consumed by the matrix and sparse
+//! generators. Streams are deterministic for a given seed, which is the only
+//! property the workspace relies on (exact equality with upstream `rand`
+//! streams is *not* preserved).
+
+pub mod distributions;
+
+/// The core source-of-randomness interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64` → uniform in `[0, 1)`).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Samples uniformly from `[lo, hi)`.
+    fn gen_range<T: distributions::SampleUniform>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        distributions::Distribution::sample(
+            &distributions::Uniform::new(range.start, range.end),
+            self,
+        )
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a 64-bit seed, expanded with SplitMix64
+    /// into the full seed (deterministic).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dst, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // A weak but serviceable mixing step for trait-level tests.
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn uniform_f64_in_range() {
+        let mut rng = Counter(7);
+        let d = Uniform::new(-2.0f64, 3.0);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((-2.0..3.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn uniform_usize_in_range() {
+        let mut rng = Counter(1);
+        let d = Uniform::new(5usize, 9);
+        for _ in 0..200 {
+            let x = d.sample(&mut rng);
+            assert!((5..9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn standard_f64_unit_interval() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Offline shim for `serde_derive`: hand-rolled derive macros for the
+//! value-model `serde` shim.
+//!
+//! No `syn`/`quote` — the input item is parsed by walking the raw
+//! `proc_macro::TokenStream` and the generated impl is built as source text.
+//! Supported item shapes (everything this workspace derives on):
+//! named-field structs, tuple structs, and enums with unit variants only.
+//! `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Kind {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: arity.
+    Tuple(usize),
+    /// Enum of unit variants: variant names.
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize` (value-model: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), serde::Serialize::to_value(&self.{f}))",
+                        f
+                    )
+                })
+                .collect();
+            format!("serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Kind::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::String({:?}.to_string()),", v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-model: `fn from_value(&Value)`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(v.get_field({:?})?)?,",
+                        f
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(" "))
+        }
+        Kind::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+        Kind::Tuple(arity) => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array()?;\n\
+                 if items.len() != {arity} {{\n\
+                     return Err(serde::Error::custom(\"wrong tuple struct arity\"));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{:?} => Ok({name}::{v}),", v))
+                .collect();
+            format!(
+                "match v.as_str()? {{\n\
+                     {}\n\
+                     other => Err(serde::Error::custom(format!(\n\
+                         \"unknown {name} variant `{{other}}`\"))),\n\
+                 }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// Advances past any `#[...]` outer attributes starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Advances past a `pub` / `pub(...)` visibility qualifier starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+
+    let item_kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic items are not supported (on `{name}`)");
+        }
+    }
+
+    let kind = match (item_kw.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Struct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::UnitEnum(parse_unit_variants(g.stream(), &name))
+        }
+        _ => panic!("serde shim derive: unsupported item shape for `{name}`"),
+    };
+
+    Input { name, kind }
+}
+
+/// Extracts field names from the body of a named-field struct.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde shim derive: expected field name, found {other:?}"),
+        }
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field, found {other:?}"),
+        }
+        i = skip_type(&tokens, i);
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_type(&tokens, i);
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Advances past one type, stopping at a comma outside angle brackets.
+/// Parenthesised/bracketed type components arrive as single `Group` tokens,
+/// so only `<`/`>` nesting needs tracking.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0usize;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                ',' if angle_depth == 0 => break,
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Extracts variant names from a unit-variant enum body.
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            other => panic!("serde shim derive: expected variant name, found {other:?}"),
+        }
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => panic!(
+                "serde shim derive: enum `{enum_name}` has a non-unit variant, \
+                 which the shim does not support"
+            ),
+            Some(other) => {
+                panic!("serde shim derive: unexpected token after variant: {other:?}")
+            }
+        }
+    }
+    variants
+}

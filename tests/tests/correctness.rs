@@ -47,7 +47,11 @@ fn all_algorithms_agree_across_sizes() {
             None,
         )
         .unwrap();
-        for (name, m) in [("blocked", &blocked), ("strassen", &strassen), ("caps", &caps)] {
+        for (name, m) in [
+            ("blocked", &blocked),
+            ("strassen", &strassen),
+            ("caps", &caps),
+        ] {
             let err = rel_frobenius_error(&m.view(), &oracle.view());
             assert!(err < TOL, "{name} n={n}: err {err}");
         }
@@ -72,7 +76,10 @@ fn winograd_variant_agrees_too() {
             None,
         )
         .unwrap();
-        assert!(rel_frobenius_error(&w.view(), &oracle.view()) < TOL, "n={n}");
+        assert!(
+            rel_frobenius_error(&w.view(), &oracle.view()) < TOL,
+            "n={n}"
+        );
     }
 }
 
@@ -117,10 +124,9 @@ fn thread_count_never_changes_bits() {
     let c1 = powerscale::caps::multiply(&a.view(), &b.view(), &ccfg, None, None).unwrap();
     for workers in [1usize, 2, 4, 7] {
         let pool = ThreadPool::new(workers);
-        let s = powerscale::strassen::multiply(&a.view(), &b.view(), &cfg, Some(&pool), None)
-            .unwrap();
-        let c =
-            powerscale::caps::multiply(&a.view(), &b.view(), &ccfg, Some(&pool), None).unwrap();
+        let s =
+            powerscale::strassen::multiply(&a.view(), &b.view(), &cfg, Some(&pool), None).unwrap();
+        let c = powerscale::caps::multiply(&a.view(), &b.view(), &ccfg, Some(&pool), None).unwrap();
         assert_eq!(s, s1, "strassen changed bits at {workers} workers");
         assert_eq!(c, c1, "caps changed bits at {workers} workers");
     }

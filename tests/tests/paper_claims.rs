@@ -16,7 +16,11 @@ fn all_claim_checks_pass() {
     let (_, results) = paper_results();
     let checks = report::claim_checks(&results);
     assert_eq!(checks.len(), 7);
-    let failed: Vec<&String> = checks.iter().filter(|(_, ok)| !ok).map(|(c, _)| c).collect();
+    let failed: Vec<&String> = checks
+        .iter()
+        .filter(|(_, ok)| !ok)
+        .map(|(c, _)| c)
+        .collect();
     assert!(failed.is_empty(), "failed claims: {failed:#?}");
 }
 
@@ -55,7 +59,11 @@ fn table3_power_shapes() {
     let strassen = row("Strassen");
     let caps = row("CAPS");
     // Absolute bands: ±25% of the paper per thread count for OpenBLAS.
-    for (m, p) in blocked.values.iter().zip(&tables::paper::TABLE3_OPENBLAS[..4]) {
+    for (m, p) in blocked
+        .values
+        .iter()
+        .zip(&tables::paper::TABLE3_OPENBLAS[..4])
+    {
         assert!((m / p - 1.0).abs() < 0.25, "blocked watts {m} vs paper {p}");
     }
     // Slope structure: blocked's 1→4 growth at least twice the Strassen
@@ -69,7 +77,10 @@ fn table3_power_shapes() {
     let min = all_w.iter().cloned().fold(f64::MAX, f64::min);
     let max = all_w.iter().cloned().fold(f64::MIN, f64::max);
     assert!(min > tables::paper::OPENBLAS_MIN_W * 0.7, "min watts {min}");
-    assert!(max < tables::paper::OPENBLAS_MAX_W * 1.25, "max watts {max}");
+    assert!(
+        max < tables::paper::OPENBLAS_MAX_W * 1.25,
+        "max watts {max}"
+    );
 }
 
 #[test]
@@ -90,7 +101,11 @@ fn table4_ep_orders_of_magnitude() {
     }
     // Within a factor 2 of the paper's absolute values (they are W/s —
     // highly sensitive to both calibrations at once).
-    for (m, p) in t4.rows[0].values.iter().zip(&tables::paper::TABLE4_OPENBLAS[..4]) {
+    for (m, p) in t4.rows[0]
+        .values
+        .iter()
+        .zip(&tables::paper::TABLE4_OPENBLAS[..4])
+    {
         let ratio = m / p;
         assert!((0.5..2.0).contains(&ratio), "blocked EP {m} vs paper {p}");
     }

@@ -18,7 +18,11 @@ fn plan_totals_match_cost_recurrences() {
             "strassen flops n={n}"
         );
         let bg = h.graph(Algorithm::Blocked, n);
-        assert_eq!(bg.total_flops(), 2 * (n as u64).pow(3), "blocked flops n={n}");
+        assert_eq!(
+            bg.total_flops(),
+            2 * (n as u64).pow(3),
+            "blocked flops n={n}"
+        );
         let cg = h.graph(Algorithm::Caps, n);
         assert_eq!(
             cg.total_flops(),

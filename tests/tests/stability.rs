@@ -76,7 +76,10 @@ fn winograd_error_comparable_to_classic() {
     // Strassen's; both stay in the same decade here.
     let classic = error_of(256, 16, Some(Variant::Classic), 3);
     let winograd = error_of(256, 16, Some(Variant::Winograd), 3);
-    assert!(winograd < classic * 50.0, "winograd {winograd} vs classic {classic}");
+    assert!(
+        winograd < classic * 50.0,
+        "winograd {winograd} vs classic {classic}"
+    );
     assert!(classic < winograd * 50.0);
 }
 

@@ -24,9 +24,8 @@ fn shared_pool_under_concurrent_multiplies() {
                 cutoff: 16,
                 ..Default::default()
             };
-            let got =
-                powerscale::strassen::multiply(&a.view(), &b.view(), &cfg, Some(&pool), None)
-                    .unwrap();
+            let got = powerscale::strassen::multiply(&a.view(), &b.view(), &cfg, Some(&pool), None)
+                .unwrap();
             let want = powerscale::gemm::naive::naive_mm(&a.view(), &b.view()).unwrap();
             powerscale::matrix::norms::rel_frobenius_error(&got.view(), &want.view())
         }));
@@ -131,8 +130,8 @@ fn event_set_shared_across_pool_workers() {
 
     let mut seq_set = EventSet::with_all_events();
     seq_set.start().unwrap();
-    let _ = powerscale::strassen::multiply(&a.view(), &b.view(), &cfg, None, Some(&seq_set))
-        .unwrap();
+    let _ =
+        powerscale::strassen::multiply(&a.view(), &b.view(), &cfg, None, Some(&seq_set)).unwrap();
     let seq = seq_set.stop().unwrap();
 
     let pool = ThreadPool::new(4);
@@ -143,7 +142,12 @@ fn event_set_shared_across_pool_workers() {
     let par = par_set.stop().unwrap();
 
     // Work-shaped events are identical; only scheduling events differ.
-    for e in [Event::FpOps, Event::FpAdds, Event::KernelCalls, Event::RecursionLevels] {
+    for e in [
+        Event::FpOps,
+        Event::FpAdds,
+        Event::KernelCalls,
+        Event::RecursionLevels,
+    ] {
         assert_eq!(seq.get(e), par.get(e), "{e} diverged");
     }
     assert_eq!(seq.get(Event::TasksSpawned), 0);
