@@ -41,5 +41,8 @@ mod ep;
 mod scaling;
 
 pub use crossover::{crossover_dimension, crossover_dimension_full, CrossoverInputs};
-pub use ep::{ep_ratio, ep_total, ep_total_planes, MixedMeasure, PhaseMeasure, PlaneSet};
+pub use ep::{
+    ep_ratio, ep_total, ep_total_planes, ep_total_planes_qualified, MeasureQuality, MixedMeasure,
+    PhaseMeasure, PlaneSet, QualifiedEp,
+};
 pub use scaling::{classify_point, ep_scaling, EpCurve, EpPoint, ScalingClass};

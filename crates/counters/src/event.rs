@@ -37,10 +37,14 @@ pub enum Event {
     KernelCalls,
     /// Recursion levels entered (Strassen/CAPS tree depth events).
     RecursionLevels,
+    /// Energy-counter read anomalies absorbed by the measurement pipeline
+    /// (retries, discarded garbage, rebased resets, failed samples) — the
+    /// observability hook for the fault-injection/resilience layer.
+    EnergyReadFaults,
 }
 
 /// Number of distinct [`Event`] variants (array-index bound).
-pub const EVENT_COUNT: usize = 10;
+pub const EVENT_COUNT: usize = 11;
 
 /// Every event, in `repr` order. Kept in sync with the enum by the
 /// `all_events_listed` test.
@@ -55,6 +59,7 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::TasksMigrated,
     Event::KernelCalls,
     Event::RecursionLevels,
+    Event::EnergyReadFaults,
 ];
 
 impl Event {
@@ -77,6 +82,7 @@ impl Event {
             Event::TasksMigrated => "PS_TASKS_MIG",
             Event::KernelCalls => "PS_KERNELS",
             Event::RecursionLevels => "PS_REC_LEVELS",
+            Event::EnergyReadFaults => "PS_ENERGY_FAULTS",
         }
     }
 }

@@ -1,37 +1,89 @@
 //! Regenerates every paper artifact: tables, figures, EXPERIMENTS.md.
 //!
 //! ```text
-//! reproduce [--out DIR] [--quick]
+//! reproduce [--out DIR] [--quick] [--resume] [--faults] [--seed N]
+//!           [--retries K]
 //! ```
 //!
-//! `--out DIR` additionally writes `EXPERIMENTS.md`, per-figure CSVs and
-//! the raw result JSON into `DIR`. `--quick` runs a reduced matrix (sizes
-//! 256/512) for smoke testing.
+//! `--out DIR` additionally writes `EXPERIMENTS.md`, per-figure CSVs,
+//! the raw result JSON and per-cell checkpoints into `DIR`. `--quick`
+//! runs a reduced matrix (sizes 256/512) for smoke testing. `--resume`
+//! skips cells already checkpointed in `DIR` from an earlier
+//! (interrupted) run with the same matrix and fault seed. `--faults`
+//! reads the energy counters through the seeded fault-injection +
+//! recovery decorators (`--seed N` or `POWERSCALE_FAULT_SEED` picks the
+//! schedule; two runs with the same seed are identical).
 
-use powerscale_harness::{figures, manifest, report, tables, Harness};
+use powerscale_harness::{figures, manifest, report, sweep, tables, Harness};
+use powerscale_rapl::FaultConfig;
+
+const USAGE: &str =
+    "usage: reproduce [--out DIR] [--quick] [--resume] [--faults] [--seed N] [--retries K]";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// The flag's value, or a usage error (not a panic) when it is missing.
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) if !v.starts_with("--") => v,
+        _ => usage_error(&format!("{flag} needs a value")),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_dir: Option<String> = None;
     let mut quick = false;
+    let mut resume = false;
+    let mut faults = false;
+    let mut seed: Option<u64> = None;
+    let mut retries: u32 = 1;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--out" => {
-                i += 1;
-                out_dir = Some(args.get(i).expect("--out needs a directory").clone());
+            "--out" => out_dir = Some(take_value(&args, &mut i, "--out").to_string()),
+            "--seed" => {
+                let v = take_value(&args, &mut i, "--seed");
+                seed = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage_error(&format!("--seed: not a number: {v}"))),
+                );
+                faults = true;
+            }
+            "--retries" => {
+                let v = take_value(&args, &mut i, "--retries");
+                retries = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("--retries: not a number: {v}")));
             }
             "--quick" => quick = true,
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: reproduce [--out DIR] [--quick]");
-                std::process::exit(2);
-            }
+            "--resume" => resume = true,
+            "--faults" => faults = true,
+            other => usage_error(&format!("unknown argument: {other}")),
         }
         i += 1;
     }
+    if resume && out_dir.is_none() {
+        usage_error("--resume needs --out DIR (there is nowhere to resume from)");
+    }
 
-    let h = Harness::default();
+    let mut h = Harness::default();
+    if faults {
+        let seed = seed
+            .or_else(|| {
+                std::env::var("POWERSCALE_FAULT_SEED")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(2015);
+        eprintln!("fault injection: chaos profile, seed {seed}");
+        h = h.with_faults(FaultConfig::chaos(seed));
+    }
     eprintln!("platform: {}", h.machine.name);
     let (sizes, threads): (&[usize], &[usize]) = if quick {
         (&[256, 512], &[1, 2, 3, 4])
@@ -42,7 +94,42 @@ fn main() {
         "running execution matrix: 3 algorithms x {:?} x {:?} threads…",
         sizes, threads
     );
-    let results = h.run_matrix(sizes, threads);
+    let opts = sweep::SweepOptions {
+        retries,
+        out_dir: out_dir.as_ref().map(std::path::PathBuf::from),
+        resume,
+        ..sweep::SweepOptions::default()
+    };
+    let outcome = sweep::run_sweep(&h, sizes, threads, &opts);
+    if outcome.resumed > 0 {
+        eprintln!(
+            "resumed {} of {} cells from checkpoints",
+            outcome.resumed,
+            outcome.cells.len()
+        );
+    }
+    for (spec, err) in outcome.errors() {
+        eprintln!(
+            "cell FAILED ({} n={} t={}): {err}",
+            spec.algorithm, spec.n, spec.threads
+        );
+    }
+    for r in outcome.degraded() {
+        eprintln!(
+            "cell degraded ({} n={} t={}): planes {:?}, {} failed samples, {} wraps",
+            r.spec.algorithm,
+            r.spec.n,
+            r.spec.threads,
+            r.degraded_planes,
+            r.samples_failed,
+            r.wraps_corrected
+        );
+    }
+    let results = outcome.results();
+    if results.is_empty() {
+        eprintln!("every cell failed; nothing to report");
+        std::process::exit(1);
+    }
 
     println!("{}", manifest::to_markdown(&manifest::manifest(&h)));
     println!(
@@ -78,6 +165,14 @@ fn main() {
         println!("  [{}] {claim}", if ok { "PASS" } else { "FAIL" });
         all_ok &= ok;
     }
+    let degraded = outcome.degraded().len();
+    println!(
+        "Measurement quality: {}/{} cells full fidelity, {} degraded, {} failed.",
+        results.len() - degraded,
+        outcome.cells.len(),
+        degraded,
+        outcome.errors().len()
+    );
 
     if let Some(dir) = out_dir {
         let dir = std::path::Path::new(&dir);
@@ -151,7 +246,7 @@ fn main() {
         eprintln!("artifacts written to {}", dir.display());
     }
 
-    if !all_ok && !quick {
+    if !outcome.errors().is_empty() || (!all_ok && !quick) {
         std::process::exit(1);
     }
 }

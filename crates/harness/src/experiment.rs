@@ -1,10 +1,13 @@
 //! Run specification and the simulated-measurement runner.
 
 use powerscale_caps::CapsConfig;
-use powerscale_core::PlaneSet;
+use powerscale_core::{MeasureQuality, PlaneSet, QualifiedEp};
 use powerscale_gemm::BlockingParams;
 use powerscale_machine::{simulate, MachineConfig, TaskGraph};
-use powerscale_rapl::{model::ModelReader, Domain, EnergyMeter};
+use powerscale_rapl::{
+    model::ModelReader, Domain, EnergyMeter, EnergyReader, EnergyReport, FaultConfig,
+    FaultInjectingReader, ResilientConfig, ResilientReader,
+};
 use powerscale_strassen::StrassenConfig;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -73,6 +76,14 @@ pub struct RunResult {
     pub comm_bytes: u64,
     /// Mean core utilisation in `[0, 1]`.
     pub utilisation: f64,
+    /// Fidelity of the energy measurement behind the power numbers.
+    pub quality: MeasureQuality,
+    /// Power planes that lost samples, finished unhealthy, or disappeared.
+    pub degraded_planes: Vec<Domain>,
+    /// Meter samples that produced no reading, summed over planes.
+    pub samples_failed: u64,
+    /// Counter wraparounds corrected while integrating, summed over planes.
+    pub wraps_corrected: u64,
 }
 
 impl RunResult {
@@ -81,10 +92,26 @@ impl RunResult {
         self.pkg_watts / self.t_seconds
     }
 
+    /// Equation 1 tagged with measurement fidelity: a `Degraded` EP was
+    /// computed from planes that lost samples or died mid-run.
+    pub fn ep_qualified(&self) -> QualifiedEp {
+        QualifiedEp {
+            value: self.ep(),
+            quality: self.quality,
+        }
+    }
+
     /// The run's power planes as an Equation 3 set
     /// (package already contains PP0; the DRAM plane is separate).
+    /// Degraded planes are counted as missing so Eq. 3/4 aggregates built
+    /// from this set inherit the degradation.
     pub fn planes(&self) -> PlaneSet {
-        PlaneSet::new(&[self.pkg_watts, self.dram_watts])
+        let missing = self
+            .degraded_planes
+            .iter()
+            .filter(|&&d| d == Domain::Package || d == Domain::Dram)
+            .count();
+        PlaneSet::with_missing(&[self.pkg_watts, self.dram_watts], missing)
     }
 
     /// Achieved Gflop/s.
@@ -107,6 +134,15 @@ pub struct Harness {
     /// RAPL meter samples per run (the paper's driver polls PAPI
     /// periodically; 64 samples comfortably out-paces counter wrap).
     pub meter_samples: usize,
+    /// Optional fault-injection plan for the measurement path. When set,
+    /// every cell reads its counters through a seeded
+    /// [`FaultInjectingReader`] wrapped in a [`ResilientReader`]; the
+    /// per-cell fault seed is derived from this plan's seed and the cell's
+    /// spec, so a resumed sweep sees the same schedule as an uninterrupted
+    /// one.
+    pub faults: Option<FaultConfig>,
+    /// Tuning for the recovery decorator (used only when `faults` is set).
+    pub resilience: ResilientConfig,
 }
 
 impl Default for Harness {
@@ -127,7 +163,15 @@ impl Harness {
             },
             machine,
             meter_samples: 64,
+            faults: None,
+            resilience: ResilientConfig::default(),
         }
+    }
+
+    /// Enables fault injection on the measurement path.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Builds the task graph for one spec.
@@ -142,22 +186,74 @@ impl Harness {
         }
     }
 
+    /// The fault seed for one cell, derived from the plan seed and the
+    /// spec (FNV-style mixing). Cells are independent: skipping completed
+    /// cells on resume cannot shift the schedules of the remaining ones.
+    pub fn cell_fault_seed(base: u64, spec: &RunSpec) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = base ^ 0xCBF2_9CE4_8422_2325;
+        for v in [spec.algorithm as u64, spec.n as u64, spec.threads as u64] {
+            h ^= v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+
     /// Runs one cell of the matrix: simulate, then measure the simulated
     /// schedule through the RAPL counter/meter stack (quantisation and
-    /// wrap semantics included).
+    /// wrap semantics included). With [`Harness::faults`] set, the
+    /// counters are read through the fault-injection + recovery decorators
+    /// and the result carries degradation metadata.
     pub fn run(&self, spec: RunSpec) -> RunResult {
         let graph = self.graph(spec.algorithm, spec.n);
         let schedule = simulate(&graph, &self.machine, spec.threads);
         let mk = schedule.makespan.max(1e-12);
+        let samples = self.meter_samples.max(1);
+        let dt = mk / samples as f64;
 
-        let mut reader = ModelReader::from_schedule(&schedule);
-        let mut meter = EnergyMeter::start(&mut reader);
-        let dt = mk / self.meter_samples.max(1) as f64;
-        for _ in 0..self.meter_samples.max(1) {
-            reader.advance(dt);
-            meter.sample(&mut reader);
+        let model = ModelReader::from_schedule(&schedule);
+        let expected: Vec<Domain> = model.domains();
+        let report = match &self.faults {
+            None => {
+                let mut reader = model;
+                let mut meter = EnergyMeter::start(&mut reader);
+                for _ in 0..samples {
+                    reader.advance(dt);
+                    meter.sample(&mut reader);
+                }
+                meter.finish(&mut reader, mk)
+            }
+            Some(plan) => {
+                let cfg = FaultConfig {
+                    seed: Self::cell_fault_seed(plan.seed, &spec),
+                    ..plan.clone()
+                };
+                let mut reader = ResilientReader::with_config(
+                    FaultInjectingReader::new(model, cfg),
+                    self.resilience,
+                );
+                let mut meter = EnergyMeter::start(&mut reader);
+                for _ in 0..samples {
+                    reader.inner_mut().inner_mut().advance(dt);
+                    meter.sample(&mut reader);
+                }
+                meter.finish(&mut reader, mk)
+            }
+        };
+
+        let mut degraded_planes: Vec<Domain> = report.degraded_domains();
+        // A plane whose opening read failed never makes it into the
+        // report at all — that is the strongest form of degradation.
+        for d in expected {
+            if report.joules_for(d).is_none() && !degraded_planes.contains(&d) {
+                degraded_planes.push(d);
+            }
         }
-        let report = meter.finish(&mut reader, mk);
+        let quality = if degraded_planes.is_empty() {
+            MeasureQuality::Full
+        } else {
+            MeasureQuality::Degraded
+        };
 
         RunResult {
             spec,
@@ -169,30 +265,32 @@ impl Harness {
             dram_bytes: graph.total_dram_bytes(),
             comm_bytes: graph.total_comm_bytes(),
             utilisation: schedule.utilisation(),
+            quality,
+            degraded_planes,
+            samples_failed: sum_quality(&report, |q| q.failed),
+            wraps_corrected: sum_quality(&report, |q| q.wraps_corrected),
         }
     }
 
     /// Runs a full matrix of sizes × threads × all algorithms.
+    ///
+    /// Cells run under panic isolation ([`crate::sweep::run_sweep`]): a
+    /// cell that panics is dropped from the result set instead of taking
+    /// the whole matrix down. Use `run_sweep` directly for retry
+    /// budgets, failure records and checkpoint/resume.
     pub fn run_matrix(&self, sizes: &[usize], threads: &[usize]) -> Vec<RunResult> {
-        let mut out = Vec::with_capacity(sizes.len() * threads.len() * 3);
-        for &algorithm in &ALL_ALGORITHMS {
-            for &n in sizes {
-                for &t in threads {
-                    out.push(self.run(RunSpec {
-                        algorithm,
-                        n,
-                        threads: t,
-                    }));
-                }
-            }
-        }
-        out
+        crate::sweep::run_sweep(self, sizes, threads, &crate::sweep::SweepOptions::default())
+            .results()
     }
 
     /// The paper's 48-run execution matrix (§VI-A).
     pub fn paper_matrix(&self) -> Vec<RunResult> {
         self.run_matrix(&crate::tables::PAPER_SIZES, &crate::tables::PAPER_THREADS)
     }
+}
+
+fn sum_quality(report: &EnergyReport, f: impl Fn(&powerscale_rapl::SampleQuality) -> u64) -> u64 {
+    report.quality.iter().map(|(_, q)| f(q)).sum()
 }
 
 /// Simulates a prepared graph on the harness's machine (exposed for the

@@ -6,9 +6,32 @@ use crate::manifest;
 use crate::tables::{self, paper, Table};
 use powerscale_core::ScalingClass;
 
+/// The size/thread axes actually present in a result set, sorted.
+///
+/// Artifact generation and claim checking derive their axes from the
+/// data rather than assuming the full paper matrix, so a `--quick` run
+/// (or a sweep with failed cells) renders what it measured instead of
+/// panicking on absent cells.
+fn observed_axes(results: &[RunResult]) -> (Vec<usize>, Vec<usize>) {
+    let mut sizes: Vec<usize> = results.iter().map(|r| r.spec.n).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut threads: Vec<usize> = results.iter().map(|r| r.spec.threads).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    (sizes, threads)
+}
+
 /// Renders a measured table against paper reference rows.
 fn compare_table(measured: &Table, refs: &[(&str, &[f64; 5])]) -> String {
     let mut s = measured.to_markdown();
+    // Paper rows carry one value per paper size plus the average; they
+    // only line up under the header when the measured table covers the
+    // same sizes.
+    if measured.columns.len() + 1 != refs.first().map_or(0, |(_, vals)| vals.len()) {
+        s.push('\n');
+        return s;
+    }
     s.push_str("\nPaper reference:\n\n| |");
     for c in &measured.columns {
         s.push_str(&format!(" {c} |"));
@@ -32,8 +55,8 @@ fn compare_table(measured: &Table, refs: &[(&str, &[f64; 5])]) -> String {
 /// Generates the full `EXPERIMENTS.md` body from a paper-matrix result
 /// set.
 pub fn experiments_markdown(h: &Harness, results: &[RunResult]) -> String {
-    let sizes = &tables::PAPER_SIZES;
-    let threads = &tables::PAPER_THREADS;
+    let (sizes, threads) = observed_axes(results);
+    let (sizes, threads) = (&sizes[..], &threads[..]);
     let mut md = String::new();
     md.push_str("# EXPERIMENTS — paper vs. measured\n\n");
     md.push_str(
@@ -182,8 +205,8 @@ pub fn future_work_markdown() -> String {
 /// The paper's qualitative claims, checked against a result set. Each
 /// returns `(claim, holds)`; the integration tests assert all hold.
 pub fn claim_checks(results: &[RunResult]) -> Vec<(String, bool)> {
-    let sizes = &tables::PAPER_SIZES;
-    let threads = &tables::PAPER_THREADS;
+    let (sizes, threads) = observed_axes(results);
+    let (sizes, threads) = (&sizes[..], &threads[..]);
     let t2 = tables::slowdown_table(results, sizes, threads);
     let strassen_slow = t2.rows[0].average;
     let caps_slow = t2.rows[1].average;
@@ -273,6 +296,18 @@ mod tests {
         ] {
             assert!(md.contains(needle), "missing {needle}");
         }
+    }
+
+    #[test]
+    fn quick_matrix_renders_without_panicking() {
+        // Regression: artifacts and claim checks used to hardcode the
+        // paper sizes and panicked on any smaller (--quick) matrix.
+        let h = Harness::default();
+        let results = h.run_matrix(&[128, 256], &[1, 2]);
+        let md = experiments_markdown(&h, &results);
+        assert!(md.contains("128"));
+        let checks = claim_checks(&results);
+        assert_eq!(checks.len(), 7);
     }
 
     #[test]

@@ -212,6 +212,14 @@ impl PoolInner {
             .filter(|ctx| ctx.pool_id == self.id)
     }
 
+    /// Records a caught task panic against the worker that caught it (jobs
+    /// only ever execute on worker threads; worker 0 absorbs the count in
+    /// the defensive non-worker case).
+    pub(crate) fn count_panic_current(&self) {
+        let index = self.current_worker().map_or(0, |ctx| ctx.index);
+        self.stats[index].count_panic();
+    }
+
     fn notify_all(&self) {
         // Lock/unlock pairs with the re-check under the lock in the worker
         // loop, closing the lost-wakeup window.
@@ -420,6 +428,26 @@ mod tests {
         // Pool still usable afterwards.
         let (a, _) = pool.join(|| 5, || 6);
         assert_eq!(a, 5);
+    }
+
+    #[test]
+    fn panics_caught_is_observable_in_stats() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.stats().panics_caught(), 0);
+        for round in 0..3 {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.scope(|s| {
+                    s.spawn(|_| panic!("boom {round}"));
+                    // Healthy siblings in the same scope don't count.
+                    s.spawn(|_| std::hint::black_box(()));
+                });
+            }));
+            assert!(result.is_err());
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.panics_caught(), 3);
+        // Panic counts ride on executed tasks, not extra ones.
+        assert_eq!(stats.total_executed(), 6);
     }
 
     #[test]

@@ -137,6 +137,7 @@ impl<'pool, 'env> Scope<'pool, 'env> {
             let scope = Scope::new(pool, latch);
             let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
             if let Err(payload) = result {
+                pool.count_panic_current();
                 latch.record_panic(payload);
             }
             latch.complete_one();

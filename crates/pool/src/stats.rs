@@ -23,6 +23,8 @@ pub struct WorkerStats {
     pub(crate) injected: CachePadded<AtomicU64>,
     /// Times this worker went to sleep waiting for work.
     pub(crate) parks: CachePadded<AtomicU64>,
+    /// Task panics caught and deferred to the scope boundary.
+    pub(crate) panics: CachePadded<AtomicU64>,
 }
 
 /// An immutable snapshot of one worker's counters.
@@ -36,6 +38,8 @@ pub struct WorkerSnapshot {
     pub injected: u64,
     /// Times the worker parked.
     pub parks: u64,
+    /// Task panics this worker caught (recovery events, not crashes).
+    pub panics: u64,
 }
 
 impl WorkerSnapshot {
@@ -62,6 +66,10 @@ impl WorkerStats {
         self.parks.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads the current counter values.
     pub fn snapshot(&self) -> WorkerSnapshot {
         WorkerSnapshot {
@@ -69,6 +77,7 @@ impl WorkerStats {
             stolen: self.stolen.load(Ordering::Relaxed),
             injected: self.injected.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -89,6 +98,13 @@ impl PoolStats {
     /// Total steals across workers.
     pub fn total_stolen(&self) -> u64 {
         self.workers.iter().map(|w| w.stolen).sum()
+    }
+
+    /// Total task panics caught across workers. Non-zero means some work
+    /// unwound and was recovered at a scope boundary — results computed in
+    /// that scope may be partial.
+    pub fn panics_caught(&self) -> u64 {
+        self.workers.iter().map(|w| w.panics).sum()
     }
 
     /// Fraction of executed tasks that migrated (steal or injector) rather
@@ -119,11 +135,13 @@ mod tests {
         s.count_stolen();
         s.count_injected();
         s.count_park();
+        s.count_panic();
         let snap = s.snapshot();
         assert_eq!(snap.local, 2);
         assert_eq!(snap.stolen, 1);
         assert_eq!(snap.injected, 1);
         assert_eq!(snap.parks, 1);
+        assert_eq!(snap.panics, 1);
         assert_eq!(snap.executed(), 4);
     }
 
@@ -136,17 +154,20 @@ mod tests {
                     stolen: 2,
                     injected: 2,
                     parks: 0,
+                    panics: 1,
                 },
                 WorkerSnapshot {
                     local: 4,
                     stolen: 4,
                     injected: 2,
                     parks: 1,
+                    panics: 2,
                 },
             ],
         };
         assert_eq!(stats.total_executed(), 20);
         assert_eq!(stats.total_stolen(), 6);
+        assert_eq!(stats.panics_caught(), 3);
         assert!((stats.migration_fraction() - 0.5).abs() < 1e-12);
     }
 

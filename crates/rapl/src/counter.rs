@@ -57,6 +57,7 @@ pub struct EnergyCounter {
     units: RaplUnits,
     last_raw: u32,
     accumulated_joules: f64,
+    wraps: u64,
 }
 
 impl EnergyCounter {
@@ -66,6 +67,7 @@ impl EnergyCounter {
             units,
             last_raw: initial_raw,
             accumulated_joules: 0.0,
+            wraps: 0,
         }
     }
 
@@ -76,6 +78,10 @@ impl EnergyCounter {
     /// undetectable — the meter must sample faster than the counter's
     /// wrap period, [`RaplUnits::wrap_joules`] over the load's watts.)
     pub fn update(&mut self, raw: u32) -> f64 {
+        if raw < self.last_raw {
+            // The register moved backwards: a wraparound was corrected.
+            self.wraps += 1;
+        }
         let delta_ticks = raw.wrapping_sub(self.last_raw);
         self.last_raw = raw;
         let joules = self.units.raw_to_joules(delta_ticks);
@@ -86,6 +92,12 @@ impl EnergyCounter {
     /// Total joules accumulated since construction.
     pub fn total_joules(&self) -> f64 {
         self.accumulated_joules
+    }
+
+    /// Wraparounds corrected since construction (backwards register
+    /// movements interpreted as wraps).
+    pub fn wraps_corrected(&self) -> u64 {
+        self.wraps
     }
 }
 
@@ -155,5 +167,53 @@ mod tests {
         let mut c = EnergyCounter::new(RaplUnits::default(), 42);
         assert_eq!(c.update(42), 0.0);
         assert_eq!(c.total_joules(), 0.0);
+        assert_eq!(c.wraps_corrected(), 0);
+    }
+
+    #[test]
+    fn multi_wrap_sequence_counts_every_wrap() {
+        // Three laps around the register, sampled often enough that each
+        // wrap is visible; total energy = 3 wraps + net forward movement.
+        let u = RaplUnits::default();
+        let mut c = EnergyCounter::new(u, 0);
+        let mut raw = 0u32;
+        let step = u32::MAX / 7 + 1; // ~0.14 of range per sample
+        let laps = 3 * 8; // 3 full wraps at 8 samples per lap
+        let mut expect_ticks = 0u64;
+        for _ in 0..laps {
+            raw = raw.wrapping_add(step);
+            c.update(raw);
+            expect_ticks += u64::from(step);
+        }
+        assert_eq!(c.wraps_corrected(), 3);
+        let expect = expect_ticks as f64 * u.joules_per_tick();
+        assert!((c.total_joules() - expect).abs() < 1e-6 * expect);
+    }
+
+    #[test]
+    fn stuck_counter_accumulates_nothing() {
+        let mut c = EnergyCounter::new(RaplUnits::default(), 777);
+        for _ in 0..100 {
+            assert_eq!(c.update(777), 0.0);
+        }
+        assert_eq!(c.total_joules(), 0.0);
+        assert_eq!(c.wraps_corrected(), 0);
+    }
+
+    #[test]
+    fn backwards_jump_reads_as_wrap() {
+        // A garbage backwards jump is indistinguishable from a wrap at this
+        // layer: the counter must interpret it as one (huge wrapped delta)
+        // and report the wrap, so the resilient layer above can veto it.
+        let u = RaplUnits::default();
+        let mut c = EnergyCounter::new(u, 1_000_000);
+        let j = c.update(999_000); // 1000 ticks "backwards"
+        assert_eq!(c.wraps_corrected(), 1);
+        let expect = u.raw_to_joules(u32::MAX - 1000 + 1);
+        assert!((j - expect).abs() < 1e-9, "j={j} expect={expect}");
+        // Recovery after the jump: normal forward deltas keep working.
+        let j2 = c.update(999_000 + 16_384);
+        assert!((j2 - 1.0).abs() < 1e-12);
+        assert_eq!(c.wraps_corrected(), 1);
     }
 }

@@ -44,14 +44,18 @@
 
 mod counter;
 mod domain;
+pub mod fault;
 mod meter;
 pub mod model;
 pub mod msr;
+pub mod resilient;
 pub mod sysfs;
 
 pub use counter::{EnergyCounter, RaplUnits};
 pub use domain::{Domain, ALL_DOMAINS};
-pub use meter::{EnergyMeter, EnergyReport};
+pub use fault::{FaultConfig, FaultInjectingReader};
+pub use meter::{EnergyMeter, EnergyReport, SampleQuality};
+pub use resilient::{DomainHealth, DomainQuality, ResilientConfig, ResilientReader};
 
 /// A backend that exposes RAPL-style raw energy counters.
 pub trait EnergyReader {
@@ -61,4 +65,12 @@ pub trait EnergyReader {
     fn read_raw(&mut self, domain: Domain) -> Option<u32>;
     /// Unit scaling for this package.
     fn units(&self) -> RaplUnits;
+    /// Health of one domain, as judged by this backend. Plain backends
+    /// have no failure tracking and report every domain healthy; the
+    /// [`ResilientReader`] decorator overrides this with its observed
+    /// per-domain state, which the [`EnergyMeter`] folds into report
+    /// quality metadata.
+    fn health(&self, _domain: Domain) -> DomainHealth {
+        DomainHealth::Healthy
+    }
 }

@@ -2,7 +2,34 @@
 
 use crate::counter::EnergyCounter;
 use crate::domain::Domain;
+use crate::resilient::DomainHealth;
 use crate::EnergyReader;
+
+/// Per-domain measurement quality over one metered interval.
+///
+/// `attempted`/`failed` count [`EnergyMeter::sample`] reads (including the
+/// final one taken by [`EnergyMeter::finish`]); `health` is the backend's
+/// verdict at finish time. A domain with any failed samples or non-Healthy
+/// finish state marks the whole report degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SampleQuality {
+    /// Samples attempted for this domain.
+    pub attempted: u64,
+    /// Samples that returned no reading (`read_raw -> None`).
+    pub failed: u64,
+    /// Counter wraparounds corrected while integrating.
+    pub wraps_corrected: u64,
+    /// Backend health verdict when the measurement finished.
+    pub health: DomainHealth,
+}
+
+impl SampleQuality {
+    /// True when every sample landed and the domain finished healthy.
+    pub fn is_clean(&self) -> bool {
+        self.failed == 0 && self.health == DomainHealth::Healthy
+    }
+}
 
 /// Integrated energy per domain over one measured interval.
 #[derive(Debug, Clone, PartialEq)]
@@ -12,6 +39,8 @@ pub struct EnergyReport {
     pub joules: Vec<(Domain, f64)>,
     /// Interval length in seconds.
     pub elapsed: f64,
+    /// Per-domain sample quality, same order as `joules`.
+    pub quality: Vec<(Domain, SampleQuality)>,
 }
 
 impl EnergyReport {
@@ -30,36 +59,80 @@ impl EnergyReport {
         }
         self.joules_for(domain).map(|j| j / self.elapsed)
     }
+
+    /// Sample quality for one domain.
+    pub fn quality_for(&self, domain: Domain) -> Option<SampleQuality> {
+        self.quality
+            .iter()
+            .find(|&&(d, _)| d == domain)
+            .map(|&(_, q)| q)
+    }
+
+    /// True when any tracked domain lost samples or finished unhealthy.
+    pub fn is_degraded(&self) -> bool {
+        self.quality.iter().any(|(_, q)| !q.is_clean())
+    }
+
+    /// Domains that lost samples or finished unhealthy.
+    pub fn degraded_domains(&self) -> Vec<Domain> {
+        self.quality
+            .iter()
+            .filter(|(_, q)| !q.is_clean())
+            .map(|&(d, _)| d)
+            .collect()
+    }
 }
 
 /// Samples an [`EnergyReader`] and integrates wrap-corrected deltas — the
 /// equivalent of the paper's PAPI-instrumented driver loop.
 pub struct EnergyMeter {
-    counters: Vec<(Domain, EnergyCounter)>,
+    counters: Vec<(Domain, Tracked)>,
+}
+
+struct Tracked {
+    counter: EnergyCounter,
+    attempted: u64,
+    failed: u64,
 }
 
 impl EnergyMeter {
-    /// Begins a measurement: snapshots every domain.
+    /// Begins a measurement: snapshots every domain. Domains whose opening
+    /// read fails are dropped from the report entirely (there is no
+    /// baseline to integrate from); callers detect that as a missing
+    /// plane, not a degraded one.
     pub fn start<R: EnergyReader + ?Sized>(reader: &mut R) -> Self {
         let units = reader.units();
         let counters = reader
             .domains()
             .into_iter()
             .filter_map(|d| {
-                reader
-                    .read_raw(d)
-                    .map(|raw| (d, EnergyCounter::new(units, raw)))
+                reader.read_raw(d).map(|raw| {
+                    (
+                        d,
+                        Tracked {
+                            counter: EnergyCounter::new(units, raw),
+                            attempted: 0,
+                            failed: 0,
+                        },
+                    )
+                })
             })
             .collect();
         EnergyMeter { counters }
     }
 
     /// Takes an intermediate sample (must run at least once per counter
-    /// wrap period; the harness samples every simulated 100 ms).
+    /// wrap period; the harness samples every simulated 100 ms). Failed
+    /// reads are counted, not fatal — the next successful sample still
+    /// integrates the full wrap-corrected delta.
     pub fn sample<R: EnergyReader + ?Sized>(&mut self, reader: &mut R) {
-        for (d, c) in &mut self.counters {
-            if let Some(raw) = reader.read_raw(*d) {
-                c.update(raw);
+        for (d, t) in &mut self.counters {
+            t.attempted += 1;
+            match reader.read_raw(*d) {
+                Some(raw) => {
+                    t.counter.update(raw);
+                }
+                None => t.failed += 1,
             }
         }
     }
@@ -71,13 +144,30 @@ impl EnergyMeter {
         elapsed: f64,
     ) -> EnergyReport {
         self.sample(reader);
+        let joules = self
+            .counters
+            .iter()
+            .map(|(d, t)| (*d, t.counter.total_joules()))
+            .collect();
+        let quality = self
+            .counters
+            .iter()
+            .map(|(d, t)| {
+                (
+                    *d,
+                    SampleQuality {
+                        attempted: t.attempted,
+                        failed: t.failed,
+                        wraps_corrected: t.counter.wraps_corrected(),
+                        health: reader.health(*d),
+                    },
+                )
+            })
+            .collect();
         EnergyReport {
-            joules: self
-                .counters
-                .iter()
-                .map(|(d, c)| (*d, c.total_joules()))
-                .collect(),
+            joules,
             elapsed,
+            quality,
         }
     }
 }
@@ -98,6 +188,11 @@ mod tests {
         let report = m.finish(&mut r, 5.0);
         assert!((report.joules_for(Domain::Package).unwrap() - 150.0).abs() < 0.1);
         assert!((report.avg_watts(Domain::Dram).unwrap() - 3.0).abs() < 0.05);
+        assert!(!report.is_degraded());
+        let q = report.quality_for(Domain::Package).unwrap();
+        assert_eq!(q.attempted, 51); // 50 samples + finish
+        assert_eq!(q.failed, 0);
+        assert_eq!(q.health, DomainHealth::Healthy);
     }
 
     #[test]
@@ -114,6 +209,9 @@ mod tests {
         let report = m.finish(&mut r, 3.0);
         let j = report.joules_for(Domain::PP0).unwrap();
         assert!((j - 300.0).abs() < 0.1, "j = {j}");
+        let q = report.quality_for(Domain::PP0).unwrap();
+        assert_eq!(q.wraps_corrected, 1);
+        assert!(!report.is_degraded(), "a corrected wrap is not degradation");
     }
 
     #[test]
@@ -132,5 +230,81 @@ mod tests {
         let report = m.finish(&mut r, 1.0);
         assert!(report.joules.is_empty());
         assert_eq!(report.joules_for(Domain::Package), None);
+        assert!(!report.is_degraded());
+    }
+
+    #[test]
+    fn failed_samples_mark_report_degraded() {
+        struct FlakyOnce {
+            inner: ModelReader,
+            fail_next: bool,
+        }
+        impl EnergyReader for FlakyOnce {
+            fn domains(&self) -> Vec<Domain> {
+                self.inner.domains()
+            }
+            fn read_raw(&mut self, d: Domain) -> Option<u32> {
+                if self.fail_next {
+                    self.fail_next = false;
+                    return None;
+                }
+                self.inner.read_raw(d)
+            }
+            fn units(&self) -> crate::RaplUnits {
+                self.inner.units()
+            }
+        }
+        let mut r = FlakyOnce {
+            inner: ModelReader::from_powers(&[(Domain::Package, 50.0)]),
+            fail_next: false,
+        };
+        let mut m = EnergyMeter::start(&mut r);
+        for i in 0..10 {
+            r.inner.advance(0.1);
+            r.fail_next = i == 4;
+            m.sample(&mut r);
+        }
+        r.fail_next = false;
+        let report = m.finish(&mut r, 1.0);
+        // Energy is deferred, not lost, across the failed sample.
+        assert!((report.joules_for(Domain::Package).unwrap() - 50.0).abs() < 0.1);
+        assert!(report.is_degraded());
+        assert_eq!(report.degraded_domains(), vec![Domain::Package]);
+        let q = report.quality_for(Domain::Package).unwrap();
+        assert_eq!(q.attempted, 11);
+        assert_eq!(q.failed, 1);
+    }
+
+    #[test]
+    fn unhealthy_finish_state_marks_report_degraded() {
+        struct SickReader(ModelReader);
+        impl EnergyReader for SickReader {
+            fn domains(&self) -> Vec<Domain> {
+                self.0.domains()
+            }
+            fn read_raw(&mut self, d: Domain) -> Option<u32> {
+                self.0.read_raw(d)
+            }
+            fn units(&self) -> crate::RaplUnits {
+                self.0.units()
+            }
+            fn health(&self, d: Domain) -> DomainHealth {
+                match d {
+                    Domain::Dram => DomainHealth::Flaky,
+                    _ => DomainHealth::Healthy,
+                }
+            }
+        }
+        let mut r = SickReader(ModelReader::from_powers(&[
+            (Domain::Package, 30.0),
+            (Domain::Dram, 3.0),
+        ]));
+        let mut m = EnergyMeter::start(&mut r);
+        r.0.advance(1.0);
+        m.sample(&mut r);
+        let report = m.finish(&mut r, 1.0);
+        assert!(report.is_degraded());
+        assert_eq!(report.degraded_domains(), vec![Domain::Dram]);
+        assert!(report.quality_for(Domain::Package).unwrap().is_clean());
     }
 }

@@ -105,8 +105,12 @@ impl EnergyReader for SysfsReader {
         let text = std::fs::read_to_string(&zone.energy_file).ok()?;
         let uj: u64 = text.trim().parse().ok()?;
         // Convert microjoules to the raw tick domain so downstream code is
-        // backend-agnostic.
-        Some(self.units().joules_to_raw_wrapping(uj as f64 / 1e6))
+        // backend-agnostic. Integer math throughout: a u64 microjoule count
+        // exceeds f64's 53-bit mantissa after ~104 days of counting, and the
+        // low bits we'd lose are exactly the ones wrap-corrected deltas
+        // depend on. ticks = uj * 2^esu / 1e6, wrapped into 32 bits.
+        let ticks = ((uj as u128) << self.units().esu_exponent) / 1_000_000;
+        Some((ticks & 0xFFFF_FFFF) as u32)
     }
 
     fn units(&self) -> RaplUnits {
@@ -193,6 +197,26 @@ mod tests {
         fs::write(d2.join("energy_uj"), "1").unwrap();
         let r = SysfsReader::from_root(&root);
         assert!(!r.is_available());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn huge_counter_keeps_tick_precision() {
+        // Near u64::MAX microjoules, the old u64 → f64 → ticks round trip
+        // lost the low ~10 bits (f64 has a 53-bit mantissa; the value needs
+        // 63), corrupting exactly the small deltas wrap correction relies
+        // on. Integer conversion must keep a ~61 µJ (1-tick) step visible.
+        let root = tmpdir("huge");
+        let base: u64 = (1 << 62) + 123_456_789; // ~4.6e18 µJ
+        fake_tree(&root, &[("intel-rapl:0", "package-0", base)]);
+        let mut r = SysfsReader::from_root(&root);
+        let r0 = r.read_raw(Domain::Package).unwrap();
+        fs::write(root.join("intel-rapl:0/energy_uj"), (base + 62).to_string()).unwrap();
+        let r1 = r.read_raw(Domain::Package).unwrap();
+        let delta = r1.wrapping_sub(r0);
+        // 62 µJ at 2^-14 J/tick is ~1.016 ticks; rounding puts it at 1 ± 1.
+        assert!(delta <= 2, "delta = {delta} ticks, precision lost");
+        assert!(delta >= 1, "delta = {delta} ticks, step invisible");
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -1,7 +1,10 @@
 //! Property-based tests for RAPL counter arithmetic and the meter.
 
+use powerscale_rapl::fault::{FaultConfig, FaultInjectingReader};
 use powerscale_rapl::model::ModelReader;
-use powerscale_rapl::{Domain, EnergyCounter, EnergyMeter, RaplUnits};
+use powerscale_rapl::{
+    Domain, DomainHealth, EnergyCounter, EnergyMeter, EnergyReader, RaplUnits, ResilientReader,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -82,5 +85,116 @@ proptest! {
         let report = m.finish(&mut r, total / watts);
         let j = report.joules_for(Domain::PP0).unwrap();
         prop_assert!((j - total).abs() < 0.001 * total, "j {j} vs {total}");
+    }
+
+    #[test]
+    fn resilient_energy_stays_sane_under_any_fault_schedule(
+        seed in any::<u64>(),
+        watts in 10.0f64..200.0,
+        transient in 0.0f64..0.4,
+        torn in 0.0f64..0.15,
+        wraps in 0.0f64..0.05,
+        stuck in 0.0f64..0.05,
+    ) {
+        // Whatever the fault mix, the sanitised measurement must stay
+        // within the physically-possible envelope: never above true energy
+        // by more than sampling noise (garbage must not inflate it), and
+        // never below it by more than what resets/stuck tails can drop.
+        let cfg = FaultConfig::with_seed(seed)
+            .transient(transient)
+            .torn(torn)
+            .wraps(wraps)
+            .stuck(stuck, 3);
+        let inner = ModelReader::from_powers(&[(Domain::Package, watts)]);
+        let mut r = ResilientReader::new(FaultInjectingReader::new(inner, cfg));
+        let mut m = EnergyMeter::start(&mut r);
+        let steps = 120usize;
+        let dt = 0.1f64;
+        for _ in 0..steps {
+            r.inner_mut().inner_mut().advance(dt);
+            m.sample(&mut r);
+        }
+        let elapsed = steps as f64 * dt;
+        let report = m.finish(&mut r, elapsed);
+        let j = report.joules_for(Domain::Package).unwrap();
+        let true_j = watts * elapsed;
+        let per_sample = watts * dt;
+        // Upper bound: true energy + sampling slack + the unavoidable
+        // garbage tail. A torn value landing inside the plausibility
+        // window (p ≈ 2^24/2^32 per torn read) is indistinguishable from
+        // real data and can add up to max_step_ticks ≈ 1 kJ — but never
+        // the ~262 kJ an unsanitised wild read would inject.
+        let stats = r.inner().stats(Domain::Package);
+        let max_step_j = (1u64 << 24) as f64 * r.units().joules_per_tick();
+        prop_assert!(
+            j <= true_j + 4.0 * per_sample + stats.torn as f64 * max_step_j,
+            "j {j} vs true {true_j} with {} torn reads",
+            stats.torn
+        );
+        // Lower bound: each rebased reset or stuck-read tail drops at most
+        // ~one interval; failed samples defer energy rather than lose it.
+        let q = r.quality(Domain::Package);
+        let dropped_budget =
+            (q.resets_rebased + q.stuck_episodes * 4 + q.garbage_discarded + 4) as f64
+                * per_sample;
+        prop_assert!(
+            j >= true_j - dropped_budget,
+            "j {j} vs true {true_j}, budget {dropped_budget}"
+        );
+        // Quality accounting must reflect what the schedule injected.
+        if stats.transient == 0
+            && stats.torn == 0
+            && stats.wraps_forced == 0
+            && stats.stuck_episodes == 0
+        {
+            prop_assert!(q.is_clean());
+            prop_assert!(!report.is_degraded());
+        }
+    }
+
+    #[test]
+    fn resilient_reader_is_deterministic_for_any_seed(
+        seed in any::<u64>(),
+        transient in 0.0f64..0.5,
+    ) {
+        let run = || {
+            let cfg = FaultConfig::with_seed(seed)
+                .transient(transient)
+                .torn(0.05)
+                .wraps(0.01)
+                .kill(Domain::Dram, 40);
+            let inner = ModelReader::from_powers(&[
+                (Domain::Package, 50.0),
+                (Domain::Dram, 4.0),
+            ]);
+            let mut r = ResilientReader::new(FaultInjectingReader::new(inner, cfg));
+            let mut out = Vec::new();
+            for _ in 0..80 {
+                r.inner_mut().inner_mut().advance(0.1);
+                out.push((r.read_raw(Domain::Package), r.read_raw(Domain::Dram)));
+            }
+            (out, r.qualities(), r.health(Domain::Dram))
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn killed_domain_always_demoted_dead(
+        seed in any::<u64>(),
+        kill_after in 0u64..30,
+    ) {
+        let cfg = FaultConfig::with_seed(seed).kill(Domain::Dram, kill_after);
+        let inner = ModelReader::from_powers(&[(Domain::Package, 50.0), (Domain::Dram, 4.0)]);
+        let mut r = ResilientReader::new(FaultInjectingReader::new(inner, cfg));
+        for _ in 0..80 {
+            r.inner_mut().inner_mut().advance(0.1);
+            let _ = r.read_raw(Domain::Package);
+            let _ = r.read_raw(Domain::Dram);
+        }
+        prop_assert_eq!(r.health(Domain::Dram), DomainHealth::Dead);
+        prop_assert_eq!(r.read_raw(Domain::Dram), None);
+        // The surviving plane never degrades from a neighbour's death.
+        prop_assert_eq!(r.health(Domain::Package), DomainHealth::Healthy);
+        prop_assert!(r.quality(Domain::Package).is_clean());
     }
 }
