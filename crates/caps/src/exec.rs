@@ -1,12 +1,32 @@
 //! The CAPS executor: BFS task spawning above the cutoff depth, DFS
 //! work-sharing below it.
+//!
+//! The recursion works in **Set semantics** (`dst = A · B`) with the same
+//! in-place Classic combine schedule as `powerscale_strassen` — 18
+//! elementwise passes per node, quadrant sums fused into the leaf packing
+//! pass, and a single half-size scratch matrix on the DFS path — so a
+//! sequential CAPS run is bitwise identical to a sequential Strassen run.
+//!
+//! On top of that, the BFS phase is **group-affine**: with seven or more
+//! pool workers, [`multiply`] partitions the pool into seven strict worker
+//! groups (one per root sub-product) and pins each root BFS task to its
+//! group's first worker. Descendant tasks go to their spawner's own deque
+//! and strict stealing keeps them inside the group, so the only task
+//! migrations are intra-group — the executor's realisation of the paper's
+//! claim that BFS steps place operands once and communicate no further.
+//! The pool's in-/cross-group steal split is attributed to the run's event
+//! set for the Eq. 8 communication model.
 
 use crate::config::CapsConfig;
-use powerscale_counters::{Event, EventSet};
+use powerscale_counters::EventSet;
 use powerscale_gemm::arena;
-use powerscale_gemm::leaf::leaf_gemm;
-use powerscale_matrix::{ops, pad, DimError, DimResult, Matrix, MatrixView, MatrixViewMut};
+use powerscale_gemm::leaf::{leaf_gemm_fused, Accum, Operand};
+use powerscale_matrix::{pad, DimError, DimResult, Matrix, MatrixView, MatrixViewMut};
 use powerscale_pool::ThreadPool;
+use powerscale_strassen::accounting::{
+    add_pass, record_level, record_spawns, record_steal_delta, steal_snapshot, sub_pass,
+};
+use powerscale_strassen::resolve_operand;
 
 /// `A · B` by the CAPS hybrid traversal.
 ///
@@ -19,11 +39,8 @@ pub fn multiply(
     pool: Option<&ThreadPool>,
     events: Option<&EventSet>,
 ) -> DimResult<Matrix> {
-    cfg.validate().map_err(|_| DimError::NotDivisible {
-        op: "caps",
-        dim: cfg.cutoff,
-        by: 2,
-    })?;
+    cfg.validate()
+        .map_err(|reason| DimError::InvalidConfig { op: "caps", reason })?;
     if !a.is_square() || !b.is_square() || a.shape() != b.shape() {
         return Err(DimError::Mismatch {
             op: "caps",
@@ -35,11 +52,42 @@ pub fn multiply(
     if n == 0 {
         return Ok(Matrix::zeros(0, 0));
     }
+
+    // Group-affine plan: when a BFS phase lies ahead and the pool is wide
+    // enough, dedicate one strict worker group to each of the seven root
+    // sub-products and seed each root task onto its group's first worker.
+    // The guard restores free-for-all stealing when the multiply returns.
+    let mut seed: Option<[usize; 7]> = None;
+    let _groups = match pool {
+        Some(p) if cfg.cutoff_depth > 0 && n > cfg.cutoff && p.num_threads() >= 7 => {
+            let per = p.num_threads() / 7;
+            let ranges: Vec<std::ops::Range<usize>> = (0..7)
+                .map(|g| {
+                    let start = g * per;
+                    // The last group absorbs the remainder workers.
+                    let end = if g == 6 { p.num_threads() } else { start + per };
+                    start..end
+                })
+                .collect();
+            let guard = p.try_install_groups(&ranges, true);
+            if guard.is_some() {
+                let mut ws = [0usize; 7];
+                for (g, w) in ws.iter_mut().enumerate() {
+                    *w = g * per;
+                }
+                seed = Some(ws);
+            }
+            guard
+        }
+        _ => None,
+    };
+
+    let snap = steal_snapshot(pool);
     let target = pad::next_recursive_size(n, cfg.cutoff);
-    if target == n {
+    let result = if target == n {
         let mut c = Matrix::zeros(n, n);
-        rec(*a, *b, &mut c.view_mut(), 0, cfg, pool, events);
-        Ok(c)
+        rec(*a, *b, &mut c.view_mut(), 0, cfg, pool, events, seed);
+        c
     } else {
         let pa = pad::pad_to(a, target);
         let pb = pad::pad_to(b, target);
@@ -52,60 +100,93 @@ pub fn multiply(
             cfg,
             pool,
             events,
+            seed,
         );
-        Ok(pad::crop(&pc.view(), n, n))
-    }
+        pad::crop(&pc.view(), n, n)
+    };
+    record_steal_delta(events, pool, snap);
+    Ok(result)
 }
 
-fn record_add(events: Option<&EventSet>, h: usize) {
-    if let Some(set) = events {
-        let hh = (h * h) as u64;
-        set.record(Event::FpAdds, hh);
-        set.record(Event::BytesRead, 16 * hh);
-        set.record(Event::BytesWritten, 8 * hh);
-    }
+/// The recursion reverts to the dense leaf at or below the cutover size.
+fn is_leaf(n: usize, cutoff: usize) -> bool {
+    n <= cutoff || n % 2 != 0
 }
 
-/// Work-shared `dst += a · b` over row bands: the DFS leaf step, where all
-/// workers cooperate on one dense product (OpenMP work-sharing in the
-/// paper).
+/// Work-shared `dst (accum)= A · B` over row bands: the DFS leaf step,
+/// where all workers cooperate on one dense product (OpenMP work-sharing
+/// in the paper).
+///
+/// A fused A operand bands along with its row range
+/// ([`Operand::sub_rows`]); band boundaries leave every element's
+/// k-accumulation order unchanged, so banded results are bitwise identical
+/// to an unsplit leaf. A fused B operand would be repacked in full by
+/// every band, so it is evaluated once up front instead (one accounted
+/// pass — exactly what an unsplit fused leaf charges) and the bands pack
+/// the plain view.
 fn shared_leaf(
-    a: MatrixView<'_>,
-    b: MatrixView<'_>,
+    a: Operand<'_>,
+    b: Operand<'_>,
     c: &mut MatrixViewMut<'_>,
+    accum: Accum,
     ways: usize,
     pool: Option<&ThreadPool>,
     events: Option<&EventSet>,
 ) {
     match pool {
         Some(p) if ways > 1 && c.rows() >= 2 * ways => {
+            let bm = resolve_operand(b, c.cols(), pool, events);
+            let b = Operand::View(bm.view());
             let bands = c.reborrow().split_row_bands(ways);
             let mut row0 = 0usize;
-            let mut jobs: Vec<(MatrixView<'_>, MatrixViewMut<'_>)> = Vec::new();
+            let mut jobs: Vec<(Operand<'_>, MatrixViewMut<'_>)> = Vec::new();
             for band in bands {
                 let rows = band.rows();
-                let asub = a
-                    .sub_view((row0, 0), (rows, a.cols()))
-                    .expect("band rows within A");
+                let asub = a.sub_rows(row0, rows).expect("band rows within A");
                 jobs.push((asub, band));
                 row0 += rows;
             }
             p.scope(|s| {
                 for (asub, mut band) in jobs {
                     s.spawn(move |_| {
-                        leaf_gemm(&asub, &b, &mut band, events)
+                        leaf_gemm_fused(asub, b, &mut band, accum, events)
                             .expect("band shapes valid by construction");
                     });
                 }
             });
         }
         _ => {
-            leaf_gemm(&a, &b, c, events).expect("leaf shapes valid by construction");
+            leaf_gemm_fused(a, b, c, accum, events).expect("leaf shapes valid by construction");
         }
     }
 }
 
-/// `c += a · b`, hybrid traversal.
+/// One sub-product `dst = A · B` with unevaluated operand sums: fused into
+/// the work-shared leaf at the cutover, materialised once and recursed
+/// otherwise.
+fn product(
+    a: Operand<'_>,
+    b: Operand<'_>,
+    dst: &mut MatrixViewMut<'_>,
+    depth: u32,
+    cfg: &CapsConfig,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) {
+    let h = dst.rows();
+    if is_leaf(h, cfg.cutoff) {
+        shared_leaf(a, b, dst, Accum::Set, cfg.dfs_ways, pool, events);
+        return;
+    }
+    let am = resolve_operand(a, h, pool, events);
+    let bm = resolve_operand(b, h, pool, events);
+    rec(am.view(), bm.view(), dst, depth, cfg, pool, events, None);
+}
+
+/// `c = a · b`, hybrid traversal. `c` is fully overwritten. `seed` pins
+/// the seven sub-tasks of the *first* BFS node onto specific workers (one
+/// per group) and is consumed there.
+#[allow(clippy::too_many_arguments)]
 fn rec(
     a: MatrixView<'_>,
     b: MatrixView<'_>,
@@ -114,181 +195,271 @@ fn rec(
     cfg: &CapsConfig,
     pool: Option<&ThreadPool>,
     events: Option<&EventSet>,
+    seed: Option<[usize; 7]>,
 ) {
     let n = a.rows();
-    if n <= cfg.cutoff || n % 2 != 0 {
+    if is_leaf(n, cfg.cutoff) {
         // Dense cutover. In DFS mode every worker cooperates on it.
-        shared_leaf(a, b, c, cfg.dfs_ways, pool, events);
+        shared_leaf(
+            Operand::View(a),
+            Operand::View(b),
+            c,
+            Accum::Set,
+            cfg.dfs_ways,
+            pool,
+            events,
+        );
         return;
     }
-    if let Some(set) = events {
-        set.record(Event::RecursionLevels, 1);
+    record_level(events);
+    if depth < cfg.cutoff_depth && pool.is_some() {
+        bfs_node(a, b, c, depth, cfg, pool, events, seed);
+    } else {
+        dfs_node(a, b, c, depth, cfg, pool, events);
     }
-    let bfs = depth < cfg.cutoff_depth && pool.is_some();
+}
 
-    let h = n / 2;
+/// DFS step: the seven sub-products in sequence (each internally
+/// work-shared, no data migrates), with the in-place Classic combine
+/// schedule — 18 elementwise passes, one half-size scratch matrix.
+fn dfs_node(
+    a: MatrixView<'_>,
+    b: MatrixView<'_>,
+    c: &mut MatrixViewMut<'_>,
+    depth: u32,
+    cfg: &CapsConfig,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) {
+    let h = a.rows() / 2;
     let qa = a.quadrants().expect("even dimension");
     let qb = b.quadrants().expect("even dimension");
     let (a11, a12, a21, a22) = (qa.a11, qa.a12, qa.a21, qa.a22);
     let (b11, b12, b21, b22) = (qb.a11, qb.a12, qb.a21, qb.a22);
-
-    // Product accumulators: zero-filled arena leases. In steady state
-    // (warm per-thread free lists) a DFS node allocates nothing.
-    let mut q1 = arena::matrix(h, h);
-    let mut q2 = arena::matrix(h, h);
-    let mut q3 = arena::matrix(h, h);
-    let mut q4 = arena::matrix(h, h);
-    let mut q5 = arena::matrix(h, h);
-    let mut q6 = arena::matrix(h, h);
-    let mut q7 = arena::matrix(h, h);
-    {
-        let (r1, r2, r3, r4, r5, r6, r7) = (
-            &mut *q1, &mut *q2, &mut *q3, &mut *q4, &mut *q5, &mut *q6, &mut *q7,
-        );
-        let d = depth + 1;
-        // Operand scratch is leased uninit inside each closure —
-        // `add_into`/`sub_into` overwrite it in full — and returns to the
-        // arena of whichever worker executes the closure.
-        let mut job1 = move || {
-            let mut tl = arena::matrix_uninit(h, h);
-            let mut tr = arena::matrix_uninit(h, h);
-            ops::add_into(&a11, &a22, &mut tl.view_mut()).expect("quadrant shapes");
-            ops::add_into(&b11, &b22, &mut tr.view_mut()).expect("quadrant shapes");
-            record_add(events, h);
-            record_add(events, h);
-            rec(
-                tl.view(),
-                tr.view(),
-                &mut r1.view_mut(),
-                d,
-                cfg,
-                pool,
-                events,
-            );
-        };
-        let mut job2 = move || {
-            let mut tl = arena::matrix_uninit(h, h);
-            ops::add_into(&a21, &a22, &mut tl.view_mut()).expect("quadrant shapes");
-            record_add(events, h);
-            rec(tl.view(), b11, &mut r2.view_mut(), d, cfg, pool, events);
-        };
-        let mut job3 = move || {
-            let mut tr = arena::matrix_uninit(h, h);
-            ops::sub_into(&b12, &b22, &mut tr.view_mut()).expect("quadrant shapes");
-            record_add(events, h);
-            rec(a11, tr.view(), &mut r3.view_mut(), d, cfg, pool, events);
-        };
-        let mut job4 = move || {
-            let mut tr = arena::matrix_uninit(h, h);
-            ops::sub_into(&b21, &b11, &mut tr.view_mut()).expect("quadrant shapes");
-            record_add(events, h);
-            rec(a22, tr.view(), &mut r4.view_mut(), d, cfg, pool, events);
-        };
-        let mut job5 = move || {
-            let mut tl = arena::matrix_uninit(h, h);
-            ops::add_into(&a11, &a12, &mut tl.view_mut()).expect("quadrant shapes");
-            record_add(events, h);
-            rec(tl.view(), b22, &mut r5.view_mut(), d, cfg, pool, events);
-        };
-        let mut job6 = move || {
-            let mut tl = arena::matrix_uninit(h, h);
-            let mut tr = arena::matrix_uninit(h, h);
-            ops::sub_into(&a21, &a11, &mut tl.view_mut()).expect("quadrant shapes");
-            ops::add_into(&b11, &b12, &mut tr.view_mut()).expect("quadrant shapes");
-            record_add(events, h);
-            record_add(events, h);
-            rec(
-                tl.view(),
-                tr.view(),
-                &mut r6.view_mut(),
-                d,
-                cfg,
-                pool,
-                events,
-            );
-        };
-        let mut job7 = move || {
-            let mut tl = arena::matrix_uninit(h, h);
-            let mut tr = arena::matrix_uninit(h, h);
-            ops::sub_into(&a12, &a22, &mut tl.view_mut()).expect("quadrant shapes");
-            ops::add_into(&b21, &b22, &mut tr.view_mut()).expect("quadrant shapes");
-            record_add(events, h);
-            record_add(events, h);
-            rec(
-                tl.view(),
-                tr.view(),
-                &mut r7.view_mut(),
-                d,
-                cfg,
-                pool,
-                events,
-            );
-        };
-        if bfs {
-            // BFS step: the seven sub-problems fan out to disjoint workers
-            // with their own buffers; operands are placed once.
-            if let Some(set) = events {
-                set.record(Event::TasksSpawned, 7);
-                set.record(Event::CommBytes, 7 * 2 * 8 * (h * h) as u64);
-            }
-            pool.expect("bfs implies pool").scope(|s| {
-                s.spawn(move |_| job1());
-                s.spawn(move |_| job2());
-                s.spawn(move |_| job3());
-                s.spawn(move |_| job4());
-                s.spawn(move |_| job5());
-                s.spawn(move |_| job6());
-                s.spawn(move |_| job7());
-            });
-        } else {
-            // DFS step: the seven sub-problems in sequence; each is fully
-            // parallelised internally (work-sharing) and no data migrates.
-            job1();
-            job2();
-            job3();
-            job4();
-            job5();
-            job6();
-            job7();
-        }
-    }
-
     let qc = c.reborrow().quadrants().expect("even dimension");
     let (mut c11, mut c12, mut c21, mut c22) = (qc.a11, qc.a12, qc.a21, qc.a22);
-    let qv: [MatrixView<'_>; 7] = [
-        q1.view(),
-        q2.view(),
-        q3.view(),
-        q4.view(),
-        q5.view(),
-        q6.view(),
-        q7.view(),
-    ];
-    let apply = |dst: &mut MatrixViewMut<'_>, src: &MatrixView<'_>, sign: f64| {
-        if sign > 0.0 {
-            ops::add_assign(dst, src).expect("quadrant shapes");
-        } else {
-            ops::sub_assign(dst, src).expect("quadrant shapes");
-        }
-        record_add(events, h);
-    };
-    apply(&mut c11, &qv[0], 1.0);
-    apply(&mut c11, &qv[3], 1.0);
-    apply(&mut c11, &qv[4], -1.0);
-    apply(&mut c11, &qv[6], 1.0);
-    apply(&mut c12, &qv[2], 1.0);
-    apply(&mut c12, &qv[4], 1.0);
-    apply(&mut c21, &qv[1], 1.0);
-    apply(&mut c21, &qv[3], 1.0);
-    apply(&mut c22, &qv[0], 1.0);
-    apply(&mut c22, &qv[1], -1.0);
-    apply(&mut c22, &qv[2], 1.0);
-    apply(&mut c22, &qv[5], 1.0);
+    let d = depth + 1;
+
+    // M2 = (A21 + A22) B11          -> C21
+    product(
+        Operand::Add(a21, a22),
+        Operand::View(b11),
+        &mut c21,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    // M3 = A11 (B12 - B22)          -> C12
+    product(
+        Operand::View(a11),
+        Operand::Sub(b12, b22),
+        &mut c12,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    // M6 = (A21 - A11)(B11 + B12)   -> C22
+    product(
+        Operand::Sub(a21, a11),
+        Operand::Add(b11, b12),
+        &mut c22,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    // M7 = (A12 - A22)(B21 + B22)   -> C11
+    product(
+        Operand::Sub(a12, a22),
+        Operand::Add(b21, b22),
+        &mut c11,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+
+    let mut p = arena::matrix_uninit(h, h);
+    // M1 = (A11 + A22)(B11 + B22)
+    product(
+        Operand::Add(a11, a22),
+        Operand::Add(b11, b22),
+        &mut p.view_mut(),
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    add_pass(&mut c11, &p.view(), pool, events);
+    add_pass(&mut c22, &p.view(), pool, events);
+    // C22 = M6 + M1 - M2 + M3, taking M2/M3 from C21/C12 while they still
+    // hold exactly those products.
+    sub_pass(&mut c22, &c21.as_view(), pool, events);
+    add_pass(&mut c22, &c12.as_view(), pool, events);
+    // M4 = A22 (B21 - B11)
+    product(
+        Operand::View(a22),
+        Operand::Sub(b21, b11),
+        &mut p.view_mut(),
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    add_pass(&mut c11, &p.view(), pool, events);
+    add_pass(&mut c21, &p.view(), pool, events);
+    // M5 = (A11 + A12) B22
+    product(
+        Operand::Add(a11, a12),
+        Operand::View(b22),
+        &mut p.view_mut(),
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    sub_pass(&mut c11, &p.view(), pool, events);
+    add_pass(&mut c12, &p.view(), pool, events);
+}
+
+/// BFS step: the seven sub-products fan out to disjoint destinations with
+/// their own buffers; operands are placed once. Same 18 passes and
+/// per-quadrant update order as [`dfs_node`] (bitwise identical). `seed`
+/// pins each sub-task onto its worker group's first worker.
+#[allow(clippy::too_many_arguments)]
+fn bfs_node(
+    a: MatrixView<'_>,
+    b: MatrixView<'_>,
+    c: &mut MatrixViewMut<'_>,
+    depth: u32,
+    cfg: &CapsConfig,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+    seed: Option<[usize; 7]>,
+) {
+    let h = a.rows() / 2;
+    let qa = a.quadrants().expect("even dimension");
+    let qb = b.quadrants().expect("even dimension");
+    let (a11, a12, a21, a22) = (qa.a11, qa.a12, qa.a21, qa.a22);
+    let (b11, b12, b21, b22) = (qb.a11, qb.a12, qb.a21, qb.a22);
+    let qc = c.reborrow().quadrants().expect("even dimension");
+    let (mut c11, mut c12, mut c21, mut c22) = (qc.a11, qc.a12, qc.a21, qc.a22);
+    let d = depth + 1;
+
+    let mut p1 = arena::matrix_uninit(h, h);
+    let mut p4 = arena::matrix_uninit(h, h);
+    let mut p5 = arena::matrix_uninit(h, h);
+    let pl = pool.expect("bfs implies pool");
+    record_spawns(events, 7, h);
+    {
+        let (rc11, rc12, rc21, rc22) = (&mut c11, &mut c12, &mut c21, &mut c22);
+        let (r1, r4, r5) = (&mut *p1, &mut *p4, &mut *p5);
+        pl.scope(|s| {
+            // Pins job `idx` to its seed worker when a group plan is
+            // installed; plain spawn otherwise.
+            macro_rules! launch {
+                ($idx:expr, $f:expr) => {
+                    match seed {
+                        Some(ws) => s.spawn_in(ws[$idx], $f),
+                        None => s.spawn($f),
+                    }
+                };
+            }
+            launch!(0, move |_: &_| {
+                product(
+                    Operand::Add(a21, a22),
+                    Operand::View(b11),
+                    rc21,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            launch!(1, move |_: &_| {
+                product(
+                    Operand::View(a11),
+                    Operand::Sub(b12, b22),
+                    rc12,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            launch!(2, move |_: &_| {
+                product(
+                    Operand::Sub(a21, a11),
+                    Operand::Add(b11, b12),
+                    rc22,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            launch!(3, move |_: &_| {
+                product(
+                    Operand::Sub(a12, a22),
+                    Operand::Add(b21, b22),
+                    rc11,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            launch!(4, move |_: &_| {
+                product(
+                    Operand::Add(a11, a22),
+                    Operand::Add(b11, b22),
+                    &mut r1.view_mut(),
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            launch!(5, move |_: &_| {
+                product(
+                    Operand::View(a22),
+                    Operand::Sub(b21, b11),
+                    &mut r4.view_mut(),
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            launch!(6, move |_: &_| {
+                product(
+                    Operand::Add(a11, a12),
+                    Operand::View(b22),
+                    &mut r5.view_mut(),
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+        });
+    }
+    add_pass(&mut c11, &p1.view(), pool, events);
+    add_pass(&mut c22, &p1.view(), pool, events);
+    sub_pass(&mut c22, &c21.as_view(), pool, events);
+    add_pass(&mut c22, &c12.as_view(), pool, events);
+    add_pass(&mut c11, &p4.view(), pool, events);
+    add_pass(&mut c21, &p4.view(), pool, events);
+    sub_pass(&mut c11, &p5.view(), pool, events);
+    add_pass(&mut c12, &p5.view(), pool, events);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use powerscale_counters::{Event, EventSet};
     use powerscale_gemm::naive::naive_mm;
     use powerscale_matrix::norms::rel_frobenius_error;
     use powerscale_matrix::MatrixGen;
@@ -345,7 +516,8 @@ mod tests {
 
     #[test]
     fn caps_equals_strassen_results() {
-        // Same arithmetic, different schedule: identical products.
+        // Same arithmetic, same in-place combine schedule: identical
+        // products, bitwise.
         let mut gen = MatrixGen::new(7);
         let a = gen.paper_operand(64);
         let b = gen.paper_operand(64);
@@ -376,7 +548,6 @@ mod tests {
 
     #[test]
     fn bfs_records_comm_dfs_does_not() {
-        use powerscale_counters::EventSet;
         let mut gen = MatrixGen::new(9);
         let a = gen.paper_operand(64);
         let b = gen.paper_operand(64);
@@ -419,6 +590,68 @@ mod tests {
         let p_dfs = set_dfs.stop().unwrap();
         assert_eq!(p_dfs.get(Event::CommBytes), 0);
         assert_eq!(p_dfs.get(Event::TasksSpawned), 0);
+    }
+
+    #[test]
+    fn pure_bfs_on_grouped_pool_keeps_steals_in_group() {
+        let pool = ThreadPool::new(7);
+        let mut gen = MatrixGen::new(11);
+        let a = gen.paper_operand(128);
+        let b = gen.paper_operand(128);
+        let cfg = CapsConfig {
+            cutoff: 16,
+            cutoff_depth: 8,
+            dfs_ways: 1,
+        };
+        let mut set = EventSet::with_all_events();
+        set.start().unwrap();
+        let c = multiply(&a.view(), &b.view(), &cfg, Some(&pool), Some(&set)).unwrap();
+        let p = set.stop().unwrap();
+        let r = naive_mm(&a.view(), &b.view()).unwrap();
+        assert!(rel_frobenius_error(&c.view(), &r.view()) < 1e-11);
+        // Strict group-affine plan: every root sub-product is pinned to
+        // its own worker group and descendants stay inside it, so no
+        // steal crosses a group boundary.
+        let stats = pool.stats();
+        assert_eq!(stats.steals_cross_group(), 0);
+        assert_eq!(p.get(Event::StealsCrossGroup), 0);
+        // The event attribution agrees with the pool's own split (the
+        // pool is fresh, so lifetime counters equal this run's delta).
+        assert_eq!(p.get(Event::StealsInGroup), stats.steals_in_group());
+    }
+
+    #[test]
+    fn grouped_parallel_matches_sequential_bitwise() {
+        // The group-affine BFS schedule changes only task placement, not
+        // arithmetic.
+        let cfg = CapsConfig {
+            cutoff: 16,
+            cutoff_depth: 8,
+            dfs_ways: 1,
+        };
+        let mut gen = MatrixGen::new(13);
+        let a = gen.paper_operand(128);
+        let b = gen.paper_operand(128);
+        let seq = multiply(&a.view(), &b.view(), &cfg, None, None).unwrap();
+        let pool = ThreadPool::new(8);
+        let par = multiply(&a.view(), &b.view(), &cfg, Some(&pool), None).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn invalid_config_reports_invalid_config_error() {
+        let a = Matrix::zeros(4, 4);
+        let cfg = CapsConfig {
+            dfs_ways: 0,
+            ..Default::default()
+        };
+        match multiply(&a.view(), &a.view(), &cfg, None, None) {
+            Err(DimError::InvalidConfig { op, reason }) => {
+                assert_eq!(op, "caps");
+                assert!(reason.contains("dfs_ways"), "reason: {reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]

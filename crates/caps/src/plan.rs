@@ -21,10 +21,12 @@ use crate::config::CapsConfig;
 use powerscale_machine::{KernelClass, TaskCost, TaskGraph, TaskId, TrafficModel};
 use powerscale_strassen::cost;
 
-/// Pre-addition counts per product (classic formulas, as in the executor).
+/// Operand-formation counts per product (classic formulas, as in the
+/// executor, which fuses them into the leaf packing).
 const PRE: [u64; 7] = [2, 1, 1, 1, 1, 2, 2];
-/// Combine-pass counts per C quadrant.
-const COMBINE: [u64; 4] = [4, 2, 2, 4];
+/// In-place combine passes per C quadrant (matches the executor's 18-pass
+/// schedule: four products land via `Accum::Set`, eight accumulations).
+const COMBINE: [u64; 4] = [3, 1, 1, 3];
 /// Products feeding each C quadrant.
 const QUADRANT_INPUTS: [&[usize]; 4] = [&[0, 3, 4, 6], &[2, 4], &[1, 3], &[0, 1, 2, 5]];
 

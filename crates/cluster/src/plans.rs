@@ -6,10 +6,11 @@ use powerscale_caps::CapsConfig;
 use powerscale_machine::{KernelClass, TaskCost, TaskId, TrafficModel};
 use powerscale_strassen::cost as scost;
 
-/// Pre-addition counts per Strassen product (classic formulas).
+/// Operand-formation counts per Strassen product (classic formulas).
 const PRE: [u64; 7] = [2, 1, 1, 1, 1, 2, 2];
-/// Combine passes per C quadrant.
-const COMBINE: [u64; 4] = [4, 2, 2, 4];
+/// In-place combine passes per C quadrant (the executor's 18-pass
+/// schedule).
+const COMBINE: [u64; 4] = [3, 1, 1, 3];
 /// Products feeding each C quadrant.
 const QUADRANT_INPUTS: [&[usize]; 4] = [&[0, 3, 4, 6], &[2, 4], &[1, 3], &[0, 1, 2, 5]];
 

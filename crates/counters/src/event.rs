@@ -41,10 +41,17 @@ pub enum Event {
     /// (retries, discarded garbage, rebased resets, failed samples) — the
     /// observability hook for the fault-injection/resilience layer.
     EnergyReadFaults,
+    /// Tasks stolen by a worker from a victim in its *own* scheduling
+    /// group — traffic that stays inside a BFS level's disjoint processor
+    /// group and therefore does not count against the Eq. 8 bound.
+    StealsInGroup,
+    /// Tasks stolen across group boundaries — the scheduling analogue of
+    /// the paper's inter-group "communication".
+    StealsCrossGroup,
 }
 
 /// Number of distinct [`Event`] variants (array-index bound).
-pub const EVENT_COUNT: usize = 11;
+pub const EVENT_COUNT: usize = 13;
 
 /// Every event, in `repr` order. Kept in sync with the enum by the
 /// `all_events_listed` test.
@@ -60,6 +67,8 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::KernelCalls,
     Event::RecursionLevels,
     Event::EnergyReadFaults,
+    Event::StealsInGroup,
+    Event::StealsCrossGroup,
 ];
 
 impl Event {
@@ -83,6 +92,8 @@ impl Event {
             Event::KernelCalls => "PS_KERNELS",
             Event::RecursionLevels => "PS_REC_LEVELS",
             Event::EnergyReadFaults => "PS_ENERGY_FAULTS",
+            Event::StealsInGroup => "PS_STEALS_GRP",
+            Event::StealsCrossGroup => "PS_STEALS_XGRP",
         }
     }
 }

@@ -1,14 +1,34 @@
-//! The dense leaf solver used below the Strassen cutover.
+//! The dense leaf solvers used below the Strassen cutover.
 //!
-//! The paper's BOTS Strassen reverts to a "manually unrolled" dense solver
-//! once sub-matrices reach n ≤ 64 (§IV-B). This kernel reproduces that
-//! role: it works **in place on strided views** (no packing, no copies),
-//! which is exactly why its sustained flop rate sits well below the packed
-//! path — the machine model captures that gap with the
-//! [`powerscale_machine::KernelClass::LeafGemm`] efficiency.
+//! Two leaves live here:
+//!
+//! * [`leaf_gemm`] — the historical BOTS-style unpacked solver ("manually
+//!   unrolled" dense base case, §IV-B of the paper), kept as the simple
+//!   in-place reference path.
+//! * [`leaf_gemm_fused`] — the packed, register-tiled leaf the
+//!   Strassen/CAPS executors now call. It accepts *fused operands*
+//!   ([`Operand::Add`] / [`Operand::Sub`]): the quadrant sums Strassen
+//!   feeds its seven products are combined **inside the packing pass**
+//!   (see [`crate::pack::pack_a_sum`]) instead of being materialised into
+//!   scratch matrices first, and the result can be merged into `C` with
+//!   [`Accum::Add`] / [`Accum::Sub`] so combine steps need no product
+//!   temporaries either. Packing buffers come from the thread-local
+//!   [`crate::arena`], so steady-state leaves allocate nothing.
+//!
+//! Setting `POWERSCALE_UNFUSED_LEAF=1` (or calling [`set_unfused_leaf`])
+//! makes the fused leaf materialise operand sums into arena scratch before
+//! packing — same packed kernel, unfused operand traffic — which is the
+//! A/B lever the end-to-end benchmark uses to isolate the fusion win. The
+//! two modes are bitwise identical in output (`1·x + 1·y` is exactly
+//! `x + y` and `1·x + (−1)·y` is exactly `x − y` in IEEE-754).
 
+use crate::arena;
+use crate::kernel::select_kernel;
+use crate::pack::{pack_a, pack_a_sum, pack_b, pack_b_sum, packed_a_len, packed_b_len};
 use powerscale_counters::{Event, EventSet, Profile};
-use powerscale_matrix::{DimError, DimResult, MatrixView, MatrixViewMut};
+use powerscale_matrix::{ops, DimError, DimResult, MatrixView, MatrixViewMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
 
 /// `C += A · B` on views, unpacked, i-k-j order with the inner j-loop
 /// blocked to the dispatched microkernel's register-tile width
@@ -62,6 +82,259 @@ pub fn leaf_gemm(
         p.add_count(Event::FpOps, 2 * (m * n * k) as u64);
         p.add_count(Event::BytesRead, 8 * (m * k + k * n) as u64);
         p.add_count(Event::BytesWritten, 8 * (m * n) as u64);
+        p.add_count(Event::KernelCalls, 1);
+        set.record_profile(&p);
+    }
+    Ok(())
+}
+
+static UNFUSED: AtomicBool = AtomicBool::new(false);
+static UNFUSED_INIT: Once = Once::new();
+
+/// `true` when the fused leaf must materialise operand sums before packing
+/// (the unfused A/B mode). Initialised once from `POWERSCALE_UNFUSED_LEAF`,
+/// overridable in-process via [`set_unfused_leaf`].
+pub fn unfused_leaf() -> bool {
+    UNFUSED_INIT.call_once(|| {
+        let forced = std::env::var("POWERSCALE_UNFUSED_LEAF")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        if forced {
+            UNFUSED.store(true, Ordering::Relaxed);
+        }
+    });
+    UNFUSED.load(Ordering::Relaxed)
+}
+
+/// Forces the fused leaf's operand-materialisation mode on or off for the
+/// whole process (the benchmark's in-process A/B toggle). Wins over the
+/// `POWERSCALE_UNFUSED_LEAF` environment variable.
+pub fn set_unfused_leaf(v: bool) {
+    UNFUSED_INIT.call_once(|| {});
+    UNFUSED.store(v, Ordering::Relaxed);
+}
+
+/// A leaf-product operand: either a plain block or an elementwise
+/// two-source combine that [`leaf_gemm_fused`] folds into its packing pass
+/// without materialising the sum.
+#[derive(Clone, Copy, Debug)]
+pub enum Operand<'a> {
+    /// A single source block.
+    View(MatrixView<'a>),
+    /// The elementwise sum `x + y`, combined during packing.
+    Add(MatrixView<'a>, MatrixView<'a>),
+    /// The elementwise difference `x − y`, combined during packing.
+    Sub(MatrixView<'a>, MatrixView<'a>),
+}
+
+impl<'a> Operand<'a> {
+    /// The operand's shape, validating that fused sources agree.
+    pub fn shape(&self) -> DimResult<(usize, usize)> {
+        match self {
+            Operand::View(v) => Ok(v.shape()),
+            Operand::Add(x, y) | Operand::Sub(x, y) => {
+                if x.shape() != y.shape() {
+                    return Err(DimError::Mismatch {
+                        op: "fused operand",
+                        lhs: x.shape(),
+                        rhs: y.shape(),
+                    });
+                }
+                Ok(x.shape())
+            }
+        }
+    }
+
+    /// `true` for the two-source combines.
+    pub fn is_fused(&self) -> bool {
+        !matches!(self, Operand::View(_))
+    }
+
+    /// The row band `[r0, r0 + rows)` of the operand — the unit CAPS
+    /// work-shared leaves split on. Band boundaries do not change any
+    /// element's k-accumulation order, so banded results are bitwise
+    /// identical to an unsplit leaf.
+    pub fn sub_rows(&self, r0: usize, rows: usize) -> DimResult<Operand<'a>> {
+        let band = |v: &MatrixView<'a>| v.sub_view((r0, 0), (rows, v.cols()));
+        Ok(match self {
+            Operand::View(v) => Operand::View(band(v)?),
+            Operand::Add(x, y) => Operand::Add(band(x)?, band(y)?),
+            Operand::Sub(x, y) => Operand::Sub(band(x)?, band(y)?),
+        })
+    }
+}
+
+/// How [`leaf_gemm_fused`] merges the product into its destination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Accum {
+    /// `C = A·B` (destination fully overwritten; prior contents ignored).
+    Set,
+    /// `C += A·B`.
+    Add,
+    /// `C −= A·B`.
+    Sub,
+}
+
+/// Packs operand `a` (plain or fused) into `buf` with the A-panel layout.
+fn pack_operand_a(a: &Operand<'_>, buf: &mut [f64], mr: usize) -> usize {
+    match a {
+        Operand::View(v) => pack_a(v, buf, mr),
+        Operand::Add(x, y) => pack_a_sum(x, 1.0, y, 1.0, buf, mr),
+        Operand::Sub(x, y) => pack_a_sum(x, 1.0, y, -1.0, buf, mr),
+    }
+}
+
+/// Packs operand `b` (plain or fused) into `buf` with the B-panel layout.
+fn pack_operand_b(b: &Operand<'_>, buf: &mut [f64], nr: usize) -> usize {
+    match b {
+        Operand::View(v) => pack_b(v, buf, nr),
+        Operand::Add(x, y) => pack_b_sum(x, 1.0, y, 1.0, buf, nr),
+        Operand::Sub(x, y) => pack_b_sum(x, 1.0, y, -1.0, buf, nr),
+    }
+}
+
+/// Materialises a fused operand into arena scratch (the unfused A/B mode)
+/// and packs the scratch with the plain packer. Produces bitwise-identical
+/// packed panels to the fused path.
+fn pack_operand_unfused(op: &Operand<'_>, buf: &mut [f64], tile: usize, is_a: bool) -> usize {
+    if let Operand::View(v) = op {
+        return if is_a {
+            pack_a(v, buf, tile)
+        } else {
+            pack_b(v, buf, tile)
+        };
+    }
+    let (r, c) = op.shape().expect("shape validated by caller");
+    let mut scratch = arena::matrix_uninit(r, c);
+    match op {
+        Operand::View(_) => unreachable!(),
+        Operand::Add(x, y) => {
+            ops::add_into(x, y, &mut scratch.view_mut()).expect("shape validated by caller")
+        }
+        Operand::Sub(x, y) => {
+            ops::sub_into(x, y, &mut scratch.view_mut()).expect("shape validated by caller")
+        }
+    }
+    let v = scratch.view();
+    if is_a {
+        pack_a(&v, buf, tile)
+    } else {
+        pack_b(&v, buf, tile)
+    }
+}
+
+/// The packed, register-tiled leaf with fused operand combines.
+///
+/// Computes `A·B` where each operand is an [`Operand`] (plain block or
+/// two-source combine) and merges it into `c` per `accum`: `Set` writes,
+/// `Add`/`Sub` accumulate in place — so a Strassen node's products land
+/// directly in `C` quadrants. Operands and `C` may be arbitrary strided
+/// views; packing runs over the full depth `k` in one pass (leaf blocks sit
+/// at or below the recursion cutoff, so the panels fit low cache levels).
+///
+/// Event accounting (when `events` is armed): `FpOps = 2mnk`, one
+/// [`Event::FpAdds`] pass per fused operand (`m·k` / `k·n` elements) and
+/// one (`m·n`) for an accumulating merge — exactly the passes the unfused
+/// formulation would have spent on `ops::add_into` / `ops::add_assign`, so
+/// the per-node Strassen add count is invariant under fusion.
+pub fn leaf_gemm_fused(
+    a: Operand<'_>,
+    b: Operand<'_>,
+    c: &mut MatrixViewMut<'_>,
+    accum: Accum,
+    events: Option<&EventSet>,
+) -> DimResult<()> {
+    leaf_gemm_fused_with(select_kernel(), a, b, c, accum, events)
+}
+
+/// [`leaf_gemm_fused`] under an explicitly chosen microkernel — the hook
+/// the SIMD-vs-scalar agreement tests use to exercise every dispatch tier
+/// on the fused path regardless of what the host auto-selects.
+pub fn leaf_gemm_fused_with(
+    kernel: &crate::kernel::KernelInfo,
+    a: Operand<'_>,
+    b: Operand<'_>,
+    c: &mut MatrixViewMut<'_>,
+    accum: Accum,
+    events: Option<&EventSet>,
+) -> DimResult<()> {
+    let (m, k) = a.shape()?;
+    let (kb, n) = b.shape()?;
+    if k != kb {
+        return Err(DimError::Inner {
+            lhs_cols: k,
+            rhs_rows: kb,
+        });
+    }
+    if c.shape() != (m, n) {
+        return Err(DimError::Mismatch {
+            op: "leaf_gemm_fused",
+            lhs: (m, n),
+            rhs: c.shape(),
+        });
+    }
+    if accum == Accum::Set {
+        c.fill(0.0);
+    }
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+
+    let unfused = unfused_leaf();
+    let mut pa = arena::pack_buf(packed_a_len(m, k, kernel.mr));
+    let mut pb = arena::pack_buf(packed_b_len(k, n, kernel.nr));
+    let (a_strips, b_strips) = if unfused {
+        (
+            pack_operand_unfused(&a, &mut pa, kernel.mr, true),
+            pack_operand_unfused(&b, &mut pb, kernel.nr, false),
+        )
+    } else {
+        (
+            pack_operand_a(&a, &mut pa, kernel.mr),
+            pack_operand_b(&b, &mut pb, kernel.nr),
+        )
+    };
+    let alpha = if accum == Accum::Sub { -1.0 } else { 1.0 };
+    for sj in 0..b_strips {
+        let b_strip = &pb[sj * kernel.nr * k..(sj + 1) * kernel.nr * k];
+        for si in 0..a_strips {
+            let a_strip = &pa[si * kernel.mr * k..(si + 1) * kernel.mr * k];
+            (kernel.func)(
+                k,
+                a_strip,
+                b_strip,
+                alpha,
+                c,
+                si * kernel.mr,
+                sj * kernel.nr,
+            );
+        }
+    }
+
+    if let Some(set) = events {
+        let mut p = Profile::new();
+        p.add_count(Event::FpOps, 2 * (m * n * k) as u64);
+        let a_srcs = if a.is_fused() { 2 } else { 1 };
+        let b_srcs = if b.is_fused() { 2 } else { 1 };
+        p.add_count(
+            Event::BytesRead,
+            8 * (a_srcs * m * k + b_srcs * k * n) as u64,
+        );
+        p.add_count(Event::BytesWritten, 8 * (m * n) as u64);
+        p.add_count(Event::PackBytes, 8 * (m * k + k * n) as u64);
+        let mut adds = 0usize;
+        if a.is_fused() {
+            adds += m * k;
+        }
+        if b.is_fused() {
+            adds += k * n;
+        }
+        if accum != Accum::Set {
+            adds += m * n;
+        }
+        if adds > 0 {
+            p.add_count(Event::FpAdds, adds as u64);
+        }
         p.add_count(Event::KernelCalls, 1);
         set.record_profile(&p);
     }
@@ -142,5 +415,275 @@ mod tests {
         let p = set.stop().unwrap();
         assert_eq!(p.get(Event::FpOps), 2 * 8 * 8 * 8);
         assert_eq!(p.get(Event::KernelCalls), 1);
+    }
+
+    /// `(x + βy)` materialised the way the old executors did it.
+    fn combine(x: &Matrix, y: &Matrix, beta: f64) -> Matrix {
+        Matrix::from_fn(x.rows(), x.cols(), |i, j| {
+            if beta > 0.0 {
+                x.get(i, j) + y.get(i, j)
+            } else {
+                x.get(i, j) - y.get(i, j)
+            }
+        })
+    }
+
+    #[test]
+    fn fused_matches_naive_on_combined_operands() {
+        for (m, k, n) in [
+            (4, 4, 4),
+            (16, 16, 16),
+            (7, 13, 5),
+            (33, 65, 9),
+            (64, 64, 64),
+        ] {
+            let mut gen = MatrixGen::new((m * 1000 + k * 10 + n) as u64);
+            let a1 = gen.uniform(m, k, -1.0, 1.0);
+            let a2 = gen.uniform(m, k, -1.0, 1.0);
+            let b1 = gen.uniform(k, n, -1.0, 1.0);
+            let b2 = gen.uniform(k, n, -1.0, 1.0);
+            let mut c = Matrix::filled(m, n, f64::NAN);
+            leaf_gemm_fused(
+                Operand::Add(a1.view(), a2.view()),
+                Operand::Sub(b1.view(), b2.view()),
+                &mut c.view_mut(),
+                Accum::Set,
+                None,
+            )
+            .unwrap();
+            let want = naive_mm(
+                &combine(&a1, &a2, 1.0).view(),
+                &combine(&b1, &b2, -1.0).view(),
+            )
+            .unwrap();
+            assert!(
+                rel_frobenius_error(&c.view(), &want.view()) < 1e-12,
+                "({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_is_bitwise_identical_to_materialised_operands() {
+        // With the same kernel, fused packing and materialise-then-pack
+        // must agree bit for bit on any inputs (the packed panels are
+        // identical), not just exactly-representable ones.
+        let mut gen = MatrixGen::new(99);
+        let a1 = gen.uniform(24, 24, -1.0, 1.0);
+        let a2 = gen.uniform(24, 24, -1.0, 1.0);
+        let b1 = gen.uniform(24, 24, -1.0, 1.0);
+        let b2 = gen.uniform(24, 24, -1.0, 1.0);
+        let (sa, sb) = (combine(&a1, &a2, -1.0), combine(&b1, &b2, 1.0));
+        let mut fused = Matrix::zeros(24, 24);
+        let mut plain = Matrix::zeros(24, 24);
+        leaf_gemm_fused(
+            Operand::Sub(a1.view(), a2.view()),
+            Operand::Add(b1.view(), b2.view()),
+            &mut fused.view_mut(),
+            Accum::Set,
+            None,
+        )
+        .unwrap();
+        leaf_gemm_fused(
+            Operand::View(sa.view()),
+            Operand::View(sb.view()),
+            &mut plain.view_mut(),
+            Accum::Set,
+            None,
+        )
+        .unwrap();
+        assert_eq!(fused, plain);
+    }
+
+    #[test]
+    fn accum_modes_set_add_sub() {
+        let mut gen = MatrixGen::new(5);
+        let a = gen.uniform(12, 12, -1.0, 1.0);
+        let b = gen.uniform(12, 12, -1.0, 1.0);
+        let p = naive_mm(&a.view(), &b.view()).unwrap();
+        // Set ignores stale destination contents entirely.
+        let mut c = Matrix::filled(12, 12, f64::NAN);
+        leaf_gemm_fused(
+            Operand::View(a.view()),
+            Operand::View(b.view()),
+            &mut c.view_mut(),
+            Accum::Set,
+            None,
+        )
+        .unwrap();
+        assert!(rel_frobenius_error(&c.view(), &p.view()) < 1e-13);
+        // Add merges on top; Sub takes it back off exactly.
+        let before = c.clone();
+        leaf_gemm_fused(
+            Operand::View(a.view()),
+            Operand::View(b.view()),
+            &mut c.view_mut(),
+            Accum::Add,
+            None,
+        )
+        .unwrap();
+        let doubled = Matrix::from_fn(12, 12, |i, j| 2.0 * before.get(i, j));
+        assert!(rel_frobenius_error(&c.view(), &doubled.view()) < 1e-13);
+        leaf_gemm_fused(
+            Operand::View(a.view()),
+            Operand::View(b.view()),
+            &mut c.view_mut(),
+            Accum::Sub,
+            None,
+        )
+        .unwrap();
+        // Subtracting the product again lands back on the single product
+        // (up to the one extra rounding of the round trip).
+        assert!(rel_frobenius_error(&c.view(), &before.view()) < 1e-12);
+    }
+
+    #[test]
+    fn fused_works_on_strided_quadrant_views() {
+        let mut gen = MatrixGen::new(11);
+        let big_a = gen.paper_operand(16);
+        let big_b = gen.paper_operand(16);
+        let mut big_c = Matrix::zeros(16, 16);
+        let qa = big_a.view().quadrants().unwrap();
+        let qb = big_b.view().quadrants().unwrap();
+        {
+            let qc = big_c.view_mut().quadrants().unwrap();
+            let mut c21 = qc.a21;
+            // M2 = (A21 + A22)·B11 straight into the C21 quadrant.
+            leaf_gemm_fused(
+                Operand::Add(qa.a21, qa.a22),
+                Operand::View(qb.a11),
+                &mut c21,
+                Accum::Set,
+                None,
+            )
+            .unwrap();
+        }
+        let s = combine(&qa.a21.to_matrix(), &qa.a22.to_matrix(), 1.0);
+        let want = naive_mm(&s.view(), &qb.a11).unwrap();
+        let got = big_c.sub_view((8, 0), (8, 8)).unwrap().to_matrix();
+        assert!(rel_frobenius_error(&got.view(), &want.view()) < 1e-13);
+        // Other quadrants untouched.
+        assert_eq!(big_c.get(0, 0), 0.0);
+        assert_eq!(big_c.get(0, 8), 0.0);
+        assert_eq!(big_c.get(8, 8), 0.0);
+    }
+
+    #[test]
+    fn sub_rows_banding_is_bitwise_transparent() {
+        // The CAPS work-shared leaf splits operands into row bands whose
+        // boundaries need not align to the kernel tile; results must be
+        // bitwise identical to an unsplit leaf.
+        let mut gen = MatrixGen::new(21);
+        let a1 = gen.uniform(23, 17, -1.0, 1.0);
+        let a2 = gen.uniform(23, 17, -1.0, 1.0);
+        let b = gen.uniform(17, 19, -1.0, 1.0);
+        let a_op = Operand::Sub(a1.view(), a2.view());
+        let b_op = Operand::View(b.view());
+        let mut whole = Matrix::zeros(23, 19);
+        leaf_gemm_fused(a_op, b_op, &mut whole.view_mut(), Accum::Set, None).unwrap();
+        let mut banded = Matrix::zeros(23, 19);
+        {
+            let (top, bottom) = banded.view_mut().split_rows_at(10).unwrap();
+            let mut top = top;
+            let mut bottom = bottom;
+            leaf_gemm_fused(
+                a_op.sub_rows(0, 10).unwrap(),
+                b_op,
+                &mut top,
+                Accum::Set,
+                None,
+            )
+            .unwrap();
+            leaf_gemm_fused(
+                a_op.sub_rows(10, 13).unwrap(),
+                b_op,
+                &mut bottom,
+                Accum::Set,
+                None,
+            )
+            .unwrap();
+        }
+        assert_eq!(whole, banded);
+    }
+
+    #[test]
+    fn unfused_toggle_is_bitwise_transparent() {
+        let mut gen = MatrixGen::new(31);
+        let a1 = gen.uniform(20, 20, -1.0, 1.0);
+        let a2 = gen.uniform(20, 20, -1.0, 1.0);
+        let b1 = gen.uniform(20, 20, -1.0, 1.0);
+        let b2 = gen.uniform(20, 20, -1.0, 1.0);
+        let run = || {
+            let mut c = Matrix::zeros(20, 20);
+            leaf_gemm_fused(
+                Operand::Add(a1.view(), a2.view()),
+                Operand::Sub(b1.view(), b2.view()),
+                &mut c.view_mut(),
+                Accum::Set,
+                None,
+            )
+            .unwrap();
+            c
+        };
+        let fused = run();
+        set_unfused_leaf(true);
+        let unfused = run();
+        set_unfused_leaf(false);
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn fused_event_accounting() {
+        use powerscale_counters::EventSet;
+        let a1 = Matrix::zeros(8, 8);
+        let a2 = Matrix::zeros(8, 8);
+        let b = Matrix::zeros(8, 8);
+        let mut c = Matrix::zeros(8, 8);
+        let mut set = EventSet::with_all_events();
+        set.start().unwrap();
+        leaf_gemm_fused(
+            Operand::Add(a1.view(), a2.view()),
+            Operand::View(b.view()),
+            &mut c.view_mut(),
+            Accum::Add,
+            Some(&set),
+        )
+        .unwrap();
+        let p = set.stop().unwrap();
+        assert_eq!(p.get(Event::FpOps), 2 * 8 * 8 * 8);
+        // One fused A combine (m·k) plus one accumulating merge (m·n).
+        assert_eq!(p.get(Event::FpAdds), 64 + 64);
+        // Fused A reads two sources; B one. Both panels are packed.
+        assert_eq!(p.get(Event::BytesRead), 8 * (2 * 64 + 64));
+        assert_eq!(p.get(Event::PackBytes), 8 * (64 + 64));
+        assert_eq!(p.get(Event::BytesWritten), 8 * 64);
+        assert_eq!(p.get(Event::KernelCalls), 1);
+    }
+
+    #[test]
+    fn fused_shape_errors() {
+        let a1 = Matrix::zeros(4, 4);
+        let a2 = Matrix::zeros(4, 5);
+        let b = Matrix::zeros(4, 4);
+        let mut c = Matrix::zeros(4, 4);
+        // Fused sources must agree in shape...
+        assert!(leaf_gemm_fused(
+            Operand::Add(a1.view(), a2.view()),
+            Operand::View(b.view()),
+            &mut c.view_mut(),
+            Accum::Set,
+            None,
+        )
+        .is_err());
+        // ...and the contraction dimension must line up.
+        let b_bad = Matrix::zeros(5, 4);
+        assert!(leaf_gemm_fused(
+            Operand::View(a1.view()),
+            Operand::View(b_bad.view()),
+            &mut c.view_mut(),
+            Accum::Set,
+            None,
+        )
+        .is_err());
     }
 }

@@ -17,10 +17,14 @@
 //! * optional [`powerscale_counters::EventSet`] instrumentation feeding the
 //!   machine model.
 //!
-//! It also hosts the two *other* multiply kernels the paper's comparison
+//! It also hosts the *other* multiply kernels the paper's comparison
 //! needs: the naive reference ([`naive::naive_gemm`], the correctness
-//! oracle) and the BOTS-style unpacked leaf solver ([`leaf::leaf_gemm`])
-//! that the Strassen/CAPS recursions call below their cutover size.
+//! oracle), the BOTS-style unpacked leaf solver ([`leaf::leaf_gemm`]), and
+//! the packed fused-operand leaf ([`leaf::leaf_gemm_fused`]) the
+//! Strassen/CAPS recursions call below their cutover size — its
+//! [`leaf::Operand`] combines quadrant sums inside the packing pass and
+//! its [`leaf::Accum`] merges products into `C` in place, so recursion
+//! nodes materialise neither operand sums nor product temporaries.
 //!
 //! # Example
 //!
@@ -53,3 +57,4 @@ mod simd;
 pub use blocking::BlockingParams;
 pub use dgemm::{dgemm, multiply, GemmContext};
 pub use kernel::{scalar_kernel, select_kernel, simd_kernel, KernelInfo};
+pub use leaf::{leaf_gemm_fused, set_unfused_leaf, Accum, Operand};

@@ -102,6 +102,95 @@ pub fn pack_b_strips(
     }
 }
 
+/// Packs the elementwise combine `α·X + β·Y` of two same-shape `m × k`
+/// blocks into `buf` with the exact [`pack_a`] strip layout, in a single
+/// pass — the combined operand is never materialised as a matrix. With
+/// `α = 1, β = ±1` the packed values are bitwise identical to packing a
+/// separately computed `X ± Y` (multiplication by ±1 is exact in IEEE-754
+/// and `x + (−y) ≡ x − y`). Returns the number of strips written.
+pub fn pack_a_sum(
+    x: &MatrixView<'_>,
+    alpha: f64,
+    y: &MatrixView<'_>,
+    beta: f64,
+    buf: &mut [f64],
+    mr: usize,
+) -> usize {
+    let (m, k) = x.shape();
+    assert_eq!(
+        y.shape(),
+        (m, k),
+        "pack_a_sum: operand shapes differ ({:?} vs {:?})",
+        x.shape(),
+        y.shape()
+    );
+    let strips = m.div_ceil(mr);
+    assert!(
+        buf.len() >= strips * mr * k,
+        "pack_a_sum: buffer {} too small for {strips} strips of {k}",
+        buf.len()
+    );
+    for s in 0..strips {
+        let base = s * mr * k;
+        let rows = (m - s * mr).min(mr);
+        for kk in 0..k {
+            for i in 0..mr {
+                buf[base + kk * mr + i] = if i < rows {
+                    alpha * x.get(s * mr + i, kk) + beta * y.get(s * mr + i, kk)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+    strips
+}
+
+/// Packs the elementwise combine `α·X + β·Y` of two same-shape `k × n`
+/// blocks into `buf` with the exact [`pack_b`] strip layout, in a single
+/// pass (see [`pack_a_sum`] for the bitwise-equivalence argument). Returns
+/// the number of strips written.
+pub fn pack_b_sum(
+    x: &MatrixView<'_>,
+    alpha: f64,
+    y: &MatrixView<'_>,
+    beta: f64,
+    buf: &mut [f64],
+    nr: usize,
+) -> usize {
+    let (k, n) = x.shape();
+    assert_eq!(
+        y.shape(),
+        (k, n),
+        "pack_b_sum: operand shapes differ ({:?} vs {:?})",
+        x.shape(),
+        y.shape()
+    );
+    let strips = n.div_ceil(nr);
+    assert!(
+        buf.len() >= strips * nr * k,
+        "pack_b_sum: buffer {} too small for {strips} strips of {k}",
+        buf.len()
+    );
+    for s in 0..strips {
+        let col0 = s * nr;
+        let base = s * nr * k;
+        let cols = (n - col0).min(nr);
+        for kk in 0..k {
+            let xrow = x.row(kk);
+            let yrow = y.row(kk);
+            for j in 0..nr {
+                buf[base + kk * nr + j] = if j < cols {
+                    alpha * xrow[col0 + j] + beta * yrow[col0 + j]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+    strips
+}
+
 /// Elements written by [`pack_a`] for an `m × k` block (padding included).
 pub fn packed_a_len(m: usize, k: usize, mr: usize) -> usize {
     m.div_ceil(mr) * mr * k
@@ -219,6 +308,72 @@ mod tests {
         }
         assert_eq!(done, strips);
         assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn fused_pack_matches_materialised_pack_bitwise() {
+        // pack_a_sum(X, 1, Y, ±1) must equal pack_a(X ± Y) bit for bit —
+        // the fused leaves rely on this to keep Strassen results identical
+        // to the materialise-then-multiply formulation.
+        let x = Matrix::from_fn(11, 7, |i, j| (i as f64 + 0.3) * 0.17 - j as f64 * 0.9);
+        let y = Matrix::from_fn(11, 7, |i, j| 1.0 / (1.0 + (i * 7 + j) as f64));
+        for (beta, name) in [(1.0, "add"), (-1.0, "sub")] {
+            let mut summed = Matrix::zeros(11, 7);
+            for i in 0..11 {
+                for j in 0..7 {
+                    let v = if beta > 0.0 {
+                        x.get(i, j) + y.get(i, j)
+                    } else {
+                        x.get(i, j) - y.get(i, j)
+                    };
+                    summed.set(i, j, v);
+                }
+            }
+            let mut direct = vec![f64::NAN; packed_a_len(11, 7, MR)];
+            let mut fused = vec![f64::NAN; packed_a_len(11, 7, MR)];
+            pack_a(&summed.view(), &mut direct, MR);
+            pack_a_sum(&x.view(), 1.0, &y.view(), beta, &mut fused, MR);
+            assert!(
+                direct
+                    .iter()
+                    .zip(&fused)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "pack_a_sum ({name}) diverges from materialised pack"
+            );
+            let xt = Matrix::from_fn(7, 11, |i, j| x.get(j, i));
+            let yt = Matrix::from_fn(7, 11, |i, j| y.get(j, i));
+            let st = Matrix::from_fn(7, 11, |i, j| summed.get(j, i));
+            let mut directb = vec![f64::NAN; packed_b_len(7, 11, NR)];
+            let mut fusedb = vec![f64::NAN; packed_b_len(7, 11, NR)];
+            pack_b(&st.view(), &mut directb, NR);
+            pack_b_sum(&xt.view(), 1.0, &yt.view(), beta, &mut fusedb, NR);
+            assert!(
+                directb
+                    .iter()
+                    .zip(&fusedb)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "pack_b_sum ({name}) diverges from materialised pack"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_pack_scales_with_coefficients() {
+        let x = Matrix::filled(4, 4, 2.0);
+        let y = Matrix::filled(4, 4, 3.0);
+        let mut buf = vec![0.0; packed_a_len(4, 4, MR)];
+        pack_a_sum(&x.view(), 0.5, &y.view(), 2.0, &mut buf, MR);
+        // 0.5·2 + 2·3 = 7 everywhere in the live region.
+        assert!(buf.iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "operand shapes differ")]
+    fn fused_pack_rejects_shape_mismatch() {
+        let x = Matrix::zeros(4, 4);
+        let y = Matrix::zeros(4, 5);
+        let mut buf = vec![0.0; packed_a_len(4, 4, MR)];
+        pack_a_sum(&x.view(), 1.0, &y.view(), 1.0, &mut buf, MR);
     }
 
     #[test]

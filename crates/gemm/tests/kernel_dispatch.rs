@@ -15,7 +15,8 @@
 //! [`GemmContext::with_kernel`], so the scalar fallback and the SIMD tier
 //! are both exercised regardless of what the host would auto-select.
 
-use powerscale_gemm::{dgemm, naive::naive_mm, GemmContext};
+use powerscale_gemm::leaf::{leaf_gemm_fused_with, Accum, Operand};
+use powerscale_gemm::{dgemm, naive::naive_mm, GemmContext, KernelInfo};
 use powerscale_matrix::norms::rel_frobenius_error;
 use powerscale_matrix::{Matrix, MatrixGen};
 use proptest::prelude::*;
@@ -92,4 +93,72 @@ proptest! {
         let want = naive_mm(&a.view(), &b.view()).unwrap();
         prop_assert_eq!(&scalar, &want);
     }
+
+    #[test]
+    fn fused_leaf_tiers_match_naive_on_combined_operands(
+        m in 1usize..64, k in 1usize..64, n in 1usize..64, seed in any::<u64>()
+    ) {
+        // (A1 + A2) · (B1 − B2) with the combines fused into the packing
+        // pass, on every dispatch tier.
+        let mut gen = MatrixGen::new(seed);
+        let a1 = gen.uniform(m, k, -2.0, 2.0);
+        let a2 = gen.uniform(m, k, -2.0, 2.0);
+        let b1 = gen.uniform(k, n, -2.0, 2.0);
+        let b2 = gen.uniform(k, n, -2.0, 2.0);
+        let sa = Matrix::from_fn(m, k, |i, j| a1.get(i, j) + a2.get(i, j));
+        let sb = Matrix::from_fn(k, n, |i, j| b1.get(i, j) - b2.get(i, j));
+        let want = naive_mm(&sa.view(), &sb.view()).unwrap();
+
+        let scalar = fused_with(powerscale_gemm::scalar_kernel(), &a1, &a2, &b1, &b2);
+        prop_assert!(rel_frobenius_error(&scalar.view(), &want.view()) < 1e-12);
+
+        if let Some(simd) = powerscale_gemm::simd_kernel() {
+            let vectored = fused_with(simd, &a1, &a2, &b1, &b2);
+            prop_assert!(
+                rel_frobenius_error(&vectored.view(), &want.view()) < 1e-12,
+                "fused kernel `{}` off naive at ({m},{k},{n})", simd.name
+            );
+            prop_assert!(
+                rel_frobenius_error(&vectored.view(), &scalar.view()) < 1e-12,
+                "fused kernel `{}` off scalar at ({m},{k},{n})", simd.name
+            );
+        }
+    }
+
+    #[test]
+    fn fused_leaf_tiers_agree_bitwise_on_power_of_two_inputs(
+        m in 1usize..48, k in 1usize..48, n in 1usize..48, seed in any::<u64>()
+    ) {
+        let a1 = pow2_matrix(m, k, seed);
+        let a2 = pow2_matrix(m, k, seed ^ 0x5bf0_3635);
+        let b1 = pow2_matrix(k, n, seed ^ 0xdead_beef);
+        let b2 = pow2_matrix(k, n, seed ^ 0x0bad_f00d);
+        let scalar = fused_with(powerscale_gemm::scalar_kernel(), &a1, &a2, &b1, &b2);
+        if let Some(simd) = powerscale_gemm::simd_kernel() {
+            let vectored = fused_with(simd, &a1, &a2, &b1, &b2);
+            // Sums of powers of two of bounded spread stay exactly
+            // representable, so FMA == mul+add bit for bit on the fused
+            // operands too.
+            prop_assert_eq!(&scalar, &vectored);
+        }
+        let sa = Matrix::from_fn(m, k, |i, j| a1.get(i, j) + a2.get(i, j));
+        let sb = Matrix::from_fn(k, n, |i, j| b1.get(i, j) - b2.get(i, j));
+        let want = naive_mm(&sa.view(), &sb.view()).unwrap();
+        prop_assert_eq!(&scalar, &want);
+    }
+}
+
+/// `(A1 + A2) · (B1 − B2)` through the fused leaf under a pinned kernel.
+fn fused_with(kernel: &KernelInfo, a1: &Matrix, a2: &Matrix, b1: &Matrix, b2: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a1.rows(), b1.cols());
+    leaf_gemm_fused_with(
+        kernel,
+        Operand::Add(a1.view(), a2.view()),
+        Operand::Sub(b1.view(), b2.view()),
+        &mut c.view_mut(),
+        Accum::Set,
+        None,
+    )
+    .unwrap();
+    c
 }

@@ -33,6 +33,14 @@ pub enum DimError {
         /// The required divisor.
         by: usize,
     },
+    /// An algorithm configuration failed validation (bad cutoff, zero
+    /// fan-out, …) — distinct from a shape problem with the operands.
+    InvalidConfig {
+        /// Human-readable operation name (e.g. `"caps"`).
+        op: &'static str,
+        /// What the validator rejected.
+        reason: String,
+    },
     /// A sub-view request fell outside the parent matrix.
     OutOfBounds {
         /// Requested origin `(row, col)`.
@@ -61,6 +69,9 @@ impl fmt::Display for DimError {
                     f,
                     "`{op}` requires a dimension divisible by {by}, got {dim}"
                 )
+            }
+            DimError::InvalidConfig { op, reason } => {
+                write!(f, "invalid `{op}` configuration: {reason}")
             }
             DimError::OutOfBounds {
                 origin,
@@ -112,6 +123,18 @@ mod tests {
             by: 2,
         };
         assert!(e.to_string().contains("divisible by 2"));
+    }
+
+    #[test]
+    fn display_invalid_config() {
+        let e = DimError::InvalidConfig {
+            op: "caps",
+            reason: "cutoff 1 must be at least 2".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid `caps` configuration: cutoff 1 must be at least 2"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! buffers can be pooled.
 
 use crate::{DimError, DimResult, Matrix, MatrixView, MatrixViewMut};
+use powerscale_pool::{Scope, ThreadPool};
 
 fn check2(op: &'static str, a: (usize, usize), b: (usize, usize)) -> DimResult<()> {
     if a != b {
@@ -73,6 +74,20 @@ pub fn sub_assign(dst: &mut MatrixViewMut<'_>, src: &MatrixView<'_>) -> DimResul
     Ok(())
 }
 
+/// `dst = src - dst` elementwise (reversed subtraction in place) — the
+/// accumulate form the Winograd combine `C21 = U3 - P4` needs when `P4`
+/// was computed directly into the `C21` quadrant.
+pub fn rsub_assign(dst: &mut MatrixViewMut<'_>, src: &MatrixView<'_>) -> DimResult<()> {
+    check2("rsub_assign", dst.shape(), src.shape())?;
+    for i in 0..src.rows() {
+        let (rs, rd) = (src.row(i), dst.row_mut(i));
+        for j in 0..rs.len() {
+            rd[j] = rs[j] - rd[j];
+        }
+    }
+    Ok(())
+}
+
 /// `dst *= alpha` elementwise.
 pub fn scale_assign(dst: &mut MatrixViewMut<'_>, alpha: f64) {
     for i in 0..dst.rows() {
@@ -123,6 +138,172 @@ pub fn transpose_into(src: &MatrixView<'_>, dst: &mut MatrixViewMut<'_>) -> DimR
             dst.set(j, i, v);
         }
     }
+    Ok(())
+}
+
+/// Minimum rows per band before the parallel elementwise ops split work:
+/// below this the spawn overhead outweighs the O(rows·cols) body.
+const PAR_MIN_ROWS: usize = 128;
+
+/// `true` when a parallel elementwise op should fan out at all.
+fn should_split(pool: Option<&ThreadPool>, rows: usize) -> bool {
+    pool.is_some_and(|p| p.num_threads() > 1) && rows >= 2 * PAR_MIN_ROWS
+}
+
+/// Recursive row-band split for one-source accumulate ops: bitwise
+/// identical to the sequential form because every element is written by
+/// exactly one band and row order within a band is unchanged.
+fn par_bands1<'env, F>(
+    s: &Scope<'_, 'env>,
+    mut dst: MatrixViewMut<'env>,
+    src: MatrixView<'env>,
+    f: &'env F,
+) where
+    F: Fn(&mut MatrixViewMut<'_>, &MatrixView<'_>) + Sync,
+{
+    if dst.rows() >= 2 * PAR_MIN_ROWS {
+        let mid = dst.rows() / 2;
+        let (top, bottom) = dst.split_rows_at(mid).expect("mid < rows");
+        let (src_top, src_bottom) = src.split_rows_at(mid).expect("mid < rows");
+        s.spawn(move |s2| par_bands1(s2, bottom, src_bottom, f));
+        return par_bands1(s, top, src_top, f);
+    }
+    f(&mut dst, &src);
+}
+
+/// Recursive row-band split for two-source writing ops.
+fn par_bands2<'env, F>(
+    s: &Scope<'_, 'env>,
+    a: MatrixView<'env>,
+    b: MatrixView<'env>,
+    mut dst: MatrixViewMut<'env>,
+    f: &'env F,
+) where
+    F: Fn(&MatrixView<'_>, &MatrixView<'_>, &mut MatrixViewMut<'_>) + Sync,
+{
+    if dst.rows() >= 2 * PAR_MIN_ROWS {
+        let mid = dst.rows() / 2;
+        let (top, bottom) = dst.split_rows_at(mid).expect("mid < rows");
+        let (a_top, a_bottom) = a.split_rows_at(mid).expect("mid < rows");
+        let (b_top, b_bottom) = b.split_rows_at(mid).expect("mid < rows");
+        s.spawn(move |s2| par_bands2(s2, a_bottom, b_bottom, bottom, f));
+        return par_bands2(s, a_top, b_top, top, f);
+    }
+    f(&a, &b, &mut dst);
+}
+
+/// `dst = a + b`, row-band parallel over `pool` (sequential fallback when
+/// the pool is absent, single-threaded, or the block is small). Bitwise
+/// identical to [`add_into`].
+pub fn par_add_into(
+    a: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    dst: &mut MatrixViewMut<'_>,
+    pool: Option<&ThreadPool>,
+) -> DimResult<()> {
+    check2("add", a.shape(), b.shape())?;
+    check2("add", a.shape(), dst.shape())?;
+    if !should_split(pool, dst.rows()) {
+        return add_into(a, b, dst);
+    }
+    let f = |a: &MatrixView<'_>, b: &MatrixView<'_>, d: &mut MatrixViewMut<'_>| {
+        add_into(a, b, d).expect("band shapes pre-checked");
+    };
+    pool.expect("checked by should_split")
+        .scope(|s| par_bands2(s, *a, *b, dst.reborrow(), &f));
+    Ok(())
+}
+
+/// `dst = a - b`, row-band parallel; see [`par_add_into`].
+pub fn par_sub_into(
+    a: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    dst: &mut MatrixViewMut<'_>,
+    pool: Option<&ThreadPool>,
+) -> DimResult<()> {
+    check2("sub", a.shape(), b.shape())?;
+    check2("sub", a.shape(), dst.shape())?;
+    if !should_split(pool, dst.rows()) {
+        return sub_into(a, b, dst);
+    }
+    let f = |a: &MatrixView<'_>, b: &MatrixView<'_>, d: &mut MatrixViewMut<'_>| {
+        sub_into(a, b, d).expect("band shapes pre-checked");
+    };
+    pool.expect("checked by should_split")
+        .scope(|s| par_bands2(s, *a, *b, dst.reborrow(), &f));
+    Ok(())
+}
+
+/// `dst += src`, row-band parallel; see [`par_add_into`].
+pub fn par_add_assign(
+    dst: &mut MatrixViewMut<'_>,
+    src: &MatrixView<'_>,
+    pool: Option<&ThreadPool>,
+) -> DimResult<()> {
+    check2("add_assign", dst.shape(), src.shape())?;
+    if !should_split(pool, dst.rows()) {
+        return add_assign(dst, src);
+    }
+    let f = |d: &mut MatrixViewMut<'_>, s: &MatrixView<'_>| {
+        add_assign(d, s).expect("band shapes pre-checked");
+    };
+    pool.expect("checked by should_split")
+        .scope(|s| par_bands1(s, dst.reborrow(), *src, &f));
+    Ok(())
+}
+
+/// `dst -= src`, row-band parallel; see [`par_add_into`].
+pub fn par_sub_assign(
+    dst: &mut MatrixViewMut<'_>,
+    src: &MatrixView<'_>,
+    pool: Option<&ThreadPool>,
+) -> DimResult<()> {
+    check2("sub_assign", dst.shape(), src.shape())?;
+    if !should_split(pool, dst.rows()) {
+        return sub_assign(dst, src);
+    }
+    let f = |d: &mut MatrixViewMut<'_>, s: &MatrixView<'_>| {
+        sub_assign(d, s).expect("band shapes pre-checked");
+    };
+    pool.expect("checked by should_split")
+        .scope(|s| par_bands1(s, dst.reborrow(), *src, &f));
+    Ok(())
+}
+
+/// `dst = src - dst`, row-band parallel; see [`par_add_into`].
+pub fn par_rsub_assign(
+    dst: &mut MatrixViewMut<'_>,
+    src: &MatrixView<'_>,
+    pool: Option<&ThreadPool>,
+) -> DimResult<()> {
+    check2("rsub_assign", dst.shape(), src.shape())?;
+    if !should_split(pool, dst.rows()) {
+        return rsub_assign(dst, src);
+    }
+    let f = |d: &mut MatrixViewMut<'_>, s: &MatrixView<'_>| {
+        rsub_assign(d, s).expect("band shapes pre-checked");
+    };
+    pool.expect("checked by should_split")
+        .scope(|s| par_bands1(s, dst.reborrow(), *src, &f));
+    Ok(())
+}
+
+/// `dst += alpha * src`, row-band parallel; see [`par_add_into`].
+pub fn par_axpy_assign(
+    dst: &mut MatrixViewMut<'_>,
+    alpha: f64,
+    src: &MatrixView<'_>,
+    pool: Option<&ThreadPool>,
+) -> DimResult<()> {
+    check2("axpy", dst.shape(), src.shape())?;
+    if !should_split(pool, dst.rows()) {
+        return axpy_assign(dst, alpha, src);
+    }
+    let f = move |d: &mut MatrixViewMut<'_>, s: &MatrixView<'_>| {
+        axpy_assign(d, alpha, s).expect("band shapes pre-checked");
+    };
+    pool.expect("checked by should_split")
+        .scope(|s| par_bands1(s, dst.reborrow(), *src, &f));
     Ok(())
 }
 
@@ -225,5 +406,89 @@ mod tests {
     fn elementwise_flops_counts() {
         assert_eq!(elementwise_flops((8, 8)), 64);
         assert_eq!(elementwise_flops((0, 5)), 0);
+    }
+
+    #[test]
+    fn rsub_assign_reverses_subtraction() {
+        let mut dst = m(3, 3, |i, j| (i * 3 + j) as f64);
+        let src = Matrix::filled(3, 3, 10.0);
+        rsub_assign(&mut dst.view_mut(), &src.view()).unwrap();
+        assert_eq!(dst, m(3, 3, |i, j| 10.0 - (i * 3 + j) as f64));
+        let bad = Matrix::zeros(2, 3);
+        assert!(rsub_assign(&mut dst.view_mut(), &bad.view()).is_err());
+    }
+
+    #[test]
+    fn parallel_ops_match_sequential_bitwise() {
+        // Big enough to cross the PAR_MIN_ROWS split threshold.
+        let rows = 3 * PAR_MIN_ROWS;
+        let cols = 64;
+        let a = m(rows, cols, |i, j| ((i * 31 + j * 7) % 97) as f64 * 0.25);
+        let b = m(rows, cols, |i, j| ((i * 13 + j * 11) % 89) as f64 * 0.5);
+        let pool = ThreadPool::new(4);
+
+        let mut seq = Matrix::zeros(rows, cols);
+        add_into(&a.view(), &b.view(), &mut seq.view_mut()).unwrap();
+        let mut par = Matrix::zeros(rows, cols);
+        par_add_into(&a.view(), &b.view(), &mut par.view_mut(), Some(&pool)).unwrap();
+        assert_eq!(seq, par);
+
+        sub_into(&a.view(), &b.view(), &mut seq.view_mut()).unwrap();
+        par_sub_into(&a.view(), &b.view(), &mut par.view_mut(), Some(&pool)).unwrap();
+        assert_eq!(seq, par);
+
+        for variant in 0..4 {
+            let mut seq = a.clone();
+            let mut par = a.clone();
+            match variant {
+                0 => {
+                    add_assign(&mut seq.view_mut(), &b.view()).unwrap();
+                    par_add_assign(&mut par.view_mut(), &b.view(), Some(&pool)).unwrap();
+                }
+                1 => {
+                    sub_assign(&mut seq.view_mut(), &b.view()).unwrap();
+                    par_sub_assign(&mut par.view_mut(), &b.view(), Some(&pool)).unwrap();
+                }
+                2 => {
+                    rsub_assign(&mut seq.view_mut(), &b.view()).unwrap();
+                    par_rsub_assign(&mut par.view_mut(), &b.view(), Some(&pool)).unwrap();
+                }
+                _ => {
+                    axpy_assign(&mut seq.view_mut(), 0.75, &b.view()).unwrap();
+                    par_axpy_assign(&mut par.view_mut(), 0.75, &b.view(), Some(&pool)).unwrap();
+                }
+            }
+            assert_eq!(seq, par, "variant {variant} diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_ops_fall_back_without_pool() {
+        let a = m(8, 8, |i, j| (i + j) as f64);
+        let b = m(8, 8, |i, j| (i * j) as f64);
+        let mut out = Matrix::zeros(8, 8);
+        par_add_into(&a.view(), &b.view(), &mut out.view_mut(), None).unwrap();
+        let want = add(&a.view(), &b.view()).unwrap();
+        assert_eq!(out, want);
+        // Shape errors still reported on the parallel path.
+        let bad = Matrix::zeros(4, 4);
+        assert!(par_add_assign(&mut out.view_mut(), &bad.view(), None).is_err());
+    }
+
+    #[test]
+    fn parallel_ops_on_quadrant_views_respect_stride() {
+        let rows = 2 * PAR_MIN_ROWS;
+        let pool = ThreadPool::new(2);
+        let mut big = Matrix::filled(2 * rows, 2 * rows, -1.0);
+        let src = Matrix::filled(rows, rows, 2.0);
+        {
+            let mut q = big.sub_view_mut((rows, rows), (rows, rows)).unwrap();
+            par_rsub_assign(&mut q, &src.view(), Some(&pool)).unwrap();
+        }
+        // Inside: 2 - (-1) = 3. Outside: untouched.
+        assert_eq!(big.get(rows, rows), 3.0);
+        assert_eq!(big.get(2 * rows - 1, 2 * rows - 1), 3.0);
+        assert_eq!(big.get(rows - 1, rows), -1.0);
+        assert_eq!(big.get(rows, rows - 1), -1.0);
     }
 }

@@ -16,6 +16,13 @@
 //! the communication accounting in the machine model: a steal is exactly the
 //! event that moves operand data between cores' caches.
 //!
+//! Workers can further be partitioned into **scheduling groups**
+//! ([`ThreadPool::try_install_groups`]) — the disjoint processor groups of
+//! a CAPS BFS step. Grouped workers steal own-group first; under a strict
+//! layout they never execute work from another group, and the
+//! in-group/cross-group split of every steal is reported in
+//! [`WorkerStats`]/[`PoolStats`].
+//!
 //! # Example
 //!
 //! ```
@@ -42,6 +49,6 @@ mod pool;
 mod scope;
 mod stats;
 
-pub use pool::{current_worker_index, ThreadPool};
+pub use pool::{current_worker_index, GroupGuard, ThreadPool};
 pub use scope::Scope;
-pub use stats::{PoolStats, WorkerStats};
+pub use stats::{PoolStats, WorkerSnapshot, WorkerStats};

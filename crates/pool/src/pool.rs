@@ -12,11 +12,14 @@ use std::thread::JoinHandle;
 /// A type-erased unit of work.
 pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Group tag of a worker that belongs to no scheduling group.
+const UNGROUPED: usize = usize::MAX;
+
 /// Where a job was obtained from — drives the stats counters.
 enum JobSource {
     Local,
     Injected,
-    Stolen,
+    Stolen { in_group: bool },
 }
 
 /// Globally unique pool identifiers so thread-locals can tell "my pool's
@@ -51,6 +54,19 @@ pub(crate) struct PoolInner {
     id: usize,
     injector: Injector<Job>,
     stealers: Vec<Stealer<Job>>,
+    /// Per-worker targeted queues: any thread may push, giving spawns a
+    /// way to address a specific worker (and therefore its group). The
+    /// owner drains its own mailbox ahead of the global injector.
+    mailboxes: Vec<Injector<Job>>,
+    /// Per-worker scheduling-group tag ([`UNGROUPED`] when none). Written
+    /// only under the `groups_installed` guard.
+    groups: Vec<AtomicUsize>,
+    /// When set (with groups installed), grouped workers never *execute*
+    /// work stolen across a group boundary — the disjoint-processor-group
+    /// semantics of a CAPS BFS step.
+    strict: AtomicBool,
+    /// Exclusive-install guard for the group layout.
+    groups_installed: AtomicBool,
     stats: Vec<WorkerStats>,
     shutdown: AtomicBool,
     /// Parking: workers sleep here when no work is available.
@@ -83,6 +99,12 @@ impl ThreadPool {
             id,
             injector: Injector::new(),
             stealers,
+            mailboxes: (0..num_threads).map(|_| Injector::new()).collect(),
+            groups: (0..num_threads)
+                .map(|_| AtomicUsize::new(UNGROUPED))
+                .collect(),
+            strict: AtomicBool::new(false),
+            groups_installed: AtomicBool::new(false),
             stats,
             shutdown: AtomicBool::new(false),
             sleep_mutex: Mutex::new(()),
@@ -180,6 +202,71 @@ impl ThreadPool {
     pub fn worker_index(&self) -> Option<usize> {
         self.inner.current_worker().map(|ctx| ctx.index)
     }
+
+    /// Partitions the workers into scheduling groups of contiguous index
+    /// ranges for the lifetime of the returned guard.
+    ///
+    /// Workers prefer work from their own group when stealing; with
+    /// `strict` set, grouped workers never *execute* work stolen across a
+    /// group boundary — the paper's disjoint processor groups for one CAPS
+    /// BFS step. Workers left out of every range stay unrestricted.
+    /// Targeted work enters a group via [`Scope::spawn_in`].
+    ///
+    /// Returns `None` (and installs nothing) when another group layout is
+    /// currently installed, when a range is empty or out of bounds, or
+    /// when ranges overlap. Dropping the guard dissolves the groups.
+    pub fn try_install_groups(
+        &self,
+        group_ranges: &[std::ops::Range<usize>],
+        strict: bool,
+    ) -> Option<GroupGuard<'_>> {
+        let n = self.num_threads;
+        let mut claimed = vec![false; n];
+        for r in group_ranges {
+            if r.is_empty() || r.end > n {
+                return None;
+            }
+            for w in r.clone() {
+                if std::mem::replace(&mut claimed[w], true) {
+                    return None;
+                }
+            }
+        }
+        if self
+            .inner
+            .groups_installed
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return None;
+        }
+        for (gi, r) in group_ranges.iter().enumerate() {
+            for w in r.clone() {
+                self.inner.groups[w].store(gi, Ordering::SeqCst);
+            }
+        }
+        self.inner.strict.store(strict, Ordering::SeqCst);
+        Some(GroupGuard { inner: &self.inner })
+    }
+}
+
+/// RAII handle for an installed worker-group layout
+/// ([`ThreadPool::try_install_groups`]). Dropping it clears every group
+/// tag, lifts strictness and wakes parked workers so leftover targeted
+/// work can drain anywhere.
+pub struct GroupGuard<'pool> {
+    inner: &'pool PoolInner,
+}
+
+impl Drop for GroupGuard<'_> {
+    fn drop(&mut self) {
+        self.inner.strict.store(false, Ordering::SeqCst);
+        for g in &self.inner.groups {
+            g.store(UNGROUPED, Ordering::SeqCst);
+        }
+        self.inner.groups_installed.store(false, Ordering::SeqCst);
+        self.inner.notify_all();
+    }
 }
 
 impl Drop for ThreadPool {
@@ -204,6 +291,35 @@ impl PoolInner {
             None => self.injector.push(job),
         }
         self.notify_all();
+    }
+
+    /// Pushes a batch of sibling jobs with a single wakeup broadcast.
+    pub(crate) fn push_jobs(&self, jobs: impl Iterator<Item = Job>) {
+        match self.current_worker() {
+            Some(ctx) => {
+                for job in jobs {
+                    // SAFETY: as in push_job — deque owned by this thread.
+                    unsafe { (*ctx.local).push(job) };
+                }
+            }
+            None => {
+                for job in jobs {
+                    self.injector.push(job);
+                }
+            }
+        }
+        self.notify_all();
+    }
+
+    /// Pushes a job into `worker`'s mailbox: it will run on that worker
+    /// unless another worker (own group first) steals it.
+    pub(crate) fn push_job_to(&self, worker: usize, job: Job) {
+        self.mailboxes[worker].push(job);
+        self.notify_all();
+    }
+
+    pub(crate) fn num_workers(&self) -> usize {
+        self.stealers.len()
     }
 
     fn current_worker(&self) -> Option<WorkerCtx> {
@@ -248,23 +364,51 @@ impl PoolInner {
         if let Some(job) = local.pop() {
             return Some((job, JobSource::Local));
         }
-        // Drain the injector in batches into our deque.
-        loop {
-            match self.injector.steal_batch_and_pop(local) {
-                crossbeam_deque::Steal::Success(job) => return Some((job, JobSource::Injected)),
-                crossbeam_deque::Steal::Retry => continue,
-                crossbeam_deque::Steal::Empty => break,
-            }
+        // Targeted work for this worker, then the global injector — both
+        // drained in batches into our deque.
+        if let Some(job) = steal_batch_into(&self.mailboxes[index], local) {
+            return Some((job, JobSource::Injected));
         }
-        // Steal from siblings, starting after our own index for fairness.
-        let n = self.stealers.len();
-        for k in 1..n {
-            let victim = (index + k) % n;
-            loop {
-                match self.stealers[victim].steal() {
-                    crossbeam_deque::Steal::Success(job) => return Some((job, JobSource::Stolen)),
-                    crossbeam_deque::Steal::Retry => continue,
-                    crossbeam_deque::Steal::Empty => break,
+        if let Some(job) = steal_batch_into(&self.injector, local) {
+            return Some((job, JobSource::Injected));
+        }
+        // Steal from siblings: own group first, then (unless strict)
+        // across groups; within a pass, start after our own index for
+        // fairness. Group tags are re-read after each successful steal —
+        // the steal's acquire makes tags installed before the victim's
+        // push visible — so a strict boundary can never be crossed by a
+        // stale scan: a disallowed catch goes back to the victim's
+        // mailbox, keeping it inside the victim's group.
+        let n = self.num_workers();
+        let my_tag = self.groups[index].load(Ordering::SeqCst);
+        let strict = self.strict.load(Ordering::SeqCst);
+        for same_group_pass in [true, false] {
+            if !same_group_pass && strict && my_tag != UNGROUPED {
+                break;
+            }
+            for k in 1..n {
+                let victim = (index + k) % n;
+                let victim_tag = self.groups[victim].load(Ordering::SeqCst);
+                if (victim_tag == my_tag) != same_group_pass {
+                    continue;
+                }
+                let caught = steal_one(&self.stealers[victim])
+                    .or_else(|| steal_one_injector(&self.mailboxes[victim]));
+                if let Some(job) = caught {
+                    let my_tag = self.groups[index].load(Ordering::SeqCst);
+                    let victim_tag = self.groups[victim].load(Ordering::SeqCst);
+                    let strict = self.strict.load(Ordering::SeqCst);
+                    if strict && my_tag != UNGROUPED && victim_tag != my_tag {
+                        self.mailboxes[victim].push(job);
+                        self.notify_all();
+                        continue;
+                    }
+                    return Some((
+                        job,
+                        JobSource::Stolen {
+                            in_group: victim_tag == my_tag,
+                        },
+                    ));
                 }
             }
         }
@@ -275,13 +419,67 @@ impl PoolInner {
         match src {
             JobSource::Local => self.stats[index].count_local(),
             JobSource::Injected => self.stats[index].count_injected(),
-            JobSource::Stolen => self.stats[index].count_stolen(),
+            JobSource::Stolen { in_group } => self.stats[index].count_stolen(in_group),
         }
         job();
     }
 
-    fn has_any_work(&self) -> bool {
-        !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty())
+    /// `true` when queues this worker is allowed to take from hold work.
+    /// The park-side twin of [`PoolInner::find_job`]'s visit order.
+    fn has_work_for(&self, index: usize) -> bool {
+        if !self.mailboxes[index].is_empty()
+            || !self.injector.is_empty()
+            || !self.stealers[index].is_empty()
+        {
+            return true;
+        }
+        let my_tag = self.groups[index].load(Ordering::SeqCst);
+        let strict = self.strict.load(Ordering::SeqCst);
+        (0..self.num_workers()).any(|victim| {
+            if victim == index {
+                return false;
+            }
+            if strict && my_tag != UNGROUPED && self.groups[victim].load(Ordering::SeqCst) != my_tag
+            {
+                return false;
+            }
+            !self.stealers[victim].is_empty() || !self.mailboxes[victim].is_empty()
+        })
+    }
+}
+
+/// Repeatedly steals a batch from `source` into `local` until a job or a
+/// definitive `Empty` comes back.
+fn steal_batch_into(source: &Injector<Job>, local: &Worker<Job>) -> Option<Job> {
+    loop {
+        match source.steal_batch_and_pop(local) {
+            crossbeam_deque::Steal::Success(job) => return Some(job),
+            crossbeam_deque::Steal::Retry => continue,
+            crossbeam_deque::Steal::Empty => return None,
+        }
+    }
+}
+
+/// Steals a single job from a sibling's deque.
+fn steal_one(stealer: &Stealer<Job>) -> Option<Job> {
+    loop {
+        match stealer.steal() {
+            crossbeam_deque::Steal::Success(job) => return Some(job),
+            crossbeam_deque::Steal::Retry => continue,
+            crossbeam_deque::Steal::Empty => return None,
+        }
+    }
+}
+
+/// Steals a single job from a sibling's mailbox (no batching: targeted
+/// work should not be dragged wholesale onto another worker).
+fn steal_one_injector(mailbox: &Injector<Job>) -> Option<Job> {
+    loop {
+        match mailbox.steal() {
+            crossbeam_deque::Steal::Success(job) => return Some(job),
+            crossbeam_deque::Steal::Retry => continue,
+            crossbeam_deque::Steal::Empty => return None,
+        }
     }
 }
 
@@ -293,10 +491,20 @@ fn worker_loop(inner: Arc<PoolInner>, index: usize, local: Worker<Job>) {
             local: &local as *const _,
         }))
     });
-    const SPIN_TRIES: u32 = 32;
+    // Adaptive spin-then-park: when work shows up while spinning, the
+    // spin budget grows (the queue is bursty — parking would just pay
+    // wakeup latency); every actual park shrinks it back toward a quick
+    // doze so a long-idle worker stops burning its core.
+    const SPIN_MIN: u32 = 4;
+    const SPIN_START: u32 = 32;
+    const SPIN_MAX: u32 = 256;
+    let mut spin_limit = SPIN_START;
     let mut idle_spins = 0u32;
     loop {
         if let Some((job, src)) = inner.find_job(&local, index) {
+            if idle_spins > 0 {
+                spin_limit = (spin_limit * 2).min(SPIN_MAX);
+            }
             idle_spins = 0;
             inner.run_job(job, src, index);
             continue;
@@ -305,17 +513,20 @@ fn worker_loop(inner: Arc<PoolInner>, index: usize, local: Worker<Job>) {
             break;
         }
         idle_spins += 1;
-        if idle_spins < SPIN_TRIES {
+        if idle_spins < spin_limit {
             std::thread::yield_now();
             continue;
         }
         // Park until notified. Re-check for work under the lock to avoid a
-        // lost wakeup between find_job and the wait.
+        // lost wakeup between find_job and the wait; the check only looks
+        // at queues this worker may legally take from, so a strict-grouped
+        // worker does not stay awake for other groups' work.
         let mut guard = inner.sleep_mutex.lock();
-        if inner.has_any_work() || inner.shutdown.load(Ordering::SeqCst) {
+        if inner.has_work_for(index) || inner.shutdown.load(Ordering::SeqCst) {
             continue;
         }
         inner.stats[index].count_park();
+        spin_limit = (spin_limit / 2).max(SPIN_MIN);
         inner.sleep_cond.wait(&mut guard);
         idle_spins = 0;
     }
@@ -527,5 +738,186 @@ mod tests {
         let p2 = ThreadPool::new(2);
         let (a, b) = p1.join(|| p2.join(|| 1, || 2), || 3);
         assert_eq!((a, b), ((1, 2), 3));
+    }
+
+    #[test]
+    fn spawn_n_runs_all_tasks_in_one_batch() {
+        let pool = ThreadPool::new(3);
+        let hits = [const { AtomicU64::new(0) }; 7];
+        pool.scope(|s| {
+            s.spawn_n(7, |i| {
+                let slot = &hits[i];
+                move |_: &crate::Scope<'_, '_>| {
+                    slot.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+        // spawn_n(0, ..) is a no-op, not a hang.
+        pool.scope(|s| s.spawn_n(0, |_| |_: &crate::Scope<'_, '_>| unreachable!()));
+    }
+
+    #[test]
+    fn spawn_n_tasks_can_spawn_recursively() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            s.spawn_n(4, |_| {
+                let total = &total;
+                move |s2: &crate::Scope<'_, '_>| {
+                    s2.spawn_n(4, |_| {
+                        move |_: &crate::Scope<'_, '_>| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn spawn_in_targets_the_addressed_worker_or_its_thief() {
+        let pool = ThreadPool::new(2);
+        let mut ran_on = [usize::MAX; 8];
+        pool.scope(|s| {
+            for (i, slot) in ran_on.iter_mut().enumerate() {
+                s.spawn_in(i % 2, move |_| {
+                    *slot = current_worker_index().expect("on a worker");
+                });
+            }
+        });
+        // Every task ran on some worker (affinity is a preference; an
+        // idle sibling may legally steal targeted work on an ungrouped
+        // pool).
+        assert!(ran_on.iter().all(|&w| w < 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn spawn_in_rejects_bad_worker_index() {
+        let pool = ThreadPool::new(2);
+        pool.scope(|s| s.spawn_in(2, |_| {}));
+    }
+
+    #[test]
+    fn install_groups_validates_layout() {
+        let pool = ThreadPool::new(4);
+        // Out of bounds.
+        assert!(pool.try_install_groups(&[0..2, 2..5], false).is_none());
+        // Overlap.
+        assert!(pool.try_install_groups(&[0..2, 1..4], false).is_none());
+        // Empty range.
+        assert!(pool.try_install_groups(&[0..0, 1..2], false).is_none());
+        // A valid layout installs exclusively until dropped.
+        let g = pool.try_install_groups(&[0..2, 2..4], false).unwrap();
+        assert!(pool.try_install_groups(&[0..1, 1..4], false).is_none());
+        drop(g);
+        let g2 = pool.try_install_groups(&[0..1, 1..4], true).unwrap();
+        drop(g2);
+    }
+
+    #[test]
+    fn steal_split_partitions_total_stolen() {
+        let pool = ThreadPool::new(4);
+        for round in 0..20 {
+            pool.scope(|s| {
+                for _ in 0..64 {
+                    s.spawn(|s2| {
+                        s2.spawn(|_| {
+                            std::hint::black_box(round);
+                        });
+                    });
+                }
+            });
+        }
+        let stats = pool.stats();
+        for w in &stats.workers {
+            assert_eq!(w.steals_in_group + w.steals_cross_group, w.stolen);
+        }
+        assert_eq!(
+            stats.steals_in_group() + stats.steals_cross_group(),
+            stats.total_stolen()
+        );
+    }
+
+    #[test]
+    fn grouped_scope_drains_under_nested_spawns() {
+        // Scope-drain correctness must survive a strict group layout:
+        // every task (including nested ones) completes before scope
+        // returns, whichever group it was addressed to.
+        let pool = ThreadPool::new(4);
+        let _guard = pool.try_install_groups(&[0..2, 2..4], true).unwrap();
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for g in [0usize, 2] {
+                s.spawn_in(g, |s2| {
+                    for _ in 0..8 {
+                        s2.spawn(|s3| {
+                            s3.spawn(|_| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 2 * (1 + 8 * 2));
+    }
+
+    #[test]
+    fn strict_groups_have_no_cross_group_steals() {
+        // The acceptance check for the CAPS BFS mapping: on a
+        // group-aligned pool running a pure per-group schedule, no steal
+        // ever crosses a group boundary.
+        let pool = ThreadPool::new(4);
+        let before = pool.stats();
+        {
+            let _guard = pool.try_install_groups(&[0..2, 2..4], true).unwrap();
+            let total = AtomicU64::new(0);
+            pool.scope(|s| {
+                for g in [0usize, 2] {
+                    s.spawn_in(g, |s2| {
+                        // Plenty of nested work to provoke in-group
+                        // stealing between the two group members.
+                        for _ in 0..200 {
+                            s2.spawn(|_| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 400);
+        }
+        let after = pool.stats();
+        assert_eq!(
+            after.steals_cross_group(),
+            before.steals_cross_group(),
+            "strict group layout leaked a cross-group steal"
+        );
+    }
+
+    #[test]
+    fn group_guard_drop_restores_free_stealing() {
+        let pool = ThreadPool::new(2);
+        {
+            let _g = pool.try_install_groups(&[0..1, 1..2], true).unwrap();
+        }
+        // After the guard is gone the pool behaves as before: plain
+        // spawns drain with all workers participating.
+        let count = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
     }
 }

@@ -37,6 +37,10 @@ impl ScopeLatch {
         self.pending.fetch_add(1, Ordering::AcqRel);
     }
 
+    fn increment_by(&self, n: usize) {
+        self.pending.fetch_add(n, Ordering::AcqRel);
+    }
+
     fn complete_one(&self) {
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last task: wake the scope owner. The lock pairs with
@@ -116,16 +120,13 @@ impl<'pool, 'env> Scope<'pool, 'env> {
         }
     }
 
-    /// Spawns a task into the scope. The task may itself spawn via the scope
-    /// reference it receives.
-    ///
-    /// Panics inside the task are captured and re-raised when the scope
-    /// closes (first panic wins).
-    pub fn spawn<F>(&self, f: F)
+    /// Wraps a task closure in the latch/panic protocol and erases its
+    /// lifetime to a pool-pushable [`Job`]. The latch must already have
+    /// been incremented for this task.
+    fn make_job<F>(&self, f: F) -> Job
     where
         F: FnOnce(&Scope<'_, 'env>) + Send + 'env,
     {
-        self.latch.increment();
         let pool = SendPtr(self.pool as *const PoolInner);
         let latch = SendPtr(self.latch as *const ScopeLatch);
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
@@ -145,12 +146,64 @@ impl<'pool, 'env> Scope<'pool, 'env> {
         // SAFETY: lifetime erasure. The job only borrows data outliving
         // 'env, and the scope protocol guarantees the job completes before
         // `ThreadPool::scope` returns, i.e. before 'env can end.
-        let job: Job = unsafe {
+        unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send + 'static>>(
                 job,
             )
-        };
+        }
+    }
+
+    /// Spawns a task into the scope. The task may itself spawn via the scope
+    /// reference it receives.
+    ///
+    /// Panics inside the task are captured and re-raised when the scope
+    /// closes (first panic wins).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'_, 'env>) + Send + 'env,
+    {
+        self.latch.increment();
+        let job = self.make_job(f);
         self.pool.push_job(job);
+    }
+
+    /// Spawns `n` sibling tasks in one batch: a single latch update and a
+    /// single wakeup broadcast instead of `n` of each. `make(i)` builds
+    /// the `i`-th task on the spawning thread, so each task owns its data.
+    ///
+    /// This is the fan-out primitive for the seven Strassen sub-products:
+    /// the siblings land on the spawning worker's deque back-to-back,
+    /// where idle peers can pick them off.
+    pub fn spawn_n<G, F>(&self, n: usize, mut make: G)
+    where
+        G: FnMut(usize) -> F,
+        F: FnOnce(&Scope<'_, 'env>) + Send + 'env,
+    {
+        if n == 0 {
+            return;
+        }
+        self.latch.increment_by(n);
+        self.pool.push_jobs((0..n).map(|i| self.make_job(make(i))));
+    }
+
+    /// Spawns a task addressed at `worker`'s mailbox. With a group layout
+    /// installed ([`crate::ThreadPool::try_install_groups`]) this is how
+    /// work enters a group: it runs on `worker` or on a same-group thief,
+    /// and under a strict layout never leaves the group.
+    ///
+    /// # Panics
+    /// Panics if `worker` is not a valid worker index for the pool.
+    pub fn spawn_in<F>(&self, worker: usize, f: F)
+    where
+        F: FnOnce(&Scope<'_, 'env>) + Send + 'env,
+    {
+        assert!(
+            worker < self.pool.num_workers(),
+            "spawn_in: worker {worker} out of range"
+        );
+        self.latch.increment();
+        let job = self.make_job(f);
+        self.pool.push_job_to(worker, job);
     }
 }
 

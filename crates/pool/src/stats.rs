@@ -19,6 +19,12 @@ pub struct WorkerStats {
     pub(crate) local: CachePadded<AtomicU64>,
     /// Tasks executed after being stolen from another worker's deque.
     pub(crate) stolen: CachePadded<AtomicU64>,
+    /// Steals whose victim was in the thief's scheduling group (see
+    /// [`crate::ThreadPool::try_install_groups`]); on an ungrouped pool
+    /// every steal counts here.
+    pub(crate) steals_in_group: CachePadded<AtomicU64>,
+    /// Steals that crossed a group boundary.
+    pub(crate) steals_cross_group: CachePadded<AtomicU64>,
     /// Tasks executed after being taken from the global injector.
     pub(crate) injected: CachePadded<AtomicU64>,
     /// Times this worker went to sleep waiting for work.
@@ -34,6 +40,11 @@ pub struct WorkerSnapshot {
     pub local: u64,
     /// Tasks stolen from sibling workers.
     pub stolen: u64,
+    /// Steals from a victim in the thief's own scheduling group.
+    /// `steals_in_group + steals_cross_group == stolen` always holds.
+    pub steals_in_group: u64,
+    /// Steals that crossed a group boundary.
+    pub steals_cross_group: u64,
     /// Tasks taken from the global injector.
     pub injected: u64,
     /// Times the worker parked.
@@ -54,8 +65,13 @@ impl WorkerStats {
         self.local.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn count_stolen(&self) {
+    pub(crate) fn count_stolen(&self, in_group: bool) {
         self.stolen.fetch_add(1, Ordering::Relaxed);
+        if in_group {
+            self.steals_in_group.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.steals_cross_group.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn count_injected(&self) {
@@ -75,6 +91,8 @@ impl WorkerStats {
         WorkerSnapshot {
             local: self.local.load(Ordering::Relaxed),
             stolen: self.stolen.load(Ordering::Relaxed),
+            steals_in_group: self.steals_in_group.load(Ordering::Relaxed),
+            steals_cross_group: self.steals_cross_group.load(Ordering::Relaxed),
             injected: self.injected.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
@@ -98,6 +116,17 @@ impl PoolStats {
     /// Total steals across workers.
     pub fn total_stolen(&self) -> u64 {
         self.workers.iter().map(|w| w.stolen).sum()
+    }
+
+    /// Total steals whose victim shared the thief's scheduling group.
+    pub fn steals_in_group(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals_in_group).sum()
+    }
+
+    /// Total steals that crossed a group boundary — the scheduling
+    /// analogue of the paper's inter-group communication.
+    pub fn steals_cross_group(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals_cross_group).sum()
     }
 
     /// Total task panics caught across workers. Non-zero means some work
@@ -132,17 +161,30 @@ mod tests {
         let s = WorkerStats::default();
         s.count_local();
         s.count_local();
-        s.count_stolen();
+        s.count_stolen(true);
+        s.count_stolen(false);
         s.count_injected();
         s.count_park();
         s.count_panic();
         let snap = s.snapshot();
         assert_eq!(snap.local, 2);
-        assert_eq!(snap.stolen, 1);
+        assert_eq!(snap.stolen, 2);
+        assert_eq!(snap.steals_in_group, 1);
+        assert_eq!(snap.steals_cross_group, 1);
         assert_eq!(snap.injected, 1);
         assert_eq!(snap.parks, 1);
         assert_eq!(snap.panics, 1);
-        assert_eq!(snap.executed(), 4);
+        assert_eq!(snap.executed(), 5);
+    }
+
+    #[test]
+    fn steal_kinds_partition_stolen() {
+        let s = WorkerStats::default();
+        for i in 0..17 {
+            s.count_stolen(i % 3 == 0);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.steals_in_group + snap.steals_cross_group, snap.stolen);
     }
 
     #[test]
@@ -152,6 +194,8 @@ mod tests {
                 WorkerSnapshot {
                     local: 6,
                     stolen: 2,
+                    steals_in_group: 2,
+                    steals_cross_group: 0,
                     injected: 2,
                     parks: 0,
                     panics: 1,
@@ -159,6 +203,8 @@ mod tests {
                 WorkerSnapshot {
                     local: 4,
                     stolen: 4,
+                    steals_in_group: 1,
+                    steals_cross_group: 3,
                     injected: 2,
                     parks: 1,
                     panics: 2,
@@ -167,6 +213,8 @@ mod tests {
         };
         assert_eq!(stats.total_executed(), 20);
         assert_eq!(stats.total_stolen(), 6);
+        assert_eq!(stats.steals_in_group(), 3);
+        assert_eq!(stats.steals_cross_group(), 3);
         assert_eq!(stats.panics_caught(), 3);
         assert!((stats.migration_fraction() - 0.5).abs() < 1e-12);
     }

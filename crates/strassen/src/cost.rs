@@ -5,21 +5,23 @@
 //! counters recorded during real execution, and by the harness to report
 //! the operation-count advantage the paper attributes to Strassen.
 //!
-//! Counts follow the *implementation* (accumulate-form combines), not the
-//! textbook minimum: the classic variant performs 10 pre-additions and 12
-//! accumulating combines per level (22 quadrant passes), Winograd 11 and 8
-//! (19 passes). The textbook 18/15 counts assume ternary adds that real
-//! two-operand kernels split.
+//! Counts follow the *implementation*, which since the fused-leaf rewrite
+//! hits the textbook minimum: the classic variant performs 10 operand
+//! passes and 8 in-place combines per level (18 quadrant passes), Winograd
+//! 8 and 7 (15 passes). Operand sums are packed directly into the leaf
+//! GEMM's buffers and products accumulate into the quadrants they feed, so
+//! no accumulate-form splitting inflates the counts
+//! ([`StrassenConfig::adds_per_level`] agrees with these totals).
 
 use crate::config::{StrassenConfig, Variant};
 
-/// Pre-addition and combine pass counts per recursion level
-/// `(pre, combine)` for a variant, matching the executor's accumulate-form
-/// combines.
+/// Operand-formation and combine pass counts per recursion level
+/// `(pre, combine)` for a variant, matching the executor's fused in-place
+/// schedule.
 pub fn add_passes(variant: Variant) -> (u64, u64) {
     match variant {
-        Variant::Classic => (10, 12),
-        Variant::Winograd => (11, 8),
+        Variant::Classic => (10, 8),
+        Variant::Winograd => (8, 7),
     }
 }
 
@@ -148,16 +150,16 @@ mod tests {
     #[test]
     fn add_flops_one_level_classic() {
         let c = cfg(64);
-        // One level at 128: 22 passes of 64².
-        assert_eq!(add_flops(128, &c), 22 * 64 * 64);
-        // Winograd: 19 passes.
-        assert_eq!(add_flops(128, &c.winograd()), 19 * 64 * 64);
+        // One level at 128: 18 passes of 64².
+        assert_eq!(add_flops(128, &c), 18 * 64 * 64);
+        // Winograd: 15 passes.
+        assert_eq!(add_flops(128, &c.winograd()), 15 * 64 * 64);
     }
 
     #[test]
     fn add_flops_recurrence() {
         let c = cfg(16);
-        let expect = 22 * 32u64.pow(2) + 7 * 22 * 16u64.pow(2);
+        let expect = 18 * 32u64.pow(2) + 7 * 18 * 16u64.pow(2);
         assert_eq!(add_flops(64, &c), expect);
     }
 

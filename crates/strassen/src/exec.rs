@@ -1,9 +1,32 @@
 //! The recursive executor (real computation path).
+//!
+//! The recursion works in **Set semantics** (`dst = A · B`) and is built
+//! around two scratch-avoiding primitives:
+//!
+//! * [`leaf_gemm_fused`] — quadrant sums like `A21 + A22` are packed
+//!   directly into the leaf's panel buffers ([`Operand::Add`] /
+//!   [`Operand::Sub`]) and products merge into `C` in place
+//!   ([`Accum::Add`] / [`Accum::Sub`]), so leaves materialise neither
+//!   operand sums nor product temporaries;
+//! * in-place combine schedules — four of the seven products land
+//!   directly in their destination quadrants and the remaining cross-term
+//!   products cycle through a single scratch matrix (sequential paths),
+//!   cutting per-node scratch from the textbook 7+ temporaries to one
+//!   (Classic) or three (Winograd) half-size matrices.
+//!
+//! The parallel paths use the same per-quadrant update order as the
+//! sequential ones, so results are bitwise identical; they only widen the
+//! scratch set enough to give the seven spawned products disjoint
+//! destinations. Quadrant-sized elementwise passes go through the
+//! row-band-parallel `ops::par_*` family, which is bitwise transparent.
 
+use crate::accounting::{
+    add_pass, record_add, record_level, record_spawns, record_steal_delta, steal_snapshot, sub_pass,
+};
 use crate::config::{StrassenConfig, Variant};
-use powerscale_counters::{Event, EventSet};
+use powerscale_counters::EventSet;
 use powerscale_gemm::arena;
-use powerscale_gemm::leaf::leaf_gemm;
+use powerscale_gemm::leaf::{leaf_gemm_fused, Accum, Operand};
 use powerscale_matrix::{ops, pad, DimError, DimResult, Matrix, MatrixView, MatrixViewMut};
 use powerscale_pool::ThreadPool;
 
@@ -15,7 +38,8 @@ use powerscale_pool::ThreadPool;
 /// multiplication.
 ///
 /// `pool` enables task-parallel execution of the seven sub-products down to
-/// `cfg.task_depth`; `events` receives the work accounting.
+/// `cfg.task_depth`; `events` receives the work accounting (including the
+/// in-group/cross-group steal split the pool observed during the run).
 pub fn multiply(
     a: &MatrixView<'_>,
     b: &MatrixView<'_>,
@@ -23,10 +47,9 @@ pub fn multiply(
     pool: Option<&ThreadPool>,
     events: Option<&EventSet>,
 ) -> DimResult<Matrix> {
-    cfg.validate().map_err(|_| DimError::NotDivisible {
+    cfg.validate().map_err(|reason| DimError::InvalidConfig {
         op: "strassen",
-        dim: cfg.cutoff,
-        by: 2,
+        reason,
     })?;
     if !a.is_square() || !b.is_square() || a.shape() != b.shape() {
         return Err(DimError::Mismatch {
@@ -39,11 +62,12 @@ pub fn multiply(
     if n == 0 {
         return Ok(Matrix::zeros(0, 0));
     }
+    let snap = steal_snapshot(pool);
     let target = pad::next_recursive_size(n, cfg.cutoff);
-    if target == n {
+    let result = if target == n {
         let mut c = Matrix::zeros(n, n);
         rec(*a, *b, &mut c.view_mut(), 0, cfg, pool, events);
-        Ok(c)
+        c
     } else {
         let pa = pad::pad_to(a, target);
         let pb = pad::pad_to(b, target);
@@ -57,21 +81,19 @@ pub fn multiply(
             pool,
             events,
         );
-        Ok(pad::crop(&pc.view(), n, n))
-    }
+        pad::crop(&pc.view(), n, n)
+    };
+    record_steal_delta(events, pool, snap);
+    Ok(result)
 }
 
-/// Records one quadrant-add/sub pass of `h × h` into the event set.
-fn record_add(events: Option<&EventSet>, h: usize) {
-    if let Some(set) = events {
-        let hh = (h * h) as u64;
-        set.record(Event::FpAdds, hh);
-        set.record(Event::BytesRead, 16 * hh);
-        set.record(Event::BytesWritten, 8 * hh);
-    }
+/// The recursion reverts to the dense leaf at or below the cutover size
+/// (odd sizes cannot split into quadrants and also go dense).
+fn is_leaf(n: usize, cutoff: usize) -> bool {
+    n <= cutoff || n % 2 != 0
 }
 
-/// `c += a · b`, recursively.
+/// `c = a · b`, recursively. `c` is fully overwritten.
 fn rec(
     a: MatrixView<'_>,
     b: MatrixView<'_>,
@@ -82,51 +104,130 @@ fn rec(
     events: Option<&EventSet>,
 ) {
     let n = a.rows();
-    if n <= cfg.cutoff || n % 2 != 0 {
-        leaf_gemm(&a, &b, c, events).expect("leaf shapes valid by construction");
+    if is_leaf(n, cfg.cutoff) {
+        leaf_gemm_fused(Operand::View(a), Operand::View(b), c, Accum::Set, events)
+            .expect("leaf shapes valid by construction");
         return;
     }
-    if let Some(set) = events {
-        set.record(Event::RecursionLevels, 1);
-    }
-    match cfg.variant {
-        Variant::Classic => rec_classic(a, b, c, depth, cfg, pool, events),
-        Variant::Winograd => rec_winograd(a, b, c, depth, cfg, pool, events),
+    record_level(events);
+    let parallel = pool.is_some() && depth < cfg.task_depth;
+    match (cfg.variant, parallel) {
+        (Variant::Classic, false) => classic_seq(a, b, c, depth, cfg, pool, events),
+        (Variant::Classic, true) => classic_par(a, b, c, depth, cfg, pool, events),
+        (Variant::Winograd, false) => winograd_seq(a, b, c, depth, cfg, pool, events),
+        (Variant::Winograd, true) => winograd_par(a, b, c, depth, cfg, pool, events),
     }
 }
 
-/// Dispatches the seven named product closures: spawned across the pool
-/// when one is supplied and we are above the task-spawn depth, called
-/// inline otherwise. Taking seven concrete closures (instead of a
-/// `Vec<Box<dyn FnOnce>>`) keeps the sequential path allocation-free;
-/// scratch each closure leases from the [`arena`] returns to whichever
-/// worker ran it.
-macro_rules! run_products {
-    ($depth:expr, $cfg:expr, $pool:expr, $events:expr, $half:expr;
-     $($job:ident),+ $(,)?) => {
-        match $pool {
-            Some(p) if $depth < $cfg.task_depth => {
-                if let Some(set) = $events {
-                    set.record(Event::TasksSpawned, 7);
-                    // Operand footprint that may migrate with each task:
-                    // two half-size inputs.
-                    set.record(
-                        Event::CommBytes,
-                        7 * 2 * 8 * ($half * $half) as u64,
-                    );
-                }
-                p.scope(|s| {
-                    $(s.spawn(move |_| $job());)+
-                });
-            }
-            _ => {
-                $($job();)+
-            }
+/// A fused operand resolved for a non-leaf child: either the original view
+/// or one arena-leased materialisation of the quadrant sum.
+pub enum Resolved<'v> {
+    /// Plain quadrant view, used as-is.
+    View(MatrixView<'v>),
+    /// The evaluated quadrant sum, leased from the worker-local arena.
+    Scratch(arena::ScratchMatrix),
+}
+
+impl Resolved<'_> {
+    /// The resolved operand as a view.
+    pub fn view(&self) -> MatrixView<'_> {
+        match self {
+            Resolved::View(v) => *v,
+            Resolved::Scratch(s) => s.view(),
         }
-    };
+    }
 }
 
-fn rec_classic(
+/// Evaluates a fused operand into scratch when a child must recurse
+/// instead of going to the fused leaf (one elementwise pass — the same
+/// pass a leaf charges for fused packing). Shared with the CAPS executor.
+pub fn resolve_operand<'v>(
+    op: Operand<'v>,
+    h: usize,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) -> Resolved<'v> {
+    match op {
+        Operand::View(v) => Resolved::View(v),
+        Operand::Add(x, y) => {
+            let mut t = arena::matrix_uninit(h, h);
+            ops::par_add_into(&x, &y, &mut t.view_mut(), pool).expect("quadrant shapes");
+            record_add(events, h);
+            Resolved::Scratch(t)
+        }
+        Operand::Sub(x, y) => {
+            let mut t = arena::matrix_uninit(h, h);
+            ops::par_sub_into(&x, &y, &mut t.view_mut(), pool).expect("quadrant shapes");
+            record_add(events, h);
+            Resolved::Scratch(t)
+        }
+    }
+}
+
+/// One Strassen sub-product: `dst (op)= A · B` with unevaluated operand
+/// sums. Leaf children fuse the sums into the packing pass and the merge
+/// into the kernel's `C` update; internal children materialise each sum
+/// once and recurse (merging through scratch for `Add`/`Sub`), keeping the
+/// per-node elementwise pass count identical on both paths.
+#[allow(clippy::too_many_arguments)]
+fn product(
+    a: Operand<'_>,
+    b: Operand<'_>,
+    dst: &mut MatrixViewMut<'_>,
+    accum: Accum,
+    depth: u32,
+    cfg: &StrassenConfig,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) {
+    let h = dst.rows();
+    if is_leaf(h, cfg.cutoff) {
+        leaf_gemm_fused(a, b, dst, accum, events).expect("quadrant shapes valid by construction");
+        return;
+    }
+    let am = resolve_operand(a, h, pool, events);
+    let bm = resolve_operand(b, h, pool, events);
+    match accum {
+        Accum::Set => rec(am.view(), bm.view(), dst, depth, cfg, pool, events),
+        Accum::Add => {
+            let mut t = arena::matrix_uninit(h, h);
+            rec(
+                am.view(),
+                bm.view(),
+                &mut t.view_mut(),
+                depth,
+                cfg,
+                pool,
+                events,
+            );
+            ops::par_add_assign(dst, &t.view(), pool).expect("quadrant shapes");
+            record_add(events, h);
+        }
+        Accum::Sub => {
+            let mut t = arena::matrix_uninit(h, h);
+            rec(
+                am.view(),
+                bm.view(),
+                &mut t.view_mut(),
+                depth,
+                cfg,
+                pool,
+                events,
+            );
+            ops::par_sub_assign(dst, &t.view(), pool).expect("quadrant shapes");
+            record_add(events, h);
+        }
+    }
+}
+
+/// Classic Strassen, sequential: 18 elementwise passes, one half-size
+/// scratch matrix.
+///
+/// M2, M3, M6, M7 are Set straight into C21, C12, C22, C11; the shared
+/// products M1, M4, M5 cycle through `p`. C22's M2/M3 cross-terms are
+/// folded out of the quadrants that hold them before those quadrants take
+/// their own accumulations.
+fn classic_seq(
     a: MatrixView<'_>,
     b: MatrixView<'_>,
     c: &mut MatrixViewMut<'_>,
@@ -140,176 +241,106 @@ fn rec_classic(
     let qb = b.quadrants().expect("even dimension");
     let (a11, a12, a21, a22) = (qa.a11, qa.a12, qa.a21, qa.a22);
     let (b11, b12, b21, b22) = (qb.a11, qb.a12, qb.a21, qb.a22);
-
-    // Product accumulators: zero-filled arena leases (recycled across
-    // recursion nodes after the first pass warms the thread's free list).
-    let mut q1 = arena::matrix(h, h);
-    let mut q2 = arena::matrix(h, h);
-    let mut q3 = arena::matrix(h, h);
-    let mut q4 = arena::matrix(h, h);
-    let mut q5 = arena::matrix(h, h);
-    let mut q6 = arena::matrix(h, h);
-    let mut q7 = arena::matrix(h, h);
-    {
-        let (r1, r2, r3, r4, r5, r6, r7) = (
-            &mut *q1, &mut *q2, &mut *q3, &mut *q4, &mut *q5, &mut *q6, &mut *q7,
-        );
-        // Each product closure leases its own operand scratch (uninit:
-        // `add_into`/`sub_into` overwrite in full), so the seven run
-        // independently (the BOTS untied-task shape).
-        let mut job1 = move || {
-            // Q1 = (A11 + A22)(B11 + B22)
-            let mut tl = arena::matrix_uninit(h, h);
-            let mut tr = arena::matrix_uninit(h, h);
-            ops::add_into(&a11, &a22, &mut tl.view_mut()).expect("quadrant shapes");
-            ops::add_into(&b11, &b22, &mut tr.view_mut()).expect("quadrant shapes");
-            record_add(events, h);
-            record_add(events, h);
-            rec(
-                tl.view(),
-                tr.view(),
-                &mut r1.view_mut(),
-                depth + 1,
-                cfg,
-                pool,
-                events,
-            );
-        };
-        let mut job2 = move || {
-            // Q2 = (A21 + A22) B11
-            let mut tl = arena::matrix_uninit(h, h);
-            ops::add_into(&a21, &a22, &mut tl.view_mut()).expect("quadrant shapes");
-            record_add(events, h);
-            rec(
-                tl.view(),
-                b11,
-                &mut r2.view_mut(),
-                depth + 1,
-                cfg,
-                pool,
-                events,
-            );
-        };
-        let mut job3 = move || {
-            // Q3 = A11 (B12 - B22)
-            let mut tr = arena::matrix_uninit(h, h);
-            ops::sub_into(&b12, &b22, &mut tr.view_mut()).expect("quadrant shapes");
-            record_add(events, h);
-            rec(
-                a11,
-                tr.view(),
-                &mut r3.view_mut(),
-                depth + 1,
-                cfg,
-                pool,
-                events,
-            );
-        };
-        let mut job4 = move || {
-            // Q4 = A22 (B21 - B11)
-            let mut tr = arena::matrix_uninit(h, h);
-            ops::sub_into(&b21, &b11, &mut tr.view_mut()).expect("quadrant shapes");
-            record_add(events, h);
-            rec(
-                a22,
-                tr.view(),
-                &mut r4.view_mut(),
-                depth + 1,
-                cfg,
-                pool,
-                events,
-            );
-        };
-        let mut job5 = move || {
-            // Q5 = (A11 + A12) B22
-            let mut tl = arena::matrix_uninit(h, h);
-            ops::add_into(&a11, &a12, &mut tl.view_mut()).expect("quadrant shapes");
-            record_add(events, h);
-            rec(
-                tl.view(),
-                b22,
-                &mut r5.view_mut(),
-                depth + 1,
-                cfg,
-                pool,
-                events,
-            );
-        };
-        let mut job6 = move || {
-            // Q6 = (A21 - A11)(B11 + B12)
-            let mut tl = arena::matrix_uninit(h, h);
-            let mut tr = arena::matrix_uninit(h, h);
-            ops::sub_into(&a21, &a11, &mut tl.view_mut()).expect("quadrant shapes");
-            ops::add_into(&b11, &b12, &mut tr.view_mut()).expect("quadrant shapes");
-            record_add(events, h);
-            record_add(events, h);
-            rec(
-                tl.view(),
-                tr.view(),
-                &mut r6.view_mut(),
-                depth + 1,
-                cfg,
-                pool,
-                events,
-            );
-        };
-        let mut job7 = move || {
-            // Q7 = (A12 - A22)(B21 + B22)
-            let mut tl = arena::matrix_uninit(h, h);
-            let mut tr = arena::matrix_uninit(h, h);
-            ops::sub_into(&a12, &a22, &mut tl.view_mut()).expect("quadrant shapes");
-            ops::add_into(&b21, &b22, &mut tr.view_mut()).expect("quadrant shapes");
-            record_add(events, h);
-            record_add(events, h);
-            rec(
-                tl.view(),
-                tr.view(),
-                &mut r7.view_mut(),
-                depth + 1,
-                cfg,
-                pool,
-                events,
-            );
-        };
-        run_products!(depth, cfg, pool, events, h; job1, job2, job3, job4, job5, job6, job7);
-    }
-
-    // Combine: C11 += Q1+Q4-Q5+Q7; C12 += Q3+Q5; C21 += Q2+Q4;
-    //          C22 += Q1-Q2+Q3+Q6.
     let qc = c.reborrow().quadrants().expect("even dimension");
     let (mut c11, mut c12, mut c21, mut c22) = (qc.a11, qc.a12, qc.a21, qc.a22);
-    let (q1, q2, q3, q4, q5, q6, q7) = (
-        q1.view(),
-        q2.view(),
-        q3.view(),
-        q4.view(),
-        q5.view(),
-        q6.view(),
-        q7.view(),
+    let d = depth + 1;
+
+    // M2 = (A21 + A22) B11          -> C21
+    product(
+        Operand::Add(a21, a22),
+        Operand::View(b11),
+        &mut c21,
+        Accum::Set,
+        d,
+        cfg,
+        pool,
+        events,
     );
-    let apply = |dst: &mut MatrixViewMut<'_>, src: &MatrixView<'_>, sign: f64| {
-        if sign > 0.0 {
-            ops::add_assign(dst, src).expect("quadrant shapes");
-        } else {
-            ops::sub_assign(dst, src).expect("quadrant shapes");
-        }
-        record_add(events, h);
-    };
-    apply(&mut c11, &q1, 1.0);
-    apply(&mut c11, &q4, 1.0);
-    apply(&mut c11, &q5, -1.0);
-    apply(&mut c11, &q7, 1.0);
-    apply(&mut c12, &q3, 1.0);
-    apply(&mut c12, &q5, 1.0);
-    apply(&mut c21, &q2, 1.0);
-    apply(&mut c21, &q4, 1.0);
-    apply(&mut c22, &q1, 1.0);
-    apply(&mut c22, &q2, -1.0);
-    apply(&mut c22, &q3, 1.0);
-    apply(&mut c22, &q6, 1.0);
+    // M3 = A11 (B12 - B22)          -> C12
+    product(
+        Operand::View(a11),
+        Operand::Sub(b12, b22),
+        &mut c12,
+        Accum::Set,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    // M6 = (A21 - A11)(B11 + B12)   -> C22
+    product(
+        Operand::Sub(a21, a11),
+        Operand::Add(b11, b12),
+        &mut c22,
+        Accum::Set,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    // M7 = (A12 - A22)(B21 + B22)   -> C11
+    product(
+        Operand::Sub(a12, a22),
+        Operand::Add(b21, b22),
+        &mut c11,
+        Accum::Set,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+
+    let mut p = arena::matrix_uninit(h, h);
+    // M1 = (A11 + A22)(B11 + B22)
+    product(
+        Operand::Add(a11, a22),
+        Operand::Add(b11, b22),
+        &mut p.view_mut(),
+        Accum::Set,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    add_pass(&mut c11, &p.view(), pool, events);
+    add_pass(&mut c22, &p.view(), pool, events);
+    // C22 = M6 + M1 - M2 + M3, taking M2/M3 from C21/C12 while they still
+    // hold exactly those products.
+    sub_pass(&mut c22, &c21.as_view(), pool, events);
+    add_pass(&mut c22, &c12.as_view(), pool, events);
+    // M4 = A22 (B21 - B11)
+    product(
+        Operand::View(a22),
+        Operand::Sub(b21, b11),
+        &mut p.view_mut(),
+        Accum::Set,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    add_pass(&mut c11, &p.view(), pool, events);
+    add_pass(&mut c21, &p.view(), pool, events);
+    // M5 = (A11 + A12) B22
+    product(
+        Operand::Add(a11, a12),
+        Operand::View(b22),
+        &mut p.view_mut(),
+        Accum::Set,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    sub_pass(&mut c11, &p.view(), pool, events);
+    add_pass(&mut c12, &p.view(), pool, events);
 }
 
-fn rec_winograd(
+/// Classic Strassen, task-parallel: the same 18 passes and per-quadrant
+/// update order as [`classic_seq`] (results are bitwise identical), with
+/// M1/M4/M5 given their own scratch so all seven products have disjoint
+/// destinations.
+fn classic_par(
     a: MatrixView<'_>,
     b: MatrixView<'_>,
     c: &mut MatrixViewMut<'_>,
@@ -323,77 +354,381 @@ fn rec_winograd(
     let qb = b.quadrants().expect("even dimension");
     let (a11, a12, a21, a22) = (qa.a11, qa.a12, qa.a21, qa.a22);
     let (b11, b12, b21, b22) = (qb.a11, qb.a12, qb.a21, qb.a22);
-
-    // Pre-additions (8): S1..S4 on A, T1..T4 on B. Arena scratch — every
-    // destination is overwritten in full, so uninit leases are safe.
-    let mut s1 = arena::matrix_uninit(h, h);
-    let mut s2 = arena::matrix_uninit(h, h);
-    let mut s3 = arena::matrix_uninit(h, h);
-    let mut s4 = arena::matrix_uninit(h, h);
-    let mut t1 = arena::matrix_uninit(h, h);
-    let mut t2 = arena::matrix_uninit(h, h);
-    let mut t3 = arena::matrix_uninit(h, h);
-    let mut t4 = arena::matrix_uninit(h, h);
-    ops::add_into(&a21, &a22, &mut s1.view_mut()).expect("quadrant shapes");
-    ops::sub_into(&s1.view(), &a11, &mut s2.view_mut()).expect("quadrant shapes");
-    ops::sub_into(&a11, &a21, &mut s3.view_mut()).expect("quadrant shapes");
-    ops::sub_into(&a12, &s2.view(), &mut s4.view_mut()).expect("quadrant shapes");
-    ops::sub_into(&b12, &b11, &mut t1.view_mut()).expect("quadrant shapes");
-    ops::sub_into(&b22, &t1.view(), &mut t2.view_mut()).expect("quadrant shapes");
-    ops::sub_into(&b22, &b12, &mut t3.view_mut()).expect("quadrant shapes");
-    ops::sub_into(&t2.view(), &b21, &mut t4.view_mut()).expect("quadrant shapes");
-    for _ in 0..8 {
-        record_add(events, h);
-    }
-
-    let mut p1 = arena::matrix(h, h);
-    let mut p2 = arena::matrix(h, h);
-    let mut p3 = arena::matrix(h, h);
-    let mut p4 = arena::matrix(h, h);
-    let mut p5 = arena::matrix(h, h);
-    let mut p6 = arena::matrix(h, h);
-    let mut p7 = arena::matrix(h, h);
-    {
-        let (r1, r2, r3, r4, r5, r6, r7) = (
-            &mut *p1, &mut *p2, &mut *p3, &mut *p4, &mut *p5, &mut *p6, &mut *p7,
-        );
-        let (s1v, s2v, s3v, s4v) = (s1.view(), s2.view(), s3.view(), s4.view());
-        let (t1v, t2v, t3v, t4v) = (t1.view(), t2.view(), t3.view(), t4.view());
-        let mut job1 = move || rec(a11, b11, &mut r1.view_mut(), depth + 1, cfg, pool, events);
-        let mut job2 = move || rec(a12, b21, &mut r2.view_mut(), depth + 1, cfg, pool, events);
-        let mut job3 = move || rec(s4v, b22, &mut r3.view_mut(), depth + 1, cfg, pool, events);
-        let mut job4 = move || rec(a22, t4v, &mut r4.view_mut(), depth + 1, cfg, pool, events);
-        let mut job5 = move || rec(s1v, t1v, &mut r5.view_mut(), depth + 1, cfg, pool, events);
-        let mut job6 = move || rec(s2v, t2v, &mut r6.view_mut(), depth + 1, cfg, pool, events);
-        let mut job7 = move || rec(s3v, t3v, &mut r7.view_mut(), depth + 1, cfg, pool, events);
-        run_products!(depth, cfg, pool, events, h; job1, job2, job3, job4, job5, job6, job7);
-    }
-
-    // Combines (7): U1 = P1+P6, U2 = U1+P7, U3 = U1+P5;
-    // C11 += P1+P2, C12 += U3+P3, C21 += U2-P4, C22 += U3+P7.
-    let mut u1 = arena::matrix_uninit(h, h);
-    let mut u2 = arena::matrix_uninit(h, h);
-    let mut u3 = arena::matrix_uninit(h, h);
-    ops::add_into(&p1.view(), &p6.view(), &mut u1.view_mut()).expect("quadrant shapes");
-    ops::add_into(&u1.view(), &p7.view(), &mut u2.view_mut()).expect("quadrant shapes");
-    ops::add_into(&u1.view(), &p5.view(), &mut u3.view_mut()).expect("quadrant shapes");
-    record_add(events, h);
-    record_add(events, h);
-    record_add(events, h);
-
     let qc = c.reborrow().quadrants().expect("even dimension");
     let (mut c11, mut c12, mut c21, mut c22) = (qc.a11, qc.a12, qc.a21, qc.a22);
-    ops::add_assign(&mut c11, &p1.view()).expect("quadrant shapes");
-    ops::add_assign(&mut c11, &p2.view()).expect("quadrant shapes");
-    ops::add_assign(&mut c12, &u3.view()).expect("quadrant shapes");
-    ops::add_assign(&mut c12, &p3.view()).expect("quadrant shapes");
-    ops::add_assign(&mut c21, &u2.view()).expect("quadrant shapes");
-    ops::sub_assign(&mut c21, &p4.view()).expect("quadrant shapes");
-    ops::add_assign(&mut c22, &u3.view()).expect("quadrant shapes");
-    ops::add_assign(&mut c22, &p7.view()).expect("quadrant shapes");
-    for _ in 0..4 {
-        record_add(events, h);
+    let d = depth + 1;
+
+    let mut p1 = arena::matrix_uninit(h, h);
+    let mut p4 = arena::matrix_uninit(h, h);
+    let mut p5 = arena::matrix_uninit(h, h);
+    let pl = pool.expect("parallel path requires a pool");
+    record_spawns(events, 7, h);
+    {
+        let (rc11, rc12, rc21, rc22) = (&mut c11, &mut c12, &mut c21, &mut c22);
+        let (r1, r4, r5) = (&mut *p1, &mut *p4, &mut *p5);
+        pl.scope(|s| {
+            s.spawn(move |_| {
+                product(
+                    Operand::Add(a21, a22),
+                    Operand::View(b11),
+                    rc21,
+                    Accum::Set,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            s.spawn(move |_| {
+                product(
+                    Operand::View(a11),
+                    Operand::Sub(b12, b22),
+                    rc12,
+                    Accum::Set,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            s.spawn(move |_| {
+                product(
+                    Operand::Sub(a21, a11),
+                    Operand::Add(b11, b12),
+                    rc22,
+                    Accum::Set,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            s.spawn(move |_| {
+                product(
+                    Operand::Sub(a12, a22),
+                    Operand::Add(b21, b22),
+                    rc11,
+                    Accum::Set,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            s.spawn(move |_| {
+                product(
+                    Operand::Add(a11, a22),
+                    Operand::Add(b11, b22),
+                    &mut r1.view_mut(),
+                    Accum::Set,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            s.spawn(move |_| {
+                product(
+                    Operand::View(a22),
+                    Operand::Sub(b21, b11),
+                    &mut r4.view_mut(),
+                    Accum::Set,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            s.spawn(move |_| {
+                product(
+                    Operand::Add(a11, a12),
+                    Operand::View(b22),
+                    &mut r5.view_mut(),
+                    Accum::Set,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+        });
     }
+    add_pass(&mut c11, &p1.view(), pool, events);
+    add_pass(&mut c22, &p1.view(), pool, events);
+    sub_pass(&mut c22, &c21.as_view(), pool, events);
+    add_pass(&mut c22, &c12.as_view(), pool, events);
+    add_pass(&mut c11, &p4.view(), pool, events);
+    add_pass(&mut c21, &p4.view(), pool, events);
+    sub_pass(&mut c11, &p5.view(), pool, events);
+    add_pass(&mut c12, &p5.view(), pool, events);
+}
+
+/// Strassen-Winograd, sequential: 15 elementwise passes, three half-size
+/// scratch matrices.
+///
+/// `x`/`y` start as S1 = A21+A22 / T3 = B22−B12 and are updated *in place*
+/// to S2 / T2 once the products needing the first generation (P7, P5) are
+/// taken; T4 and the final P4/P2 merges are fused into the leaves.
+fn winograd_seq(
+    a: MatrixView<'_>,
+    b: MatrixView<'_>,
+    c: &mut MatrixViewMut<'_>,
+    depth: u32,
+    cfg: &StrassenConfig,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) {
+    let h = a.rows() / 2;
+    let qa = a.quadrants().expect("even dimension");
+    let qb = b.quadrants().expect("even dimension");
+    let (a11, a12, a21, a22) = (qa.a11, qa.a12, qa.a21, qa.a22);
+    let (b11, b12, b21, b22) = (qb.a11, qb.a12, qb.a21, qb.a22);
+    let qc = c.reborrow().quadrants().expect("even dimension");
+    let (mut c11, mut c12, mut c21, mut c22) = (qc.a11, qc.a12, qc.a21, qc.a22);
+    let d = depth + 1;
+
+    let mut x = arena::matrix_uninit(h, h);
+    let mut y = arena::matrix_uninit(h, h);
+    // X = S1 = A21 + A22; Y = T3 = B22 - B12.
+    ops::par_add_into(&a21, &a22, &mut x.view_mut(), pool).expect("quadrant shapes");
+    record_add(events, h);
+    ops::par_sub_into(&b22, &b12, &mut y.view_mut(), pool).expect("quadrant shapes");
+    record_add(events, h);
+    // C21 = P7 = (A11 - A21) T3; C22 = P5 = S1 (B12 - B11).
+    product(
+        Operand::Sub(a11, a21),
+        Operand::View(y.view()),
+        &mut c21,
+        Accum::Set,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    product(
+        Operand::View(x.view()),
+        Operand::Sub(b12, b11),
+        &mut c22,
+        Accum::Set,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    // X -> S2 = S1 - A11; Y -> T2 = T3 + B11.
+    sub_pass(&mut x.view_mut(), &a11, pool, events);
+    add_pass(&mut y.view_mut(), &b11, pool, events);
+    let mut p = arena::matrix_uninit(h, h);
+    // P = P6 = S2 T2; C11 = P1 = A11 B11.
+    product(
+        Operand::View(x.view()),
+        Operand::View(y.view()),
+        &mut p.view_mut(),
+        Accum::Set,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    product(
+        Operand::View(a11),
+        Operand::View(b11),
+        &mut c11,
+        Accum::Set,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    // P -> U1 = P1 + P6; C21 -> U2 = U1 + P7.
+    add_pass(&mut p.view_mut(), &c11.as_view(), pool, events);
+    add_pass(&mut c21, &p.view(), pool, events);
+    // C12 = P3 = (A12 - S2) B22, then U3 + P3 (C22 still holds P5).
+    product(
+        Operand::Sub(a12, x.view()),
+        Operand::View(b22),
+        &mut c12,
+        Accum::Set,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    add_pass(&mut c12, &p.view(), pool, events);
+    add_pass(&mut c12, &c22.as_view(), pool, events);
+    // C22 = U3 + P7 = P5 + U2 (C21 holds U2).
+    add_pass(&mut c22, &c21.as_view(), pool, events);
+    // C21 = U2 - P4, with T4 = T2 - B21 fused into the packing pass and
+    // the subtraction fused into the kernel merge.
+    product(
+        Operand::View(a22),
+        Operand::Sub(y.view(), b21),
+        &mut c21,
+        Accum::Sub,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+    // C11 = P1 + P2, merge fused likewise.
+    product(
+        Operand::View(a12),
+        Operand::View(b21),
+        &mut c11,
+        Accum::Add,
+        d,
+        cfg,
+        pool,
+        events,
+    );
+}
+
+/// Strassen-Winograd, task-parallel: same 15 passes and per-quadrant
+/// update order as [`winograd_seq`] (bitwise identical); both generations
+/// of the pre-adds coexist so the seven products can run concurrently.
+fn winograd_par(
+    a: MatrixView<'_>,
+    b: MatrixView<'_>,
+    c: &mut MatrixViewMut<'_>,
+    depth: u32,
+    cfg: &StrassenConfig,
+    pool: Option<&ThreadPool>,
+    events: Option<&EventSet>,
+) {
+    let h = a.rows() / 2;
+    let qa = a.quadrants().expect("even dimension");
+    let qb = b.quadrants().expect("even dimension");
+    let (a11, a12, a21, a22) = (qa.a11, qa.a12, qa.a21, qa.a22);
+    let (b11, b12, b21, b22) = (qb.a11, qb.a12, qb.a21, qb.a22);
+    let qc = c.reborrow().quadrants().expect("even dimension");
+    let (mut c11, mut c12, mut c21, mut c22) = (qc.a11, qc.a12, qc.a21, qc.a22);
+    let d = depth + 1;
+
+    // S1, T3 and their second generation S2 = S1 - A11, T2 = T3 + B11.
+    let mut x = arena::matrix_uninit(h, h);
+    let mut y = arena::matrix_uninit(h, h);
+    let mut x2 = arena::matrix_uninit(h, h);
+    let mut y2 = arena::matrix_uninit(h, h);
+    ops::par_add_into(&a21, &a22, &mut x.view_mut(), pool).expect("quadrant shapes");
+    record_add(events, h);
+    ops::par_sub_into(&b22, &b12, &mut y.view_mut(), pool).expect("quadrant shapes");
+    record_add(events, h);
+    ops::par_sub_into(&x.view(), &a11, &mut x2.view_mut(), pool).expect("quadrant shapes");
+    record_add(events, h);
+    ops::par_add_into(&y.view(), &b11, &mut y2.view_mut(), pool).expect("quadrant shapes");
+    record_add(events, h);
+
+    let mut pa = arena::matrix_uninit(h, h); // P6
+    let mut pb = arena::matrix_uninit(h, h); // P4
+    let mut pc = arena::matrix_uninit(h, h); // P2
+    let pl = pool.expect("parallel path requires a pool");
+    record_spawns(events, 7, h);
+    {
+        let (rc11, rc12, rc21, rc22) = (&mut c11, &mut c12, &mut c21, &mut c22);
+        let (ra, rb, rp) = (&mut *pa, &mut *pb, &mut *pc);
+        let (yv, xv, x2v, y2v) = (y.view(), x.view(), x2.view(), y2.view());
+        pl.scope(|s| {
+            s.spawn(move |_| {
+                // P7 -> C21
+                product(
+                    Operand::Sub(a11, a21),
+                    Operand::View(yv),
+                    rc21,
+                    Accum::Set,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            s.spawn(move |_| {
+                // P5 -> C22
+                product(
+                    Operand::View(xv),
+                    Operand::Sub(b12, b11),
+                    rc22,
+                    Accum::Set,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            s.spawn(move |_| {
+                // P6
+                product(
+                    Operand::View(x2v),
+                    Operand::View(y2v),
+                    &mut ra.view_mut(),
+                    Accum::Set,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            s.spawn(move |_| {
+                // P1 -> C11
+                product(
+                    Operand::View(a11),
+                    Operand::View(b11),
+                    rc11,
+                    Accum::Set,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            s.spawn(move |_| {
+                // P3 -> C12
+                product(
+                    Operand::Sub(a12, x2v),
+                    Operand::View(b22),
+                    rc12,
+                    Accum::Set,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            s.spawn(move |_| {
+                // P4, with T4 = T2 - B21 fused
+                product(
+                    Operand::View(a22),
+                    Operand::Sub(y2v, b21),
+                    &mut rb.view_mut(),
+                    Accum::Set,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+            s.spawn(move |_| {
+                // P2
+                product(
+                    Operand::View(a12),
+                    Operand::View(b21),
+                    &mut rp.view_mut(),
+                    Accum::Set,
+                    d,
+                    cfg,
+                    pool,
+                    events,
+                );
+            });
+        });
+    }
+    // Combines in the sequential schedule's per-quadrant order.
+    add_pass(&mut pa.view_mut(), &c11.as_view(), pool, events); // U1
+    add_pass(&mut c21, &pa.view(), pool, events); // U2
+    add_pass(&mut c12, &pa.view(), pool, events);
+    add_pass(&mut c12, &c22.as_view(), pool, events); // C12 final
+    add_pass(&mut c22, &c21.as_view(), pool, events); // C22 final
+    sub_pass(&mut c21, &pb.view(), pool, events); // C21 final
+    add_pass(&mut c11, &pc.view(), pool, events); // C11 final
 }
 
 #[cfg(test)]
@@ -450,19 +785,21 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let cfg = StrassenConfig {
+        let classic = StrassenConfig {
             cutoff: 16,
             ..Default::default()
         };
-        let mut gen = MatrixGen::new(99);
-        let a = gen.paper_operand(128);
-        let b = gen.paper_operand(128);
-        let seq = multiply(&a.view(), &b.view(), &cfg, None, None).unwrap();
-        let pool = ThreadPool::new(4);
-        let par = multiply(&a.view(), &b.view(), &cfg, Some(&pool), None).unwrap();
-        // Identical task decomposition and per-quadrant ownership:
-        // results are bitwise equal.
-        assert_eq!(seq, par);
+        for cfg in [classic, classic.winograd()] {
+            let mut gen = MatrixGen::new(99);
+            let a = gen.paper_operand(128);
+            let b = gen.paper_operand(128);
+            let seq = multiply(&a.view(), &b.view(), &cfg, None, None).unwrap();
+            let pool = ThreadPool::new(4);
+            let par = multiply(&a.view(), &b.view(), &cfg, Some(&pool), None).unwrap();
+            // Identical per-quadrant update order in both schedules:
+            // results are bitwise equal.
+            assert_eq!(seq, par, "variant {:?}", cfg.variant);
+        }
     }
 
     #[test]
@@ -495,8 +832,24 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_reports_invalid_config_error() {
+        let a = Matrix::zeros(4, 4);
+        let cfg = StrassenConfig {
+            cutoff: 1,
+            ..Default::default()
+        };
+        match multiply(&a.view(), &a.view(), &cfg, None, None) {
+            Err(DimError::InvalidConfig { op, reason }) => {
+                assert_eq!(op, "strassen");
+                assert!(reason.contains("cutoff"), "reason: {reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn event_accounting_has_expected_structure() {
-        use powerscale_counters::EventSet;
+        use powerscale_counters::{Event, EventSet};
         let cfg = StrassenConfig {
             cutoff: 16,
             ..Default::default()
@@ -512,20 +865,42 @@ mod tests {
         let p = set.stop().unwrap();
         // Two recursion levels: 64 -> 32 -> 16(leaf). Internal nodes: 1 + 7.
         assert_eq!(p.get(Event::RecursionLevels), 8);
-        // Leaves: 49 multiplications of 16^3.
+        // Leaves: 49 multiplications of 16^3, one packed kernel sweep each.
         assert_eq!(p.get(Event::KernelCalls), 49);
         assert_eq!(p.get(Event::FpOps), 49 * 2 * 16 * 16 * 16);
-        // Classic accumulate-form: 22 add passes/level (10 pre + 12
-        // combine), sizes 32 (x1 level) and 16 (x7 nodes).
-        let expected_adds = 22 * 32 * 32 + 7 * 22 * 16 * 16;
+        // Classic in-place form: 18 elementwise passes per node (10 fused
+        // operand passes + 8 combines), matching `adds_per_level()`.
+        let expected_adds = 18 * 32 * 32 + 7 * 18 * 16 * 16;
         assert_eq!(p.get(Event::FpAdds), expected_adds as u64);
         // No tasks spawned without a pool.
         assert_eq!(p.get(Event::TasksSpawned), 0);
     }
 
     #[test]
+    fn winograd_event_accounting_matches_adds_per_level() {
+        use powerscale_counters::{Event, EventSet};
+        let cfg = StrassenConfig {
+            cutoff: 16,
+            ..Default::default()
+        }
+        .winograd();
+        let mut gen = MatrixGen::new(7);
+        let a = gen.paper_operand(64);
+        let b = gen.paper_operand(64);
+        let mut set = EventSet::with_all_events();
+        set.start().unwrap();
+        let _ = multiply(&a.view(), &b.view(), &cfg, None, Some(&set)).unwrap();
+        let p = set.stop().unwrap();
+        assert_eq!(p.get(Event::RecursionLevels), 8);
+        assert_eq!(p.get(Event::KernelCalls), 49);
+        // Winograd in-place form: 15 passes per node.
+        let expected_adds = 15 * 32 * 32 + 7 * 15 * 16 * 16;
+        assert_eq!(p.get(Event::FpAdds), expected_adds as u64);
+    }
+
+    #[test]
     fn spawn_accounting_with_pool() {
-        use powerscale_counters::EventSet;
+        use powerscale_counters::{Event, EventSet};
         let cfg = StrassenConfig {
             cutoff: 16,
             task_depth: 1,

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accounting;
 mod config;
 pub mod cost;
 mod exec;
@@ -43,5 +44,5 @@ pub mod memory;
 pub mod plan;
 
 pub use config::{StrassenConfig, Variant};
-pub use exec::multiply;
+pub use exec::{multiply, resolve_operand, Resolved};
 pub use plan::{strassen_graph, strassen_graph_with};

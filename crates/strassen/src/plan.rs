@@ -13,15 +13,22 @@ use crate::config::{StrassenConfig, Variant};
 use crate::cost;
 use powerscale_machine::{KernelClass, TaskCost, TaskGraph, TaskId, TrafficModel};
 
-/// Pre-addition counts per product for the classic variant.
+/// Operand-formation counts per product for the classic variant (the
+/// executor fuses these into the leaf packing, but the work is still one
+/// pass per operand sum).
 const CLASSIC_PRE: [u64; 7] = [2, 1, 1, 1, 1, 2, 2];
-/// Combine-pass counts per C quadrant for the classic variant.
-const CLASSIC_COMBINE: [u64; 4] = [4, 2, 2, 4];
-/// Winograd: 8 shared pre-adds charged to the first prepare task, then the
-/// per-product extras are zero (products read the shared S/T buffers).
+/// In-place combine passes per C quadrant for the classic variant:
+/// four products land via `Accum::Set` (no pass), the remaining eight
+/// accumulations split as C11 += P1,P4,−P5; C12 += P5; C21 += P4;
+/// C22 += P1,−C21,+C12.
+const CLASSIC_COMBINE: [u64; 4] = [3, 1, 1, 3];
+/// Winograd: 8 shared S/T operand passes charged to the first prepare
+/// task, then the per-product extras are zero (products read the shared
+/// S/T values, half of them fused straight into the leaf packing).
 const WINOGRAD_PRE: [u64; 7] = [8, 0, 0, 0, 0, 0, 0];
-/// Winograd combine passes per quadrant (U chains charged to C12/C21/C22).
-const WINOGRAD_COMBINE: [u64; 4] = [2, 3, 3, 3];
+/// Winograd in-place combine passes per quadrant (7 total: the U1 chain
+/// pass is charged to C21, whose U2 consumes it).
+const WINOGRAD_COMBINE: [u64; 4] = [1, 2, 3, 1];
 
 /// Emits the Strassen task graph for an `n × n` multiply under `cfg`.
 ///

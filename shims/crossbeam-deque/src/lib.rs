@@ -139,6 +139,14 @@ impl<T> Injector<T> {
         locked(&self.queue).len()
     }
 
+    /// Steals a single task from the injector.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
     /// Steals a batch of tasks into `dest`'s queue and pops one of them.
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
         let mut q = locked(&self.queue);
@@ -188,6 +196,16 @@ mod tests {
         // Half of the remaining nine moved over.
         assert_eq!(w.len(), 4);
         assert_eq!(inj.len(), 5);
+    }
+
+    #[test]
+    fn injector_single_steal_is_fifo() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert_eq!(inj.steal(), Steal::Success(2));
+        assert_eq!(inj.steal(), Steal::Empty);
     }
 
     #[test]
