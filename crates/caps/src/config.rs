@@ -12,6 +12,14 @@ pub struct CapsConfig {
     /// Workers the DFS work-sharing splits loops across (the paper's
     /// 4-core testbed).
     pub dfs_ways: usize,
+    /// Install the strict seven-group worker layout for the BFS phase
+    /// (one disjoint processor group per root sub-product, each root task
+    /// pinned to its group) when the pool is wide enough. On by default —
+    /// it is the paper's placement discipline; turning it off reverts the
+    /// BFS phase to free-for-all work stealing, which is the ablation arm
+    /// of the group-affinity study and lets the test matrix exercise both
+    /// schedules on the same pool.
+    pub group_affine: bool,
 }
 
 impl Default for CapsConfig {
@@ -20,6 +28,7 @@ impl Default for CapsConfig {
             cutoff: 64,
             cutoff_depth: 4,
             dfs_ways: 4,
+            group_affine: true,
         }
     }
 }

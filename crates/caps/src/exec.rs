@@ -59,7 +59,12 @@ pub fn multiply(
     // The guard restores free-for-all stealing when the multiply returns.
     let mut seed: Option<[usize; 7]> = None;
     let _groups = match pool {
-        Some(p) if cfg.cutoff_depth > 0 && n > cfg.cutoff && p.num_threads() >= 7 => {
+        Some(p)
+            if cfg.group_affine
+                && cfg.cutoff_depth > 0
+                && n > cfg.cutoff
+                && p.num_threads() >= 7 =>
+        {
             let per = p.num_threads() / 7;
             let ranges: Vec<std::ops::Range<usize>> = (0..7)
                 .map(|g| {
@@ -492,6 +497,7 @@ mod tests {
             cutoff: 8,
             cutoff_depth: 1,
             dfs_ways: 3,
+            ..Default::default()
         };
         let pool = ThreadPool::new(3);
         for n in [32, 64, 128] {
@@ -563,6 +569,7 @@ mod tests {
                 cutoff: 16,
                 cutoff_depth: 8,
                 dfs_ways: 2,
+                ..Default::default()
             },
             Some(&pool),
             Some(&set_bfs),
@@ -582,6 +589,7 @@ mod tests {
                 cutoff: 16,
                 cutoff_depth: 0,
                 dfs_ways: 2,
+                ..Default::default()
             },
             Some(&pool),
             Some(&set_dfs),
@@ -602,6 +610,7 @@ mod tests {
             cutoff: 16,
             cutoff_depth: 8,
             dfs_ways: 1,
+            ..Default::default()
         };
         let mut set = EventSet::with_all_events();
         set.start().unwrap();
@@ -621,6 +630,39 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::single_range_in_vec_init)] // &[Range] is the install API
+    fn group_affine_off_reverts_to_free_stealing_bitwise_identically() {
+        // The ablation arm: same pool, same operands, `group_affine`
+        // off. No group layout is installed (the pool stays free to
+        // install one mid-run), and the result is bitwise identical to
+        // the group-affine run — placement must never touch arithmetic.
+        let pool = ThreadPool::new(7);
+        let mut gen = MatrixGen::new(11);
+        let a = gen.paper_operand(128);
+        let b = gen.paper_operand(128);
+        let affine_cfg = CapsConfig {
+            cutoff: 16,
+            cutoff_depth: 8,
+            dfs_ways: 1,
+            ..Default::default()
+        };
+        let free_cfg = CapsConfig {
+            group_affine: false,
+            ..affine_cfg
+        };
+        let c_affine = multiply(&a.view(), &b.view(), &affine_cfg, Some(&pool), None).unwrap();
+        let c_free = multiply(&a.view(), &b.view(), &free_cfg, Some(&pool), None).unwrap();
+        assert_eq!(
+            c_affine, c_free,
+            "group-affinity changed numerics, not just placement"
+        );
+        // With affinity off the multiply must leave the pool ungrouped:
+        // a fresh install succeeds immediately afterwards.
+        let g = pool.try_install_groups(&[0..7], false);
+        assert!(g.is_some());
+    }
+
+    #[test]
     fn grouped_parallel_matches_sequential_bitwise() {
         // The group-affine BFS schedule changes only task placement, not
         // arithmetic.
@@ -628,6 +670,7 @@ mod tests {
             cutoff: 16,
             cutoff_depth: 8,
             dfs_ways: 1,
+            ..Default::default()
         };
         let mut gen = MatrixGen::new(13);
         let a = gen.paper_operand(128);

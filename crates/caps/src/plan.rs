@@ -223,6 +223,7 @@ mod tests {
             cutoff: 64,
             cutoff_depth: 0,
             dfs_ways: 3,
+            ..Default::default()
         };
         let g = caps_graph(512, &cfg);
         assert_eq!(g.len(), 3);

@@ -16,6 +16,7 @@
 //! [`crate::BlockingParams`]).
 
 use powerscale_matrix::MatrixViewMut;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Register-tile rows of the portable scalar microkernel.
 pub const SCALAR_MR: usize = 4;
@@ -68,14 +69,68 @@ pub fn simd_kernel() -> Option<&'static KernelInfo> {
     crate::simd::detect()
 }
 
+/// A runtime pin on the dispatch tier [`select_kernel`] resolves to.
+///
+/// [`GemmContext::with_kernel`](crate::GemmContext::with_kernel) pins the
+/// kernel for one explicit `dgemm` call, but the recursive executors
+/// (Strassen/CAPS) reach their leaves through
+/// [`crate::leaf_gemm_fused`], which dispatches internally — this
+/// process-wide pin is the lever that drives *those* paths through a
+/// chosen tier (the differential test matrix runs every algorithm under
+/// both `Scalar` and `Simd`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelTier {
+    /// Normal dispatch: SIMD when the host supports it (unless the
+    /// `force-scalar` feature pins scalar).
+    #[default]
+    Auto,
+    /// Always the portable scalar kernel.
+    Scalar,
+    /// The host's SIMD kernel; falls back to scalar when the host has
+    /// none (so a pinned test matrix degrades instead of aborting).
+    Simd,
+}
+
+static TIER: AtomicU8 = AtomicU8::new(0);
+
+/// The current process-wide dispatch-tier pin.
+pub fn kernel_tier() -> KernelTier {
+    match TIER.load(Ordering::Relaxed) {
+        1 => KernelTier::Scalar,
+        2 => KernelTier::Simd,
+        _ => KernelTier::Auto,
+    }
+}
+
+/// Pins (or with [`KernelTier::Auto`] unpins) the dispatch tier for the
+/// whole process. Wins over the `force-scalar` feature; a `Simd` pin on a
+/// host with no SIMD tier degrades to scalar. Returns the previous pin so
+/// callers can restore it.
+pub fn set_kernel_tier(tier: KernelTier) -> KernelTier {
+    let prev = kernel_tier();
+    let raw = match tier {
+        KernelTier::Auto => 0,
+        KernelTier::Scalar => 1,
+        KernelTier::Simd => 2,
+    };
+    TIER.store(raw, Ordering::Relaxed);
+    prev
+}
+
 /// Selects the microkernel for this host: the SIMD tier when the CPU
 /// supports it, the scalar fallback otherwise. The `force-scalar` cargo
 /// feature pins the scalar kernel (used by CI to exercise the portable
-/// path on SIMD-capable hosts).
+/// path on SIMD-capable hosts); a runtime [`set_kernel_tier`] pin wins
+/// over both.
 ///
 /// Feature detection is cached by the standard library, so this is cheap
 /// enough to call per GEMM invocation.
 pub fn select_kernel() -> &'static KernelInfo {
+    match kernel_tier() {
+        KernelTier::Scalar => return &SCALAR_KERNEL,
+        KernelTier::Simd => return simd_kernel().unwrap_or(&SCALAR_KERNEL),
+        KernelTier::Auto => {}
+    }
     if cfg!(feature = "force-scalar") {
         return &SCALAR_KERNEL;
     }
@@ -141,6 +196,10 @@ mod tests {
 
     const MR: usize = SCALAR_MR;
     const NR: usize = SCALAR_NR;
+
+    /// The tier pin is process-global; tests that write or assert on it
+    /// must not interleave.
+    static PIN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn tile_matches_naive_product() {
@@ -211,7 +270,24 @@ mod tests {
     }
 
     #[test]
+    fn tier_pin_round_trips_and_drives_dispatch() {
+        let _guard = PIN_LOCK.lock().unwrap();
+        let prev = set_kernel_tier(KernelTier::Scalar);
+        assert_eq!(select_kernel().name, "scalar");
+        assert_eq!(kernel_tier(), KernelTier::Scalar);
+        let got = set_kernel_tier(KernelTier::Simd);
+        assert_eq!(got, KernelTier::Scalar);
+        match simd_kernel() {
+            Some(simd) => assert_eq!(select_kernel().name, simd.name),
+            None => assert_eq!(select_kernel().name, "scalar"),
+        }
+        set_kernel_tier(prev);
+        assert_eq!(kernel_tier(), prev);
+    }
+
+    #[test]
     fn dispatch_is_consistent() {
+        let _guard = PIN_LOCK.lock().unwrap();
         let k = select_kernel();
         assert!(k.mr > 0 && k.nr > 0);
         if cfg!(feature = "force-scalar") {

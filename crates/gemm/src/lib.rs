@@ -56,5 +56,7 @@ mod simd;
 
 pub use blocking::BlockingParams;
 pub use dgemm::{dgemm, multiply, GemmContext};
-pub use kernel::{scalar_kernel, select_kernel, simd_kernel, KernelInfo};
+pub use kernel::{
+    kernel_tier, scalar_kernel, select_kernel, set_kernel_tier, simd_kernel, KernelInfo, KernelTier,
+};
 pub use leaf::{leaf_gemm_fused, set_unfused_leaf, Accum, Operand};

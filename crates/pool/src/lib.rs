@@ -45,10 +45,14 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+#[cfg(feature = "deterministic")]
+pub mod det;
 mod pool;
 mod scope;
 mod stats;
 
+#[cfg(feature = "deterministic")]
+pub use det::{DetConfig, DetEvent, DetTrace};
 pub use pool::{current_worker_index, GroupGuard, ThreadPool};
 pub use scope::Scope;
 pub use stats::{PoolStats, WorkerSnapshot, WorkerStats};

@@ -1,5 +1,7 @@
 //! The thread pool itself: workers, deques, injector, parking.
 
+#[cfg(feature = "deterministic")]
+use crate::det;
 use crate::scope::{Scope, ScopeLatch};
 use crate::stats::{PoolStats, WorkerStats};
 use crossbeam_deque::{Injector, Stealer, Worker};
@@ -72,6 +74,12 @@ pub(crate) struct PoolInner {
     /// Parking: workers sleep here when no work is available.
     sleep_mutex: Mutex<()>,
     sleep_cond: Condvar,
+    /// Installed token scheduler while a deterministic run is active.
+    /// `det_on` is the fast-path flag the hooks check first.
+    #[cfg(feature = "deterministic")]
+    det: Mutex<Option<Arc<det::DetScheduler>>>,
+    #[cfg(feature = "deterministic")]
+    det_on: AtomicBool,
 }
 
 /// A fixed-size work-stealing thread pool.
@@ -109,6 +117,10 @@ impl ThreadPool {
             shutdown: AtomicBool::new(false),
             sleep_mutex: Mutex::new(()),
             sleep_cond: Condvar::new(),
+            #[cfg(feature = "deterministic")]
+            det: Mutex::new(None),
+            #[cfg(feature = "deterministic")]
+            det_on: AtomicBool::new(false),
         });
         let threads = workers
             .into_iter()
@@ -250,6 +262,88 @@ impl ThreadPool {
     }
 }
 
+#[cfg(feature = "deterministic")]
+impl ThreadPool {
+    /// Runs `f` (as the root task of a scope, on a worker) under the
+    /// seeded deterministic token scheduler and returns its result plus
+    /// the recorded [`det::DetTrace`]. Same seed and config ⇒ the same
+    /// schedule and a byte-identical trace.
+    ///
+    /// The pool must be otherwise idle for the duration of the run: the
+    /// scheduler serialises *this pool's workers*, so concurrent work
+    /// submitted from other threads while the run is active would fall
+    /// outside the deterministic envelope. All work must descend from
+    /// `f` (which may freely use the pool: nested scopes, `spawn_in`,
+    /// group installs).
+    ///
+    /// # Panics
+    /// Panics if a deterministic run is already active on this pool.
+    /// Task panics propagate after the run tears down cleanly.
+    pub fn run_deterministic<F, R>(&self, cfg: &det::DetConfig, f: F) -> (R, det::DetTrace)
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.det_run(cfg, det::DrawSource::seeded(cfg.seed), f)
+    }
+
+    /// Re-runs `f` under the schedule recorded in `trace` (which must
+    /// come from a run with the same `cfg` and the same workload): the
+    /// recorded draw stream replaces the RNG, so every scheduling
+    /// decision — and therefore the interleaving — is reproduced
+    /// exactly. The returned trace's event list equals the recorded one
+    /// when the replay really did follow the recording; asserting that
+    /// equality is the caller's replay check.
+    pub fn replay_deterministic<F, R>(
+        &self,
+        cfg: &det::DetConfig,
+        trace: &det::DetTrace,
+        f: F,
+    ) -> (R, det::DetTrace)
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.det_run(cfg, det::DrawSource::replay(trace), f)
+    }
+
+    fn det_run<F, R>(
+        &self,
+        cfg: &det::DetConfig,
+        source: det::DrawSource,
+        f: F,
+    ) -> (R, det::DetTrace)
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let sched = Arc::new(det::DetScheduler::new(
+            self.num_threads,
+            cfg.clone(),
+            source,
+        ));
+        self.inner.install_det(Arc::clone(&sched));
+        // Tear down on every exit path (including a propagated task
+        // panic) so the pool never stays serialised.
+        struct Uninstall<'a>(&'a PoolInner);
+        impl Drop for Uninstall<'_> {
+            fn drop(&mut self) {
+                self.0.uninstall_det();
+            }
+        }
+        let mut out = None;
+        {
+            let _guard = Uninstall(&self.inner);
+            self.scope(|s| {
+                let slot = &mut out;
+                s.spawn(move |_| *slot = Some(f()));
+            });
+        }
+        let trace = sched.take_trace();
+        (out.expect("deterministic root task did not run"), trace)
+    }
+}
+
 /// RAII handle for an installed worker-group layout
 /// ([`ThreadPool::try_install_groups`]). Dropping it clears every group
 /// tag, lifts strictness and wakes parked workers so leftover targeted
@@ -280,6 +374,60 @@ impl Drop for ThreadPool {
 }
 
 impl PoolInner {
+    /// The active deterministic scheduler, if any (one atomic load on the
+    /// fast path; the feature gate removes the hook entirely when off).
+    #[cfg(feature = "deterministic")]
+    fn det_scheduler(&self) -> Option<Arc<det::DetScheduler>> {
+        if !self.det_on.load(Ordering::SeqCst) {
+            return None;
+        }
+        self.det.lock().clone()
+    }
+
+    /// Installs a deterministic run: publishes the scheduler, wakes every
+    /// parked worker into the stepping loop and blocks until all of them
+    /// have arrived — only then may the caller inject the root job.
+    #[cfg(feature = "deterministic")]
+    fn install_det(&self, sched: Arc<det::DetScheduler>) {
+        {
+            let mut slot = self.det.lock();
+            assert!(
+                slot.is_none(),
+                "a deterministic run is already active on this pool"
+            );
+            *slot = Some(Arc::clone(&sched));
+        }
+        self.det_on.store(true, Ordering::SeqCst);
+        self.notify_all();
+        sched.wait_all_arrived();
+    }
+
+    /// Ends a deterministic run: waits for the scheduler to go quiescent
+    /// (freezing the trace at a timing-independent point), releases every
+    /// worker back to free running and clears the hook.
+    #[cfg(feature = "deterministic")]
+    fn uninstall_det(&self) {
+        let sched = self.det.lock().clone();
+        if let Some(s) = sched {
+            s.stop();
+        }
+        self.det_on.store(false, Ordering::SeqCst);
+        *self.det.lock() = None;
+        self.notify_all();
+    }
+
+    /// Deterministic spawn hook: a worker yields the token after
+    /// publishing work; an external push resumes a paused scheduler.
+    #[cfg(feature = "deterministic")]
+    fn det_after_push(&self, count: usize, target: Option<usize>) {
+        if let Some(d) = self.det_scheduler() {
+            match self.current_worker() {
+                Some(ctx) => d.on_spawn(ctx.index, count, target),
+                None => d.on_external_push(),
+            }
+        }
+    }
+
     /// Pushes a job, preferring the current worker's local deque.
     pub(crate) fn push_job(&self, job: Job) {
         match self.current_worker() {
@@ -291,24 +439,34 @@ impl PoolInner {
             None => self.injector.push(job),
         }
         self.notify_all();
+        #[cfg(feature = "deterministic")]
+        self.det_after_push(1, None);
     }
 
     /// Pushes a batch of sibling jobs with a single wakeup broadcast.
     pub(crate) fn push_jobs(&self, jobs: impl Iterator<Item = Job>) {
+        let mut pushed = 0usize;
         match self.current_worker() {
             Some(ctx) => {
                 for job in jobs {
                     // SAFETY: as in push_job — deque owned by this thread.
                     unsafe { (*ctx.local).push(job) };
+                    pushed += 1;
                 }
             }
             None => {
                 for job in jobs {
                     self.injector.push(job);
+                    pushed += 1;
                 }
             }
         }
+        let _ = pushed;
         self.notify_all();
+        #[cfg(feature = "deterministic")]
+        if pushed > 0 {
+            self.det_after_push(pushed, None);
+        }
     }
 
     /// Pushes a job into `worker`'s mailbox: it will run on that worker
@@ -316,6 +474,8 @@ impl PoolInner {
     pub(crate) fn push_job_to(&self, worker: usize, job: Job) {
         self.mailboxes[worker].push(job);
         self.notify_all();
+        #[cfg(feature = "deterministic")]
+        self.det_after_push(1, Some(worker));
     }
 
     pub(crate) fn num_workers(&self) -> usize {
@@ -350,6 +510,20 @@ impl PoolInner {
             while !latch.is_open() {
                 // SAFETY: as in push_job — deque owned by this thread.
                 let local = unsafe { &*ctx.local };
+                #[cfg(feature = "deterministic")]
+                if let Some(det) = self.det_scheduler() {
+                    // Every helping iteration is a preemption point: the
+                    // join site of the deterministic schedule.
+                    det.preempt(ctx.index);
+                    if latch.is_open() {
+                        break;
+                    }
+                    match self.find_job_det(local, ctx.index, &det) {
+                        Some((job, src)) => self.run_job(job, src, ctx.index),
+                        None => det.record_idle(ctx.index),
+                    }
+                    continue;
+                }
                 match self.find_job(local, ctx.index) {
                     Some((job, src)) => self.run_job(job, src, ctx.index),
                     None => std::thread::yield_now(),
@@ -410,6 +584,73 @@ impl PoolInner {
                         },
                     ));
                 }
+            }
+        }
+        None
+    }
+
+    /// The deterministic twin of [`PoolInner::find_job`]: same sources,
+    /// but siblings are probed in a freshly drawn victim order (instead
+    /// of the fixed ring scan with its same-group-first pass) and every
+    /// acquisition is recorded. Strictness is enforced the same way as in
+    /// production — by the post-catch re-check and put-back — so a
+    /// strict-grouped worker may *probe* a cross-group victim here (the
+    /// adversarial case `cross_group_first` exists for) yet never
+    /// executes across the boundary.
+    #[cfg(feature = "deterministic")]
+    fn find_job_det(
+        &self,
+        local: &Worker<Job>,
+        index: usize,
+        det: &det::DetScheduler,
+    ) -> Option<(Job, JobSource)> {
+        if let Some(job) = local.pop() {
+            det.record_run(
+                index,
+                det::DetEvent::RunLocal {
+                    worker: index as u32,
+                },
+            );
+            return Some((job, JobSource::Local));
+        }
+        if let Some(job) = steal_batch_into(&self.mailboxes[index], local) {
+            det.record_run(
+                index,
+                det::DetEvent::RunMailbox {
+                    worker: index as u32,
+                },
+            );
+            return Some((job, JobSource::Injected));
+        }
+        if let Some(job) = steal_batch_into(&self.injector, local) {
+            det.record_run(
+                index,
+                det::DetEvent::RunInjected {
+                    worker: index as u32,
+                },
+            );
+            return Some((job, JobSource::Injected));
+        }
+        let n = self.num_workers();
+        let tags: Vec<usize> = (0..n)
+            .map(|w| self.groups[w].load(Ordering::SeqCst))
+            .collect();
+        for victim in det.victim_order(index, tags[index], &tags) {
+            let caught = steal_one(&self.stealers[victim])
+                .or_else(|| steal_one_injector(&self.mailboxes[victim]));
+            if let Some(job) = caught {
+                let my_tag = self.groups[index].load(Ordering::SeqCst);
+                let victim_tag = self.groups[victim].load(Ordering::SeqCst);
+                let strict = self.strict.load(Ordering::SeqCst);
+                if strict && my_tag != UNGROUPED && victim_tag != my_tag {
+                    self.mailboxes[victim].push(job);
+                    self.notify_all();
+                    det.record_steal_rejected(index, victim);
+                    continue;
+                }
+                let in_group = victim_tag == my_tag;
+                det.record_steal(index, victim, in_group);
+                return Some((job, JobSource::Stolen { in_group }));
             }
         }
         None
@@ -501,6 +742,15 @@ fn worker_loop(inner: Arc<PoolInner>, index: usize, local: Worker<Job>) {
     let mut spin_limit = SPIN_START;
     let mut idle_spins = 0u32;
     loop {
+        #[cfg(feature = "deterministic")]
+        if let Some(det) = inner.det_scheduler() {
+            det_worker_loop(&inner, &det, &local, index);
+            // The run ended: fall back to free running with a fresh
+            // spin budget.
+            spin_limit = SPIN_START;
+            idle_spins = 0;
+            continue;
+        }
         if let Some((job, src)) = inner.find_job(&local, index) {
             if idle_spins > 0 {
                 spin_limit = (spin_limit * 2).min(SPIN_MAX);
@@ -525,12 +775,36 @@ fn worker_loop(inner: Arc<PoolInner>, index: usize, local: Worker<Job>) {
         if inner.has_work_for(index) || inner.shutdown.load(Ordering::SeqCst) {
             continue;
         }
+        #[cfg(feature = "deterministic")]
+        if inner.det_on.load(Ordering::SeqCst) {
+            // A deterministic run was just installed: join it instead of
+            // sleeping (the install's wakeup pairs with this re-check).
+            continue;
+        }
         inner.stats[index].count_park();
         spin_limit = (spin_limit / 2).max(SPIN_MIN);
         inner.sleep_cond.wait(&mut guard);
         idle_spins = 0;
     }
     WORKER_CTX.with(|c| c.set(None));
+}
+
+/// One worker's side of a deterministic run: arrive, take one scheduling
+/// step per token grant, release; leave when the run stops.
+#[cfg(feature = "deterministic")]
+fn det_worker_loop(
+    inner: &PoolInner,
+    det: &Arc<det::DetScheduler>,
+    local: &Worker<Job>,
+    index: usize,
+) {
+    while det.acquire(index) {
+        match inner.find_job_det(local, index, det) {
+            Some((job, src)) => inner.run_job(job, src, index),
+            None => det.record_idle(index),
+        }
+        det.release(index);
+    }
 }
 
 #[cfg(test)]

@@ -271,15 +271,31 @@ mod tests {
 
     #[test]
     fn panic_in_scope_body_still_waits_for_tasks() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
         let pool = ThreadPool::new(2);
-        let finished = std::sync::Arc::new(AtomicU64::new(0));
-        let f2 = std::sync::Arc::clone(&finished);
+        let finished = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new(AtomicBool::new(false));
+        // Opens the gate from a Drop impl, i.e. *during* the scope body's
+        // unwind: the spawned task is guaranteed to still be incomplete
+        // when the panic starts, so this deterministically exercises the
+        // wait-on-unwind path (no sleeps, no timing window).
+        struct OpenOnUnwind(Arc<AtomicBool>);
+        impl Drop for OpenOnUnwind {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
         let res = panic::catch_unwind(AssertUnwindSafe(|| {
-            pool.scope(move |s| {
-                let f3 = std::sync::Arc::clone(&f2);
+            pool.scope(|s| {
+                let _open = OpenOnUnwind(Arc::clone(&gate));
+                let gate = Arc::clone(&gate);
+                let finished = Arc::clone(&finished);
                 s.spawn(move |_| {
-                    std::thread::sleep(std::time::Duration::from_millis(20));
-                    f3.fetch_add(1, Ordering::SeqCst);
+                    while !gate.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    finished.fetch_add(1, Ordering::SeqCst);
                 });
                 panic!("scope body panicked");
             });

@@ -1,0 +1,161 @@
+//! Degenerate group layouts: `Scope::spawn_in` and strict stealing on
+//! pools that are smaller, narrower or odder than the CAPS seven-group
+//! case the executor installs — 1 worker, more groups than workers,
+//! empty/overlapping ranges, partial coverage.
+//!
+//! The invariant under test everywhere: with a strict layout covering
+//! *all* workers, `steals_cross_group` never moves, no matter how thin
+//! the groups are.
+#![allow(clippy::single_range_in_vec_init)] // &[Range] is the install API
+
+use powerscale_pool::ThreadPool;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A nested fan-out addressed at one worker: `width` tasks each spawning
+/// `width` children, counting completions.
+fn fan_out_in(pool: &ThreadPool, worker: usize, width: u64, count: &AtomicU64) {
+    pool.scope(|s| {
+        s.spawn_in(worker, move |s2| {
+            for _ in 0..width {
+                s2.spawn(move |s3| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..width {
+                        s3.spawn(move |_| {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+    });
+}
+
+#[test]
+fn single_worker_strict_group_completes_and_never_steals() {
+    let pool = ThreadPool::new(1);
+    let guard = pool
+        .try_install_groups(&[0..1], true)
+        .expect("a 1-worker pool is a valid 1-group layout");
+    let count = AtomicU64::new(0);
+    fan_out_in(&pool, 0, 8, &count);
+    drop(guard);
+    assert_eq!(count.load(Ordering::Relaxed), 8 + 8 * 8);
+    let stats = pool.stats();
+    assert_eq!(stats.total_stolen(), 0, "nobody to steal from");
+    assert_eq!(stats.steals_cross_group(), 0);
+}
+
+#[test]
+fn singleton_groups_pin_work_to_its_worker() {
+    // Groups thinner than the work: three strict one-worker groups, each
+    // fed a fan-out. No group has a sibling, so every task must execute
+    // on the worker it was addressed to — zero steals of any kind.
+    let pool = ThreadPool::new(3);
+    let before = pool.stats();
+    let guard = pool
+        .try_install_groups(&[0..1, 1..2, 2..3], true)
+        .expect("singleton groups are valid");
+    let count = AtomicU64::new(0);
+    pool.scope(|s| {
+        for w in 0..3 {
+            let count = &count;
+            s.spawn_in(w, move |s2| {
+                for _ in 0..16 {
+                    s2.spawn(move |_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    });
+    drop(guard);
+    assert_eq!(count.load(Ordering::Relaxed), 48);
+    let after = pool.stats();
+    assert_eq!(
+        after.steals_cross_group(),
+        before.steals_cross_group(),
+        "a strict singleton group leaked work across its boundary"
+    );
+}
+
+#[test]
+fn install_rejects_empty_groups() {
+    let pool = ThreadPool::new(3);
+    assert!(pool.try_install_groups(&[0..0], true).is_none());
+    assert!(pool.try_install_groups(&[0..1, 1..1, 1..3], true).is_none());
+    // The failed installs must not have claimed the slot.
+    let guard = pool.try_install_groups(&[0..3], true);
+    assert!(guard.is_some(), "failed installs left the layout claimed");
+}
+
+#[test]
+fn install_rejects_more_groups_than_workers() {
+    // The CAPS shape on a too-narrow pool: seven singleton groups need
+    // seven workers; on four the range runs off the end.
+    let pool = ThreadPool::new(4);
+    let seven: Vec<std::ops::Range<usize>> = (0..7).map(|g| g..g + 1).collect();
+    assert!(pool.try_install_groups(&seven, true).is_none());
+    // The caller's fallback — running ungrouped — still works.
+    let count = AtomicU64::new(0);
+    pool.scope(|s| {
+        for _ in 0..32 {
+            s.spawn(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 32);
+}
+
+#[test]
+fn install_rejects_overlap_and_double_install() {
+    let pool = ThreadPool::new(4);
+    assert!(pool.try_install_groups(&[0..2, 1..4], true).is_none());
+    let guard = pool.try_install_groups(&[0..2, 2..4], true).expect("valid");
+    assert!(
+        pool.try_install_groups(&[0..4], false).is_none(),
+        "second install while a layout is active must fail"
+    );
+    drop(guard);
+    assert!(
+        pool.try_install_groups(&[0..4], false).is_some(),
+        "dropping the guard must free the layout"
+    );
+}
+
+#[test]
+fn partial_coverage_lets_ungrouped_workers_help() {
+    // Strictness binds grouped workers only: with groups on workers 0–1
+    // and workers 2–3 ungrouped, the ungrouped pair may take overflow
+    // from the group (that is the non-strict escape hatch for partial
+    // layouts), but the *grouped* workers still never execute foreign
+    // work. The observable contract: everything completes, and the steal
+    // accounting invariant holds.
+    let pool = ThreadPool::new(4);
+    let guard = pool
+        .try_install_groups(&[0..2], true)
+        .expect("partial coverage is a valid layout");
+    let count = AtomicU64::new(0);
+    fan_out_in(&pool, 0, 24, &count);
+    drop(guard);
+    assert_eq!(count.load(Ordering::Relaxed), 24 + 24 * 24);
+    let stats = pool.stats();
+    assert_eq!(
+        stats.total_stolen(),
+        stats.steals_in_group() + stats.steals_cross_group(),
+        "steal accounting out of balance"
+    );
+}
+
+#[test]
+fn spawn_in_rejects_an_out_of_range_worker() {
+    let pool = ThreadPool::new(2);
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.scope(|s| s.spawn_in(5, |_| {}));
+    }));
+    assert!(res.is_err(), "spawn_in(5) on a 2-worker pool must panic");
+    // The panic happened before any latch increment: the pool stays
+    // fully usable.
+    let (a, b) = pool.join(|| 1, || 2);
+    assert_eq!(a + b, 3);
+}

@@ -1,14 +1,43 @@
 //! Stress and property tests for the work-stealing pool.
+//!
+//! # Determinism policy
+//!
+//! Every input in this file is pinned: iteration counts are the named
+//! constants below, and the `proptest!` blocks draw from the workspace's
+//! offline proptest shim, which seeds each case from an FNV hash of the
+//! *test name and case index* — the same inputs on every run and every
+//! machine, no ambient RNG. There is consequently no
+//! `proptest-regressions/` directory to check in: a failing case is
+//! already reproducible by re-running the test, and its inputs are
+//! printed by the failing assertion. If the shim is ever replaced by
+//! real `proptest`, pin `ProptestConfig::rng_seed` here and commit the
+//! regressions files.
+//!
+//! What remains nondeterministic is only the *schedule*, which these
+//! tests deliberately leave free (the deterministic-schedule suite is
+//! `det_replay.rs`); every assertion below is schedule-invariant.
 
 use powerscale_pool::ThreadPool;
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Tasks in the flat fan-out test.
+const FLAT_TASKS: usize = 10_000;
+/// Elements reduced by the join tree.
+const TREE_ELEMS: u64 = 100_000;
+/// Scopes per driver thread × tasks per scope in the external-scope test.
+const EXT_THREADS: usize = 6;
+const EXT_SCOPES: usize = 50;
+const EXT_TASKS: usize = 10;
+/// Cases per property test (pinned; the shim derives each case's inputs
+/// from the test name and this index range).
+const PROP_CASES: u32 = 16;
+
 #[test]
 fn results_slots_all_written() {
     let pool = ThreadPool::new(4);
-    let mut slots = vec![u64::MAX; 10_000];
+    let mut slots = vec![u64::MAX; FLAT_TASKS];
     pool.scope(|s| {
         for (i, slot) in slots.iter_mut().enumerate() {
             s.spawn(move |_| *slot = (i as u64).wrapping_mul(2654435761));
@@ -30,7 +59,7 @@ fn join_tree_sums_match_sequential() {
         let (a, b) = pool.join(|| tree_sum(pool, lo), || tree_sum(pool, hi));
         a + b
     }
-    let data: Vec<u64> = (0..100_000).collect();
+    let data: Vec<u64> = (0..TREE_ELEMS).collect();
     let want: u64 = data.iter().sum();
     for workers in [1usize, 2, 4, 8] {
         let pool = ThreadPool::new(workers);
@@ -61,13 +90,13 @@ fn concurrent_external_scopes() {
     let pool = Arc::new(ThreadPool::new(3));
     let counter = Arc::new(AtomicU64::new(0));
     let mut handles = Vec::new();
-    for _ in 0..6 {
+    for _ in 0..EXT_THREADS {
         let pool = Arc::clone(&pool);
         let counter = Arc::clone(&counter);
         handles.push(std::thread::spawn(move || {
-            for _ in 0..50 {
+            for _ in 0..EXT_SCOPES {
                 pool.scope(|s| {
-                    for _ in 0..10 {
+                    for _ in 0..EXT_TASKS {
                         let c = Arc::clone(&counter);
                         s.spawn(move |_| {
                             c.fetch_add(1, Ordering::Relaxed);
@@ -80,11 +109,14 @@ fn concurrent_external_scopes() {
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(counter.load(Ordering::Relaxed), 6 * 50 * 10);
+    assert_eq!(
+        counter.load(Ordering::Relaxed),
+        (EXT_THREADS * EXT_SCOPES * EXT_TASKS) as u64
+    );
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+    #![proptest_config(ProptestConfig::with_cases(PROP_CASES))]
 
     #[test]
     fn any_spawn_shape_completes(

@@ -13,11 +13,20 @@
 //!   **wraparound-correct deltas**;
 //! * [`EnergyReader`] — the backend trait, with
 //!   [`ModelReader`](model::ModelReader) (driven by a simulated
-//!   [`powerscale_machine::Schedule`]) and
+//!   [`powerscale_machine::Schedule`]),
 //!   [`SysfsReader`](sysfs::SysfsReader) (parsing a
-//!   `/sys/class/powercap/intel-rapl` tree, injectable for tests);
+//!   `/sys/class/powercap/intel-rapl` tree, injectable for tests) and
+//!   [`MsrImageReader`](msr::MsrImageReader) (the paper's
+//!   `/dev/cpu/*/msr` access pattern over any file);
+//! * [`FaultInjectingReader`] / [`ResilientReader`] — the measurement
+//!   pipeline's fault layer: seeded counter faults (transient failures,
+//!   torn reads, resets, stuck counters, dying domains) and the
+//!   self-healing decorator that retries, sanitises and demotes
+//!   (Healthy → Flaky → Dead) so one bad plane degrades a report instead
+//!   of corrupting it;
 //! * [`EnergyMeter`] — the sampling integrator the experiment harness uses
-//!   (the analog of the paper's PAPI-instrumented test driver).
+//!   (the analog of the paper's PAPI-instrumented test driver), folding
+//!   per-domain health into its report quality metadata.
 //!
 //! # Example
 //!

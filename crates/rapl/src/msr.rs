@@ -29,6 +29,15 @@ impl MsrImageReader {
     /// Opens an MSR file and probes which energy-status registers respond
     /// with non-zero values (a zero register on a real part means the
     /// plane is unimplemented; in an image it means "not captured").
+    ///
+    /// The probe runs **once, at open time**: the domain list is fixed
+    /// for the reader's lifetime and this backend does no runtime
+    /// liveness tracking. A register that stops answering (or starts
+    /// returning garbage) after open simply yields `None`/wild values
+    /// from [`read_raw`](EnergyReader::read_raw); retry, demotion and
+    /// healing of such domains is the job of the
+    /// [`ResilientReader`](crate::ResilientReader) decorator, which is
+    /// how the measurement pipeline wraps this backend.
     pub fn open(path: &Path) -> std::io::Result<Self> {
         let mut file = File::open(path)?;
         let units = match read_msr(&mut file, MSR_RAPL_POWER_UNIT) {

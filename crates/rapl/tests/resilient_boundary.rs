@@ -1,0 +1,234 @@
+//! Boundary tests for the `ResilientReader` health state machine: the
+//! exact edges of the retry budget, the `dead_after` demotion threshold,
+//! the `heal_after` streak, and the permanence of `Dead`.
+//!
+//! Unlike the probabilistic fault-injection tests in
+//! `src/resilient.rs`, these drive the decorator with a *scripted*
+//! reader whose per-call outcomes are spelled out, so every assertion
+//! sits exactly on a threshold, not merely near one.
+
+use powerscale_rapl::{
+    Domain, DomainHealth, EnergyReader, RaplUnits, ResilientConfig, ResilientReader,
+};
+use std::collections::VecDeque;
+
+/// An `EnergyReader` that replays a per-call script for one domain.
+/// `Some(raw)` answers the call with that raw counter value; `None`
+/// fails it. An exhausted script repeats its final entry.
+struct ScriptedReader {
+    domain: Domain,
+    script: VecDeque<Option<u32>>,
+    last: Option<u32>,
+    /// Total inner calls observed — proves demotion stops the traffic.
+    calls: u64,
+}
+
+impl ScriptedReader {
+    fn new(domain: Domain, script: impl IntoIterator<Item = Option<u32>>) -> Self {
+        ScriptedReader {
+            domain,
+            script: script.into_iter().collect(),
+            last: None,
+            calls: 0,
+        }
+    }
+}
+
+impl EnergyReader for ScriptedReader {
+    fn domains(&self) -> Vec<Domain> {
+        vec![self.domain]
+    }
+
+    fn read_raw(&mut self, domain: Domain) -> Option<u32> {
+        assert_eq!(domain, self.domain, "script is single-domain");
+        self.calls += 1;
+        match self.script.pop_front() {
+            Some(v) => {
+                self.last = v.or(self.last);
+                v
+            }
+            None => self.last,
+        }
+    }
+
+    fn units(&self) -> RaplUnits {
+        RaplUnits::default()
+    }
+}
+
+/// `cfg` with the documented defaults pinned: the tests below encode the
+/// default thresholds (`max_retries: 2`, `dead_after: 8`, `heal_after:
+/// 32`) literally, so a silent default change fails here first.
+fn default_cfg() -> ResilientConfig {
+    let cfg = ResilientConfig::default();
+    assert_eq!(cfg.max_retries, 2);
+    assert_eq!(cfg.dead_after, 8);
+    assert_eq!(cfg.heal_after, 32);
+    cfg
+}
+
+fn resilient(
+    script: impl IntoIterator<Item = Option<u32>>,
+    cfg: ResilientConfig,
+) -> ResilientReader<ScriptedReader> {
+    ResilientReader::with_config(ScriptedReader::new(Domain::Package, script), cfg)
+}
+
+#[test]
+fn retry_budget_edge_two_failures_recover_three_fail() {
+    let cfg = default_cfg();
+    // Sample 1 baselines. Sample 2: exactly max_retries (2) inner
+    // failures then a good value — must succeed within the budget of
+    // 1 + max_retries = 3 attempts.
+    let mut r = resilient([Some(100), None, None, Some(110)], cfg);
+    assert_eq!(r.read_raw(Domain::Package), Some(100));
+    assert_eq!(r.read_raw(Domain::Package), Some(110));
+    let q = r.quality(Domain::Package);
+    assert_eq!(q.failures, 0, "the budget must absorb max_retries failures");
+    assert_eq!(q.retries, 2);
+    // Retries are anomalies: the domain is already Flaky.
+    assert_eq!(r.health(Domain::Package), DomainHealth::Flaky);
+
+    // Sample 3: max_retries + 1 failures — one past the budget. The good
+    // value afterwards arrives too late for this sample.
+    let mut r = resilient([Some(100), None, None, None, Some(110)], cfg);
+    assert_eq!(r.read_raw(Domain::Package), Some(100));
+    assert_eq!(r.read_raw(Domain::Package), None);
+    let q = r.quality(Domain::Package);
+    assert_eq!(q.failures, 1);
+    assert_eq!(q.retries, 2, "the budget stops at max_retries extra reads");
+    // The next sample picks the script back up and recovers.
+    assert_eq!(r.read_raw(Domain::Package), Some(110));
+    assert_eq!(r.health(Domain::Package), DomainHealth::Flaky);
+}
+
+#[test]
+fn demotion_edge_seven_failed_samples_survive_eighth_kills() {
+    let cfg = default_cfg();
+    let per_sample = 1 + cfg.max_retries as usize;
+
+    // dead_after − 1 = 7 consecutive failed samples, then recovery.
+    let mut script = vec![Some(100)];
+    script.extend(std::iter::repeat(None).take(7 * per_sample));
+    script.push(Some(200));
+    let mut r = resilient(script, cfg);
+    assert_eq!(r.read_raw(Domain::Package), Some(100));
+    for _ in 0..7 {
+        assert_eq!(r.read_raw(Domain::Package), None);
+    }
+    assert_eq!(
+        r.health(Domain::Package),
+        DomainHealth::Flaky,
+        "one failed sample short of dead_after must not demote"
+    );
+    assert!(
+        r.read_raw(Domain::Package).is_some(),
+        "still alive: reads flow"
+    );
+
+    // Exactly dead_after = 8 consecutive failed samples: demoted.
+    let mut script = vec![Some(100)];
+    script.extend(std::iter::repeat(None).take(8 * per_sample));
+    let mut r = resilient(script, cfg);
+    assert_eq!(r.read_raw(Domain::Package), Some(100));
+    for _ in 0..8 {
+        assert_eq!(r.read_raw(Domain::Package), None);
+    }
+    assert_eq!(r.health(Domain::Package), DomainHealth::Dead);
+    assert_eq!(r.dead_domains(), vec![Domain::Package]);
+}
+
+#[test]
+fn dead_is_permanent_even_when_the_hardware_recovers() {
+    let cfg = default_cfg();
+    let per_sample = 1 + cfg.max_retries as usize;
+    // Kill the domain, then script an infinitely recovered counter.
+    let mut script = vec![Some(100)];
+    script.extend(std::iter::repeat(None).take(8 * per_sample));
+    script.push(Some(500)); // the "recovered" tail, repeated forever
+    let mut r = resilient(script, cfg);
+    let _ = r.read_raw(Domain::Package);
+    for _ in 0..8 {
+        assert_eq!(r.read_raw(Domain::Package), None);
+    }
+    assert_eq!(r.health(Domain::Package), DomainHealth::Dead);
+
+    let inner_calls_at_death = r.inner().calls;
+    let failures_at_death = r.quality(Domain::Package).failures;
+    for _ in 0..50 {
+        assert_eq!(
+            r.read_raw(Domain::Package),
+            None,
+            "a dead domain must never answer again"
+        );
+    }
+    assert_eq!(r.health(Domain::Package), DomainHealth::Dead);
+    assert_eq!(
+        r.inner().calls,
+        inner_calls_at_death,
+        "a dead domain must not generate inner traffic"
+    );
+    assert_eq!(
+        r.quality(Domain::Package).failures,
+        failures_at_death,
+        "post-demotion reads are refusals, not new failures"
+    );
+}
+
+#[test]
+fn heal_edge_streak_one_short_stays_flaky_full_streak_heals() {
+    let cfg = ResilientConfig {
+        heal_after: 4,
+        ..default_cfg()
+    };
+    // One retry makes the domain Flaky, then a clean monotone stream.
+    let mut script = vec![Some(100), None, Some(110)];
+    script.extend((1..=20u32).map(|i| Some(110 + i * 10)));
+    let mut r = resilient(script, cfg);
+    assert_eq!(r.read_raw(Domain::Package), Some(100)); // clean streak: 1
+    assert_eq!(r.read_raw(Domain::Package), Some(110)); // retry → Flaky, streak reset then 1
+    assert_eq!(r.health(Domain::Package), DomainHealth::Flaky);
+    // heal_after − 1 more clean samples: streak = heal_after − 1… still Flaky.
+    for _ in 0..2 {
+        assert!(r.read_raw(Domain::Package).is_some());
+    }
+    assert_eq!(
+        r.health(Domain::Package),
+        DomainHealth::Flaky,
+        "a streak one short of heal_after must not heal"
+    );
+    // The heal_after-th clean sample heals.
+    assert!(r.read_raw(Domain::Package).is_some());
+    assert_eq!(r.health(Domain::Package), DomainHealth::Healthy);
+}
+
+#[test]
+fn anomaly_mid_streak_resets_the_heal_counter() {
+    let cfg = ResilientConfig {
+        heal_after: 3,
+        ..default_cfg()
+    };
+    let mut script = vec![Some(100), None, Some(110)]; // go Flaky
+    script.push(Some(120)); // clean 2
+    script.push(None); // retry: anomaly, streak back to 0…
+    script.push(Some(130)); // …then clean 1
+    script.push(Some(140)); // clean 2
+    script.push(Some(150)); // clean 3 → heals
+    let mut r = resilient(script, cfg);
+    for _ in 0..2 {
+        assert!(r.read_raw(Domain::Package).is_some());
+    }
+    assert_eq!(r.health(Domain::Package), DomainHealth::Flaky);
+    for _ in 0..2 {
+        assert!(r.read_raw(Domain::Package).is_some());
+    }
+    assert_eq!(
+        r.health(Domain::Package),
+        DomainHealth::Flaky,
+        "the mid-streak retry must have reset the heal counter"
+    );
+    for _ in 0..2 {
+        assert!(r.read_raw(Domain::Package).is_some());
+    }
+    assert_eq!(r.health(Domain::Package), DomainHealth::Healthy);
+}

@@ -1,0 +1,275 @@
+//! The differential engine: every production multiply configuration run
+//! against the compensated oracle on the same seeded operands.
+//!
+//! One sweep covers the full configuration matrix —
+//!
+//! | axis      | values                                        |
+//! |-----------|-----------------------------------------------|
+//! | algorithm | blocked GEMM, Strassen (classic), CAPS        |
+//! | leaf mode | fused operand packing / unfused (Strassen, CAPS) |
+//! | kernel    | scalar tier / SIMD tier                       |
+//! | placement | group-affine / free stealing (CAPS)           |
+//!
+//! — 14 candidate runs per matrix size, each scored by
+//! [`max_rel_error`](crate::oracle::max_rel_error) against a single
+//! oracle product computed once. The kernel tier and leaf mode are
+//! process-global switches ([`set_kernel_tier`], [`set_unfused_leaf`]),
+//! so the sweep serialises behind [`toggle_guard`] and restores both on
+//! every exit path; any test that flips those switches itself must take
+//! the same guard.
+//!
+//! Recursion depth is held constant across sizes by setting the
+//! Strassen/CAPS cutoff to `n / 8` (three levels), which keeps the
+//! rounding-error envelope uniform and lets one tolerance (`1e-12` by
+//! default, the bound the paper's reproduction demands) serve every size
+//! in `{256, 512, 1024}`.
+
+use crate::oracle::{max_rel_error, reference_mm};
+use powerscale_caps::CapsConfig;
+use powerscale_gemm::leaf::{set_unfused_leaf, unfused_leaf};
+use powerscale_gemm::{dgemm, set_kernel_tier, GemmContext, KernelTier};
+use powerscale_matrix::{Matrix, MatrixGen};
+use powerscale_pool::ThreadPool;
+use powerscale_strassen::{StrassenConfig, Variant};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serialises every user of the process-global kernel-tier and leaf-mode
+/// switches. Tests in one binary run concurrently; without this guard a
+/// sweep pinned to the scalar tier could observe another test's SIMD pin
+/// mid-flight.
+static TOGGLE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Takes the global toggle lock (recovering it if a previous holder
+/// panicked mid-test).
+pub fn toggle_guard() -> MutexGuard<'static, ()> {
+    TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Pins the kernel tier and leaf mode for the duration of `f`, restoring
+/// the previous settings on return *and* on unwind.
+fn with_modes<R>(tier: KernelTier, unfused: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore {
+        tier: KernelTier,
+        unfused: bool,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_kernel_tier(self.tier);
+            set_unfused_leaf(self.unfused);
+        }
+    }
+    let _restore = Restore {
+        tier: set_kernel_tier(tier),
+        unfused: unfused_leaf(),
+    };
+    set_unfused_leaf(unfused);
+    f()
+}
+
+/// Parameters of one differential sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Matrix dimension (operands are `n × n`).
+    pub n: usize,
+    /// Seed of the operand generator.
+    pub seed: u64,
+    /// Pool width for the parallel runs (≥ 7 exercises the CAPS
+    /// group-affine arm).
+    pub threads: usize,
+    /// Acceptance bound on the max-norm relative error of every case.
+    pub tol: f64,
+}
+
+impl DiffConfig {
+    /// The standard sweep at dimension `n`: seeded by the size (so each
+    /// size sees distinct operands), 8 workers, the paper bound `1e-12`.
+    pub fn for_size(n: usize) -> Self {
+        DiffConfig {
+            n,
+            seed: 0x0D1F_F000 + n as u64,
+            threads: 8,
+            tol: 1e-12,
+        }
+    }
+}
+
+/// Score of one candidate configuration against the oracle.
+#[derive(Debug, Clone)]
+pub struct DiffCase {
+    /// Human-readable configuration label, e.g. `strassen/unfused/simd`.
+    pub label: String,
+    /// Max-norm relative error against the compensated reference.
+    pub rel_err: f64,
+}
+
+fn tier_label(tier: KernelTier) -> &'static str {
+    match tier {
+        KernelTier::Scalar => "scalar",
+        KernelTier::Simd => "simd",
+        KernelTier::Auto => "auto",
+    }
+}
+
+fn leaf_label(unfused: bool) -> &'static str {
+    if unfused {
+        "unfused"
+    } else {
+        "fused"
+    }
+}
+
+/// Runs the full configuration matrix at `cfg` and returns every case's
+/// score. Panics only on dimension errors (a harness bug), never on
+/// tolerance — use [`assert_differential`] for the asserting form.
+pub fn run_differential(cfg: &DiffConfig) -> Vec<DiffCase> {
+    let _guard = toggle_guard();
+    let n = cfg.n;
+    let mut gen = MatrixGen::new(cfg.seed);
+    let a = gen.paper_operand(n);
+    let b = gen.paper_operand(n);
+    let reference = reference_mm(&a.view(), &b.view());
+    let pool = ThreadPool::new(cfg.threads);
+
+    let cutoff = (n / 8).max(8);
+    let strassen_cfg = StrassenConfig {
+        cutoff,
+        task_depth: 5,
+        variant: Variant::Classic,
+    };
+    let caps_base = CapsConfig {
+        cutoff,
+        cutoff_depth: 4,
+        dfs_ways: 4,
+        group_affine: true,
+    };
+
+    let mut cases = Vec::new();
+    let mut score = |label: String, c: &Matrix| {
+        cases.push(DiffCase {
+            label,
+            rel_err: max_rel_error(&c.view(), &reference.view()),
+        });
+    };
+
+    for tier in [KernelTier::Scalar, KernelTier::Simd] {
+        // Blocked GEMM has no recursive leaf, so the fused/unfused axis
+        // does not apply; one run per kernel tier.
+        let c = with_modes(tier, false, || {
+            let ctx = GemmContext {
+                pool: Some(&pool),
+                ..Default::default()
+            };
+            let mut c = Matrix::zeros(n, n);
+            dgemm(1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), &ctx)
+                .expect("blocked dgemm dimensions");
+            c
+        });
+        score(format!("blocked/{}", tier_label(tier)), &c);
+
+        for unfused in [false, true] {
+            let c = with_modes(tier, unfused, || {
+                powerscale_strassen::multiply(
+                    &a.view(),
+                    &b.view(),
+                    &strassen_cfg,
+                    Some(&pool),
+                    None,
+                )
+                .expect("strassen dimensions")
+            });
+            score(
+                format!("strassen/{}/{}", leaf_label(unfused), tier_label(tier)),
+                &c,
+            );
+
+            for group_affine in [true, false] {
+                let caps_cfg = CapsConfig {
+                    group_affine,
+                    ..caps_base
+                };
+                let c = with_modes(tier, unfused, || {
+                    powerscale_caps::multiply(&a.view(), &b.view(), &caps_cfg, Some(&pool), None)
+                        .expect("caps dimensions")
+                });
+                score(
+                    format!(
+                        "caps/{}/{}/{}",
+                        leaf_label(unfused),
+                        tier_label(tier),
+                        if group_affine { "affine" } else { "free" }
+                    ),
+                    &c,
+                );
+            }
+        }
+    }
+    cases
+}
+
+/// Runs the sweep and asserts every case meets `cfg.tol`, reporting all
+/// failures (not just the first) with their observed errors.
+pub fn assert_differential(cfg: &DiffConfig) {
+    let cases = run_differential(cfg);
+    assert_eq!(cases.len(), 14, "configuration matrix shrank unexpectedly");
+    let failures: Vec<String> = cases
+        .iter()
+        .filter(|c| c.rel_err > cfg.tol || c.rel_err.is_nan())
+        .map(|c| format!("  {}: rel err {:.3e} > {:.1e}", c.label, c.rel_err, cfg.tol))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "differential oracle failures at n = {}:\n{}",
+        cfg.n,
+        failures.join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_whole_matrix_at_a_small_size() {
+        let cfg = DiffConfig {
+            tol: 1e-13,
+            ..DiffConfig::for_size(64)
+        };
+        let cases = run_differential(&cfg);
+        assert_eq!(cases.len(), 14);
+        let labels: Vec<&str> = cases.iter().map(|c| c.label.as_str()).collect();
+        for expected in [
+            "blocked/scalar",
+            "blocked/simd",
+            "strassen/fused/scalar",
+            "strassen/unfused/simd",
+            "caps/fused/scalar/affine",
+            "caps/unfused/simd/free",
+        ] {
+            assert!(labels.contains(&expected), "missing case {expected}");
+        }
+        for c in &cases {
+            assert!(
+                c.rel_err <= cfg.tol,
+                "{} off by {:.3e} at n = 64",
+                c.label,
+                c.rel_err
+            );
+        }
+    }
+
+    #[test]
+    fn mode_pins_are_restored_after_a_sweep() {
+        let _guard = toggle_guard();
+        let before_tier = powerscale_gemm::kernel_tier();
+        let before_leaf = unfused_leaf();
+        drop(_guard);
+        assert_differential(&DiffConfig {
+            n: 32,
+            seed: 1,
+            threads: 4,
+            tol: 1e-12,
+        });
+        assert_eq!(powerscale_gemm::kernel_tier(), before_tier);
+        assert_eq!(unfused_leaf(), before_leaf);
+    }
+}

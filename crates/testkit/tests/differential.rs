@@ -1,0 +1,25 @@
+//! Differential-oracle acceptance: every multiply configuration agrees
+//! with the compensated reference to ≤ 1e-12 (max-norm relative error).
+//!
+//! `n = 256` runs in every `cargo test`; the larger sizes are `#[ignore]`
+//! and run in the release-mode CI job
+//! (`cargo test -p powerscale-testkit --release -- --ignored`).
+
+use powerscale_testkit::{assert_differential, DiffConfig};
+
+#[test]
+fn differential_oracle_n256() {
+    assert_differential(&DiffConfig::for_size(256));
+}
+
+#[test]
+#[ignore = "release-tier: ~minutes in debug, run with --release -- --ignored"]
+fn differential_oracle_n512() {
+    assert_differential(&DiffConfig::for_size(512));
+}
+
+#[test]
+#[ignore = "release-tier: ~minutes in debug, run with --release -- --ignored"]
+fn differential_oracle_n1024() {
+    assert_differential(&DiffConfig::for_size(1024));
+}

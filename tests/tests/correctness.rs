@@ -42,6 +42,7 @@ fn all_algorithms_agree_across_sizes() {
                 cutoff: 16,
                 cutoff_depth: 2,
                 dfs_ways: 3,
+                ..Default::default()
             },
             Some(&pool),
             None,
@@ -148,7 +149,7 @@ proptest! {
     fn caps_matches_naive_random_sizes(n in 1usize..80, seed in any::<u64>()) {
         let (a, b) = operands(n, seed);
         let oracle = naive_mm(&a.view(), &b.view()).unwrap();
-        let cfg = CapsConfig { cutoff: 8, cutoff_depth: 2, dfs_ways: 2 };
+        let cfg = CapsConfig { cutoff: 8, cutoff_depth: 2, dfs_ways: 2, ..Default::default() };
         let c = powerscale::caps::multiply(&a.view(), &b.view(), &cfg, None, None).unwrap();
         prop_assert!(rel_frobenius_error(&c.view(), &oracle.view()) < TOL);
     }
