@@ -52,6 +52,12 @@ pub fn multiply(
     if n == 0 {
         return Ok(Matrix::zeros(0, 0));
     }
+    let _span = powerscale_trace::span_args(
+        powerscale_trace::Category::Caps,
+        "caps",
+        n as u32,
+        cfg.cutoff_depth,
+    );
 
     // Group-affine plan: when a BFS phase lies ahead and the pool is wide
     // enough, dedicate one strict worker group to each of the seven root
@@ -138,6 +144,12 @@ fn shared_leaf(
     pool: Option<&ThreadPool>,
     events: Option<&EventSet>,
 ) {
+    let _span = powerscale_trace::span_args(
+        powerscale_trace::Category::Caps,
+        "shared_leaf",
+        ways as u32,
+        c.rows() as u32,
+    );
     match pool {
         Some(p) if ways > 1 && c.rows() >= 2 * ways => {
             let bm = resolve_operand(b, c.cols(), pool, events);
@@ -237,6 +249,8 @@ fn dfs_node(
     events: Option<&EventSet>,
 ) {
     let h = a.rows() / 2;
+    let _span =
+        powerscale_trace::span_args(powerscale_trace::Category::Caps, "dfs", depth, h as u32);
     let qa = a.quadrants().expect("even dimension");
     let qb = b.quadrants().expect("even dimension");
     let (a11, a12, a21, a22) = (qa.a11, qa.a12, qa.a21, qa.a22);
@@ -345,6 +359,8 @@ fn bfs_node(
     seed: Option<[usize; 7]>,
 ) {
     let h = a.rows() / 2;
+    let _span =
+        powerscale_trace::span_args(powerscale_trace::Category::Caps, "bfs", depth, h as u32);
     let qa = a.quadrants().expect("even dimension");
     let qb = b.quadrants().expect("even dimension");
     let (a11, a12, a21, a22) = (qa.a11, qa.a12, qa.a21, qa.a22);

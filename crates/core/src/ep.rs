@@ -24,6 +24,15 @@ impl PhaseMeasure {
         );
         PhaseMeasure { energy_avg, t }
     }
+
+    /// Non-panicking constructor for measured (possibly degenerate) data:
+    /// `None` on a zero/negative/non-finite runtime or a negative or
+    /// non-finite energy reading — the cases where Eq. 1 would otherwise
+    /// mint a NaN/inf EP and propagate it silently into tables.
+    pub fn try_new(energy_avg: f64, t: f64) -> Option<Self> {
+        (t.is_finite() && t > 0.0 && energy_avg.is_finite() && energy_avg >= 0.0)
+            .then_some(PhaseMeasure { energy_avg, t })
+    }
 }
 
 /// **Equation 1**: `EP_p = EAvg_p / T_p`.
@@ -234,6 +243,28 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_runtime_rejected() {
         let _ = PhaseMeasure::new(10.0, 0.0);
+    }
+
+    #[test]
+    fn try_new_refuses_degenerate_windows() {
+        // Zero/negative/non-finite runtimes and non-finite or negative
+        // energies all yield None instead of a NaN/inf-producing measure.
+        for (e, t) in [
+            (10.0, 0.0),
+            (10.0, -1.0),
+            (10.0, f64::NAN),
+            (10.0, f64::INFINITY),
+            (f64::NAN, 1.0),
+            (f64::INFINITY, 1.0),
+            (-1.0, 1.0),
+        ] {
+            assert!(
+                PhaseMeasure::try_new(e, t).is_none(),
+                "try_new({e}, {t}) must refuse"
+            );
+        }
+        let m = PhaseMeasure::try_new(35.0, 7.0).expect("valid measure");
+        assert!((ep_ratio(&m) - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::pack::{pack_a, pack_b, pack_b_strips, packed_a_len, packed_b_len};
 use powerscale_counters::{Event, EventSet, Profile};
 use powerscale_matrix::{ops, DimError, DimResult, Matrix, MatrixView, MatrixViewMut};
 use powerscale_pool::ThreadPool;
+use powerscale_trace as trace;
 
 /// Execution context for [`dgemm`]: the dispatched microkernel, blocking
 /// factors derived for its tile shape, optional worker pool (sequential
@@ -117,6 +118,7 @@ pub fn dgemm(
     if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
         return Ok(());
     }
+    let _span = trace::span_args(trace::Category::Gemm, "dgemm", m as u32, n as u32);
 
     let BlockingParams { mc, kc, nc, nr, .. } = ctx.params;
     let mut pb = arena::pack_buf(packed_b_len(kc.min(k), nc.min(n), nr));
@@ -134,6 +136,8 @@ pub fn dgemm(
             // first-touch the chunk on the packing worker's node.
             let bpanel = b.sub_view((pc, jc), (kcb, ncb))?;
             let b_strips = ncb.div_ceil(nr);
+            let pack_span =
+                trace::span_args(trace::Category::Gemm, "pack_b", kcb as u32, ncb as u32);
             match ctx.pool {
                 Some(pool) if pool.num_threads() > 1 && b_strips >= 2 * pool.num_threads() => {
                     let strip_len = nr * kcb;
@@ -157,6 +161,7 @@ pub fn dgemm(
                     pack_b(&bpanel, &mut pb, nr);
                 }
             }
+            drop(pack_span);
             if let Some(set) = ctx.events {
                 set.record(Event::PackBytes, 8 * (kcb * ncb) as u64);
                 set.record(Event::BytesRead, 8 * (kcb * ncb) as u64);
@@ -226,6 +231,7 @@ fn run_row_band(
 ) {
     let (mr, nr) = (kernel.mr, kernel.nr);
     let mcb = band.rows();
+    let _span = trace::span_args(trace::Category::Gemm, "row_band", mcb as u32, ncb as u32);
     let ablock = a
         .sub_view((ic, pc), (mcb, kcb))
         .expect("A block within bounds by construction");

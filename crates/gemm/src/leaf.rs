@@ -279,6 +279,12 @@ pub fn leaf_gemm_fused_with(
     if m == 0 || n == 0 || k == 0 {
         return Ok(());
     }
+    let _span = powerscale_trace::span_args(
+        powerscale_trace::Category::Gemm,
+        "leaf_gemm",
+        m as u32,
+        n as u32,
+    );
 
     let unfused = unfused_leaf();
     let mut pa = arena::pack_buf(packed_a_len(m, k, kernel.mr));

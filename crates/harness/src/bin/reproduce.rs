@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [--out DIR] [--quick] [--resume] [--faults] [--seed N]
-//!           [--retries K]
+//!           [--retries K] [--trace PATH]
 //! ```
 //!
 //! `--out DIR` additionally writes `EXPERIMENTS.md`, per-figure CSVs,
@@ -13,12 +13,19 @@
 //! reads the energy counters through the seeded fault-injection +
 //! recovery decorators (`--seed N` or `POWERSCALE_FAULT_SEED` picks the
 //! schedule; two runs with the same seed are identical).
+//!
+//! `--trace PATH` skips the sweep and instead runs traced real
+//! executions of all three algorithms (n = 512, or 256 with `--quick`),
+//! writing a Perfetto-loadable Chrome trace to `PATH`, folded flamegraph
+//! stacks to `PATH.folded`, and the per-phase EP summary to
+//! `PATH.phases.json`. Needs a build with `--features
+//! powerscale-harness/trace`.
 
 use powerscale_harness::{figures, manifest, report, sweep, tables, Harness};
 use powerscale_rapl::FaultConfig;
 
-const USAGE: &str =
-    "usage: reproduce [--out DIR] [--quick] [--resume] [--faults] [--seed N] [--retries K]";
+const USAGE: &str = "usage: reproduce [--out DIR] [--quick] [--resume] [--faults] [--seed N] \
+                     [--retries K] [--trace PATH]";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -35,6 +42,69 @@ fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
     }
 }
 
+/// The `--trace PATH` mode: traced real executions of all three
+/// algorithms on one timeline, exported as Chrome JSON + folded stacks +
+/// a per-phase EP summary. Skips the sweep entirely.
+fn run_traced(h: &Harness, path: &str, quick: bool) {
+    use powerscale_harness::{Algorithm, RunSpec};
+    if !powerscale_trace::build_enabled() {
+        eprintln!(
+            "--trace needs the recorder compiled in; rebuild with\n  \
+             cargo build --release -p powerscale-harness --features powerscale-harness/trace"
+        );
+        std::process::exit(1);
+    }
+    let n = if quick { 256 } else { 512 };
+    let threads = 4;
+    let pool = powerscale_pool::ThreadPool::new(threads);
+    let specs: Vec<RunSpec> = [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps]
+        .into_iter()
+        .map(|algorithm| RunSpec {
+            algorithm,
+            n,
+            threads,
+        })
+        .collect();
+    eprintln!("traced run: 3 algorithms, n = {n}, {threads} threads…");
+    let traced = h
+        .traced_real_runs(&specs, &pool)
+        .expect("no other trace session is active");
+
+    std::fs::write(path, powerscale_trace::to_chrome_json(&traced.trace))
+        .expect("write Chrome trace");
+    std::fs::write(
+        format!("{path}.folded"),
+        powerscale_trace::to_folded(&traced.trace),
+    )
+    .expect("write folded stacks");
+    std::fs::write(format!("{path}.phases.json"), traced.summary.to_json())
+        .expect("write phase summary");
+
+    for r in &traced.runs {
+        println!(
+            "{} n={} t={}: {:.4}s wall, {:.1} W (model)",
+            r.spec.algorithm, r.spec.n, r.spec.threads, r.wall_seconds, r.model_pkg_watts
+        );
+    }
+    println!("{}", traced.summary.to_markdown());
+    eprintln!(
+        "trace written to {path} (load in https://ui.perfetto.dev or chrome://tracing);\n\
+         folded stacks: {path}.folded · per-phase EP: {path}.phases.json"
+    );
+    if traced.summary.coverage < 0.95 {
+        eprintln!(
+            "warning: span coverage {:.1}% is below the 95% bar",
+            traced.summary.coverage * 100.0
+        );
+    }
+    if traced.summary.dropped > 0 {
+        eprintln!(
+            "warning: {} records dropped on ring overflow",
+            traced.summary.dropped
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_dir: Option<String> = None;
@@ -43,10 +113,12 @@ fn main() {
     let mut faults = false;
     let mut seed: Option<u64> = None;
     let mut retries: u32 = 1;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--out" => out_dir = Some(take_value(&args, &mut i, "--out").to_string()),
+            "--trace" => trace_path = Some(take_value(&args, &mut i, "--trace").to_string()),
             "--seed" => {
                 let v = take_value(&args, &mut i, "--seed");
                 seed = Some(
@@ -85,6 +157,10 @@ fn main() {
         h = h.with_faults(FaultConfig::chaos(seed));
     }
     eprintln!("platform: {}", h.machine.name);
+    if let Some(path) = trace_path {
+        run_traced(&h, &path, quick);
+        return;
+    }
     let (sizes, threads): (&[usize], &[usize]) = if quick {
         (&[256, 512], &[1, 2, 3, 4])
     } else {

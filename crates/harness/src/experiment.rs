@@ -93,11 +93,17 @@ impl RunResult {
     }
 
     /// Equation 1 tagged with measurement fidelity: a `Degraded` EP was
-    /// computed from planes that lost samples or died mid-run.
+    /// computed from planes that lost samples or died mid-run — or is not
+    /// a finite number at all (degenerate measurement window).
     pub fn ep_qualified(&self) -> QualifiedEp {
+        let value = self.ep();
         QualifiedEp {
-            value: self.ep(),
-            quality: self.quality,
+            value,
+            quality: if value.is_finite() {
+                self.quality
+            } else {
+                MeasureQuality::Degraded
+            },
         }
     }
 
@@ -337,6 +343,23 @@ mod tests {
         assert_eq!(r.flops, 2 * 256u64.pow(3));
         assert!(r.ep() > 0.0);
         assert!(r.gflops() > 1.0);
+    }
+
+    #[test]
+    fn non_finite_ep_is_flagged_degraded() {
+        let h = harness();
+        let mut r = h.run(RunSpec {
+            algorithm: Algorithm::Blocked,
+            n: 128,
+            threads: 1,
+        });
+        assert_eq!(r.ep_qualified().quality, MeasureQuality::Full);
+        // A degenerate watts reading (e.g. an upstream NaN that slipped
+        // past the meter) must surface as Degraded, never as a clean EP.
+        r.pkg_watts = f64::NAN;
+        assert_eq!(r.ep_qualified().quality, MeasureQuality::Degraded);
+        r.pkg_watts = f64::INFINITY;
+        assert_eq!(r.ep_qualified().quality, MeasureQuality::Degraded);
     }
 
     #[test]

@@ -15,6 +15,19 @@ use powerscale_machine::{simulate, KernelClass, TaskCost, TaskGraph};
 use powerscale_matrix::{Matrix, MatrixGen};
 use powerscale_pool::ThreadPool;
 
+/// Deterministic operands for a spec, seeded from `n` alone.
+///
+/// The seed must NOT mix in `spec.threads`: EP scaling ratios
+/// `S = EP_p / EP_1` compare runs at different thread counts, which is
+/// only meaningful when they multiply the same matrices. (An earlier
+/// `(n << 8) | threads` seed also aliased `threads ≥ 256` into `n`.)
+pub fn operands_for(spec: &RunSpec) -> (Matrix, Matrix) {
+    let mut gen = MatrixGen::new(spec.n as u64);
+    let a = gen.paper_operand(spec.n);
+    let b = gen.paper_operand(spec.n);
+    (a, b)
+}
+
 /// Outcome of one instrumented real run.
 #[derive(Debug, Clone)]
 pub struct RealRunResult {
@@ -39,10 +52,18 @@ impl Harness {
     /// Operands are seeded from the spec, so identical specs multiply
     /// identical matrices.
     pub fn run_real(&self, spec: RunSpec, pool: &ThreadPool) -> RealRunResult {
-        let seed = (spec.n as u64) << 8 | spec.threads as u64;
-        let mut gen = MatrixGen::new(seed);
-        let a = gen.paper_operand(spec.n);
-        let b = gen.paper_operand(spec.n);
+        let run_name = match spec.algorithm {
+            Algorithm::Blocked => "run:blocked",
+            Algorithm::Strassen => "run:strassen",
+            Algorithm::Caps => "run:caps",
+        };
+        let _span = powerscale_trace::span_args(
+            powerscale_trace::Category::Harness,
+            run_name,
+            spec.n as u32,
+            spec.threads as u32,
+        );
+        let (a, b) = operands_for(&spec);
 
         let mut set = EventSet::with_all_events();
         set.start().expect("fresh event set");
@@ -129,13 +150,41 @@ mod tests {
         assert!(r.profile.total_flops() > 0);
         assert!(r.model_pkg_watts > 10.0, "{}", r.model_pkg_watts);
         // Verify the product against the oracle built from the same seed.
-        let seed = (96u64) << 8 | 2;
-        let mut gen = MatrixGen::new(seed);
-        let a = gen.paper_operand(96);
-        let b = gen.paper_operand(96);
+        let (a, b) = operands_for(&spec);
         let oracle = powerscale_gemm::naive::naive_mm(&a.view(), &b.view()).unwrap();
         let err = powerscale_matrix::norms::rel_frobenius_error(&r.result.view(), &oracle.view());
         assert!(err < 1e-10, "err {err}");
+    }
+
+    #[test]
+    fn operands_bitwise_identical_across_thread_counts() {
+        // Regression: the seed once mixed in `spec.threads`, so EP scaling
+        // ratios compared products of different matrices. Two specs that
+        // differ only in thread count must generate bitwise-identical
+        // operands — including thread counts ≥ 256, which the old
+        // `(n << 8) | threads` encoding aliased into `n`.
+        let base = RunSpec {
+            algorithm: Algorithm::Caps,
+            n: 64,
+            threads: 1,
+        };
+        let (a1, b1) = operands_for(&base);
+        for threads in [2usize, 7, 64, 256, 1024] {
+            let spec = RunSpec { threads, ..base };
+            let (a2, b2) = operands_for(&spec);
+            let bits =
+                |m: &Matrix| -> Vec<u64> { m.as_slice().iter().map(|x| x.to_bits()).collect() };
+            assert_eq!(bits(&a1), bits(&a2), "A differs at threads={threads}");
+            assert_eq!(bits(&b1), bits(&b2), "B differs at threads={threads}");
+        }
+        // Different n still means different operands (same length prefix).
+        let (a_small, _) = operands_for(&RunSpec { n: 32, ..base });
+        let k = a_small.as_slice().len();
+        assert_ne!(
+            &a1.as_slice()[..k],
+            a_small.as_slice(),
+            "operands must still vary with n"
+        );
     }
 
     #[test]

@@ -166,6 +166,12 @@ fn prepare_dir(dir: &Path, manifest: &SweepManifest, resume: bool) -> bool {
 
 /// Runs one cell under panic isolation with a retry budget.
 fn run_cell(h: &Harness, spec: RunSpec, opts: &SweepOptions) -> CellRecord {
+    let _span = powerscale_trace::span_args(
+        powerscale_trace::Category::Harness,
+        "cell",
+        spec.n as u32,
+        spec.threads as u32,
+    );
     let panic_budget = opts
         .panic_cells
         .iter()

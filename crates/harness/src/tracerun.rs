@@ -1,0 +1,112 @@
+//! Traced real executions: runs the real-execution bridge with the
+//! run-timeline recorder armed and a background energy sampler stamping
+//! RAPL samples onto the *same* clock, then collects the session into
+//! Chrome-trace / folded-stack / per-phase-EP exports.
+//!
+//! This is the `reproduce --trace <path>` backend. It needs the workspace
+//! built with the `trace` feature (`powerscale-trace/enable`); callers
+//! should check [`powerscale_trace::build_enabled`] first and tell the
+//! user to rebuild rather than silently writing an empty trace.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::experiment::{Harness, RunSpec};
+use crate::realexec::RealRunResult;
+use powerscale_machine::KernelClass;
+use powerscale_pool::ThreadPool;
+use powerscale_rapl::model::ModelReader;
+use powerscale_rapl::sysfs::SysfsReader;
+use powerscale_rapl::{Domain, EnergyMeter, EnergyReader};
+use powerscale_trace as trace;
+
+/// Sampling period for the timeline energy sampler. ~2 ms keeps well
+/// inside any RAPL wrap period while staying cheap (a few hundred
+/// records per second of run).
+const SAMPLE_PERIOD: Duration = Duration::from_millis(2);
+
+/// Everything one traced session produced.
+pub struct TracedRuns {
+    /// The collected timeline.
+    pub trace: trace::Trace,
+    /// Per-phase busy-time/energy/EP table derived from it.
+    pub summary: trace::PhaseSummary,
+    /// The individual run results, in spec order.
+    pub runs: Vec<RealRunResult>,
+}
+
+impl Harness {
+    /// Runs `specs` for real on `pool` with the recorder armed: every
+    /// pool/gemm/Strassen/CAPS span lands on one timeline together with
+    /// energy-counter samples from a background sampler (host RAPL via
+    /// sysfs when readable, the machine-model reader otherwise).
+    ///
+    /// Returns `None` when a session is already active (nested tracing)
+    /// — the caller keeps the running session undisturbed.
+    pub fn traced_real_runs(&self, specs: &[RunSpec], pool: &ThreadPool) -> Option<TracedRuns> {
+        if !trace::start(trace::TraceConfig::default()) {
+            return None;
+        }
+        trace::set_thread_label("main", u32::MAX);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let sampler = {
+            let stop = Arc::clone(&stop);
+            let machine = self.machine.clone();
+            let threads = specs.iter().map(|s| s.threads).max().unwrap_or(1);
+            std::thread::spawn(move || {
+                trace::set_thread_label("sampler", u32::MAX);
+                let sysfs = SysfsReader::system();
+                if sysfs.is_available() {
+                    run_sampler(sysfs, &stop, |_| {});
+                } else {
+                    // No host RAPL: drive the machine model's power law in
+                    // real time so the timeline still carries a physically
+                    // plausible cumulative-joules series.
+                    let pkg_w = machine.power.pkg_base_w
+                        + threads as f64
+                            * machine.power.core_active_w[KernelClass::LeafGemm.index()];
+                    let model = ModelReader::from_powers(&[
+                        (Domain::Package, pkg_w),
+                        (Domain::Dram, machine.power.dram_static_w),
+                    ]);
+                    let mut last = Instant::now();
+                    run_sampler(model, &stop, move |r| {
+                        let now = Instant::now();
+                        r.advance((now - last).as_secs_f64());
+                        last = now;
+                    });
+                }
+            })
+        };
+
+        let runs: Vec<RealRunResult> = specs.iter().map(|&s| self.run_real(s, pool)).collect();
+
+        stop.store(true, Ordering::Release);
+        sampler.join().expect("sampler thread never panics");
+        let collected = trace::stop();
+        let summary = trace::phase_summary(&collected);
+        Some(TracedRuns {
+            trace: collected,
+            summary,
+            runs,
+        })
+    }
+}
+
+/// The sampler loop: sample every [`SAMPLE_PERIOD`] until `stop`, with a
+/// per-tick hook (the model reader uses it to advance simulated time by
+/// real elapsed time).
+fn run_sampler<R: EnergyReader>(mut reader: R, stop: &AtomicBool, mut tick: impl FnMut(&mut R)) {
+    let mut meter = EnergyMeter::start(&mut reader);
+    let t0 = Instant::now();
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(SAMPLE_PERIOD);
+        tick(&mut reader);
+        // `sample` stamps each domain's cumulative joules onto the trace.
+        meter.sample(&mut reader);
+    }
+    tick(&mut reader);
+    let _ = meter.finish(&mut reader, t0.elapsed().as_secs_f64());
+}

@@ -6,6 +6,7 @@ use crate::scope::{Scope, ScopeLatch};
 use crate::stats::{PoolStats, WorkerStats};
 use crossbeam_deque::{Injector, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
+use powerscale_trace as trace;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -577,6 +578,7 @@ impl PoolInner {
                         self.notify_all();
                         continue;
                     }
+                    trace::instant(trace::Category::Pool, "steal", victim as u32);
                     return Some((
                         job,
                         JobSource::Stolen {
@@ -650,6 +652,7 @@ impl PoolInner {
                 }
                 let in_group = victim_tag == my_tag;
                 det.record_steal(index, victim, in_group);
+                trace::instant(trace::Category::Pool, "steal", victim as u32);
                 return Some((job, JobSource::Stolen { in_group }));
             }
         }
@@ -657,11 +660,21 @@ impl PoolInner {
     }
 
     fn run_job(&self, job: Job, src: JobSource, index: usize) {
-        match src {
-            JobSource::Local => self.stats[index].count_local(),
-            JobSource::Injected => self.stats[index].count_injected(),
-            JobSource::Stolen { in_group } => self.stats[index].count_stolen(in_group),
-        }
+        let span_name = match src {
+            JobSource::Local => {
+                self.stats[index].count_local();
+                "job:local"
+            }
+            JobSource::Injected => {
+                self.stats[index].count_injected();
+                "job:injected"
+            }
+            JobSource::Stolen { in_group } => {
+                self.stats[index].count_stolen(in_group);
+                "job:stolen"
+            }
+        };
+        let _span = trace::span_args(trace::Category::Pool, span_name, index as u32, 0);
         job();
     }
 
@@ -732,6 +745,7 @@ fn worker_loop(inner: Arc<PoolInner>, index: usize, local: Worker<Job>) {
             local: &local as *const _,
         }))
     });
+    trace::set_thread_label("worker", index as u32);
     // Adaptive spin-then-park: when work shows up while spinning, the
     // spin budget grows (the queue is bursty — parking would just pay
     // wakeup latency); every actual park shrinks it back toward a quick
@@ -783,7 +797,9 @@ fn worker_loop(inner: Arc<PoolInner>, index: usize, local: Worker<Job>) {
         }
         inner.stats[index].count_park();
         spin_limit = (spin_limit / 2).max(SPIN_MIN);
+        trace::instant(trace::Category::Pool, "park", index as u32);
         inner.sleep_cond.wait(&mut guard);
+        trace::instant(trace::Category::Pool, "unpark", index as u32);
         idle_spins = 0;
     }
     WORKER_CTX.with(|c| c.set(None));

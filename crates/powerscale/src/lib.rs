@@ -108,6 +108,13 @@ pub mod harness {
     pub use powerscale_harness::*;
 }
 
+/// Run-timeline observability (`powerscale-trace`): span/event recorder,
+/// Chrome-trace and flamegraph exporters, per-phase EP attribution.
+/// Hooks are no-ops unless built with the facade's `trace` feature.
+pub mod trace {
+    pub use powerscale_trace::*;
+}
+
 /// Sparse formats and their EP study (`powerscale-sparse`) — the paper's
 /// §VIII future work.
 pub mod sparse {

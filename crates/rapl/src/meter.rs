@@ -52,12 +52,17 @@ impl EnergyReport {
             .map(|&(_, j)| j)
     }
 
-    /// Average watts for one domain.
+    /// Average watts for one domain. `None` when the window is zero,
+    /// negative or non-finite, or when the ratio itself is not finite —
+    /// a degenerate window must not leak NaN/inf into EP tables.
     pub fn avg_watts(&self, domain: Domain) -> Option<f64> {
-        if self.elapsed <= 0.0 {
+        if !self.elapsed.is_finite() || self.elapsed <= 0.0 {
             return None;
         }
-        self.joules_for(domain).map(|j| j / self.elapsed)
+        self.joules_for(domain).and_then(|j| {
+            let w = j / self.elapsed;
+            w.is_finite().then_some(w)
+        })
     }
 
     /// Sample quality for one domain.
@@ -80,6 +85,17 @@ impl EnergyReport {
             .filter(|(_, q)| !q.is_clean())
             .map(|&(d, _)| d)
             .collect()
+    }
+}
+
+/// Trace-counter name for a domain's cumulative-joules series.
+fn trace_counter_name(d: Domain) -> &'static str {
+    match d {
+        Domain::Package => "joules:package",
+        Domain::PP0 => "joules:pp0",
+        Domain::PP1 => "joules:pp1",
+        Domain::Dram => "joules:dram",
+        Domain::Psys => "joules:psys",
     }
 }
 
@@ -131,6 +147,10 @@ impl EnergyMeter {
             match reader.read_raw(*d) {
                 Some(raw) => {
                     t.counter.update(raw);
+                    // Stamp the cumulative integral onto the trace
+                    // timeline so per-phase energy attribution sees the
+                    // same samples the report integrates.
+                    powerscale_trace::counter(trace_counter_name(*d), t.counter.total_joules());
                 }
                 None => t.failed += 1,
             }
@@ -221,6 +241,32 @@ mod tests {
         let report = m.finish(&mut r, 0.0);
         assert_eq!(report.avg_watts(Domain::Package), None);
         assert_eq!(report.joules_for(Domain::Package), Some(0.0));
+    }
+
+    #[test]
+    fn degenerate_windows_have_no_watts() {
+        // NaN, negative and infinite windows are all refused outright.
+        for elapsed in [f64::NAN, -1.0, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut r = ModelReader::from_powers(&[(Domain::Package, 10.0)]);
+            let mut m = EnergyMeter::start(&mut r);
+            r.advance(1.0);
+            m.sample(&mut r);
+            let report = m.finish(&mut r, elapsed);
+            assert_eq!(
+                report.avg_watts(Domain::Package),
+                None,
+                "elapsed = {elapsed} must not produce watts"
+            );
+            // The integrated energy itself is still reported.
+            assert!(report.joules_for(Domain::Package).unwrap() > 0.0);
+        }
+        // A near-zero window whose ratio overflows to inf is also refused.
+        let mut r = ModelReader::from_powers(&[(Domain::Package, 10.0)]);
+        let mut m = EnergyMeter::start(&mut r);
+        r.advance(1.0);
+        m.sample(&mut r);
+        let report = m.finish(&mut r, 1e-320);
+        assert_eq!(report.avg_watts(Domain::Package), None);
     }
 
     #[test]

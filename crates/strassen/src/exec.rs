@@ -62,6 +62,12 @@ pub fn multiply(
     if n == 0 {
         return Ok(Matrix::zeros(0, 0));
     }
+    let _span = powerscale_trace::span_args(
+        powerscale_trace::Category::Strassen,
+        "strassen",
+        n as u32,
+        cfg.task_depth,
+    );
     let snap = steal_snapshot(pool);
     let target = pad::next_recursive_size(n, cfg.cutoff);
     let result = if target == n {
@@ -111,6 +117,12 @@ fn rec(
     }
     record_level(events);
     let parallel = pool.is_some() && depth < cfg.task_depth;
+    let _span = powerscale_trace::span_args(
+        powerscale_trace::Category::Strassen,
+        if parallel { "rec:par" } else { "rec:seq" },
+        depth,
+        n as u32,
+    );
     match (cfg.variant, parallel) {
         (Variant::Classic, false) => classic_seq(a, b, c, depth, cfg, pool, events),
         (Variant::Classic, true) => classic_par(a, b, c, depth, cfg, pool, events),

@@ -1,0 +1,316 @@
+//! Machine-readable per-phase summary: busy time, attributed energy and
+//! average watts per (category, span-name) phase — the per-phase EP table
+//! the paper's Eq. 3 plane sums suggest, computed from the unified
+//! timeline instead of end-of-run aggregates.
+//!
+//! Attribution model:
+//!
+//! * Each thread's time is owned by the *innermost* open span — a span's
+//!   self-time segments are its duration minus its children's.
+//! * Cumulative `joules:<domain>` counter samples (stamped on the same
+//!   clock by the energy sampler) form a piecewise-linear energy curve.
+//! * A global change-point sweep walks every segment boundary; the energy
+//!   delta of each slice is split equally among the segments active in
+//!   it. Phases therefore partition measured energy exactly (up to the
+//!   idle remainder, reported as the `idle` row).
+
+use std::collections::BTreeMap;
+
+use crate::export::{span_forest, SpanNode};
+use crate::model::{Kind, Trace};
+
+/// One row of the per-phase table.
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    /// Phase key: `<category>:<span name>`.
+    pub phase: String,
+    /// Number of span instances aggregated into this row.
+    pub count: u64,
+    /// Total self-time across threads, seconds.
+    pub busy_s: f64,
+    /// Energy attributed to this phase, joules (0 when no energy
+    /// counters were recorded).
+    pub joules: f64,
+    /// `joules / busy_s`; `None` when the window is too short or the
+    /// division is not finite (the NaN/inf guard the EP pipeline uses).
+    pub watts: Option<f64>,
+}
+
+/// The whole per-phase summary plus trace-quality metadata.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseSummary {
+    /// Rows sorted by descending busy time. Includes an `idle` row when
+    /// energy was measured outside any span.
+    pub rows: Vec<PhaseRow>,
+    /// Session wall time, seconds.
+    pub wall_s: f64,
+    /// Span coverage of wall time (union across threads), 0..=1.
+    pub coverage: f64,
+    /// Total measured energy over the session, joules (package domain
+    /// preferred, else the first available domain).
+    pub total_joules: f64,
+    /// Records lost to ring overflow.
+    pub dropped: u64,
+}
+
+/// A self-time segment: a half-open interval a phase owns on one thread.
+struct Segment {
+    start_ns: u64,
+    end_ns: u64,
+    phase: usize,
+}
+
+fn collect_segments(
+    node: &SpanNode,
+    phases: &mut BTreeMap<String, usize>,
+    counts: &mut Vec<u64>,
+    out: &mut Vec<Segment>,
+) {
+    let key = format!("{}:{}", node.cat.as_str(), node.name);
+    let next = phases.len();
+    let idx = *phases.entry(key).or_insert(next);
+    if idx == counts.len() {
+        counts.push(0);
+    }
+    counts[idx] += 1;
+    // Self time = span minus children: emit the gaps between consecutive
+    // children (children are in open order and properly nested).
+    let mut cursor = node.start_ns;
+    for child in &node.children {
+        if child.start_ns > cursor {
+            out.push(Segment {
+                start_ns: cursor,
+                end_ns: child.start_ns,
+                phase: idx,
+            });
+        }
+        cursor = cursor.max(child.end_ns);
+        collect_segments(child, phases, counts, out);
+    }
+    if node.end_ns > cursor {
+        out.push(Segment {
+            start_ns: cursor,
+            end_ns: node.end_ns,
+            phase: idx,
+        });
+    }
+}
+
+/// Piecewise-linear cumulative-energy curve from `joules:*` counters.
+struct EnergyCurve {
+    /// (ts_ns, cumulative joules), sorted by time.
+    samples: Vec<(u64, f64)>,
+}
+
+impl EnergyCurve {
+    fn from_trace(trace: &Trace) -> Option<EnergyCurve> {
+        let mut by_name: BTreeMap<&'static str, Vec<(u64, f64)>> = BTreeMap::new();
+        for t in &trace.threads {
+            for rec in &t.records {
+                if let Kind::Counter { name, value } = rec.kind {
+                    if name.starts_with("joules:") && value.is_finite() {
+                        by_name.entry(name).or_default().push((rec.ts, value));
+                    }
+                }
+            }
+        }
+        let mut samples = by_name
+            .remove("joules:package")
+            .or_else(|| by_name.into_values().next())?;
+        samples.sort_unstable_by_key(|&(ts, _)| ts);
+        if samples.len() < 2 {
+            return None;
+        }
+        Some(EnergyCurve { samples })
+    }
+
+    /// Cumulative joules at `ts`, linearly interpolated and clamped to
+    /// the sampled range.
+    fn at(&self, ts: u64) -> f64 {
+        let s = &self.samples;
+        if ts <= s[0].0 {
+            return s[0].1;
+        }
+        if ts >= s[s.len() - 1].0 {
+            return s[s.len() - 1].1;
+        }
+        let i = s.partition_point(|&(t, _)| t <= ts);
+        let (t0, e0) = s[i - 1];
+        let (t1, e1) = s[i];
+        if t1 == t0 {
+            return e0;
+        }
+        let frac = (ts - t0) as f64 / (t1 - t0) as f64;
+        e0 + frac * (e1 - e0)
+    }
+
+    fn total(&self) -> f64 {
+        self.samples[self.samples.len() - 1].1 - self.samples[0].1
+    }
+}
+
+/// Watts with the non-finite guard: `None` unless both operands make a
+/// finite, meaningful ratio.
+fn safe_watts(joules: f64, seconds: f64) -> Option<f64> {
+    if !(seconds.is_finite() && seconds > 0.0 && joules.is_finite()) {
+        return None;
+    }
+    let w = joules / seconds;
+    w.is_finite().then_some(w)
+}
+
+/// Builds the per-phase summary from a collected trace.
+pub fn phase_summary(trace: &Trace) -> PhaseSummary {
+    let forest = span_forest(trace);
+    let mut phases: BTreeMap<String, usize> = BTreeMap::new();
+    let mut counts: Vec<u64> = Vec::new();
+    let mut segments: Vec<Segment> = Vec::new();
+    for (_, roots) in &forest {
+        for node in roots {
+            collect_segments(node, &mut phases, &mut counts, &mut segments);
+        }
+    }
+
+    let nphases = phases.len();
+    let mut busy_ns = vec![0u64; nphases];
+    for seg in &segments {
+        busy_ns[seg.phase] += seg.end_ns - seg.start_ns;
+    }
+
+    // Energy attribution: change-point sweep over segment boundaries.
+    let mut joules = vec![0.0f64; nphases];
+    let mut idle_joules = 0.0f64;
+    let curve = EnergyCurve::from_trace(trace);
+    if let Some(curve) = &curve {
+        let mut points: Vec<u64> = Vec::with_capacity(segments.len() * 2 + 2);
+        points.push(trace.start_ns);
+        points.push(trace.end_ns);
+        for seg in &segments {
+            points.push(seg.start_ns);
+            points.push(seg.end_ns);
+        }
+        points.sort_unstable();
+        points.dedup();
+        // Sort segments by start for an incremental active set.
+        segments.sort_unstable_by_key(|s| s.start_ns);
+        let mut active: Vec<&Segment> = Vec::new();
+        let mut next_seg = 0usize;
+        for w in points.windows(2) {
+            let (t0, t1) = (w[0], w[1]);
+            while next_seg < segments.len() && segments[next_seg].start_ns <= t0 {
+                active.push(&segments[next_seg]);
+                next_seg += 1;
+            }
+            active.retain(|s| s.end_ns > t0);
+            let de = curve.at(t1) - curve.at(t0);
+            if de <= 0.0 {
+                continue;
+            }
+            let live: Vec<usize> = active
+                .iter()
+                .filter(|s| s.start_ns <= t0 && s.end_ns >= t1)
+                .map(|s| s.phase)
+                .collect();
+            if live.is_empty() {
+                idle_joules += de;
+            } else {
+                let share = de / live.len() as f64;
+                for p in live {
+                    joules[p] += share;
+                }
+            }
+        }
+    }
+
+    let mut rows: Vec<PhaseRow> = phases
+        .into_iter()
+        .map(|(phase, idx)| {
+            let busy_s = busy_ns[idx] as f64 / 1e9;
+            PhaseRow {
+                phase,
+                count: counts[idx],
+                busy_s,
+                joules: joules[idx],
+                watts: safe_watts(joules[idx], busy_s),
+            }
+        })
+        .collect();
+    if idle_joules > 0.0 {
+        let wall_s = trace.wall_ns() as f64 / 1e9;
+        rows.push(PhaseRow {
+            phase: "idle".to_string(),
+            count: 0,
+            busy_s: 0.0,
+            joules: idle_joules,
+            watts: safe_watts(idle_joules, wall_s),
+        });
+    }
+    rows.sort_by(|a, b| {
+        b.busy_s
+            .partial_cmp(&a.busy_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    PhaseSummary {
+        rows,
+        wall_s: trace.wall_ns() as f64 / 1e9,
+        coverage: crate::export::coverage(trace),
+        total_joules: curve.as_ref().map(EnergyCurve::total).unwrap_or(0.0),
+        dropped: trace.total_dropped(),
+    }
+}
+
+impl PhaseSummary {
+    /// Machine-readable JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"wall_s\": {:.9},\n", self.wall_s));
+        out.push_str(&format!("  \"coverage\": {:.6},\n", self.coverage));
+        out.push_str(&format!("  \"total_joules\": {:.6},\n", self.total_joules));
+        out.push_str(&format!("  \"dropped\": {},\n", self.dropped));
+        out.push_str("  \"phases\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let watts = match row.watts {
+                Some(w) => format!("{w:.6}"),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "    {{\"phase\": \"{}\", \"count\": {}, \"busy_s\": {:.9}, \
+                 \"joules\": {:.6}, \"watts\": {}}}{}\n",
+                row.phase,
+                row.count,
+                row.busy_s,
+                row.joules,
+                watts,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable table for terminal output.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "wall {:.4}s · coverage {:.1}% · energy {:.3}J · dropped {}\n",
+            self.wall_s,
+            self.coverage * 100.0,
+            self.total_joules,
+            self.dropped
+        ));
+        out.push_str("| phase | count | busy (s) | joules | watts |\n");
+        out.push_str("|---|---:|---:|---:|---:|\n");
+        for row in &self.rows {
+            let watts = match row.watts {
+                Some(w) => format!("{w:.2}"),
+                None => "—".to_string(),
+            };
+            out.push_str(&format!(
+                "| {} | {} | {:.4} | {:.3} | {} |\n",
+                row.phase, row.count, row.busy_s, row.joules, watts
+            ));
+        }
+        out
+    }
+}
