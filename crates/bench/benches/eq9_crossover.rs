@@ -25,16 +25,8 @@ fn bench(c: &mut Criterion) {
     let h = Harness::default();
     println!("\nmeasured Strassen/blocked ratio at 4 threads:");
     for n in [512usize, 1024, 2048, 4096] {
-        let b = h.run(RunSpec {
-            algorithm: Algorithm::Blocked,
-            n,
-            threads: 4,
-        });
-        let s = h.run(RunSpec {
-            algorithm: Algorithm::Strassen,
-            n,
-            threads: 4,
-        });
+        let b = h.run(RunSpec::new(Algorithm::Blocked, n, 4));
+        let s = h.run(RunSpec::new(Algorithm::Strassen, n, 4));
         println!("  n={n:<5} slowdown {:.3}", s.t_seconds / b.t_seconds);
     }
     println!();

@@ -38,16 +38,7 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(alg.paper_name(), threads),
                 &(alg, threads),
-                |b, &(alg, threads)| {
-                    b.iter(|| {
-                        h.run(RunSpec {
-                            algorithm: alg,
-                            n: 2048,
-                            threads,
-                        })
-                        .pkg_watts
-                    })
-                },
+                |b, &(alg, threads)| b.iter(|| h.run(RunSpec::new(alg, 2048, threads)).pkg_watts),
             );
         }
     }

@@ -39,15 +39,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("simulate_1024x4t", alg.paper_name()),
             &alg,
-            |b, &alg| {
-                b.iter(|| {
-                    h.run(RunSpec {
-                        algorithm: alg,
-                        n: 1024,
-                        threads: 4,
-                    })
-                })
-            },
+            |b, &alg| b.iter(|| h.run(RunSpec::new(alg, 1024, 4))),
         );
     }
     group.finish();

@@ -26,7 +26,7 @@ impl CacheConfig {
         );
         assert!(associativity >= 1, "associativity must be >= 1");
         assert!(
-            size_bytes % (line_bytes * associativity) == 0,
+            size_bytes.is_multiple_of(line_bytes * associativity),
             "capacity {size_bytes} not divisible by line*ways {}",
             line_bytes * associativity
         );

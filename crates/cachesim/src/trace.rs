@@ -68,7 +68,10 @@ pub fn run_naive_gemm_trace(h: &mut Hierarchy, n: u64) -> HierarchyStats {
 /// # Panics
 /// Panics unless `bs` divides `n`.
 pub fn run_blocked_gemm_trace(h: &mut Hierarchy, n: u64, bs: u64) -> HierarchyStats {
-    assert!(bs > 0 && n % bs == 0, "block size {bs} must divide n {n}");
+    assert!(
+        bs > 0 && n.is_multiple_of(bs),
+        "block size {bs} must divide n {n}"
+    );
     let a = MatrixLayout {
         base: 0,
         rows: n,

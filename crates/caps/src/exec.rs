@@ -121,7 +121,7 @@ pub fn multiply(
 
 /// The recursion reverts to the dense leaf at or below the cutover size.
 fn is_leaf(n: usize, cutoff: usize) -> bool {
-    n <= cutoff || n % 2 != 0
+    n <= cutoff || !n.is_multiple_of(2)
 }
 
 /// Work-shared `dst (accum)= A · B` over row bands: the DFS leaf step,

@@ -138,7 +138,7 @@ fn emit_caps(
 /// Returns `None` when `nodes` is not a perfect square or `q ∤ n`.
 pub fn summa_graph(n: usize, cluster: &ClusterConfig) -> Option<DistGraph> {
     let q = (cluster.nodes as f64).sqrt().round() as usize;
-    if q * q != cluster.nodes || q == 0 || n % q != 0 {
+    if q * q != cluster.nodes || q == 0 || !n.is_multiple_of(q) {
         return None;
     }
     let nb = n / q;

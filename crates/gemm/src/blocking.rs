@@ -45,14 +45,80 @@ impl BlockingParams {
         Self::for_caches_and_tile(caches, k.mr, k.nr)
     }
 
-    /// Derives parameters from the default (paper Haswell) hierarchy for a
-    /// specific kernel — used when a context pins a non-default kernel.
+    /// Derives parameters from the static (paper Haswell) hierarchy for a
+    /// specific kernel — the pre-autotuner constants, kept as the
+    /// baseline the benchmark's autotuned-vs-static delta is measured
+    /// against.
     pub fn for_kernel(kernel: &KernelInfo) -> Self {
         Self::for_caches_and_tile(
             &powerscale_cachesim::presets::e3_1225_caches(),
             kernel.mr,
             kernel.nr,
         )
+    }
+
+    /// Derives parameters for `kernel` from the **host's** cache
+    /// hierarchy, probed once per process ([`crate::autotune`]): sysfs
+    /// capacities when available, the Haswell preset otherwise, with the
+    /// `POWERSCALE_CACHES` / `POWERSCALE_BLOCKING` environment overrides
+    /// honoured for reproducibility. Uses the host-tuned budget fractions
+    /// ([`BlockingParams::host_tuned_for_caches_and_tile`]) rather than
+    /// the conservative halves model. This is what every default
+    /// [`crate::GemmContext`] uses.
+    ///
+    /// # Panics
+    /// Panics when a `POWERSCALE_BLOCKING` pin does not align to the
+    /// kernel's register tile.
+    pub fn autotuned_for(kernel: &KernelInfo) -> Self {
+        if let Some((mc, kc, nc)) = crate::autotune::blocking_override() {
+            let p = BlockingParams {
+                mc,
+                kc,
+                nc,
+                mr: kernel.mr,
+                nr: kernel.nr,
+            };
+            p.validate().unwrap_or_else(|e| {
+                panic!(
+                    "POWERSCALE_BLOCKING override invalid for kernel `{}`: {e}",
+                    kernel.name
+                )
+            });
+            return p;
+        }
+        Self::host_tuned_for_caches_and_tile(crate::autotune::host_caches(), kernel.mr, kernel.nr)
+    }
+
+    /// The host-tuned derivation: same Goto structure as
+    /// [`BlockingParams::for_caches_and_tile`], different budget fractions.
+    ///
+    /// The conservative halves model keeps the register slivers in half of
+    /// L1 and the packed A panel in half of L2 — the right call for the
+    /// simulated LRU hierarchies (real conflict misses, no prefetch) and
+    /// kept there unchanged. Real hosts have hardware prefetchers and
+    /// high-associativity caches, and measurement says they prefer the
+    /// opposite trade: a deeper `kc` (the `mr×kc` + `kc×nr` sliver pair
+    /// filling *all* of L1, halving the number of C write passes) and a
+    /// shorter `mc` (packed A capped at a *quarter* of L2, leaving room
+    /// for the B stream and C traffic instead of monopolising the cache).
+    /// On a 48 KiB / 2 MiB host with the 8×8 AVX-512 tile this derives
+    /// `kc = 384, mc = 168` — 5–10% faster than both the halves model and
+    /// the static Haswell constants at n = 384…1024.
+    pub fn host_tuned_for_caches_and_tile(caches: &[CacheConfig], mr: usize, nr: usize) -> Self {
+        assert!(mr > 0 && nr > 0, "register tile must be non-empty");
+        let l1 = caches.first().map(|c| c.size_bytes).unwrap_or(32 * 1024);
+        let l2 = caches.get(1).map(|c| c.size_bytes).unwrap_or(256 * 1024);
+        let l3 = caches
+            .get(2)
+            .map(|c| c.size_bytes)
+            .unwrap_or(8 * 1024 * 1024);
+        // kc: the whole of L1 holds kc*(mr+nr) doubles.
+        let kc = aligned_clamp(l1 / (8 * (mr + nr)), 8, 32, 512);
+        // mc: a quarter of L2 holds mc*kc doubles, rounded to mr.
+        let mc = aligned_clamp(l2 / (4 * 8 * kc), mr, mr, 512);
+        // nc: half of L3 holds kc*nc doubles, same cap as the base model.
+        let nc = aligned_clamp(l3 / (2 * 8 * kc), nr, nr, 2048);
+        BlockingParams { mc, kc, nc, mr, nr }
     }
 
     /// Derives parameters from a cache hierarchy for an explicit `mr × nr`
@@ -89,10 +155,10 @@ impl BlockingParams {
         if self.mc == 0 || self.kc == 0 || self.nc == 0 {
             return Err(format!("zero blocking factor in {self:?}"));
         }
-        if self.mc % self.mr != 0 {
+        if !self.mc.is_multiple_of(self.mr) {
             return Err(format!("mc {} not a multiple of mr {}", self.mc, self.mr));
         }
-        if self.nc % self.nr != 0 {
+        if !self.nc.is_multiple_of(self.nr) {
             return Err(format!("nc {} not a multiple of nr {}", self.nc, self.nr));
         }
         Ok(())
@@ -110,10 +176,10 @@ impl BlockingParams {
 }
 
 impl Default for BlockingParams {
-    /// The derivation applied to the paper's Haswell hierarchy, for the
+    /// The autotuned derivation (probed host hierarchy) for the
     /// runtime-selected kernel.
     fn default() -> Self {
-        BlockingParams::for_caches(&powerscale_cachesim::presets::e3_1225_caches())
+        BlockingParams::autotuned_for(crate::kernel::select_kernel())
     }
 }
 
@@ -137,16 +203,56 @@ mod tests {
 
     #[test]
     fn default_params_valid_and_sized() {
+        // Default params come from the host probe now, so exact values
+        // vary by machine; the derivation's clamps still bound them.
         let p = BlockingParams::default();
         p.validate().unwrap();
-        // On the Haswell hierarchy the classic derivation lands near
-        // kc=256, mc=64, nc=2048 (scalar tile) or kc=144, mc=112, nc=2046
-        // (8×6 SIMD tile).
-        assert!((128..=512).contains(&p.kc), "kc={}", p.kc);
-        assert!((32..=256).contains(&p.mc), "mc={}", p.mc);
-        assert!((256..=2048).contains(&p.nc), "nc={}", p.nc);
+        assert!((32..=512).contains(&p.kc), "kc={}", p.kc);
+        assert!((8..=512).contains(&p.mc), "mc={}", p.mc);
+        assert!((8..=2048).contains(&p.nc), "nc={}", p.nc);
         let k = select_kernel();
         assert_eq!((p.mr, p.nr), (k.mr, k.nr));
+    }
+
+    #[test]
+    fn static_haswell_derivation_unchanged() {
+        // The pre-autotuner constants (the bench baseline) on the paper's
+        // Haswell hierarchy, per tile shape.
+        let p = BlockingParams::for_caches_and_tile(&e3_1225_caches(), 4, 4);
+        assert_eq!((p.mc, p.kc, p.nc), (64, 256, 2048));
+        let q = BlockingParams::for_caches_and_tile(&e3_1225_caches(), 8, 6);
+        assert_eq!((q.mc, q.kc, q.nc), (112, 144, 2046));
+    }
+
+    #[test]
+    fn host_tuned_derivation_on_known_hierarchies() {
+        // The measured-fastest point on a 48K/2M/260M host with the 8×8
+        // AVX-512 tile: deep kc (sliver pair = all of L1), moderate mc
+        // (packed A = quarter of L2).
+        let host = [
+            CacheConfig::new(48 * 1024, 64, 768),
+            CacheConfig::new(2048 * 1024, 64, 32768),
+            CacheConfig::new(266240 * 1024, 64, 266240 * 16),
+        ];
+        let p = BlockingParams::host_tuned_for_caches_and_tile(&host, 8, 8);
+        assert_eq!((p.mc, p.kc, p.nc), (168, 384, 2048));
+        // The tuned model must still honour its own budgets for every
+        // dispatchable tile shape on that hierarchy.
+        for (mr, nr) in [(4usize, 4usize), (8, 6), (8, 8), (16, 6)] {
+            let q = BlockingParams::host_tuned_for_caches_and_tile(&host, mr, nr);
+            q.validate().unwrap();
+            assert!(q.kc * 8 * (mr + nr) <= host[0].size_bytes, "{q:?}");
+            assert!(
+                q.packed_a_bytes() <= host[1].size_bytes / 4 + mr * q.kc * 8,
+                "{q:?}"
+            );
+            assert!(q.packed_b_bytes() <= host[2].size_bytes, "{q:?}");
+        }
+        // Falls back to the same defaults as the base model when the
+        // hierarchy is underspecified.
+        BlockingParams::host_tuned_for_caches_and_tile(&[], 8, 6)
+            .validate()
+            .unwrap();
     }
 
     #[test]
@@ -262,6 +368,35 @@ mod tests {
             prop_assert!(p.packed_a_bytes() > 0);
             prop_assert!(p.packed_b_bytes() > 0);
             prop_assert!(p.mc >= mr && p.nc >= nr && p.kc >= 8);
+            // On realistically-sized hierarchies (L1 ≥ 16 KiB, monotone
+            // levels — which this generator guarantees) no lower clamp can
+            // bind, so the derived factors must honour the Goto budgets:
+            // kc-sliver in L1, packed A panel in L2, packed B panel in L3.
+            if l1 >= 16 * 1024 {
+                prop_assert!(
+                    p.kc * 8 * (mr + nr) <= l1,
+                    "L1 sliver overflow: {p:?} vs l1={l1}"
+                );
+                prop_assert!(p.packed_a_bytes() <= l2, "A panel overflow: {p:?} vs l2={l2}");
+                prop_assert!(p.packed_b_bytes() <= l3, "B panel overflow: {p:?} vs l3={l3}");
+            }
+            // The host-tuned variant obeys its own (aggressive-kc,
+            // quarter-L2) budgets on the same hierarchies. The mr-floor on
+            // mc can exceed the quarter budget on degenerate l2 == l1
+            // hierarchies, hence the one-strip slack term.
+            let h = BlockingParams::host_tuned_for_caches_and_tile(&caches, mr, nr);
+            prop_assert!(h.validate().is_ok(), "invalid host-tuned {h:?}");
+            if l1 >= 16 * 1024 {
+                prop_assert!(
+                    h.kc * 8 * (mr + nr) <= l1,
+                    "L1 sliver-pair overflow: {h:?} vs l1={l1}"
+                );
+                prop_assert!(
+                    h.packed_a_bytes() <= l2 / 4 + mr * h.kc * 8,
+                    "A quarter-budget overflow: {h:?} vs l2={l2}"
+                );
+                prop_assert!(h.packed_b_bytes() <= l3, "B panel overflow: {h:?} vs l3={l3}");
+            }
         }
     }
 }

@@ -2,8 +2,10 @@
 
 use crate::arena;
 use crate::blocking::BlockingParams;
-use crate::kernel::{select_kernel, KernelInfo};
-use crate::pack::{pack_a, pack_b, pack_b_strips, packed_a_len, packed_b_len};
+use crate::kernel::{select_kernel, KernelFn, KernelInfo};
+use crate::pack::{
+    pack_a, pack_b, pack_b_strips, packed_a_len, packed_b_len, slots_for, PackScalar,
+};
 use powerscale_counters::{Event, EventSet, Profile};
 use powerscale_matrix::{ops, DimError, DimResult, Matrix, MatrixView, MatrixViewMut};
 use powerscale_pool::ThreadPool;
@@ -50,11 +52,12 @@ impl<'a> GemmContext<'a> {
     }
 
     /// A sequential context pinned to a specific microkernel, with
-    /// blocking re-derived for that kernel's tile shape. Used to force a
-    /// dispatch tier (tests, benchmarks, CI's scalar job).
+    /// blocking autotuned for that kernel's tile shape on the host's
+    /// probed cache hierarchy. Used to force a dispatch tier (tests,
+    /// benchmarks, CI's scalar job).
     pub fn with_kernel(kernel: &'static KernelInfo) -> Self {
         GemmContext {
-            params: BlockingParams::for_kernel(kernel),
+            params: BlockingParams::autotuned_for(kernel),
             kernel,
             ..GemmContext::default()
         }
@@ -120,8 +123,30 @@ pub fn dgemm(
     }
     let _span = trace::span_args(trace::Category::Gemm, "dgemm", m as u32, n as u32);
 
+    // One dtype dispatch up front; the blocked loops below are generic
+    // over the packed element type (the f64 instantiation is the code
+    // this refactor replaced, byte for byte in its packing and sweeps).
+    match kernel.func {
+        KernelFn::F64(_) => blocked_loops::<f64>(alpha, a, b, c, ctx),
+        KernelFn::F32(_) => blocked_loops::<f32>(alpha, a, b, c, ctx),
+    }
+}
+
+/// The jc/pc/ic blocking loops, generic over the packed element type.
+fn blocked_loops<T: PackScalar>(
+    alpha: f64,
+    a: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    c: &mut MatrixViewMut<'_>,
+    ctx: &GemmContext<'_>,
+) -> DimResult<()> {
+    let kernel = ctx.kernel;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let elem_bytes = kernel.dtype.packed_elem_bytes() as u64;
     let BlockingParams { mc, kc, nc, nr, .. } = ctx.params;
-    let mut pb = arena::pack_buf(packed_b_len(kc.min(k), nc.min(n), nr));
+    let mut pb = arena::pack_buf(slots_for::<T>(packed_b_len(kc.min(k), nc.min(n), nr)));
+    let pb_elems: &mut [T] = T::cast_mut(&mut pb[..]);
 
     let mut jc = 0;
     while jc < n {
@@ -142,7 +167,7 @@ pub fn dgemm(
                 Some(pool) if pool.num_threads() > 1 && b_strips >= 2 * pool.num_threads() => {
                     let strip_len = nr * kcb;
                     let chunk_strips = b_strips.div_ceil(pool.num_threads());
-                    let used = &mut pb[..b_strips * strip_len];
+                    let used = &mut pb_elems[..b_strips * strip_len];
                     pool.scope(|s| {
                         for (ci, chunk) in used.chunks_mut(chunk_strips * strip_len).enumerate() {
                             s.spawn(move |_| {
@@ -158,19 +183,19 @@ pub fn dgemm(
                     });
                 }
                 _ => {
-                    pack_b(&bpanel, &mut pb, nr);
+                    pack_b(&bpanel, pb_elems, nr);
                 }
             }
             drop(pack_span);
             if let Some(set) = ctx.events {
-                set.record(Event::PackBytes, 8 * (kcb * ncb) as u64);
+                set.record(Event::PackBytes, elem_bytes * (kcb * ncb) as u64);
                 set.record(Event::BytesRead, 8 * (kcb * ncb) as u64);
             }
 
             // Sweep mc-row bands of this C panel (disjoint mutable views),
             // splitting as we go — no per-panel band list is materialised.
             let cpanel = c.reborrow().into_sub_view((0, jc), (m, ncb))?;
-            let pb_ref: &[f64] = &pb;
+            let pb_ref: &[T] = &*pb_elems;
             match ctx.pool {
                 Some(pool) if m > mc => {
                     pool.scope(|s| {
@@ -217,38 +242,41 @@ pub fn dgemm(
 /// thread's arena — a worker-local buffer under a pool) and sweeps the
 /// macro-kernel tiles.
 #[allow(clippy::too_many_arguments)]
-fn run_row_band(
+fn run_row_band<T: PackScalar>(
     kernel: &'static KernelInfo,
     a: &MatrixView<'_>,
     pc: usize,
     ic: usize,
     kcb: usize,
     ncb: usize,
-    pb: &[f64],
+    pb: &[T],
     alpha: f64,
     band: &mut MatrixViewMut<'_>,
     events: Option<&EventSet>,
 ) {
+    let micro = T::kernel_fn(kernel);
     let (mr, nr) = (kernel.mr, kernel.nr);
     let mcb = band.rows();
     let _span = trace::span_args(trace::Category::Gemm, "row_band", mcb as u32, ncb as u32);
     let ablock = a
         .sub_view((ic, pc), (mcb, kcb))
         .expect("A block within bounds by construction");
-    let mut pa = arena::pack_buf(packed_a_len(mcb, kcb, mr));
-    let a_strips = pack_a(&ablock, &mut pa, mr);
+    let mut pa = arena::pack_buf(slots_for::<T>(packed_a_len(mcb, kcb, mr)));
+    let pa_elems: &mut [T] = T::cast_mut(&mut pa[..]);
+    let a_strips = pack_a(&ablock, pa_elems, mr);
     let b_strips = ncb.div_ceil(nr);
     for jr in 0..b_strips {
         let pb_strip = &pb[jr * nr * kcb..(jr + 1) * nr * kcb];
         for ir in 0..a_strips {
-            let pa_strip = &pa[ir * mr * kcb..(ir + 1) * mr * kcb];
-            (kernel.func)(kcb, pa_strip, pb_strip, alpha, band, ir * mr, jr * nr);
+            let pa_strip = &pa_elems[ir * mr * kcb..(ir + 1) * mr * kcb];
+            micro(kcb, pa_strip, pb_strip, alpha, band, ir * mr, jr * nr);
         }
     }
     if let Some(set) = events {
+        let elem_bytes = kernel.dtype.packed_elem_bytes() as u64;
         let mut p = Profile::new();
         p.add_count(Event::FpOps, 2 * (mcb * kcb * ncb) as u64);
-        p.add_count(Event::PackBytes, 8 * (mcb * kcb) as u64);
+        p.add_count(Event::PackBytes, elem_bytes * (mcb * kcb) as u64);
         p.add_count(Event::BytesRead, 8 * (mcb * kcb) as u64);
         p.add_count(Event::BytesWritten, 8 * (mcb * ncb) as u64);
         p.add_count(Event::KernelCalls, (a_strips * b_strips) as u64);

@@ -1,22 +1,31 @@
 //! Register-tile microkernels and runtime kernel dispatch.
 //!
-//! The crate ships several microkernel implementations and picks one at
+//! The crate ships one *generic* microkernel body ([`crate::simd`])
+//! instantiated per ISA tier and per dtype tier, and picks an instance at
 //! runtime:
 //!
-//! * **`avx2`** — an explicit 8×6 AVX2+FMA kernel (x86-64, [`crate::simd`]),
-//!   selected when `is_x86_feature_detected!` reports both features;
-//! * **`neon`** — a 8×6 NEON kernel stub (AArch64, [`crate::simd`]);
-//! * **`scalar`** — the portable 4×4 kernel in this module, always
-//!   available and the `force-scalar` feature's pin.
+//! * **ISA tiers** — `avx512` (8×8 over 512-bit lanes), `avx2` (8×6,
+//!   AVX2+FMA), `neon` (8×6 over 2-lane `float64x2_t`), `wasm128` (8×6
+//!   over `v128`), and the portable `scalar` 4×4 tier that is always
+//!   available (and the `force-scalar` feature's pin).
+//! * **dtype tiers** ([`DtypeTier`]) — `f64` (the default), `f32`
+//!   (single-precision loads, multiplies and accumulation), and `mixed`
+//!   (f32 loads/multiplies widened into f64 accumulators).
 //!
-//! A kernel is described by [`KernelInfo`]: its register-tile shape
-//! (`mr × nr`) and the function pointer implementing it. The tile shape is
-//! *not* a compile-time constant any more — blocking, packing and the
-//! driver all consume the selected kernel's `mr`/`nr` (see
-//! [`crate::BlockingParams`]).
+//! A kernel instance is described by [`KernelInfo`]: its ISA and dtype
+//! tier, its register-tile shape (`mr × nr`), and the typed entry point
+//! ([`KernelFn`]). The tile shape is *not* a compile-time constant —
+//! blocking, packing and the driver all consume the selected kernel's
+//! `mr`/`nr` (see [`crate::BlockingParams`]).
+//!
+//! Dispatch resolves, in priority order: an exact-kernel override pin
+//! ([`set_kernel_override`], the testkit's ISA×dtype lever), the tier pin
+//! ([`set_kernel_tier`]), the `force-scalar` feature, then feature
+//! detection per the process dtype pin ([`set_dtype_tier`]).
 
+use crate::pack::PackScalar;
 use powerscale_matrix::MatrixViewMut;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
 
 /// Register-tile rows of the portable scalar microkernel.
 pub const SCALAR_MR: usize = 4;
@@ -25,48 +34,278 @@ pub const SCALAR_NR: usize = 4;
 
 /// The microkernel calling convention shared by every implementation:
 /// merge `alpha * (a_strip · b_strip)` into `c` at `(row0, col0)` over
-/// packed strips of depth `kc`, masking rows/columns outside `c`.
-pub type MicrokernelFn = fn(
+/// packed strips of depth `kc`, masking rows/columns outside `c`. The
+/// strip element type is the kernel's packed dtype (`f64`, or `f32` for
+/// the f32 and mixed tiers); `c` and `alpha` are always `f64`.
+pub type Microkernel<T> = fn(
     kc: usize,
-    a_strip: &[f64],
-    b_strip: &[f64],
+    a_strip: &[T],
+    b_strip: &[T],
     alpha: f64,
     c: &mut MatrixViewMut<'_>,
     row0: usize,
     col0: usize,
 );
 
-/// A microkernel implementation plus the register-tile shape it computes.
+/// The f64 calling convention (kept as the historical name).
+pub type MicrokernelFn = Microkernel<f64>;
+
+/// A typed microkernel entry point, tagged by the packed element type its
+/// strips carry. The `mixed` tier packs `f32` (it widens in registers), so
+/// it uses the `F32` arm; [`KernelInfo::dtype`] distinguishes the two.
+#[derive(Debug, Clone, Copy)]
+pub enum KernelFn {
+    /// Strips of `f64` (the `f64` dtype tier).
+    F64(Microkernel<f64>),
+    /// Strips of `f32` (the `f32` and `mixed` dtype tiers).
+    F32(Microkernel<f32>),
+}
+
+/// The numeric tier a kernel computes in — the harness scenario axis that
+/// lets EP sweeps compare precision tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DtypeTier {
+    /// Double precision throughout (the paper's baseline).
+    #[default]
+    F64,
+    /// Single precision throughout: f32 packing, multiplies and
+    /// accumulation. Fastest, loosest bounds (~1e-3 relative at leaf
+    /// sizes; see the testkit tier tolerances).
+    F32,
+    /// Mixed precision: f32 packing and multiplies, f64 accumulation —
+    /// halves operand bandwidth while keeping the accumulator error of
+    /// f64 (only the one f64→f32 input rounding per element, ~1e-7
+    /// relative, is added).
+    Mixed,
+}
+
+impl DtypeTier {
+    /// All dtype tiers, in dispatch-preference order.
+    pub const ALL: [DtypeTier; 3] = [DtypeTier::F64, DtypeTier::F32, DtypeTier::Mixed];
+
+    /// The tier's canonical lowercase name (`"f64"`, `"f32"`, `"mixed"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DtypeTier::F64 => "f64",
+            DtypeTier::F32 => "f32",
+            DtypeTier::Mixed => "mixed",
+        }
+    }
+
+    /// Bytes per packed panel element (8 for f64; 4 for the f32 *and*
+    /// mixed tiers, which both pack single precision).
+    pub fn packed_elem_bytes(self) -> usize {
+        match self {
+            DtypeTier::F64 => 8,
+            DtypeTier::F32 | DtypeTier::Mixed => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for DtypeTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for DtypeTier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "f64" | "double" => Ok(DtypeTier::F64),
+            "f32" | "single" => Ok(DtypeTier::F32),
+            "mixed" => Ok(DtypeTier::Mixed),
+            other => Err(format!(
+                "unknown dtype tier `{other}` (expected f64, f32 or mixed)"
+            )),
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for DtypeTier {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_string())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for DtypeTier {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            // Absent field in a pre-dtype RunSpec checkpoint: the default.
+            serde::Value::Null => Ok(DtypeTier::F64),
+            serde::Value::String(s) => s.parse().map_err(|e: String| serde::Error::custom(e)),
+            other => Err(serde::Error::custom(format!(
+                "dtype tier must be a string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A microkernel instance: ISA tier × dtype tier, the register-tile shape
+/// it computes, and its typed entry point.
 #[derive(Debug, Clone, Copy)]
 pub struct KernelInfo {
-    /// Human-readable dispatch-tier name (`"avx2"`, `"neon"`, `"scalar"`).
+    /// Unique dispatch label. f64 tiers keep the bare ISA name (`"avx2"`,
+    /// `"scalar"`, …); other dtypes append it (`"avx2-f32"`,
+    /// `"scalar-mixed"`, …).
     pub name: &'static str,
-    /// Register-tile rows: `a_strip` holds `kc * mr` elements.
+    /// The ISA tier (`"scalar"`, `"avx2"`, `"avx512"`, `"neon"`,
+    /// `"wasm128"`).
+    pub isa: &'static str,
+    /// The numeric tier the kernel computes in.
+    pub dtype: DtypeTier,
+    /// Register-tile rows: `a_strip` holds `kc * mr` packed elements.
     pub mr: usize,
-    /// Register-tile columns: `b_strip` holds `kc * nr` elements.
+    /// Register-tile columns: `b_strip` holds `kc * nr` packed elements.
     pub nr: usize,
     /// The kernel entry point.
-    pub func: MicrokernelFn,
+    pub func: KernelFn,
+}
+
+impl KernelInfo {
+    /// Bytes per packed panel element for this kernel.
+    pub fn packed_elem_bytes(&self) -> usize {
+        self.dtype.packed_elem_bytes()
+    }
+
+    /// `f64` arena slots needed to hold `elems` packed elements (arena
+    /// buffers are `Vec<f64>`; f32 panels store two elements per slot).
+    pub fn slots_for(&self, elems: usize) -> usize {
+        match self.func {
+            KernelFn::F64(_) => crate::pack::slots_for::<f64>(elems),
+            KernelFn::F32(_) => crate::pack::slots_for::<f32>(elems),
+        }
+    }
+
+    /// Sweeps all `a_strips × b_strips` register tiles of a packed panel
+    /// pair, merging `alpha * (A·B)` into `c` with tiles placed at
+    /// `(ir*mr, jr*nr)`. `pa_slots`/`pb_slots` are arena buffers (`f64`
+    /// slots) holding the packed strips in this kernel's element type —
+    /// the typed view of what [`crate::pack::pack_a`]/[`pack_b`]
+    /// (`crate::pack::pack_b`) produced via [`PackScalar::cast_mut`].
+    ///
+    /// Tiles touch disjoint `c` regions and each tile's accumulation
+    /// order is internal to the kernel, so the sweep order is not
+    /// observable in the result.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep_tiles(
+        &self,
+        kc: usize,
+        pa_slots: &[f64],
+        pb_slots: &[f64],
+        a_strips: usize,
+        b_strips: usize,
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+    ) {
+        match self.func {
+            KernelFn::F64(f) => sweep_strips(
+                f,
+                self.mr,
+                self.nr,
+                kc,
+                f64::cast(pa_slots),
+                f64::cast(pb_slots),
+                a_strips,
+                b_strips,
+                alpha,
+                c,
+            ),
+            KernelFn::F32(f) => sweep_strips(
+                f,
+                self.mr,
+                self.nr,
+                kc,
+                f32::cast(pa_slots),
+                f32::cast(pb_slots),
+                a_strips,
+                b_strips,
+                alpha,
+                c,
+            ),
+        }
+    }
+}
+
+/// The typed strip sweep shared by [`KernelInfo::sweep_tiles`], the Goto
+/// driver's row bands and the fused leaf.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sweep_strips<T: PackScalar>(
+    f: Microkernel<T>,
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    pa: &[T],
+    pb: &[T],
+    a_strips: usize,
+    b_strips: usize,
+    alpha: f64,
+    c: &mut MatrixViewMut<'_>,
+) {
+    for jr in 0..b_strips {
+        let pb_strip = &pb[jr * nr * kc..(jr + 1) * nr * kc];
+        for ir in 0..a_strips {
+            let pa_strip = &pa[ir * mr * kc..(ir + 1) * mr * kc];
+            f(kc, pa_strip, pb_strip, alpha, c, ir * mr, jr * nr);
+        }
+    }
 }
 
 static SCALAR_KERNEL: KernelInfo = KernelInfo {
     name: "scalar",
+    isa: "scalar",
+    dtype: DtypeTier::F64,
     mr: SCALAR_MR,
     nr: SCALAR_NR,
-    func: microkernel,
+    func: KernelFn::F64(microkernel),
 };
 
-/// The portable scalar kernel (always available).
+/// The portable scalar f64 kernel (always available).
 pub fn scalar_kernel() -> &'static KernelInfo {
     &SCALAR_KERNEL
 }
 
-/// The best SIMD kernel the host supports, or `None` when only the scalar
-/// path is available. Forcing this kernel (via
+/// The portable scalar kernel of a dtype tier (always available — every
+/// dtype degrades to a scalar instantiation of the generic body).
+pub fn scalar_kernel_for(dtype: DtypeTier) -> &'static KernelInfo {
+    match dtype {
+        DtypeTier::F64 => &SCALAR_KERNEL,
+        DtypeTier::F32 => &crate::simd::generic::SCALAR_F32,
+        DtypeTier::Mixed => &crate::simd::generic::SCALAR_MIXED,
+    }
+}
+
+/// The best SIMD f64 kernel the host supports, or `None` when only the
+/// scalar path is available. Forcing this kernel (via
 /// [`crate::GemmContext::with_kernel`]) pins the SIMD tier regardless of
 /// the `force-scalar` feature.
 pub fn simd_kernel() -> Option<&'static KernelInfo> {
-    crate::simd::detect()
+    crate::simd::detect(DtypeTier::F64)
+}
+
+/// The best SIMD kernel of a dtype tier the host supports, or `None`.
+pub fn simd_kernel_for(dtype: DtypeTier) -> Option<&'static KernelInfo> {
+    crate::simd::detect(dtype)
+}
+
+/// Every kernel instance dispatchable on this host: the three scalar
+/// dtype tiers plus each supported SIMD ISA × dtype instance (best ISA
+/// first). The testkit differential matrix iterates this.
+pub fn available_kernels() -> Vec<&'static KernelInfo> {
+    let mut v: Vec<&'static KernelInfo> = DtypeTier::ALL
+        .iter()
+        .map(|&d| scalar_kernel_for(d))
+        .collect();
+    v.extend(crate::simd::host_simd_kernels());
+    v
+}
+
+/// Looks a dispatchable kernel up by its [`KernelInfo::name`] label.
+pub fn kernel_by_name(name: &str) -> Option<&'static KernelInfo> {
+    available_kernels().into_iter().find(|k| k.name == name)
 }
 
 /// A runtime pin on the dispatch tier [`select_kernel`] resolves to.
@@ -77,14 +316,15 @@ pub fn simd_kernel() -> Option<&'static KernelInfo> {
 /// [`crate::leaf_gemm_fused`], which dispatches internally — this
 /// process-wide pin is the lever that drives *those* paths through a
 /// chosen tier (the differential test matrix runs every algorithm under
-/// both `Scalar` and `Simd`).
+/// both `Scalar` and `Simd`). For pinning one exact ISA×dtype instance,
+/// see [`set_kernel_override`], which wins over this pin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelTier {
     /// Normal dispatch: SIMD when the host supports it (unless the
     /// `force-scalar` feature pins scalar).
     #[default]
     Auto,
-    /// Always the portable scalar kernel.
+    /// Always the portable scalar kernel (of the pinned dtype tier).
     Scalar,
     /// The host's SIMD kernel; falls back to scalar when the host has
     /// none (so a pinned test matrix degrades instead of aborting).
@@ -92,6 +332,8 @@ pub enum KernelTier {
 }
 
 static TIER: AtomicU8 = AtomicU8::new(0);
+static DTYPE: AtomicU8 = AtomicU8::new(0);
+static OVERRIDE: AtomicPtr<KernelInfo> = AtomicPtr::new(std::ptr::null_mut());
 
 /// The current process-wide dispatch-tier pin.
 pub fn kernel_tier() -> KernelTier {
@@ -117,24 +359,82 @@ pub fn set_kernel_tier(tier: KernelTier) -> KernelTier {
     prev
 }
 
-/// Selects the microkernel for this host: the SIMD tier when the CPU
-/// supports it, the scalar fallback otherwise. The `force-scalar` cargo
-/// feature pins the scalar kernel (used by CI to exercise the portable
-/// path on SIMD-capable hosts); a runtime [`set_kernel_tier`] pin wins
-/// over both.
+/// The current process-wide dtype-tier pin (default [`DtypeTier::F64`]).
+pub fn dtype_tier() -> DtypeTier {
+    match DTYPE.load(Ordering::Relaxed) {
+        1 => DtypeTier::F32,
+        2 => DtypeTier::Mixed,
+        _ => DtypeTier::F64,
+    }
+}
+
+/// Pins the dtype tier [`select_kernel`] dispatches for the whole process
+/// — the harness sets this from a run spec's `dtype` axis before a real
+/// run so the recursive executors' internal dispatch follows the scenario
+/// axis. Returns the previous pin so callers can restore it.
+pub fn set_dtype_tier(dtype: DtypeTier) -> DtypeTier {
+    let prev = dtype_tier();
+    let raw = match dtype {
+        DtypeTier::F64 => 0,
+        DtypeTier::F32 => 1,
+        DtypeTier::Mixed => 2,
+    };
+    DTYPE.store(raw, Ordering::Relaxed);
+    prev
+}
+
+/// The current exact-kernel override pin, if any.
+pub fn kernel_override() -> Option<&'static KernelInfo> {
+    let p = OVERRIDE.load(Ordering::Relaxed);
+    // SAFETY: the pointer is only ever null or a `&'static KernelInfo`
+    // stored by `set_kernel_override`.
+    unsafe { p.cast_const().as_ref() }
+}
+
+/// Pins dispatch to one exact kernel instance (an entry of
+/// [`available_kernels`]) for the whole process, winning over every other
+/// pin and feature — the testkit's lever for driving the recursive
+/// executors through a specific ISA×dtype cell. `None` unpins. Returns
+/// the previous override so callers can restore it.
+pub fn set_kernel_override(kernel: Option<&'static KernelInfo>) -> Option<&'static KernelInfo> {
+    let prev = OVERRIDE.swap(
+        match kernel {
+            Some(k) => (k as *const KernelInfo).cast_mut(),
+            None => std::ptr::null_mut(),
+        },
+        Ordering::Relaxed,
+    );
+    // SAFETY: as in `kernel_override`.
+    unsafe { prev.cast_const().as_ref() }
+}
+
+/// Selects the microkernel for this host at a specific dtype tier: the
+/// SIMD instance when the CPU supports one, the scalar instantiation
+/// otherwise. The `force-scalar` cargo feature pins the scalar ISA for
+/// every dtype (used by CI to exercise the portable path on SIMD-capable
+/// hosts); a runtime [`set_kernel_tier`] pin wins over the feature, and a
+/// [`set_kernel_override`] pin wins over everything (including `dtype`).
+pub fn select_kernel_for(dtype: DtypeTier) -> &'static KernelInfo {
+    if let Some(k) = kernel_override() {
+        return k;
+    }
+    match kernel_tier() {
+        KernelTier::Scalar => return scalar_kernel_for(dtype),
+        KernelTier::Simd => return simd_kernel_for(dtype).unwrap_or(scalar_kernel_for(dtype)),
+        KernelTier::Auto => {}
+    }
+    if cfg!(feature = "force-scalar") {
+        return scalar_kernel_for(dtype);
+    }
+    simd_kernel_for(dtype).unwrap_or(scalar_kernel_for(dtype))
+}
+
+/// [`select_kernel_for`] at the process dtype pin ([`dtype_tier`]).
 ///
 /// Feature detection is cached by the standard library, so this is cheap
 /// enough to call per GEMM invocation.
 pub fn select_kernel() -> &'static KernelInfo {
-    match kernel_tier() {
-        KernelTier::Scalar => return &SCALAR_KERNEL,
-        KernelTier::Simd => return simd_kernel().unwrap_or(&SCALAR_KERNEL),
-        KernelTier::Auto => {}
-    }
-    if cfg!(feature = "force-scalar") {
-        return &SCALAR_KERNEL;
-    }
-    simd_kernel().unwrap_or(&SCALAR_KERNEL)
+    select_kernel_for(dtype_tier())
 }
 
 /// Computes a full `SCALAR_MR × SCALAR_NR` tile
@@ -197,8 +497,8 @@ mod tests {
     const MR: usize = SCALAR_MR;
     const NR: usize = SCALAR_NR;
 
-    /// The tier pin is process-global; tests that write or assert on it
-    /// must not interleave.
+    /// The tier pins are process-global; tests that write or assert on
+    /// them must not interleave.
     static PIN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
@@ -286,6 +586,31 @@ mod tests {
     }
 
     #[test]
+    fn dtype_pin_round_trips_and_drives_dispatch() {
+        let _guard = PIN_LOCK.lock().unwrap();
+        let prev = set_dtype_tier(DtypeTier::F32);
+        let k = select_kernel();
+        assert_eq!(k.dtype, DtypeTier::F32);
+        assert_eq!(set_dtype_tier(DtypeTier::Mixed), DtypeTier::F32);
+        assert_eq!(select_kernel().dtype, DtypeTier::Mixed);
+        set_dtype_tier(prev);
+        assert_eq!(dtype_tier(), prev);
+    }
+
+    #[test]
+    fn override_pin_wins_over_every_other_pin() {
+        let _guard = PIN_LOCK.lock().unwrap();
+        let target = scalar_kernel_for(DtypeTier::Mixed);
+        let prev_tier = set_kernel_tier(KernelTier::Simd);
+        let prev = set_kernel_override(Some(target));
+        assert_eq!(select_kernel().name, target.name);
+        assert_eq!(select_kernel_for(DtypeTier::F64).name, target.name);
+        set_kernel_override(prev);
+        set_kernel_tier(prev_tier);
+        assert!(kernel_override().is_none() || prev.is_some());
+    }
+
+    #[test]
     fn dispatch_is_consistent() {
         let _guard = PIN_LOCK.lock().unwrap();
         let k = select_kernel();
@@ -303,6 +628,68 @@ mod tests {
     }
 
     #[test]
+    fn force_scalar_covers_every_dtype_tier() {
+        // Under the force-scalar feature, every dtype still dispatches —
+        // to the scalar instantiation of the generic body.
+        let _guard = PIN_LOCK.lock().unwrap();
+        for dtype in DtypeTier::ALL {
+            let k = select_kernel_for(dtype);
+            assert_eq!(k.dtype, dtype);
+            if cfg!(feature = "force-scalar") {
+                assert_eq!(k.isa, "scalar", "dtype {dtype}");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_consistent() {
+        let kernels = available_kernels();
+        assert!(kernels.len() >= 3, "scalar trio always present");
+        let mut names: Vec<&str> = kernels.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kernels.len(), "duplicate kernel labels");
+        for k in &kernels {
+            assert!(k.mr > 0 && k.nr > 0);
+            // Naming convention: f64 tiers are the bare ISA; other dtypes
+            // carry a `-dtype` suffix.
+            match k.dtype {
+                DtypeTier::F64 => assert_eq!(k.name, k.isa),
+                d => assert_eq!(k.name, format!("{}-{}", k.isa, d.as_str())),
+            }
+            assert_eq!(kernel_by_name(k.name).unwrap().name, k.name);
+            // The typed entry matches the dtype's packed element type.
+            match (k.dtype, k.func) {
+                (DtypeTier::F64, KernelFn::F64(_)) => {}
+                (DtypeTier::F32 | DtypeTier::Mixed, KernelFn::F32(_)) => {}
+                _ => panic!("kernel `{}` has a mismatched entry type", k.name),
+            }
+        }
+        assert!(kernel_by_name("no-such-kernel").is_none());
+    }
+
+    #[test]
+    fn slot_accounting() {
+        let k64 = scalar_kernel();
+        assert_eq!(k64.slots_for(10), 10);
+        assert_eq!(k64.packed_elem_bytes(), 8);
+        let k32 = scalar_kernel_for(DtypeTier::F32);
+        assert_eq!(k32.slots_for(10), 5);
+        assert_eq!(k32.slots_for(9), 5);
+        assert_eq!(k32.packed_elem_bytes(), 4);
+        let kmix = scalar_kernel_for(DtypeTier::Mixed);
+        assert_eq!(kmix.packed_elem_bytes(), 4);
+    }
+
+    #[test]
+    fn dtype_parsing_round_trips() {
+        for d in DtypeTier::ALL {
+            assert_eq!(d.as_str().parse::<DtypeTier>().unwrap(), d);
+        }
+        assert!("f16".parse::<DtypeTier>().is_err());
+    }
+
+    #[test]
     fn simd_tile_matches_scalar_on_one_tile() {
         let Some(simd) = simd_kernel() else { return };
         let kc = 9;
@@ -313,7 +700,7 @@ mod tests {
         pack_a(&a.view(), &mut pa, simd.mr);
         pack_b(&b.view(), &mut pb, simd.nr);
         let mut c = Matrix::zeros(simd.mr, simd.nr);
-        (simd.func)(kc, &pa, &pb, 1.0, &mut c.view_mut(), 0, 0);
+        simd.sweep_tiles(kc, &pa, &pb, 1, 1, 1.0, &mut c.view_mut());
         let expect = crate::naive::naive_mm(&a.view(), &b.view()).unwrap();
         assert!(c.approx_eq(&expect, 1e-12));
     }

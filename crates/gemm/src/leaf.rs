@@ -23,8 +23,10 @@
 //! `x + y` and `1·x + (−1)·y` is exactly `x − y` in IEEE-754).
 
 use crate::arena;
-use crate::kernel::select_kernel;
-use crate::pack::{pack_a, pack_a_sum, pack_b, pack_b_sum, packed_a_len, packed_b_len};
+use crate::kernel::{select_kernel, KernelFn, KernelInfo};
+use crate::pack::{
+    pack_a, pack_a_sum, pack_b, pack_b_sum, packed_a_len, packed_b_len, slots_for, PackScalar,
+};
 use powerscale_counters::{Event, EventSet, Profile};
 use powerscale_matrix::{ops, DimError, DimResult, MatrixView, MatrixViewMut};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -176,7 +178,7 @@ pub enum Accum {
 }
 
 /// Packs operand `a` (plain or fused) into `buf` with the A-panel layout.
-fn pack_operand_a(a: &Operand<'_>, buf: &mut [f64], mr: usize) -> usize {
+fn pack_operand_a<T: PackScalar>(a: &Operand<'_>, buf: &mut [T], mr: usize) -> usize {
     match a {
         Operand::View(v) => pack_a(v, buf, mr),
         Operand::Add(x, y) => pack_a_sum(x, 1.0, y, 1.0, buf, mr),
@@ -185,7 +187,7 @@ fn pack_operand_a(a: &Operand<'_>, buf: &mut [f64], mr: usize) -> usize {
 }
 
 /// Packs operand `b` (plain or fused) into `buf` with the B-panel layout.
-fn pack_operand_b(b: &Operand<'_>, buf: &mut [f64], nr: usize) -> usize {
+fn pack_operand_b<T: PackScalar>(b: &Operand<'_>, buf: &mut [T], nr: usize) -> usize {
     match b {
         Operand::View(v) => pack_b(v, buf, nr),
         Operand::Add(x, y) => pack_b_sum(x, 1.0, y, 1.0, buf, nr),
@@ -195,8 +197,14 @@ fn pack_operand_b(b: &Operand<'_>, buf: &mut [f64], nr: usize) -> usize {
 
 /// Materialises a fused operand into arena scratch (the unfused A/B mode)
 /// and packs the scratch with the plain packer. Produces bitwise-identical
-/// packed panels to the fused path.
-fn pack_operand_unfused(op: &Operand<'_>, buf: &mut [f64], tile: usize, is_a: bool) -> usize {
+/// packed panels to the fused path (the combine happens in f64 either way,
+/// with one rounding to `T` per packed element).
+fn pack_operand_unfused<T: PackScalar>(
+    op: &Operand<'_>,
+    buf: &mut [T],
+    tile: usize,
+    is_a: bool,
+) -> usize {
     if let Operand::View(v) = op {
         return if is_a {
             pack_a(v, buf, tile)
@@ -251,7 +259,7 @@ pub fn leaf_gemm_fused(
 /// the SIMD-vs-scalar agreement tests use to exercise every dispatch tier
 /// on the fused path regardless of what the host auto-selects.
 pub fn leaf_gemm_fused_with(
-    kernel: &crate::kernel::KernelInfo,
+    kernel: &'static KernelInfo,
     a: Operand<'_>,
     b: Operand<'_>,
     c: &mut MatrixViewMut<'_>,
@@ -286,38 +294,15 @@ pub fn leaf_gemm_fused_with(
         n as u32,
     );
 
-    let unfused = unfused_leaf();
-    let mut pa = arena::pack_buf(packed_a_len(m, k, kernel.mr));
-    let mut pb = arena::pack_buf(packed_b_len(k, n, kernel.nr));
-    let (a_strips, b_strips) = if unfused {
-        (
-            pack_operand_unfused(&a, &mut pa, kernel.mr, true),
-            pack_operand_unfused(&b, &mut pb, kernel.nr, false),
-        )
-    } else {
-        (
-            pack_operand_a(&a, &mut pa, kernel.mr),
-            pack_operand_b(&b, &mut pb, kernel.nr),
-        )
-    };
-    let alpha = if accum == Accum::Sub { -1.0 } else { 1.0 };
-    for sj in 0..b_strips {
-        let b_strip = &pb[sj * kernel.nr * k..(sj + 1) * kernel.nr * k];
-        for si in 0..a_strips {
-            let a_strip = &pa[si * kernel.mr * k..(si + 1) * kernel.mr * k];
-            (kernel.func)(
-                k,
-                a_strip,
-                b_strip,
-                alpha,
-                c,
-                si * kernel.mr,
-                sj * kernel.nr,
-            );
-        }
+    // One dtype dispatch, then the packing and tile sweep run generic
+    // over the packed element type.
+    match kernel.func {
+        KernelFn::F64(_) => fused_leaf_body::<f64>(kernel, &a, &b, c, accum),
+        KernelFn::F32(_) => fused_leaf_body::<f32>(kernel, &a, &b, c, accum),
     }
 
     if let Some(set) = events {
+        let elem_bytes = kernel.dtype.packed_elem_bytes() as u64;
         let mut p = Profile::new();
         p.add_count(Event::FpOps, 2 * (m * n * k) as u64);
         let a_srcs = if a.is_fused() { 2 } else { 1 };
@@ -327,7 +312,7 @@ pub fn leaf_gemm_fused_with(
             8 * (a_srcs * m * k + b_srcs * k * n) as u64,
         );
         p.add_count(Event::BytesWritten, 8 * (m * n) as u64);
-        p.add_count(Event::PackBytes, 8 * (m * k + k * n) as u64);
+        p.add_count(Event::PackBytes, elem_bytes * (m * k + k * n) as u64);
         let mut adds = 0usize;
         if a.is_fused() {
             adds += m * k;
@@ -345,6 +330,52 @@ pub fn leaf_gemm_fused_with(
         set.record_profile(&p);
     }
     Ok(())
+}
+
+/// The packed sweep of one leaf product at element type `T` — shapes are
+/// validated (non-empty) by the caller.
+fn fused_leaf_body<T: PackScalar>(
+    kernel: &'static KernelInfo,
+    a: &Operand<'_>,
+    b: &Operand<'_>,
+    c: &mut MatrixViewMut<'_>,
+    accum: Accum,
+) {
+    let micro = T::kernel_fn(kernel);
+    let (m, k) = a.shape().expect("shape validated by caller");
+    let n = b.shape().expect("shape validated by caller").1;
+    let unfused = unfused_leaf();
+    let mut pa = arena::pack_buf(slots_for::<T>(packed_a_len(m, k, kernel.mr)));
+    let mut pb = arena::pack_buf(slots_for::<T>(packed_b_len(k, n, kernel.nr)));
+    let pa_elems: &mut [T] = T::cast_mut(&mut pa[..]);
+    let pb_elems: &mut [T] = T::cast_mut(&mut pb[..]);
+    let (a_strips, b_strips) = if unfused {
+        (
+            pack_operand_unfused(a, pa_elems, kernel.mr, true),
+            pack_operand_unfused(b, pb_elems, kernel.nr, false),
+        )
+    } else {
+        (
+            pack_operand_a(a, pa_elems, kernel.mr),
+            pack_operand_b(b, pb_elems, kernel.nr),
+        )
+    };
+    let alpha = if accum == Accum::Sub { -1.0 } else { 1.0 };
+    for sj in 0..b_strips {
+        let b_strip = &pb_elems[sj * kernel.nr * k..(sj + 1) * kernel.nr * k];
+        for si in 0..a_strips {
+            let a_strip = &pa_elems[si * kernel.mr * k..(si + 1) * kernel.mr * k];
+            micro(
+                k,
+                a_strip,
+                b_strip,
+                alpha,
+                c,
+                si * kernel.mr,
+                sj * kernel.nr,
+            );
+        }
+    }
 }
 
 #[cfg(test)]

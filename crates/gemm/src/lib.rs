@@ -3,12 +3,16 @@
 //! This crate is the reproduction's stand-in for the paper's "tuned
 //! OpenBLAS" baseline (§IV-A): a Goto-style `C = α·A·B + β·C` with
 //!
-//! * a runtime-dispatched register-tile microkernel ([`kernel`]): an
-//!   explicit AVX2+FMA 8×6 kernel (or NEON on AArch64, [`simd`]) when the
-//!   host supports it, a portable 4×4 scalar kernel otherwise (the
-//!   `force-scalar` cargo feature pins the scalar tier),
+//! * a runtime-dispatched register-tile microkernel ([`kernel`]): one
+//!   generic tile body ([`simd`]) instantiated as AVX-512 (8×8),
+//!   AVX2+FMA (8×6), NEON (8×6), WASM128 (8×6) and portable scalar (4×4)
+//!   ISA tiers, each in three dtype tiers — f64, f32, and mixed
+//!   (f32 operands, f64 accumulation) — selected by [`select_kernel_for`]
+//!   (the `force-scalar` cargo feature pins the scalar ISA),
 //! * blocking parameters derived from the cache hierarchy *and* the
-//!   selected kernel's tile shape ([`BlockingParams::for_caches`]),
+//!   selected kernel's tile shape ([`BlockingParams::for_caches`]), with
+//!   [`BlockingParams::autotuned_for`] probing the host's real cache
+//!   sizes at startup ([`autotune`]),
 //! * contiguous packing of A and B panels ([`pack`]), packed in parallel
 //!   across pool workers and drawn from thread-local recycling arenas
 //!   ([`arena`]) so steady-state invocations allocate nothing,
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod autotune;
 mod blocking;
 mod dgemm;
 pub mod kernel;
@@ -57,6 +62,8 @@ mod simd;
 pub use blocking::BlockingParams;
 pub use dgemm::{dgemm, multiply, GemmContext};
 pub use kernel::{
-    kernel_tier, scalar_kernel, select_kernel, set_kernel_tier, simd_kernel, KernelInfo, KernelTier,
+    available_kernels, dtype_tier, kernel_by_name, kernel_tier, scalar_kernel, scalar_kernel_for,
+    select_kernel, select_kernel_for, set_dtype_tier, set_kernel_override, set_kernel_tier,
+    simd_kernel, simd_kernel_for, DtypeTier, KernelFn, KernelInfo, KernelTier,
 };
 pub use leaf::{leaf_gemm_fused, set_unfused_leaf, Accum, Operand};

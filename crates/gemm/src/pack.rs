@@ -18,15 +18,123 @@
 //! independent contiguous slice of the buffer, a panel can be packed by
 //! several workers in parallel ([`pack_b_strips`]) with byte-identical
 //! output regardless of how the strips are divided.
+//!
+//! # Element types
+//!
+//! Every packer is generic over [`PackScalar`] — the packed element type
+//! the microkernel streams. Source matrices are always `f64`; the f32 and
+//! mixed-precision dtype tiers round each element **once** during packing
+//! (`f64 → f32`), so fused combines (computed in `f64`, then rounded) are
+//! bitwise identical to materialise-then-pack for those tiers too. Arena
+//! buffers stay `Vec<f64>`; f32 panels reinterpret the same allocation at
+//! two elements per slot via [`PackScalar::cast_mut`].
 
+use crate::kernel::{KernelFn, KernelInfo, Microkernel};
 use powerscale_matrix::MatrixView;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for f32 {}
+}
+
+/// A packed-panel element type: `f64` (the default dtype tier) or `f32`
+/// (the f32 and mixed-precision tiers, which load/pack single precision).
+///
+/// The trait is sealed — the kernel calling convention, the arena slot
+/// layout and the dispatch enum ([`KernelFn`]) all enumerate exactly these
+/// two types.
+pub trait PackScalar: Copy + Default + Send + Sync + sealed::Sealed + 'static {
+    /// Packed elements stored per `f64` arena slot (1 for f64, 2 for f32).
+    const PER_SLOT: usize;
+
+    /// Rounds a source element into the packed precision (identity for
+    /// f64; one `as f32` rounding for f32 — the only rounding the f32 and
+    /// mixed tiers add on the load side).
+    fn from_f64(x: f64) -> Self;
+
+    /// Reinterprets an arena buffer (`f64` slots) as packed elements.
+    fn cast(buf: &[f64]) -> &[Self];
+
+    /// Mutable [`PackScalar::cast`].
+    fn cast_mut(buf: &mut [f64]) -> &mut [Self];
+
+    /// The typed microkernel entry of `kernel`. Panics when the kernel's
+    /// dtype does not pack this element type — unreachable when callers
+    /// dispatch on [`KernelFn`] as [`crate::dgemm`] and [`crate::leaf`] do.
+    fn kernel_fn(kernel: &KernelInfo) -> Microkernel<Self>;
+}
+
+impl PackScalar for f64 {
+    const PER_SLOT: usize = 1;
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+
+    #[inline(always)]
+    fn cast(buf: &[f64]) -> &[Self] {
+        buf
+    }
+
+    #[inline(always)]
+    fn cast_mut(buf: &mut [f64]) -> &mut [Self] {
+        buf
+    }
+
+    fn kernel_fn(kernel: &KernelInfo) -> Microkernel<Self> {
+        match kernel.func {
+            KernelFn::F64(f) => f,
+            KernelFn::F32(_) => panic!("kernel `{}` does not pack f64 panels", kernel.name),
+        }
+    }
+}
+
+impl PackScalar for f32 {
+    const PER_SLOT: usize = 2;
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+
+    #[inline(always)]
+    fn cast(buf: &[f64]) -> &[Self] {
+        // SAFETY: f64 slots are 8-byte aligned (≥ f32's 4), the slice
+        // length doubles exactly, and every bit pattern is a valid f32.
+        let (head, mid, tail) = unsafe { buf.align_to::<f32>() };
+        debug_assert!(head.is_empty() && tail.is_empty());
+        mid
+    }
+
+    #[inline(always)]
+    fn cast_mut(buf: &mut [f64]) -> &mut [Self] {
+        // SAFETY: as in `cast`.
+        let (head, mid, tail) = unsafe { buf.align_to_mut::<f32>() };
+        debug_assert!(head.is_empty() && tail.is_empty());
+        mid
+    }
+
+    fn kernel_fn(kernel: &KernelInfo) -> Microkernel<Self> {
+        match kernel.func {
+            KernelFn::F32(f) => f,
+            KernelFn::F64(_) => panic!("kernel `{}` does not pack f32 panels", kernel.name),
+        }
+    }
+}
+
+/// `f64` arena slots needed to hold `elems` packed elements of type `T`.
+pub fn slots_for<T: PackScalar>(elems: usize) -> usize {
+    elems.div_ceil(T::PER_SLOT)
+}
 
 /// Packs an `m × k` block of A (m ≤ mc, k ≤ kc) into `buf` as `mr`-row
 /// strips, zero-padding rows up to a multiple of `mr`. Returns the number
 /// of strips written.
 ///
 /// `buf` must hold at least `ceil(m/mr) * mr * k` elements.
-pub fn pack_a(a: &MatrixView<'_>, buf: &mut [f64], mr: usize) -> usize {
+pub fn pack_a<T: PackScalar>(a: &MatrixView<'_>, buf: &mut [T], mr: usize) -> usize {
     let (m, k) = a.shape();
     let strips = m.div_ceil(mr);
     assert!(
@@ -39,7 +147,11 @@ pub fn pack_a(a: &MatrixView<'_>, buf: &mut [f64], mr: usize) -> usize {
         let rows = (m - s * mr).min(mr);
         for kk in 0..k {
             for i in 0..mr {
-                buf[base + kk * mr + i] = if i < rows { a.get(s * mr + i, kk) } else { 0.0 };
+                buf[base + kk * mr + i] = if i < rows {
+                    T::from_f64(a.get(s * mr + i, kk))
+                } else {
+                    T::default()
+                };
             }
         }
     }
@@ -51,7 +163,7 @@ pub fn pack_a(a: &MatrixView<'_>, buf: &mut [f64], mr: usize) -> usize {
 /// number of strips written.
 ///
 /// `buf` must hold at least `ceil(n/nr) * nr * k` elements.
-pub fn pack_b(b: &MatrixView<'_>, buf: &mut [f64], nr: usize) -> usize {
+pub fn pack_b<T: PackScalar>(b: &MatrixView<'_>, buf: &mut [T], nr: usize) -> usize {
     let strips = b.cols().div_ceil(nr);
     assert!(
         buf.len() >= strips * nr * b.rows(),
@@ -72,9 +184,9 @@ pub fn pack_b(b: &MatrixView<'_>, buf: &mut [f64], nr: usize) -> usize {
 /// worker also writes (first-touches) the chunk it packs, which places the
 /// backing pages on the packing worker's NUMA node under first-touch
 /// placement policies.
-pub fn pack_b_strips(
+pub fn pack_b_strips<T: PackScalar>(
     b: &MatrixView<'_>,
-    buf: &mut [f64],
+    buf: &mut [T],
     nr: usize,
     first_strip: usize,
     n_strips: usize,
@@ -96,7 +208,11 @@ pub fn pack_b_strips(
         for kk in 0..k {
             let row = b.row(kk);
             for j in 0..nr {
-                buf[base + kk * nr + j] = if j < cols { row[col0 + j] } else { 0.0 };
+                buf[base + kk * nr + j] = if j < cols {
+                    T::from_f64(row[col0 + j])
+                } else {
+                    T::default()
+                };
             }
         }
     }
@@ -107,13 +223,15 @@ pub fn pack_b_strips(
 /// pass — the combined operand is never materialised as a matrix. With
 /// `α = 1, β = ±1` the packed values are bitwise identical to packing a
 /// separately computed `X ± Y` (multiplication by ±1 is exact in IEEE-754
-/// and `x + (−y) ≡ x − y`). Returns the number of strips written.
-pub fn pack_a_sum(
+/// and `x + (−y) ≡ x − y`; the combine is computed in `f64` and rounded to
+/// `T` once, matching the unfused path for every dtype tier). Returns the
+/// number of strips written.
+pub fn pack_a_sum<T: PackScalar>(
     x: &MatrixView<'_>,
     alpha: f64,
     y: &MatrixView<'_>,
     beta: f64,
-    buf: &mut [f64],
+    buf: &mut [T],
     mr: usize,
 ) -> usize {
     let (m, k) = x.shape();
@@ -136,9 +254,9 @@ pub fn pack_a_sum(
         for kk in 0..k {
             for i in 0..mr {
                 buf[base + kk * mr + i] = if i < rows {
-                    alpha * x.get(s * mr + i, kk) + beta * y.get(s * mr + i, kk)
+                    T::from_f64(alpha * x.get(s * mr + i, kk) + beta * y.get(s * mr + i, kk))
                 } else {
-                    0.0
+                    T::default()
                 };
             }
         }
@@ -150,12 +268,12 @@ pub fn pack_a_sum(
 /// blocks into `buf` with the exact [`pack_b`] strip layout, in a single
 /// pass (see [`pack_a_sum`] for the bitwise-equivalence argument). Returns
 /// the number of strips written.
-pub fn pack_b_sum(
+pub fn pack_b_sum<T: PackScalar>(
     x: &MatrixView<'_>,
     alpha: f64,
     y: &MatrixView<'_>,
     beta: f64,
-    buf: &mut [f64],
+    buf: &mut [T],
     nr: usize,
 ) -> usize {
     let (k, n) = x.shape();
@@ -181,9 +299,9 @@ pub fn pack_b_sum(
             let yrow = y.row(kk);
             for j in 0..nr {
                 buf[base + kk * nr + j] = if j < cols {
-                    alpha * xrow[col0 + j] + beta * yrow[col0 + j]
+                    T::from_f64(alpha * xrow[col0 + j] + beta * yrow[col0 + j])
                 } else {
-                    0.0
+                    T::default()
                 };
             }
         }
@@ -382,5 +500,37 @@ mod tests {
         let a = Matrix::zeros(8, 8);
         let mut buf = vec![0.0; 4];
         pack_a(&a.view(), &mut buf, MR);
+    }
+
+    #[test]
+    fn f32_cast_reinterprets_arena_slots() {
+        // An f64 arena lease holds exactly two f32 elements per slot, with
+        // no alignment head or tail.
+        let mut buf = vec![0.0f64; slots_for::<f32>(9)];
+        assert_eq!(buf.len(), 5);
+        let elems = f32::cast_mut(&mut buf);
+        assert_eq!(elems.len(), 10);
+        for (i, e) in elems.iter_mut().enumerate() {
+            *e = i as f32;
+        }
+        let back = f32::cast(&buf);
+        assert_eq!(back[9], 9.0);
+    }
+
+    #[test]
+    fn f32_pack_rounds_each_element_once() {
+        // The f32 tiers round on pack: every packed element must be the
+        // single `as f32` rounding of its source, and fused combines must
+        // round the f64 sum once (bitwise-identical to materialise-then-
+        // pack, same as the f64 argument).
+        let x = Matrix::from_fn(5, 3, |i, j| 0.1 + i as f64 * 0.77 - j as f64 * 1.3);
+        let y = Matrix::from_fn(5, 3, |i, j| 1.0 / (1.0 + (i + 3 * j) as f64));
+        let mut slots = vec![0.0f64; slots_for::<f32>(packed_a_len(5, 3, MR))];
+        let buf = f32::cast_mut(&mut slots);
+        pack_a(&x.view(), buf, MR);
+        assert_eq!(buf[0].to_bits(), (x.get(0, 0) as f32).to_bits());
+        pack_a_sum(&x.view(), 1.0, &y.view(), -1.0, buf, MR);
+        let want = (x.get(0, 0) - y.get(0, 0)) as f32;
+        assert_eq!(buf[0].to_bits(), want.to_bits());
     }
 }

@@ -108,10 +108,17 @@ mod tests {
         assert!(blocked_gemm_graph_rect(0, 5, 5, &p, &TrafficModel::default()).is_empty());
     }
 
+    /// Blocking derived for the same Haswell hierarchy the simulated
+    /// machine models — the host-autotuned default would mispair the
+    /// task shapes with the simulated cache capacities.
+    fn haswell_params() -> BlockingParams {
+        BlockingParams::for_caches(&powerscale_cachesim::presets::e3_1225_caches())
+    }
+
     #[test]
     fn simulated_time_tracks_peak_rate() {
         let m = presets::e3_1225();
-        let p = BlockingParams::default();
+        let p = haswell_params();
         let n = 512;
         let g = blocked_gemm_graph(n, &p);
         let s1 = simulate(&g, &m, 1);
@@ -129,7 +136,7 @@ mod tests {
     #[test]
     fn speedup_grows_with_cores() {
         let m = presets::e3_1225();
-        let p = BlockingParams::default();
+        let p = haswell_params();
         let g = blocked_gemm_graph(1024, &p);
         let t1 = simulate(&g, &m, 1).makespan;
         let t2 = simulate(&g, &m, 2).makespan;
@@ -144,7 +151,7 @@ mod tests {
         // The Figure-4 mechanism: package watts climb steeply with the
         // thread count for the blocked kernel.
         let m = presets::e3_1225();
-        let p = BlockingParams::default();
+        let p = haswell_params();
         let g = blocked_gemm_graph(1024, &p);
         let mut last = 0.0;
         for cores in 1..=4 {

@@ -1,63 +1,341 @@
-//! Architecture-specific SIMD microkernels.
+//! Portable SIMD microkernels: one generic tile body, per-ISA vector
+//! impls.
 //!
-//! Each tier lives in its own `cfg`-gated module and exposes a
-//! [`KernelInfo`](crate::kernel::KernelInfo) through [`detect`]; the
-//! dispatcher ([`crate::kernel::select_kernel`]) falls back to the portable
-//! scalar kernel when no tier matches the host.
+//! The microkernel is written **once** as [`tile_kernel`], generic over a
+//! small vector abstraction ([`MicroVec`], the rten-style `SimdVec`
+//! idiom): an `RV·LANES × NR` register tile accumulated down a packed
+//! strip pair. Each ISA tier supplies `MicroVec` impls for the three
+//! dtype tiers (f64, f32, mixed f32-load/f64-accumulate) and a thin
+//! `#[target_feature]` wrapper that monomorphises the body — generic
+//! functions cannot carry `target_feature`, so the wrapper is where the
+//! instruction set is enabled and `#[inline(always)]` carries the body
+//! into it:
+//!
+//! | ISA tier  | f64 tile | f32 tile | mixed tile | vector types |
+//! |-----------|----------|----------|------------|--------------|
+//! | `avx512`  | 8×8      | 16×8     | 8×8        | `__m512d` / `__m512` |
+//! | `avx2`    | 8×6      | 8×6      | 8×6        | `__m256d` / `__m256` / `__m128` loads |
+//! | `neon`    | 8×6      | 8×6      | 8×6        | `float64x2_t` / `float32x4_t` |
+//! | `wasm128` | 8×6      | 8×6      | 8×6        | `v128` |
+//! | `scalar`  | 4×4 ([`crate::kernel::microkernel`]) | 4×4 | 4×4 | plain `f64`/`f32` |
+//!
+//! [`detect`] returns the best instance for a dtype tier;
+//! [`host_simd_kernels`] enumerates every SIMD instance the host can run
+//! (the differential matrix iterates it). The dispatcher
+//! ([`crate::kernel::select_kernel`]) falls back to the portable scalar
+//! instantiations when no SIMD tier matches the host. The NEON tier is a
+//! full implementation (8×6 over 2-lane `float64x2_t` vectors), not a
+//! stub — it goes through the same generic body as every other tier.
 //!
 //! # Numerics
 //!
-//! The SIMD kernels use fused multiply-add, so individual products are not
-//! rounded before accumulation: results can differ from the scalar kernel
-//! in the last few ulps (they are *bitwise* identical when every product
-//! and partial sum is exactly representable, e.g. small power-of-two
-//! operands — the dispatch property tests exploit this). Within one kernel
-//! the accumulation order is fixed, so each tier is individually
+//! The x86 and NEON tiers use fused multiply-add, so individual products
+//! are not rounded before accumulation: results can differ from the
+//! scalar kernel in the last few ulps (they are *bitwise* identical when
+//! every product and partial sum is exactly representable, e.g. small
+//! power-of-two operands — the dispatch property tests exploit this).
+//! The wasm128 and scalar tiers round multiply and add separately (the
+//! simd128 MVP has no FMA). The mixed tiers widen each packed f32 to f64
+//! before multiplying, so their only deviation from f64 arithmetic is the
+//! single f64→f32 rounding each element took during packing. Within one
+//! kernel the accumulation order is fixed, so each tier is individually
 //! deterministic and pool-size independent.
 
-use crate::kernel::KernelInfo;
+use crate::kernel::{DtypeTier, KernelInfo};
+use powerscale_matrix::MatrixViewMut;
 
-/// Returns the best SIMD kernel the host supports, or `None`.
-pub(crate) fn detect() -> Option<&'static KernelInfo> {
+/// Upper bound on any tier's register-tile rows (the avx512 f32 tile).
+pub(crate) const MAX_MR: usize = 16;
+
+/// A SIMD vector of accumulator lanes, loading from packed elements of
+/// type `Elem` and spilling to `f64`. The mixed tiers set `Elem = f32`
+/// with `f64` accumulator lanes (widening on load).
+///
+/// # Safety
+///
+/// Every method may compile to instructions of the impl's ISA: callers
+/// must ensure the host supports that ISA before invoking anything that
+/// inlines these methods (the `#[target_feature]` wrappers' safe entries
+/// re-verify detection). `load`/`splat` read `LANES`/one element(s) at
+/// `p`; `store_f64` writes `LANES` f64s at `out` — callers guarantee
+/// those ranges are in bounds.
+pub(crate) trait MicroVec: Copy {
+    /// The packed element type the vector loads ([`crate::pack`]).
+    type Elem: crate::pack::PackScalar;
+    /// Accumulator lanes per vector (rows covered per A-vector).
+    const LANES: usize;
+
+    /// The additive identity.
+    unsafe fn zero() -> Self;
+    /// Loads `LANES` consecutive packed elements (widening for mixed).
+    unsafe fn load(p: *const Self::Elem) -> Self;
+    /// Broadcasts the single element at `p` to all lanes.
+    unsafe fn splat(p: *const Self::Elem) -> Self;
+    /// `self + a·b`, fused where the ISA has FMA.
+    #[must_use]
+    unsafe fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Spills the accumulator lanes to `LANES` f64s at `out`.
+    unsafe fn store_f64(self, out: *mut f64);
+}
+
+/// The one microkernel body every tier instantiates: accumulate an
+/// `(RV·LANES) × NR` register tile down packed strips of depth `kc`, then
+/// merge `alpha * tile` into `c` at `(row0, col0)`, masking rows/columns
+/// outside `c` (packing zero-pads, so masked products are zeros anyway).
+///
+/// Accumulator layout `acc[j][h]`: rows `h·LANES..(h+1)·LANES` of column
+/// `j` — the exact layout (and therefore bit-exact arithmetic) of the
+/// hand-written kernels this body replaced.
+///
+/// # Safety
+///
+/// The host must support the ISA of `V` (see [`MicroVec`]); strip-length
+/// requirements are asserted here.
+#[inline(always)]
+unsafe fn tile_kernel<V: MicroVec, const RV: usize, const NR: usize>(
+    kc: usize,
+    a_strip: &[V::Elem],
+    b_strip: &[V::Elem],
+    alpha: f64,
+    c: &mut MatrixViewMut<'_>,
+    row0: usize,
+    col0: usize,
+) {
+    let mr = RV * V::LANES;
+    assert!(mr <= MAX_MR, "register tile taller than the spill buffer");
+    assert!(a_strip.len() >= kc * mr, "a_strip shorter than kc*mr");
+    assert!(b_strip.len() >= kc * NR, "b_strip shorter than kc*nr");
+    let ap = a_strip.as_ptr();
+    let bp = b_strip.as_ptr();
+    let zero = unsafe { V::zero() };
+    let mut acc = [[zero; RV]; NR];
+    for k in 0..kc {
+        // SAFETY: k < kc, so k*mr + mr and k*NR + NR stay within the
+        // strip lengths asserted above.
+        let mut a = [zero; RV];
+        for (h, slot) in a.iter_mut().enumerate() {
+            *slot = unsafe { V::load(ap.add(k * mr + h * V::LANES)) };
+        }
+        for (j, accj) in acc.iter_mut().enumerate() {
+            let b = unsafe { V::splat(bp.add(k * NR + j)) };
+            for (h, slot) in accj.iter_mut().enumerate() {
+                *slot = unsafe { slot.mul_add(a[h], b) };
+            }
+        }
+    }
+    // Spill to a row-major tile, then do the masked merge scalar-side:
+    // the spill is O(mr*NR) against the O(kc*mr*NR) accumulation.
+    let mut tile = [[0.0f64; NR]; MAX_MR];
+    let mut col = [0.0f64; MAX_MR];
+    for (j, accj) in acc.iter().enumerate() {
+        for (h, slot) in accj.iter().enumerate() {
+            // SAFETY: h*LANES + LANES ≤ mr ≤ MAX_MR, the length of `col`.
+            unsafe { slot.store_f64(col.as_mut_ptr().add(h * V::LANES)) };
+        }
+        for (i, &v) in col.iter().enumerate().take(mr) {
+            tile[i][j] = v;
+        }
+    }
+    let live_rows = c.rows().saturating_sub(row0).min(mr);
+    let live_cols = c.cols().saturating_sub(col0).min(NR);
+    for (i, trow) in tile.iter().enumerate().take(live_rows) {
+        let crow = c.row_mut(row0 + i);
+        for j in 0..live_cols {
+            crow[col0 + j] += alpha * trow[j];
+        }
+    }
+}
+
+/// Returns the best SIMD kernel instance of `dtype` the host supports, or
+/// `None`.
+pub(crate) fn detect(dtype: DtypeTier) -> Option<&'static KernelInfo> {
     #[cfg(target_arch = "x86_64")]
     {
+        if is_x86_feature_detected!("avx512f") {
+            return Some(match dtype {
+                DtypeTier::F64 => &x86::AVX512_F64,
+                DtypeTier::F32 => &x86::AVX512_F32,
+                DtypeTier::Mixed => &x86::AVX512_MIXED,
+            });
+        }
         if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
-            return Some(&avx2::KERNEL);
+            return Some(match dtype {
+                DtypeTier::F64 => &x86::AVX2_F64,
+                DtypeTier::F32 => &x86::AVX2_F32,
+                DtypeTier::Mixed => &x86::AVX2_MIXED,
+            });
         }
     }
     #[cfg(target_arch = "aarch64")]
     {
         if std::arch::is_aarch64_feature_detected!("neon") {
-            return Some(&neon::KERNEL);
+            return Some(match dtype {
+                DtypeTier::F64 => &neon::NEON_F64,
+                DtypeTier::F32 => &neon::NEON_F32,
+                DtypeTier::Mixed => &neon::NEON_MIXED,
+            });
         }
     }
-    None
+    #[cfg(all(target_arch = "wasm32", target_feature = "simd128"))]
+    {
+        return Some(match dtype {
+            DtypeTier::F64 => &wasm::WASM_F64,
+            DtypeTier::F32 => &wasm::WASM_F32,
+            DtypeTier::Mixed => &wasm::WASM_MIXED,
+        });
+    }
+    #[allow(unreachable_code)]
+    {
+        let _ = dtype;
+        None
+    }
 }
 
-/// The AVX2+FMA tier: an 8×6 tile held in twelve 256-bit accumulators.
-#[cfg(target_arch = "x86_64")]
-pub(crate) mod avx2 {
-    use crate::kernel::KernelInfo;
-    use core::arch::x86_64::{
-        _mm256_broadcast_sd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_setzero_pd, _mm256_storeu_pd,
-    };
+/// Every SIMD kernel instance the host can run, best ISA first — all
+/// dtype tiers of every supported ISA, not just the dispatch winners
+/// (the testkit differential matrix covers each one).
+pub(crate) fn host_simd_kernels() -> Vec<&'static KernelInfo> {
+    let mut v: Vec<&'static KernelInfo> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            v.extend([&x86::AVX512_F64, &x86::AVX512_F32, &x86::AVX512_MIXED]);
+        }
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            v.extend([&x86::AVX2_F64, &x86::AVX2_F32, &x86::AVX2_MIXED]);
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            v.extend([&neon::NEON_F64, &neon::NEON_F32, &neon::NEON_MIXED]);
+        }
+    }
+    #[cfg(all(target_arch = "wasm32", target_feature = "simd128"))]
+    {
+        v.extend([&wasm::WASM_F64, &wasm::WASM_F32, &wasm::WASM_MIXED]);
+    }
+    v
+}
+
+/// Portable scalar instantiations of the generic body: 1-lane "vectors"
+/// over plain `f64`/`f32`. These are the `force-scalar` pins for the f32
+/// and mixed dtype tiers (the f64 scalar tier keeps the hand-written
+/// [`crate::kernel::microkernel`], which the generic body reproduces bit
+/// for bit — asserted by a test below). Multiply and add round
+/// separately, matching the hand-written scalar kernel's numerics.
+pub(crate) mod generic {
+    use super::{tile_kernel, MicroVec};
+    use crate::kernel::{DtypeTier, KernelFn, KernelInfo, SCALAR_MR, SCALAR_NR};
     use powerscale_matrix::MatrixViewMut;
 
-    /// Register-tile rows (two 4-lane vectors of column fragments).
-    pub const MR: usize = 8;
-    /// Register-tile columns (one broadcast per column per k step).
-    pub const NR: usize = 6;
+    #[cfg(test)]
+    #[derive(Clone, Copy)]
+    struct S64(f64);
 
-    pub(crate) static KERNEL: KernelInfo = KernelInfo {
-        name: "avx2",
-        mr: MR,
-        nr: NR,
-        func: microkernel,
-    };
+    #[cfg(test)]
+    impl MicroVec for S64 {
+        type Elem = f64;
+        const LANES: usize = 1;
 
-    /// Safe entry point: re-verifies the (CPUID-cached) feature bits before
-    /// crossing into the `target_feature` function.
-    pub fn microkernel(
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            S64(0.0)
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            S64(unsafe { *p })
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f64) -> Self {
+            S64(unsafe { *p })
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            S64(self.0 + a.0 * b.0)
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            unsafe { *out = self.0 };
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct S32(f32);
+
+    impl MicroVec for S32 {
+        type Elem = f32;
+        const LANES: usize = 1;
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            S32(0.0)
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            S32(unsafe { *p })
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f32) -> Self {
+            S32(unsafe { *p })
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            S32(self.0 + a.0 * b.0)
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            unsafe { *out = f64::from(self.0) };
+        }
+    }
+
+    /// Mixed tier: f32 packed elements widened into an f64 accumulator.
+    #[derive(Clone, Copy)]
+    struct SMixed(f64);
+
+    impl MicroVec for SMixed {
+        type Elem = f32;
+        const LANES: usize = 1;
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            SMixed(0.0)
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            SMixed(f64::from(unsafe { *p }))
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f32) -> Self {
+            SMixed(f64::from(unsafe { *p }))
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            SMixed(self.0 + a.0 * b.0)
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            unsafe { *out = self.0 };
+        }
+    }
+
+    /// The generic body at the scalar f64 4×4 shape — not dispatched (the
+    /// hand-written kernel is), but kept callable so tests can assert the
+    /// two are bitwise identical.
+    #[cfg(test)]
+    pub(crate) fn scalar_f64(
         kc: usize,
         a_strip: &[f64],
         b_strip: &[f64],
@@ -66,174 +344,1029 @@ pub(crate) mod avx2 {
         row0: usize,
         col0: usize,
     ) {
+        // SAFETY: no ISA requirement; strip lengths asserted inside.
+        unsafe {
+            tile_kernel::<S64, SCALAR_MR, SCALAR_NR>(kc, a_strip, b_strip, alpha, c, row0, col0)
+        }
+    }
+
+    fn scalar_f32(
+        kc: usize,
+        a_strip: &[f32],
+        b_strip: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        // SAFETY: no ISA requirement; strip lengths asserted inside.
+        unsafe {
+            tile_kernel::<S32, SCALAR_MR, SCALAR_NR>(kc, a_strip, b_strip, alpha, c, row0, col0)
+        }
+    }
+
+    fn scalar_mixed(
+        kc: usize,
+        a_strip: &[f32],
+        b_strip: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        // SAFETY: no ISA requirement; strip lengths asserted inside.
+        unsafe {
+            tile_kernel::<SMixed, SCALAR_MR, SCALAR_NR>(kc, a_strip, b_strip, alpha, c, row0, col0)
+        }
+    }
+
+    pub(crate) static SCALAR_F32: KernelInfo = KernelInfo {
+        name: "scalar-f32",
+        isa: "scalar",
+        dtype: DtypeTier::F32,
+        mr: SCALAR_MR,
+        nr: SCALAR_NR,
+        func: KernelFn::F32(scalar_f32),
+    };
+
+    pub(crate) static SCALAR_MIXED: KernelInfo = KernelInfo {
+        name: "scalar-mixed",
+        isa: "scalar",
+        dtype: DtypeTier::Mixed,
+        mr: SCALAR_MR,
+        nr: SCALAR_NR,
+        func: KernelFn::F32(scalar_mixed),
+    };
+}
+
+/// The x86-64 tiers: AVX2+FMA (8×6, preserving the hand-written kernel's
+/// exact arithmetic) and AVX-512 (wider 8×8 / 16×8 tiles; requires only
+/// `avx512f`).
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    use super::{tile_kernel, MicroVec};
+    use crate::kernel::{DtypeTier, KernelFn, KernelInfo};
+    use core::arch::x86_64::*;
+    use powerscale_matrix::MatrixViewMut;
+
+    // ---- AVX2 vectors -------------------------------------------------
+
+    #[derive(Clone, Copy)]
+    struct V256F64(__m256d);
+
+    impl MicroVec for V256F64 {
+        type Elem = f64;
+        const LANES: usize = 4;
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Self(unsafe { _mm256_setzero_pd() })
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            Self(unsafe { _mm256_loadu_pd(p) })
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f64) -> Self {
+            Self(unsafe { _mm256_broadcast_sd(&*p) })
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            Self(unsafe { _mm256_fmadd_pd(a.0, b.0, self.0) })
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            unsafe { _mm256_storeu_pd(out, self.0) };
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct V256F32(__m256);
+
+    impl MicroVec for V256F32 {
+        type Elem = f32;
+        const LANES: usize = 8;
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Self(unsafe { _mm256_setzero_ps() })
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            Self(unsafe { _mm256_loadu_ps(p) })
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f32) -> Self {
+            Self(unsafe { _mm256_broadcast_ss(&*p) })
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            Self(unsafe { _mm256_fmadd_ps(a.0, b.0, self.0) })
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            // Widen 8 f32 lanes to 8 f64s: two 4-lane converts.
+            unsafe {
+                let lo = _mm256_castps256_ps128(self.0);
+                let hi = _mm256_extractf128_ps::<1>(self.0);
+                _mm256_storeu_pd(out, _mm256_cvtps_pd(lo));
+                _mm256_storeu_pd(out.add(4), _mm256_cvtps_pd(hi));
+            }
+        }
+    }
+
+    /// Mixed tier on AVX2: 4 packed f32s widened into a 4-lane f64
+    /// accumulator per load.
+    #[derive(Clone, Copy)]
+    struct V256Mixed(__m256d);
+
+    impl MicroVec for V256Mixed {
+        type Elem = f32;
+        const LANES: usize = 4;
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Self(unsafe { _mm256_setzero_pd() })
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            Self(unsafe { _mm256_cvtps_pd(_mm_loadu_ps(p)) })
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f32) -> Self {
+            Self(unsafe { _mm256_set1_pd(f64::from(*p)) })
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            Self(unsafe { _mm256_fmadd_pd(a.0, b.0, self.0) })
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            unsafe { _mm256_storeu_pd(out, self.0) };
+        }
+    }
+
+    // ---- AVX-512 vectors ----------------------------------------------
+
+    #[derive(Clone, Copy)]
+    struct V512F64(__m512d);
+
+    impl MicroVec for V512F64 {
+        type Elem = f64;
+        const LANES: usize = 8;
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Self(unsafe { _mm512_setzero_pd() })
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            Self(unsafe { _mm512_loadu_pd(p) })
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f64) -> Self {
+            Self(unsafe { _mm512_set1_pd(*p) })
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            Self(unsafe { _mm512_fmadd_pd(a.0, b.0, self.0) })
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            unsafe { _mm512_storeu_pd(out, self.0) };
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct V512F32(__m512);
+
+    impl MicroVec for V512F32 {
+        type Elem = f32;
+        const LANES: usize = 16;
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Self(unsafe { _mm512_setzero_ps() })
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            Self(unsafe { _mm512_loadu_ps(p) })
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f32) -> Self {
+            Self(unsafe { _mm512_set1_ps(*p) })
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            Self(unsafe { _mm512_fmadd_ps(a.0, b.0, self.0) })
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            // Widen 16 f32 lanes: convert the low and high 256-bit
+            // halves (the half swap uses only avx512f shuffles).
+            unsafe {
+                let lo = _mm512_castps512_ps256(self.0);
+                let hi = _mm512_castps512_ps256(_mm512_shuffle_f32x4::<0b1110>(self.0, self.0));
+                _mm512_storeu_pd(out, _mm512_cvtps_pd(lo));
+                _mm512_storeu_pd(out.add(8), _mm512_cvtps_pd(hi));
+            }
+        }
+    }
+
+    /// Mixed tier on AVX-512: 8 packed f32s widened into an 8-lane f64
+    /// accumulator per load.
+    #[derive(Clone, Copy)]
+    struct V512Mixed(__m512d);
+
+    impl MicroVec for V512Mixed {
+        type Elem = f32;
+        const LANES: usize = 8;
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Self(unsafe { _mm512_setzero_pd() })
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            Self(unsafe { _mm512_cvtps_pd(_mm256_loadu_ps(p)) })
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f32) -> Self {
+            Self(unsafe { _mm512_set1_pd(f64::from(*p)) })
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            Self(unsafe { _mm512_fmadd_pd(a.0, b.0, self.0) })
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            unsafe { _mm512_storeu_pd(out, self.0) };
+        }
+    }
+
+    // ---- target_feature wrappers + safe entries -----------------------
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn avx2_f64_tf(
+        kc: usize,
+        a: &[f64],
+        b: &[f64],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        unsafe { tile_kernel::<V256F64, 2, 6>(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn avx2_f32_tf(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        unsafe { tile_kernel::<V256F32, 1, 6>(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn avx2_mixed_tf(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        unsafe { tile_kernel::<V256Mixed, 2, 6>(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn avx512_f64_tf(
+        kc: usize,
+        a: &[f64],
+        b: &[f64],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        unsafe { tile_kernel::<V512F64, 1, 8>(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn avx512_f32_tf(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        unsafe { tile_kernel::<V512F32, 1, 8>(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn avx512_mixed_tf(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        unsafe { tile_kernel::<V512Mixed, 1, 8>(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    fn assert_avx2() {
         assert!(
             is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
             "avx2 microkernel dispatched on a host without AVX2+FMA"
         );
-        assert!(a_strip.len() >= kc * MR, "a_strip shorter than kc*MR");
-        assert!(b_strip.len() >= kc * NR, "b_strip shorter than kc*NR");
-        // SAFETY: feature presence asserted above; strip bounds asserted
-        // above cover every pointer offset the kernel forms.
-        unsafe { kernel_8x6(kc, a_strip, b_strip, alpha, c, row0, col0) }
     }
 
-    #[target_feature(enable = "avx2", enable = "fma")]
-    unsafe fn kernel_8x6(
+    fn assert_avx512() {
+        assert!(
+            is_x86_feature_detected!("avx512f"),
+            "avx512 microkernel dispatched on a host without AVX-512F"
+        );
+    }
+
+    /// Safe entry points: re-verify the (CPUID-cached) feature bits
+    /// before crossing into the `target_feature` functions; strip bounds
+    /// are asserted by the generic body.
+    fn avx2_f64(
         kc: usize,
-        a_strip: &[f64],
-        b_strip: &[f64],
+        a: &[f64],
+        b: &[f64],
         alpha: f64,
         c: &mut MatrixViewMut<'_>,
         row0: usize,
         col0: usize,
     ) {
-        let ap = a_strip.as_ptr();
-        let bp = b_strip.as_ptr();
-        // acc[j][h]: rows 4h..4h+4 of column j. 12 live accumulators plus
-        // two A vectors and one broadcast stay within the 16 ymm registers.
-        let mut acc = [[_mm256_setzero_pd(); 2]; NR];
-        for k in 0..kc {
-            // SAFETY: k < kc, so k*MR+7 and k*NR+5 are in bounds (checked
-            // by the caller's length asserts).
-            let (a0, a1) = unsafe {
-                (
-                    _mm256_loadu_pd(ap.add(k * MR)),
-                    _mm256_loadu_pd(ap.add(k * MR + 4)),
-                )
-            };
-            for (j, accj) in acc.iter_mut().enumerate() {
-                // SAFETY: as above.
-                let b = unsafe { _mm256_broadcast_sd(&*bp.add(k * NR + j)) };
-                accj[0] = _mm256_fmadd_pd(a0, b, accj[0]);
-                accj[1] = _mm256_fmadd_pd(a1, b, accj[1]);
-            }
-        }
-        // Spill to a row-major tile, then do the masked merge scalar-side:
-        // the spill is O(MR*NR) against the O(kc*MR*NR) accumulation.
-        let mut tile = [[0.0f64; NR]; MR];
-        let mut col = [0.0f64; MR];
-        for (j, accj) in acc.iter().enumerate() {
-            // SAFETY: `col` holds exactly MR = 8 doubles.
-            unsafe {
-                _mm256_storeu_pd(col.as_mut_ptr(), accj[0]);
-                _mm256_storeu_pd(col.as_mut_ptr().add(4), accj[1]);
-            }
-            for (i, &v) in col.iter().enumerate() {
-                tile[i][j] = v;
-            }
-        }
-        merge_tile(&tile, alpha, c, row0, col0);
+        assert_avx2();
+        // SAFETY: feature presence asserted above.
+        unsafe { avx2_f64_tf(kc, a, b, alpha, c, row0, col0) }
     }
 
-    fn merge_tile(
-        tile: &[[f64; NR]; MR],
+    fn avx2_f32(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
         alpha: f64,
         c: &mut MatrixViewMut<'_>,
         row0: usize,
         col0: usize,
     ) {
-        let live_rows = c.rows().saturating_sub(row0).min(MR);
-        let live_cols = c.cols().saturating_sub(col0).min(NR);
-        for (i, trow) in tile.iter().enumerate().take(live_rows) {
-            let crow = c.row_mut(row0 + i);
-            for j in 0..live_cols {
-                crow[col0 + j] += alpha * trow[j];
-            }
-        }
+        assert_avx2();
+        // SAFETY: feature presence asserted above.
+        unsafe { avx2_f32_tf(kc, a, b, alpha, c, row0, col0) }
     }
-}
 
-/// The NEON tier (stub): the same 8×6 tile over 2-lane `float64x2_t`
-/// vectors. Compiled only on AArch64; hosts without it fall back to the
-/// scalar kernel via [`detect`].
-#[cfg(target_arch = "aarch64")]
-pub(crate) mod neon {
-    use crate::kernel::KernelInfo;
-    use core::arch::aarch64::{float64x2_t, vdupq_n_f64, vfmaq_n_f64, vld1q_f64, vst1q_f64};
-    use powerscale_matrix::MatrixViewMut;
+    fn avx2_mixed(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        assert_avx2();
+        // SAFETY: feature presence asserted above.
+        unsafe { avx2_mixed_tf(kc, a, b, alpha, c, row0, col0) }
+    }
 
-    /// Register-tile rows (four 2-lane vectors of column fragments).
-    pub const MR: usize = 8;
-    /// Register-tile columns.
-    pub const NR: usize = 6;
+    fn avx512_f64(
+        kc: usize,
+        a: &[f64],
+        b: &[f64],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        assert_avx512();
+        // SAFETY: feature presence asserted above.
+        unsafe { avx512_f64_tf(kc, a, b, alpha, c, row0, col0) }
+    }
 
-    pub(crate) static KERNEL: KernelInfo = KernelInfo {
-        name: "neon",
-        mr: MR,
-        nr: NR,
-        func: microkernel,
+    fn avx512_f32(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        assert_avx512();
+        // SAFETY: feature presence asserted above.
+        unsafe { avx512_f32_tf(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    fn avx512_mixed(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        assert_avx512();
+        // SAFETY: feature presence asserted above.
+        unsafe { avx512_mixed_tf(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    pub(crate) static AVX2_F64: KernelInfo = KernelInfo {
+        name: "avx2",
+        isa: "avx2",
+        dtype: DtypeTier::F64,
+        mr: 8,
+        nr: 6,
+        func: KernelFn::F64(avx2_f64),
     };
 
-    /// Safe entry point mirroring the AVX2 tier.
-    pub fn microkernel(
+    pub(crate) static AVX2_F32: KernelInfo = KernelInfo {
+        name: "avx2-f32",
+        isa: "avx2",
+        dtype: DtypeTier::F32,
+        mr: 8,
+        nr: 6,
+        func: KernelFn::F32(avx2_f32),
+    };
+
+    pub(crate) static AVX2_MIXED: KernelInfo = KernelInfo {
+        name: "avx2-mixed",
+        isa: "avx2",
+        dtype: DtypeTier::Mixed,
+        mr: 8,
+        nr: 6,
+        func: KernelFn::F32(avx2_mixed),
+    };
+
+    pub(crate) static AVX512_F64: KernelInfo = KernelInfo {
+        name: "avx512",
+        isa: "avx512",
+        dtype: DtypeTier::F64,
+        mr: 8,
+        nr: 8,
+        func: KernelFn::F64(avx512_f64),
+    };
+
+    pub(crate) static AVX512_F32: KernelInfo = KernelInfo {
+        name: "avx512-f32",
+        isa: "avx512",
+        dtype: DtypeTier::F32,
+        mr: 16,
+        nr: 8,
+        func: KernelFn::F32(avx512_f32),
+    };
+
+    pub(crate) static AVX512_MIXED: KernelInfo = KernelInfo {
+        name: "avx512-mixed",
+        isa: "avx512",
+        dtype: DtypeTier::Mixed,
+        mr: 8,
+        nr: 8,
+        func: KernelFn::F32(avx512_mixed),
+    };
+}
+
+/// The NEON tier: 8×6 tiles over 2-lane `float64x2_t` (f64, mixed) and
+/// 4-lane `float32x4_t` (f32) vectors, instantiated from the same generic
+/// body as every other ISA. Compiled only on AArch64; hosts without NEON
+/// fall back to the scalar tier via [`detect`].
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon {
+    use super::{tile_kernel, MicroVec};
+    use crate::kernel::{DtypeTier, KernelFn, KernelInfo};
+    use core::arch::aarch64::*;
+    use powerscale_matrix::MatrixViewMut;
+
+    #[derive(Clone, Copy)]
+    struct N128F64(float64x2_t);
+
+    impl MicroVec for N128F64 {
+        type Elem = f64;
+        const LANES: usize = 2;
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Self(unsafe { vdupq_n_f64(0.0) })
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            Self(unsafe { vld1q_f64(p) })
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f64) -> Self {
+            Self(unsafe { vdupq_n_f64(*p) })
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            Self(unsafe { vfmaq_f64(self.0, a.0, b.0) })
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            unsafe { vst1q_f64(out, self.0) };
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct N128F32(float32x4_t);
+
+    impl MicroVec for N128F32 {
+        type Elem = f32;
+        const LANES: usize = 4;
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Self(unsafe { vdupq_n_f32(0.0) })
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            Self(unsafe { vld1q_f32(p) })
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f32) -> Self {
+            Self(unsafe { vdupq_n_f32(*p) })
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            Self(unsafe { vfmaq_f32(self.0, a.0, b.0) })
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            unsafe {
+                vst1q_f64(out, vcvt_f64_f32(vget_low_f32(self.0)));
+                vst1q_f64(out.add(2), vcvt_high_f64_f32(self.0));
+            }
+        }
+    }
+
+    /// Mixed tier on NEON: 2 packed f32s widened into a 2-lane f64
+    /// accumulator per load.
+    #[derive(Clone, Copy)]
+    struct N128Mixed(float64x2_t);
+
+    impl MicroVec for N128Mixed {
+        type Elem = f32;
+        const LANES: usize = 2;
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Self(unsafe { vdupq_n_f64(0.0) })
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            Self(unsafe { vcvt_f64_f32(vld1_f32(p)) })
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f32) -> Self {
+            Self(unsafe { vdupq_n_f64(f64::from(*p)) })
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            Self(unsafe { vfmaq_f64(self.0, a.0, b.0) })
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            unsafe { vst1q_f64(out, self.0) };
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn neon_f64_tf(
         kc: usize,
-        a_strip: &[f64],
-        b_strip: &[f64],
+        a: &[f64],
+        b: &[f64],
         alpha: f64,
         c: &mut MatrixViewMut<'_>,
         row0: usize,
         col0: usize,
     ) {
+        unsafe { tile_kernel::<N128F64, 4, 6>(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn neon_f32_tf(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        unsafe { tile_kernel::<N128F32, 2, 6>(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn neon_mixed_tf(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        unsafe { tile_kernel::<N128Mixed, 4, 6>(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    fn assert_neon() {
         assert!(
             std::arch::is_aarch64_feature_detected!("neon"),
             "neon microkernel dispatched on a host without NEON"
         );
-        assert!(a_strip.len() >= kc * MR, "a_strip shorter than kc*MR");
-        assert!(b_strip.len() >= kc * NR, "b_strip shorter than kc*NR");
-        // SAFETY: feature presence and strip bounds asserted above.
-        unsafe { kernel_8x6(kc, a_strip, b_strip, alpha, c, row0, col0) }
     }
 
-    #[target_feature(enable = "neon")]
-    unsafe fn kernel_8x6(
+    fn neon_f64(
         kc: usize,
-        a_strip: &[f64],
-        b_strip: &[f64],
+        a: &[f64],
+        b: &[f64],
         alpha: f64,
         c: &mut MatrixViewMut<'_>,
         row0: usize,
         col0: usize,
     ) {
-        let ap = a_strip.as_ptr();
-        let bp = b_strip.as_ptr();
-        // acc[j][h]: rows 2h..2h+2 of column j.
-        let mut acc: [[float64x2_t; 4]; NR] = [[unsafe { vdupq_n_f64(0.0) }; 4]; NR];
-        for k in 0..kc {
-            // SAFETY: bounds covered by the caller's length asserts.
-            let a = unsafe {
-                [
-                    vld1q_f64(ap.add(k * MR)),
-                    vld1q_f64(ap.add(k * MR + 2)),
-                    vld1q_f64(ap.add(k * MR + 4)),
-                    vld1q_f64(ap.add(k * MR + 6)),
-                ]
-            };
-            for (j, accj) in acc.iter_mut().enumerate() {
-                // SAFETY: as above.
-                let b = unsafe { *bp.add(k * NR + j) };
-                for (h, slot) in accj.iter_mut().enumerate() {
-                    *slot = vfmaq_n_f64(*slot, a[h], b);
+        assert_neon();
+        // SAFETY: feature presence asserted above.
+        unsafe { neon_f64_tf(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    fn neon_f32(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        assert_neon();
+        // SAFETY: feature presence asserted above.
+        unsafe { neon_f32_tf(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    fn neon_mixed(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        assert_neon();
+        // SAFETY: feature presence asserted above.
+        unsafe { neon_mixed_tf(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    pub(crate) static NEON_F64: KernelInfo = KernelInfo {
+        name: "neon",
+        isa: "neon",
+        dtype: DtypeTier::F64,
+        mr: 8,
+        nr: 6,
+        func: KernelFn::F64(neon_f64),
+    };
+
+    pub(crate) static NEON_F32: KernelInfo = KernelInfo {
+        name: "neon-f32",
+        isa: "neon",
+        dtype: DtypeTier::F32,
+        mr: 8,
+        nr: 6,
+        func: KernelFn::F32(neon_f32),
+    };
+
+    pub(crate) static NEON_MIXED: KernelInfo = KernelInfo {
+        name: "neon-mixed",
+        isa: "neon",
+        dtype: DtypeTier::Mixed,
+        mr: 8,
+        nr: 6,
+        func: KernelFn::F32(neon_mixed),
+    };
+}
+
+/// The WASM SIMD128 tier: 8×6 tiles over `v128` vectors. Available only
+/// when the module is compiled with `-C target-feature=+simd128` (there
+/// is no runtime detection on wasm); the simd128 MVP has no FMA, so
+/// multiply and add round separately like the scalar tier.
+#[cfg(all(target_arch = "wasm32", target_feature = "simd128"))]
+pub(crate) mod wasm {
+    use super::{tile_kernel, MicroVec};
+    use crate::kernel::{DtypeTier, KernelFn, KernelInfo};
+    use core::arch::wasm32::*;
+    use powerscale_matrix::MatrixViewMut;
+
+    #[derive(Clone, Copy)]
+    struct W128F64(v128);
+
+    impl MicroVec for W128F64 {
+        type Elem = f64;
+        const LANES: usize = 2;
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Self(f64x2_splat(0.0))
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            Self(unsafe { v128_load(p.cast()) })
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f64) -> Self {
+            Self(f64x2_splat(unsafe { *p }))
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            Self(f64x2_add(self.0, f64x2_mul(a.0, b.0)))
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            unsafe { v128_store(out.cast(), self.0) };
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct W128F32(v128);
+
+    impl MicroVec for W128F32 {
+        type Elem = f32;
+        const LANES: usize = 4;
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Self(f32x4_splat(0.0))
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            Self(unsafe { v128_load(p.cast()) })
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f32) -> Self {
+            Self(f32x4_splat(unsafe { *p }))
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            Self(f32x4_add(self.0, f32x4_mul(a.0, b.0)))
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            unsafe {
+                v128_store(out.cast(), f64x2_promote_low_f32x4(self.0));
+                let hi = i32x4_shuffle::<2, 3, 2, 3>(self.0, self.0);
+                v128_store(out.add(2).cast(), f64x2_promote_low_f32x4(hi));
+            }
+        }
+    }
+
+    /// Mixed tier on wasm128: 2 packed f32s widened into a 2-lane f64
+    /// accumulator per load.
+    #[derive(Clone, Copy)]
+    struct W128Mixed(v128);
+
+    impl MicroVec for W128Mixed {
+        type Elem = f32;
+        const LANES: usize = 2;
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Self(f64x2_splat(0.0))
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            Self(f64x2_promote_low_f32x4(unsafe {
+                v128_load64_zero(p.cast())
+            }))
+        }
+
+        #[inline(always)]
+        unsafe fn splat(p: *const f32) -> Self {
+            Self(f64x2_splat(f64::from(unsafe { *p })))
+        }
+
+        #[inline(always)]
+        unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+            Self(f64x2_add(self.0, f64x2_mul(a.0, b.0)))
+        }
+
+        #[inline(always)]
+        unsafe fn store_f64(self, out: *mut f64) {
+            unsafe { v128_store(out.cast(), self.0) };
+        }
+    }
+
+    fn wasm_f64(
+        kc: usize,
+        a: &[f64],
+        b: &[f64],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        // SAFETY: simd128 is a compile-time feature of this module; strip
+        // lengths are asserted by the generic body.
+        unsafe { tile_kernel::<W128F64, 4, 6>(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    fn wasm_f32(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        // SAFETY: as in `wasm_f64`.
+        unsafe { tile_kernel::<W128F32, 2, 6>(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    fn wasm_mixed(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        alpha: f64,
+        c: &mut MatrixViewMut<'_>,
+        row0: usize,
+        col0: usize,
+    ) {
+        // SAFETY: as in `wasm_f64`.
+        unsafe { tile_kernel::<W128Mixed, 4, 6>(kc, a, b, alpha, c, row0, col0) }
+    }
+
+    pub(crate) static WASM_F64: KernelInfo = KernelInfo {
+        name: "wasm128",
+        isa: "wasm128",
+        dtype: DtypeTier::F64,
+        mr: 8,
+        nr: 6,
+        func: KernelFn::F64(wasm_f64),
+    };
+
+    pub(crate) static WASM_F32: KernelInfo = KernelInfo {
+        name: "wasm128-f32",
+        isa: "wasm128",
+        dtype: DtypeTier::F32,
+        mr: 8,
+        nr: 6,
+        func: KernelFn::F32(wasm_f32),
+    };
+
+    pub(crate) static WASM_MIXED: KernelInfo = KernelInfo {
+        name: "wasm128-mixed",
+        isa: "wasm128",
+        dtype: DtypeTier::Mixed,
+        mr: 8,
+        nr: 6,
+        func: KernelFn::F32(wasm_mixed),
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{microkernel, KernelFn, SCALAR_MR, SCALAR_NR};
+    use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len};
+    use powerscale_matrix::Matrix;
+
+    #[test]
+    fn generic_body_reproduces_handwritten_scalar_bitwise() {
+        // The scalar f64 dispatch keeps the hand-written 4×4 kernel; the
+        // generic body instantiated at the same shape must match it bit
+        // for bit (same per-element accumulation order over k) — the
+        // proof that the scalar tier *is* an instantiation of the body.
+        let kc = 17;
+        let a = Matrix::from_fn(7, kc, |i, j| (i as f64 - 2.5) * 0.31 + j as f64 * 0.07);
+        let b = Matrix::from_fn(kc, 6, |i, j| 1.0 / (1.0 + (i * 6 + j) as f64));
+        let mut pa = vec![0.0; packed_a_len(7, kc, SCALAR_MR)];
+        let mut pb = vec![0.0; packed_b_len(kc, 6, SCALAR_NR)];
+        let a_strips = pack_a(&a.view(), &mut pa, SCALAR_MR);
+        let b_strips = pack_b(&b.view(), &mut pb, SCALAR_NR);
+        let mut hand = Matrix::zeros(7, 6);
+        let mut gen = Matrix::zeros(7, 6);
+        for sj in 0..b_strips {
+            let bs = &pb[sj * SCALAR_NR * kc..(sj + 1) * SCALAR_NR * kc];
+            for si in 0..a_strips {
+                let as_ = &pa[si * SCALAR_MR * kc..(si + 1) * SCALAR_MR * kc];
+                microkernel(
+                    kc,
+                    as_,
+                    bs,
+                    1.5,
+                    &mut hand.view_mut(),
+                    si * SCALAR_MR,
+                    sj * SCALAR_NR,
+                );
+                generic::scalar_f64(
+                    kc,
+                    as_,
+                    bs,
+                    1.5,
+                    &mut gen.view_mut(),
+                    si * SCALAR_MR,
+                    sj * SCALAR_NR,
+                );
+            }
+        }
+        assert_eq!(hand, gen);
+    }
+
+    #[test]
+    fn every_host_tier_computes_one_tile_correctly() {
+        // One full tile per dispatchable kernel instance, against naive,
+        // at the dtype's precision bound.
+        let kernels = crate::kernel::available_kernels();
+        for kernel in kernels {
+            let (mr, nr) = (kernel.mr, kernel.nr);
+            let kc = 13;
+            let a = Matrix::from_fn(mr, kc, |i, j| (i * 5 + j) as f64 * 0.125 - 2.0);
+            let b = Matrix::from_fn(kc, nr, |i, j| 1.5 - (i + 3 * j) as f64 * 0.25);
+            let want = crate::naive::naive_mm(&a.view(), &b.view()).unwrap();
+            let mut c = Matrix::zeros(mr, nr);
+            match kernel.func {
+                KernelFn::F64(f) => {
+                    let mut pa = vec![0.0f64; packed_a_len(mr, kc, mr)];
+                    let mut pb = vec![0.0f64; packed_b_len(kc, nr, nr)];
+                    pack_a(&a.view(), &mut pa, mr);
+                    pack_b(&b.view(), &mut pb, nr);
+                    f(kc, &pa, &pb, 1.0, &mut c.view_mut(), 0, 0);
+                }
+                KernelFn::F32(f) => {
+                    let mut pa = vec![0.0f32; packed_a_len(mr, kc, mr)];
+                    let mut pb = vec![0.0f32; packed_b_len(kc, nr, nr)];
+                    pack_a(&a.view(), &mut pa, mr);
+                    pack_b(&b.view(), &mut pb, nr);
+                    f(kc, &pa, &pb, 1.0, &mut c.view_mut(), 0, 0);
                 }
             }
-        }
-        let mut tile = [[0.0f64; NR]; MR];
-        let mut col = [0.0f64; MR];
-        for (j, accj) in acc.iter().enumerate() {
-            for (h, slot) in accj.iter().enumerate() {
-                // SAFETY: `col` holds exactly MR = 8 doubles.
-                unsafe { vst1q_f64(col.as_mut_ptr().add(2 * h), *slot) };
-            }
-            for (i, &v) in col.iter().enumerate() {
-                tile[i][j] = v;
-            }
-        }
-        let live_rows = c.rows().saturating_sub(row0).min(MR);
-        let live_cols = c.cols().saturating_sub(col0).min(NR);
-        for (i, trow) in tile.iter().enumerate().take(live_rows) {
-            let crow = c.row_mut(row0 + i);
-            for jj in 0..live_cols {
-                crow[col0 + jj] += alpha * trow[jj];
-            }
+            // These operands are exactly representable in f32 (eighths of
+            // moderate magnitude), so every tier — including f32 — is
+            // exact here up to accumulator rounding.
+            let tol = match kernel.dtype {
+                DtypeTier::F64 | DtypeTier::Mixed => 1e-12,
+                DtypeTier::F32 => 1e-5,
+            };
+            let err = powerscale_matrix::norms::rel_frobenius_error(&c.view(), &want.view());
+            assert!(err < tol, "kernel `{}` tile err {err}", kernel.name);
         }
     }
 }

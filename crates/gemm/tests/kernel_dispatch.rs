@@ -16,7 +16,7 @@
 //! are both exercised regardless of what the host would auto-select.
 
 use powerscale_gemm::leaf::{leaf_gemm_fused_with, Accum, Operand};
-use powerscale_gemm::{dgemm, naive::naive_mm, GemmContext, KernelInfo};
+use powerscale_gemm::{dgemm, naive::naive_mm, DtypeTier, GemmContext, KernelInfo};
 use powerscale_matrix::norms::rel_frobenius_error;
 use powerscale_matrix::{Matrix, MatrixGen};
 use proptest::prelude::*;
@@ -95,6 +95,71 @@ proptest! {
     }
 
     #[test]
+    fn every_dtype_tier_matches_naive_within_its_precision(
+        m in 1usize..64, k in 1usize..64, n in 1usize..64, seed in any::<u64>()
+    ) {
+        // The f32 and mixed tiers trade precision for bandwidth; each must
+        // stay within its documented envelope of the f64 oracle, and the
+        // SIMD instantiation of a dtype must track its scalar one.
+        let mut gen = MatrixGen::new(seed);
+        let a = gen.uniform(m, k, -2.0, 2.0);
+        let b = gen.uniform(k, n, -2.0, 2.0);
+        let want = naive_mm(&a.view(), &b.view()).unwrap();
+        for (dtype, tol) in [
+            (DtypeTier::F64, 1e-12),
+            (DtypeTier::Mixed, 5e-6),
+            (DtypeTier::F32, 2e-3),
+        ] {
+            let scalar_k = powerscale_gemm::scalar_kernel_for(dtype);
+            let scalar = multiply_with(&GemmContext::with_kernel(scalar_k), &a, &b);
+            prop_assert!(
+                rel_frobenius_error(&scalar.view(), &want.view()) < tol,
+                "kernel `{}` off naive at ({m},{k},{n})", scalar_k.name
+            );
+            if let Some(simd) = powerscale_gemm::simd_kernel_for(dtype) {
+                let vectored = multiply_with(&GemmContext::with_kernel(simd), &a, &b);
+                prop_assert!(
+                    rel_frobenius_error(&vectored.view(), &want.view()) < tol,
+                    "kernel `{}` off naive at ({m},{k},{n})", simd.name
+                );
+                prop_assert!(
+                    rel_frobenius_error(&vectored.view(), &scalar.view()) < tol,
+                    "kernel `{}` off `{}` at ({m},{k},{n})", simd.name, scalar_k.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dtype_tiers_agree_bitwise_on_power_of_two_inputs(
+        m in 1usize..48, k in 1usize..48, n in 1usize..48, seed in any::<u64>()
+    ) {
+        // ±2^e entries (|e| ≤ 2) are exact in f32 too, every product and
+        // partial sum stays exactly representable in 24 bits at these
+        // depths, and f64→f32 packing rounds nothing — so *every* dtype
+        // tier must reproduce the f64 oracle bitwise, and each SIMD
+        // instantiation must match its scalar one bit for bit.
+        let a = pow2_matrix(m, k, seed);
+        let b = pow2_matrix(k, n, seed ^ 0xdead_beef);
+        let want = naive_mm(&a.view(), &b.view()).unwrap();
+        for dtype in DtypeTier::ALL {
+            let scalar_k = powerscale_gemm::scalar_kernel_for(dtype);
+            let scalar = multiply_with(&GemmContext::with_kernel(scalar_k), &a, &b);
+            prop_assert_eq!(
+                &scalar, &want,
+                "kernel `{}` not exact on pow2 inputs", scalar_k.name
+            );
+            if let Some(simd) = powerscale_gemm::simd_kernel_for(dtype) {
+                let vectored = multiply_with(&GemmContext::with_kernel(simd), &a, &b);
+                prop_assert_eq!(
+                    &scalar, &vectored,
+                    "kernel `{}` diverges from `{}` on pow2 inputs", simd.name, scalar_k.name
+                );
+            }
+        }
+    }
+
+    #[test]
     fn fused_leaf_tiers_match_naive_on_combined_operands(
         m in 1usize..64, k in 1usize..64, n in 1usize..64, seed in any::<u64>()
     ) {
@@ -149,7 +214,13 @@ proptest! {
 }
 
 /// `(A1 + A2) · (B1 − B2)` through the fused leaf under a pinned kernel.
-fn fused_with(kernel: &KernelInfo, a1: &Matrix, a2: &Matrix, b1: &Matrix, b2: &Matrix) -> Matrix {
+fn fused_with(
+    kernel: &'static KernelInfo,
+    a1: &Matrix,
+    a2: &Matrix,
+    b1: &Matrix,
+    b2: &Matrix,
+) -> Matrix {
     let mut c = Matrix::zeros(a1.rows(), b1.cols());
     leaf_gemm_fused_with(
         kernel,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [--out DIR] [--quick] [--resume] [--faults] [--seed N]
-//!           [--retries K] [--trace PATH]
+//!           [--retries K] [--trace PATH] [--dtype f64|f32|mixed]
 //! ```
 //!
 //! `--out DIR` additionally writes `EXPERIMENTS.md`, per-figure CSVs,
@@ -14,6 +14,11 @@
 //! recovery decorators (`--seed N` or `POWERSCALE_FAULT_SEED` picks the
 //! schedule; two runs with the same seed are identical).
 //!
+//! `--dtype` selects the kernel numeric tier every cell is stamped
+//! with: `f64` (default), `f32`, or `mixed` (f32 operands, f64
+//! accumulate). Real executions (`--trace`) dispatch kernels of that
+//! tier; the simulated sweep records it as scenario metadata.
+//!
 //! `--trace PATH` skips the sweep and instead runs traced real
 //! executions of all three algorithms (n = 512, or 256 with `--quick`),
 //! writing a Perfetto-loadable Chrome trace to `PATH`, folded flamegraph
@@ -21,11 +26,11 @@
 //! `PATH.phases.json`. Needs a build with `--features
 //! powerscale-harness/trace`.
 
-use powerscale_harness::{figures, manifest, report, sweep, tables, Harness};
+use powerscale_harness::{figures, manifest, report, sweep, tables, DtypeTier, Harness};
 use powerscale_rapl::FaultConfig;
 
 const USAGE: &str = "usage: reproduce [--out DIR] [--quick] [--resume] [--faults] [--seed N] \
-                     [--retries K] [--trace PATH]";
+                     [--retries K] [--trace PATH] [--dtype f64|f32|mixed]";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -45,7 +50,7 @@ fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
 /// The `--trace PATH` mode: traced real executions of all three
 /// algorithms on one timeline, exported as Chrome JSON + folded stacks +
 /// a per-phase EP summary. Skips the sweep entirely.
-fn run_traced(h: &Harness, path: &str, quick: bool) {
+fn run_traced(h: &Harness, path: &str, quick: bool, dtype: DtypeTier) {
     use powerscale_harness::{Algorithm, RunSpec};
     if !powerscale_trace::build_enabled() {
         eprintln!(
@@ -59,11 +64,7 @@ fn run_traced(h: &Harness, path: &str, quick: bool) {
     let pool = powerscale_pool::ThreadPool::new(threads);
     let specs: Vec<RunSpec> = [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps]
         .into_iter()
-        .map(|algorithm| RunSpec {
-            algorithm,
-            n,
-            threads,
-        })
+        .map(|algorithm| RunSpec::new(algorithm, n, threads).with_dtype(dtype))
         .collect();
     eprintln!("traced run: 3 algorithms, n = {n}, {threads} threads…");
     let traced = h
@@ -114,6 +115,7 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut retries: u32 = 1;
     let mut trace_path: Option<String> = None;
+    let mut dtype = DtypeTier::F64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -132,6 +134,12 @@ fn main() {
                 retries = v
                     .parse()
                     .unwrap_or_else(|_| usage_error(&format!("--retries: not a number: {v}")));
+            }
+            "--dtype" => {
+                let v = take_value(&args, &mut i, "--dtype");
+                dtype = v
+                    .parse()
+                    .unwrap_or_else(|e: String| usage_error(&format!("--dtype: {e}")));
             }
             "--quick" => quick = true,
             "--resume" => resume = true,
@@ -157,8 +165,11 @@ fn main() {
         h = h.with_faults(FaultConfig::chaos(seed));
     }
     eprintln!("platform: {}", h.machine.name);
+    if dtype != DtypeTier::F64 {
+        eprintln!("dtype tier: {dtype}");
+    }
     if let Some(path) = trace_path {
-        run_traced(&h, &path, quick);
+        run_traced(&h, &path, quick, dtype);
         return;
     }
     let (sizes, threads): (&[usize], &[usize]) = if quick {
@@ -174,6 +185,7 @@ fn main() {
         retries,
         out_dir: out_dir.as_ref().map(std::path::PathBuf::from),
         resume,
+        dtype,
         ..sweep::SweepOptions::default()
     };
     let outcome = sweep::run_sweep(&h, sizes, threads, &opts);

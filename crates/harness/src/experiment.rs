@@ -2,7 +2,7 @@
 
 use powerscale_caps::CapsConfig;
 use powerscale_core::{MeasureQuality, PlaneSet, QualifiedEp};
-use powerscale_gemm::BlockingParams;
+use powerscale_gemm::{BlockingParams, DtypeTier};
 use powerscale_machine::{simulate, MachineConfig, TaskGraph};
 use powerscale_rapl::{
     model::ModelReader, Domain, EnergyMeter, EnergyReader, EnergyReport, FaultConfig,
@@ -53,6 +53,29 @@ pub struct RunSpec {
     pub n: usize,
     /// Thread (core) count.
     pub threads: usize,
+    /// Numeric tier the kernels compute in. The simulated machine models
+    /// f64 arithmetic regardless, so this axis changes *real* executions
+    /// ([`Harness::run_real`] pins the process dtype tier from it) and is
+    /// carried through sweeps/checkpoints as scenario metadata. Old
+    /// checkpoints without the field deserialise as [`DtypeTier::F64`].
+    pub dtype: DtypeTier,
+}
+
+impl RunSpec {
+    /// A spec at the paper's baseline dtype tier (f64).
+    pub fn new(algorithm: Algorithm, n: usize, threads: usize) -> Self {
+        RunSpec {
+            algorithm,
+            n,
+            threads,
+            dtype: DtypeTier::F64,
+        }
+    }
+
+    /// The same cell at another dtype tier.
+    pub fn with_dtype(self, dtype: DtypeTier) -> Self {
+        RunSpec { dtype, ..self }
+    }
 }
 
 /// Measured outcome of one run.
@@ -159,9 +182,16 @@ impl Default for Harness {
 
 impl Harness {
     /// A harness on `machine` with paper-default algorithm configurations.
+    ///
+    /// The simulated blocking is derived from the *machine's* caches for
+    /// the 8×6 AVX2 register tile — the kernel shape of the simulated
+    /// Haswell, and a property of that machine, not of whatever kernel
+    /// the host happens to dispatch. (Deriving it from the host's
+    /// selected kernel would change every simulated figure the day the
+    /// host gains a wider SIMD tier.)
     pub fn new(machine: MachineConfig) -> Self {
         Harness {
-            blocking: BlockingParams::for_caches(&machine.caches),
+            blocking: BlockingParams::for_caches_and_tile(&machine.caches, 8, 6),
             strassen: StrassenConfig::default(),
             caps: CapsConfig {
                 dfs_ways: machine.cores,
@@ -195,6 +225,11 @@ impl Harness {
     /// The fault seed for one cell, derived from the plan seed and the
     /// spec (FNV-style mixing). Cells are independent: skipping completed
     /// cells on resume cannot shift the schedules of the remaining ones.
+    ///
+    /// Deliberately mixes only `[algorithm, n, threads]` — NOT `dtype` —
+    /// so resumed sweeps recorded before the dtype axis existed keep their
+    /// fault schedules, and dtype comparisons at one cell see identical
+    /// measurement faults.
     pub fn cell_fault_seed(base: u64, spec: &RunSpec) -> u64 {
         const PRIME: u64 = 0x0000_0100_0000_01B3;
         let mut h = base ^ 0xCBF2_9CE4_8422_2325;
@@ -332,11 +367,7 @@ mod tests {
     #[test]
     fn single_run_sane() {
         let h = harness();
-        let r = h.run(RunSpec {
-            algorithm: Algorithm::Blocked,
-            n: 256,
-            threads: 2,
-        });
+        let r = h.run(RunSpec::new(Algorithm::Blocked, 256, 2));
         assert!(r.t_seconds > 0.0);
         assert!(r.pkg_watts > 10.0 && r.pkg_watts < 100.0, "{}", r.pkg_watts);
         assert!(r.pp0_watts < r.pkg_watts);
@@ -348,11 +379,7 @@ mod tests {
     #[test]
     fn non_finite_ep_is_flagged_degraded() {
         let h = harness();
-        let mut r = h.run(RunSpec {
-            algorithm: Algorithm::Blocked,
-            n: 128,
-            threads: 1,
-        });
+        let mut r = h.run(RunSpec::new(Algorithm::Blocked, 128, 1));
         assert_eq!(r.ep_qualified().quality, MeasureQuality::Full);
         // A degenerate watts reading (e.g. an upstream NaN that slipped
         // past the meter) must surface as Degraded, never as a clean EP.
@@ -369,11 +396,7 @@ mod tests {
         let graph = h.graph(Algorithm::Strassen, 256);
         let s = simulate(&graph, &h.machine, 4);
         let direct = s.energy.pkg_avg_watts(s.makespan);
-        let r = h.run(RunSpec {
-            algorithm: Algorithm::Strassen,
-            n: 256,
-            threads: 4,
-        });
+        let r = h.run(RunSpec::new(Algorithm::Strassen, 256, 4));
         assert!(
             (r.pkg_watts - direct).abs() < 0.05 * direct,
             "meter {} vs direct {}",
@@ -395,21 +418,9 @@ mod tests {
     fn blocked_fastest_at_paper_sizes() {
         let h = harness();
         for threads in [1usize, 4] {
-            let b = h.run(RunSpec {
-                algorithm: Algorithm::Blocked,
-                n: 512,
-                threads,
-            });
-            let s = h.run(RunSpec {
-                algorithm: Algorithm::Strassen,
-                n: 512,
-                threads,
-            });
-            let c = h.run(RunSpec {
-                algorithm: Algorithm::Caps,
-                n: 512,
-                threads,
-            });
+            let b = h.run(RunSpec::new(Algorithm::Blocked, 512, threads));
+            let s = h.run(RunSpec::new(Algorithm::Strassen, 512, threads));
+            let c = h.run(RunSpec::new(Algorithm::Caps, 512, threads));
             assert!(b.t_seconds < s.t_seconds);
             assert!(b.t_seconds < c.t_seconds);
         }
@@ -418,11 +429,7 @@ mod tests {
     #[test]
     fn determinism() {
         let h = harness();
-        let spec = RunSpec {
-            algorithm: Algorithm::Caps,
-            n: 512,
-            threads: 3,
-        };
+        let spec = RunSpec::new(Algorithm::Caps, 512, 3);
         assert_eq!(h.run(spec), h.run(spec));
     }
 }

@@ -11,9 +11,31 @@
 
 use crate::experiment::{Algorithm, Harness, RunSpec};
 use powerscale_counters::{EventSet, Profile};
+use powerscale_gemm::DtypeTier;
 use powerscale_machine::{simulate, KernelClass, TaskCost, TaskGraph};
 use powerscale_matrix::{Matrix, MatrixGen};
 use powerscale_pool::ThreadPool;
+
+/// Pins the process dtype tier for one run and restores the previous pin
+/// on drop (panic-safe), so a spec's `dtype` axis reaches the recursive
+/// executors' internal kernel dispatch without leaking across runs.
+struct DtypePin {
+    prev: DtypeTier,
+}
+
+impl DtypePin {
+    fn set(dtype: DtypeTier) -> Self {
+        DtypePin {
+            prev: powerscale_gemm::set_dtype_tier(dtype),
+        }
+    }
+}
+
+impl Drop for DtypePin {
+    fn drop(&mut self) {
+        powerscale_gemm::set_dtype_tier(self.prev);
+    }
+}
 
 /// Deterministic operands for a spec, seeded from `n` alone.
 ///
@@ -64,6 +86,7 @@ impl Harness {
             spec.threads as u32,
         );
         let (a, b) = operands_for(&spec);
+        let _dtype = DtypePin::set(spec.dtype);
 
         let mut set = EventSet::with_all_events();
         set.start().expect("fresh event set");
@@ -71,9 +94,14 @@ impl Harness {
         let result = match spec.algorithm {
             Algorithm::Blocked => {
                 let mut c = Matrix::zeros(spec.n, spec.n);
+                // Dispatch honours the dtype pin (and any test override);
+                // the blocking must be derived for *that* kernel's tile
+                // shape — `self.blocking` tracks the simulated machine's
+                // f64 tile and would misalign under other tiers.
+                let kernel = powerscale_gemm::select_kernel();
                 let ctx = powerscale_gemm::GemmContext {
-                    params: self.blocking,
-                    kernel: powerscale_gemm::select_kernel(),
+                    params: powerscale_gemm::BlockingParams::autotuned_for(kernel),
+                    kernel,
                     pool: Some(pool),
                     events: Some(&set),
                 };
@@ -140,11 +168,7 @@ mod tests {
     fn real_run_produces_verified_result() {
         let h = Harness::default();
         let pool = ThreadPool::new(2);
-        let spec = RunSpec {
-            algorithm: Algorithm::Strassen,
-            n: 96,
-            threads: 2,
-        };
+        let spec = RunSpec::new(Algorithm::Strassen, 96, 2);
         let r = h.run_real(spec, &pool);
         assert!(r.wall_seconds > 0.0);
         assert!(r.profile.total_flops() > 0);
@@ -163,11 +187,7 @@ mod tests {
         // differ only in thread count must generate bitwise-identical
         // operands — including thread counts ≥ 256, which the old
         // `(n << 8) | threads` encoding aliased into `n`.
-        let base = RunSpec {
-            algorithm: Algorithm::Caps,
-            n: 64,
-            threads: 1,
-        };
+        let base = RunSpec::new(Algorithm::Caps, 64, 1);
         let (a1, b1) = operands_for(&base);
         for threads in [2usize, 7, 64, 256, 1024] {
             let spec = RunSpec { threads, ..base };
@@ -188,17 +208,42 @@ mod tests {
     }
 
     #[test]
+    fn dtype_axis_drives_real_runs() {
+        // The scenario axis must actually change which kernels execute:
+        // lower tiers stay correct at their (looser) precision, and the
+        // pin must not leak into subsequent f64 runs.
+        let h = Harness::default();
+        let pool = ThreadPool::new(2);
+        for (dtype, tol) in [
+            (DtypeTier::F64, 1e-12),
+            (DtypeTier::Mixed, 1e-5),
+            (DtypeTier::F32, 1e-2),
+        ] {
+            for algorithm in [Algorithm::Blocked, Algorithm::Strassen] {
+                let spec = RunSpec::new(algorithm, 96, 2).with_dtype(dtype);
+                let r = h.run_real(spec, &pool);
+                let (a, b) = operands_for(&spec);
+                let oracle = powerscale_gemm::naive::naive_mm(&a.view(), &b.view()).unwrap();
+                let err =
+                    powerscale_matrix::norms::rel_frobenius_error(&r.result.view(), &oracle.view());
+                assert!(err < tol, "{algorithm:?} {dtype}: err {err} vs tol {tol}");
+                if dtype == DtypeTier::F64 {
+                    assert!(err < 1e-12, "f64 must stay at full precision: {err}");
+                }
+            }
+            // The pin must have been restored.
+            assert_eq!(powerscale_gemm::dtype_tier(), DtypeTier::F64);
+        }
+    }
+
+    #[test]
     fn real_flops_match_plan_flops() {
         // The real execution and the simulated plan must agree on the work
         // (flops), even though they measure time differently.
         let h = Harness::default();
         let pool = ThreadPool::new(2);
         for algorithm in [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps] {
-            let spec = RunSpec {
-                algorithm,
-                n: 128,
-                threads: 2,
-            };
+            let spec = RunSpec::new(algorithm, 128, 2);
             let real = h.run_real(spec, &pool);
             let plan = h.graph(algorithm, 128);
             let real_flops = real.profile.total_flops();
@@ -219,22 +264,8 @@ mod tests {
         // profiles too, not just from plans.
         let h = Harness::default();
         let pool = ThreadPool::new(4);
-        let blocked = h.run_real(
-            RunSpec {
-                algorithm: Algorithm::Blocked,
-                n: 128,
-                threads: 4,
-            },
-            &pool,
-        );
-        let strassen = h.run_real(
-            RunSpec {
-                algorithm: Algorithm::Strassen,
-                n: 128,
-                threads: 4,
-            },
-            &pool,
-        );
+        let blocked = h.run_real(RunSpec::new(Algorithm::Blocked, 128, 4), &pool);
+        let strassen = h.run_real(RunSpec::new(Algorithm::Strassen, 128, 4), &pool);
         assert!(
             blocked.model_pkg_watts > strassen.model_pkg_watts,
             "blocked {} W vs strassen {} W",

@@ -24,6 +24,7 @@
 //! therefore identical results — as an uninterrupted run.
 
 use crate::experiment::{Harness, RunResult, RunSpec, ALL_ALGORITHMS};
+use powerscale_gemm::DtypeTier;
 use serde::{Deserialize, Serialize};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -64,6 +65,9 @@ pub struct SweepOptions {
     /// attempts panic. Exercises the isolation/retry path exactly as the
     /// rapl fault reader exercises the measurement path.
     pub panic_cells: Vec<(RunSpec, u32)>,
+    /// Dtype tier stamped on every cell spec (`reproduce --dtype`).
+    /// Defaults to f64, the paper's baseline.
+    pub dtype: DtypeTier,
 }
 
 /// Guard record proving a checkpoint directory belongs to *this* sweep.
@@ -72,6 +76,9 @@ struct SweepManifest {
     sizes: Vec<usize>,
     threads: Vec<usize>,
     fault_seed: Option<u64>,
+    // Absent in pre-dtype manifests; deserialises as `F64`, so old f64
+    // checkpoints stay resumable.
+    dtype: DtypeTier,
 }
 
 /// The full sweep outcome: every cell, completed or failed.
@@ -108,8 +115,13 @@ impl MatrixOutcome {
 }
 
 fn cell_file(dir: &Path, spec: &RunSpec) -> PathBuf {
+    // f64 cells keep the pre-dtype filename so old checkpoints resume.
+    let dtype_tag = match spec.dtype {
+        DtypeTier::F64 => String::new(),
+        other => format!("_{other}"),
+    };
     dir.join("cells").join(format!(
-        "{}_{}_{}.json",
+        "{}_{}_{}{dtype_tag}.json",
         spec.algorithm.paper_name().to_lowercase(),
         spec.n,
         spec.threads
@@ -219,6 +231,7 @@ pub fn run_sweep(
         sizes: sizes.to_vec(),
         threads: threads.to_vec(),
         fault_seed: h.faults.as_ref().map(|f| f.seed),
+        dtype: opts.dtype,
     };
     let reuse = opts
         .out_dir
@@ -230,11 +243,7 @@ pub fn run_sweep(
     for &algorithm in &ALL_ALGORITHMS {
         for &n in sizes {
             for &t in threads {
-                let spec = RunSpec {
-                    algorithm,
-                    n,
-                    threads: t,
-                };
+                let spec = RunSpec::new(algorithm, n, t).with_dtype(opts.dtype);
                 if reuse {
                     if let Some(rec) = opts
                         .out_dir
@@ -275,11 +284,7 @@ mod tests {
     }
 
     fn spec(algorithm: Algorithm, n: usize, threads: usize) -> RunSpec {
-        RunSpec {
-            algorithm,
-            n,
-            threads,
-        }
+        RunSpec::new(algorithm, n, threads)
     }
 
     #[test]

@@ -270,11 +270,7 @@ mod tests {
     #[should_panic(expected = "no results")]
     fn missing_cells_detected() {
         let h = Harness::default();
-        let rs = vec![h.run(RunSpec {
-            algorithm: Algorithm::Blocked,
-            n: 128,
-            threads: 1,
-        })];
+        let rs = vec![h.run(RunSpec::new(Algorithm::Blocked, 128, 1))];
         let _ = ep_table(&rs, &[128], &[1]);
     }
 }

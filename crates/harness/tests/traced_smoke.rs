@@ -19,11 +19,7 @@ fn traced_smoke_all_algorithms() {
     let pool = ThreadPool::new(threads);
     let specs: Vec<RunSpec> = [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps]
         .into_iter()
-        .map(|algorithm| RunSpec {
-            algorithm,
-            n: 256,
-            threads,
-        })
+        .map(|algorithm| RunSpec::new(algorithm, 256, threads))
         .collect();
     let traced = h
         .traced_real_runs(&specs, &pool)

@@ -566,7 +566,7 @@ mod tests {
             let deps: Vec<TaskId> = ids
                 .iter()
                 .copied()
-                .filter(|t: &TaskId| t.index() % 3 == 0)
+                .filter(|t: &TaskId| t.index().is_multiple_of(3))
                 .collect();
             ids.push(g.add(
                 TaskCost::new(KernelClass::LeafGemm, i * 10_000_000, i * 1_000, 0),

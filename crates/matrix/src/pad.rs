@@ -43,7 +43,7 @@ pub fn recursion_depth(n: usize, cutoff: usize) -> u32 {
     }
     let mut k = 0u32;
     let mut m = n;
-    while m % 2 == 0 && m / 2 >= cutoff {
+    while m.is_multiple_of(2) && m / 2 >= cutoff {
         m /= 2;
         k += 1;
     }
@@ -108,7 +108,7 @@ mod tests {
         assert!(s <= 2048);
         // Result must be (odd-ish factor ≤ base) * 2^k.
         let mut m = s;
-        while m % 2 == 0 {
+        while m.is_multiple_of(2) {
             m /= 2;
         }
         assert!(m <= 64 || s.div_ceil(1) == s);

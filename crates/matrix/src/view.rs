@@ -202,14 +202,14 @@ impl<'a> MatrixView<'a> {
     }
 
     fn even_halves(&self, op: &'static str) -> DimResult<(usize, usize)> {
-        if self.rows % 2 != 0 {
+        if !self.rows.is_multiple_of(2) {
             return Err(DimError::NotDivisible {
                 op,
                 dim: self.rows,
                 by: 2,
             });
         }
-        if self.cols % 2 != 0 {
+        if !self.cols.is_multiple_of(2) {
             return Err(DimError::NotDivisible {
                 op,
                 dim: self.cols,
@@ -396,14 +396,14 @@ impl<'a> MatrixViewMut<'a> {
     /// Splits a square, even-dimensioned view into four disjoint mutable
     /// quadrants.
     pub fn quadrants(self) -> DimResult<QuadrantsMut<'a>> {
-        if self.rows % 2 != 0 {
+        if !self.rows.is_multiple_of(2) {
             return Err(DimError::NotDivisible {
                 op: "quadrants",
                 dim: self.rows,
                 by: 2,
             });
         }
-        if self.cols % 2 != 0 {
+        if !self.cols.is_multiple_of(2) {
             return Err(DimError::NotDivisible {
                 op: "quadrants",
                 dim: self.cols,

@@ -47,7 +47,7 @@
 //!
 //! // Reproduce a cell of the paper's experiment on the simulated machine.
 //! let h = Harness::default();
-//! let r = h.run(RunSpec { algorithm: Algorithm::Caps, n: 512, threads: 4 });
+//! let r = h.run(RunSpec::new(Algorithm::Caps, 512, 4));
 //! assert!(r.pkg_watts > 10.0);
 //! ```
 

@@ -109,7 +109,7 @@ fn demotion_edge_seven_failed_samples_survive_eighth_kills() {
 
     // dead_after − 1 = 7 consecutive failed samples, then recovery.
     let mut script = vec![Some(100)];
-    script.extend(std::iter::repeat(None).take(7 * per_sample));
+    script.extend(std::iter::repeat_n(None, 7 * per_sample));
     script.push(Some(200));
     let mut r = resilient(script, cfg);
     assert_eq!(r.read_raw(Domain::Package), Some(100));
@@ -128,7 +128,7 @@ fn demotion_edge_seven_failed_samples_survive_eighth_kills() {
 
     // Exactly dead_after = 8 consecutive failed samples: demoted.
     let mut script = vec![Some(100)];
-    script.extend(std::iter::repeat(None).take(8 * per_sample));
+    script.extend(std::iter::repeat_n(None, 8 * per_sample));
     let mut r = resilient(script, cfg);
     assert_eq!(r.read_raw(Domain::Package), Some(100));
     for _ in 0..8 {
@@ -144,7 +144,7 @@ fn dead_is_permanent_even_when_the_hardware_recovers() {
     let per_sample = 1 + cfg.max_retries as usize;
     // Kill the domain, then script an infinitely recovered counter.
     let mut script = vec![Some(100)];
-    script.extend(std::iter::repeat(None).take(8 * per_sample));
+    script.extend(std::iter::repeat_n(None, 8 * per_sample));
     script.push(Some(500)); // the "recovered" tail, repeated forever
     let mut r = resilient(script, cfg);
     let _ = r.read_raw(Domain::Package);

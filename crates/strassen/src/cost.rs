@@ -27,7 +27,7 @@ pub fn add_passes(variant: Variant) -> (u64, u64) {
 
 /// `true` when the recursion bottoms out at dimension `n`.
 pub fn is_leaf(n: usize, cutoff: usize) -> bool {
-    n <= cutoff || n % 2 != 0
+    n <= cutoff || !n.is_multiple_of(2)
 }
 
 /// Dimension at which the recursion starting from `n` hits the leaf solver.

@@ -96,7 +96,7 @@ pub fn multiply(
 /// The recursion reverts to the dense leaf at or below the cutover size
 /// (odd sizes cannot split into quadrants and also go dense).
 fn is_leaf(n: usize, cutoff: usize) -> bool {
-    n <= cutoff || n % 2 != 0
+    n <= cutoff || !n.is_multiple_of(2)
 }
 
 /// `c = a · b`, recursively. `c` is fully overwritten.

@@ -18,6 +18,12 @@
 //! every exit path; any test that flips those switches itself must take
 //! the same guard.
 //!
+//! A second sweep, [`run_kernel_matrix`], covers the *kernel* matrix:
+//! every dispatchable ISA×dtype instance ([`available_kernels`]) pinned
+//! via [`set_kernel_override`] and driven through the blocked driver and
+//! both leaf modes of the Strassen recursion, scored against the same
+//! oracle with precision-appropriate bounds ([`dtype_tol`]).
+//!
 //! Recursion depth is held constant across sizes by setting the
 //! Strassen/CAPS cutoff to `n / 8` (three levels), which keeps the
 //! rounding-error envelope uniform and lets one tolerance (`1e-12` by
@@ -27,7 +33,10 @@
 use crate::oracle::{max_rel_error, reference_mm};
 use powerscale_caps::CapsConfig;
 use powerscale_gemm::leaf::{set_unfused_leaf, unfused_leaf};
-use powerscale_gemm::{dgemm, set_kernel_tier, GemmContext, KernelTier};
+use powerscale_gemm::{
+    available_kernels, dgemm, set_kernel_override, set_kernel_tier, DtypeTier, GemmContext,
+    KernelInfo, KernelTier,
+};
 use powerscale_matrix::{Matrix, MatrixGen};
 use powerscale_pool::ThreadPool;
 use powerscale_strassen::{StrassenConfig, Variant};
@@ -224,9 +233,206 @@ pub fn assert_differential(cfg: &DiffConfig) {
     );
 }
 
+/// The acceptance bound for one dtype tier, given the f64 bound.
+///
+/// * **f64** — the configured bound (`1e-12` by default: the paper's
+///   reproduction tolerance).
+/// * **mixed** — `5e-6`: products are computed and accumulated in f64,
+///   so the only extra rounding is the single f64→f32 pack of each
+///   operand element (relative error ≤ 2⁻²⁴ each); Strassen's
+///   add/subtract cancellation amplifies it by a bounded factor.
+/// * **f32** — `2e-3`: both the pack rounding *and* every product and
+///   partial sum round to 24 bits, so the error grows with the
+///   accumulation depth `k` and the recursion's cancellation.
+pub fn dtype_tol(dtype: DtypeTier, f64_tol: f64) -> f64 {
+    match dtype {
+        DtypeTier::F64 => f64_tol,
+        DtypeTier::Mixed => 5e-6,
+        DtypeTier::F32 => 2e-3,
+    }
+}
+
+/// Score of one (kernel instance × leaf mode) cell against the oracle.
+#[derive(Debug, Clone)]
+pub struct KernelCase {
+    /// Configuration label, e.g. `strassen/unfused/avx2-f32`.
+    pub label: String,
+    /// The kernel's dtype tier (decides the acceptance bound).
+    pub dtype: DtypeTier,
+    /// Max-norm relative error against the compensated reference.
+    pub rel_err: f64,
+}
+
+/// Pins dispatch to one exact kernel instance plus a leaf mode for the
+/// duration of `f`, restoring both on return *and* on unwind. The
+/// override out-ranks the tier/dtype pins, so the recursive executors'
+/// internal dispatch lands on `kernel` too.
+fn with_kernel<R>(kernel: &'static KernelInfo, unfused: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore {
+        prev: Option<&'static KernelInfo>,
+        unfused: bool,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_kernel_override(self.prev);
+            set_unfused_leaf(self.unfused);
+        }
+    }
+    let _restore = Restore {
+        prev: set_kernel_override(Some(kernel)),
+        unfused: unfused_leaf(),
+    };
+    set_unfused_leaf(unfused);
+    f()
+}
+
+/// Runs every dispatchable kernel instance (ISA tier × dtype tier) through
+/// the blocked driver and, for each leaf mode, through the Strassen
+/// recursion — the kernel-level companion to [`run_differential`]'s
+/// algorithm matrix. Three cells per kernel:
+/// `blocked`, `strassen/fused`, `strassen/unfused`.
+pub fn run_kernel_matrix(cfg: &DiffConfig) -> Vec<KernelCase> {
+    let _guard = toggle_guard();
+    let n = cfg.n;
+    let mut gen = MatrixGen::new(cfg.seed);
+    let a = gen.paper_operand(n);
+    let b = gen.paper_operand(n);
+    let reference = reference_mm(&a.view(), &b.view());
+    let pool = ThreadPool::new(cfg.threads);
+    let strassen_cfg = StrassenConfig {
+        cutoff: (n / 4).max(8),
+        task_depth: 5,
+        variant: Variant::Classic,
+    };
+
+    let mut cases = Vec::new();
+    for kernel in available_kernels() {
+        let c = with_kernel(kernel, false, || {
+            let ctx = GemmContext {
+                pool: Some(&pool),
+                ..Default::default()
+            };
+            let mut c = Matrix::zeros(n, n);
+            dgemm(1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), &ctx)
+                .expect("blocked dgemm dimensions");
+            c
+        });
+        cases.push(KernelCase {
+            label: format!("blocked/{}", kernel.name),
+            dtype: kernel.dtype,
+            rel_err: max_rel_error(&c.view(), &reference.view()),
+        });
+
+        for unfused in [false, true] {
+            let c = with_kernel(kernel, unfused, || {
+                powerscale_strassen::multiply(
+                    &a.view(),
+                    &b.view(),
+                    &strassen_cfg,
+                    Some(&pool),
+                    None,
+                )
+                .expect("strassen dimensions")
+            });
+            cases.push(KernelCase {
+                label: format!("strassen/{}/{}", leaf_label(unfused), kernel.name),
+                dtype: kernel.dtype,
+                rel_err: max_rel_error(&c.view(), &reference.view()),
+            });
+        }
+    }
+    cases
+}
+
+/// Runs the kernel matrix and asserts every cell meets its
+/// dtype-appropriate bound ([`dtype_tol`] of `cfg.tol`), reporting all
+/// failures with their observed errors.
+pub fn assert_kernel_matrix(cfg: &DiffConfig) {
+    let cases = run_kernel_matrix(cfg);
+    assert_eq!(
+        cases.len(),
+        3 * available_kernels().len(),
+        "kernel matrix shrank unexpectedly"
+    );
+    for dtype in DtypeTier::ALL {
+        assert!(
+            cases.iter().any(|c| c.dtype == dtype),
+            "no cell exercises the {dtype} tier"
+        );
+    }
+    let failures: Vec<String> = cases
+        .iter()
+        .filter(|c| c.rel_err > dtype_tol(c.dtype, cfg.tol) || c.rel_err.is_nan())
+        .map(|c| {
+            format!(
+                "  {}: rel err {:.3e} > {:.1e}",
+                c.label,
+                c.rel_err,
+                dtype_tol(c.dtype, cfg.tol)
+            )
+        })
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "kernel-matrix oracle failures at n = {}:\n{}",
+        cfg.n,
+        failures.join("\n")
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kernel_matrix_covers_every_tier_and_leaf_mode() {
+        let cfg = DiffConfig::for_size(96);
+        let cases = run_kernel_matrix(&cfg);
+        assert_eq!(cases.len(), 3 * available_kernels().len());
+        for kernel in available_kernels() {
+            for expected in [
+                format!("blocked/{}", kernel.name),
+                format!("strassen/fused/{}", kernel.name),
+                format!("strassen/unfused/{}", kernel.name),
+            ] {
+                assert!(
+                    cases.iter().any(|c| c.label == expected),
+                    "missing cell {expected}"
+                );
+            }
+        }
+        // The override must be fully restored.
+        assert!(powerscale_gemm::kernel_by_name("scalar").is_some());
+        assert_eq!(powerscale_gemm::select_kernel().dtype, DtypeTier::F64);
+    }
+
+    #[test]
+    fn kernel_matrix_meets_dtype_bounds() {
+        assert_kernel_matrix(&DiffConfig::for_size(128));
+    }
+
+    #[test]
+    fn lower_tiers_actually_compute_in_lower_precision() {
+        // A sanity check on the matrix itself: the f32 tier must be
+        // *measurably* less accurate than f64 (else the pin is not
+        // reaching the kernels), and mixed must sit strictly between.
+        let cases = run_kernel_matrix(&DiffConfig::for_size(128));
+        let worst = |dtype: DtypeTier| -> f64 {
+            cases
+                .iter()
+                .filter(|c| c.dtype == dtype)
+                .map(|c| c.rel_err)
+                .fold(0.0, f64::max)
+        };
+        let (w64, wmx, w32) = (
+            worst(DtypeTier::F64),
+            worst(DtypeTier::Mixed),
+            worst(DtypeTier::F32),
+        );
+        assert!(w64 < 1e-12, "f64 worst {w64}");
+        assert!(wmx > w64 && wmx < 1e-5, "mixed worst {wmx}");
+        assert!(w32 > wmx, "f32 worst {w32} not above mixed {wmx}");
+    }
 
     #[test]
     fn sweep_covers_the_whole_matrix_at_a_small_size() {

@@ -1,15 +1,28 @@
 //! Differential-oracle acceptance: every multiply configuration agrees
-//! with the compensated reference to ≤ 1e-12 (max-norm relative error).
+//! with the compensated reference to ≤ 1e-12 (max-norm relative error),
+//! and every dispatchable ISA×dtype kernel instance meets its
+//! precision-appropriate bound (`dtype_tol`).
 //!
 //! `n = 256` runs in every `cargo test`; the larger sizes are `#[ignore]`
 //! and run in the release-mode CI job
 //! (`cargo test -p powerscale-testkit --release -- --ignored`).
 
-use powerscale_testkit::{assert_differential, DiffConfig};
+use powerscale_testkit::{assert_differential, assert_kernel_matrix, DiffConfig};
 
 #[test]
 fn differential_oracle_n256() {
     assert_differential(&DiffConfig::for_size(256));
+}
+
+#[test]
+fn kernel_matrix_oracle_n192() {
+    assert_kernel_matrix(&DiffConfig::for_size(192));
+}
+
+#[test]
+#[ignore = "release-tier: ~minutes in debug, run with --release -- --ignored"]
+fn kernel_matrix_oracle_n512() {
+    assert_kernel_matrix(&DiffConfig::for_size(512));
 }
 
 #[test]

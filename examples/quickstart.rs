@@ -64,11 +64,7 @@ fn main() {
     let h = Harness::default();
     for algorithm in [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps] {
         for threads in [1usize, 4] {
-            let r = h.run(RunSpec {
-                algorithm,
-                n: 512,
-                threads,
-            });
+            let r = h.run(RunSpec::new(algorithm, 512, threads));
             println!(
                 "  {:<10} {:>4} {:>10.2} {:>9.2} {:>8.1}",
                 algorithm.paper_name(),

@@ -75,11 +75,7 @@ fn more_cores_never_slower() {
     for alg in [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps] {
         let mut last = f64::INFINITY;
         for threads in 1..=4 {
-            let r = h.run(RunSpec {
-                algorithm: alg,
-                n: 512,
-                threads,
-            });
+            let r = h.run(RunSpec::new(alg, 512, threads));
             assert!(
                 r.t_seconds <= last * 1.001,
                 "{alg:?}: {threads} threads slower than {} ({} vs {last})",
@@ -120,11 +116,7 @@ fn rapl_meter_reproduces_simulated_energy() {
 #[test]
 fn ep_model_consumes_run_results() {
     let h = Harness::default();
-    let r = h.run(RunSpec {
-        algorithm: Algorithm::Blocked,
-        n: 512,
-        threads: 2,
-    });
+    let r = h.run(RunSpec::new(Algorithm::Blocked, 512, 2));
     let measure = PhaseMeasure::new(r.pkg_watts, r.t_seconds);
     assert!((ep_ratio(&measure) - r.ep()).abs() < 1e-9);
     // Equation 3 over the run's planes.
