@@ -214,6 +214,12 @@ fn rec(
     events: Option<&EventSet>,
     seed: Option<[usize; 7]>,
 ) {
+    // Cooperative cancellation poll at every recursion node (the BFS/DFS
+    // analogue of the Strassen check): a fired token collapses the task
+    // tree, and the cancelling owner discards the partial quadrants.
+    if powerscale_pool::cancel_requested() {
+        return;
+    }
     let n = a.rows();
     if is_leaf(n, cfg.cutoff) {
         // Dense cutover. In DFS mode every worker cooperates on it.

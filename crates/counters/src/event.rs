@@ -48,10 +48,14 @@ pub enum Event {
     /// Tasks stolen across group boundaries — the scheduling analogue of
     /// the paper's inter-group "communication".
     StealsCrossGroup,
+    /// Pool jobs dropped or skipped because their scope's cancellation
+    /// token fired (deadline or explicit cancel). A *policy* outcome of
+    /// the serving layer, deliberately distinct from panic recovery.
+    JobCancelled,
 }
 
 /// Number of distinct [`Event`] variants (array-index bound).
-pub const EVENT_COUNT: usize = 13;
+pub const EVENT_COUNT: usize = 14;
 
 /// Every event, in `repr` order. Kept in sync with the enum by the
 /// `all_events_listed` test.
@@ -69,6 +73,7 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::EnergyReadFaults,
     Event::StealsInGroup,
     Event::StealsCrossGroup,
+    Event::JobCancelled,
 ];
 
 impl Event {
@@ -94,6 +99,7 @@ impl Event {
             Event::EnergyReadFaults => "PS_ENERGY_FAULTS",
             Event::StealsInGroup => "PS_STEALS_GRP",
             Event::StealsCrossGroup => "PS_STEALS_XGRP",
+            Event::JobCancelled => "PS_JOBS_CANCELLED",
         }
     }
 }

@@ -73,6 +73,11 @@ impl<'a> GemmContext<'a> {
 ///
 /// Steady-state invocations perform no per-panel heap allocation: packing
 /// buffers are leased from the thread-local [`crate::arena`].
+///
+/// When running under a cancellable scope (see
+/// [`powerscale_pool::ThreadPool::scope_with_cancel`]), the panel loops poll
+/// the token and return early once it fires; `C` then holds a partial
+/// accumulation that the cancelling owner must discard.
 pub fn dgemm(
     alpha: f64,
     a: &MatrixView<'_>,
@@ -153,6 +158,14 @@ fn blocked_loops<T: PackScalar>(
         let ncb = nc.min(n - jc);
         let mut pc = 0;
         while pc < k {
+            // Cooperative cancellation poll, once per kc-panel (a leaf
+            // boundary: microseconds-to-milliseconds of work per panel).
+            // Under a cancelled request the partial C is garbage by
+            // contract — the owner that observed the fired token discards
+            // it — so bailing mid-accumulation is sound.
+            if powerscale_pool::cancel_requested() {
+                return Ok(());
+            }
             let kcb = kc.min(k - pc);
             // Pack the shared B panel — in parallel when a pool is
             // available and there are enough strips to go around. Each

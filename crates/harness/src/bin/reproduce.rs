@@ -188,7 +188,13 @@ fn main() {
         dtype,
         ..sweep::SweepOptions::default()
     };
-    let outcome = sweep::run_sweep(&h, sizes, threads, &opts);
+    let outcome = match sweep::run_sweep(&h, sizes, threads, &opts) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    };
     if outcome.resumed > 0 {
         eprintln!(
             "resumed {} of {} cells from checkpoints",

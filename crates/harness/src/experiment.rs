@@ -321,6 +321,7 @@ impl Harness {
     /// budgets, failure records and checkpoint/resume.
     pub fn run_matrix(&self, sizes: &[usize], threads: &[usize]) -> Vec<RunResult> {
         crate::sweep::run_sweep(self, sizes, threads, &crate::sweep::SweepOptions::default())
+            .expect("infallible without a checkpoint directory")
             .results()
     }
 

@@ -26,8 +26,59 @@
 use crate::experiment::{Harness, RunResult, RunSpec, ALL_ALGORITHMS};
 use powerscale_gemm::DtypeTier;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+
+/// A checkpoint file on disk that could not be used: truncated, corrupted,
+/// or unreadable. Surfaced as data rather than a panic so a `--resume`
+/// against a damaged directory fails with a pointed message (naming the
+/// bad file) instead of silently re-running cells or crashing.
+///
+/// A *missing* file is never an error — that is the normal state of an
+/// interrupted sweep. Only a file that exists but cannot be decoded is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// `DIR/sweep.json` exists but is not a valid manifest.
+    Manifest {
+        /// Path of the offending manifest file.
+        path: PathBuf,
+        /// What went wrong decoding it.
+        detail: String,
+    },
+    /// A `DIR/cells/*.json` record exists but is not a valid cell record.
+    Cell {
+        /// Path of the offending cell file.
+        path: PathBuf,
+        /// What went wrong decoding it.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Manifest { path, detail } => {
+                write!(
+                    f,
+                    "corrupt sweep manifest {}: {detail} \
+                     (delete it or rerun without --resume)",
+                    path.display()
+                )
+            }
+            CheckpointError::Cell { path, detail } => {
+                write!(
+                    f,
+                    "corrupt cell checkpoint {}: {detail} \
+                     (delete it or rerun without --resume)",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
 
 /// Outcome of one matrix cell: a result, or a captured failure.
 ///
@@ -138,12 +189,26 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn load_checkpoint(dir: &Path, spec: &RunSpec) -> Option<CellRecord> {
-    let text = std::fs::read_to_string(cell_file(dir, spec)).ok()?;
-    let rec: CellRecord = serde_json::from_str(&text).ok()?;
-    // A checkpoint for a different cell (hand-edited or corrupted) is
-    // ignored rather than trusted.
-    (rec.spec == *spec && rec.is_ok()).then_some(rec)
+fn load_checkpoint(dir: &Path, spec: &RunSpec) -> Result<Option<CellRecord>, CheckpointError> {
+    let path = cell_file(dir, spec);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        // Not yet checkpointed: the normal interrupted-sweep state.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(CheckpointError::Cell {
+                path,
+                detail: e.to_string(),
+            })
+        }
+    };
+    let rec: CellRecord = serde_json::from_str(&text).map_err(|e| CheckpointError::Cell {
+        path,
+        detail: e.to_string(),
+    })?;
+    // A well-formed checkpoint for a *different* cell (hand-moved file) is
+    // ignored rather than trusted; the cell reruns.
+    Ok((rec.spec == *spec && rec.is_ok()).then_some(rec))
 }
 
 fn store_checkpoint(dir: &Path, rec: &CellRecord) {
@@ -159,13 +224,38 @@ fn store_checkpoint(dir: &Path, rec: &CellRecord) {
 /// Prepares the checkpoint directory: validates the manifest on resume
 /// (wiping stale cells on mismatch), writes the current manifest.
 /// Returns `true` when existing checkpoints may be reused.
-fn prepare_dir(dir: &Path, manifest: &SweepManifest, resume: bool) -> bool {
+///
+/// A manifest that exists but cannot be decoded is a [`CheckpointError`]:
+/// silently treating a truncated manifest as "no manifest" would wipe the
+/// cells of a sweep the user explicitly asked to resume.
+fn prepare_dir(
+    dir: &Path,
+    manifest: &SweepManifest,
+    resume: bool,
+) -> Result<bool, CheckpointError> {
     let manifest_path = dir.join("sweep.json");
-    let reusable = resume
-        && std::fs::read_to_string(&manifest_path)
-            .ok()
-            .and_then(|text| serde_json::from_str::<SweepManifest>(&text).ok())
-            .is_some_and(|prev| prev == *manifest);
+    let reusable = if resume {
+        match std::fs::read_to_string(&manifest_path) {
+            Ok(text) => {
+                let prev: SweepManifest =
+                    serde_json::from_str(&text).map_err(|e| CheckpointError::Manifest {
+                        path: manifest_path.clone(),
+                        detail: e.to_string(),
+                    })?;
+                prev == *manifest
+            }
+            // No manifest yet: a fresh directory, nothing to resume.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+            Err(e) => {
+                return Err(CheckpointError::Manifest {
+                    path: manifest_path.clone(),
+                    detail: e.to_string(),
+                })
+            }
+        }
+    } else {
+        false
+    };
     if !reusable {
         let _ = std::fs::remove_dir_all(dir.join("cells"));
     }
@@ -173,7 +263,7 @@ fn prepare_dir(dir: &Path, manifest: &SweepManifest, resume: bool) -> bool {
     if let Ok(json) = serde_json::to_string_pretty(manifest) {
         let _ = std::fs::write(manifest_path, json);
     }
-    reusable
+    Ok(reusable)
 }
 
 /// Runs one cell under panic isolation with a retry budget.
@@ -221,22 +311,27 @@ fn run_cell(h: &Harness, spec: RunSpec, opts: &SweepOptions) -> CellRecord {
 
 /// Runs the full `sizes × threads × algorithms` matrix with per-cell
 /// panic isolation, retry budget, and (optionally) checkpoint/resume.
+///
+/// Fails only on a damaged checkpoint directory ([`CheckpointError`]:
+/// a manifest or cell file that exists but cannot be decoded); without
+/// `out_dir` the call is infallible. Cell *panics* are never errors —
+/// they are recorded in the returned [`MatrixOutcome`].
 pub fn run_sweep(
     h: &Harness,
     sizes: &[usize],
     threads: &[usize],
     opts: &SweepOptions,
-) -> MatrixOutcome {
+) -> Result<MatrixOutcome, CheckpointError> {
     let manifest = SweepManifest {
         sizes: sizes.to_vec(),
         threads: threads.to_vec(),
         fault_seed: h.faults.as_ref().map(|f| f.seed),
         dtype: opts.dtype,
     };
-    let reuse = opts
-        .out_dir
-        .as_deref()
-        .is_some_and(|dir| prepare_dir(dir, &manifest, opts.resume));
+    let reuse = match opts.out_dir.as_deref() {
+        Some(dir) => prepare_dir(dir, &manifest, opts.resume)?,
+        None => false,
+    };
 
     let mut cells = Vec::with_capacity(sizes.len() * threads.len() * ALL_ALGORITHMS.len());
     let mut resumed = 0;
@@ -245,11 +340,11 @@ pub fn run_sweep(
             for &t in threads {
                 let spec = RunSpec::new(algorithm, n, t).with_dtype(opts.dtype);
                 if reuse {
-                    if let Some(rec) = opts
-                        .out_dir
-                        .as_deref()
-                        .and_then(|d| load_checkpoint(d, &spec))
-                    {
+                    let restored = match opts.out_dir.as_deref() {
+                        Some(d) => load_checkpoint(d, &spec)?,
+                        None => None,
+                    };
+                    if let Some(rec) = restored {
                         resumed += 1;
                         cells.push(rec);
                         continue;
@@ -265,7 +360,7 @@ pub fn run_sweep(
             }
         }
     }
-    MatrixOutcome { cells, resumed }
+    Ok(MatrixOutcome { cells, resumed })
 }
 
 #[cfg(test)]
@@ -290,7 +385,7 @@ mod tests {
     #[test]
     fn clean_sweep_matches_direct_runs() {
         let h = Harness::default();
-        let out = run_sweep(&h, &[128, 256], &[1, 2], &SweepOptions::default());
+        let out = run_sweep(&h, &[128, 256], &[1, 2], &SweepOptions::default()).unwrap();
         assert_eq!(out.cells.len(), 12);
         assert!(out.cells.iter().all(|c| c.is_ok() && c.attempts == 1));
         // Isolation must not perturb the measurements themselves.
@@ -310,7 +405,7 @@ mod tests {
             retries: 1,
             ..SweepOptions::default()
         };
-        let out = run_sweep(&h, &[128], &[1, 2], &opts);
+        let out = run_sweep(&h, &[128], &[1, 2], &opts).unwrap();
         assert_eq!(out.cells.len(), 6);
         let errors = out.errors();
         assert_eq!(errors.len(), 1);
@@ -331,7 +426,7 @@ mod tests {
             retries: 2,
             ..SweepOptions::default()
         };
-        let out = run_sweep(&h, &[128], &[1], &opts);
+        let out = run_sweep(&h, &[128], &[1], &opts).unwrap();
         let rec = out.cells.iter().find(|c| c.spec == flaky).unwrap();
         assert!(rec.is_ok());
         assert_eq!(rec.attempts, 3);
@@ -347,9 +442,9 @@ mod tests {
             resume,
             ..SweepOptions::default()
         };
-        let first = run_sweep(&h, &[128], &[1, 2], &opts(false));
+        let first = run_sweep(&h, &[128], &[1, 2], &opts(false)).unwrap();
         assert_eq!(first.resumed, 0);
-        let second = run_sweep(&h, &[128], &[1, 2], &opts(true));
+        let second = run_sweep(&h, &[128], &[1, 2], &opts(true)).unwrap();
         assert_eq!(second.resumed, 6);
         assert_eq!(first.cells, second.cells);
         let _ = std::fs::remove_dir_all(&dir);
@@ -370,7 +465,8 @@ mod tests {
                 panic_cells: vec![(bad, u32::MAX)],
                 ..SweepOptions::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(first.errors().len(), 1);
         // Resume without the injected panic: only the failed cell reruns.
         let second = run_sweep(
@@ -382,7 +478,8 @@ mod tests {
                 resume: true,
                 ..SweepOptions::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(second.resumed, 2);
         assert!(second.errors().is_empty());
         assert_eq!(second.results().len(), 3);
@@ -401,7 +498,8 @@ mod tests {
                 out_dir: Some(dir.clone()),
                 ..SweepOptions::default()
             },
-        );
+        )
+        .unwrap();
         // Different thread set: stale checkpoints must not be reused.
         let out = run_sweep(
             &h,
@@ -412,7 +510,8 @@ mod tests {
                 resume: true,
                 ..SweepOptions::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(out.resumed, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -423,7 +522,7 @@ mod tests {
         // transparent — same seed, same results, interrupted or not.
         let h = Harness::default().with_faults(FaultConfig::chaos(4242));
         let dir = tmpdir("faulty-resume");
-        let uninterrupted = run_sweep(&h, &[128], &[1, 2], &SweepOptions::default());
+        let uninterrupted = run_sweep(&h, &[128], &[1, 2], &SweepOptions::default()).unwrap();
         let _ = run_sweep(
             &h,
             &[128],
@@ -432,7 +531,8 @@ mod tests {
                 out_dir: Some(dir.clone()),
                 ..SweepOptions::default()
             },
-        );
+        )
+        .unwrap();
         let resumed = run_sweep(
             &h,
             &[128],
@@ -442,9 +542,109 @@ mod tests {
                 resume: true,
                 ..SweepOptions::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(resumed.resumed, 6);
         assert_eq!(uninterrupted.results(), resumed.results());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_typed_error_not_a_panic() {
+        let h = Harness::default();
+        let dir = tmpdir("bad-manifest");
+        let _ = run_sweep(
+            &h,
+            &[128],
+            &[1],
+            &SweepOptions {
+                out_dir: Some(dir.clone()),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        // Truncate the manifest mid-token, as a crash during write would.
+        let manifest_path = dir.join("sweep.json");
+        let text = std::fs::read_to_string(&manifest_path).unwrap();
+        std::fs::write(&manifest_path, &text[..text.len() / 2]).unwrap();
+        let err = run_sweep(
+            &h,
+            &[128],
+            &[1],
+            &SweepOptions {
+                out_dir: Some(dir.clone()),
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap_err();
+        match &err {
+            CheckpointError::Manifest { path, .. } => assert_eq!(path, &manifest_path),
+            other => panic!("expected Manifest error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("corrupt sweep manifest"));
+        // The damaged directory was left alone: cells are still there for
+        // the user to salvage or delete.
+        assert!(dir.join("cells").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cell_checkpoint_is_a_typed_error_not_a_panic() {
+        let h = Harness::default();
+        let dir = tmpdir("bad-cell");
+        let _ = run_sweep(
+            &h,
+            &[128],
+            &[1],
+            &SweepOptions {
+                out_dir: Some(dir.clone()),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        // Corrupt one completed cell record (truncated JSON).
+        let victim = cell_file(&dir, &spec(Algorithm::Blocked, 128, 1));
+        let text = std::fs::read_to_string(&victim).unwrap();
+        std::fs::write(&victim, &text[..text.len() / 3]).unwrap();
+        let err = run_sweep(
+            &h,
+            &[128],
+            &[1],
+            &SweepOptions {
+                out_dir: Some(dir.clone()),
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap_err();
+        match &err {
+            CheckpointError::Cell { path, .. } => assert_eq!(path, &victim),
+            other => panic!("expected Cell error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("corrupt cell checkpoint"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoints_are_not_errors() {
+        // A fresh directory with --resume simply runs everything: absence
+        // is the normal interrupted state, not corruption.
+        let h = Harness::default();
+        let dir = tmpdir("fresh-resume");
+        let out = run_sweep(
+            &h,
+            &[128],
+            &[1],
+            &SweepOptions {
+                out_dir: Some(dir.clone()),
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.resumed, 0);
+        assert_eq!(out.results().len(), 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

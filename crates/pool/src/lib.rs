@@ -16,6 +16,13 @@
 //! the communication accounting in the machine model: a steal is exactly the
 //! event that moves operand data between cores' caches.
 //!
+//! Scoped task trees are cooperatively cancellable: root a scope with
+//! [`ThreadPool::scope_with_cancel`] and its [`CancelToken`] (explicit or
+//! deadline-armed) is consulted at spawn and steal/pop boundaries and
+//! exposed to leaf kernels via [`cancel_requested`], so an expired request
+//! frees its workers instead of running to completion. Cancelled jobs are
+//! tallied separately from panics ([`PoolStats::jobs_cancelled`]).
+//!
 //! Workers can further be partitioned into **scheduling groups**
 //! ([`ThreadPool::try_install_groups`]) — the disjoint processor groups of
 //! a CAPS BFS step. Grouped workers steal own-group first; under a strict
@@ -45,12 +52,14 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod cancel;
 #[cfg(feature = "deterministic")]
 pub mod det;
 mod pool;
 mod scope;
 mod stats;
 
+pub use cancel::{cancel_requested, current_cancel_token, CancelReason, CancelToken};
 #[cfg(feature = "deterministic")]
 pub use det::{DetConfig, DetEvent, DetTrace};
 pub use pool::{current_worker_index, GroupGuard, ThreadPool};

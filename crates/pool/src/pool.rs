@@ -1,5 +1,6 @@
 //! The thread pool itself: workers, deques, injector, parking.
 
+use crate::cancel::{current_cancel_token, CancelToken, CurrentGuard};
 #[cfg(feature = "deterministic")]
 use crate::det;
 use crate::scope::{Scope, ScopeLatch};
@@ -151,12 +152,43 @@ impl ThreadPool {
     ///
     /// If any task panicked, the panic is resumed here after the scope
     /// drains.
+    ///
+    /// When called from inside a cancellable task (one descending from
+    /// [`ThreadPool::scope_with_cancel`]), the new scope inherits that
+    /// task's [`CancelToken`]: library code deep in a recursion stays
+    /// cancellable without any signature changes.
     pub fn scope<'env, F, R>(&self, f: F) -> R
     where
         F: FnOnce(&Scope<'_, 'env>) -> R,
     {
+        self.scope_inner(current_cancel_token(), f)
+    }
+
+    /// Like [`ThreadPool::scope`], but every task in the scope (and in
+    /// scopes nested under its tasks) is governed by `token`: once the
+    /// token fires — explicitly or by deadline — new spawns are dropped,
+    /// queued tasks are skipped at the steal/pop boundary, and leaf code
+    /// polling [`crate::cancel_requested`] sees it. The call still waits
+    /// for every *running* task to finish (cancellation is cooperative),
+    /// then returns normally; the caller decides what a cancelled scope's
+    /// partial results mean.
+    ///
+    /// The token is also installed as the calling thread's current token
+    /// for the duration of `f`, so the scope body itself can poll it.
+    pub fn scope_with_cancel<'env, F, R>(&self, token: &CancelToken, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let _ambient = CurrentGuard::install(Some(token.clone()));
+        self.scope_inner(Some(token.clone()), f)
+    }
+
+    fn scope_inner<'env, F, R>(&self, cancel: Option<CancelToken>, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
         let latch = ScopeLatch::new();
-        let scope = Scope::new(&self.inner, &latch);
+        let scope = Scope::new(&self.inner, &latch, cancel);
         // Guard so the wait happens even if `f` itself unwinds after
         // spawning: tasks borrowing the environment must finish before the
         // stack frame disappears.
@@ -192,7 +224,11 @@ impl ThreadPool {
     {
         let mut rb: Option<RB> = None;
         let ra = self.scope(|s| {
-            s.spawn(|_| rb = Some(b()));
+            // Non-cancellable: the `expect` below unconditionally consumes
+            // this task's slot, so it must run even if an inherited token
+            // fires mid-join (the closures themselves may poll and bail
+            // early; the partial results are the caller's to discard).
+            s.spawn_always(|_| rb = Some(b()));
             a()
         });
         (ra, rb.expect("join: spawned side did not complete"))
@@ -337,7 +373,9 @@ impl ThreadPool {
             let _guard = Uninstall(&self.inner);
             self.scope(|s| {
                 let slot = &mut out;
-                s.spawn(move |_| *slot = Some(f()));
+                // Non-cancellable: the `expect` below requires the root
+                // task to run even under an inherited cancelled token.
+                s.spawn_always(move |_| *slot = Some(f()));
             });
         }
         let trace = sched.take_trace();
@@ -495,6 +533,14 @@ impl PoolInner {
     pub(crate) fn count_panic_current(&self) {
         let index = self.current_worker().map_or(0, |ctx| ctx.index);
         self.stats[index].count_panic();
+    }
+
+    /// Records a cancelled (dropped or skipped) job against the current
+    /// worker; spawn-side drops from a non-worker thread land on worker 0,
+    /// as with panics.
+    pub(crate) fn count_cancelled_current(&self) {
+        let index = self.current_worker().map_or(0, |ctx| ctx.index);
+        self.stats[index].count_cancelled();
     }
 
     fn notify_all(&self) {
@@ -1190,6 +1236,172 @@ mod tests {
             before.steals_cross_group(),
             "strict group layout leaked a cross-group steal"
         );
+    }
+
+    #[test]
+    fn cancelled_scope_drops_new_spawns() {
+        let pool = ThreadPool::new(2);
+        let token = CancelToken::new();
+        let ran = AtomicU64::new(0);
+        token.cancel();
+        pool.scope_with_cancel(&token, |s| {
+            assert!(s.is_cancelled());
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            s.spawn_n(4, |_| {
+                let ran = &ran;
+                move |_: &crate::Scope<'_, '_>| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            s.spawn_in(0, |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+        assert_eq!(pool.stats().jobs_cancelled(), 13);
+    }
+
+    #[test]
+    fn cancellation_does_not_count_as_panics() {
+        // Satellite pin: cancelled jobs are a policy outcome, not a
+        // failure — `panics_caught` must not move when a scope's work is
+        // dropped by its token.
+        let pool = ThreadPool::new(2);
+        let before = pool.stats();
+        let token = CancelToken::new();
+        token.cancel();
+        pool.scope_with_cancel(&token, |s| {
+            for _ in 0..16 {
+                s.spawn(|_| panic!("would have exploded had it run"));
+            }
+        });
+        let after = pool.stats();
+        assert_eq!(after.jobs_cancelled(), before.jobs_cancelled() + 16);
+        assert_eq!(after.panics_caught(), before.panics_caught());
+    }
+
+    #[test]
+    fn mid_flight_cancel_skips_queued_tasks() {
+        // Tasks queued before the token fires are skipped at the pop
+        // boundary; the scope still drains and returns normally.
+        let pool = ThreadPool::new(2);
+        let token = CancelToken::new();
+        let ran = AtomicU64::new(0);
+        pool.scope_with_cancel(&token, |s| {
+            let token = &token;
+            let ran = &ran;
+            s.spawn(move |s2| {
+                // Runs first (LIFO pop): cancels, then fans out siblings
+                // that are guaranteed to observe the fired token at their
+                // own pop or spawn boundary.
+                token.cancel();
+                for _ in 0..32 {
+                    s2.spawn(move |_| {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+        assert_eq!(pool.stats().jobs_cancelled(), 32);
+    }
+
+    #[test]
+    fn deadline_token_cancels_scope() {
+        let pool = ThreadPool::new(2);
+        let token = CancelToken::with_deadline(std::time::Instant::now());
+        let ran = AtomicU64::new(0);
+        pool.scope_with_cancel(&token, |s| {
+            s.spawn(|_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            token.reason(),
+            Some(crate::cancel::CancelReason::DeadlineExceeded)
+        );
+    }
+
+    #[test]
+    fn nested_scope_inherits_cancel_token() {
+        // A plain `pool.scope` opened *inside* a cancellable task sees the
+        // same token — the inheritance path library code relies on.
+        let pool = ThreadPool::new(2);
+        let token = CancelToken::new();
+        let ran = AtomicU64::new(0);
+        let pool_ref = &pool;
+        pool.scope_with_cancel(&token, |s| {
+            let token = &token;
+            let ran = &ran;
+            s.spawn(move |_| {
+                assert!(!crate::cancel::cancel_requested());
+                token.cancel();
+                assert!(crate::cancel::cancel_requested());
+                // A plain nested scope inherits the fired token, so its
+                // spawns are dropped.
+                pool_ref.scope(|s2| {
+                    assert!(s2.is_cancelled());
+                    s2.spawn(move |_| {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            });
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+        assert!(pool.stats().jobs_cancelled() >= 1);
+    }
+
+    #[test]
+    fn join_survives_cancelled_ambient_token() {
+        // join's second half must run even when an inherited token has
+        // fired — its result slot is unconditionally consumed.
+        let pool = ThreadPool::new(2);
+        let token = CancelToken::new();
+        token.cancel();
+        let out = pool.scope_with_cancel(&token, |_| pool.join(|| 1, || 2));
+        assert_eq!(out, (1, 2));
+    }
+
+    #[test]
+    fn scope_with_cancel_live_token_runs_everything() {
+        let pool = ThreadPool::new(4);
+        let token = CancelToken::with_timeout(std::time::Duration::from_secs(3600));
+        let ran = AtomicU64::new(0);
+        pool.scope_with_cancel(&token, |s| {
+            assert!(!s.is_cancelled());
+            assert!(s.cancel_token().is_some());
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 64);
+        assert_eq!(pool.stats().jobs_cancelled(), 0);
+    }
+
+    #[test]
+    fn current_token_cleared_outside_cancellable_tasks() {
+        let pool = ThreadPool::new(1);
+        let token = CancelToken::new();
+        pool.scope_with_cancel(&token, |_| {
+            assert!(crate::cancel::current_cancel_token().is_some());
+        });
+        // The ambient install is scoped: gone after the call.
+        assert!(crate::cancel::current_cancel_token().is_none());
+        // Plain scopes on a clean thread carry no token.
+        let mut saw = None;
+        pool.scope(|s| {
+            s.spawn(|_| {
+                saw = Some(crate::cancel::current_cancel_token().is_none());
+            });
+        });
+        assert_eq!(saw, Some(true));
     }
 
     #[test]

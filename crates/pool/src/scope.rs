@@ -8,6 +8,7 @@
 //! lifetime-erased job box, and panic capture with re-raise at the scope
 //! boundary.
 
+use crate::cancel::{CancelToken, CurrentGuard};
 use crate::pool::{Job, PoolInner};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
@@ -106,36 +107,91 @@ impl<T> SendPtr<T> {
 pub struct Scope<'pool, 'env> {
     pool: &'pool PoolInner,
     latch: &'pool ScopeLatch,
+    /// Cancellation token governing every task in the scope, if any
+    /// (installed by [`crate::ThreadPool::scope_with_cancel`] or inherited
+    /// from the enclosing task by [`crate::ThreadPool::scope`]).
+    cancel: Option<CancelToken>,
     /// Invariant in `'env`: prevents the environment lifetime from being
     /// shortened, which would let tasks outlive their borrows.
     _env: PhantomData<&'env mut &'env ()>,
 }
 
 impl<'pool, 'env> Scope<'pool, 'env> {
-    pub(crate) fn new(pool: &'pool PoolInner, latch: &'pool ScopeLatch) -> Self {
+    pub(crate) fn new(
+        pool: &'pool PoolInner,
+        latch: &'pool ScopeLatch,
+        cancel: Option<CancelToken>,
+    ) -> Self {
         Scope {
             pool,
             latch,
+            cancel,
             _env: PhantomData,
+        }
+    }
+
+    /// The cancellation token governing this scope, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// `true` when the scope's token (if any) has fired: new spawns will
+    /// be dropped and queued tasks skipped, so the caller should stop
+    /// generating work and discard partial results.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Spawn boundary of the cancellation protocol: when the scope is
+    /// cancelled, records `n` dropped tasks and tells the caller to skip
+    /// queueing them.
+    fn skip_cancelled(&self, n: usize) -> bool {
+        if self.is_cancelled() {
+            for _ in 0..n {
+                self.pool.count_cancelled_current();
+            }
+            true
+        } else {
+            false
         }
     }
 
     /// Wraps a task closure in the latch/panic protocol and erases its
     /// lifetime to a pool-pushable [`Job`]. The latch must already have
     /// been incremented for this task.
-    fn make_job<F>(&self, f: F) -> Job
+    ///
+    /// `cancellable` controls the steal/pop boundary check: when set (the
+    /// normal case) a task whose scope was cancelled while it sat queued
+    /// is skipped instead of executed. [`crate::ThreadPool::join`] spawns
+    /// its second half non-cancellable because the joining side
+    /// unconditionally consumes that task's result slot.
+    fn make_job<F>(&self, f: F, cancellable: bool) -> Job
     where
         F: FnOnce(&Scope<'_, 'env>) + Send + 'env,
     {
         let pool = SendPtr(self.pool as *const PoolInner);
         let latch = SendPtr(self.latch as *const ScopeLatch);
+        let cancel = self.cancel.clone();
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
             // SAFETY: the scope owner waits on the latch before returning,
             // and `PoolInner` is kept alive by the `ThreadPool` (which must
             // outlive the scope call), so both pointers are valid for the
             // whole execution of this job.
             let (pool, latch) = unsafe { (&*pool.get(), &*latch.get()) };
-            let scope = Scope::new(pool, latch);
+            if cancellable && cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                // Steal/pop boundary: the scope was cancelled after this
+                // task was queued. Skip the body — a cancelled job is a
+                // policy outcome, not a panic.
+                pool.count_cancelled_current();
+                latch.complete_one();
+                return;
+            }
+            // The job's token (possibly none) becomes the thread's current
+            // token for the body's duration, restoring whatever a helping
+            // worker had before: leaf polls and nested scopes must see
+            // exactly this job's scope, not an interleaved one.
+            let _token = CurrentGuard::install(cancel.clone());
+            let scope = Scope::new(pool, latch, cancel);
             let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
             if let Err(payload) = result {
                 pool.count_panic_current();
@@ -158,12 +214,31 @@ impl<'pool, 'env> Scope<'pool, 'env> {
     ///
     /// Panics inside the task are captured and re-raised when the scope
     /// closes (first panic wins).
+    ///
+    /// On a cancelled scope the task is dropped (counted in
+    /// `jobs_cancelled`) instead of queued.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce(&Scope<'_, 'env>) + Send + 'env,
     {
+        if self.skip_cancelled(1) {
+            return;
+        }
         self.latch.increment();
-        let job = self.make_job(f);
+        let job = self.make_job(f, true);
+        self.pool.push_job(job);
+    }
+
+    /// Like [`Scope::spawn`] but exempt from cancellation: the task runs
+    /// even on a cancelled scope. Internal — used where a sibling
+    /// unconditionally consumes this task's side effect
+    /// ([`crate::ThreadPool::join`], the deterministic root task).
+    pub(crate) fn spawn_always<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'_, 'env>) + Send + 'env,
+    {
+        self.latch.increment();
+        let job = self.make_job(f, false);
         self.pool.push_job(job);
     }
 
@@ -179,11 +254,12 @@ impl<'pool, 'env> Scope<'pool, 'env> {
         G: FnMut(usize) -> F,
         F: FnOnce(&Scope<'_, 'env>) + Send + 'env,
     {
-        if n == 0 {
+        if n == 0 || self.skip_cancelled(n) {
             return;
         }
         self.latch.increment_by(n);
-        self.pool.push_jobs((0..n).map(|i| self.make_job(make(i))));
+        self.pool
+            .push_jobs((0..n).map(|i| self.make_job(make(i), true)));
     }
 
     /// Spawns a task addressed at `worker`'s mailbox. With a group layout
@@ -201,8 +277,11 @@ impl<'pool, 'env> Scope<'pool, 'env> {
             worker < self.pool.num_workers(),
             "spawn_in: worker {worker} out of range"
         );
+        if self.skip_cancelled(1) {
+            return;
+        }
         self.latch.increment();
-        let job = self.make_job(f);
+        let job = self.make_job(f, true);
         self.pool.push_job_to(worker, job);
     }
 }

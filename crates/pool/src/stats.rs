@@ -31,6 +31,9 @@ pub struct WorkerStats {
     pub(crate) parks: CachePadded<AtomicU64>,
     /// Task panics caught and deferred to the scope boundary.
     pub(crate) panics: CachePadded<AtomicU64>,
+    /// Tasks dropped at spawn or skipped at the steal/pop boundary because
+    /// their scope's [`crate::CancelToken`] had fired.
+    pub(crate) cancelled: CachePadded<AtomicU64>,
 }
 
 /// An immutable snapshot of one worker's counters.
@@ -51,6 +54,9 @@ pub struct WorkerSnapshot {
     pub parks: u64,
     /// Task panics this worker caught (recovery events, not crashes).
     pub panics: u64,
+    /// Tasks this worker dropped or skipped due to cancellation — policy
+    /// outcomes, deliberately **not** counted as panics.
+    pub cancelled: u64,
 }
 
 impl WorkerSnapshot {
@@ -86,6 +92,10 @@ impl WorkerStats {
         self.panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads the current counter values.
     pub fn snapshot(&self) -> WorkerSnapshot {
         WorkerSnapshot {
@@ -96,6 +106,7 @@ impl WorkerStats {
             injected: self.injected.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
         }
     }
 }
@@ -136,6 +147,16 @@ impl PoolStats {
         self.workers.iter().map(|w| w.panics).sum()
     }
 
+    /// Total jobs dropped at spawn or skipped at the steal/pop boundary
+    /// because their scope's [`crate::CancelToken`] had fired. A
+    /// cancellation is a *policy* outcome (a deadline or an explicit
+    /// cancel), deliberately kept distinct from [`PoolStats::panics_caught`]:
+    /// a serving layer sheds expired work without its failure counters
+    /// moving.
+    pub fn jobs_cancelled(&self) -> u64 {
+        self.workers.iter().map(|w| w.cancelled).sum()
+    }
+
     /// Fraction of executed tasks that migrated (steal or injector) rather
     /// than running where they were spawned. Returns 0 for an idle pool.
     ///
@@ -166,6 +187,7 @@ mod tests {
         s.count_injected();
         s.count_park();
         s.count_panic();
+        s.count_cancelled();
         let snap = s.snapshot();
         assert_eq!(snap.local, 2);
         assert_eq!(snap.stolen, 2);
@@ -174,6 +196,7 @@ mod tests {
         assert_eq!(snap.injected, 1);
         assert_eq!(snap.parks, 1);
         assert_eq!(snap.panics, 1);
+        assert_eq!(snap.cancelled, 1);
         assert_eq!(snap.executed(), 5);
     }
 
@@ -199,6 +222,7 @@ mod tests {
                     injected: 2,
                     parks: 0,
                     panics: 1,
+                    cancelled: 3,
                 },
                 WorkerSnapshot {
                     local: 4,
@@ -208,6 +232,7 @@ mod tests {
                     injected: 2,
                     parks: 1,
                     panics: 2,
+                    cancelled: 1,
                 },
             ],
         };
@@ -216,6 +241,7 @@ mod tests {
         assert_eq!(stats.steals_in_group(), 3);
         assert_eq!(stats.steals_cross_group(), 3);
         assert_eq!(stats.panics_caught(), 3);
+        assert_eq!(stats.jobs_cancelled(), 4);
         assert!((stats.migration_fraction() - 0.5).abs() < 1e-12);
     }
 

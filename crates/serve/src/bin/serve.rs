@@ -1,0 +1,450 @@
+//! Load-generating driver for the fault-tolerant GEMM server.
+//!
+//! ```text
+//! serve [--requests N] [--mix default|storm|burst] [--seed S]
+//!       [--threads T] [--queue CAP] [--batch B] [--retries K]
+//!       [--chaos] [--journal DIR] [--resume] [--halt-after N]
+//!       [--out PATH] [--baseline PATH] [--gate]
+//! ```
+//!
+//! Generates a seeded heterogeneous request mix (shapes, algorithm
+//! hints, dtype tiers, deadlines), serves it, prints a summary and
+//! writes the bench artifact (default `artifacts/BENCH_serving.json`).
+//!
+//! Mixes: `default` paces submission below the degradation watermark
+//! with generous deadlines (the ≥ 99% deadline-hit configuration);
+//! `storm` gives half the requests near-zero deadlines; `burst` submits
+//! everything at once to overrun the queue and exercise shedding +
+//! the degradation ladder.
+//!
+//! `--halt-after N` kills the serving loop after N completions (crash
+//! simulation); a following run with `--resume` and the same seed and
+//! journal recovers exactly-once. `--gate` enforces the serving
+//! invariants (zero lost / duplicated responses; ≥ 99% deadline hits on
+//! the default mix) and, when a baseline artifact exists, guards
+//! p99 latency and joules-per-request against order-of-magnitude
+//! regressions; thresholds come from `POWERSCALE_SERVE_MIN_HIT` and
+//! `POWERSCALE_SERVE_MAX_REGRESSION`.
+
+use powerscale_harness::Algorithm;
+use powerscale_serve::chaos::fnv1a;
+use powerscale_serve::{ChaosConfig, JobSpec, Response, Server, ServerConfig, Status};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+const USAGE: &str = "usage: serve [--requests N] [--mix default|storm|burst] [--seed S] \
+                     [--threads T] [--queue CAP] [--batch B] [--retries K] [--chaos] \
+                     [--journal DIR] [--resume] [--halt-after N] [--out PATH] \
+                     [--baseline PATH] [--gate]";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// The flag's value, or a usage error (not a panic) when it is missing.
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) if !v.starts_with("--") => v,
+        _ => usage_error(&format!("{flag} needs a value")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> T {
+    v.parse()
+        .unwrap_or_else(|_| usage_error(&format!("{flag}: not a number: {v}")))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mix {
+    Default,
+    Storm,
+    Burst,
+}
+
+impl Mix {
+    fn parse(v: &str) -> Self {
+        match v {
+            "default" => Mix::Default,
+            "storm" => Mix::Storm,
+            "burst" => Mix::Burst,
+            other => usage_error(&format!("--mix: unknown mix: {other}")),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Mix::Default => "default",
+            Mix::Storm => "storm",
+            Mix::Burst => "burst",
+        }
+    }
+}
+
+/// Seeded heterogeneous workload: shapes, algorithm hints, tiers and
+/// deadlines are all pure functions of `(seed, request index)`.
+fn generate(requests: usize, mix: Mix, seed: u64) -> Vec<JobSpec> {
+    const SIZES: [usize; 5] = [64, 96, 128, 192, 256];
+    const ALGOS: [Algorithm; 3] = [Algorithm::Blocked, Algorithm::Strassen, Algorithm::Caps];
+    (0..requests as u64)
+        .map(|id| {
+            let h = fnv1a(&[seed, id]);
+            let n = SIZES[(h % SIZES.len() as u64) as usize];
+            let algorithm = ALGOS[((h >> 8) % ALGOS.len() as u64) as usize];
+            let mut spec = JobSpec::new(id, n, algorithm).with_seed(fnv1a(&[seed, id, 0xa11]));
+            spec = match mix {
+                // Generous budget: the serving SLO configuration.
+                Mix::Default => spec.with_deadline_ms(5_000),
+                // Half the requests get a budget the larger shapes
+                // cannot meet — a deadline storm.
+                Mix::Storm => {
+                    if (h >> 16).is_multiple_of(2) {
+                        spec.with_deadline_ms(1 + (h >> 24) % 3)
+                    } else {
+                        spec.with_deadline_ms(5_000)
+                    }
+                }
+                // No deadlines; the stress is queue overrun.
+                Mix::Burst => spec,
+            };
+            spec
+        })
+        .collect()
+}
+
+/// The bench artifact. Schema-stable named fields (serde shim: no enum
+/// payloads), so CI can gate on it across commits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchReport {
+    schema: String,
+    mix: String,
+    seed: u64,
+    requests: u64,
+    threads: u64,
+    capacity: u64,
+    chaos: bool,
+    /// Requests with no response (must be 0 — the core invariant).
+    lost: u64,
+    /// Request ids with more than one response (must be 0).
+    duplicated: u64,
+    completed: u64,
+    shed: u64,
+    rejected_deadline: u64,
+    failed_deadline: u64,
+    failed_panics: u64,
+    degraded: u64,
+    retried: u64,
+    recovered: u64,
+    replayed: u64,
+    /// completed / admitted-and-served, the SLO number.
+    deadline_hit_rate: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    joules_per_request: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn build_report(
+    specs: &[JobSpec],
+    responses: &[Response],
+    server: &Server,
+    mix: Mix,
+    cfg: &ServerConfig,
+) -> BenchReport {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for r in responses {
+        *counts.entry(r.id).or_insert(0) += 1;
+    }
+    let lost = specs.iter().filter(|s| !counts.contains_key(&s.id)).count() as u64;
+    let duplicated = counts.values().filter(|&&c| c > 1).count() as u64;
+
+    let mut walls: Vec<f64> = responses.iter().filter_map(|r| r.wall_ms).collect();
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    let joules: Vec<f64> = responses.iter().filter_map(|r| r.joules).collect();
+    let joules_per_request = if joules.is_empty() {
+        0.0
+    } else {
+        joules.iter().sum::<f64>() / joules.len() as f64
+    };
+
+    // SLO denominator: requests that were admitted and carried to a
+    // terminal state by an executor (rejections never entered service).
+    // Misses are *deadline* failures only — a panic-budget exhaustion is
+    // a fault-tolerance outcome, tracked separately as `failed_panics`.
+    let served: Vec<&Response> = responses
+        .iter()
+        .filter(|r| r.status != Status::Rejected)
+        .collect();
+    let misses = served
+        .iter()
+        .filter(|r| r.failure == Some(powerscale_serve::FailReason::DeadlineExceeded))
+        .count();
+    let deadline_hit_rate = if served.is_empty() {
+        1.0
+    } else {
+        1.0 - misses as f64 / served.len() as f64
+    };
+
+    let stats = server.stats();
+    BenchReport {
+        schema: "powerscale-bench-serving-v1".to_string(),
+        mix: mix.name().to_string(),
+        seed: cfg.seed,
+        requests: specs.len() as u64,
+        threads: cfg.threads as u64,
+        capacity: cfg.capacity as u64,
+        chaos: cfg.chaos.is_some(),
+        lost,
+        duplicated,
+        completed: stats.completed + stats.recovered,
+        shed: stats.shed,
+        rejected_deadline: stats.rejected_deadline,
+        failed_deadline: stats.failed_deadline,
+        failed_panics: stats.failed_panics,
+        degraded: stats.degraded,
+        retried: stats.retried,
+        recovered: stats.recovered,
+        replayed: stats.replayed,
+        deadline_hit_rate,
+        p50_ms: percentile(&walls, 0.50),
+        p99_ms: percentile(&walls, 0.99),
+        joules_per_request,
+    }
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Gate: hard invariants, the SLO (default mix only — storm and burst
+/// miss deadlines by design), and a coarse no-regression check against a
+/// committed baseline when one exists.
+fn gate(report: &BenchReport, baseline: Option<&BenchReport>, mix: Mix) -> Result<(), String> {
+    if report.lost != 0 {
+        return Err(format!("{} requests lost a response", report.lost));
+    }
+    if report.duplicated != 0 {
+        return Err(format!(
+            "{} request ids got duplicate responses",
+            report.duplicated
+        ));
+    }
+    if mix == Mix::Default {
+        let min_hit = env_f64("POWERSCALE_SERVE_MIN_HIT", 0.99);
+        if report.deadline_hit_rate < min_hit {
+            return Err(format!(
+                "deadline hit rate {:.4} below the {min_hit} bar",
+                report.deadline_hit_rate
+            ));
+        }
+    }
+    if let Some(base) = baseline {
+        // Coarse order-of-magnitude guard: wall-clock varies across CI
+        // hosts, so the default band is wide; tighten via env on
+        // dedicated hardware.
+        let max_x = env_f64("POWERSCALE_SERVE_MAX_REGRESSION", 10.0);
+        if base.p99_ms > 0.0 && report.p99_ms > base.p99_ms * max_x {
+            return Err(format!(
+                "p99 {:.2} ms regressed more than {max_x}x over baseline {:.2} ms",
+                report.p99_ms, base.p99_ms
+            ));
+        }
+        if base.joules_per_request > 0.0
+            && report.joules_per_request > base.joules_per_request * max_x
+        {
+            return Err(format!(
+                "joules/request {:.2} regressed more than {max_x}x over baseline {:.2}",
+                report.joules_per_request, base.joules_per_request
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut requests: usize = 1000;
+    let mut mix = Mix::Default;
+    let mut cfg = ServerConfig::default();
+    let mut chaos = false;
+    let mut out_path = "artifacts/BENCH_serving.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut do_gate = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--requests" => {
+                requests = parse_num("--requests", take_value(&args, &mut i, "--requests"))
+            }
+            "--mix" => mix = Mix::parse(take_value(&args, &mut i, "--mix")),
+            "--seed" => cfg.seed = parse_num("--seed", take_value(&args, &mut i, "--seed")),
+            "--threads" => {
+                cfg.threads = parse_num("--threads", take_value(&args, &mut i, "--threads"))
+            }
+            "--queue" => cfg.capacity = parse_num("--queue", take_value(&args, &mut i, "--queue")),
+            "--batch" => cfg.batch = parse_num("--batch", take_value(&args, &mut i, "--batch")),
+            "--retries" => {
+                cfg.retries = parse_num("--retries", take_value(&args, &mut i, "--retries"))
+            }
+            "--halt-after" => {
+                cfg.halt_after = Some(parse_num(
+                    "--halt-after",
+                    take_value(&args, &mut i, "--halt-after"),
+                ))
+            }
+            "--journal" => cfg.journal_dir = Some(take_value(&args, &mut i, "--journal").into()),
+            "--out" => out_path = take_value(&args, &mut i, "--out").to_string(),
+            "--baseline" => {
+                baseline_path = Some(take_value(&args, &mut i, "--baseline").to_string())
+            }
+            "--chaos" => chaos = true,
+            "--resume" => cfg.resume = true,
+            "--gate" => do_gate = true,
+            other => usage_error(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    if cfg.resume && cfg.journal_dir.is_none() {
+        usage_error("--resume needs --journal DIR (there is nowhere to resume from)");
+    }
+    if cfg.threads == 0 {
+        usage_error("--threads must be at least 1");
+    }
+    if chaos {
+        // Env override mirrors the reproduce binary's convention so CI
+        // can vary the schedule per run.
+        let seed = std::env::var("POWERSCALE_FAULT_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cfg.seed);
+        eprintln!("chaos: worker panics + RAPL faults, seed {seed}");
+        cfg.chaos = Some(ChaosConfig::chaos(seed));
+        // Injected panics are routine under chaos and all caught at the
+        // executor's perimeter; keep the default hook's backtrace spam
+        // out of the serving log while leaving real panics loud.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("chaos: injected"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    }
+
+    let specs = generate(requests, mix, cfg.seed);
+    eprintln!(
+        "serving {} requests (mix {}, seed {}) on {} threads, queue {}…",
+        specs.len(),
+        mix.name(),
+        cfg.seed,
+        cfg.threads,
+        cfg.capacity
+    );
+
+    let mut server = match Server::new(cfg.clone()) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    // Default and storm mixes pace submission below the degradation
+    // watermark; burst floods the queue in one go.
+    let responses = match mix {
+        Mix::Burst => server.run(specs.clone()),
+        _ => {
+            let pace = (cfg.capacity / 2).max(1);
+            for chunk in specs.chunks(pace) {
+                for spec in chunk {
+                    server.submit(*spec);
+                }
+                server.drain();
+                if server.halted() {
+                    break;
+                }
+            }
+            server.take_responses()
+        }
+    };
+
+    let report = build_report(&specs, &responses, &server, mix, &cfg);
+    if server.halted() {
+        eprintln!(
+            "halted after {} completions (crash simulation); journal holds the rest",
+            cfg.halt_after.unwrap_or(0)
+        );
+    }
+    println!(
+        "completed {} | shed {} | degraded {} | retried {} | deadline-failed {} | \
+         panic-failed {} | recovered {} | replayed {}",
+        report.completed,
+        report.shed,
+        report.degraded,
+        report.retried,
+        report.failed_deadline,
+        report.failed_panics,
+        report.recovered,
+        report.replayed
+    );
+    println!(
+        "p50 {:.2} ms | p99 {:.2} ms | {:.2} J/request | deadline hit rate {:.4}",
+        report.p50_ms, report.p99_ms, report.joules_per_request, report.deadline_hit_rate
+    );
+
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&out_path, json) {
+                eprintln!("error: cannot write {out_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("bench artifact written to {out_path}");
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialise report: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if do_gate {
+        // A halted (crash-simulated) run is mid-lifecycle by design; its
+        // invariants are gated on the follow-up --resume run instead.
+        if server.halted() {
+            eprintln!("gate: skipped (halted run; gate the resumed run)");
+            return;
+        }
+        let baseline = baseline_path.and_then(|p| {
+            let text = std::fs::read_to_string(&p).ok()?;
+            let base: Option<BenchReport> = serde_json::from_str(&text).ok();
+            if base.is_none() {
+                eprintln!("warning: baseline {p} is unreadable; skipping regression check");
+            }
+            base
+        });
+        match gate(&report, baseline.as_ref(), mix) {
+            Ok(()) => println!("gate: PASS"),
+            Err(msg) => {
+                eprintln!("gate: FAIL: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,709 @@
+//! The fault-tolerant serving loop: admission → (degraded) plan →
+//! journaled execution with deadlines, retries and cancellation.
+//!
+//! One request's lifecycle:
+//!
+//! ```text
+//! submit ──▶ admission control ──▶ Rejected (QueueFull | DeadlineUnmeetable)
+//!                │
+//!                ▼ (plan frozen: degradation ladder applied by pressure)
+//!            queued  ──journal: pending──▶ popped in a same-shape batch
+//!                │
+//!                ▼
+//!            execute under a CancelToken (deadline) with catch_unwind
+//!                │           │                │
+//!                ▼           ▼                ▼
+//!            Completed    Failed/Deadline   panic → backoff → retry
+//!            (journal: done)               (budget exhausted → Failed)
+//! ```
+//!
+//! The server is deliberately single-threaded at the *loop* level —
+//! parallelism lives inside each multiply (the work-stealing pool), which
+//! is the right shape for latency: one n=2048 job already saturates every
+//! core, so interleaving jobs would only add tail latency. Fault
+//! isolation reuses the sweep's `catch_unwind` perimeter; deadline
+//! enforcement reuses the pool's cooperative [`CancelToken`] protocol
+//! (checked at spawn, steal and leaf boundaries), so an expired request
+//! stops consuming cores within one leaf tile.
+
+use crate::chaos::ChaosConfig;
+use crate::journal::{Journal, JournalError, JournalRecord, ServeManifest};
+use crate::queue::{Admitted, BoundedQueue, ExecPlan};
+use crate::request::{
+    checksum_f64, DegradeStep, FailReason, JobSpec, RejectReason, Response, Status,
+};
+use powerscale_counters::EventSet;
+use powerscale_gemm::DtypeTier;
+use powerscale_harness::{Algorithm, Harness, RunSpec};
+use powerscale_matrix::{Matrix, MatrixGen};
+use powerscale_pool::{CancelToken, ThreadPool};
+use powerscale_rapl::{
+    model::ModelReader, Domain, EnergyMeter, FaultInjectingReader, ResilientReader,
+};
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Knobs for one serving run.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Workload/chaos master seed; also binds the journal manifest.
+    pub seed: u64,
+    /// Executor pool width.
+    pub threads: usize,
+    /// Admission queue bound (0 = shed everything).
+    pub capacity: usize,
+    /// Max same-shape jobs per executor batch.
+    pub batch: usize,
+    /// Extra attempts after a panicked one (0 = single attempt).
+    pub retries: u32,
+    /// Base retry backoff in milliseconds (doubles per retry, capped).
+    pub backoff_ms: u64,
+    /// Queue pressure at which recursive algorithm hints degrade to
+    /// blocked DGEMM.
+    pub degrade_watermark: f64,
+    /// Queue pressure at which f64 additionally degrades to mixed.
+    pub precision_watermark: f64,
+    /// Fault-injection plan; `None` serves cleanly.
+    pub chaos: Option<ChaosConfig>,
+    /// Write-ahead journal directory; `None` disables journaling.
+    pub journal_dir: Option<PathBuf>,
+    /// Recover a previous run's journal instead of starting fresh.
+    pub resume: bool,
+    /// Stop serving after this many completions — simulates a crash
+    /// mid-drain for the journal-recovery tests.
+    pub halt_after: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            seed: 2015,
+            threads: 4,
+            capacity: 64,
+            batch: 8,
+            retries: 2,
+            backoff_ms: 1,
+            degrade_watermark: 0.5,
+            precision_watermark: 0.85,
+            chaos: None,
+            journal_dir: None,
+            resume: false,
+            halt_after: None,
+        }
+    }
+}
+
+/// Lifecycle counters for one serving run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests offered to `submit` (including duplicates of known ids).
+    pub submitted: u64,
+    /// Requests that passed admission control.
+    pub admitted: u64,
+    /// Admitted requests served to completion (this process).
+    pub completed: u64,
+    /// Requests shed because the queue was full.
+    pub shed: u64,
+    /// Requests rejected for an unmeetable deadline.
+    pub rejected_deadline: u64,
+    /// Admitted requests served at a degraded rung.
+    pub degraded: u64,
+    /// Retry attempts consumed after panics.
+    pub retried: u64,
+    /// Requests failed after exhausting the retry budget.
+    pub failed_panics: u64,
+    /// Requests failed on a deadline (in queue or mid-execution).
+    pub failed_deadline: u64,
+    /// Responses recovered whole from the journal on resume.
+    pub recovered: u64,
+    /// Pending journal records re-enqueued for replay on resume.
+    pub replayed: u64,
+}
+
+/// Pins the process dtype tier for one job and restores the previous pin
+/// on drop (panic-safe) — same pattern as the harness real-execution
+/// bridge, so a degraded mixed-tier job can't leak its pin into the next.
+struct DtypePin {
+    prev: DtypeTier,
+}
+
+impl DtypePin {
+    fn set(dtype: DtypeTier) -> Self {
+        DtypePin {
+            prev: powerscale_gemm::set_dtype_tier(dtype),
+        }
+    }
+}
+
+impl Drop for DtypePin {
+    fn drop(&mut self) {
+        powerscale_gemm::set_dtype_tier(self.prev);
+    }
+}
+
+/// Outcome of one execution attempt.
+enum Attempt {
+    /// The multiply finished before the deadline.
+    Done {
+        result: Matrix,
+        wall: f64,
+        watts: f64,
+    },
+    /// The cancellation token fired mid-run; the partial result was
+    /// discarded.
+    DeadlineExceeded { wall: f64 },
+}
+
+/// Best-effort panic payload extraction (the sweep uses the same shape).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The serving engine. See the module docs for the lifecycle.
+pub struct Server {
+    cfg: ServerConfig,
+    harness: Harness,
+    pool: ThreadPool,
+    queue: BoundedQueue,
+    journal: Option<Journal>,
+    stats: ServeStats,
+    done: Vec<Response>,
+    known: HashSet<u64>,
+    served: usize,
+    halted: bool,
+}
+
+impl Server {
+    /// Builds a server (and recovers the journal when `cfg.resume`).
+    pub fn new(cfg: ServerConfig) -> Result<Self, JournalError> {
+        let pool = ThreadPool::new(cfg.threads.max(1));
+        let mut queue = BoundedQueue::new(cfg.capacity);
+        let mut stats = ServeStats::default();
+        let mut done = Vec::new();
+        let mut known = HashSet::new();
+        let journal = match &cfg.journal_dir {
+            None => None,
+            Some(dir) => {
+                let manifest = ServeManifest {
+                    seed: cfg.seed,
+                    capacity: cfg.capacity,
+                    threads: cfg.threads,
+                };
+                if cfg.resume {
+                    let (journal, records) = Journal::resume(dir, &manifest)?;
+                    for rec in records {
+                        known.insert(rec.spec.id);
+                        match rec.response {
+                            Some(resp) => {
+                                stats.recovered += 1;
+                                done.push(resp);
+                            }
+                            None => {
+                                stats.replayed += 1;
+                                queue.push_replay(rec.spec, rec.plan());
+                            }
+                        }
+                    }
+                    Some(journal)
+                } else {
+                    Some(Journal::create(dir, &manifest))
+                }
+            }
+        };
+        Ok(Server {
+            cfg,
+            harness: Harness::default(),
+            pool,
+            queue,
+            journal,
+            stats,
+            done,
+            known,
+            served: 0,
+            halted: false,
+        })
+    }
+
+    /// Lifecycle counters so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Queued (admitted, unserved) request count.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True once a `halt_after` crash point was reached.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Offers a request to admission control. Returns the immediate
+    /// rejection when one is issued (also recorded in the response set);
+    /// `None` means the request was queued — or is already known from
+    /// the journal (recovered/replayed) and needs no re-admission, which
+    /// is what makes blind resubmission after a restart exactly-once.
+    pub fn submit(&mut self, spec: JobSpec) -> Option<Response> {
+        self.stats.submitted += 1;
+        if !self.known.insert(spec.id) {
+            return None;
+        }
+        if spec.deadline_ms == Some(0) {
+            self.stats.rejected_deadline += 1;
+            let resp = Response::rejected(spec.id, RejectReason::DeadlineUnmeetable);
+            self.done.push(resp.clone());
+            return Some(resp);
+        }
+        let plan = self.resolve_plan(&spec);
+        match self.queue.try_push(spec, plan) {
+            Ok(()) => {
+                self.stats.admitted += 1;
+                if plan.degraded.is_some() {
+                    self.stats.degraded += 1;
+                }
+                if let Some(journal) = &self.journal {
+                    journal.record_admitted(&JournalRecord::pending(spec, plan));
+                }
+                None
+            }
+            Err(spec) => {
+                self.stats.shed += 1;
+                let resp = Response::rejected(spec.id, RejectReason::QueueFull);
+                self.done.push(resp.clone());
+                Some(resp)
+            }
+        }
+    }
+
+    /// The degradation ladder, applied at admission so the plan is
+    /// frozen in the write-ahead record (a replay after a crash must not
+    /// re-decide under different pressure — that would change the
+    /// result's bits).
+    fn resolve_plan(&self, spec: &JobSpec) -> ExecPlan {
+        let pressure = self.queue.pressure();
+        let mut algorithm = spec.algorithm;
+        let mut dtype = spec.dtype;
+        let mut step = None;
+        if pressure >= self.cfg.degrade_watermark && algorithm != Algorithm::Blocked {
+            algorithm = Algorithm::Blocked;
+            step = Some(DegradeStep::Algorithm);
+        }
+        if pressure >= self.cfg.precision_watermark && dtype == DtypeTier::F64 {
+            dtype = DtypeTier::Mixed;
+            step = Some(match step {
+                Some(DegradeStep::Algorithm) => DegradeStep::Full,
+                _ => DegradeStep::Precision,
+            });
+        }
+        ExecPlan {
+            algorithm,
+            dtype,
+            degraded: step,
+        }
+    }
+
+    /// Serves queued requests in same-shape batches until the queue is
+    /// empty (or the `halt_after` crash point fires).
+    pub fn drain(&mut self) {
+        while !self.halted && !self.queue.is_empty() {
+            let batch = self.queue.pop_batch(self.cfg.batch.max(1));
+            for job in batch {
+                if self.halted {
+                    // Crash simulation: the rest of the batch dies with
+                    // the process; their pending journal records survive.
+                    continue;
+                }
+                let resp = self.execute(&job);
+                if let Some(journal) = &self.journal {
+                    let mut rec = JournalRecord::pending(job.spec, job.plan);
+                    rec.response = Some(resp.clone());
+                    journal.record_done(&rec);
+                }
+                self.done.push(resp);
+                self.served += 1;
+                if self.cfg.halt_after.is_some_and(|h| self.served >= h) {
+                    self.halted = true;
+                }
+            }
+        }
+    }
+
+    /// Submits every spec, drains, and returns all responses (including
+    /// journal-recovered ones) ordered by request id.
+    pub fn run(&mut self, specs: impl IntoIterator<Item = JobSpec>) -> Vec<Response> {
+        for spec in specs {
+            self.submit(spec);
+        }
+        self.drain();
+        self.take_responses()
+    }
+
+    /// Removes and returns every accumulated response, ordered by id.
+    pub fn take_responses(&mut self) -> Vec<Response> {
+        let mut out = std::mem::take(&mut self.done);
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Full lifecycle of one popped request: deadline token, chaos,
+    /// catch_unwind isolation, bounded backoff retries.
+    fn execute(&mut self, job: &Admitted) -> Response {
+        let spec = job.spec;
+        let _span = powerscale_trace::span_args(
+            powerscale_trace::Category::Serve,
+            "serve:request",
+            spec.id as u32,
+            spec.n as u32,
+        );
+        let token = match job.deadline() {
+            Some(deadline) => CancelToken::with_deadline(deadline),
+            None => CancelToken::new(),
+        };
+        if token.is_cancelled() {
+            self.stats.failed_deadline += 1;
+            return Response::failed(
+                spec.id,
+                FailReason::DeadlineExceeded,
+                0,
+                "deadline expired while queued".to_string(),
+            );
+        }
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let chaos = self.cfg.chaos;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(chaos) = &chaos {
+                    chaos.maybe_panic(spec.id, attempts);
+                }
+                self.run_job(job, &token)
+            }));
+            match outcome {
+                Ok(Attempt::Done {
+                    result,
+                    wall,
+                    watts,
+                }) => {
+                    let joules = self.measure_joules(spec.id, watts, wall);
+                    self.stats.completed += 1;
+                    return Response {
+                        id: spec.id,
+                        status: Status::Completed,
+                        reject: None,
+                        failure: None,
+                        error: None,
+                        attempts,
+                        degraded: job.plan.degraded,
+                        wall_ms: Some(wall * 1e3),
+                        joules,
+                        checksum: Some(checksum_f64(result.as_slice())),
+                    };
+                }
+                Ok(Attempt::DeadlineExceeded { wall }) => {
+                    self.stats.failed_deadline += 1;
+                    return Response::failed(
+                        spec.id,
+                        FailReason::DeadlineExceeded,
+                        attempts,
+                        format!(
+                            "deadline exceeded after {:.1} ms of attempt {attempts} \
+                             (partial result discarded)",
+                            wall * 1e3
+                        ),
+                    );
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload);
+                    if token.is_cancelled() {
+                        self.stats.failed_deadline += 1;
+                        return Response::failed(
+                            spec.id,
+                            FailReason::DeadlineExceeded,
+                            attempts,
+                            format!("deadline passed during panicked attempt {attempts}: {msg}"),
+                        );
+                    }
+                    if attempts > self.cfg.retries {
+                        self.stats.failed_panics += 1;
+                        return Response::failed(
+                            spec.id,
+                            FailReason::WorkerPanic,
+                            attempts,
+                            format!("retry budget exhausted: {msg}"),
+                        );
+                    }
+                    self.stats.retried += 1;
+                    let shift = (attempts - 1).min(6);
+                    let pause =
+                        Duration::from_millis(self.cfg.backoff_ms.saturating_mul(1 << shift))
+                            .min(Duration::from_millis(100));
+                    std::thread::sleep(pause);
+                }
+            }
+        }
+    }
+
+    /// One instrumented attempt: generate operands, multiply under the
+    /// request's cancellation token, convert the measured event profile
+    /// into model package watts (the harness real-execution pattern).
+    fn run_job(&self, job: &Admitted, token: &CancelToken) -> Attempt {
+        let spec = job.spec;
+        let plan = job.plan;
+        let _pin = DtypePin::set(plan.dtype);
+        let mut gen = MatrixGen::new(spec.seed);
+        let a = gen.paper_operand(spec.n);
+        let b = gen.paper_operand(spec.n);
+        let mut set = EventSet::with_all_events();
+        set.start().expect("fresh event set");
+        let t0 = Instant::now();
+        let result = self
+            .pool
+            .scope_with_cancel(token, |_| match plan.algorithm {
+                Algorithm::Blocked => {
+                    let mut c = Matrix::zeros(spec.n, spec.n);
+                    let kernel = powerscale_gemm::select_kernel();
+                    let ctx = powerscale_gemm::GemmContext {
+                        params: powerscale_gemm::BlockingParams::autotuned_for(kernel),
+                        kernel,
+                        pool: Some(&self.pool),
+                        events: Some(&set),
+                    };
+                    powerscale_gemm::dgemm(1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), &ctx)
+                        .expect("square operands are valid");
+                    c
+                }
+                Algorithm::Strassen => powerscale_strassen::multiply(
+                    &a.view(),
+                    &b.view(),
+                    &self.harness.strassen,
+                    Some(&self.pool),
+                    Some(&set),
+                )
+                .expect("square operands are valid"),
+                Algorithm::Caps => powerscale_caps::multiply(
+                    &a.view(),
+                    &b.view(),
+                    &self.harness.caps,
+                    Some(&self.pool),
+                    Some(&set),
+                )
+                .expect("square operands are valid"),
+            });
+        let wall = t0.elapsed().as_secs_f64();
+        let profile = set.stop().expect("running event set");
+        if token.is_cancelled() {
+            return Attempt::DeadlineExceeded { wall };
+        }
+        let rspec = RunSpec::new(plan.algorithm, spec.n, self.cfg.threads).with_dtype(plan.dtype);
+        let watts = self.harness.profile_power(rspec, &profile);
+        Attempt::Done {
+            result,
+            wall,
+            watts,
+        }
+    }
+
+    /// Model package joules for one served request: a [`ModelReader`]
+    /// emitting the profile-estimated watts, sampled over the measured
+    /// wall window — read through the fault-injection + recovery
+    /// decorators when chaos is on, exactly like the sweep's measurement
+    /// path.
+    fn measure_joules(&self, id: u64, watts: f64, wall: f64) -> Option<f64> {
+        const SAMPLES: usize = 16;
+        let dt = wall / SAMPLES as f64;
+        let model = ModelReader::from_powers(&[(Domain::Package, watts)]);
+        let report = match self.cfg.chaos.filter(|c| c.rapl_faults) {
+            Some(chaos) => {
+                let mut reader =
+                    ResilientReader::new(FaultInjectingReader::new(model, chaos.fault_config(id)));
+                let mut meter = EnergyMeter::start(&mut reader);
+                for _ in 0..SAMPLES {
+                    reader.inner_mut().inner_mut().advance(dt);
+                    meter.sample(&mut reader);
+                }
+                meter.finish(&mut reader, wall)
+            }
+            None => {
+                let mut reader = model;
+                let mut meter = EnergyMeter::start(&mut reader);
+                for _ in 0..SAMPLES {
+                    reader.advance(dt);
+                    meter.sample(&mut reader);
+                }
+                meter.finish(&mut reader, wall)
+            }
+        };
+        report.joules_for(Domain::Package)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "powerscale-serve-server-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn small_cfg() -> ServerConfig {
+        ServerConfig {
+            threads: 2,
+            capacity: 16,
+            batch: 4,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_requests_complete_with_energy_and_checksum() {
+        let mut s = Server::new(small_cfg()).unwrap();
+        let specs = vec![
+            JobSpec::new(1, 48, Algorithm::Blocked),
+            JobSpec::new(2, 64, Algorithm::Strassen),
+            JobSpec::new(3, 64, Algorithm::Caps),
+        ];
+        let out = s.run(specs);
+        assert_eq!(out.len(), 3);
+        for r in &out {
+            assert_eq!(r.status, Status::Completed, "{r:?}");
+            assert_eq!(r.attempts, 1);
+            assert!(r.joules.unwrap() > 0.0);
+            assert!(r.wall_ms.unwrap() > 0.0);
+            assert!(r.checksum.is_some());
+        }
+        assert_eq!(s.stats().completed, 3);
+        assert_eq!(s.stats().shed, 0);
+    }
+
+    #[test]
+    fn responses_are_deterministic_across_servers() {
+        let specs: Vec<JobSpec> = (0..4)
+            .map(|i| JobSpec::new(i, 48, Algorithm::Strassen))
+            .collect();
+        let a = Server::new(small_cfg()).unwrap().run(specs.clone());
+        let b = Server::new(small_cfg()).unwrap().run(specs);
+        let key = |rs: &[Response]| -> Vec<(u64, Option<u64>)> {
+            rs.iter().map(|r| (r.id, r.checksum)).collect()
+        };
+        assert_eq!(key(&a), key(&b), "same workload must reproduce bitwise");
+    }
+
+    #[test]
+    fn degradation_ladder_applies_by_pressure() {
+        // Capacity 10: request k is admitted at pressure k/10, so the
+        // ladder fires at k=5 (algorithm) and k=9 (precision too).
+        let cfg = ServerConfig {
+            threads: 2,
+            capacity: 10,
+            ..ServerConfig::default()
+        };
+        let mut s = Server::new(cfg).unwrap();
+        let specs: Vec<JobSpec> = (0..10)
+            .map(|i| JobSpec::new(i, 32, Algorithm::Strassen))
+            .collect();
+        let out = s.run(specs);
+        for r in &out {
+            let expect = match r.id {
+                0..=4 => None,
+                5..=8 => Some(DegradeStep::Algorithm),
+                _ => Some(DegradeStep::Full),
+            };
+            assert_eq!(r.degraded, expect, "request {}", r.id);
+            assert_eq!(r.status, Status::Completed);
+        }
+        assert_eq!(s.stats().degraded, 5);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_typed_rejection() {
+        let cfg = ServerConfig {
+            threads: 1,
+            capacity: 2,
+            ..ServerConfig::default()
+        };
+        let mut s = Server::new(cfg).unwrap();
+        assert!(s.submit(JobSpec::new(1, 32, Algorithm::Blocked)).is_none());
+        assert!(s.submit(JobSpec::new(2, 32, Algorithm::Blocked)).is_none());
+        let shed = s.submit(JobSpec::new(3, 32, Algorithm::Blocked)).unwrap();
+        assert_eq!(shed.status, Status::Rejected);
+        assert_eq!(shed.reject, Some(RejectReason::QueueFull));
+        s.drain();
+        let out = s.take_responses();
+        assert_eq!(out.len(), 3, "shed requests still get exactly one response");
+        assert_eq!(s.stats().shed, 1);
+    }
+
+    #[test]
+    fn tight_deadlines_fail_with_deadline_reason() {
+        let mut s = Server::new(small_cfg()).unwrap();
+        let specs = vec![
+            JobSpec::new(1, 384, Algorithm::Blocked).with_deadline_ms(1),
+            JobSpec::new(2, 384, Algorithm::Blocked).with_deadline_ms(1),
+        ];
+        let out = s.run(specs);
+        for r in &out {
+            assert_eq!(r.status, Status::Failed, "{r:?}");
+            assert_eq!(r.failure, Some(FailReason::DeadlineExceeded));
+            assert!(!r.deadline_hit());
+        }
+        assert_eq!(s.stats().failed_deadline, 2);
+    }
+
+    #[test]
+    fn chaos_panics_are_retried_to_completion() {
+        // Seed picked arbitrarily; with 20% per-attempt panics and a
+        // 2-retry budget, 24 requests virtually always include both a
+        // clean path and at least one retried request.
+        let cfg = ServerConfig {
+            threads: 2,
+            capacity: 32,
+            chaos: Some(ChaosConfig::chaos(99)),
+            ..ServerConfig::default()
+        };
+        let mut s = Server::new(cfg).unwrap();
+        let specs: Vec<JobSpec> = (0..24)
+            .map(|i| JobSpec::new(i, 32, Algorithm::Blocked))
+            .collect();
+        let out = s.run(specs);
+        assert_eq!(out.len(), 24, "exactly one response per request");
+        let retried = out.iter().filter(|r| r.attempts > 1).count();
+        assert!(retried > 0, "chaos at 20% must retry someone");
+        for r in &out {
+            assert!(
+                r.status == Status::Completed || r.failure == Some(FailReason::WorkerPanic),
+                "{r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn journal_records_every_admitted_request() {
+        let dir = tmpdir("journal-basic");
+        let cfg = ServerConfig {
+            threads: 1,
+            capacity: 8,
+            journal_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let mut s = Server::new(cfg).unwrap();
+        let out = s.run((0..3).map(|i| JobSpec::new(i, 32, Algorithm::Blocked)));
+        assert_eq!(out.len(), 3);
+        for i in 0..3 {
+            assert!(dir.join("requests").join(format!("{i}.json")).exists());
+        }
+    }
+}

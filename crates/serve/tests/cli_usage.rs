@@ -1,0 +1,77 @@
+//! Scripted CLI contract tests for `serve` (same convention as
+//! `reproduce`): every malformed invocation must exit with code 2 and
+//! print the usage line, without ever starting the serving loop.
+
+use std::process::Command;
+
+fn serve(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(args)
+        .output()
+        .expect("spawn serve")
+}
+
+fn assert_usage_exit(args: &[&str]) {
+    let out = serve(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} must exit 2, got {:?}; stderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains("usage: serve"),
+        "{args:?} must print the usage line; stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("--chaos"),
+        "usage line must document --chaos; stderr: {stderr}"
+    );
+    assert!(
+        !String::from_utf8_lossy(&out.stdout).contains("completed"),
+        "{args:?} must not start serving"
+    );
+}
+
+#[test]
+fn unknown_flags_exit_2_with_usage() {
+    assert_usage_exit(&["--bogus"]);
+    assert_usage_exit(&["--chaos", "--nope"]);
+    assert_usage_exit(&["extra-positional"]);
+}
+
+#[test]
+fn flags_missing_values_exit_2_with_usage() {
+    assert_usage_exit(&["--requests"]);
+    assert_usage_exit(&["--mix"]);
+    assert_usage_exit(&["--seed"]);
+    assert_usage_exit(&["--journal"]);
+    assert_usage_exit(&["--out"]);
+    // A following flag is not a value.
+    assert_usage_exit(&["--requests", "--chaos"]);
+    assert_usage_exit(&["--journal", "--resume"]);
+}
+
+#[test]
+fn non_numeric_values_exit_2_with_usage() {
+    assert_usage_exit(&["--requests", "many"]);
+    assert_usage_exit(&["--seed", "not-a-number"]);
+    assert_usage_exit(&["--threads", "a-few"]);
+    assert_usage_exit(&["--halt-after", "soon"]);
+}
+
+#[test]
+fn bad_mix_exits_2_with_usage() {
+    assert_usage_exit(&["--mix", "hurricane"]);
+}
+
+#[test]
+fn resume_without_journal_exits_2_with_usage() {
+    assert_usage_exit(&["--resume"]);
+}
+
+#[test]
+fn zero_threads_exits_2_with_usage() {
+    assert_usage_exit(&["--threads", "0"]);
+}

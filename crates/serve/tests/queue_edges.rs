@@ -1,0 +1,91 @@
+//! Edge-of-envelope admission and retry behaviour: each edge must come
+//! back as the *correct typed* rejection or failure — never a panic,
+//! never a silently dropped request.
+
+use powerscale_harness::Algorithm;
+use powerscale_serve::{
+    ChaosConfig, FailReason, JobSpec, RejectReason, Server, ServerConfig, Status,
+};
+
+fn cfg() -> ServerConfig {
+    ServerConfig {
+        threads: 2,
+        capacity: 8,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn zero_capacity_queue_sheds_every_request_with_queue_full() {
+    let mut s = Server::new(ServerConfig {
+        capacity: 0,
+        ..cfg()
+    })
+    .unwrap();
+    for id in 0..4 {
+        let resp = s
+            .submit(JobSpec::new(id, 64, Algorithm::Blocked))
+            .expect("zero capacity must reject immediately");
+        assert_eq!(resp.status, Status::Rejected);
+        assert_eq!(resp.reject, Some(RejectReason::QueueFull));
+        assert_eq!(resp.attempts, 0, "no work may be attempted");
+    }
+    s.drain();
+    let out = s.take_responses();
+    assert_eq!(out.len(), 4, "every shed request still gets its response");
+    assert_eq!(s.stats().shed, 4);
+    assert_eq!(s.stats().admitted, 0);
+}
+
+#[test]
+fn already_expired_deadline_is_rejected_at_admission() {
+    let mut s = Server::new(cfg()).unwrap();
+    let resp = s
+        .submit(JobSpec::new(1, 64, Algorithm::Strassen).with_deadline_ms(0))
+        .expect("a zero deadline must reject immediately");
+    assert_eq!(resp.status, Status::Rejected);
+    assert_eq!(resp.reject, Some(RejectReason::DeadlineUnmeetable));
+    assert_eq!(s.stats().rejected_deadline, 1);
+    assert_eq!(s.stats().admitted, 0, "never reached the queue");
+    // A sibling request with a real budget is unaffected.
+    assert!(s
+        .submit(JobSpec::new(2, 64, Algorithm::Strassen).with_deadline_ms(5_000))
+        .is_none());
+    s.drain();
+    let out = s.take_responses();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out[1].status, Status::Completed);
+}
+
+#[test]
+fn retry_budget_exhaustion_fails_with_worker_panic_and_exact_attempts() {
+    for retries in [0u32, 2] {
+        let mut s = Server::new(ServerConfig {
+            retries,
+            chaos: Some(ChaosConfig::always_panic(7)),
+            ..cfg()
+        })
+        .unwrap();
+        let out = s.run([JobSpec::new(1, 48, Algorithm::Blocked)]);
+        assert_eq!(out.len(), 1);
+        let r = &out[0];
+        assert_eq!(r.status, Status::Failed, "retries={retries}: {r:?}");
+        assert_eq!(r.failure, Some(FailReason::WorkerPanic));
+        assert_eq!(
+            r.attempts,
+            retries + 1,
+            "must consume exactly the budget (1 + {retries} retries)"
+        );
+        assert!(
+            r.error
+                .as_deref()
+                .unwrap()
+                .contains("retry budget exhausted"),
+            "{:?}",
+            r.error
+        );
+        assert_eq!(s.stats().failed_panics, 1);
+        assert_eq!(s.stats().retried, u64::from(retries));
+        assert_eq!(s.stats().completed, 0);
+    }
+}

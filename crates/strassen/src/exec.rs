@@ -109,6 +109,12 @@ fn rec(
     pool: Option<&ThreadPool>,
     events: Option<&EventSet>,
 ) {
+    // Cooperative cancellation poll at every recursion node: a cancelled
+    // request's task tree collapses within one leaf's latency, leaving
+    // garbage quadrants the cancelling owner discards.
+    if powerscale_pool::cancel_requested() {
+        return;
+    }
     let n = a.rows();
     if is_leaf(n, cfg.cutoff) {
         leaf_gemm_fused(Operand::View(a), Operand::View(b), c, Accum::Set, events)

@@ -22,6 +22,9 @@ pub enum Category {
     Energy,
     /// Harness-level phases: whole runs, sweep cells.
     Harness,
+    /// Serving layer: request lifecycle (admission, execution, retries,
+    /// degradation, journal writes).
+    Serve,
 }
 
 impl Category {
@@ -34,6 +37,7 @@ impl Category {
             Category::Caps => "caps",
             Category::Energy => "energy",
             Category::Harness => "harness",
+            Category::Serve => "serve",
         }
     }
 }
