@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! serve [--requests N] [--mix default|storm|burst] [--seed S]
-//!       [--threads T] [--queue CAP] [--batch B] [--retries K]
-//!       [--chaos] [--journal DIR] [--resume] [--halt-after N]
+//!       [--threads T] [--executors G] [--queue CAP] [--batch B]
+//!       [--retries K] [--backoff MS] [--chaos] [--journal DIR]
+//!       [--resume] [--halt-after N] [--compare-serial]
 //!       [--out PATH] [--baseline PATH] [--gate]
 //! ```
 //!
@@ -17,25 +18,35 @@
 //! everything at once to overrun the queue and exercise shedding +
 //! the degradation ladder.
 //!
+//! `--executors G` serves G requests concurrently on G pool groups
+//! (default 1 = the serial loop); with G > 1 the default/storm mixes
+//! pipeline admission with execution instead of chunked pacing.
+//! `--compare-serial` first runs an identically-configured serial leg
+//! (no journal) and reports `speedup_vs_serial` — throughput ratio of
+//! the concurrent leg over the serial one.
+//!
 //! `--halt-after N` kills the serving loop after N completions (crash
 //! simulation); a following run with `--resume` and the same seed and
 //! journal recovers exactly-once. `--gate` enforces the serving
 //! invariants (zero lost / duplicated responses; ≥ 99% deadline hits on
-//! the default mix) and, when a baseline artifact exists, guards
-//! p99 latency and joules-per-request against order-of-magnitude
-//! regressions; thresholds come from `POWERSCALE_SERVE_MIN_HIT` and
-//! `POWERSCALE_SERVE_MAX_REGRESSION`.
+//! the default mix), guards p99 latency and joules-per-request against
+//! order-of-magnitude regressions when a baseline artifact exists, and
+//! — when `--compare-serial` measured a speedup — requires it to clear
+//! `POWERSCALE_SERVE_GATE` (unset = no speedup floor). Thresholds come
+//! from `POWERSCALE_SERVE_MIN_HIT`, `POWERSCALE_SERVE_MAX_REGRESSION`
+//! and `POWERSCALE_SERVE_GATE`.
 
 use powerscale_harness::Algorithm;
 use powerscale_serve::chaos::fnv1a;
-use powerscale_serve::{ChaosConfig, JobSpec, Response, Server, ServerConfig, Status};
+use powerscale_serve::{ChaosConfig, JobSpec, Response, ServeStats, Server, ServerConfig, Status};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::time::Instant;
 
 const USAGE: &str = "usage: serve [--requests N] [--mix default|storm|burst] [--seed S] \
-                     [--threads T] [--queue CAP] [--batch B] [--retries K] [--chaos] \
-                     [--journal DIR] [--resume] [--halt-after N] [--out PATH] \
-                     [--baseline PATH] [--gate]";
+                     [--threads T] [--executors G] [--queue CAP] [--batch B] [--retries K] \
+                     [--backoff MS] [--chaos] [--journal DIR] [--resume] [--halt-after N] \
+                     [--compare-serial] [--out PATH] [--baseline PATH] [--gate]";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -114,8 +125,21 @@ fn generate(requests: usize, mix: Mix, seed: u64) -> Vec<JobSpec> {
         .collect()
 }
 
+/// p99 multiply latency for one shape bucket of the mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ShapeP99 {
+    /// Square dimension of the bucket.
+    n: u64,
+    /// Completed requests in the bucket.
+    count: u64,
+    /// p99 of the successful attempts' multiply wall time.
+    p99_ms: f64,
+}
+
 /// The bench artifact. Schema-stable named fields (serde shim: no enum
-/// payloads), so CI can gate on it across commits.
+/// payloads), so CI can gate on it across commits. v2 keeps every v1
+/// field and adds throughput, the queue-wait split, per-shape p99 and
+/// the executor/serial-comparison block.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
     schema: String,
@@ -123,7 +147,11 @@ struct BenchReport {
     seed: u64,
     requests: u64,
     threads: u64,
+    /// Concurrent executors the serving leg ran with (1 = serial loop).
+    executors: u64,
     capacity: u64,
+    /// Base retry backoff in milliseconds.
+    backoff_ms: u64,
     chaos: bool,
     /// Requests with no response (must be 0 — the core invariant).
     lost: u64,
@@ -142,6 +170,21 @@ struct BenchReport {
     deadline_hit_rate: f64,
     p50_ms: f64,
     p99_ms: f64,
+    /// Wall seconds of the serving phase (admission through last
+    /// response; excludes workload generation and report building).
+    wall_s: f64,
+    /// Responses per wall second of the serving phase.
+    throughput_rps: f64,
+    /// Median admission-to-pickup queue wait.
+    queue_wait_p50_ms: f64,
+    /// p99 admission-to-pickup queue wait.
+    queue_wait_p99_ms: f64,
+    /// Multiply-latency p99 per shape bucket of the mix.
+    shape_p99: Vec<ShapeP99>,
+    /// Throughput of the `--compare-serial` serial leg, when one ran.
+    serial_throughput_rps: Option<f64>,
+    /// `throughput_rps / serial_throughput_rps`, when the serial leg ran.
+    speedup_vs_serial: Option<f64>,
     joules_per_request: f64,
 }
 
@@ -153,12 +196,20 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx]
 }
 
+fn sorted_ms(values: impl Iterator<Item = f64>) -> Vec<f64> {
+    let mut v: Vec<f64> = values.collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    v
+}
+
 fn build_report(
     specs: &[JobSpec],
     responses: &[Response],
-    server: &Server,
+    stats: &ServeStats,
     mix: Mix,
     cfg: &ServerConfig,
+    wall_s: f64,
+    serial_throughput_rps: Option<f64>,
 ) -> BenchReport {
     let mut counts: HashMap<u64, u64> = HashMap::new();
     for r in responses {
@@ -167,14 +218,37 @@ fn build_report(
     let lost = specs.iter().filter(|s| !counts.contains_key(&s.id)).count() as u64;
     let duplicated = counts.values().filter(|&&c| c > 1).count() as u64;
 
-    let mut walls: Vec<f64> = responses.iter().filter_map(|r| r.wall_ms).collect();
-    walls.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    let walls = sorted_ms(responses.iter().filter_map(|r| r.wall_ms));
+    let waits = sorted_ms(responses.iter().filter_map(|r| r.queued_ms));
     let joules: Vec<f64> = responses.iter().filter_map(|r| r.joules).collect();
     let joules_per_request = if joules.is_empty() {
         0.0
     } else {
         joules.iter().sum::<f64>() / joules.len() as f64
     };
+
+    // Per-shape multiply-latency tails: bucket completed responses by
+    // the spec's n (the mix is a pure function of the seed, so the id →
+    // shape map is exact).
+    let shape_of: HashMap<u64, usize> = specs.iter().map(|s| (s.id, s.n)).collect();
+    let mut by_shape: HashMap<usize, Vec<f64>> = HashMap::new();
+    for r in responses {
+        if let (Some(wall), Some(&n)) = (r.wall_ms, shape_of.get(&r.id)) {
+            by_shape.entry(n).or_default().push(wall);
+        }
+    }
+    let mut shape_p99: Vec<ShapeP99> = by_shape
+        .into_iter()
+        .map(|(n, mut walls)| {
+            walls.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            ShapeP99 {
+                n: n as u64,
+                count: walls.len() as u64,
+                p99_ms: percentile(&walls, 0.99),
+            }
+        })
+        .collect();
+    shape_p99.sort_by_key(|s| s.n);
 
     // SLO denominator: requests that were admitted and carried to a
     // terminal state by an executor (rejections never entered service).
@@ -194,14 +268,20 @@ fn build_report(
         1.0 - misses as f64 / served.len() as f64
     };
 
-    let stats = server.stats();
+    let throughput_rps = if wall_s > 0.0 {
+        responses.len() as f64 / wall_s
+    } else {
+        0.0
+    };
     BenchReport {
-        schema: "powerscale-bench-serving-v1".to_string(),
+        schema: "powerscale-bench-serving-v2".to_string(),
         mix: mix.name().to_string(),
         seed: cfg.seed,
         requests: specs.len() as u64,
         threads: cfg.threads as u64,
+        executors: cfg.executors.max(1) as u64,
         capacity: cfg.capacity as u64,
+        backoff_ms: cfg.backoff_ms,
         chaos: cfg.chaos.is_some(),
         lost,
         duplicated,
@@ -217,6 +297,15 @@ fn build_report(
         deadline_hit_rate,
         p50_ms: percentile(&walls, 0.50),
         p99_ms: percentile(&walls, 0.99),
+        wall_s,
+        throughput_rps,
+        queue_wait_p50_ms: percentile(&waits, 0.50),
+        queue_wait_p99_ms: percentile(&waits, 0.99),
+        shape_p99,
+        serial_throughput_rps,
+        speedup_vs_serial: serial_throughput_rps
+            .filter(|&s| s > 0.0)
+            .map(|s| throughput_rps / s),
         joules_per_request,
     }
 }
@@ -229,7 +318,8 @@ fn env_f64(name: &str, default: f64) -> f64 {
 }
 
 /// Gate: hard invariants, the SLO (default mix only — storm and burst
-/// miss deadlines by design), and a coarse no-regression check against a
+/// miss deadlines by design), the concurrent-speedup floor when a serial
+/// comparison leg ran, and a coarse no-regression check against a
 /// committed baseline when one exists.
 fn gate(report: &BenchReport, baseline: Option<&BenchReport>, mix: Mix) -> Result<(), String> {
     if report.lost != 0 {
@@ -247,6 +337,17 @@ fn gate(report: &BenchReport, baseline: Option<&BenchReport>, mix: Mix) -> Resul
             return Err(format!(
                 "deadline hit rate {:.4} below the {min_hit} bar",
                 report.deadline_hit_rate
+            ));
+        }
+    }
+    if let Some(speedup) = report.speedup_vs_serial {
+        // Unset/zero floor means "report, don't enforce" — dev laptops
+        // and loaded CI runners vary too much for a universal default.
+        let min_speedup = env_f64("POWERSCALE_SERVE_GATE", 0.0);
+        if speedup < min_speedup {
+            return Err(format!(
+                "concurrent speedup {speedup:.2}x below the {min_speedup}x bar \
+                 (POWERSCALE_SERVE_GATE)"
             ));
         }
     }
@@ -273,12 +374,45 @@ fn gate(report: &BenchReport, baseline: Option<&BenchReport>, mix: Mix) -> Resul
     Ok(())
 }
 
+/// Runs one serving leg and returns its responses plus the serving-phase
+/// wall seconds. Serial default/storm legs pace submission in chunks (the
+/// PR-7 driver); concurrent legs let `Server::run` pipeline admission
+/// with execution; burst floods the queue in one go either way.
+fn serve_phase(server: &mut Server, specs: &[JobSpec], mix: Mix) -> (Vec<Response>, f64) {
+    let t0 = Instant::now();
+    let responses = match mix {
+        Mix::Burst => server.run(specs.to_vec()),
+        _ if server.is_concurrent() => server.run(specs.to_vec()),
+        _ => {
+            let pace = (server.queue_capacity() / 2).max(1);
+            for chunk in specs.chunks(pace) {
+                for spec in chunk {
+                    server.submit(*spec);
+                }
+                server.drain();
+                if server.halted() {
+                    break;
+                }
+            }
+            server.take_responses()
+        }
+    };
+    (responses, t0.elapsed().as_secs_f64())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut requests: usize = 1000;
     let mut mix = Mix::Default;
-    let mut cfg = ServerConfig::default();
+    let mut cfg = ServerConfig {
+        // Client-facing default: a realistic pause before hammering a
+        // worker that just panicked. The library default (1 ms) is tuned
+        // for test speed, not serving.
+        backoff_ms: 10,
+        ..ServerConfig::default()
+    };
     let mut chaos = false;
+    let mut compare_serial = false;
     let mut out_path = "artifacts/BENCH_serving.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut do_gate = false;
@@ -293,10 +427,16 @@ fn main() {
             "--threads" => {
                 cfg.threads = parse_num("--threads", take_value(&args, &mut i, "--threads"))
             }
+            "--executors" => {
+                cfg.executors = parse_num("--executors", take_value(&args, &mut i, "--executors"))
+            }
             "--queue" => cfg.capacity = parse_num("--queue", take_value(&args, &mut i, "--queue")),
             "--batch" => cfg.batch = parse_num("--batch", take_value(&args, &mut i, "--batch")),
             "--retries" => {
                 cfg.retries = parse_num("--retries", take_value(&args, &mut i, "--retries"))
+            }
+            "--backoff" => {
+                cfg.backoff_ms = parse_num("--backoff", take_value(&args, &mut i, "--backoff"))
             }
             "--halt-after" => {
                 cfg.halt_after = Some(parse_num(
@@ -311,6 +451,7 @@ fn main() {
             }
             "--chaos" => chaos = true,
             "--resume" => cfg.resume = true,
+            "--compare-serial" => compare_serial = true,
             "--gate" => do_gate = true,
             other => usage_error(&format!("unknown argument: {other}")),
         }
@@ -321,6 +462,9 @@ fn main() {
     }
     if cfg.threads == 0 {
         usage_error("--threads must be at least 1");
+    }
+    if cfg.executors == 0 {
+        usage_error("--executors must be at least 1");
     }
     if chaos {
         // Env override mirrors the reproduce binary's convention so CI
@@ -347,12 +491,46 @@ fn main() {
     }
 
     let specs = generate(requests, mix, cfg.seed);
+
+    // The serial comparison leg: identical configuration except a single
+    // executor and no journal (the journal belongs to the primary leg).
+    let serial_throughput_rps = if compare_serial {
+        let serial_cfg = ServerConfig {
+            executors: 1,
+            journal_dir: None,
+            resume: false,
+            halt_after: None,
+            ..cfg.clone()
+        };
+        eprintln!(
+            "serial comparison leg: {} requests (mix {}) on {} threads…",
+            specs.len(),
+            mix.name(),
+            serial_cfg.threads
+        );
+        let mut serial = Server::new(serial_cfg).expect("journal-free server cannot fail");
+        let (responses, wall_s) = serve_phase(&mut serial, &specs, mix);
+        let rps = if wall_s > 0.0 {
+            responses.len() as f64 / wall_s
+        } else {
+            0.0
+        };
+        eprintln!(
+            "serial leg: {} responses in {wall_s:.2} s ({rps:.1} rps)",
+            responses.len()
+        );
+        Some(rps)
+    } else {
+        None
+    };
+
     eprintln!(
-        "serving {} requests (mix {}, seed {}) on {} threads, queue {}…",
+        "serving {} requests (mix {}, seed {}) on {} threads, {} executor(s), queue {}…",
         specs.len(),
         mix.name(),
         cfg.seed,
         cfg.threads,
+        cfg.executors,
         cfg.capacity
     );
 
@@ -364,26 +542,17 @@ fn main() {
         }
     };
 
-    // Default and storm mixes pace submission below the degradation
-    // watermark; burst floods the queue in one go.
-    let responses = match mix {
-        Mix::Burst => server.run(specs.clone()),
-        _ => {
-            let pace = (cfg.capacity / 2).max(1);
-            for chunk in specs.chunks(pace) {
-                for spec in chunk {
-                    server.submit(*spec);
-                }
-                server.drain();
-                if server.halted() {
-                    break;
-                }
-            }
-            server.take_responses()
-        }
-    };
+    let (responses, wall_s) = serve_phase(&mut server, &specs, mix);
 
-    let report = build_report(&specs, &responses, &server, mix, &cfg);
+    let report = build_report(
+        &specs,
+        &responses,
+        server.stats(),
+        mix,
+        &cfg,
+        wall_s,
+        serial_throughput_rps,
+    );
     if server.halted() {
         eprintln!(
             "halted after {} completions (crash simulation); journal holds the rest",
@@ -403,9 +572,25 @@ fn main() {
         report.replayed
     );
     println!(
-        "p50 {:.2} ms | p99 {:.2} ms | {:.2} J/request | deadline hit rate {:.4}",
-        report.p50_ms, report.p99_ms, report.joules_per_request, report.deadline_hit_rate
+        "p50 {:.2} ms | p99 {:.2} ms | queue wait p50 {:.2} / p99 {:.2} ms | \
+         {:.2} J/request | deadline hit rate {:.4}",
+        report.p50_ms,
+        report.p99_ms,
+        report.queue_wait_p50_ms,
+        report.queue_wait_p99_ms,
+        report.joules_per_request,
+        report.deadline_hit_rate
     );
+    match (report.speedup_vs_serial, report.serial_throughput_rps) {
+        (Some(speedup), Some(serial_rps)) => println!(
+            "throughput {:.1} rps over {:.2} s | serial {serial_rps:.1} rps | speedup {speedup:.2}x",
+            report.throughput_rps, report.wall_s
+        ),
+        _ => println!(
+            "throughput {:.1} rps over {:.2} s",
+            report.throughput_rps, report.wall_s
+        ),
+    }
 
     if let Some(parent) = std::path::Path::new(&out_path).parent() {
         let _ = std::fs::create_dir_all(parent);

@@ -11,10 +11,18 @@
 //! and a **crash-safe write-ahead journal** giving exactly-once responses
 //! across a kill-and-restart.
 //!
-//! Per-request observability rides the existing layers: a `serve:request`
-//! trace span per execution (feature `trace`) and model package joules
-//! read through the RAPL fault-injection + recovery decorators when chaos
-//! is on.
+//! With [`ServerConfig::executors`](server::ServerConfig) above 1 the
+//! server runs **concurrently**: the pool is partitioned into per-executor
+//! worker groups ([`placement`]), up to G requests are in flight at once
+//! with size-aware, strong-scaling-capped widths, small GEMMs take a
+//! batched inline fast path, and admission pipelines with execution.
+//! Results stay bitwise identical to the serial server.
+//!
+//! Per-request observability rides the existing layers: a `serve:exec`
+//! trace span per execution plus a cross-thread `serve:queued` async span
+//! for queue wait (feature `trace`), and model package joules read
+//! through the RAPL fault-injection + recovery decorators when chaos is
+//! on.
 //!
 //! ```no_run
 //! use powerscale_harness::Algorithm;
@@ -37,12 +45,14 @@
 
 pub mod chaos;
 pub mod journal;
+pub mod placement;
 pub mod queue;
 pub mod request;
 pub mod server;
 
 pub use chaos::ChaosConfig;
 pub use journal::{Journal, JournalError, JournalRecord, ServeManifest};
+pub use placement::{partition, scaling_cap, slot_width};
 pub use queue::{Admitted, BoundedQueue, ExecPlan};
 pub use request::{checksum_f64, DegradeStep, FailReason, JobSpec, RejectReason, Response, Status};
 pub use server::{ServeStats, Server, ServerConfig};

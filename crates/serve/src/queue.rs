@@ -111,6 +111,14 @@ impl BoundedQueue {
         }
     }
 
+    /// True when another request can be admitted. The server checks this
+    /// *before* writing the journal's write-ahead record so a pending
+    /// record is only ever created for a request that will actually be
+    /// queued (a shed request must never be replayable).
+    pub fn has_room(&self) -> bool {
+        self.len < self.capacity
+    }
+
     /// Admits a job, or returns it when the queue is at capacity.
     pub fn try_push(&mut self, spec: JobSpec, plan: ExecPlan) -> Result<(), JobSpec> {
         if self.len >= self.capacity {

@@ -151,6 +151,15 @@ pub struct Response {
     pub degraded: Option<DegradeStep>,
     /// Wall-clock milliseconds of the successful attempt.
     pub wall_ms: Option<f64>,
+    /// Milliseconds spent waiting in the admission queue (admission →
+    /// executor pickup). Previously this wait was invisible: `wall_ms`
+    /// only times the multiply, so nothing attributed queue time.
+    pub queued_ms: Option<f64>,
+    /// Milliseconds from executor pickup to the terminal outcome —
+    /// every attempt plus retry backoff, the service-time complement of
+    /// `queued_ms`. `queued_ms + exec_ms` is the request's full latency
+    /// from admission.
+    pub exec_ms: Option<f64>,
     /// Model-estimated package joules for the successful attempt (read
     /// through the fault-injection + recovery decorators under chaos).
     pub joules: Option<f64>,
@@ -172,6 +181,8 @@ impl Response {
             attempts: 0,
             degraded: None,
             wall_ms: None,
+            queued_ms: None,
+            exec_ms: None,
             joules: None,
             checksum: None,
         }
@@ -188,6 +199,8 @@ impl Response {
             attempts,
             degraded: None,
             wall_ms: None,
+            queued_ms: None,
+            exec_ms: None,
             joules: None,
             checksum: None,
         }

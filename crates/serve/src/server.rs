@@ -7,7 +7,7 @@
 //! submit ──▶ admission control ──▶ Rejected (QueueFull | DeadlineUnmeetable)
 //!                │
 //!                ▼ (plan frozen: degradation ladder applied by pressure)
-//!            queued  ──journal: pending──▶ popped in a same-shape batch
+//!            journal: pending ──▶ queued ──▶ popped in a same-shape batch
 //!                │
 //!                ▼
 //!            execute under a CancelToken (deadline) with catch_unwind
@@ -17,17 +17,52 @@
 //!            (journal: done)               (budget exhausted → Failed)
 //! ```
 //!
-//! The server is deliberately single-threaded at the *loop* level —
-//! parallelism lives inside each multiply (the work-stealing pool), which
-//! is the right shape for latency: one n=2048 job already saturates every
-//! core, so interleaving jobs would only add tail latency. Fault
-//! isolation reuses the sweep's `catch_unwind` perimeter; deadline
+//! # Serial and concurrent serving
+//!
+//! With `executors <= 1` the server is the PR-7 single loop: one request
+//! at a time, the multiply fanned out across the whole pool. With
+//! `executors = G > 1` the pool is partitioned into G contiguous worker
+//! groups ([`crate::placement::partition`]) and G executor threads drain
+//! the queue concurrently — admission keeps running on the front thread
+//! (pipelined with execution), and each in-flight request is confined to
+//! its executor's group so requests don't steal each other's workers.
+//!
+//! Placement is size-aware: a request only gets
+//! [`crate::placement::slot_width`] workers — the strong-scaling cap
+//! `ceil(n / mc)` clamped to its group — and a width-1 request takes the
+//! **batched small-GEMM fast path**: the multiply runs inline (no
+//! cross-thread handoff), and a homogeneous batch is spread
+//! one-request-per-group-slot under a single pool scope so spawn/steal
+//! overhead is paid once per batch. Retry backoff, operand generation and
+//! journal I/O all overlap with other executors' work — which is where
+//! the concurrent throughput win comes from even on few cores.
+//!
+//! # Concurrency discipline
+//!
+//! * The queue lives under one mutex; executors block on a condvar for
+//!   work, the admitting thread blocks on another for space (it paces
+//!   itself below the degradation watermark instead of shedding its own
+//!   clients).
+//! * The journal's write-ahead (pending) record is written **under the
+//!   queue lock, before the push** — an executor can therefore never
+//!   complete a request (and write its done record) before the pending
+//!   record exists, so a done record is never clobbered by a late
+//!   pending write. Done records are per-request files owned by exactly
+//!   one executor; the manifest is written once at creation. The dedup
+//!   map (`known`) is only touched by the admitting thread.
+//! * `halt_after` hands out completion tickets from an atomic counter:
+//!   exactly the first `h` finalized requests are recorded and returned,
+//!   later ones are discarded un-journaled (they "die with the process"),
+//!   which keeps crash simulation exact under concurrency.
+//!
+//! Fault isolation reuses the sweep's `catch_unwind` perimeter; deadline
 //! enforcement reuses the pool's cooperative [`CancelToken`] protocol
 //! (checked at spawn, steal and leaf boundaries), so an expired request
-//! stops consuming cores within one leaf tile.
+//! stops consuming its group within one leaf tile.
 
 use crate::chaos::ChaosConfig;
 use crate::journal::{Journal, JournalError, JournalRecord, ServeManifest};
+use crate::placement;
 use crate::queue::{Admitted, BoundedQueue, ExecPlan};
 use crate::request::{
     checksum_f64, DegradeStep, FailReason, JobSpec, RejectReason, Response, Status,
@@ -41,8 +76,11 @@ use powerscale_rapl::{
     model::ModelReader, Domain, EnergyMeter, FaultInjectingReader, ResilientReader,
 };
 use std::collections::HashSet;
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Knobs for one serving run.
@@ -52,6 +90,13 @@ pub struct ServerConfig {
     pub seed: u64,
     /// Executor pool width.
     pub threads: usize,
+    /// Concurrent executors (in-flight requests). `<= 1` is the serial
+    /// PR-7 loop; `G > 1` partitions the pool into G worker groups and
+    /// serves G requests at once. Clamped to `threads`. Not part of the
+    /// journal manifest: results are executor-count-invariant (the
+    /// algorithms are schedule-invariant bitwise), so a journal written
+    /// at one G resumes correctly at another.
+    pub executors: usize,
     /// Admission queue bound (0 = shed everything).
     pub capacity: usize,
     /// Max same-shape jobs per executor batch.
@@ -81,6 +126,7 @@ impl Default for ServerConfig {
         ServerConfig {
             seed: 2015,
             threads: 4,
+            executors: 1,
             capacity: 64,
             batch: 8,
             retries: 2,
@@ -122,6 +168,17 @@ pub struct ServeStats {
     pub replayed: u64,
 }
 
+impl ServeStats {
+    /// Folds an executor thread's execution-side counters into this
+    /// (admission-side counters stay with the front thread).
+    fn absorb_exec(&mut self, other: &ServeStats) {
+        self.completed += other.completed;
+        self.retried += other.retried;
+        self.failed_panics += other.failed_panics;
+        self.failed_deadline += other.failed_deadline;
+    }
+}
+
 /// Pins the process dtype tier for one job and restores the previous pin
 /// on drop (panic-safe) — same pattern as the harness real-execution
 /// bridge, so a degraded mixed-tier job can't leak its pin into the next.
@@ -156,6 +213,44 @@ enum Attempt {
     DeadlineExceeded { wall: f64 },
 }
 
+/// How one request's multiply runs.
+#[derive(Debug, Clone, Copy)]
+enum ExecMode {
+    /// Serial server: the multiply fans out across the whole pool.
+    WholePool,
+    /// Width-1 slot: inline on the current thread, no handoff (the
+    /// small-GEMM fast path).
+    Inline,
+    /// Width > 1 slot: the root task is addressed at worker `home`
+    /// (its group's first worker); fan-out prefers that group.
+    Grouped { home: usize, width: usize },
+}
+
+/// Immutable environment shared by every executor thread.
+struct ExecEnv<'a> {
+    cfg: &'a ServerConfig,
+    harness: &'a Harness,
+    pool: &'a ThreadPool,
+    journal: Option<&'a Journal>,
+}
+
+/// Cross-thread state of one concurrent drain.
+struct Shared {
+    queue: Mutex<BoundedQueue>,
+    /// Executors wait here for work.
+    work: Condvar,
+    /// The admitting thread waits here for the queue to fall below the
+    /// pacing watermark.
+    space: Condvar,
+    /// No further admissions will arrive; executors exit once the queue
+    /// is empty.
+    closed: AtomicBool,
+    /// The `halt_after` crash point fired.
+    halted: AtomicBool,
+    /// Completion tickets (see the module docs' halt discipline).
+    served: AtomicUsize,
+}
+
 /// Best-effort panic payload extraction (the sweep uses the same shape).
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -164,6 +259,31 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// The degradation ladder, applied at admission so the plan is frozen in
+/// the write-ahead record (a replay after a crash must not re-decide
+/// under different pressure — that would change the result's bits).
+fn resolve_plan(cfg: &ServerConfig, pressure: f64, spec: &JobSpec) -> ExecPlan {
+    let mut algorithm = spec.algorithm;
+    let mut dtype = spec.dtype;
+    let mut step = None;
+    if pressure >= cfg.degrade_watermark && algorithm != Algorithm::Blocked {
+        algorithm = Algorithm::Blocked;
+        step = Some(DegradeStep::Algorithm);
+    }
+    if pressure >= cfg.precision_watermark && dtype == DtypeTier::F64 {
+        dtype = DtypeTier::Mixed;
+        step = Some(match step {
+            Some(DegradeStep::Algorithm) => DegradeStep::Full,
+            _ => DegradeStep::Precision,
+        });
+    }
+    ExecPlan {
+        algorithm,
+        dtype,
+        degraded: step,
     }
 }
 
@@ -209,6 +329,11 @@ impl Server {
                             None => {
                                 stats.replayed += 1;
                                 queue.push_replay(rec.spec, rec.plan());
+                                powerscale_trace::async_begin(
+                                    powerscale_trace::Category::Serve,
+                                    "serve:queued",
+                                    rec.spec.id,
+                                );
                             }
                         }
                     }
@@ -242,6 +367,16 @@ impl Server {
         self.queue.len()
     }
 
+    /// The admission queue's configured capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.cfg.capacity
+    }
+
+    /// True when this server drains with more than one executor.
+    pub fn is_concurrent(&self) -> bool {
+        self.cfg.executors > 1
+    }
+
     /// True once a `halt_after` crash point was reached.
     pub fn halted(&self) -> bool {
         self.halted
@@ -263,57 +398,44 @@ impl Server {
             self.done.push(resp.clone());
             return Some(resp);
         }
-        let plan = self.resolve_plan(&spec);
-        match self.queue.try_push(spec, plan) {
-            Ok(()) => {
-                self.stats.admitted += 1;
-                if plan.degraded.is_some() {
-                    self.stats.degraded += 1;
-                }
-                if let Some(journal) = &self.journal {
-                    journal.record_admitted(&JournalRecord::pending(spec, plan));
-                }
-                None
-            }
-            Err(spec) => {
-                self.stats.shed += 1;
-                let resp = Response::rejected(spec.id, RejectReason::QueueFull);
-                self.done.push(resp.clone());
-                Some(resp)
-            }
+        if !self.queue.has_room() {
+            self.stats.shed += 1;
+            let resp = Response::rejected(spec.id, RejectReason::QueueFull);
+            self.done.push(resp.clone());
+            return Some(resp);
         }
+        let plan = resolve_plan(&self.cfg, self.queue.pressure(), &spec);
+        // Write-ahead ordering: the pending record must exist before the
+        // request becomes poppable, or a concurrent executor could write
+        // the done record first and have it clobbered (see module docs).
+        if let Some(journal) = &self.journal {
+            journal.record_admitted(&JournalRecord::pending(spec, plan));
+        }
+        self.queue
+            .try_push(spec, plan)
+            .expect("has_room was checked");
+        self.stats.admitted += 1;
+        if plan.degraded.is_some() {
+            self.stats.degraded += 1;
+        }
+        powerscale_trace::async_begin(powerscale_trace::Category::Serve, "serve:queued", spec.id);
+        None
     }
 
-    /// The degradation ladder, applied at admission so the plan is
-    /// frozen in the write-ahead record (a replay after a crash must not
-    /// re-decide under different pressure — that would change the
-    /// result's bits).
-    fn resolve_plan(&self, spec: &JobSpec) -> ExecPlan {
-        let pressure = self.queue.pressure();
-        let mut algorithm = spec.algorithm;
-        let mut dtype = spec.dtype;
-        let mut step = None;
-        if pressure >= self.cfg.degrade_watermark && algorithm != Algorithm::Blocked {
-            algorithm = Algorithm::Blocked;
-            step = Some(DegradeStep::Algorithm);
-        }
-        if pressure >= self.cfg.precision_watermark && dtype == DtypeTier::F64 {
-            dtype = DtypeTier::Mixed;
-            step = Some(match step {
-                Some(DegradeStep::Algorithm) => DegradeStep::Full,
-                _ => DegradeStep::Precision,
-            });
-        }
-        ExecPlan {
-            algorithm,
-            dtype,
-            degraded: step,
-        }
-    }
-
-    /// Serves queued requests in same-shape batches until the queue is
-    /// empty (or the `halt_after` crash point fires).
+    /// Serves queued requests until the queue is empty (or the
+    /// `halt_after` crash point fires): the serial loop at
+    /// `executors <= 1`, the group-partitioned concurrent drain above.
     pub fn drain(&mut self) {
+        if self.cfg.executors > 1 {
+            self.serve_concurrent(Vec::new());
+            return;
+        }
+        let env = ExecEnv {
+            cfg: &self.cfg,
+            harness: &self.harness,
+            pool: &self.pool,
+            journal: self.journal.as_ref(),
+        };
         while !self.halted && !self.queue.is_empty() {
             let batch = self.queue.pop_batch(self.cfg.batch.max(1));
             for job in batch {
@@ -322,7 +444,7 @@ impl Server {
                     // the process; their pending journal records survive.
                     continue;
                 }
-                let resp = self.execute(&job);
+                let resp = serve_one(&env, ExecMode::WholePool, &job, &mut self.stats);
                 if let Some(journal) = &self.journal {
                     let mut rec = JournalRecord::pending(job.spec, job.plan);
                     rec.response = Some(resp.clone());
@@ -337,13 +459,24 @@ impl Server {
         }
     }
 
-    /// Submits every spec, drains, and returns all responses (including
+    /// Serves a workload and returns all responses (including
     /// journal-recovered ones) ordered by request id.
+    ///
+    /// Serial (`executors <= 1`): every spec is submitted, then the queue
+    /// drains. Concurrent: admission is **pipelined** with execution —
+    /// the front thread submits while the executors drain, pacing itself
+    /// below the degradation watermark instead of shedding (callers that
+    /// want raw shed/degrade admission semantics submit explicitly and
+    /// call [`Server::drain`]).
     pub fn run(&mut self, specs: impl IntoIterator<Item = JobSpec>) -> Vec<Response> {
-        for spec in specs {
-            self.submit(spec);
+        if self.cfg.executors > 1 {
+            self.serve_concurrent(specs.into_iter().collect());
+        } else {
+            for spec in specs {
+                self.submit(spec);
+            }
+            self.drain();
         }
-        self.drain();
         self.take_responses()
     }
 
@@ -354,196 +487,482 @@ impl Server {
         out
     }
 
-    /// Full lifecycle of one popped request: deadline token, chaos,
-    /// catch_unwind isolation, bounded backoff retries.
-    fn execute(&mut self, job: &Admitted) -> Response {
-        let spec = job.spec;
-        let _span = powerscale_trace::span_args(
-            powerscale_trace::Category::Serve,
-            "serve:request",
-            spec.id as u32,
-            spec.n as u32,
-        );
-        let token = match job.deadline() {
-            Some(deadline) => CancelToken::with_deadline(deadline),
-            None => CancelToken::new(),
+    /// The concurrent drain: G executor threads over G pool groups, with
+    /// `specs` admitted on this thread while they work.
+    fn serve_concurrent(&mut self, specs: Vec<JobSpec>) {
+        let threads = self.cfg.threads.max(1);
+        let g = self.cfg.executors.clamp(1, threads);
+        let ranges = placement::partition(threads, g);
+        let mc =
+            powerscale_gemm::BlockingParams::autotuned_for(powerscale_gemm::select_kernel()).mc;
+        let shared = Shared {
+            queue: Mutex::new(std::mem::replace(&mut self.queue, BoundedQueue::new(0))),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            closed: AtomicBool::new(false),
+            halted: AtomicBool::new(self.halted),
+            served: AtomicUsize::new(self.served),
         };
-        if token.is_cancelled() {
-            self.stats.failed_deadline += 1;
-            return Response::failed(
-                spec.id,
-                FailReason::DeadlineExceeded,
-                0,
-                "deadline expired while queued".to_string(),
-            );
+        let env = ExecEnv {
+            cfg: &self.cfg,
+            harness: &self.harness,
+            pool: &self.pool,
+            journal: self.journal.as_ref(),
+        };
+        // Group isolation is a scheduling preference, not a correctness
+        // requirement (results are schedule-invariant), so a pool that
+        // already has a layout installed just runs ungrouped.
+        let groups = self.pool.try_install_groups(&ranges, false);
+        let known = &mut self.known;
+        let stats = &mut self.stats;
+        let done = &mut self.done;
+        let collected: Vec<(ServeStats, Vec<Response>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .enumerate()
+                .map(|(e, range)| {
+                    let range = range.clone();
+                    let shared = &shared;
+                    let env = &env;
+                    scope.spawn(move || executor_loop(e, range, shared, env, mc))
+                })
+                .collect();
+            for spec in specs {
+                if shared.halted.load(Ordering::SeqCst) {
+                    // Crash simulation: un-admitted clients die with the
+                    // process and come back via blind resubmission.
+                    break;
+                }
+                front_submit(&env, &shared, known, stats, done, spec);
+            }
+            shared.closed.store(true, Ordering::SeqCst);
+            shared.work.notify_all();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        drop(groups);
+        self.queue = shared
+            .queue
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.served = shared.served.load(Ordering::SeqCst);
+        self.halted = shared.halted.load(Ordering::SeqCst);
+        for (exec_stats, responses) in collected {
+            self.stats.absorb_exec(&exec_stats);
+            self.done.extend(responses);
         }
-        let mut attempts = 0u32;
-        loop {
-            attempts += 1;
-            let chaos = self.cfg.chaos;
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                if let Some(chaos) = &chaos {
-                    chaos.maybe_panic(spec.id, attempts);
+    }
+}
+
+/// Pipelined admission (front thread of a concurrent drain): the same
+/// admission contract as [`Server::submit`] except that instead of
+/// shedding on a full queue, the front thread *paces* — it waits for the
+/// executors to pull the queue below the degradation watermark, which is
+/// the pipelined equivalent of the bench driver's chunked pacing and
+/// keeps plans deterministic (admission pressure never crosses the
+/// watermark, so nothing degrades behind the client's back).
+fn front_submit(
+    env: &ExecEnv<'_>,
+    shared: &Shared,
+    known: &mut HashSet<u64>,
+    stats: &mut ServeStats,
+    done: &mut Vec<Response>,
+    spec: JobSpec,
+) {
+    stats.submitted += 1;
+    if !known.insert(spec.id) {
+        return;
+    }
+    if spec.deadline_ms == Some(0) {
+        stats.rejected_deadline += 1;
+        done.push(Response::rejected(
+            spec.id,
+            RejectReason::DeadlineUnmeetable,
+        ));
+        return;
+    }
+    let mut q = shared.queue.lock().unwrap();
+    let cap = q.capacity();
+    if cap == 0 {
+        stats.shed += 1;
+        done.push(Response::rejected(spec.id, RejectReason::QueueFull));
+        return;
+    }
+    let mark = ((cap as f64 * env.cfg.degrade_watermark).ceil() as usize).clamp(1, cap);
+    while q.len() >= mark {
+        if shared.halted.load(Ordering::SeqCst) {
+            return;
+        }
+        q = shared.space.wait(q).unwrap();
+    }
+    let plan = resolve_plan(env.cfg, q.pressure(), &spec);
+    // Same write-ahead ordering as Server::submit, held under the queue
+    // lock: pending exists before the request is poppable.
+    if let Some(journal) = env.journal {
+        journal.record_admitted(&JournalRecord::pending(spec, plan));
+    }
+    q.try_push(spec, plan).expect("paced below the watermark");
+    stats.admitted += 1;
+    if plan.degraded.is_some() {
+        stats.degraded += 1;
+    }
+    powerscale_trace::async_begin(powerscale_trace::Category::Serve, "serve:queued", spec.id);
+    drop(q);
+    shared.work.notify_one();
+}
+
+/// One executor thread: pop a same-shape batch, place it by width, serve
+/// it, finalize (tickets + journal), repeat until closed or halted.
+fn executor_loop(
+    e: usize,
+    range: Range<usize>,
+    shared: &Shared,
+    env: &ExecEnv<'_>,
+    mc: usize,
+) -> (ServeStats, Vec<Response>) {
+    powerscale_trace::set_thread_label("serve-exec", e as u32);
+    let mut stats = ServeStats::default();
+    let mut out = Vec::new();
+    let batch_max = env.cfg.batch.max(1);
+    'serve: loop {
+        let batch = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if shared.halted.load(Ordering::SeqCst) {
+                    break 'serve;
                 }
-                self.run_job(job, &token)
-            }));
-            match outcome {
-                Ok(Attempt::Done {
-                    result,
-                    wall,
-                    watts,
-                }) => {
-                    let joules = self.measure_joules(spec.id, watts, wall);
-                    self.stats.completed += 1;
-                    return Response {
-                        id: spec.id,
-                        status: Status::Completed,
-                        reject: None,
-                        failure: None,
-                        error: None,
-                        attempts,
-                        degraded: job.plan.degraded,
-                        wall_ms: Some(wall * 1e3),
-                        joules,
-                        checksum: Some(checksum_f64(result.as_slice())),
-                    };
+                if !q.is_empty() {
+                    break q.pop_batch(batch_max);
                 }
-                Ok(Attempt::DeadlineExceeded { wall }) => {
-                    self.stats.failed_deadline += 1;
-                    return Response::failed(
+                if shared.closed.load(Ordering::SeqCst) {
+                    break 'serve;
+                }
+                q = shared.work.wait(q).unwrap();
+            }
+        };
+        shared.space.notify_all();
+        let group_width = range.len();
+        let width = placement::slot_width(batch[0].spec.n, mc, group_width);
+        if width <= 1 && group_width > 1 && batch.len() > 1 {
+            // Batched small-GEMM fast path: the whole homogeneous batch
+            // under ONE pool scope, one request per group slot (round
+            // robin over the group's workers), each multiply inline on
+            // its slot — spawn/steal overhead amortized over the batch.
+            let mut slots: Vec<(ServeStats, Option<Response>)> = batch
+                .iter()
+                .map(|_| (ServeStats::default(), None))
+                .collect();
+            env.pool.scope(|s| {
+                for (k, (job, slot)) in batch.iter().zip(slots.iter_mut()).enumerate() {
+                    let worker = range.start + k % group_width;
+                    s.spawn_in(worker, move |_| {
+                        let resp = serve_one(env, ExecMode::Inline, job, &mut slot.0);
+                        slot.1 = Some(resp);
+                    });
+                }
+            });
+            for (job, (slot_stats, resp)) in batch.iter().zip(slots) {
+                stats.absorb_exec(&slot_stats);
+                if let Some(resp) = resp {
+                    finalize(env, shared, job, resp, &mut out);
+                }
+            }
+        } else {
+            let mode = if width <= 1 {
+                ExecMode::Inline
+            } else {
+                ExecMode::Grouped {
+                    home: range.start,
+                    width,
+                }
+            };
+            for job in &batch {
+                if shared.halted.load(Ordering::SeqCst) {
+                    // The rest of the batch dies with the simulated
+                    // crash; pending records survive for replay.
+                    break;
+                }
+                let resp = serve_one(env, mode, job, &mut stats);
+                finalize(env, shared, job, resp, &mut out);
+            }
+        }
+    }
+    (stats, out)
+}
+
+/// Completion-ticket finalization (see the module docs' halt
+/// discipline): ticket > h ⇒ the response is discarded un-journaled,
+/// ticket == h ⇒ recorded, then the crash flag trips everyone.
+fn finalize(
+    env: &ExecEnv<'_>,
+    shared: &Shared,
+    job: &Admitted,
+    resp: Response,
+    out: &mut Vec<Response>,
+) {
+    let ticket = shared.served.fetch_add(1, Ordering::SeqCst) + 1;
+    if let Some(h) = env.cfg.halt_after {
+        if ticket > h {
+            return;
+        }
+        if ticket == h {
+            shared.halted.store(true, Ordering::SeqCst);
+            shared.work.notify_all();
+            shared.space.notify_all();
+        }
+    }
+    if let Some(journal) = env.journal {
+        let mut rec = JournalRecord::pending(job.spec, job.plan);
+        rec.response = Some(resp.clone());
+        journal.record_done(&rec);
+    }
+    out.push(resp);
+}
+
+/// Full lifecycle of one popped request: deadline token, chaos,
+/// catch_unwind isolation, bounded backoff retries. Emits the
+/// `serve:queued` (async, cross-thread) and `serve:exec` trace spans and
+/// fills the response's `queued_ms`/`exec_ms` split.
+fn serve_one(
+    env: &ExecEnv<'_>,
+    mode: ExecMode,
+    job: &Admitted,
+    stats: &mut ServeStats,
+) -> Response {
+    let spec = job.spec;
+    let queued_ms = job.admitted_at.elapsed().as_secs_f64() * 1e3;
+    powerscale_trace::async_end(powerscale_trace::Category::Serve, "serve:queued", spec.id);
+    let _span = powerscale_trace::span_args(
+        powerscale_trace::Category::Serve,
+        "serve:exec",
+        spec.id as u32,
+        spec.n as u32,
+    );
+    let exec_start = Instant::now();
+    let finish = |mut resp: Response| -> Response {
+        resp.queued_ms = Some(queued_ms);
+        resp.exec_ms = Some(exec_start.elapsed().as_secs_f64() * 1e3);
+        resp
+    };
+    let token = match job.deadline() {
+        Some(deadline) => CancelToken::with_deadline(deadline),
+        None => CancelToken::new(),
+    };
+    if token.is_cancelled() {
+        stats.failed_deadline += 1;
+        let mut resp = Response::failed(
+            spec.id,
+            FailReason::DeadlineExceeded,
+            0,
+            "deadline expired while queued".to_string(),
+        );
+        resp.queued_ms = Some(queued_ms);
+        return resp;
+    }
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let chaos = env.cfg.chaos;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(chaos) = &chaos {
+                chaos.maybe_panic(spec.id, attempts);
+            }
+            run_job(env, mode, job, &token)
+        }));
+        match outcome {
+            Ok(Attempt::Done {
+                result,
+                wall,
+                watts,
+            }) => {
+                let joules = measure_joules(env.cfg, spec.id, watts, wall);
+                stats.completed += 1;
+                return finish(Response {
+                    id: spec.id,
+                    status: Status::Completed,
+                    reject: None,
+                    failure: None,
+                    error: None,
+                    attempts,
+                    degraded: job.plan.degraded,
+                    wall_ms: Some(wall * 1e3),
+                    queued_ms: None,
+                    exec_ms: None,
+                    joules,
+                    checksum: Some(checksum_f64(result.as_slice())),
+                });
+            }
+            Ok(Attempt::DeadlineExceeded { wall }) => {
+                stats.failed_deadline += 1;
+                return finish(Response::failed(
+                    spec.id,
+                    FailReason::DeadlineExceeded,
+                    attempts,
+                    format!(
+                        "deadline exceeded after {:.1} ms of attempt {attempts} \
+                         (partial result discarded)",
+                        wall * 1e3
+                    ),
+                ));
+            }
+            Err(payload) => {
+                let msg = panic_message(payload);
+                if token.is_cancelled() {
+                    stats.failed_deadline += 1;
+                    return finish(Response::failed(
                         spec.id,
                         FailReason::DeadlineExceeded,
                         attempts,
-                        format!(
-                            "deadline exceeded after {:.1} ms of attempt {attempts} \
-                             (partial result discarded)",
-                            wall * 1e3
-                        ),
-                    );
+                        format!("deadline passed during panicked attempt {attempts}: {msg}"),
+                    ));
                 }
-                Err(payload) => {
-                    let msg = panic_message(payload);
-                    if token.is_cancelled() {
-                        self.stats.failed_deadline += 1;
-                        return Response::failed(
-                            spec.id,
-                            FailReason::DeadlineExceeded,
-                            attempts,
-                            format!("deadline passed during panicked attempt {attempts}: {msg}"),
-                        );
-                    }
-                    if attempts > self.cfg.retries {
-                        self.stats.failed_panics += 1;
-                        return Response::failed(
-                            spec.id,
-                            FailReason::WorkerPanic,
-                            attempts,
-                            format!("retry budget exhausted: {msg}"),
-                        );
-                    }
-                    self.stats.retried += 1;
-                    let shift = (attempts - 1).min(6);
-                    let pause =
-                        Duration::from_millis(self.cfg.backoff_ms.saturating_mul(1 << shift))
-                            .min(Duration::from_millis(100));
-                    std::thread::sleep(pause);
+                if attempts > env.cfg.retries {
+                    stats.failed_panics += 1;
+                    return finish(Response::failed(
+                        spec.id,
+                        FailReason::WorkerPanic,
+                        attempts,
+                        format!("retry budget exhausted: {msg}"),
+                    ));
                 }
+                stats.retried += 1;
+                let shift = (attempts - 1).min(6);
+                let pause = Duration::from_millis(env.cfg.backoff_ms.saturating_mul(1 << shift))
+                    .min(Duration::from_millis(100));
+                // In the concurrent server this sleep overlaps with the
+                // other executors' work instead of stalling the loop.
+                std::thread::sleep(pause);
             }
         }
     }
+}
 
-    /// One instrumented attempt: generate operands, multiply under the
-    /// request's cancellation token, convert the measured event profile
-    /// into model package watts (the harness real-execution pattern).
-    fn run_job(&self, job: &Admitted, token: &CancelToken) -> Attempt {
-        let spec = job.spec;
-        let plan = job.plan;
-        let _pin = DtypePin::set(plan.dtype);
-        let mut gen = MatrixGen::new(spec.seed);
-        let a = gen.paper_operand(spec.n);
-        let b = gen.paper_operand(spec.n);
-        let mut set = EventSet::with_all_events();
-        set.start().expect("fresh event set");
-        let t0 = Instant::now();
-        let result = self
-            .pool
-            .scope_with_cancel(token, |_| match plan.algorithm {
-                Algorithm::Blocked => {
-                    let mut c = Matrix::zeros(spec.n, spec.n);
-                    let kernel = powerscale_gemm::select_kernel();
-                    let ctx = powerscale_gemm::GemmContext {
-                        params: powerscale_gemm::BlockingParams::autotuned_for(kernel),
-                        kernel,
-                        pool: Some(&self.pool),
-                        events: Some(&set),
-                    };
-                    powerscale_gemm::dgemm(1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), &ctx)
-                        .expect("square operands are valid");
-                    c
-                }
-                Algorithm::Strassen => powerscale_strassen::multiply(
-                    &a.view(),
-                    &b.view(),
-                    &self.harness.strassen,
-                    Some(&self.pool),
-                    Some(&set),
-                )
-                .expect("square operands are valid"),
-                Algorithm::Caps => powerscale_caps::multiply(
-                    &a.view(),
-                    &b.view(),
-                    &self.harness.caps,
-                    Some(&self.pool),
-                    Some(&set),
-                )
-                .expect("square operands are valid"),
+/// One instrumented attempt: generate operands, multiply under the
+/// request's cancellation token at the placement-chosen width, convert
+/// the measured event profile into model package watts (the harness
+/// real-execution pattern).
+fn run_job(env: &ExecEnv<'_>, mode: ExecMode, job: &Admitted, token: &CancelToken) -> Attempt {
+    let spec = job.spec;
+    let plan = job.plan;
+    let _pin = DtypePin::set(plan.dtype);
+    let mut gen = MatrixGen::new(spec.seed);
+    let a = gen.paper_operand(spec.n);
+    let b = gen.paper_operand(spec.n);
+    let mut set = EventSet::with_all_events();
+    set.start().expect("fresh event set");
+    let t0 = Instant::now();
+    let (result, width) = match mode {
+        ExecMode::WholePool => {
+            let r = env.pool.scope_with_cancel(token, |_| {
+                multiply(env, plan, &spec, &a, &b, &set, Some(env.pool))
             });
-        let wall = t0.elapsed().as_secs_f64();
-        let profile = set.stop().expect("running event set");
-        if token.is_cancelled() {
-            return Attempt::DeadlineExceeded { wall };
+            (Some(r), env.cfg.threads)
         }
-        let rspec = RunSpec::new(plan.algorithm, spec.n, self.cfg.threads).with_dtype(plan.dtype);
-        let watts = self.harness.profile_power(rspec, &profile);
-        Attempt::Done {
-            result,
-            wall,
-            watts,
+        ExecMode::Inline => {
+            // Small-GEMM fast path: no pool, no handoff. The inline
+            // multiply has no steal boundaries to poll, so the deadline
+            // is enforced at the attempt boundary (small shapes finish
+            // in well under any meaningful budget).
+            let r = (!token.is_cancelled()).then(|| multiply(env, plan, &spec, &a, &b, &set, None));
+            (r, 1)
         }
+        ExecMode::Grouped { home, width } => {
+            let mut slot: Option<Matrix> = None;
+            env.pool.scope_with_cancel(token, |s| {
+                s.spawn_in(home, |_| {
+                    slot = Some(multiply(env, plan, &spec, &a, &b, &set, Some(env.pool)));
+                });
+            });
+            // `None` here means the token fired before the root task ran
+            // (cancelled at the spawn boundary).
+            (slot, width)
+        }
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    let profile = set.stop().expect("running event set");
+    let result = match result {
+        Some(r) if !token.is_cancelled() => r,
+        _ => return Attempt::DeadlineExceeded { wall },
+    };
+    let rspec = RunSpec::new(plan.algorithm, spec.n, width).with_dtype(plan.dtype);
+    let watts = env.harness.profile_power(rspec, &profile);
+    Attempt::Done {
+        result,
+        wall,
+        watts,
     }
+}
 
-    /// Model package joules for one served request: a [`ModelReader`]
-    /// emitting the profile-estimated watts, sampled over the measured
-    /// wall window — read through the fault-injection + recovery
-    /// decorators when chaos is on, exactly like the sweep's measurement
-    /// path.
-    fn measure_joules(&self, id: u64, watts: f64, wall: f64) -> Option<f64> {
-        const SAMPLES: usize = 16;
-        let dt = wall / SAMPLES as f64;
-        let model = ModelReader::from_powers(&[(Domain::Package, watts)]);
-        let report = match self.cfg.chaos.filter(|c| c.rapl_faults) {
-            Some(chaos) => {
-                let mut reader =
-                    ResilientReader::new(FaultInjectingReader::new(model, chaos.fault_config(id)));
-                let mut meter = EnergyMeter::start(&mut reader);
-                for _ in 0..SAMPLES {
-                    reader.inner_mut().inner_mut().advance(dt);
-                    meter.sample(&mut reader);
-                }
-                meter.finish(&mut reader, wall)
-            }
-            None => {
-                let mut reader = model;
-                let mut meter = EnergyMeter::start(&mut reader);
-                for _ in 0..SAMPLES {
-                    reader.advance(dt);
-                    meter.sample(&mut reader);
-                }
-                meter.finish(&mut reader, wall)
-            }
-        };
-        report.joules_for(Domain::Package)
+/// The multiply itself, at the caller's chosen pool (whole pool, group,
+/// or `None` = inline).
+fn multiply(
+    env: &ExecEnv<'_>,
+    plan: ExecPlan,
+    spec: &JobSpec,
+    a: &Matrix,
+    b: &Matrix,
+    set: &EventSet,
+    pool: Option<&ThreadPool>,
+) -> Matrix {
+    match plan.algorithm {
+        Algorithm::Blocked => {
+            let mut c = Matrix::zeros(spec.n, spec.n);
+            let kernel = powerscale_gemm::select_kernel();
+            let ctx = powerscale_gemm::GemmContext {
+                params: powerscale_gemm::BlockingParams::autotuned_for(kernel),
+                kernel,
+                pool,
+                events: Some(set),
+            };
+            powerscale_gemm::dgemm(1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), &ctx)
+                .expect("square operands are valid");
+            c
+        }
+        Algorithm::Strassen => powerscale_strassen::multiply(
+            &a.view(),
+            &b.view(),
+            &env.harness.strassen,
+            pool,
+            Some(set),
+        )
+        .expect("square operands are valid"),
+        Algorithm::Caps => {
+            powerscale_caps::multiply(&a.view(), &b.view(), &env.harness.caps, pool, Some(set))
+                .expect("square operands are valid")
+        }
     }
+}
+
+/// Model package joules for one served request: a [`ModelReader`]
+/// emitting the profile-estimated watts, sampled over the measured
+/// wall window — read through the fault-injection + recovery
+/// decorators when chaos is on, exactly like the sweep's measurement
+/// path.
+fn measure_joules(cfg: &ServerConfig, id: u64, watts: f64, wall: f64) -> Option<f64> {
+    const SAMPLES: usize = 16;
+    let dt = wall / SAMPLES as f64;
+    let model = ModelReader::from_powers(&[(Domain::Package, watts)]);
+    let report = match cfg.chaos.filter(|c| c.rapl_faults) {
+        Some(chaos) => {
+            let mut reader =
+                ResilientReader::new(FaultInjectingReader::new(model, chaos.fault_config(id)));
+            let mut meter = EnergyMeter::start(&mut reader);
+            for _ in 0..SAMPLES {
+                reader.inner_mut().inner_mut().advance(dt);
+                meter.sample(&mut reader);
+            }
+            meter.finish(&mut reader, wall)
+        }
+        None => {
+            let mut reader = model;
+            let mut meter = EnergyMeter::start(&mut reader);
+            for _ in 0..SAMPLES {
+                reader.advance(dt);
+                meter.sample(&mut reader);
+            }
+            meter.finish(&mut reader, wall)
+        }
+    };
+    report.joules_for(Domain::Package)
 }
 
 #[cfg(test)]
@@ -584,6 +1003,11 @@ mod tests {
             assert!(r.joules.unwrap() > 0.0);
             assert!(r.wall_ms.unwrap() > 0.0);
             assert!(r.checksum.is_some());
+            assert!(r.queued_ms.unwrap() >= 0.0, "queue wait must be reported");
+            assert!(
+                r.exec_ms.unwrap() >= r.wall_ms.unwrap(),
+                "service time includes the multiply"
+            );
         }
         assert_eq!(s.stats().completed, 3);
         assert_eq!(s.stats().shed, 0);
@@ -648,6 +1072,27 @@ mod tests {
     }
 
     #[test]
+    fn shed_requests_leave_no_journal_record() {
+        // The write-ahead record is written before the push but only
+        // after the room check: a shed request must not be replayable.
+        let dir = tmpdir("shed-no-record");
+        let cfg = ServerConfig {
+            threads: 1,
+            capacity: 1,
+            journal_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let mut s = Server::new(cfg).unwrap();
+        assert!(s.submit(JobSpec::new(1, 32, Algorithm::Blocked)).is_none());
+        assert!(s.submit(JobSpec::new(2, 32, Algorithm::Blocked)).is_some());
+        assert!(dir.join("requests").join("1.json").exists());
+        assert!(
+            !dir.join("requests").join("2.json").exists(),
+            "shed request must never reach the journal"
+        );
+    }
+
+    #[test]
     fn tight_deadlines_fail_with_deadline_reason() {
         let mut s = Server::new(small_cfg()).unwrap();
         let specs = vec![
@@ -704,6 +1149,43 @@ mod tests {
         assert_eq!(out.len(), 3);
         for i in 0..3 {
             assert!(dir.join("requests").join(format!("{i}.json")).exists());
+        }
+    }
+
+    #[test]
+    fn concurrent_run_matches_serial_bitwise() {
+        // The placement property that matters to clients: whatever the
+        // executor count, groups and widths, results are bit-identical
+        // to the serial server's (the algorithms are schedule-invariant).
+        let specs: Vec<JobSpec> = (0..12)
+            .map(|i| JobSpec::new(i, [48, 64, 96][(i % 3) as usize], Algorithm::Strassen))
+            .collect();
+        let serial = Server::new(ServerConfig {
+            threads: 4,
+            capacity: 64,
+            ..ServerConfig::default()
+        })
+        .unwrap()
+        .run(specs.clone());
+        for executors in [2usize, 4] {
+            let conc = Server::new(ServerConfig {
+                threads: 4,
+                executors,
+                capacity: 64,
+                ..ServerConfig::default()
+            })
+            .unwrap()
+            .run(specs.clone());
+            assert_eq!(conc.len(), serial.len(), "G={executors}");
+            for (c, s) in conc.iter().zip(&serial) {
+                assert_eq!(c.id, s.id);
+                assert_eq!(
+                    c.checksum, s.checksum,
+                    "id {} drifted at G={executors}",
+                    c.id
+                );
+                assert_eq!(c.status, s.status);
+            }
         }
     }
 }

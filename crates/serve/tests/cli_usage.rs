@@ -59,6 +59,16 @@ fn non_numeric_values_exit_2_with_usage() {
     assert_usage_exit(&["--seed", "not-a-number"]);
     assert_usage_exit(&["--threads", "a-few"]);
     assert_usage_exit(&["--halt-after", "soon"]);
+    assert_usage_exit(&["--executors", "several"]);
+    assert_usage_exit(&["--backoff", "briefly"]);
+}
+
+#[test]
+fn executor_flag_edge_cases_exit_2_with_usage() {
+    assert_usage_exit(&["--executors"]);
+    assert_usage_exit(&["--executors", "0"]);
+    assert_usage_exit(&["--executors", "--chaos"]);
+    assert_usage_exit(&["--backoff"]);
 }
 
 #[test]

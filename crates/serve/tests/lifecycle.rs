@@ -174,6 +174,121 @@ fn kill_and_restart_under_chaos_is_still_exactly_once_and_bit_consistent() {
 }
 
 #[test]
+fn concurrent_kill_and_restart_under_chaos_is_exactly_once_and_bit_consistent() {
+    // The concurrent scheduler's crash discipline: with G executors and
+    // several requests genuinely in flight, kill the server mid-drain,
+    // restart it (still concurrent), blindly resubmit. The journal must
+    // hold exactly-once together across the restart, and every result
+    // must match a *serial* uninterrupted reference bit-for-bit — the
+    // same journal serves any executor count.
+    let specs = workload(18);
+    let chaos = Some(ChaosConfig::chaos(77));
+    let cfg = |executors: usize, journal: Option<PathBuf>, resume: bool, halt: Option<usize>| {
+        ServerConfig {
+            threads: 4,
+            executors,
+            capacity: 64,
+            chaos,
+            journal_dir: journal,
+            resume,
+            halt_after: halt,
+            ..ServerConfig::default()
+        }
+    };
+
+    // Serial uninterrupted reference.
+    let reference = Server::new(cfg(1, None, false, None))
+        .unwrap()
+        .run(specs.clone());
+    let reference = by_id(&reference);
+
+    // Concurrent crash-simulated run: 2 executors, dies after 5
+    // completion tickets.
+    let dir = tmpdir("concurrent-kill-restart");
+    let mut first = Server::new(cfg(2, Some(dir.clone()), false, Some(5))).unwrap();
+    let first_out = first.run(specs.clone());
+    assert!(first.halted(), "the crash point must have fired");
+    assert_eq!(
+        first_out.len(),
+        5,
+        "exactly the first 5 completion tickets survive the crash"
+    );
+
+    // Concurrent restart + blind resubmission.
+    let mut second = Server::new(cfg(2, Some(dir), true, None)).unwrap();
+    assert_eq!(second.stats().recovered, 5, "done records recover whole");
+    assert_eq!(
+        second.stats().recovered + second.stats().replayed,
+        specs.len() as u64,
+        "every admitted request is either recovered or replayed"
+    );
+    let second_out = second.run(specs.clone());
+    let map = by_id(&second_out);
+    assert_eq!(map.len(), specs.len(), "no lost responses after recovery");
+    assert_eq!(
+        second.stats().admitted,
+        0,
+        "resubmitted known ids must not be re-admitted"
+    );
+    for spec in &specs {
+        let a = map[&spec.id];
+        let b = reference[&spec.id];
+        assert_eq!(a.status, b.status, "id {}", spec.id);
+        assert_eq!(
+            a.checksum, b.checksum,
+            "id {} drifted across the concurrent crash",
+            spec.id
+        );
+        assert_eq!(a.degraded, b.degraded, "id {} plan drifted", spec.id);
+    }
+}
+
+#[test]
+fn concurrent_journal_holds_one_done_record_per_request() {
+    // Ordering discipline under concurrency: the pending (write-ahead)
+    // record is written before the request becomes poppable, so with 4
+    // executors racing the admitting thread, a resume must find every
+    // record in the done state — a late pending write clobbering a done
+    // record would resurface here as a replayed request.
+    let specs = workload(24);
+    let cfg = |resume: bool, dir: PathBuf| ServerConfig {
+        threads: 4,
+        executors: 4,
+        capacity: 64,
+        chaos: Some(ChaosConfig::chaos(13)),
+        journal_dir: Some(dir),
+        resume,
+        ..ServerConfig::default()
+    };
+    let dir = tmpdir("concurrent-journal-order");
+    let mut first = Server::new(cfg(false, dir.clone())).unwrap();
+    let first_out = first.run(specs.clone());
+    assert_eq!(by_id(&first_out).len(), specs.len());
+
+    let mut second = Server::new(cfg(true, dir)).unwrap();
+    assert_eq!(
+        second.stats().recovered,
+        specs.len() as u64,
+        "every record must be done after a clean concurrent drain"
+    );
+    assert_eq!(
+        second.stats().replayed,
+        0,
+        "no record may revert to pending"
+    );
+    let second_out = second.run(specs.clone());
+    let map = by_id(&second_out);
+    let first_map = by_id(&first_out);
+    for spec in &specs {
+        assert_eq!(
+            map[&spec.id].checksum, first_map[&spec.id].checksum,
+            "id {} recovered response drifted",
+            spec.id
+        );
+    }
+}
+
+#[test]
 fn degraded_plans_survive_the_journal_round_trip() {
     // Fill a small queue so admission degrades late requests, crash,
     // resume: the replay must serve them at the *journaled* rung, not

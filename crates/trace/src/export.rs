@@ -91,7 +91,9 @@ fn thread_forest(records: &[Record], clamp_end_ns: u64) -> Vec<SpanNode> {
                 // Stray End (e.g. the opening Begin was dropped on ring
                 // overflow): ignore rather than corrupt the tree.
             }
-            Kind::Instant { .. } | Kind::Counter { .. } => {}
+            // Async spans pair by id across threads; they are not part
+            // of this thread's nesting stack.
+            Kind::Instant { .. } | Kind::Counter { .. } | Kind::Async { .. } => {}
         }
     }
     // Clamp spans still open at session stop.
@@ -224,6 +226,24 @@ pub fn to_chrome_json(trace: &Trace) -> String {
                         "{{\"ph\":\"C\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\
                          \"name\":\"{name}\",\"args\":{{\"value\":{value:.6}}}}}",
                         ts = us(rec.ts.saturating_sub(trace.start_ns)),
+                    ),
+                ),
+                // Chrome async events: `b`/`e` pairs correlated by id,
+                // rendered as a separate track — begin and end may sit on
+                // different threads (queue-wait attribution).
+                Kind::Async {
+                    name,
+                    cat,
+                    id,
+                    begin,
+                } => push_event(
+                    &mut out,
+                    format!(
+                        "{{\"ph\":\"{ph}\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\
+                         \"name\":\"{name}\",\"cat\":\"{cat}\",\"id\":\"0x{id:x}\"}}",
+                        ph = if begin { 'b' } else { 'e' },
+                        ts = us(rec.ts.saturating_sub(trace.start_ns)),
+                        cat = cat.as_str(),
                     ),
                 ),
                 _ => {}

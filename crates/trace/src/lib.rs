@@ -111,7 +111,9 @@ pub fn span_args(cat: Category, name: &'static str, arg0: u32, arg1: u32) -> Spa
 mod ring;
 
 #[cfg(feature = "enable")]
-pub use ring::{active, counter, instant, now_ns, set_thread_label, start, stop};
+pub use ring::{
+    active, async_begin, async_end, counter, instant, now_ns, set_thread_label, start, stop,
+};
 
 #[cfg(not(feature = "enable"))]
 mod noop {
@@ -124,6 +126,14 @@ mod noop {
     /// Records a counter sample (no-op: `enable` feature off).
     #[inline(always)]
     pub fn counter(_name: &'static str, _value: f64) {}
+
+    /// Opens a cross-thread async span (no-op: `enable` feature off).
+    #[inline(always)]
+    pub fn async_begin(_cat: Category, _name: &'static str, _id: u64) {}
+
+    /// Closes a cross-thread async span (no-op: `enable` feature off).
+    #[inline(always)]
+    pub fn async_end(_cat: Category, _name: &'static str, _id: u64) {}
 
     /// Names the calling thread (no-op: `enable` feature off).
     #[inline(always)]
@@ -155,4 +165,6 @@ mod noop {
 }
 
 #[cfg(not(feature = "enable"))]
-pub use noop::{active, counter, instant, now_ns, set_thread_label, start, stop};
+pub use noop::{
+    active, async_begin, async_end, counter, instant, now_ns, set_thread_label, start, stop,
+};

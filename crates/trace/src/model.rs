@@ -79,6 +79,22 @@ pub enum Kind {
         /// Sampled value.
         value: f64,
     },
+    /// One endpoint of an *async* span: an interval that may begin on one
+    /// thread and end on another (a request waiting in a queue, an I/O
+    /// round trip). Async spans do not participate in the per-thread
+    /// nesting stack — exporters pair them by `(cat, name, id)` instead —
+    /// so the serving layer can attribute queue-wait time without faking
+    /// a thread-local span.
+    Async {
+        /// Span name.
+        name: &'static str,
+        /// Subsystem.
+        cat: Category,
+        /// Correlation id pairing the begin with its end (e.g. request id).
+        id: u64,
+        /// `true` opens the interval, `false` closes it.
+        begin: bool,
+    },
 }
 
 /// One timeline record: a nanosecond timestamp on the process-wide

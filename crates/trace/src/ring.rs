@@ -235,6 +235,42 @@ pub fn instant(cat: Category, name: &'static str, arg0: u32) {
     });
 }
 
+/// Opens an async span: an interval correlated by `(cat, name, id)` that
+/// may be closed by [`async_end`] on a *different* thread. Used for
+/// cross-thread waits (a request queued on the admission thread, picked
+/// up by an executor).
+#[inline]
+pub fn async_begin(cat: Category, name: &'static str, id: u64) {
+    with_ring(|ring| {
+        ring.push(Record {
+            ts: now_ns(),
+            kind: Kind::Async {
+                name,
+                cat,
+                id,
+                begin: true,
+            },
+        })
+    });
+}
+
+/// Closes the async span opened by [`async_begin`] with the same
+/// `(cat, name, id)`.
+#[inline]
+pub fn async_end(cat: Category, name: &'static str, id: u64) {
+    with_ring(|ring| {
+        ring.push(Record {
+            ts: now_ns(),
+            kind: Kind::Async {
+                name,
+                cat,
+                id,
+                begin: false,
+            },
+        })
+    });
+}
+
 /// Records a counter sample (e.g. cumulative joules for a RAPL domain).
 #[inline]
 pub fn counter(name: &'static str, value: f64) {
