@@ -27,6 +27,20 @@
 //! (pipelined with execution), and each in-flight request is confined to
 //! its executor's group so requests don't steal each other's workers.
 //!
+//! **`run()` admission differs at `G > 1`.** The serial `run` floods
+//! every spec into the queue before draining, so pressure can cross the
+//! degradation watermarks and requests can be shed. The concurrent
+//! `run` pipelines admission and *paces* the front thread below the
+//! degradation watermark instead (the pipelined analogue of the bench
+//! driver's chunked pacing), so it never sheds and never degrades.
+//! Workloads that rely on pressure semantics — shedding, degraded
+//! plans — must use explicit [`Server::submit`] (full shed/degrade
+//! contract at any `G`) followed by [`Server::drain`]. The bitwise
+//! guarantee is therefore **per frozen plan**: a request executes its
+//! frozen plan bit-identically at any executor count, but `run` itself
+//! may freeze *different* plans at `G = 1` vs `G > 1` once a serial
+//! flood crosses a watermark.
+//!
 //! Placement is size-aware: a request only gets
 //! [`crate::placement::slot_width`] workers — the strong-scaling cap
 //! `ceil(n / mc)` clamped to its group — and a width-1 request takes the
@@ -50,6 +64,18 @@
 //!   pending write. Done records are per-request files owned by exactly
 //!   one executor; the manifest is written once at creation. The dedup
 //!   map (`known`) is only touched by the admitting thread.
+//! * The `closed`/`halted` flags flip **under the queue mutex** before
+//!   their condvars are broadcast: a waiter that read the old value
+//!   while holding the lock cannot reach its wait before the flipping
+//!   thread releases it, so the notification can never fire into the
+//!   check-then-wait gap (the classic lost wakeup).
+//! * The dtype-tier pin the kernels dispatch on is a process global, so
+//!   executors route it through a process-wide [`DtypeGate`]: same-tier
+//!   jobs share the pin concurrently, and a job planned at a different
+//!   tier waits for the pin to fall idle before swinging it. Only
+//!   executor threads wait on the gate — a pool worker in a helping
+//!   scope-wait could sit above a held lease on its own stack and
+//!   deadlock against itself.
 //! * `halt_after` hands out completion tickets from an atomic counter:
 //!   exactly the first `h` finalized requests are recorded and returned,
 //!   later ones are discarded un-journaled (they "die with the process"),
@@ -80,7 +106,7 @@ use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Knobs for one serving run.
@@ -93,9 +119,12 @@ pub struct ServerConfig {
     /// Concurrent executors (in-flight requests). `<= 1` is the serial
     /// PR-7 loop; `G > 1` partitions the pool into G worker groups and
     /// serves G requests at once. Clamped to `threads`. Not part of the
-    /// journal manifest: results are executor-count-invariant (the
-    /// algorithms are schedule-invariant bitwise), so a journal written
-    /// at one G resumes correctly at another.
+    /// journal manifest: a *frozen plan* executes bit-identically at any
+    /// executor count (the algorithms are schedule-invariant bitwise),
+    /// so a journal written at one G resumes correctly at another. Note
+    /// that [`Server::run`]'s *admission* discipline differs at `G > 1`
+    /// (see the module docs): `run` only freezes the same plans across
+    /// executor counts while pressure stays below the watermarks.
     pub executors: usize,
     /// Admission queue bound (0 = shed everything).
     pub capacity: usize,
@@ -179,24 +208,81 @@ impl ServeStats {
     }
 }
 
-/// Pins the process dtype tier for one job and restores the previous pin
-/// on drop (panic-safe) — same pattern as the harness real-execution
-/// bridge, so a degraded mixed-tier job can't leak its pin into the next.
-struct DtypePin {
-    prev: DtypeTier,
+/// Gate over the process-global dtype-tier pin
+/// ([`powerscale_gemm::set_dtype_tier`]): each job's plan freezes its
+/// own tier, but the pin the kernels dispatch on is one process-wide
+/// atomic, so concurrent jobs at *different* tiers must not each
+/// pin/unpin it (a job could execute under the other job's tier,
+/// breaking the frozen plan's bits). Jobs at the pinned tier execute
+/// concurrently; a job planned at a different tier waits until no job
+/// references the pin, swings it, and proceeds.
+///
+/// Only executor threads (and the serial drain) ever wait here — never
+/// pool workers. A worker in a helping scope-wait steals arbitrary
+/// tasks (groups are installed non-strict), so it could pick up a
+/// different-tier job while a lease for the old tier sits below it on
+/// the same stack and deadlock against itself. The gate is one process
+/// global because the hazard is scoped to the pin, which concurrent
+/// `Server` instances in one process share too.
+struct DtypeGate {
+    /// The tier the pin is swung to, and the jobs running under it.
+    state: Mutex<(DtypeTier, usize)>,
+    /// Signalled when the holder count returns to zero.
+    idle: Condvar,
 }
 
-impl DtypePin {
-    fn set(dtype: DtypeTier) -> Self {
-        DtypePin {
-            prev: powerscale_gemm::set_dtype_tier(dtype),
+static DTYPE_GATE: OnceLock<DtypeGate> = OnceLock::new();
+
+fn dtype_gate() -> &'static DtypeGate {
+    DTYPE_GATE.get_or_init(|| DtypeGate {
+        state: Mutex::new((powerscale_gemm::dtype_tier(), 0)),
+        idle: Condvar::new(),
+    })
+}
+
+impl DtypeGate {
+    /// Blocks until `dtype` can be pinned (no job holds another tier),
+    /// pins it, and returns the lease that keeps it held. Re-asserts the
+    /// pin even when joining same-tier holders, which heals any drift a
+    /// serial pinner elsewhere in the process left while the gate was
+    /// idle.
+    fn acquire(&'static self, dtype: DtypeTier) -> DtypeLease {
+        let mut st = self.state.lock().unwrap();
+        while st.1 > 0 && st.0 != dtype {
+            st = self.idle.wait(st).unwrap();
+        }
+        powerscale_gemm::set_dtype_tier(dtype);
+        st.0 = dtype;
+        st.1 += 1;
+        DtypeLease { gate: self }
+    }
+
+    /// Swings the pin back to `dtype` when no job holds it — end-of-drain
+    /// hygiene so a drain doesn't leak its last job's tier into unrelated
+    /// code that reads the process pin afterwards.
+    fn restore_if_idle(&self, dtype: DtypeTier) {
+        let mut st = self.state.lock().unwrap();
+        if st.1 == 0 {
+            powerscale_gemm::set_dtype_tier(dtype);
+            st.0 = dtype;
         }
     }
 }
 
-impl Drop for DtypePin {
+/// Holds the dtype pin at one tier for one job (or one same-tier slice
+/// of a batch). Dropping it (panic-safe) releases the reference and
+/// wakes other-tier waiters once the pin is unreferenced.
+struct DtypeLease {
+    gate: &'static DtypeGate,
+}
+
+impl Drop for DtypeLease {
     fn drop(&mut self) {
-        powerscale_gemm::set_dtype_tier(self.prev);
+        let mut st = self.gate.state.lock().unwrap();
+        st.1 -= 1;
+        if st.1 == 0 {
+            self.gate.idle.notify_all();
+        }
     }
 }
 
@@ -222,7 +308,10 @@ enum ExecMode {
     /// small-GEMM fast path).
     Inline,
     /// Width > 1 slot: the root task is addressed at worker `home`
-    /// (its group's first worker); fan-out prefers that group.
+    /// (its group's first worker); fan-out prefers that group. Only
+    /// used while the group layout is actually installed — an ungrouped
+    /// drain falls back to [`ExecMode::WholePool`] so the reported
+    /// width matches the unconfined fan-out.
     Grouped { home: usize, width: usize },
 }
 
@@ -430,6 +519,7 @@ impl Server {
             self.serve_concurrent(Vec::new());
             return;
         }
+        let prev_tier = powerscale_gemm::dtype_tier();
         let env = ExecEnv {
             cfg: &self.cfg,
             harness: &self.harness,
@@ -444,6 +534,7 @@ impl Server {
                     // the process; their pending journal records survive.
                     continue;
                 }
+                let _lease = dtype_gate().acquire(job.plan.dtype);
                 let resp = serve_one(&env, ExecMode::WholePool, &job, &mut self.stats);
                 if let Some(journal) = &self.journal {
                     let mut rec = JournalRecord::pending(job.spec, job.plan);
@@ -457,6 +548,7 @@ impl Server {
                 }
             }
         }
+        dtype_gate().restore_if_idle(prev_tier);
     }
 
     /// Serves a workload and returns all responses (including
@@ -465,9 +557,12 @@ impl Server {
     /// Serial (`executors <= 1`): every spec is submitted, then the queue
     /// drains. Concurrent: admission is **pipelined** with execution —
     /// the front thread submits while the executors drain, pacing itself
-    /// below the degradation watermark instead of shedding (callers that
-    /// want raw shed/degrade admission semantics submit explicitly and
-    /// call [`Server::drain`]).
+    /// below the degradation watermark instead of shedding. A concurrent
+    /// `run` therefore never sheds and never degrades, which can diverge
+    /// from a serial `run` of the same workload once the serial flood
+    /// crosses a watermark (see the module docs). Callers that want raw
+    /// shed/degrade admission semantics at any executor count submit
+    /// explicitly and call [`Server::drain`].
     pub fn run(&mut self, specs: impl IntoIterator<Item = JobSpec>) -> Vec<Response> {
         if self.cfg.executors > 1 {
             self.serve_concurrent(specs.into_iter().collect());
@@ -493,6 +588,7 @@ impl Server {
         let threads = self.cfg.threads.max(1);
         let g = self.cfg.executors.clamp(1, threads);
         let ranges = placement::partition(threads, g);
+        let prev_tier = powerscale_gemm::dtype_tier();
         let mc =
             powerscale_gemm::BlockingParams::autotuned_for(powerscale_gemm::select_kernel()).mc;
         let shared = Shared {
@@ -511,8 +607,10 @@ impl Server {
         };
         // Group isolation is a scheduling preference, not a correctness
         // requirement (results are schedule-invariant), so a pool that
-        // already has a layout installed just runs ungrouped.
+        // already has a layout installed just runs ungrouped — executors
+        // then report whole-pool width instead of pretending confinement.
         let groups = self.pool.try_install_groups(&ranges, false);
+        let grouped = groups.is_some();
         let known = &mut self.known;
         let stats = &mut self.stats;
         let done = &mut self.done;
@@ -524,7 +622,7 @@ impl Server {
                     let range = range.clone();
                     let shared = &shared;
                     let env = &env;
-                    scope.spawn(move || executor_loop(e, range, shared, env, mc))
+                    scope.spawn(move || executor_loop(e, range, shared, env, mc, grouped))
                 })
                 .collect();
             for spec in specs {
@@ -535,11 +633,20 @@ impl Server {
                 }
                 front_submit(&env, &shared, known, stats, done, spec);
             }
-            shared.closed.store(true, Ordering::SeqCst);
+            {
+                // Flag flips happen under the queue mutex (lost-wakeup
+                // discipline, see the module docs): an executor that read
+                // `closed == false` while holding the lock cannot reach
+                // its wait before we release it, so notify_all below
+                // cannot fire into a gap.
+                let _q = shared.queue.lock().unwrap();
+                shared.closed.store(true, Ordering::SeqCst);
+            }
             shared.work.notify_all();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         drop(groups);
+        dtype_gate().restore_if_idle(prev_tier);
         self.queue = shared
             .queue
             .into_inner()
@@ -612,12 +719,17 @@ fn front_submit(
 
 /// One executor thread: pop a same-shape batch, place it by width, serve
 /// it, finalize (tickets + journal), repeat until closed or halted.
+///
+/// `grouped` says whether the group layout is actually installed on the
+/// pool; when it is not, width > 1 jobs run — and are reported — at
+/// whole-pool width, because nothing confines their fan-out to `range`.
 fn executor_loop(
     e: usize,
     range: Range<usize>,
     shared: &Shared,
     env: &ExecEnv<'_>,
     mc: usize,
+    grouped: bool,
 ) -> (ServeStats, Vec<Response>) {
     powerscale_trace::set_thread_label("serve-exec", e as u32);
     let mut stats = ServeStats::default();
@@ -647,19 +759,40 @@ fn executor_loop(
             // under ONE pool scope, one request per group slot (round
             // robin over the group's workers), each multiply inline on
             // its slot — spawn/steal overhead amortized over the batch.
+            //
+            // A shape-homogeneous batch can still mix frozen dtypes
+            // (e.g. journal replay of degraded plans next to fresh F64
+            // admissions), so the batch runs one same-tier slice at a
+            // time with this executor thread holding the dtype lease
+            // over its slice's scope — pool workers only ever run under
+            // a lease, never wait for one.
             let mut slots: Vec<(ServeStats, Option<Response>)> = batch
                 .iter()
                 .map(|_| (ServeStats::default(), None))
                 .collect();
-            env.pool.scope(|s| {
-                for (k, (job, slot)) in batch.iter().zip(slots.iter_mut()).enumerate() {
-                    let worker = range.start + k % group_width;
-                    s.spawn_in(worker, move |_| {
-                        let resp = serve_one(env, ExecMode::Inline, job, &mut slot.0);
-                        slot.1 = Some(resp);
-                    });
+            let mut tiers: Vec<DtypeTier> = Vec::new();
+            for job in &batch {
+                if !tiers.contains(&job.plan.dtype) {
+                    tiers.push(job.plan.dtype);
                 }
-            });
+            }
+            for tier in tiers {
+                let _lease = dtype_gate().acquire(tier);
+                env.pool.scope(|s| {
+                    for (k, (job, slot)) in batch
+                        .iter()
+                        .zip(slots.iter_mut())
+                        .filter(|(job, _)| job.plan.dtype == tier)
+                        .enumerate()
+                    {
+                        let worker = range.start + k % group_width;
+                        s.spawn_in(worker, move |_| {
+                            let resp = serve_one(env, ExecMode::Inline, job, &mut slot.0);
+                            slot.1 = Some(resp);
+                        });
+                    }
+                });
+            }
             for (job, (slot_stats, resp)) in batch.iter().zip(slots) {
                 stats.absorb_exec(&slot_stats);
                 if let Some(resp) = resp {
@@ -669,11 +802,15 @@ fn executor_loop(
         } else {
             let mode = if width <= 1 {
                 ExecMode::Inline
-            } else {
+            } else if grouped {
                 ExecMode::Grouped {
                     home: range.start,
                     width,
                 }
+            } else {
+                // No layout installed: the fan-out is unconfined, so
+                // report the honest width (see the doc comment above).
+                ExecMode::WholePool
             };
             for job in &batch {
                 if shared.halted.load(Ordering::SeqCst) {
@@ -681,6 +818,7 @@ fn executor_loop(
                     // crash; pending records survive for replay.
                     break;
                 }
+                let _lease = dtype_gate().acquire(job.plan.dtype);
                 let resp = serve_one(env, mode, job, &mut stats);
                 finalize(env, shared, job, resp, &mut out);
             }
@@ -705,7 +843,14 @@ fn finalize(
             return;
         }
         if ticket == h {
-            shared.halted.store(true, Ordering::SeqCst);
+            {
+                // Same lost-wakeup discipline as the close path: trip
+                // the flag under the queue mutex so no waiter that read
+                // `halted == false` under the lock can slip into its
+                // wait after the broadcasts fire.
+                let _q = shared.queue.lock().unwrap();
+                shared.halted.store(true, Ordering::SeqCst);
+            }
             shared.work.notify_all();
             shared.space.notify_all();
         }
@@ -840,10 +985,13 @@ fn serve_one(
 /// request's cancellation token at the placement-chosen width, convert
 /// the measured event profile into model package watts (the harness
 /// real-execution pattern).
+///
+/// Contract: the calling executor (or serial drain) holds a
+/// [`DtypeGate`] lease for `job.plan.dtype`, so the process dtype pin
+/// the kernels dispatch on already matches the frozen plan.
 fn run_job(env: &ExecEnv<'_>, mode: ExecMode, job: &Admitted, token: &CancelToken) -> Attempt {
     let spec = job.spec;
     let plan = job.plan;
-    let _pin = DtypePin::set(plan.dtype);
     let mut gen = MatrixGen::new(spec.seed);
     let a = gen.paper_operand(spec.n);
     let b = gen.paper_operand(spec.n);
@@ -1185,6 +1333,57 @@ mod tests {
                     c.id
                 );
                 assert_eq!(c.status, s.status);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_dtypes_match_serial_bitwise() {
+        // Regression test for the dtype-pin race: the pin is a process
+        // global, so concurrent jobs whose frozen plans disagree on the
+        // tier must be gated — without the gate a job can execute under
+        // its neighbour's tier and its checksum drifts from serial.
+        // Small shapes land in the batched fast path (one batch mixing
+        // tiers), the 96s exercise the sequential per-job lease.
+        let tiers = [DtypeTier::F64, DtypeTier::Mixed, DtypeTier::F32];
+        let specs: Vec<JobSpec> = (0..18)
+            .map(|i| {
+                JobSpec::new(i, [48, 48, 96][(i % 3) as usize], Algorithm::Blocked)
+                    .with_dtype(tiers[(i % tiers.len() as u64) as usize])
+            })
+            .collect();
+        let serial = Server::new(ServerConfig {
+            threads: 4,
+            capacity: 64,
+            ..ServerConfig::default()
+        })
+        .unwrap()
+        .run(specs.clone());
+        assert!(
+            serial
+                .iter()
+                .all(|r| r.status == Status::Completed && r.checksum.is_some()),
+            "serial baseline must complete"
+        );
+        for executors in [2usize, 4] {
+            let conc = Server::new(ServerConfig {
+                threads: 4,
+                executors,
+                capacity: 64,
+                ..ServerConfig::default()
+            })
+            .unwrap()
+            .run(specs.clone());
+            assert_eq!(conc.len(), serial.len(), "G={executors}");
+            for (c, s) in conc.iter().zip(&serial) {
+                assert_eq!(c.id, s.id);
+                assert_eq!(
+                    c.checksum,
+                    s.checksum,
+                    "id {} (dtype {:?}) drifted at G={executors}",
+                    c.id,
+                    tiers[(c.id % tiers.len() as u64) as usize]
+                );
             }
         }
     }
