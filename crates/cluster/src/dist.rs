@@ -1,0 +1,1066 @@
+//! Distributed-memory CAPS and SUMMA executors over simulated message
+//! passing.
+//!
+//! Unlike [`crate::plans`], which *declares* transfer volumes on a task DAG,
+//! this module **executes** the multiply: per-node ranks hold block-column
+//! panels of real matrices, BFS steps redistribute the seven Strassen
+//! sub-problems across disjoint node groups through
+//! [`powerscale_machine::net`], and leaves run the existing sequential
+//! `caps` executor node-local. Every byte crossing a link is metered by the
+//! transport — the Eq. 8 verification reads traffic off the wire, not off a
+//! plan.
+//!
+//! # Bitwise equality with single-node CAPS
+//!
+//! The recursion mirrors the single-node executor's arithmetic exactly:
+//!
+//! * sub-problem operands (`A21 + A22`, `B12 − B22`, …) are materialised
+//!   elementwise with one rounding per element — the same values
+//!   `resolve_operand` produces on the single-node DFS path, and the fused
+//!   leaf packers are documented bitwise-equal to materialise-then-pack;
+//! * the combine uses the single-node 18-pass schedule's association orders
+//!   per element: `C11 = ((M7 + M1) + M4) − M5`, `C12 = M3 + M5`,
+//!   `C21 = M2 + M4`, `C22 = ((M6 + M1) − M2) + M3`;
+//! * node-local leaves call [`powerscale_caps::multiply`] with no pool —
+//!   the identical code path a sequential single-node run takes.
+//!
+//! Distribution and placement therefore never touch the floating-point
+//! result: [`dist_caps_multiply`] is bitwise equal to single-node CAPS at
+//! every node count, which the equivalence tier asserts.
+//!
+//! # Memory-forced DFS
+//!
+//! A BFS step hands each sub-problem to a *smaller* group, growing the
+//! per-rank share — the classic CAPS memory cost. When
+//! [`DistCapsConfig::mem_limit_bytes`] says the BFS children would not fit,
+//! the step degrades to a distributed DFS: all seven sub-problems run
+//! sequentially on the *full* group, keeping per-rank panels narrow at the
+//! cost of extra redistribution traffic — the `(7/4)^ℓ` term of the CAPS
+//! papers, and the mechanism behind the 1202.3177 strong-scaling knee.
+
+use crate::config::ClusterConfig;
+use powerscale_caps::CapsConfig;
+use powerscale_machine::net::{
+    run_spmd, Endpoint, NetConfig, NetError, NetPayload, NetReport, Phase,
+};
+use powerscale_matrix::{pad, DimError, Matrix};
+
+/// A matrix block on the wire; the transport meters its actual element
+/// storage (`rows · cols · 8` bytes).
+pub struct Block(pub Matrix);
+
+impl NetPayload for Block {
+    fn payload_bytes(&self) -> u64 {
+        (self.0.len() * std::mem::size_of::<f64>()) as u64
+    }
+}
+
+/// Configuration for the distributed CAPS executor.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DistCapsConfig {
+    /// The node-local executor configuration (cutoff governs both the
+    /// distributed split and the local leaves, keeping the arithmetic tree
+    /// identical to a single-node run).
+    pub caps: CapsConfig,
+    /// Per-rank memory budget in bytes. `None` lets every step BFS;
+    /// `Some(m)` forces distributed DFS whenever the predicted BFS child
+    /// residency would exceed `m` — the `M` of Eq. 8.
+    pub mem_limit_bytes: Option<u64>,
+}
+
+/// Typed failures of the distributed executors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// The transport failed (bad topology, timeout, …).
+    Net(NetError),
+    /// Operand shapes rejected.
+    Dim(DimError),
+    /// SUMMA needs a square process grid: `nodes` must be `q²`.
+    NotSquareGrid {
+        /// The offending node count.
+        nodes: usize,
+    },
+    /// SUMMA needs the matrix dimension divisible by the grid side.
+    Indivisible {
+        /// Matrix dimension.
+        n: usize,
+        /// Grid side `q = √nodes`.
+        q: usize,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Net(e) => write!(f, "transport: {e}"),
+            DistError::Dim(e) => write!(f, "shapes: {e}"),
+            DistError::NotSquareGrid { nodes } => {
+                write!(f, "SUMMA needs a square grid; {nodes} nodes is not q^2")
+            }
+            DistError::Indivisible { n, q } => {
+                write!(f, "SUMMA needs q | n; n={n}, q={q}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<NetError> for DistError {
+    fn from(e: NetError) -> Self {
+        DistError::Net(e)
+    }
+}
+
+impl From<DimError> for DistError {
+    fn from(e: DimError) -> Self {
+        DistError::Dim(e)
+    }
+}
+
+/// Outcome of a distributed multiply: the full result (gathered at rank 0),
+/// the transport-metered traffic/memory report, and per-rank flop counts
+/// for the analytic makespan model.
+#[derive(Debug)]
+pub struct DistOutcome {
+    /// The product `A · B`, bit-identical to the single-node executor.
+    pub c: Matrix,
+    /// Metered traffic, per-link matrix and per-rank memory high-water
+    /// marks.
+    pub report: NetReport,
+    /// Flops each rank executed (leaf products + elementwise passes).
+    pub per_rank_flops: Vec<u64>,
+}
+
+impl DistOutcome {
+    /// Per-rank compute seconds under a node's achieved GEMM rate.
+    pub fn compute_seconds(&self, flops_per_s: f64) -> Vec<f64> {
+        self.per_rank_flops
+            .iter()
+            .map(|&f| f as f64 / flops_per_s)
+            .collect()
+    }
+
+    /// Analytic makespan: per-rank compute + wire time, maximised.
+    pub fn makespan_s(&self, flops_per_s: f64) -> f64 {
+        self.report.makespan(&self.compute_seconds(flops_per_s))
+    }
+
+    /// Network energy under a cluster's NIC/switch model: per-byte transfer
+    /// energy plus idle NIC + switch power over the makespan.
+    pub fn network_joules(&self, cluster: &ClusterConfig, makespan_s: f64) -> f64 {
+        self.report.total_bytes() as f64 * cluster.nic_joule_per_byte
+            + (cluster.nic_idle_w * self.report.config.nodes as f64 + cluster.switch_w) * makespan_s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared helpers
+// ---------------------------------------------------------------------------
+
+/// Block-column ownership: rank `idx` of a `g`-rank group owns columns
+/// `[idx·m/g, (idx+1)·m/g)` of an `m`-column matrix (floor partition — no
+/// divisibility constraint).
+pub fn owner_cols(m: usize, g: usize, idx: usize) -> (usize, usize) {
+    ((idx * m) / g, ((idx + 1) * m) / g)
+}
+
+/// The BFS rank-range split of `g` ranks into 7 child groups (relative to
+/// group base 0). Ranges are equal-or-disjoint: with `g ≥ 7` they are
+/// disjoint; with `g < 7` several children share one rank and run
+/// sequentially on it. This is the same partition the declared
+/// [`crate::plans`] use, so declared and measured placements agree.
+pub fn bfs_child_ranges(g: usize) -> [(usize, usize); 7] {
+    let mut out = [(0usize, 0usize); 7];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let lo = (i * g) / 7;
+        let hi = (((i + 1) * g) / 7).max(lo + 1);
+        *slot = (lo, hi.min(g.max(lo + 1)));
+    }
+    out
+}
+
+fn is_leaf(m: usize, cutoff: usize) -> bool {
+    m <= cutoff || !m.is_multiple_of(2)
+}
+
+/// Sequential CAPS/Strassen flop count: `7 F(m/2) + 18 (m/2)²` above the
+/// cutoff, `2 m³` at the dense leaf.
+pub fn seq_caps_flops(m: usize, cutoff: usize) -> u64 {
+    if m == 0 {
+        return 0;
+    }
+    if is_leaf(m, cutoff) {
+        return 2 * (m as u64).pow(3);
+    }
+    let h = (m / 2) as u64;
+    7 * seq_caps_flops(m / 2, cutoff) + 18 * h * h
+}
+
+/// Predicted per-rank residency (bytes) of running an `m`-sized sub-problem
+/// on a `g`-rank group: panel storage while distributed, full operands +
+/// result + DFS scratch once node-local.
+pub fn predict_peak_bytes(m: usize, g: usize, cutoff: usize) -> u64 {
+    let m64 = m as u64;
+    if g <= 1 || is_leaf(m, cutoff) {
+        // Local leaf: T, S, C plus the geometric DFS scratch (≈ m²/3).
+        return (3 * m64 * m64 + m64 * m64 / 3) * 8;
+    }
+    let w = m.div_ceil(g) as u64;
+    let panels = 2 * m64 * w * 8;
+    let h = m / 2;
+    let child = bfs_child_ranges(g)
+        .iter()
+        .map(|&(lo, hi)| {
+            let gi = hi - lo;
+            predict_peak_bytes(h, gi, cutoff) + (h as u64) * (h.div_ceil(gi) as u64) * 8
+        })
+        .max()
+        .unwrap_or(0);
+    panels.max(child)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum StepMode {
+    Bfs,
+    Dfs,
+}
+
+/// BFS unless the predicted per-rank residency of the widest BFS child
+/// exceeds the memory budget; pure function of `(m, g, limit)`, so every
+/// rank takes the same branch.
+fn step_mode(m: usize, g: usize, cutoff: usize, limit: Option<u64>) -> StepMode {
+    match limit {
+        None => StepMode::Bfs,
+        Some(l) => {
+            let h = m / 2;
+            let worst = bfs_child_ranges(g)
+                .iter()
+                .map(|&(lo, hi)| predict_peak_bytes(h, hi - lo, cutoff))
+                .max()
+                .unwrap_or(0);
+            if worst <= l {
+                StepMode::Bfs
+            } else {
+                StepMode::Dfs
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Grp {
+    base: usize,
+    size: usize,
+}
+
+impl Grp {
+    fn contains(&self, r: usize) -> bool {
+        r >= self.base && r < self.base + self.size
+    }
+    fn local(&self, r: usize) -> usize {
+        r - self.base
+    }
+}
+
+/// Unique message tags: `(path, stage, src, dst, k)` with `stage < 32`,
+/// ranks `< 256`, `k < 4`. `path` is the recursion-tree node id (root 1,
+/// child `7·path + i + 1`); top-level scatter/gather uses the reserved
+/// `path = 0`.
+fn tag(path: u64, stage: u64, src: usize, dst: usize, k: usize) -> u64 {
+    (((path * 32 + stage) * 256 + src as u64) * 256 + dst as u64) * 4 + k as u64
+}
+
+fn mat_bytes(m: &Matrix) -> u64 {
+    (m.len() * std::mem::size_of::<f64>()) as u64
+}
+
+fn sub_block(src: &Matrix, r0: usize, rows: usize, c0: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| src.get(r0 + r, c0 + c))
+}
+
+// ---------------------------------------------------------------------------
+// sub-problem operand specs (launch order of the single-node executor)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Quad {
+    Q11,
+    Q12,
+    Q21,
+    Q22,
+}
+
+impl Quad {
+    fn origin(self, h: usize) -> (usize, usize) {
+        match self {
+            Quad::Q11 => (0, 0),
+            Quad::Q12 => (0, h),
+            Quad::Q21 => (h, 0),
+            Quad::Q22 => (h, h),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum OpSpec {
+    One(Quad),
+    Add(Quad, Quad),
+    Sub(Quad, Quad),
+}
+
+impl OpSpec {
+    fn quads(self) -> (Quad, Option<Quad>) {
+        match self {
+            OpSpec::One(q) => (q, None),
+            OpSpec::Add(x, y) | OpSpec::Sub(x, y) => (x, Some(y)),
+        }
+    }
+}
+
+/// The seven sub-products in the executor's launch order: child `i`
+/// computes `M_{PRODUCT_OF[i]}` from `(T_i, S_i)`.
+/// `i`: 0 → M2, 1 → M3, 2 → M6, 3 → M7, 4 → M1, 5 → M4, 6 → M5.
+const CHILD_OPS: [(OpSpec, OpSpec); 7] = [
+    (OpSpec::Add(Quad::Q21, Quad::Q22), OpSpec::One(Quad::Q11)), // M2 = (A21+A22) B11
+    (OpSpec::One(Quad::Q11), OpSpec::Sub(Quad::Q12, Quad::Q22)), // M3 = A11 (B12−B22)
+    (
+        OpSpec::Sub(Quad::Q21, Quad::Q11),
+        OpSpec::Add(Quad::Q11, Quad::Q12),
+    ), // M6
+    (
+        OpSpec::Sub(Quad::Q12, Quad::Q22),
+        OpSpec::Add(Quad::Q21, Quad::Q22),
+    ), // M7
+    (
+        OpSpec::Add(Quad::Q11, Quad::Q22),
+        OpSpec::Add(Quad::Q11, Quad::Q22),
+    ), // M1
+    (OpSpec::One(Quad::Q22), OpSpec::Sub(Quad::Q21, Quad::Q11)), // M4 = A22 (B21−B11)
+    (OpSpec::Add(Quad::Q11, Quad::Q12), OpSpec::One(Quad::Q22)), // M5 = (A11+A12) B22
+];
+
+/// Children whose products feed the left C columns (`j < m/2`:
+/// `C11 = ((M7+M1)+M4)−M5`, `C21 = M2+M4`) and the right columns
+/// (`C12 = M3+M5`, `C22 = ((M6+M1)−M2)+M3`).
+const LEFT_CHILDREN: [usize; 5] = [0, 3, 4, 5, 6]; // M2, M7, M1, M4, M5
+const RIGHT_CHILDREN: [usize; 5] = [0, 1, 2, 4, 6]; // M2, M3, M6, M1, M5
+
+// ---------------------------------------------------------------------------
+// piece enumeration (identical on sender and receiver)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct Piece {
+    src: usize,
+    dst: usize,
+    tag: u64,
+    /// Row origin in the sender's panel (parent coordinates).
+    r0: usize,
+    rows: usize,
+    /// Column range in sender-side *global* coordinates.
+    g_lo: usize,
+    g_hi: usize,
+    /// Column offset in the receiver's assembly buffer.
+    dst_off: usize,
+}
+
+/// Pieces moving quadrant `q` of the parent's `side` operand (0 = T, 1 = S)
+/// into child `i`'s block-column distribution.
+#[allow(clippy::too_many_arguments)]
+fn dist_pieces(
+    m: usize,
+    parent: Grp,
+    child: Grp,
+    q: Quad,
+    quad_k: usize,
+    side: usize,
+    i: usize,
+    path: u64,
+) -> Vec<Piece> {
+    let h = m / 2;
+    let (r0, c0) = q.origin(h);
+    let mut out = Vec::new();
+    for ci in 0..child.size {
+        let (clo, chi) = owner_cols(h, child.size, ci);
+        if clo == chi {
+            continue;
+        }
+        let dst = child.base + ci;
+        for pi in 0..parent.size {
+            let (plo, phi) = owner_cols(m, parent.size, pi);
+            let lo = (c0 + clo).max(plo);
+            let hi = (c0 + chi).min(phi);
+            if lo < hi {
+                let src = parent.base + pi;
+                out.push(Piece {
+                    src,
+                    dst,
+                    tag: tag(path, (i * 2 + side) as u64, src, dst, quad_k),
+                    r0,
+                    rows: h,
+                    g_lo: lo,
+                    g_hi: hi,
+                    dst_off: lo - (c0 + clo),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Pieces moving child `i`'s product `M` columns back to the parent ranks
+/// that combine them. `k = 0` feeds left C columns, `k = 1` right.
+fn combine_pieces(m: usize, parent: Grp, child: Grp, i: usize, path: u64) -> Vec<Piece> {
+    let h = m / 2;
+    let mut out = Vec::new();
+    for pi in 0..parent.size {
+        let (lo, hi) = owner_cols(m, parent.size, pi);
+        let dst = parent.base + pi;
+        // (needed, M-column range, k) per part.
+        let parts = [
+            (LEFT_CHILDREN.contains(&i), lo, hi.min(h), 0usize),
+            (
+                RIGHT_CHILDREN.contains(&i),
+                lo.max(h) - h,
+                hi.saturating_sub(h),
+                1usize,
+            ),
+        ];
+        for &(needed, p_lo, p_hi, k) in &parts {
+            if !needed || p_lo >= p_hi {
+                continue;
+            }
+            for ci in 0..child.size {
+                let (mlo, mhi) = owner_cols(h, child.size, ci);
+                let o_lo = p_lo.max(mlo);
+                let o_hi = p_hi.min(mhi);
+                if o_lo < o_hi {
+                    let src = child.base + ci;
+                    out.push(Piece {
+                        src,
+                        dst,
+                        tag: tag(path, 16 + i as u64, src, dst, k),
+                        r0: 0,
+                        rows: h,
+                        g_lo: o_lo,
+                        g_hi: o_hi,
+                        dst_off: o_lo - p_lo,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// the per-rank program
+// ---------------------------------------------------------------------------
+
+struct RankCtx<'a, 'b> {
+    ep: &'a mut Endpoint<Block>,
+    caps: &'b CapsConfig,
+    mem_limit: Option<u64>,
+    flops: u64,
+}
+
+impl RankCtx<'_, '_> {
+    fn me(&self) -> usize {
+        self.ep.rank()
+    }
+
+    /// Send the sub-block a piece describes out of `panel` (whose columns
+    /// cover `[plo, …)` of the global column space at row origin 0).
+    fn send_piece(&mut self, panel: &Matrix, plo: usize, p: &Piece) -> Result<(), NetError> {
+        let blk = sub_block(panel, p.r0, p.rows, p.g_lo - plo, p.g_hi - p.g_lo);
+        self.ep.send(p.dst, p.tag, Block(blk))
+    }
+
+    /// Receive a piece into `buf` at its destination offset.
+    fn recv_piece(&mut self, buf: &mut Matrix, p: &Piece) -> Result<(), NetError> {
+        let blk = self.ep.recv(p.src, p.tag)?.0;
+        debug_assert_eq!(blk.shape(), (p.rows, p.g_hi - p.g_lo));
+        for r in 0..blk.rows() {
+            for c in 0..blk.cols() {
+                buf.set(r, p.dst_off + c, blk.get(r, c));
+            }
+        }
+        Ok(())
+    }
+
+    /// Assemble this rank's panel of child `i`'s operand (`T_i` or `S_i`)
+    /// from the pieces addressed to it, materialising the quadrant combine
+    /// with one rounding per element.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_operand(
+        &mut self,
+        m: usize,
+        parent: Grp,
+        child: Grp,
+        spec: OpSpec,
+        side: usize,
+        i: usize,
+        path: u64,
+    ) -> Result<Matrix, NetError> {
+        let h = m / 2;
+        let ci = child.local(self.me());
+        let (clo, chi) = owner_cols(h, child.size, ci);
+        let w = chi - clo;
+        let (q1, q2) = spec.quads();
+        let mut buf1 = Matrix::zeros(h, w);
+        for p in dist_pieces(m, parent, child, q1, 0, side, i, path) {
+            if p.dst == self.me() {
+                self.recv_piece(&mut buf1, &p)?;
+            }
+        }
+        let buf2 = match q2 {
+            None => None,
+            Some(q) => {
+                let mut b = Matrix::zeros(h, w);
+                for p in dist_pieces(m, parent, child, q, 1, side, i, path) {
+                    if p.dst == self.me() {
+                        self.recv_piece(&mut b, &p)?;
+                    }
+                }
+                Some(b)
+            }
+        };
+        let out = match (spec, buf2) {
+            (OpSpec::One(_), _) => buf1,
+            (OpSpec::Add(_, _), Some(b)) => {
+                self.flops += (h * w) as u64;
+                Matrix::from_fn(h, w, |r, c| buf1.get(r, c) + b.get(r, c))
+            }
+            (OpSpec::Sub(_, _), Some(b)) => {
+                self.flops += (h * w) as u64;
+                Matrix::from_fn(h, w, |r, c| buf1.get(r, c) - b.get(r, c))
+            }
+            _ => unreachable!("two-quadrant spec always has a second buffer"),
+        };
+        Ok(out)
+    }
+
+    /// Send this rank's share of both operands of child `i`.
+    #[allow(clippy::too_many_arguments)]
+    fn send_child_operands(
+        &mut self,
+        m: usize,
+        parent: Grp,
+        child: Grp,
+        t: &Matrix,
+        s: &Matrix,
+        plo: usize,
+        i: usize,
+        path: u64,
+    ) -> Result<(), NetError> {
+        let (ta, tb) = CHILD_OPS[i];
+        for (side, (spec, panel)) in [(0usize, (ta, t)), (1usize, (tb, s))] {
+            let (q1, q2) = spec.quads();
+            for p in dist_pieces(m, parent, child, q1, 0, side, i, path) {
+                if p.src == self.me() {
+                    self.send_piece(panel, plo, &p)?;
+                }
+            }
+            if let Some(q) = q2 {
+                for p in dist_pieces(m, parent, child, q, 1, side, i, path) {
+                    if p.src == self.me() {
+                        self.send_piece(panel, plo, &p)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `C = T · S` on a group, block-column panels in and out.
+    fn rec(
+        &mut self,
+        t: Matrix,
+        s: Matrix,
+        m: usize,
+        grp: Grp,
+        path: u64,
+    ) -> Result<Matrix, NetError> {
+        debug_assert!(grp.contains(self.me()));
+        if grp.size == 1 {
+            return Ok(self.local_multiply(t, s, m));
+        }
+        if is_leaf(m, self.caps.cutoff) {
+            return self.leader_leaf(t, s, m, grp, path);
+        }
+        let h = m / 2;
+        let me_local = grp.local(self.me());
+        let (plo, phi) = owner_cols(m, grp.size, me_local);
+        let _ = phi;
+        let mode = step_mode(m, grp.size, self.caps.cutoff, self.mem_limit);
+        let ranges = bfs_child_ranges(grp.size);
+        let child_grp = |i: usize| -> Grp {
+            match mode {
+                StepMode::Bfs => Grp {
+                    base: grp.base + ranges[i].0,
+                    size: ranges[i].1 - ranges[i].0,
+                },
+                StepMode::Dfs => grp,
+            }
+        };
+
+        let panel_bytes = mat_bytes(&t) + mat_bytes(&s);
+        let mut held: Option<(Matrix, Matrix)> = Some((t, s));
+        if mode == StepMode::Bfs {
+            // Distribute all seven children up front, then release the
+            // parent panels — BFS trades memory for placement-once comm.
+            let (t, s) = held.as_ref().expect("panels held");
+            for i in 0..7 {
+                self.send_child_operands(m, grp, child_grp(i), t, s, plo, i, path)?;
+            }
+            held = None;
+            self.ep.mem_free(panel_bytes);
+        }
+
+        for (i, &(ta, tb)) in CHILD_OPS.iter().enumerate() {
+            let cg = child_grp(i);
+            if mode == StepMode::Dfs {
+                let (t, s) = held.as_ref().expect("DFS holds panels");
+                self.send_child_operands(m, grp, cg, t, s, plo, i, path)?;
+            }
+            if !cg.contains(self.me()) {
+                continue;
+            }
+            let ti = self.assemble_operand(m, grp, cg, ta, 0, i, path)?;
+            self.ep.mem_alloc(mat_bytes(&ti));
+            let si = self.assemble_operand(m, grp, cg, tb, 1, i, path)?;
+            self.ep.mem_alloc(mat_bytes(&si));
+            let child_path = path * 7 + i as u64 + 1;
+            let mi = self.rec(ti, si, h, cg, child_path)?;
+            // Ship the product's combine pieces immediately, then drop it —
+            // per-rank residency never holds more than one product.
+            let mi_local = cg.local(self.me());
+            let (mlo, _) = owner_cols(h, cg.size, mi_local);
+            for p in combine_pieces(m, grp, cg, i, path) {
+                if p.src == self.me() {
+                    self.send_piece(&mi, mlo, &p)?;
+                }
+            }
+            self.ep.mem_free(mat_bytes(&mi));
+            drop(mi);
+        }
+        if let Some((t, s)) = held.take() {
+            drop((t, s));
+            self.ep.mem_free(panel_bytes);
+        }
+
+        // Combine: receive the product columns this rank's C panel needs
+        // and apply the single-node schedule's association orders.
+        let (lo, hi) = owner_cols(m, grp.size, me_local);
+        let w = hi - lo;
+        let l_hi = hi.min(h);
+        let l_w = l_hi.saturating_sub(lo);
+        let r_lo = lo.max(h) - h;
+        let r_w = hi.saturating_sub(h).saturating_sub(r_lo);
+        let mut left: [Option<Matrix>; 7] = Default::default();
+        let mut right: [Option<Matrix>; 7] = Default::default();
+        let mut buf_bytes = 0u64;
+        for i in 0..7 {
+            let cg = child_grp(i);
+            for p in combine_pieces(m, grp, cg, i, path) {
+                if p.dst != self.me() {
+                    continue;
+                }
+                let (slot, width) = if p.tag % 4 == 0 {
+                    (&mut left[i], l_w)
+                } else {
+                    (&mut right[i], r_w)
+                };
+                if slot.is_none() {
+                    let b = Matrix::zeros(h, width);
+                    buf_bytes += mat_bytes(&b);
+                    *slot = Some(b);
+                }
+                let buf = slot.as_mut().expect("just initialised");
+                let blk = self.ep.recv(p.src, p.tag)?.0;
+                for r in 0..blk.rows() {
+                    for c in 0..blk.cols() {
+                        buf.set(r, p.dst_off + c, blk.get(r, c));
+                    }
+                }
+            }
+        }
+        self.ep.mem_alloc(buf_bytes);
+        let mut c = Matrix::zeros(m, w);
+        self.ep.mem_alloc(mat_bytes(&c));
+        for jj in 0..w {
+            let j = lo + jj;
+            if j < h {
+                let jl = j - lo;
+                let m2 = left[0].as_ref().expect("M2 left");
+                let m7 = left[3].as_ref().expect("M7 left");
+                let m1 = left[4].as_ref().expect("M1 left");
+                let m4 = left[5].as_ref().expect("M4 left");
+                let m5 = left[6].as_ref().expect("M5 left");
+                for r in 0..h {
+                    // C11 = ((M7 + M1) + M4) − M5 ; C21 = M2 + M4 — the
+                    // 18-pass schedule's element orders.
+                    c.set(
+                        r,
+                        jj,
+                        ((m7.get(r, jl) + m1.get(r, jl)) + m4.get(r, jl)) - m5.get(r, jl),
+                    );
+                    c.set(h + r, jj, m2.get(r, jl) + m4.get(r, jl));
+                }
+            } else {
+                let jr = j - h - r_lo;
+                let m2 = right[0].as_ref().expect("M2 right");
+                let m3 = right[1].as_ref().expect("M3 right");
+                let m6 = right[2].as_ref().expect("M6 right");
+                let m1 = right[4].as_ref().expect("M1 right");
+                let m5 = right[6].as_ref().expect("M5 right");
+                for r in 0..h {
+                    // C12 = M3 + M5 ; C22 = ((M6 + M1) − M2) + M3.
+                    c.set(r, jj, m3.get(r, jr) + m5.get(r, jr));
+                    c.set(
+                        h + r,
+                        jj,
+                        ((m6.get(r, jr) + m1.get(r, jr)) - m2.get(r, jr)) + m3.get(r, jr),
+                    );
+                }
+            }
+        }
+        self.flops += 4 * (h * w) as u64;
+        self.ep.mem_free(buf_bytes);
+        Ok(c)
+    }
+
+    /// Full node-local multiply through the sequential single-node CAPS
+    /// executor — the identical code path a 1-node run takes. Consumes the
+    /// operands (and their meter charge); the result stays charged.
+    fn local_multiply(&mut self, t: Matrix, s: Matrix, m: usize) -> Matrix {
+        let in_bytes = mat_bytes(&t) + mat_bytes(&s);
+        let scratch = ((m as u64 / 2).pow(2) * 8 * 4) / 3;
+        self.ep.mem_alloc((m as u64 * m as u64) * 8 + scratch);
+        let c = powerscale_caps::multiply(&t.view(), &s.view(), self.caps, None, None)
+            .expect("leaf shapes valid by construction");
+        self.flops += seq_caps_flops(m, self.caps.cutoff);
+        drop((t, s));
+        self.ep.mem_free(scratch + in_bytes);
+        c
+    }
+
+    /// Leaf reached while the group is still wider than one rank: gather
+    /// the panels to the group leader, multiply there, scatter C back.
+    fn leader_leaf(
+        &mut self,
+        t: Matrix,
+        s: Matrix,
+        m: usize,
+        grp: Grp,
+        path: u64,
+    ) -> Result<Matrix, NetError> {
+        let leader = grp.base;
+        let me = self.me();
+        let me_local = grp.local(me);
+        let (lo, hi) = owner_cols(m, grp.size, me_local);
+        if me != leader {
+            self.ep
+                .send(leader, tag(path, 23, me, leader, 0), Block(t))?;
+            self.ep
+                .send(leader, tag(path, 24, me, leader, 1), Block(s))?;
+            self.ep.mem_free(2 * (m * (hi - lo) * 8) as u64);
+            let c = self.ep.recv(leader, tag(path, 25, leader, me, 2))?.0;
+            self.ep.mem_alloc(mat_bytes(&c));
+            return Ok(c);
+        }
+        let mut tf = Matrix::zeros(m, m);
+        let mut sf = Matrix::zeros(m, m);
+        self.ep.mem_alloc(2 * mat_bytes(&tf));
+        for src_local in 0..grp.size {
+            let src = grp.base + src_local;
+            let (slo, shi) = owner_cols(m, grp.size, src_local);
+            if slo == shi {
+                continue;
+            }
+            let (pt, ps) = if src == me {
+                (
+                    sub_block(&t, 0, m, 0, hi - lo),
+                    sub_block(&s, 0, m, 0, hi - lo),
+                )
+            } else {
+                (
+                    self.ep.recv(src, tag(path, 23, src, leader, 0))?.0,
+                    self.ep.recv(src, tag(path, 24, src, leader, 1))?.0,
+                )
+            };
+            for r in 0..m {
+                for c in 0..(shi - slo) {
+                    tf.set(r, slo + c, pt.get(r, c));
+                    sf.set(r, slo + c, ps.get(r, c));
+                }
+            }
+        }
+        drop((t, s));
+        self.ep.mem_free(2 * (m * (hi - lo) * 8) as u64);
+        let cf = self.local_multiply(tf, sf, m);
+        let mut mine = Matrix::zeros(0, 0);
+        for dst_local in 0..grp.size {
+            let dst = grp.base + dst_local;
+            let (dlo, dhi) = owner_cols(m, grp.size, dst_local);
+            let panel = sub_block(&cf, 0, m, dlo, dhi - dlo);
+            if dst == me {
+                mine = panel;
+            } else {
+                self.ep
+                    .send(dst, tag(path, 25, leader, dst, 2), Block(panel))?;
+            }
+        }
+        self.ep.mem_free((m * m * 8) as u64); // cf replaced by own panel
+        self.ep.mem_alloc(mat_bytes(&mine));
+        Ok(mine)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// drivers
+// ---------------------------------------------------------------------------
+
+/// `A · B` executed across `net.nodes` simulated ranks with distributed
+/// CAPS: block-column panels, BFS over disjoint rank groups, node-local
+/// leaves, all traffic metered by the transport.
+///
+/// Rank 0 holds the operands, scatters panels (the metered `Scatter`
+/// phase), the algorithm runs under `Algo`, and the result is gathered back
+/// to rank 0 under `Gather` — Eq. 8 verification reads the `Algo` counters.
+pub fn dist_caps_multiply(
+    a: &Matrix,
+    b: &Matrix,
+    cfg: &DistCapsConfig,
+    net: &NetConfig,
+) -> Result<DistOutcome, DistError> {
+    cfg.caps
+        .validate()
+        .map_err(|reason| DimError::InvalidConfig {
+            op: "dist-caps",
+            reason,
+        })?;
+    if !a.is_square() || !b.is_square() || a.shape() != b.shape() {
+        return Err(DistError::Dim(DimError::Mismatch {
+            op: "dist-caps",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        }));
+    }
+    let n = a.rows();
+    let target = pad::next_recursive_size(n.max(1), cfg.caps.cutoff);
+    let (pa, pb);
+    let (fa, fb) = if target == n {
+        (a, b)
+    } else {
+        pa = pad::pad_to(&a.view(), target);
+        pb = pad::pad_to(&b.view(), target);
+        (&pa, &pb)
+    };
+
+    let p = net.nodes;
+    let (mut results, report) = run_spmd::<Block, (Option<Matrix>, u64), _>(net, |ep| {
+        let me = ep.rank();
+        ep.set_phase(Phase::Scatter);
+        // Rank 0 scatters block-column panels of the (padded) operands.
+        if me == 0 {
+            for r in 0..p {
+                let (lo, hi) = owner_cols(target, p, r);
+                ep.send(
+                    r,
+                    tag(0, 26, 0, r, 0),
+                    Block(sub_block(fa, 0, target, lo, hi - lo)),
+                )?;
+                ep.send(
+                    r,
+                    tag(0, 26, 0, r, 1),
+                    Block(sub_block(fb, 0, target, lo, hi - lo)),
+                )?;
+            }
+        }
+        let t = ep.recv(0, tag(0, 26, 0, me, 0))?.0;
+        let s = ep.recv(0, tag(0, 26, 0, me, 1))?.0;
+        ep.mem_alloc(mat_bytes(&t) + mat_bytes(&s));
+
+        ep.set_phase(Phase::Algo);
+        let mut ctx = RankCtx {
+            ep,
+            caps: &cfg.caps,
+            mem_limit: cfg.mem_limit_bytes,
+            flops: 0,
+        };
+        let c_panel = ctx.rec(t, s, target, Grp { base: 0, size: p }, 1)?;
+        let flops = ctx.flops;
+
+        ep.set_phase(Phase::Gather);
+        if me == 0 {
+            let mut full = Matrix::zeros(target, target);
+            for r in 0..p {
+                let (lo, hi) = owner_cols(target, p, r);
+                let panel = if r == 0 {
+                    // Keep rank 0's own panel without a self-hop.
+                    sub_block(&c_panel, 0, target, 0, hi - lo)
+                } else {
+                    ep.recv(r, tag(0, 27, r, 0, 0))?.0
+                };
+                for row in 0..target {
+                    for c in 0..(hi - lo) {
+                        full.set(row, lo + c, panel.get(row, c));
+                    }
+                }
+            }
+            Ok((Some(full), flops))
+        } else {
+            ep.send(0, tag(0, 27, me, 0, 0), Block(c_panel))?;
+            Ok((None, flops))
+        }
+    })?;
+
+    let full = results[0].0.take().expect("rank 0 gathers the result");
+    let c = if target == n {
+        full
+    } else {
+        pad::crop(&full.view(), n, n)
+    };
+    Ok(DistOutcome {
+        c,
+        report,
+        per_rank_flops: results.iter().map(|(_, f)| *f).collect(),
+    })
+}
+
+/// `A · B` by measured SUMMA on a `q × q` process grid (`nodes = q²`,
+/// `q | n`): at step `k` the owners broadcast `A(i,k)` along rows and
+/// `B(k,j)` down columns, every rank accumulates `C(i,j) += A(i,k)·B(k,j)`.
+/// Per-rank `Algo` receive volume is exactly `2 n² (q−1) / q²` words — the
+/// closed form the declared [`crate::plans::summa_graph`] charges, now
+/// measured off the wire.
+pub fn summa_multiply(a: &Matrix, b: &Matrix, net: &NetConfig) -> Result<DistOutcome, DistError> {
+    if !a.is_square() || !b.is_square() || a.shape() != b.shape() {
+        return Err(DistError::Dim(DimError::Mismatch {
+            op: "summa",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        }));
+    }
+    let p = net.nodes;
+    let q = (p as f64).sqrt().round() as usize;
+    if q * q != p {
+        return Err(DistError::NotSquareGrid { nodes: p });
+    }
+    let n = a.rows();
+    if !n.is_multiple_of(q) || n == 0 {
+        return Err(DistError::Indivisible { n, q });
+    }
+    let bs = n / q;
+
+    let (mut results, report) = run_spmd::<Block, (Option<Matrix>, u64), _>(net, |ep| {
+        use powerscale_gemm::leaf::{leaf_gemm_fused, Accum, Operand};
+        let me = ep.rank();
+        let (gi, gj) = (me / q, me % q);
+        let at = |i: usize, j: usize| i * q + j;
+        ep.set_phase(Phase::Scatter);
+        if me == 0 {
+            for r in 0..p {
+                let (ri, rj) = (r / q, r % q);
+                ep.send(
+                    r,
+                    tag(0, 26, 0, r, 0),
+                    Block(sub_block(a, ri * bs, bs, rj * bs, bs)),
+                )?;
+                ep.send(
+                    r,
+                    tag(0, 26, 0, r, 1),
+                    Block(sub_block(b, ri * bs, bs, rj * bs, bs)),
+                )?;
+            }
+        }
+        let my_a = ep.recv(0, tag(0, 26, 0, me, 0))?.0;
+        let my_b = ep.recv(0, tag(0, 26, 0, me, 1))?.0;
+        let mut my_c = Matrix::zeros(bs, bs);
+        ep.mem_alloc(3 * (bs * bs * 8) as u64);
+
+        ep.set_phase(Phase::Algo);
+        let mut flops = 0u64;
+        for k in 0..q {
+            // Owners broadcast first (sends never block), then everyone
+            // receives what it lacks. Tags need no step index: a given
+            // (src, dst, A/B) triple occurs at exactly one step.
+            if gj == k {
+                for j in 0..q {
+                    if j != gj {
+                        ep.send(at(gi, j), tag(1, 0, me, at(gi, j), 0), Block(my_a.clone()))?;
+                    }
+                }
+            }
+            if gi == k {
+                for i in 0..q {
+                    if i != gi {
+                        ep.send(at(i, gj), tag(1, 1, me, at(i, gj), 0), Block(my_b.clone()))?;
+                    }
+                }
+            }
+            let a_blk = if gj == k {
+                None
+            } else {
+                let blk = ep.recv(at(gi, k), tag(1, 0, at(gi, k), me, 0))?.0;
+                ep.mem_alloc(mat_bytes(&blk));
+                Some(blk)
+            };
+            let b_blk = if gi == k {
+                None
+            } else {
+                let blk = ep.recv(at(k, gj), tag(1, 1, at(k, gj), me, 0))?.0;
+                ep.mem_alloc(mat_bytes(&blk));
+                Some(blk)
+            };
+            let av = a_blk.as_ref().unwrap_or(&my_a);
+            let bv = b_blk.as_ref().unwrap_or(&my_b);
+            leaf_gemm_fused(
+                Operand::View(av.view()),
+                Operand::View(bv.view()),
+                &mut my_c.view_mut(),
+                if k == 0 { Accum::Set } else { Accum::Add },
+                None,
+            )
+            .expect("SUMMA block shapes agree");
+            flops += 2 * (bs as u64).pow(3);
+            if let Some(blk) = a_blk {
+                ep.mem_free(mat_bytes(&blk));
+            }
+            if let Some(blk) = b_blk {
+                ep.mem_free(mat_bytes(&blk));
+            }
+        }
+
+        ep.set_phase(Phase::Gather);
+        if me == 0 {
+            let mut full = Matrix::zeros(n, n);
+            for r in 0..p {
+                let (ri, rj) = (r / q, r % q);
+                let blk = if r == 0 {
+                    my_c.clone()
+                } else {
+                    ep.recv(r, tag(0, 27, r, 0, 0))?.0
+                };
+                for row in 0..bs {
+                    for c in 0..bs {
+                        full.set(ri * bs + row, rj * bs + c, blk.get(row, c));
+                    }
+                }
+            }
+            Ok((Some(full), flops))
+        } else {
+            ep.send(0, tag(0, 27, me, 0, 0), Block(my_c))?;
+            Ok((None, flops))
+        }
+    })?;
+
+    let c = results[0].0.take().expect("rank 0 gathers the result");
+    Ok(DistOutcome {
+        c,
+        report,
+        per_rank_flops: results.iter().map(|(_, f)| *f).collect(),
+    })
+}

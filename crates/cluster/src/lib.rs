@@ -43,12 +43,15 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod dist;
 mod graph;
+pub mod measured;
 pub mod plans;
 pub mod presets;
 mod sim;
 pub mod study;
 
 pub use config::ClusterConfig;
+pub use dist::{dist_caps_multiply, summa_multiply, DistCapsConfig, DistError, DistOutcome};
 pub use graph::{DistGraph, DistTask};
 pub use sim::{simulate_cluster, ClusterEnergy, ClusterSchedule};

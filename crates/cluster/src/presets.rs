@@ -1,6 +1,7 @@
 //! Cluster presets.
 
 use crate::config::ClusterConfig;
+use powerscale_machine::net::{LinkModel, NetConfig};
 
 /// `nodes` × the paper's E3-1225 machine on a QDR-InfiniBand-class fabric
 /// (2015-era commodity HPC: ~4 GB/s per link, ~1.5 µs latency), with a
@@ -32,6 +33,28 @@ pub fn e3_1225_cluster_slow_fabric(nodes: usize) -> ClusterConfig {
     c.net_bw_bytes_per_s = 0.125e9 * (nodes as f64 / 2.0).max(1.0);
     c.link_latency_s = 50.0e-6;
     c
+}
+
+/// The message-passing topology matching [`e3_1225_cluster`]: chassis of 4
+/// nodes on a scale-up backplane (~16 GB/s, sub-µs), chassis joined by the
+/// QDR-class scale-out fabric (~4 GB/s, 1.5 µs) with the usual efficiency
+/// deratings — the SNIPPETS.md Snippet 1 config shape.
+pub fn e3_1225_net(nodes: usize) -> NetConfig {
+    NetConfig {
+        nodes,
+        group_size: 4.min(nodes.max(1)),
+        scale_up: LinkModel {
+            bw_bytes_per_s: 16.0e9,
+            latency_s: 0.5e-6,
+            efficiency: 0.92,
+        },
+        scale_out: LinkModel {
+            bw_bytes_per_s: 4.0e9,
+            latency_s: 1.5e-6,
+            efficiency: 0.85,
+        },
+        recv_timeout_s: 120.0,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,135 @@
+//! Bitwise-equivalence tier for the distributed CAPS executor.
+//!
+//! Distribution and placement must never touch the floating-point result:
+//! at every node count — including the degenerate 1-node cluster and the
+//! memory-forced distributed-DFS mode — `dist_caps_multiply` is
+//! **bit-identical** to the sequential single-node CAPS executor (and, by
+//! the caps crate's own guarantee, to single-node Strassen), and within
+//! 1e-12 of the compensated double-double oracle.
+//!
+//! n = 256 runs in every `cargo test`; n ∈ {512, 1024} are `#[ignore]` and
+//! run in the release `cluster-verify` CI job.
+
+use powerscale_caps::CapsConfig;
+use powerscale_cluster::presets::e3_1225_net;
+use powerscale_cluster::{dist_caps_multiply, summa_multiply, DistCapsConfig};
+use powerscale_matrix::{Matrix, MatrixGen};
+use powerscale_testkit::oracle::{max_rel_error, reference_mm};
+
+const NODE_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn operands(n: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut gen = MatrixGen::new(seed);
+    (gen.paper_operand(n), gen.paper_operand(n))
+}
+
+fn single_node_caps(a: &Matrix, b: &Matrix, cfg: &CapsConfig) -> Matrix {
+    powerscale_caps::multiply(&a.view(), &b.view(), cfg, None, None).unwrap()
+}
+
+fn check_all_node_counts(n: usize, seed: u64) {
+    let (a, b) = operands(n, seed);
+    let cfg = DistCapsConfig::default();
+    let reference = single_node_caps(&a, &b, &cfg.caps);
+    let strassen = powerscale_strassen::multiply(
+        &a.view(),
+        &b.view(),
+        &powerscale_strassen::StrassenConfig::default(),
+        None,
+        None,
+    )
+    .unwrap();
+    assert_eq!(
+        reference, strassen,
+        "n={n}: caps and strassen must agree bitwise (precondition)"
+    );
+    let oracle = reference_mm(&a.view(), &b.view());
+    for p in NODE_COUNTS {
+        let out = dist_caps_multiply(&a, &b, &cfg, &e3_1225_net(p)).unwrap();
+        assert_eq!(
+            out.c, reference,
+            "n={n}, P={p}: distributed result differs from single-node CAPS"
+        );
+        let err = max_rel_error(&out.c.view(), &oracle.view());
+        assert!(err <= 1e-12, "n={n}, P={p}: oracle error {err}");
+    }
+}
+
+#[test]
+fn bitwise_equal_across_node_counts_n256() {
+    check_all_node_counts(256, 0x256);
+}
+
+#[test]
+#[ignore = "release-tier size; run in the cluster-verify CI job"]
+fn bitwise_equal_across_node_counts_n512() {
+    check_all_node_counts(512, 0x512);
+}
+
+#[test]
+#[ignore = "release-tier size; run in the cluster-verify CI job"]
+fn bitwise_equal_across_node_counts_n1024() {
+    check_all_node_counts(1024, 0x1024);
+}
+
+#[test]
+fn degenerate_one_node_cluster_moves_no_algo_bytes() {
+    let (a, b) = operands(128, 1);
+    let cfg = DistCapsConfig::default();
+    let out = dist_caps_multiply(&a, &b, &cfg, &e3_1225_net(1)).unwrap();
+    assert_eq!(out.c, single_node_caps(&a, &b, &cfg.caps));
+    // One rank keeps everything local: the transport must meter zero.
+    assert_eq!(out.report.total_bytes(), 0);
+    assert_eq!(out.report.total_msgs(), 0);
+}
+
+#[test]
+fn memory_forced_dfs_is_still_bitwise_equal() {
+    let n = 256;
+    let (a, b) = operands(n, 2);
+    let unlimited = DistCapsConfig::default();
+    // A budget tight enough to force distributed DFS at the top levels but
+    // loose enough to hold the node-local leaves.
+    let tight = DistCapsConfig {
+        mem_limit_bytes: Some(3 * (n as u64 / 2).pow(2) * 8),
+        ..DistCapsConfig::default()
+    };
+    let reference = single_node_caps(&a, &b, &unlimited.caps);
+    for p in [2, 4, 7] {
+        let free = dist_caps_multiply(&a, &b, &unlimited, &e3_1225_net(p)).unwrap();
+        let forced = dist_caps_multiply(&a, &b, &tight, &e3_1225_net(p)).unwrap();
+        assert_eq!(free.c, reference, "P={p}: BFS run diverged");
+        assert_eq!(forced.c, reference, "P={p}: DFS-forced run diverged");
+        // The memory-forced schedule must actually change the traffic
+        // (more redistribution) while leaving the bits alone.
+        assert!(
+            forced.report.total_bytes() >= free.report.total_bytes(),
+            "P={p}: DFS mode should not move fewer bytes"
+        );
+    }
+}
+
+#[test]
+fn non_pow2_sizes_pad_and_crop_like_single_node() {
+    for n in [100, 192, 250] {
+        let (a, b) = operands(n, n as u64);
+        let cfg = DistCapsConfig::default();
+        let reference = single_node_caps(&a, &b, &cfg.caps);
+        for p in [2, 7] {
+            let out = dist_caps_multiply(&a, &b, &cfg, &e3_1225_net(p)).unwrap();
+            assert_eq!(out.c, reference, "n={n}, P={p}");
+        }
+    }
+}
+
+#[test]
+fn summa_matches_oracle() {
+    let n = 256;
+    let (a, b) = operands(n, 3);
+    let oracle = reference_mm(&a.view(), &b.view());
+    for p in [1, 4] {
+        let out = summa_multiply(&a, &b, &e3_1225_net(p)).unwrap();
+        let err = max_rel_error(&out.c.view(), &oracle.view());
+        assert!(err <= 1e-12, "P={p}: SUMMA oracle error {err}");
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [--out DIR] [--quick] [--resume] [--faults] [--seed N]
-//!           [--retries K] [--trace PATH] [--dtype f64|f32|mixed]
+//!           [--retries K] [--trace PATH] [--cluster] [--dtype f64|f32|mixed]
 //! ```
 //!
 //! `--out DIR` additionally writes `EXPERIMENTS.md`, per-figure CSVs,
@@ -25,12 +25,19 @@
 //! stacks to `PATH.folded`, and the per-phase EP summary to
 //! `PATH.phases.json`. Needs a build with `--features
 //! powerscale-harness/trace`.
+//!
+//! `--cluster` skips the sweep and runs the measured distributed-memory
+//! studies instead: the Eq. 8 verification grid and the arXiv 1202.3177
+//! strong-scaling figure, both metered by the simulated message-passing
+//! transport. `--quick` shrinks both to the fast sizes; `--out DIR`
+//! additionally writes `CLUSTER_eq8.json` and the two figure CSVs.
+//! Exits non-zero if any swept cell exceeds the 8× Eq. 8 gate.
 
 use powerscale_harness::{figures, manifest, report, sweep, tables, DtypeTier, Harness};
 use powerscale_rapl::FaultConfig;
 
 const USAGE: &str = "usage: reproduce [--out DIR] [--quick] [--resume] [--faults] [--seed N] \
-                     [--retries K] [--trace PATH] [--dtype f64|f32|mixed]";
+                     [--retries K] [--trace PATH] [--cluster] [--dtype f64|f32|mixed]";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -106,6 +113,88 @@ fn run_traced(h: &Harness, path: &str, quick: bool, dtype: DtypeTier) {
     }
 }
 
+/// The `--cluster` mode: the measured distributed-memory studies — the
+/// Eq. 8 verification sweep and the arXiv 1202.3177 strong-scaling
+/// figure — printed to stdout and, with `--out`, written as
+/// `CLUSTER_eq8.json` plus per-figure CSVs. Skips the sweep entirely.
+/// Exits non-zero if any swept cell breaks the ≤ 8× gate.
+fn run_cluster(quick: bool, out_dir: Option<&str>) {
+    use powerscale_cluster::measured;
+    let grid: Vec<_> = if quick {
+        measured::default_eq8_grid()
+            .into_iter()
+            .filter(|&(n, _, _)| n <= 256)
+            .collect()
+    } else {
+        measured::default_eq8_grid()
+    };
+    eprintln!("measured Eq. 8 sweep: {} cells…", grid.len());
+    let study = measured::run_eq8_study(&grid).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    println!("{}", study.to_markdown());
+    println!("{}", figures::fig_cluster_eq8(&study).to_ascii(64, 16));
+
+    let (n, mem_words, counts): (usize, u64, &[usize]) = if quick {
+        (256, 16384, &[1, 2, 4, 7, 28])
+    } else {
+        (1024, 262144, &[1, 2, 4, 7, 14, 28, 49])
+    };
+    eprintln!(
+        "strong-scaling sweep: n = {n}, {} node counts…",
+        counts.len()
+    );
+    let scaling =
+        measured::run_strong_scaling(n, mem_words, counts, measured::preset_node_flops_per_s())
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+    println!("{}", scaling.to_markdown());
+    println!(
+        "{}",
+        figures::fig_cluster_scaling(&scaling).to_ascii(64, 16)
+    );
+
+    if let Some(dir) = out_dir {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).expect("create output directory");
+        #[derive(serde::Serialize)]
+        struct ClusterArtifact {
+            eq8: powerscale_cluster::measured::Eq8Study,
+            strong_scaling: powerscale_cluster::measured::StrongScalingStudy,
+        }
+        std::fs::write(
+            dir.join("CLUSTER_eq8.json"),
+            serde_json::to_string_pretty(&ClusterArtifact {
+                eq8: study.clone(),
+                strong_scaling: scaling.clone(),
+            })
+            .expect("serialise cluster studies"),
+        )
+        .expect("write CLUSTER_eq8.json");
+        std::fs::write(
+            dir.join("fig_cluster_eq8.csv"),
+            figures::fig_cluster_eq8(&study).to_csv(),
+        )
+        .expect("write Eq. 8 figure CSV");
+        std::fs::write(
+            dir.join("fig_cluster_scaling.csv"),
+            figures::fig_cluster_scaling(&scaling).to_csv(),
+        )
+        .expect("write scaling figure CSV");
+        eprintln!("cluster artifacts written to {}", dir.display());
+    }
+
+    let worst = study.max_ratio();
+    if worst > 8.0 {
+        eprintln!("Eq. 8 gate FAILED: worst measured/bound ratio {worst:.2}× exceeds 8×");
+        std::process::exit(1);
+    }
+    println!("Eq. 8 gate: PASS (worst ratio {worst:.2}× ≤ 8×)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_dir: Option<String> = None;
@@ -115,12 +204,14 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut retries: u32 = 1;
     let mut trace_path: Option<String> = None;
+    let mut cluster = false;
     let mut dtype = DtypeTier::F64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--out" => out_dir = Some(take_value(&args, &mut i, "--out").to_string()),
             "--trace" => trace_path = Some(take_value(&args, &mut i, "--trace").to_string()),
+            "--cluster" => cluster = true,
             "--seed" => {
                 let v = take_value(&args, &mut i, "--seed");
                 seed = Some(
@@ -150,6 +241,13 @@ fn main() {
     }
     if resume && out_dir.is_none() {
         usage_error("--resume needs --out DIR (there is nowhere to resume from)");
+    }
+    if cluster && (trace_path.is_some() || faults || resume) {
+        usage_error("--cluster is a stand-alone mode; it combines only with --quick and --out");
+    }
+    if cluster {
+        run_cluster(quick, out_dir.as_deref());
+        return;
     }
 
     let mut h = Harness::default();

@@ -163,6 +163,33 @@ pub fn fig7_ep_scaling(results: &[RunResult], sizes: &[usize], threads: &[usize]
     }
 }
 
+/// The measured Eq. 8 verification figure: transport-metered per-rank
+/// traffic over the bound, per node count, one series per swept
+/// `(n, memory setting)`. The gate line sits at 8×.
+pub fn fig_cluster_eq8(study: &powerscale_cluster::measured::Eq8Study) -> Figure {
+    Figure {
+        title: "Eq. 8 verification: measured per-rank traffic / bound".into(),
+        x_label: "nodes P".into(),
+        y_label: "measured / Eq. 8 bound".into(),
+        series: study.ratio_series(),
+    }
+}
+
+/// The measured strong-scaling figure over the arXiv 1202.3177 perfect
+/// range: `e(P) = T(1)/(P·T(P))` against node count at fixed per-node
+/// memory.
+pub fn fig_cluster_scaling(s: &powerscale_cluster::measured::StrongScalingStudy) -> Figure {
+    Figure {
+        title: format!(
+            "Strong scaling e(P): n = {}, M = {} words, P^ ~ {:.0}",
+            s.n, s.mem_limit_words, s.p_hat
+        ),
+        x_label: "nodes P".into(),
+        y_label: "efficiency e(P)".into(),
+        series: vec![(format!("n={}", s.n), s.efficiency_series())],
+    }
+}
+
 /// The Equation 5/6 curve for one `(algorithm, size)`.
 pub fn ep_curve(
     results: &[RunResult],

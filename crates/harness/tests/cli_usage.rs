@@ -28,6 +28,10 @@ fn assert_usage_exit(args: &[&str]) {
         stderr.contains("--trace"),
         "usage line must document --trace; stderr: {stderr}"
     );
+    assert!(
+        stderr.contains("--cluster"),
+        "usage line must document --cluster; stderr: {stderr}"
+    );
 }
 
 #[test]
@@ -57,6 +61,15 @@ fn non_numeric_values_exit_2_with_usage() {
 #[test]
 fn resume_without_out_exits_2_with_usage() {
     assert_usage_exit(&["--resume"]);
+}
+
+#[test]
+fn cluster_combined_with_other_modes_exits_2_with_usage() {
+    // `--cluster` is a stand-alone mode: mixing it with the trace or
+    // fault machinery is a usage error, caught before any sweep starts.
+    assert_usage_exit(&["--cluster", "--trace", "/tmp/never-written.json"]);
+    assert_usage_exit(&["--cluster", "--faults"]);
+    assert_usage_exit(&["--cluster", "--resume", "--out", "/tmp/never-written"]);
 }
 
 #[cfg(not(feature = "trace"))]

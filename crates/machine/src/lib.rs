@@ -45,10 +45,15 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod net;
 pub mod presets;
 mod schedule;
 mod task;
 
 pub use config::{ComputeModel, MachineConfig, PowerModel, TrafficModel};
+pub use net::{
+    run_spmd, Endpoint, LinkModel, LinkTraffic, MemMeter, NetConfig, NetError, NetPayload,
+    NetReport, Phase, RankStats,
+};
 pub use schedule::{simulate, EnergyBreakdown, Schedule, ScheduledTask};
 pub use task::{KernelClass, TaskCost, TaskGraph, TaskId, ALL_KERNEL_CLASSES, KERNEL_CLASS_COUNT};

@@ -3,14 +3,15 @@
 //!
 //! One sweep covers the full configuration matrix —
 //!
-//! | axis      | values                                        |
-//! |-----------|-----------------------------------------------|
-//! | algorithm | blocked GEMM, Strassen (classic), CAPS        |
-//! | leaf mode | fused operand packing / unfused (Strassen, CAPS) |
-//! | kernel    | scalar tier / SIMD tier                       |
-//! | placement | group-affine / free stealing (CAPS)           |
+//! | axis        | values                                        |
+//! |-------------|-----------------------------------------------|
+//! | algorithm   | blocked GEMM, Strassen (classic), CAPS        |
+//! | leaf mode   | fused operand packing / unfused (Strassen, CAPS) |
+//! | kernel      | scalar tier / SIMD tier                       |
+//! | placement   | group-affine / free stealing (CAPS)           |
+//! | distribution| single SMP / simulated 2- and 7-node clusters (CAPS) |
 //!
-//! — 14 candidate runs per matrix size, each scored by
+//! — 18 candidate runs per matrix size, each scored by
 //! [`max_rel_error`](crate::oracle::max_rel_error) against a single
 //! oracle product computed once. The kernel tier and leaf mode are
 //! process-global switches ([`set_kernel_tier`], [`set_unfused_leaf`]),
@@ -212,6 +213,26 @@ pub fn run_differential(cfg: &DiffConfig) -> Vec<DiffCase> {
             }
         }
     }
+
+    // Distributed CAPS over simulated message passing: the transport is in
+    // the loop, node-local leaves honour the same process-global tier
+    // toggle (the distributed executor keeps its arithmetic tree identical
+    // to a single-node run, so the oracle bound is unchanged).
+    for nodes in [2usize, 7] {
+        for tier in [KernelTier::Scalar, KernelTier::Simd] {
+            let c = with_modes(tier, false, || {
+                powerscale_cluster::dist_caps_multiply(
+                    &a,
+                    &b,
+                    &powerscale_cluster::DistCapsConfig::default(),
+                    &powerscale_cluster::presets::e3_1225_net(nodes),
+                )
+                .expect("dist caps dimensions")
+                .c
+            });
+            score(format!("dist-caps/P{nodes}/{}", tier_label(tier)), &c);
+        }
+    }
     cases
 }
 
@@ -219,7 +240,7 @@ pub fn run_differential(cfg: &DiffConfig) -> Vec<DiffCase> {
 /// failures (not just the first) with their observed errors.
 pub fn assert_differential(cfg: &DiffConfig) {
     let cases = run_differential(cfg);
-    assert_eq!(cases.len(), 14, "configuration matrix shrank unexpectedly");
+    assert_eq!(cases.len(), 18, "configuration matrix shrank unexpectedly");
     let failures: Vec<String> = cases
         .iter()
         .filter(|c| c.rel_err > cfg.tol || c.rel_err.is_nan())
@@ -441,7 +462,7 @@ mod tests {
             ..DiffConfig::for_size(64)
         };
         let cases = run_differential(&cfg);
-        assert_eq!(cases.len(), 14);
+        assert_eq!(cases.len(), 18);
         let labels: Vec<&str> = cases.iter().map(|c| c.label.as_str()).collect();
         for expected in [
             "blocked/scalar",
