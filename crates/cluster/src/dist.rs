@@ -2,13 +2,13 @@
 //! passing.
 //!
 //! Unlike [`crate::plans`], which *declares* transfer volumes on a task DAG,
-//! this module **executes** the multiply: per-node ranks hold block-column
-//! panels of real matrices, BFS steps redistribute the seven Strassen
-//! sub-problems across disjoint node groups through
-//! [`powerscale_machine::net`], and leaves run the existing sequential
-//! `caps` executor node-local. Every byte crossing a link is metered by the
-//! transport — the Eq. 8 verification reads traffic off the wire, not off a
-//! plan.
+//! this module **executes** the multiply: per-node ranks hold fractal
+//! ([`Layout`], frame-cyclic) column panels of real matrices, BFS steps
+//! redistribute the seven Strassen sub-problems across disjoint node groups
+//! through [`powerscale_machine::net`], and leaves run the existing
+//! sequential `caps` executor node-local. Every byte crossing a link is
+//! metered by the transport — the Eq. 8 verification reads traffic off the
+//! wire, not off a plan.
 //!
 //! # Bitwise equality with single-node CAPS
 //!
@@ -28,15 +28,23 @@
 //! result: [`dist_caps_multiply`] is bitwise equal to single-node CAPS at
 //! every node count, which the equivalence tier asserts.
 //!
-//! # Memory-forced DFS
+//! # Memory-forced DFS — communication-free under the fractal layout
 //!
 //! A BFS step hands each sub-problem to a *smaller* group, growing the
 //! per-rank share — the classic CAPS memory cost. When
 //! [`DistCapsConfig::mem_limit_bytes`] says the BFS children would not fit,
 //! the step degrades to a distributed DFS: all seven sub-problems run
-//! sequentially on the *full* group, keeping per-rank panels narrow at the
-//! cost of extra redistribution traffic — the `(7/4)^ℓ` term of the CAPS
-//! papers, and the mechanism behind the 1202.3177 strong-scaling knee.
+//! sequentially on the *full* group, keeping per-rank panels narrow.
+//!
+//! Under the [`Layout`] frame-cyclic column map, a rank's panel already
+//! contains its share of every quadrant (column `c` and column `c + h`
+//! always live together), so the DFS step forms `T_i`/`S_i` node-locally
+//! and the formed share *is* the child panel — **zero bytes move on the
+//! wire**, exactly the fractal-layout property of the CAPS papers
+//! (arXiv 1202.3173). Only BFS steps redistribute, which is what removes
+//! the `(7/4)^ℓ` re-shuffle term from forced-DFS descents and lets the
+//! 1202.3177 strong-scaling knee appear at `P̂` instead of being drowned
+//! in re-shuffle traffic.
 
 use crate::config::ClusterConfig;
 use powerscale_caps::CapsConfig;
@@ -87,6 +95,13 @@ pub enum DistError {
         /// Grid side `q = √nodes`.
         q: usize,
     },
+    /// A strong-scaling sweep must start at `P = 1`: efficiency is
+    /// normalised by `T(1)`, and inferring it as `P·T(P)` of an arbitrary
+    /// first point silently pins `e(first) = 1`.
+    ScalingSweepNotFromOne {
+        /// The first node count actually swept.
+        first: usize,
+    },
 }
 
 impl std::fmt::Display for DistError {
@@ -99,6 +114,13 @@ impl std::fmt::Display for DistError {
             }
             DistError::Indivisible { n, q } => {
                 write!(f, "SUMMA needs q | n; n={n}, q={q}")
+            }
+            DistError::ScalingSweepNotFromOne { first } => {
+                write!(
+                    f,
+                    "strong-scaling sweep must start at P=1 to normalise \
+                     e(P) = T(1)/(P*T(P)); first swept point is P={first}"
+                )
             }
         }
     }
@@ -182,6 +204,72 @@ pub fn bfs_child_ranges(g: usize) -> [(usize, usize); 7] {
 
 fn is_leaf(m: usize, cutoff: usize) -> bool {
     m <= cutoff || !m.is_multiple_of(2)
+}
+
+/// The fractal (frame-cyclic) column layout of the distributed executor.
+///
+/// Columns are grouped into *frames* of `frame` consecutive columns, where
+/// `frame` is the leaf size of the halving chain from the padded top-level
+/// size — every matrix the distributed recursion touches has `frame · 2^j`
+/// columns. Within each frame, rank `idx` of a `g`-rank group owns the same
+/// slice [`owner_cols`]`(frame, g, idx)`, and a rank's panel stores its
+/// owned columns in increasing global order.
+///
+/// Because every split size `h = frame · 2^(j−1)` is a multiple of the
+/// frame, columns `c` and `c + h` always live on the same rank: each rank
+/// already owns its share of all four quadrants, and the left-half columns
+/// occupy exactly the first half of its panel (`local(c + h) = local(c) +
+/// w/2`). A DFS step (child group = parent group) therefore forms its share
+/// of `T_i`/`S_i` from purely local elements, and the formed share *is* the
+/// child panel — zero bytes on the wire. Only BFS steps (child group ⊂
+/// parent group) redistribute. This is the bit-interleaved element map of
+/// the CAPS papers (arXiv 1202.3173), expressed per column frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Frame width: the leaf size of the run's halving chain.
+    pub frame: usize,
+}
+
+impl Layout {
+    /// The layout of a run whose padded top-level size is `target`: the
+    /// frame is where the halving chain `target, target/2, …` first hits a
+    /// leaf (`≤ cutoff` or odd) — the same predicate the recursion uses.
+    pub fn for_target(target: usize, cutoff: usize) -> Self {
+        let mut f = target.max(1);
+        while !is_leaf(f, cutoff) {
+            f /= 2;
+        }
+        Layout { frame: f }
+    }
+
+    /// Per-frame column slice owned by rank `idx` of a `g`-rank group.
+    pub fn slice(&self, g: usize, idx: usize) -> (usize, usize) {
+        owner_cols(self.frame, g, idx)
+    }
+
+    /// Panel width of rank `idx` for an `m`-column matrix (`frame | m`).
+    pub fn width(&self, m: usize, g: usize, idx: usize) -> usize {
+        let (lo, hi) = self.slice(g, idx);
+        (m / self.frame) * (hi - lo)
+    }
+
+    /// Global column of local panel column `k` for rank `idx` of a
+    /// `g`-rank group (an `m`-column matrix has `m / frame` frames; local
+    /// columns enumerate the owned slice of each frame in global order).
+    pub fn col_at(&self, g: usize, idx: usize, k: usize) -> usize {
+        let (lo, hi) = self.slice(g, idx);
+        let sw = hi - lo;
+        (k / sw) * self.frame + lo + (k % sw)
+    }
+}
+
+/// Per-frame overlap of two layout slices; `None` when disjoint. Sender and
+/// receiver both enumerate transfers from this, so the column order inside
+/// every message is agreed without any index metadata on the wire.
+fn slice_overlap(a: (usize, usize), b: (usize, usize)) -> Option<(usize, usize)> {
+    let lo = a.0.max(b.0);
+    let hi = a.1.min(b.1);
+    (lo < hi).then_some((lo, hi))
 }
 
 /// Sequential CAPS/Strassen flop count: `7 F(m/2) + 18 (m/2)²` above the
@@ -340,120 +428,6 @@ const CHILD_OPS: [(OpSpec, OpSpec); 7] = [
     (OpSpec::Add(Quad::Q11, Quad::Q12), OpSpec::One(Quad::Q22)), // M5 = (A11+A12) B22
 ];
 
-/// Children whose products feed the left C columns (`j < m/2`:
-/// `C11 = ((M7+M1)+M4)−M5`, `C21 = M2+M4`) and the right columns
-/// (`C12 = M3+M5`, `C22 = ((M6+M1)−M2)+M3`).
-const LEFT_CHILDREN: [usize; 5] = [0, 3, 4, 5, 6]; // M2, M7, M1, M4, M5
-const RIGHT_CHILDREN: [usize; 5] = [0, 1, 2, 4, 6]; // M2, M3, M6, M1, M5
-
-// ---------------------------------------------------------------------------
-// piece enumeration (identical on sender and receiver)
-// ---------------------------------------------------------------------------
-
-#[derive(Clone, Copy, Debug)]
-struct Piece {
-    src: usize,
-    dst: usize,
-    tag: u64,
-    /// Row origin in the sender's panel (parent coordinates).
-    r0: usize,
-    rows: usize,
-    /// Column range in sender-side *global* coordinates.
-    g_lo: usize,
-    g_hi: usize,
-    /// Column offset in the receiver's assembly buffer.
-    dst_off: usize,
-}
-
-/// Pieces moving quadrant `q` of the parent's `side` operand (0 = T, 1 = S)
-/// into child `i`'s block-column distribution.
-#[allow(clippy::too_many_arguments)]
-fn dist_pieces(
-    m: usize,
-    parent: Grp,
-    child: Grp,
-    q: Quad,
-    quad_k: usize,
-    side: usize,
-    i: usize,
-    path: u64,
-) -> Vec<Piece> {
-    let h = m / 2;
-    let (r0, c0) = q.origin(h);
-    let mut out = Vec::new();
-    for ci in 0..child.size {
-        let (clo, chi) = owner_cols(h, child.size, ci);
-        if clo == chi {
-            continue;
-        }
-        let dst = child.base + ci;
-        for pi in 0..parent.size {
-            let (plo, phi) = owner_cols(m, parent.size, pi);
-            let lo = (c0 + clo).max(plo);
-            let hi = (c0 + chi).min(phi);
-            if lo < hi {
-                let src = parent.base + pi;
-                out.push(Piece {
-                    src,
-                    dst,
-                    tag: tag(path, (i * 2 + side) as u64, src, dst, quad_k),
-                    r0,
-                    rows: h,
-                    g_lo: lo,
-                    g_hi: hi,
-                    dst_off: lo - (c0 + clo),
-                });
-            }
-        }
-    }
-    out
-}
-
-/// Pieces moving child `i`'s product `M` columns back to the parent ranks
-/// that combine them. `k = 0` feeds left C columns, `k = 1` right.
-fn combine_pieces(m: usize, parent: Grp, child: Grp, i: usize, path: u64) -> Vec<Piece> {
-    let h = m / 2;
-    let mut out = Vec::new();
-    for pi in 0..parent.size {
-        let (lo, hi) = owner_cols(m, parent.size, pi);
-        let dst = parent.base + pi;
-        // (needed, M-column range, k) per part.
-        let parts = [
-            (LEFT_CHILDREN.contains(&i), lo, hi.min(h), 0usize),
-            (
-                RIGHT_CHILDREN.contains(&i),
-                lo.max(h) - h,
-                hi.saturating_sub(h),
-                1usize,
-            ),
-        ];
-        for &(needed, p_lo, p_hi, k) in &parts {
-            if !needed || p_lo >= p_hi {
-                continue;
-            }
-            for ci in 0..child.size {
-                let (mlo, mhi) = owner_cols(h, child.size, ci);
-                let o_lo = p_lo.max(mlo);
-                let o_hi = p_hi.min(mhi);
-                if o_lo < o_hi {
-                    let src = child.base + ci;
-                    out.push(Piece {
-                        src,
-                        dst,
-                        tag: tag(path, 16 + i as u64, src, dst, k),
-                        r0: 0,
-                        rows: h,
-                        g_lo: o_lo,
-                        g_hi: o_hi,
-                        dst_off: o_lo - p_lo,
-                    });
-                }
-            }
-        }
-    }
-    out
-}
-
 // ---------------------------------------------------------------------------
 // the per-rank program
 // ---------------------------------------------------------------------------
@@ -461,6 +435,7 @@ fn combine_pieces(m: usize, parent: Grp, child: Grp, i: usize, path: u64) -> Vec
 struct RankCtx<'a, 'b> {
     ep: &'a mut Endpoint<Block>,
     caps: &'b CapsConfig,
+    layout: Layout,
     mem_limit: Option<u64>,
     flops: u64,
 }
@@ -470,79 +445,60 @@ impl RankCtx<'_, '_> {
         self.ep.rank()
     }
 
-    /// Send the sub-block a piece describes out of `panel` (whose columns
-    /// cover `[plo, …)` of the global column space at row origin 0).
-    fn send_piece(&mut self, panel: &Matrix, plo: usize, p: &Piece) -> Result<(), NetError> {
-        let blk = sub_block(panel, p.r0, p.rows, p.g_lo - plo, p.g_hi - p.g_lo);
-        self.ep.send(p.dst, p.tag, Block(blk))
-    }
-
-    /// Receive a piece into `buf` at its destination offset.
-    fn recv_piece(&mut self, buf: &mut Matrix, p: &Piece) -> Result<(), NetError> {
-        let blk = self.ep.recv(p.src, p.tag)?.0;
-        debug_assert_eq!(blk.shape(), (p.rows, p.g_hi - p.g_lo));
-        for r in 0..blk.rows() {
-            for c in 0..blk.cols() {
-                buf.set(r, p.dst_off + c, blk.get(r, c));
-            }
-        }
-        Ok(())
-    }
-
-    /// Assemble this rank's panel of child `i`'s operand (`T_i` or `S_i`)
-    /// from the pieces addressed to it, materialising the quadrant combine
-    /// with one rounding per element.
-    #[allow(clippy::too_many_arguments)]
-    fn assemble_operand(
+    /// Materialise formed columns of a child operand (`T_i`/`S_i`) straight
+    /// out of this rank's parent panel — one rounding per element, the same
+    /// value single-node `resolve_operand` produces. `o` is the per-frame
+    /// column slice to extract (a sub-slice of this rank's own slice
+    /// `[plo, plo + psw)`); the output holds the selected columns of all
+    /// `h / frame` frames in global order. The fractal layout guarantees
+    /// both quadrant elements of every output column are local: column `c`
+    /// sits in the left panel half, `c + h` at the same offset in the right.
+    fn form_cols(
         &mut self,
+        panel: &Matrix,
         m: usize,
-        parent: Grp,
-        child: Grp,
         spec: OpSpec,
-        side: usize,
-        i: usize,
-        path: u64,
-    ) -> Result<Matrix, NetError> {
+        plo: usize,
+        psw: usize,
+        o: (usize, usize),
+    ) -> Matrix {
         let h = m / 2;
-        let ci = child.local(self.me());
-        let (clo, chi) = owner_cols(h, child.size, ci);
-        let w = chi - clo;
+        let frames = h / self.layout.frame;
+        let w2 = frames * psw; // left-half width of the parent panel
+        let ow = o.1 - o.0;
         let (q1, q2) = spec.quads();
-        let mut buf1 = Matrix::zeros(h, w);
-        for p in dist_pieces(m, parent, child, q1, 0, side, i, path) {
-            if p.dst == self.me() {
-                self.recv_piece(&mut buf1, &p)?;
-            }
-        }
-        let buf2 = match q2 {
-            None => None,
-            Some(q) => {
-                let mut b = Matrix::zeros(h, w);
-                for p in dist_pieces(m, parent, child, q, 1, side, i, path) {
-                    if p.dst == self.me() {
-                        self.recv_piece(&mut b, &p)?;
-                    }
+        let (r1, c1) = q1.origin(h);
+        let sel = |c0: usize| if c0 == 0 { 0 } else { w2 };
+        let out = Matrix::from_fn(h, frames * ow, |r, k| {
+            // Parent-local index of the child-global column among the left
+            // half; +w2 selects the same column of the right half.
+            let pl = (k / ow) * psw + (o.0 + k % ow - plo);
+            let v1 = panel.get(r1 + r, sel(c1) + pl);
+            match (spec, q2) {
+                (OpSpec::One(_), _) => v1,
+                (OpSpec::Add(_, _), Some(q)) => {
+                    let (r2, c2) = q.origin(h);
+                    v1 + panel.get(r2 + r, sel(c2) + pl)
                 }
-                Some(b)
+                (OpSpec::Sub(_, _), Some(q)) => {
+                    let (r2, c2) = q.origin(h);
+                    v1 - panel.get(r2 + r, sel(c2) + pl)
+                }
+                _ => unreachable!("two-quadrant spec always has a second quadrant"),
             }
-        };
-        let out = match (spec, buf2) {
-            (OpSpec::One(_), _) => buf1,
-            (OpSpec::Add(_, _), Some(b)) => {
-                self.flops += (h * w) as u64;
-                Matrix::from_fn(h, w, |r, c| buf1.get(r, c) + b.get(r, c))
-            }
-            (OpSpec::Sub(_, _), Some(b)) => {
-                self.flops += (h * w) as u64;
-                Matrix::from_fn(h, w, |r, c| buf1.get(r, c) - b.get(r, c))
-            }
-            _ => unreachable!("two-quadrant spec always has a second buffer"),
-        };
-        Ok(out)
+        });
+        if q2.is_some() {
+            self.flops += (h * frames * ow) as u64;
+        }
+        out
     }
 
-    /// Send this rank's share of both operands of child `i`.
-    #[allow(clippy::too_many_arguments)]
+    /// Ship this rank's share of child `i`'s operands into the child
+    /// group's layout: the operands are *formed at the sender* (the fractal
+    /// layout makes both quadrants of every element local), so each
+    /// `(sender, receiver)` pair exchanges one combined panel per operand
+    /// instead of per-quadrant blocks — and each element crosses the wire
+    /// exactly once.
     fn send_child_operands(
         &mut self,
         m: usize,
@@ -550,30 +506,146 @@ impl RankCtx<'_, '_> {
         child: Grp,
         t: &Matrix,
         s: &Matrix,
-        plo: usize,
         i: usize,
         path: u64,
     ) -> Result<(), NetError> {
         let (ta, tb) = CHILD_OPS[i];
-        for (side, (spec, panel)) in [(0usize, (ta, t)), (1usize, (tb, s))] {
-            let (q1, q2) = spec.quads();
-            for p in dist_pieces(m, parent, child, q1, 0, side, i, path) {
-                if p.src == self.me() {
-                    self.send_piece(panel, plo, &p)?;
-                }
-            }
-            if let Some(q) = q2 {
-                for p in dist_pieces(m, parent, child, q, 1, side, i, path) {
-                    if p.src == self.me() {
-                        self.send_piece(panel, plo, &p)?;
-                    }
-                }
+        let (plo, phi) = self.layout.slice(parent.size, parent.local(self.me()));
+        if plo == phi {
+            return Ok(());
+        }
+        for ci in 0..child.size {
+            let cs = self.layout.slice(child.size, ci);
+            let Some(o) = slice_overlap((plo, phi), cs) else {
+                continue;
+            };
+            let dst = child.base + ci;
+            for (side, (spec, panel)) in [(0usize, (ta, t)), (1usize, (tb, s))] {
+                let blk = self.form_cols(panel, m, spec, plo, phi - plo, o);
+                self.ep
+                    .send(dst, tag(path, (i * 2 + side) as u64, self.me(), dst, 0), Block(blk))?;
             }
         }
         Ok(())
     }
 
-    /// `C = T · S` on a group, block-column panels in and out.
+    /// Assemble this rank's child-layout panel of `T_i`/`S_i` from the
+    /// formed-column messages the parent ranks sent (the rank's own share
+    /// arrives as an unmetered self-send). The buffer is charged to the
+    /// meter at allocation time — it is resident from here on.
+    fn assemble_operand(
+        &mut self,
+        parent: Grp,
+        child: Grp,
+        h: usize,
+        side: usize,
+        i: usize,
+        path: u64,
+    ) -> Result<Matrix, NetError> {
+        let (clo, chi) = self.layout.slice(child.size, child.local(self.me()));
+        let csw = chi - clo;
+        let frames = h / self.layout.frame;
+        let mut buf = Matrix::zeros(h, frames * csw);
+        self.ep.mem_alloc(mat_bytes(&buf));
+        for pi in 0..parent.size {
+            let ps = self.layout.slice(parent.size, pi);
+            let Some(o) = slice_overlap(ps, (clo, chi)) else {
+                continue;
+            };
+            let src = parent.base + pi;
+            let blk = self
+                .ep
+                .recv(src, tag(path, (i * 2 + side) as u64, src, self.me(), 0))?
+                .0;
+            let ow = o.1 - o.0;
+            debug_assert_eq!(blk.shape(), (h, frames * ow));
+            for r in 0..h {
+                for f in 0..frames {
+                    for c in 0..ow {
+                        buf.set(r, f * csw + (o.0 - clo) + c, blk.get(r, f * ow + c));
+                    }
+                }
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Ship the product panel `mi` (child layout) back into the parent
+    /// group's layout. The same product columns feed both the left and
+    /// right combine passes on their owner, so each element crosses the
+    /// wire once, in one message per receiving rank.
+    fn send_product(
+        &mut self,
+        mi: &Matrix,
+        parent: Grp,
+        child: Grp,
+        h: usize,
+        i: usize,
+        path: u64,
+    ) -> Result<(), NetError> {
+        let (clo, chi) = self.layout.slice(child.size, child.local(self.me()));
+        let csw = chi - clo;
+        if csw == 0 {
+            return Ok(());
+        }
+        let frames = h / self.layout.frame;
+        for pi in 0..parent.size {
+            let ps = self.layout.slice(parent.size, pi);
+            let Some(o) = slice_overlap((clo, chi), ps) else {
+                continue;
+            };
+            let dst = parent.base + pi;
+            let ow = o.1 - o.0;
+            let blk = Matrix::from_fn(h, frames * ow, |r, k| {
+                mi.get(r, (k / ow) * csw + (o.0 + k % ow - clo))
+            });
+            self.ep
+                .send(dst, tag(path, 16 + i as u64, self.me(), dst, 0), Block(blk))?;
+        }
+        Ok(())
+    }
+
+    /// Receive child `i`'s product columns into this rank's parent-layout
+    /// buffer (`h × w/2`; local column `k` is this rank's `k`-th owned
+    /// column of an `h`-column matrix). Charged at allocation time.
+    fn recv_product(
+        &mut self,
+        parent: Grp,
+        child: Grp,
+        h: usize,
+        i: usize,
+        path: u64,
+    ) -> Result<Matrix, NetError> {
+        let (plo, phi) = self.layout.slice(parent.size, parent.local(self.me()));
+        let psw = phi - plo;
+        let frames = h / self.layout.frame;
+        let mut buf = Matrix::zeros(h, frames * psw);
+        self.ep.mem_alloc(mat_bytes(&buf));
+        for ci in 0..child.size {
+            let cs = self.layout.slice(child.size, ci);
+            let Some(o) = slice_overlap(cs, (plo, phi)) else {
+                continue;
+            };
+            let src = child.base + ci;
+            let blk = self.ep.recv(src, tag(path, 16 + i as u64, src, self.me(), 0))?.0;
+            let ow = o.1 - o.0;
+            debug_assert_eq!(blk.shape(), (h, frames * ow));
+            for r in 0..h {
+                for f in 0..frames {
+                    for c in 0..ow {
+                        buf.set(r, f * psw + (o.0 - plo) + c, blk.get(r, f * ow + c));
+                    }
+                }
+            }
+        }
+        Ok(buf)
+    }
+
+    /// `C = T · S` on a group; fractal-layout panels in and out. The input
+    /// panels arrive charged to the memory meter and the result leaves
+    /// charged; every intermediate charge pairs with a free inside, so when
+    /// the top-level call returns, the meter holds exactly the live `C`
+    /// panel — the meter-vs-liveness invariant the equivalence tier pins.
     fn rec(
         &mut self,
         t: Matrix,
@@ -590,9 +662,6 @@ impl RankCtx<'_, '_> {
             return self.leader_leaf(t, s, m, grp, path);
         }
         let h = m / 2;
-        let me_local = grp.local(self.me());
-        let (plo, phi) = owner_cols(m, grp.size, me_local);
-        let _ = phi;
         let mode = step_mode(m, grp.size, self.caps.cutoff, self.mem_limit);
         let ranges = bfs_child_ranges(grp.size);
         let child_grp = |i: usize| -> Grp {
@@ -604,130 +673,96 @@ impl RankCtx<'_, '_> {
                 StepMode::Dfs => grp,
             }
         };
-
+        let (plo, phi) = self.layout.slice(grp.size, grp.local(self.me()));
+        let psw = phi - plo;
         let panel_bytes = mat_bytes(&t) + mat_bytes(&s);
-        let mut held: Option<(Matrix, Matrix)> = Some((t, s));
-        if mode == StepMode::Bfs {
-            // Distribute all seven children up front, then release the
-            // parent panels — BFS trades memory for placement-once comm.
-            let (t, s) = held.as_ref().expect("panels held");
-            for i in 0..7 {
-                self.send_child_operands(m, grp, child_grp(i), t, s, plo, i, path)?;
-            }
-            held = None;
-            self.ep.mem_free(panel_bytes);
-        }
 
-        for (i, &(ta, tb)) in CHILD_OPS.iter().enumerate() {
-            let cg = child_grp(i);
-            if mode == StepMode::Dfs {
-                let (t, s) = held.as_ref().expect("DFS holds panels");
-                self.send_child_operands(m, grp, cg, t, s, plo, i, path)?;
-            }
-            if !cg.contains(self.me()) {
-                continue;
-            }
-            let ti = self.assemble_operand(m, grp, cg, ta, 0, i, path)?;
-            self.ep.mem_alloc(mat_bytes(&ti));
-            let si = self.assemble_operand(m, grp, cg, tb, 1, i, path)?;
-            self.ep.mem_alloc(mat_bytes(&si));
-            let child_path = path * 7 + i as u64 + 1;
-            let mi = self.rec(ti, si, h, cg, child_path)?;
-            // Ship the product's combine pieces immediately, then drop it —
-            // per-rank residency never holds more than one product.
-            let mi_local = cg.local(self.me());
-            let (mlo, _) = owner_cols(h, cg.size, mi_local);
-            for p in combine_pieces(m, grp, cg, i, path) {
-                if p.src == self.me() {
-                    self.send_piece(&mi, mlo, &p)?;
+        // prod[i]: this rank's columns of M_i in *parent* layout — local
+        // column k feeds C's left column k (global j < h) and its right
+        // column w/2 + k (global j + h), the same owner by the fractal
+        // property.
+        let mut prod: [Option<Matrix>; 7] = Default::default();
+        match mode {
+            StepMode::Bfs => {
+                // Distribute all seven children up front (sends never
+                // block), then release the parent panels — BFS trades
+                // memory for placement-once communication.
+                for i in 0..7 {
+                    self.send_child_operands(m, grp, child_grp(i), &t, &s, i, path)?;
                 }
-            }
-            self.ep.mem_free(mat_bytes(&mi));
-            drop(mi);
-        }
-        if let Some((t, s)) = held.take() {
-            drop((t, s));
-            self.ep.mem_free(panel_bytes);
-        }
-
-        // Combine: receive the product columns this rank's C panel needs
-        // and apply the single-node schedule's association orders.
-        let (lo, hi) = owner_cols(m, grp.size, me_local);
-        let w = hi - lo;
-        let l_hi = hi.min(h);
-        let l_w = l_hi.saturating_sub(lo);
-        let r_lo = lo.max(h) - h;
-        let r_w = hi.saturating_sub(h).saturating_sub(r_lo);
-        let mut left: [Option<Matrix>; 7] = Default::default();
-        let mut right: [Option<Matrix>; 7] = Default::default();
-        let mut buf_bytes = 0u64;
-        for i in 0..7 {
-            let cg = child_grp(i);
-            for p in combine_pieces(m, grp, cg, i, path) {
-                if p.dst != self.me() {
-                    continue;
-                }
-                let (slot, width) = if p.tag % 4 == 0 {
-                    (&mut left[i], l_w)
-                } else {
-                    (&mut right[i], r_w)
-                };
-                if slot.is_none() {
-                    let b = Matrix::zeros(h, width);
-                    buf_bytes += mat_bytes(&b);
-                    *slot = Some(b);
-                }
-                let buf = slot.as_mut().expect("just initialised");
-                let blk = self.ep.recv(p.src, p.tag)?.0;
-                for r in 0..blk.rows() {
-                    for c in 0..blk.cols() {
-                        buf.set(r, p.dst_off + c, blk.get(r, c));
+                drop((t, s));
+                self.ep.mem_free(panel_bytes);
+                for i in 0..7 {
+                    let cg = child_grp(i);
+                    if !cg.contains(self.me()) {
+                        continue;
                     }
+                    let ti = self.assemble_operand(grp, cg, h, 0, i, path)?;
+                    let si = self.assemble_operand(grp, cg, h, 1, i, path)?;
+                    let mi = self.rec(ti, si, h, cg, path * 7 + i as u64 + 1)?;
+                    // Ship the product's columns to their parent-layout
+                    // owners immediately, then drop it — per-rank residency
+                    // never holds more than one child product here.
+                    self.send_product(&mi, grp, cg, h, i, path)?;
+                    self.ep.mem_free(mat_bytes(&mi));
+                    drop(mi);
+                }
+                for i in 0..7 {
+                    prod[i] = Some(self.recv_product(grp, child_grp(i), h, i, path)?);
                 }
             }
+            StepMode::Dfs => {
+                // The fractal layout makes the DFS step communication-free:
+                // the child group *is* the parent group, each rank's formed
+                // share of `T_i`/`S_i` is exactly its child panel, and the
+                // product panel the recursion returns is exactly its share
+                // of `M_i` — zero bytes move on the wire at this step.
+                for (i, &(ta, tb)) in CHILD_OPS.iter().enumerate() {
+                    let ti = self.form_cols(&t, m, ta, plo, psw, (plo, phi));
+                    self.ep.mem_alloc(mat_bytes(&ti));
+                    let si = self.form_cols(&s, m, tb, plo, psw, (plo, phi));
+                    self.ep.mem_alloc(mat_bytes(&si));
+                    prod[i] = Some(self.rec(ti, si, h, grp, path * 7 + i as u64 + 1)?);
+                }
+                drop((t, s));
+                self.ep.mem_free(panel_bytes);
+            }
         }
-        self.ep.mem_alloc(buf_bytes);
-        let mut c = Matrix::zeros(m, w);
+
+        // Combine with the single-node 18-pass schedule's association
+        // orders, applied to this rank's product columns.
+        let w2 = (h / self.layout.frame) * psw;
+        let mut c = Matrix::zeros(m, 2 * w2);
         self.ep.mem_alloc(mat_bytes(&c));
-        for jj in 0..w {
-            let j = lo + jj;
-            if j < h {
-                let jl = j - lo;
-                let m2 = left[0].as_ref().expect("M2 left");
-                let m7 = left[3].as_ref().expect("M7 left");
-                let m1 = left[4].as_ref().expect("M1 left");
-                let m4 = left[5].as_ref().expect("M4 left");
-                let m5 = left[6].as_ref().expect("M5 left");
+        {
+            let g = |i: usize| prod[i].as_ref().expect("all seven products present");
+            let (m2, m3, m6, m7) = (g(0), g(1), g(2), g(3));
+            let (m1, m4, m5) = (g(4), g(5), g(6));
+            for k in 0..w2 {
                 for r in 0..h {
-                    // C11 = ((M7 + M1) + M4) − M5 ; C21 = M2 + M4 — the
-                    // 18-pass schedule's element orders.
+                    // C11 = ((M7 + M1) + M4) − M5 ; C21 = M2 + M4.
                     c.set(
                         r,
-                        jj,
-                        ((m7.get(r, jl) + m1.get(r, jl)) + m4.get(r, jl)) - m5.get(r, jl),
+                        k,
+                        ((m7.get(r, k) + m1.get(r, k)) + m4.get(r, k)) - m5.get(r, k),
                     );
-                    c.set(h + r, jj, m2.get(r, jl) + m4.get(r, jl));
-                }
-            } else {
-                let jr = j - h - r_lo;
-                let m2 = right[0].as_ref().expect("M2 right");
-                let m3 = right[1].as_ref().expect("M3 right");
-                let m6 = right[2].as_ref().expect("M6 right");
-                let m1 = right[4].as_ref().expect("M1 right");
-                let m5 = right[6].as_ref().expect("M5 right");
-                for r in 0..h {
+                    c.set(h + r, k, m2.get(r, k) + m4.get(r, k));
                     // C12 = M3 + M5 ; C22 = ((M6 + M1) − M2) + M3.
-                    c.set(r, jj, m3.get(r, jr) + m5.get(r, jr));
+                    c.set(r, w2 + k, m3.get(r, k) + m5.get(r, k));
                     c.set(
                         h + r,
-                        jj,
-                        ((m6.get(r, jr) + m1.get(r, jr)) - m2.get(r, jr)) + m3.get(r, jr),
+                        w2 + k,
+                        ((m6.get(r, k) + m1.get(r, k)) - m2.get(r, k)) + m3.get(r, k),
                     );
                 }
             }
         }
-        self.flops += 4 * (h * w) as u64;
-        self.ep.mem_free(buf_bytes);
+        self.flops += 8 * (h * w2) as u64;
+        for slot in prod.iter_mut() {
+            if let Some(p) = slot.take() {
+                self.ep.mem_free(mat_bytes(&p));
+            }
+        }
         Ok(c)
     }
 
@@ -748,6 +783,10 @@ impl RankCtx<'_, '_> {
 
     /// Leaf reached while the group is still wider than one rank: gather
     /// the panels to the group leader, multiply there, scatter C back.
+    ///
+    /// Leaves sit at the frame size, so each rank's panel is one contiguous
+    /// column slice of the single frame — the gather/scatter indexing is
+    /// plain block-column.
     fn leader_leaf(
         &mut self,
         t: Matrix,
@@ -756,26 +795,37 @@ impl RankCtx<'_, '_> {
         grp: Grp,
         path: u64,
     ) -> Result<Matrix, NetError> {
-        let leader = grp.base;
+        debug_assert_eq!(m, self.layout.frame, "leader leaves sit at the frame size");
+        // Rotate leadership by the recursion path. A DFS descent reaches
+        // this leaf with `grp` still the full group, so a fixed
+        // `grp.base` leader would absorb every leaf gather of the whole
+        // descent (7^ℓ of them) on one rank. The 7^ℓ leaf paths of such
+        // a descent are consecutive integers, so `path % size` spreads
+        // leadership exactly uniformly. (Below a BFS step the leaf paths
+        // of child `i` are all ≡ i+1 mod 7 and the rotation degenerates
+        // to a fixed per-group leader — harmless, since each BFS child
+        // group then hosts only its own descent's leaves.) The leaf
+        // product is rank-agnostic, so rotation is bitwise-neutral.
+        let leader = grp.base + (path % grp.size as u64) as usize;
         let me = self.me();
-        let me_local = grp.local(me);
-        let (lo, hi) = owner_cols(m, grp.size, me_local);
+        let panel_bytes = mat_bytes(&t) + mat_bytes(&s);
         if me != leader {
             self.ep
                 .send(leader, tag(path, 23, me, leader, 0), Block(t))?;
             self.ep
                 .send(leader, tag(path, 24, me, leader, 1), Block(s))?;
-            self.ep.mem_free(2 * (m * (hi - lo) * 8) as u64);
+            self.ep.mem_free(panel_bytes);
             let c = self.ep.recv(leader, tag(path, 25, leader, me, 2))?.0;
             self.ep.mem_alloc(mat_bytes(&c));
             return Ok(c);
         }
+        let (lo, hi) = self.layout.slice(grp.size, grp.local(me));
         let mut tf = Matrix::zeros(m, m);
         let mut sf = Matrix::zeros(m, m);
         self.ep.mem_alloc(2 * mat_bytes(&tf));
         for src_local in 0..grp.size {
             let src = grp.base + src_local;
-            let (slo, shi) = owner_cols(m, grp.size, src_local);
+            let (slo, shi) = self.layout.slice(grp.size, src_local);
             if slo == shi {
                 continue;
             }
@@ -798,22 +848,28 @@ impl RankCtx<'_, '_> {
             }
         }
         drop((t, s));
-        self.ep.mem_free(2 * (m * (hi - lo) * 8) as u64);
+        self.ep.mem_free(panel_bytes);
         let cf = self.local_multiply(tf, sf, m);
+        // Scatter C back. Meter charges follow liveness: each outgoing
+        // panel is transient (never charged, like every send buffer), the
+        // leader's own panel is charged the moment it is carved out while
+        // `cf` is still whole, and `cf`'s m·m·8 bytes are released only
+        // when `cf` is actually dropped.
         let mut mine = Matrix::zeros(0, 0);
         for dst_local in 0..grp.size {
             let dst = grp.base + dst_local;
-            let (dlo, dhi) = owner_cols(m, grp.size, dst_local);
+            let (dlo, dhi) = self.layout.slice(grp.size, dst_local);
             let panel = sub_block(&cf, 0, m, dlo, dhi - dlo);
             if dst == me {
+                self.ep.mem_alloc(mat_bytes(&panel));
                 mine = panel;
             } else {
                 self.ep
                     .send(dst, tag(path, 25, leader, dst, 2), Block(panel))?;
             }
         }
-        self.ep.mem_free((m * m * 8) as u64); // cf replaced by own panel
-        self.ep.mem_alloc(mat_bytes(&mine));
+        drop(cf);
+        self.ep.mem_free((m * m * 8) as u64);
         Ok(mine)
     }
 }
@@ -823,8 +879,9 @@ impl RankCtx<'_, '_> {
 // ---------------------------------------------------------------------------
 
 /// `A · B` executed across `net.nodes` simulated ranks with distributed
-/// CAPS: block-column panels, BFS over disjoint rank groups, node-local
-/// leaves, all traffic metered by the transport.
+/// CAPS: fractal-layout column panels ([`Layout`]), BFS over disjoint rank
+/// groups, communication-free DFS, node-local leaves, all traffic metered
+/// by the transport.
 ///
 /// Rank 0 holds the operands, scatters panels (the metered `Scatter`
 /// phase), the algorithm runs under `Algo`, and the result is gathered back
@@ -860,22 +917,28 @@ pub fn dist_caps_multiply(
     };
 
     let p = net.nodes;
+    let layout = Layout::for_target(target, cfg.caps.cutoff);
     let (mut results, report) = run_spmd::<Block, (Option<Matrix>, u64), _>(net, |ep| {
         let me = ep.rank();
         ep.set_phase(Phase::Scatter);
-        // Rank 0 scatters block-column panels of the (padded) operands.
+        // Rank 0 scatters fractal-layout panels of the (padded) operands:
+        // each rank's owned columns, in increasing global order.
         if me == 0 {
             for r in 0..p {
-                let (lo, hi) = owner_cols(target, p, r);
+                let w = layout.width(target, p, r);
                 ep.send(
                     r,
                     tag(0, 26, 0, r, 0),
-                    Block(sub_block(fa, 0, target, lo, hi - lo)),
+                    Block(Matrix::from_fn(target, w, |row, k| {
+                        fa.get(row, layout.col_at(p, r, k))
+                    })),
                 )?;
                 ep.send(
                     r,
                     tag(0, 26, 0, r, 1),
-                    Block(sub_block(fb, 0, target, lo, hi - lo)),
+                    Block(Matrix::from_fn(target, w, |row, k| {
+                        fb.get(row, layout.col_at(p, r, k))
+                    })),
                 )?;
             }
         }
@@ -887,6 +950,7 @@ pub fn dist_caps_multiply(
         let mut ctx = RankCtx {
             ep,
             caps: &cfg.caps,
+            layout,
             mem_limit: cfg.mem_limit_bytes,
             flops: 0,
         };
@@ -897,16 +961,18 @@ pub fn dist_caps_multiply(
         if me == 0 {
             let mut full = Matrix::zeros(target, target);
             for r in 0..p {
-                let (lo, hi) = owner_cols(target, p, r);
+                let recvd;
                 let panel = if r == 0 {
                     // Keep rank 0's own panel without a self-hop.
-                    sub_block(&c_panel, 0, target, 0, hi - lo)
+                    &c_panel
                 } else {
-                    ep.recv(r, tag(0, 27, r, 0, 0))?.0
+                    recvd = ep.recv(r, tag(0, 27, r, 0, 0))?.0;
+                    &recvd
                 };
-                for row in 0..target {
-                    for c in 0..(hi - lo) {
-                        full.set(row, lo + c, panel.get(row, c));
+                for k in 0..layout.width(target, p, r) {
+                    let gc = layout.col_at(p, r, k);
+                    for row in 0..target {
+                        full.set(row, gc, panel.get(row, k));
                     }
                 }
             }

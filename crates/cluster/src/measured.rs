@@ -7,10 +7,11 @@
 //! counters. The two questions it answers:
 //!
 //! * **Eq. 8**: is the largest per-rank communication volume the executor
-//!   actually moves within a small constant (the study gates at ≤ 8×) of
-//!   the paper's Equation 8 bound `max(n^ω₀/(P·M^(ω₀/2−1)), n²/P^(2/ω₀))`
-//!   at every swept `(n, P, M)` — while SUMMA's measured volume exceeds the
-//!   bound's bandwidth term?
+//!   actually moves within a small constant (the study gates at ≤ 4×, with
+//!   a derived ≤ 5× allowance for multi-level cells — see
+//!   [`Eq8Cell::gate`]) of the paper's Equation 8 bound
+//!   `max(n^ω₀/(P·M^(ω₀/2−1)), n²/P^(2/ω₀))` at every swept `(n, P, M)` —
+//!   while SUMMA's measured volume exceeds the bound's bandwidth term?
 //! * **Strong scaling** (arXiv 1202.3177): with per-node memory fixed,
 //!   does efficiency `e(P) = T(1)/(P·T(P))` stay flat up to the predicted
 //!   limit `P̂ = (n²/M)^(ω₀/2)` and degrade beyond it?
@@ -21,16 +22,25 @@
 //! largest per-rank *received* volume: every transported word counted
 //! exactly once, at the node it burdens.
 //!
-//! **Operating envelope.** The block-column executor tracks the bound in
-//! the bandwidth regime (memory-rich BFS descent, any `P` with at least a
-//! few matrix columns per rank) and in the early memory regime (budgets
-//! forcing top-level DFS at small `P`, where `P < P̂` and the memory term
-//! dominates). Deep-DFS cells at larger `P` exceed the 8× constant: a
-//! block-column layout must re-shuffle operands at every forced DFS step,
-//! where CAPS's fractal element layout makes DFS steps communication-free
-//! — that layout is the documented future-work fix, not a small constant.
-//! The default grid sweeps exactly the envelope, and DESIGN.md §6i states
-//! the limitation.
+//! **Gate constants.** Under the fractal frame-cyclic layout
+//! ([`crate::dist::Layout`]) DFS steps move zero bytes, so every measured
+//! word comes from BFS redistribution and frame-leaf exchanges. One BFS
+//! distribution level has a sharp information floor: a rank hosting a
+//! single-rank child must receive the `(m/2)²` operands `T_i`, `S_i` it
+//! does not own and its slice of the six products it did not compute —
+//! `(18/7)·(m/2)²` words, which is `≈ 2.6×` the bandwidth term
+//! `n²/P^(2/ω₀)` at `P = 7`. Cells whose schedule has a *single*
+//! distribution level therefore gate at **4×**: free sweeps at `P ≤ 7`
+//! (measured `2.2–2.9×`), budget-forced DFS at `P = 2 < P̂` (`2.8×`), and
+//! fully-forced descents at `P = 7` whose only traffic is rotated
+//! frame-leaf exchanges (`3.6×`). Cells that stack **two or more**
+//! distribution levels inside the bound's single `P^(2/ω₀)` factor carry
+//! a floor of `(7/4)·(18/7) ≈ 4.5` (knee cells, `P = P̂`, one forced DFS
+//! over a single-rank-child BFS) or `≈ 4.2–4.8` (two-level BFS descents,
+//! `P = 49`, where the second level's full-operand transfer does not
+//! shrink with `P`); those gate at **5×**, derived, not tuned. The old
+//! uniform 8× gate predates the fractal layout, whose forced-DFS
+//! re-shuffle traffic it had to absorb.
 
 use crate::dist::{dist_caps_multiply, summa_multiply, DistCapsConfig, DistError};
 use crate::presets::e3_1225_net;
@@ -73,9 +83,32 @@ pub struct Eq8Cell {
 }
 
 impl Eq8Cell {
-    /// Measured-over-bound ratio — the number the ≤ 8× gate inspects.
+    /// Measured-over-bound ratio — the number [`Self::gate`] inspects.
     pub fn ratio(&self) -> f64 {
         self.measured_words as f64 / self.bound_words
+    }
+
+    /// The `M` (in words) that actually fed `bound_words`: the swept
+    /// budget when one was set, else the measured high-water mark.
+    pub fn bound_m_words(&self) -> u64 {
+        self.mem_limit_words.unwrap_or(self.peak_words).max(1)
+    }
+
+    /// Per-cell acceptance gate for [`Self::ratio`].
+    ///
+    /// **4×** for schedules with a single distribution level (free sweeps
+    /// at `P ≤ 7`; forced-DFS cells at `P < 7`). **5×** for cells that
+    /// stack two or more distribution levels inside the bound's single
+    /// `P^(2/ω₀)` factor — `P > 7` (two BFS levels) or budget-forced DFS
+    /// at `P ≥ 7` (knee cells) — whose information floor is
+    /// `(7/4)·(18/7) ≈ 4.5`, above 4. The module docs derive both
+    /// constants.
+    pub fn gate(&self) -> f64 {
+        if self.nodes > 7 || (self.nodes >= 7 && self.mem_limit_words.is_some()) {
+            5.0
+        } else {
+            4.0
+        }
     }
 }
 
@@ -131,21 +164,31 @@ pub fn run_eq8_study(grid: &[(usize, usize, Option<u64>)]) -> Result<Eq8Study, D
     Ok(Eq8Study { cells })
 }
 
-/// The default sweep grid — the executor's operating envelope (see the
-/// module docs): memory-rich cells across node counts (the bandwidth-term
-/// regime), a two-level BFS descent at `P = 49` where the problem is large
-/// enough to leave a few columns per rank, and memory-starved cells at
-/// `P = 2 < P̂` that force a top-level distributed-DFS step (the
-/// memory-term regime: budget `M = n²/4` gives `P̂ = (n²/M)^(ω₀/2) = 7`).
+/// The default sweep grid. Memory-rich cells across node counts (the
+/// bandwidth-term regime), memory-starved cells at `P = 2 < P̂` forcing a
+/// top-level distributed-DFS step (the memory-term regime: `M = n²/4`
+/// gives `P̂ = (n²/M)^(ω₀/2) = 7`), knee cells at `P = P̂ = 7` with the
+/// same budget, *deep* forced-DFS cells at `P ∈ {7, 49}` with `M = 96²`
+/// words — below the single-rank leaf working set
+/// `(3 + 1/3)·cutoff² ≈ 13.7k` words, so every step down to the frame
+/// leaf is a communication-free DFS — and two-level BFS descents at
+/// `P = 49`, free and budget-forced. The deep large-`P` cells were
+/// excluded under the pre-fractal block-column layout (its per-DFS-level
+/// re-shuffle blew past even the old 8× gate); the fractal layout admits
+/// them under the gates of [`Eq8Cell::gate`].
 pub fn default_eq8_grid() -> Vec<(usize, usize, Option<u64>)> {
+    let deep = Some(96u64 * 96); // forces DFS the whole way to the frame leaf
     let mut grid = Vec::new();
     for &n in &[256usize, 512] {
         for &p in &[2usize, 4, 7] {
             grid.push((n, p, None));
         }
         grid.push((n, 2, Some((n as u64 / 2).pow(2))));
+        grid.push((n, 7, Some((n as u64 / 2).pow(2))));
+        grid.push((n, 7, deep));
+        grid.push((n, 49, None));
     }
-    grid.push((512, 49, None));
+    grid.push((512, 49, deep));
     grid
 }
 
@@ -174,7 +217,7 @@ impl Eq8Study {
                 c.n,
                 c.nodes,
                 lim,
-                c.peak_words,
+                c.bound_m_words(),
                 c.measured_words,
                 c.bound_words,
                 c.ratio(),
@@ -183,8 +226,10 @@ impl Eq8Study {
             ));
         }
         s.push_str(&format!(
-            "\nWorst measured/bound ratio: {:.2}× (gate: ≤ 8×). Every SUMMA cell \
-             exceeds the bound's bandwidth term — the classic 2D volume CAPS beats.\n",
+            "\nWorst measured/bound ratio: {:.2}× (gate: ≤ 4×, single-level \
+             cells; ≤ 5×, multi-level cells — derived per cell). Every SUMMA \
+             cell exceeds the bound's bandwidth term — the classic 2D volume \
+             CAPS beats.\n",
             self.max_ratio()
         ));
         s
@@ -197,7 +242,7 @@ impl Eq8Study {
         for c in &self.cells {
             let label = match c.mem_limit_words {
                 None => format!("n={} (free)", c.n),
-                Some(_) => format!("n={} (starved)", c.n),
+                Some(m) => format!("n={} (M={m})", c.n),
             };
             match series.iter_mut().find(|(l, _)| *l == label) {
                 Some((_, pts)) => pts.push((c.nodes as f64, c.ratio())),
@@ -258,6 +303,17 @@ pub fn run_strong_scaling(
     node_counts: &[usize],
     flops_per_s: f64,
 ) -> Result<StrongScalingStudy, DistError> {
+    // e(P) is normalised by T(1). Inferring T(1) as P·T(P) of whatever
+    // point happens to come first silently pins that point's efficiency
+    // to 1.0; demand a true single-node reference instead.
+    match node_counts.first() {
+        Some(1) => {}
+        first => {
+            return Err(DistError::ScalingSweepNotFromOne {
+                first: first.copied().unwrap_or(0),
+            })
+        }
+    }
     let (a, b) = operands(n);
     let cfg = DistCapsConfig {
         mem_limit_bytes: Some(mem_limit_words * 8),
@@ -268,7 +324,7 @@ pub fn run_strong_scaling(
     for &p in node_counts {
         let out = dist_caps_multiply(&a, &b, &cfg, &e3_1225_net(p))?;
         let t = out.makespan_s(flops_per_s);
-        let t1 = *t1.get_or_insert(t * p as f64); // P·T(P) at the first point
+        let t1 = *t1.get_or_insert(t); // the measured single-node T(1)
         points.push(ScalingPoint {
             nodes: p,
             t_seconds: t,
@@ -334,7 +390,8 @@ mod tests {
     #[test]
     fn eq8_cell_memory_rich_is_bandwidth_bound_and_under_gate() {
         let c = eq8_cell(256, 7, None).unwrap();
-        assert!(c.ratio() <= 8.0, "ratio {}", c.ratio());
+        assert_eq!(c.gate(), 4.0);
+        assert!(c.ratio() <= c.gate(), "ratio {}", c.ratio());
         assert!(c.measured_words > 0);
         // Memory-rich: the bound is its bandwidth term.
         assert!((c.bound_words - c.bandwidth_term_words).abs() < 1e-9);
@@ -348,15 +405,38 @@ mod tests {
         let starved = eq8_cell(256, 2, Some(128 * 128)).unwrap();
         assert!(starved.measured_words > free.measured_words);
         assert!(starved.bound_words > free.bound_words);
-        assert!(starved.ratio() <= 8.0, "ratio {}", starved.ratio());
+        assert_eq!(starved.gate(), 4.0);
+        assert!(starved.ratio() <= starved.gate(), "ratio {}", starved.ratio());
+    }
+
+    #[test]
+    fn gate_tiers_follow_distribution_levels() {
+        let single = |n, p, m| Eq8Cell {
+            n,
+            nodes: p,
+            mem_limit_words: m,
+            measured_words: 1,
+            peak_words: 1,
+            bound_words: 1.0,
+            summa_words: None,
+            bandwidth_term_words: 1.0,
+        };
+        // Single distribution level: 4×.
+        assert_eq!(single(256, 7, None).gate(), 4.0);
+        assert_eq!(single(256, 2, Some(16384)).gate(), 4.0);
+        // Two or more levels stacked inside one P^(2/ω₀) factor: 5×.
+        assert_eq!(single(256, 49, None).gate(), 5.0);
+        assert_eq!(single(256, 7, Some(16384)).gate(), 5.0);
+        assert_eq!(single(512, 49, Some(9216)).gate(), 5.0);
     }
 
     #[test]
     fn default_grid_passes_the_eq8_gate() {
-        // The headline assertion: measured per-node traffic within 8× of
-        // Eq. 8 at every swept (n, P, M), SUMMA above the bandwidth term
-        // wherever it runs. (The full grid re-runs in release under the
-        // cluster-verify job; n = 256 cells keep the debug tier fast.)
+        // The headline assertion: measured per-node traffic within each
+        // cell's derived gate of Eq. 8 at every swept (n, P, M), SUMMA
+        // above the bandwidth term wherever it runs. (The full grid
+        // re-runs in release under the cluster-verify job; n = 256 cells
+        // keep the debug tier fast.)
         let grid: Vec<_> = default_eq8_grid()
             .into_iter()
             .filter(|&(n, _, _)| n <= 256)
@@ -364,12 +444,13 @@ mod tests {
         let study = run_eq8_study(&grid).unwrap();
         for c in &study.cells {
             assert!(
-                c.ratio() <= 8.0,
-                "n={} P={} M={:?}: ratio {:.2}",
+                c.ratio() <= c.gate(),
+                "n={} P={} M={:?}: ratio {:.2} over gate {}",
                 c.n,
                 c.nodes,
                 c.mem_limit_words,
-                c.ratio()
+                c.ratio(),
+                c.gate()
             );
             if let Some(s) = c.summa_words {
                 assert!(s as f64 > c.bandwidth_term_words);
@@ -403,5 +484,38 @@ mod tests {
         assert!(md.contains("| 128 | 2 |"));
         assert!(md.contains("Worst measured/bound ratio"));
         assert!(!s.ratio_series().is_empty());
+    }
+
+    #[test]
+    fn markdown_m_column_prints_the_m_that_fed_the_bound() {
+        // Budgeted cell: the bound was computed with M = the swept limit,
+        // and the "M (words)" column must print exactly that — not the
+        // measured peak, which differs.
+        let limit = 1024u64;
+        let s = run_eq8_study(&[(128, 2, Some(limit))]).unwrap();
+        let c = &s.cells[0];
+        assert_eq!(c.bound_m_words(), limit);
+        assert_ne!(
+            c.peak_words, limit,
+            "peak coincides with the limit; the regression check is vacuous"
+        );
+        let md = s.to_markdown();
+        // | n | P | mem limit | M | ...
+        assert!(
+            md.contains("| 128 | 2 | 1024 | 1024 |"),
+            "M column must show the swept limit:\n{md}"
+        );
+        // Free cell: M falls back to the measured peak.
+        let free = run_eq8_study(&[(128, 2, None)]).unwrap();
+        let fc = &free.cells[0];
+        assert_eq!(fc.bound_m_words(), fc.peak_words);
+    }
+
+    #[test]
+    fn strong_scaling_sweep_must_start_at_one_node() {
+        let err = run_strong_scaling(128, 64 * 64, &[2, 4], 1e9).unwrap_err();
+        assert_eq!(err, DistError::ScalingSweepNotFromOne { first: 2 });
+        let err = run_strong_scaling(128, 64 * 64, &[], 1e9).unwrap_err();
+        assert_eq!(err, DistError::ScalingSweepNotFromOne { first: 0 });
     }
 }

@@ -77,11 +77,15 @@ fn emit_caps(
         // Block-partition the group over the seven children.
         let child_base = base + (i * count) / 7;
         let child_count = ((i + 1) * count / 7).max((i * count) / 7 + 1) - (i * count) / 7;
-        // Operands are block-cyclically distributed over the whole group,
-        // so a child group already owns `child_count / count` of each
-        // quadrant; the BFS split ships only the complement, with the
-        // seven linear combinations formed in place by the owners (the
-        // CAPS SC'12 implementation trick). Two operands per product.
+        // Operands are fractally (frame-cyclically) distributed over the
+        // whole group — the layout `dist::Layout` implements — so a child
+        // group already owns `child_count / count` of each quadrant; the
+        // BFS split ships only the complement, with the seven linear
+        // combinations formed at the senders (the CAPS SC'12
+        // implementation trick, and exactly what the measured executor's
+        // `form_cols` does). Two operands per product. DFS steps keep the
+        // whole group and ship nothing, so they appear in no declared
+        // volume here either.
         let missing = 1.0 - child_count as f64 / count as f64;
         let net = (2.0 * 8.0 * hh as f64 * missing) as u64;
         let prepare = g.add(

@@ -11,8 +11,10 @@
 //! run in the release `cluster-verify` CI job.
 
 use powerscale_caps::CapsConfig;
+use powerscale_cluster::dist::{bfs_child_ranges, predict_peak_bytes};
 use powerscale_cluster::presets::e3_1225_net;
-use powerscale_cluster::{dist_caps_multiply, summa_multiply, DistCapsConfig};
+use powerscale_cluster::{dist_caps_multiply, summa_multiply, DistCapsConfig, Layout};
+use powerscale_machine::net::Phase;
 use powerscale_matrix::{Matrix, MatrixGen};
 use powerscale_testkit::oracle::{max_rel_error, reference_mm};
 
@@ -106,6 +108,74 @@ fn memory_forced_dfs_is_still_bitwise_equal() {
             forced.report.total_bytes() >= free.report.total_bytes(),
             "P={p}: DFS mode should not move fewer bytes"
         );
+    }
+}
+
+#[test]
+fn forced_dfs_step_moves_zero_algo_bytes() {
+    // The fractal layout makes a memory-forced DFS step communication-
+    // free. With a budget that forces DFS at exactly the top split (one
+    // byte under the worst predicted BFS-child residency) and lets
+    // everything below run free, each rank's Algo-phase received volume
+    // must equal exactly 7× its volume in a free run of the half-size
+    // problem: the DFS level itself — operand formation and product
+    // combination — contributes zero bytes.
+    let n = 256usize;
+    let cutoff = DistCapsConfig::default().caps.cutoff;
+    let (a, b) = operands(n, 7);
+    let (ah, bh) = operands(n / 2, 7);
+    for p in [2usize, 4, 7] {
+        let worst_child = bfs_child_ranges(p)
+            .iter()
+            .map(|&(lo, hi)| predict_peak_bytes(n / 2, hi - lo, cutoff))
+            .max()
+            .unwrap();
+        let tight = DistCapsConfig {
+            mem_limit_bytes: Some(worst_child - 1),
+            ..DistCapsConfig::default()
+        };
+        let net = e3_1225_net(p);
+        let forced = dist_caps_multiply(&a, &b, &tight, &net).unwrap();
+        assert_eq!(
+            forced.c,
+            single_node_caps(&a, &b, &tight.caps),
+            "P={p}: forced run diverged"
+        );
+        let free_half = dist_caps_multiply(&ah, &bh, &DistCapsConfig::default(), &net).unwrap();
+        for r in 0..p {
+            assert_eq!(
+                forced.report.recv_bytes(r, Phase::Algo),
+                7 * free_half.report.recv_bytes(r, Phase::Algo),
+                "P={p} rank {r}: the forced DFS level moved bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn final_meter_matches_liveness() {
+    // Every allocation charge but the final C panel's must have been
+    // paired with a free by the end of a run: each rank's residual meter
+    // equals exactly its C-panel bytes. Swept across a free BFS run, a
+    // budget-forced DFS run, and a leaf-hitting deep-DFS run (the last
+    // exercises the leader_leaf charge ordering around the scatter-back).
+    let n = 256usize;
+    let (a, b) = operands(n, 5);
+    let cutoff = DistCapsConfig::default().caps.cutoff;
+    let layout = Layout::for_target(n, cutoff);
+    for (p, limit_words) in [(7usize, None), (2, Some(3 * 128 * 128)), (7, Some(96 * 96))] {
+        let cfg = DistCapsConfig {
+            mem_limit_bytes: limit_words.map(|w: u64| w * 8),
+            ..DistCapsConfig::default()
+        };
+        let out = dist_caps_multiply(&a, &b, &cfg, &e3_1225_net(p)).unwrap();
+        for r in 0..p {
+            let want = (n * layout.width(n, p, r) * 8) as u64;
+            assert_eq!(
+                out.report.ranks[r].mem.current_bytes, want,
+                "P={p} M={limit_words:?} rank {r}: meter out of step with liveness"
+            );
+        }
     }
 }
 

@@ -11,29 +11,40 @@ use powerscale_cluster::measured::{
 };
 
 /// The headline acceptance gate over the full default grid: measured
-/// per-node traffic within 8× of Eq. 8 at every swept `(n, P, M)`, and
-/// SUMMA above the bound's bandwidth term wherever it runs.
+/// per-node traffic within each cell's derived gate of Eq. 8 — ≤ 4× for
+/// single-distribution-level cells, ≤ 5× for multi-level cells (see
+/// `Eq8Cell::gate`) — at every swept `(n, P, M)`, and SUMMA above the
+/// bound's bandwidth term wherever it runs.
 #[test]
 #[ignore = "release-tier sweep; run in the cluster-verify CI job"]
 fn eq8_gate_full_grid() {
     let study = run_eq8_study(&default_eq8_grid()).unwrap();
-    assert!(study.cells.len() >= 9, "grid shrank: {}", study.cells.len());
+    assert!(
+        study.cells.len() >= 15,
+        "grid shrank: {}",
+        study.cells.len()
+    );
     let mut saw_memory_regime = false;
+    let mut saw_deep_dfs_large_p = false;
     let mut saw_summa = false;
     for c in &study.cells {
         assert!(
-            c.ratio() <= 8.0,
-            "n={} P={} M={:?}: measured {} words vs bound {:.0} (ratio {:.2})",
+            c.ratio() <= c.gate(),
+            "n={} P={} M={:?}: measured {} words vs bound {:.0} (ratio {:.2}, gate {})",
             c.n,
             c.nodes,
             c.mem_limit_words,
             c.measured_words,
             c.bound_words,
-            c.ratio()
+            c.ratio(),
+            c.gate()
         );
         assert!(c.measured_words > 0, "swept cell moved no bytes");
         if c.bound_words > c.bandwidth_term_words + 0.5 {
             saw_memory_regime = true;
+        }
+        if c.nodes >= 7 && c.mem_limit_words.is_some() {
+            saw_deep_dfs_large_p = true;
         }
         if let Some(s) = c.summa_words {
             saw_summa = true;
@@ -48,6 +59,10 @@ fn eq8_gate_full_grid() {
         }
     }
     assert!(saw_memory_regime, "no swept cell exercised the memory term");
+    assert!(
+        saw_deep_dfs_large_p,
+        "no swept cell exercised forced DFS at large P"
+    );
     assert!(saw_summa, "no swept cell ran the SUMMA baseline");
 }
 
@@ -114,14 +129,32 @@ fn strong_scaling_range_n1024() {
         slope_out >= 1.5 * slope_in,
         "decay did not steepen at P̂: in {slope_in:.3} out {slope_out:.3}"
     );
-    // Per-rank traffic keeps falling across the sweep — scaling out never
-    // concentrates load.
-    for w in s.points.windows(2) {
+    // Scaling out spreads load instead of concentrating it: per-rank
+    // traffic never exceeds the first multi-node level and falls several
+    // fold across the sweep. It is not point-wise monotone — a step that
+    // adds a distribution level (here P=7→14, where children become
+    // 2-rank groups) pays a second operand pass that does not halve with
+    // P, a bounded local bump.
+    let at = |p: usize| {
+        s.points
+            .iter()
+            .find(|pt| pt.nodes == p)
+            .expect("swept point")
+            .measured_words
+    };
+    for pt in &s.points {
         assert!(
-            w[1].measured_words <= w[0].measured_words || w[0].nodes == 1,
-            "per-rank traffic rose from P={} to P={}",
-            w[0].nodes,
-            w[1].nodes
+            pt.nodes == 1 || pt.measured_words <= at(2),
+            "per-rank traffic at P={} ({} words) above the P=2 level ({})",
+            pt.nodes,
+            pt.measured_words,
+            at(2)
         );
     }
+    assert!(
+        4 * at(49) <= at(2),
+        "per-rank traffic barely fell across the sweep: P=2 {} vs P=49 {}",
+        at(2),
+        at(49)
+    );
 }

@@ -31,7 +31,8 @@
 //! strong-scaling figure, both metered by the simulated message-passing
 //! transport. `--quick` shrinks both to the fast sizes; `--out DIR`
 //! additionally writes `CLUSTER_eq8.json` and the two figure CSVs.
-//! Exits non-zero if any swept cell exceeds the 8× Eq. 8 gate.
+//! Exits non-zero if any swept cell exceeds its Eq. 8 gate (4× single-level
+//! cells, 5× multi-level cells).
 
 use powerscale_harness::{figures, manifest, report, sweep, tables, DtypeTier, Harness};
 use powerscale_rapl::FaultConfig;
@@ -117,7 +118,8 @@ fn run_traced(h: &Harness, path: &str, quick: bool, dtype: DtypeTier) {
 /// Eq. 8 verification sweep and the arXiv 1202.3177 strong-scaling
 /// figure — printed to stdout and, with `--out`, written as
 /// `CLUSTER_eq8.json` plus per-figure CSVs. Skips the sweep entirely.
-/// Exits non-zero if any swept cell breaks the ≤ 8× gate.
+/// Exits non-zero if any swept cell breaks its Eq. 8 gate (≤ 4× for
+/// single-distribution-level cells, ≤ 5× for multi-level cells).
 fn run_cluster(quick: bool, out_dir: Option<&str>) {
     use powerscale_cluster::measured;
     let grid: Vec<_> = if quick {
@@ -187,12 +189,30 @@ fn run_cluster(quick: bool, out_dir: Option<&str>) {
         eprintln!("cluster artifacts written to {}", dir.display());
     }
 
-    let worst = study.max_ratio();
-    if worst > 8.0 {
-        eprintln!("Eq. 8 gate FAILED: worst measured/bound ratio {worst:.2}× exceeds 8×");
+    // Per-cell gates: 4× for single-distribution-level cells, 5× for
+    // multi-level cells (see Eq8Cell::gate for the derivation).
+    let violations: Vec<_> = study
+        .cells
+        .iter()
+        .filter(|c| c.ratio() > c.gate())
+        .collect();
+    if !violations.is_empty() {
+        for c in &violations {
+            eprintln!(
+                "Eq. 8 gate FAILED: n={} P={} M={:?}: ratio {:.2}× exceeds its {}× gate",
+                c.n,
+                c.nodes,
+                c.mem_limit_words,
+                c.ratio(),
+                c.gate()
+            );
+        }
         std::process::exit(1);
     }
-    println!("Eq. 8 gate: PASS (worst ratio {worst:.2}× ≤ 8×)");
+    println!(
+        "Eq. 8 gate: PASS (worst ratio {:.2}×; per-cell gates 4×/5×)",
+        study.max_ratio()
+    );
 }
 
 fn main() {

@@ -165,7 +165,8 @@ pub fn fig7_ep_scaling(results: &[RunResult], sizes: &[usize], threads: &[usize]
 
 /// The measured Eq. 8 verification figure: transport-metered per-rank
 /// traffic over the bound, per node count, one series per swept
-/// `(n, memory setting)`. The gate line sits at 8×.
+/// `(n, memory setting)`. The gate lines sit at 4× (single-level cells)
+/// and 5× (multi-level cells).
 pub fn fig_cluster_eq8(study: &powerscale_cluster::measured::Eq8Study) -> Figure {
     Figure {
         title: "Eq. 8 verification: measured per-rank traffic / bound".into(),

@@ -214,9 +214,11 @@ pub fn cluster_measured_markdown() -> String {
         "### Distributed memory, measured (Eq. 8 verification + strong scaling)\n\n\
          The sweep above prices *declared* plan volumes; here the distributed \
          executor multiplies real matrices across simulated ranks and every \
-         byte is metered by the transport itself. Outputs are bitwise-equal \
-         to single-node CAPS at every node count (see \
-         `cluster/tests/dist_equivalence.rs`).\n\n",
+         byte is metered by the transport itself. The executor's fractal \
+         (frame-cyclic) layout makes memory-forced DFS steps \
+         communication-free, so budget-starved cells are swept at any depth. \
+         Outputs are bitwise-equal to single-node CAPS at every node count \
+         and budget (see `cluster/tests/dist_equivalence.rs`).\n\n",
     );
     let study = measured::run_eq8_study(&measured::default_eq8_grid())
         .expect("default Eq. 8 grid runs on valid topologies");

@@ -435,9 +435,16 @@ impl<T: NetPayload> Endpoint<T> {
                 tag,
             });
         }
-        let timeout = Duration::from_secs_f64(self.cfg.recv_timeout_s);
+        // One absolute deadline for the whole matching receive. Re-arming
+        // the full timeout per arriving message would let a steady stream
+        // of stashable (non-matching) traffic defer the deadlock guard
+        // indefinitely; against a fixed deadline, stashing consumes no
+        // budget and the typed timeout still fires on schedule.
+        let deadline =
+            std::time::Instant::now() + Duration::from_secs_f64(self.cfg.recv_timeout_s);
         loop {
-            match self.rx.recv_timeout(timeout) {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.rx.recv_timeout(remaining) {
                 Ok(msg) if msg.src == src && msg.tag == tag => {
                     self.charge_recv(&msg);
                     return Ok(msg.payload);
@@ -794,6 +801,51 @@ mod tests {
                 src: 1,
                 tag: 99
             }
+        );
+    }
+
+    #[test]
+    fn stashable_flood_cannot_defer_the_recv_deadline() {
+        // A steady stream of non-matching (stashable) messages used to
+        // re-arm the full timeout on every arrival, deferring the
+        // deadlock guard indefinitely. With an absolute deadline the
+        // typed timeout still fires on schedule.
+        let mut cfg = fast_cfg(2);
+        cfg.recv_timeout_s = 0.2;
+        let started = std::time::Instant::now();
+        let err = run_spmd::<Vec<f64>, (), _>(&cfg, |ep| {
+            if ep.rank() == 0 {
+                ep.recv(1, 99).map(|_| ())
+            } else {
+                // Flood rank 0 with wrong-tag traffic at a cadence well
+                // inside the timeout, for far longer than the timeout.
+                // Stop once the peer has timed out and hung up, so the
+                // elapsed check below times rank 0's guard, not us.
+                for i in 0..40u64 {
+                    if ep.send(0, i, vec![0.0; 4]).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::RecvTimeout {
+                rank: 0,
+                src: 1,
+                tag: 99
+            }
+        );
+        // Old behaviour: each of the 40 arrivals restarts the 200 ms
+        // window, so the guard fires only after the flood ends (~1 s+).
+        // Fixed behaviour: ~200 ms regardless of the flood.
+        assert!(
+            started.elapsed() < Duration::from_millis(800),
+            "recv deadline was deferred by stashable traffic: {:?}",
+            started.elapsed()
         );
     }
 
